@@ -1,0 +1,100 @@
+//! EQ8 — Criterion timings for the evolution operators: Merge, Diff /
+//! Extract, inverse computation, and end-to-end evolution chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_engine::prelude::*;
+use mm_workload::{evolution_chain, perturb_schema, populate_relational, relational_schema};
+
+fn bench_merge_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq8_merge");
+    for size in [8usize, 16, 32] {
+        let left = relational_schema(41, size, 6);
+        let (right, truth) = perturb_schema(&left, 43, 0.3, 0.1, 0.2);
+        let mut corrs = CorrespondenceSet::new(left.name.clone(), right.name.clone());
+        for (s, t) in &truth.pairs {
+            corrs.push(Correspondence::new(s.clone(), t.clone(), 1.0));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(size), &(), |b, _| {
+            b.iter(|| merge(&left, &right, &corrs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_diff_extract(c: &mut Criterion) {
+    let schema = relational_schema(11, 16, 8);
+    // a mapping touching half the relations
+    let mut constraints = Vec::new();
+    for name in schema.element_names().take(8) {
+        let cols: Vec<String> = schema
+            .element(name)
+            .expect("enumerated")
+            .attributes
+            .iter()
+            .take(3)
+            .map(|a| a.name.clone())
+            .collect();
+        constraints.push(MappingConstraint::ExprEq {
+            source: Expr::base(name).project_owned(cols),
+            target: Expr::base(format!("{name}_t")),
+        });
+    }
+    let mapping = Mapping::with_constraints(schema.name.clone(), "T", constraints);
+    c.bench_function("eq8_diff", |b| {
+        b.iter(|| diff(&schema, &mapping, Side::Source))
+    });
+    c.bench_function("eq8_extract", |b| {
+        b.iter(|| extract(&schema, &mapping, Side::Source))
+    });
+}
+
+fn bench_evolution_chain_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq8_evolution_chain");
+    group.sample_size(10);
+    for steps in [2usize, 6] {
+        let s0 = relational_schema(33, 4, 4);
+        let db0 = populate_relational(&s0, 12, 100);
+        let chain = evolution_chain(&s0, 8, steps);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &(), |b, _| {
+            b.iter(|| {
+                let mut schema = s0.clone();
+                let mut db = db0.clone();
+                for step in &chain {
+                    db = materialize_views(&step.migration, &schema, &db).expect("migrate");
+                    schema = step.schema.clone();
+                }
+                db
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let source = SchemaBuilder::new("S")
+        .relation("R", &[
+            ("id", DataType::Int),
+            ("a", DataType::Text),
+            ("b", DataType::Text),
+            ("c", DataType::Text),
+        ])
+        .key("R", &["id"])
+        .build()
+        .expect("schema");
+    let mut views = ViewSet::new("S", "T");
+    views.push(ViewDef::new("R1", Expr::base("R").project(&["id", "a"])));
+    views.push(ViewDef::new("R2", Expr::base("R").project(&["id", "b"])));
+    views.push(ViewDef::new("R3", Expr::base("R").project(&["id", "c"])));
+    c.bench_function("eq8_invert_views", |b| {
+        b.iter(|| invert_views(&views, &source).expect("invertible"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_merge_scaling,
+    bench_diff_extract,
+    bench_evolution_chain_end_to_end,
+    bench_inverse
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! EQ3 — Criterion timings for the schema matcher: lexical-only vs
+//! flooding, sequential vs parallel scoring, and schema-size scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_engine::prelude::*;
+use mm_workload::{perturb_schema, relational_schema};
+
+fn bench_matcher_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq3_match_scaling");
+    group.sample_size(15);
+    for size in [4usize, 8, 16] {
+        let source = relational_schema(7, size, 6);
+        let (target, _) = perturb_schema(&source, 8, 0.4, 0.1, 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &(), |b, _| {
+            b.iter(|| match_schemas(&source, &target, &MatchConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flooding_ablation(c: &mut Criterion) {
+    let source = relational_schema(7, 10, 6);
+    let (target, _) = perturb_schema(&source, 8, 0.4, 0.1, 0.2);
+    let mut group = c.benchmark_group("eq3_flooding_ablation");
+    for iterations in [0usize, 2, 5] {
+        let cfg = MatchConfig { flooding_iterations: iterations, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(iterations), &cfg, |b, cfg| {
+            b.iter(|| match_schemas(&source, &target, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_scoring(c: &mut Criterion) {
+    let source = relational_schema(7, 24, 8);
+    let (target, _) = perturb_schema(&source, 8, 0.4, 0.1, 0.2);
+    let mut group = c.benchmark_group("eq3_parallel_scoring");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let cfg = MatchConfig { threads, flooding_iterations: 0, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+            b.iter(|| match_schemas(&source, &target, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matcher_scaling,
+    bench_flooding_ablation,
+    bench_parallel_scoring
+);
+criterion_main!(benches);

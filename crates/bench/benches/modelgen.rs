@@ -1,0 +1,74 @@
+//! EQ2 — Criterion timings: compiled transformation vs the generic
+//! three-copy translation, per inheritance strategy (the ablation of
+//! DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_engine::prelude::*;
+use mm_workload::{er_hierarchy, populate_er};
+
+fn setup(strategy: InheritanceStrategy) -> (Schema, Database, ModelGenResult) {
+    let er = er_hierarchy(17, 2, 2, 3);
+    let db = populate_er(&er, 3, 300);
+    let gen = er_to_relational(&er, strategy).expect("modelgen");
+    (er, db, gen)
+}
+
+fn bench_schema_translation(c: &mut Criterion) {
+    let er = er_hierarchy(17, 3, 2, 3);
+    let mut group = c.benchmark_group("eq2_schema_translation");
+    for strategy in [
+        InheritanceStrategy::Vertical,
+        InheritanceStrategy::Horizontal,
+        InheritanceStrategy::Flat,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.to_string()),
+            &strategy,
+            |b, s| b.iter(|| er_to_relational(&er, *s).expect("modelgen")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_instance_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq2_instance_translation");
+    group.sample_size(20);
+    for strategy in [
+        InheritanceStrategy::Vertical,
+        InheritanceStrategy::Horizontal,
+        InheritanceStrategy::Flat,
+    ] {
+        let (er, db, gen) = setup(strategy);
+        group.bench_with_input(
+            BenchmarkId::new("direct_views", strategy.to_string()),
+            &(),
+            |b, _| b.iter(|| materialize_views(&gen.views, &er, &db).expect("direct")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("three_copy", strategy.to_string()),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    three_copy_translate(&er, &db, &gen.schema, strategy).expect("generic")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_wrapper_direction(c: &mut Criterion) {
+    use mm_workload::relational_schema;
+    let rel = relational_schema(5, 12, 6);
+    c.bench_function("eq2_relational_to_er", |b| {
+        b.iter(|| relational_to_er(&rel).expect("wrapper"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schema_translation,
+    bench_instance_translation,
+    bench_wrapper_direction
+);
+criterion_main!(benches);

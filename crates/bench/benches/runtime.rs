@@ -1,0 +1,57 @@
+//! EQ5/EQ6 — Criterion timings for the mapping runtime: incremental view
+//! maintenance vs recompute, and chained vs collapsed mediation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_bench::{eq5_ivm_point, eq6_mediation_point};
+use mm_engine::prelude::*;
+
+fn bench_ivm_vs_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq5_maintenance");
+    group.sample_size(10);
+    for batch in [1usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("point", batch),
+            &batch,
+            |b, batch| b.iter(|| eq5_ivm_point(5_000, *batch)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mediation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq6_mediation");
+    group.sample_size(10);
+    for hops in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("point", hops), &hops, |b, hops| {
+            b.iter(|| eq6_mediation_point(*hops, 5_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    // witness extraction over a join view
+    let schema = SchemaBuilder::new("S")
+        .relation("Names", &[("SID", DataType::Int), ("Name", DataType::Text)])
+        .relation("Addresses", &[("SID", DataType::Int), ("City", DataType::Text)])
+        .build()
+        .expect("schema");
+    let mut db = Database::empty_of(&schema);
+    for i in 0..2_000i64 {
+        db.insert("Names", Tuple::from([Value::Int(i), Value::Text(format!("n{i}"))]));
+        db.insert(
+            "Addresses",
+            Tuple::from([Value::Int(i), Value::Text(format!("c{}", i % 10))]),
+        );
+    }
+    let view = Expr::base("Names")
+        .join(Expr::base("Addresses"), &[("SID", "SID")])
+        .project(&["Name", "City"]);
+    let target = Tuple::from([Value::text("n7"), Value::text("c7")]);
+    c.bench_function("eq5_provenance_explain", |b| {
+        b.iter(|| explain(&view, &schema, &db, &target).expect("witnesses"))
+    });
+}
+
+criterion_group!(benches, bench_ivm_vs_recompute, bench_mediation, bench_provenance);
+criterion_main!(benches);

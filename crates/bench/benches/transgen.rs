@@ -1,0 +1,63 @@
+//! EQ4 — Criterion timings for TransGen: fragment parsing, query/update
+//! view compilation, and roundtrip verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_engine::prelude::*;
+use mm_workload::{er_hierarchy, populate_er};
+
+fn setup(depth: usize, fanout: usize) -> (Schema, Schema, Mapping) {
+    let er = er_hierarchy(29, depth, fanout, 3);
+    let gen = er_to_relational(&er, InheritanceStrategy::Vertical).expect("modelgen");
+    (er, gen.schema, gen.mapping)
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq4_compile_views");
+    for (depth, fanout) in [(1usize, 2usize), (2, 2), (2, 3)] {
+        let (er, rel, mapping) = setup(depth, fanout);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{depth}_f{fanout}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let frags = parse_fragments(&er, &rel, &mapping).expect("fragments");
+                    let q = query_views(&er, &rel, &frags).expect("qviews");
+                    let u = update_views(&er, &rel, &frags).expect("uviews");
+                    (q, u)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_roundtrip_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq4_verify_roundtrip");
+    group.sample_size(10);
+    for per_type in [20usize, 100] {
+        let (er, rel, mapping) = setup(2, 2);
+        let frags = parse_fragments(&er, &rel, &mapping).expect("fragments");
+        let db = populate_er(&er, 5, per_type);
+        group.bench_with_input(BenchmarkId::from_parameter(per_type), &(), |b, _| {
+            b.iter(|| verify_roundtrip(&er, &rel, &frags, &db).expect("verify"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clio_baseline(c: &mut Criterion) {
+    // correspondence-direct generation (Clio'00) vs constraint compilation
+    use mm_workload::{perturb_schema, relational_schema};
+    let source = relational_schema(9, 6, 6);
+    let (target, truth) = perturb_schema(&source, 10, 0.2, 0.0, 0.0);
+    let mut corrs = CorrespondenceSet::new(source.name.clone(), target.name.clone());
+    for (s, t) in &truth.pairs {
+        corrs.push(Correspondence::new(s.clone(), t.clone(), 1.0));
+    }
+    c.bench_function("eq4_clio_baseline_generation", |b| {
+        b.iter(|| correspondences_to_views(&source, &target, &corrs).expect("clio views"))
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_roundtrip_verification, bench_clio_baseline);
+criterion_main!(benches);

@@ -1,0 +1,463 @@
+//! The chase procedure over tgds and egds.
+
+use mm_eval::cq::{find_homomorphisms, find_homomorphisms_seeded, instantiate_atom, Binding};
+use mm_expr::{Atom, Tgd};
+use mm_instance::{Database, Tuple, Value};
+use mm_metamodel::Schema;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An equality-generating dependency: body → x = y for two body variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Egd {
+    pub body: Vec<Atom>,
+    pub left: String,
+    pub right: String,
+}
+
+/// Derive the egds implied by a schema's key constraints: for a key on
+/// columns K of relation R, two R-atoms agreeing on K must agree on every
+/// other column. Chasing with these equates the labeled nulls that the
+/// key forces together (the paper's §2 target-constraint reasoning).
+pub fn egds_from_keys(schema: &Schema) -> Vec<Egd> {
+    let mut out = Vec::new();
+    for c in &schema.constraints {
+        let mm_metamodel::Constraint::Key(k) = c else { continue };
+        let Some(layout) = schema.instance_layout(&k.element) else { continue };
+        // two atoms sharing variables on the key positions, distinct
+        // variables elsewhere
+        let mk_terms = |tag: &str| -> Vec<mm_expr::Term> {
+            layout
+                .iter()
+                .map(|a| {
+                    if k.attributes.contains(&a.name) {
+                        mm_expr::Term::var(format!("k_{}", a.name))
+                    } else {
+                        mm_expr::Term::var(format!("{tag}_{}", a.name))
+                    }
+                })
+                .collect()
+        };
+        for a in &layout {
+            if k.attributes.contains(&a.name) {
+                continue;
+            }
+            out.push(Egd {
+                body: vec![
+                    Atom::new(k.element.clone(), mk_terms("l")),
+                    Atom::new(k.element.clone(), mk_terms("r")),
+                ],
+                left: format!("l_{}", a.name),
+                right: format!("r_{}", a.name),
+            });
+        }
+    }
+    out
+}
+
+/// Statistics of a chase run (reported by the EQ7 bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Number of tgd firings that inserted at least one tuple.
+    pub fired: usize,
+    /// Number of fixpoint rounds.
+    pub rounds: usize,
+    /// Labeled nulls minted.
+    pub nulls: usize,
+}
+
+/// Outcome of a chase run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaseOutcome {
+    /// Fixpoint reached: the database satisfies all dependencies.
+    Done(ChaseStats),
+    /// Step bound exhausted before a fixpoint (possible for general tgds).
+    BoundExceeded(ChaseStats),
+    /// An egd tried to equate two distinct constants — no solution exists.
+    Failed { egd_index: usize },
+}
+
+impl fmt::Display for ChaseOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseOutcome::Done(s) => {
+                write!(f, "done: {} firings, {} rounds, {} nulls", s.fired, s.rounds, s.nulls)
+            }
+            ChaseOutcome::BoundExceeded(s) => {
+                write!(f, "bound exceeded after {} firings", s.fired)
+            }
+            ChaseOutcome::Failed { egd_index } => write!(f, "failed at egd #{egd_index}"),
+        }
+    }
+}
+
+/// Check whether `head` (with existentials) is already satisfied in `db`
+/// under `binding`: does some extension of the binding to the head's
+/// existential variables map all head atoms into the database? Universal
+/// bindings — including labeled nulls — stay fixed.
+fn head_satisfied(head: &[Atom], binding: &Binding, db: &Database) -> bool {
+    let mut head_vars = std::collections::BTreeSet::new();
+    for a in head {
+        for t in &a.terms {
+            t.vars(&mut head_vars);
+        }
+    }
+    let seed: Binding = binding
+        .iter()
+        .filter(|(k, _)| head_vars.contains(k.as_str()))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    !find_homomorphisms_seeded(head, db, &seed).is_empty()
+}
+
+/// The standard chase for **source-to-target** tgds: bodies are evaluated
+/// over `source_db`, heads asserted into a fresh target database. Because
+/// target relations never feed tgd bodies, one pass over the tgds reaches
+/// the fixpoint; the restricted chase still checks head satisfaction so
+/// re-chasing an already-consistent pair adds nothing.
+///
+/// Returns the universal target instance and stats.
+pub fn chase_st(
+    target_schema: &Schema,
+    tgds: &[Tgd],
+    source_db: &Database,
+) -> (Database, ChaseStats) {
+    let mut target = Database::empty_of(target_schema);
+    target.set_label_watermark(source_db.label_watermark());
+    let mut stats = ChaseStats { rounds: 1, ..Default::default() };
+    for tgd in tgds {
+        let bindings = find_homomorphisms(&tgd.body, source_db);
+        for b in bindings {
+            if head_satisfied(&tgd.head, &b, &target) {
+                continue;
+            }
+            // one fresh null per existential variable per firing, shared
+            // across the head atoms of this firing
+            let mut memo: HashMap<String, Value> = HashMap::new();
+            let mut minted = 0usize;
+            for atom in &tgd.head {
+                let t = {
+                    let target_ref = &mut target;
+                    let mut fresh = |v: &str| {
+                        memo.entry(v.to_string())
+                            .or_insert_with(|| {
+                                minted += 1;
+                                target_ref.fresh_labeled()
+                            })
+                            .clone()
+                    };
+                    instantiate_atom(atom, &b, &mut fresh)
+                };
+                target.insert(&atom.relation, t);
+            }
+            stats.nulls += minted;
+            stats.fired += 1;
+        }
+    }
+    (target, stats)
+}
+
+/// The bounded restricted chase for **general** tgds and egds over a
+/// single database (source and target relations may coincide — schema
+/// evolution scenarios chase views and bases together). `max_rounds`
+/// bounds the fixpoint loop since general tgds need not terminate.
+pub fn chase_general(
+    db: &mut Database,
+    tgds: &[Tgd],
+    egds: &[Egd],
+    max_rounds: usize,
+) -> ChaseOutcome {
+    let mut stats = ChaseStats::default();
+    for _round in 0..max_rounds {
+        stats.rounds += 1;
+        let mut changed = false;
+        for tgd in tgds {
+            let bindings = find_homomorphisms(&tgd.body, db);
+            for b in bindings {
+                if head_satisfied(&tgd.head, &b, db) {
+                    continue;
+                }
+                let mut memo: HashMap<String, Value> = HashMap::new();
+                let mut minted = 0usize;
+                for atom in &tgd.head {
+                    let t = {
+                        let db_ref = &mut *db;
+                        let mut fresh = |v: &str| {
+                            memo.entry(v.to_string())
+                                .or_insert_with(|| {
+                                    minted += 1;
+                                    db_ref.fresh_labeled()
+                                })
+                                .clone()
+                        };
+                        instantiate_atom(atom, &b, &mut fresh)
+                    };
+                    db.insert(&atom.relation, t);
+                }
+                stats.nulls += minted;
+                stats.fired += 1;
+                changed = true;
+            }
+        }
+        for (i, egd) in egds.iter().enumerate() {
+            let bindings = find_homomorphisms(&egd.body, db);
+            for b in bindings {
+                let l = &b[&egd.left];
+                let r = &b[&egd.right];
+                if l == r {
+                    continue;
+                }
+                match (l.is_labeled(), r.is_labeled()) {
+                    (false, false) => return ChaseOutcome::Failed { egd_index: i },
+                    (true, _) => {
+                        equate(db, l.clone(), r.clone());
+                        changed = true;
+                    }
+                    (false, true) => {
+                        equate(db, r.clone(), l.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return ChaseOutcome::Done(stats);
+        }
+    }
+    ChaseOutcome::BoundExceeded(stats)
+}
+
+/// Replace every occurrence of labeled null `from` with `to` across the
+/// database (egd resolution).
+fn equate(db: &mut Database, from: Value, to: Value) {
+    debug_assert!(from.is_labeled());
+    let names: Vec<String> = db.relation_names().map(String::from).collect();
+    for name in names {
+        let rel = db.relation(&name).expect("name enumerated");
+        let mut replaced: Vec<(Tuple, Tuple)> = Vec::new();
+        for t in rel.iter() {
+            if t.values().contains(&from) {
+                let new_vals: Vec<Value> = t
+                    .values()
+                    .iter()
+                    .map(|v| if v == &from { to.clone() } else { v.clone() })
+                    .collect();
+                replaced.push((t.clone(), Tuple::new(new_vals)));
+            }
+        }
+        if !replaced.is_empty() {
+            let rel = db.relation_mut(&name).expect("name enumerated");
+            for (old, new) in replaced {
+                rel.remove(&old);
+                rel.insert(new);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn src_schema() -> Schema {
+        SchemaBuilder::new("Src")
+            .relation("Emp", &[("e", DataType::Text)])
+            .build()
+            .unwrap()
+    }
+
+    fn tgt_schema() -> Schema {
+        SchemaBuilder::new("Tgt")
+            .relation("Mgr", &[("e", DataType::Text), ("m", DataType::Text)])
+            .relation("Person", &[("p", DataType::Text)])
+            .build()
+            .unwrap()
+    }
+
+    fn src_db() -> Database {
+        let s = src_schema();
+        let mut db = Database::empty_of(&s);
+        db.insert("Emp", Tuple::from([Value::text("ann")]));
+        db.insert("Emp", Tuple::from([Value::text("bob")]));
+        db
+    }
+
+    #[test]
+    fn st_chase_invents_nulls_for_existentials() {
+        // Emp(e) -> exists m . Mgr(e, m) & Person(m)
+        let tgd = Tgd::new(
+            vec![Atom::vars("Emp", &["e"])],
+            vec![Atom::vars("Mgr", &["e", "m"]), Atom::vars("Person", &["m"])],
+        );
+        let (tgt, stats) = chase_st(&tgt_schema(), &[tgd], &src_db());
+        assert_eq!(stats.fired, 2);
+        assert_eq!(stats.nulls, 2);
+        let mgr = tgt.relation("Mgr").unwrap();
+        assert_eq!(mgr.len(), 2);
+        // each Mgr row's null also appears in Person (shared existential)
+        let person = tgt.relation("Person").unwrap();
+        for t in mgr.iter() {
+            let m = &t.values()[1];
+            assert!(m.is_labeled());
+            assert!(person.contains(&Tuple::new(vec![m.clone()])));
+        }
+    }
+
+    #[test]
+    fn st_chase_skips_satisfied_heads() {
+        // full tgd: Emp(e) -> Person(e), chased twice adds nothing new
+        let tgd = Tgd::new(vec![Atom::vars("Emp", &["e"])], vec![Atom::vars("Person", &["e"])]);
+        let (tgt, stats) = chase_st(&tgt_schema(), &[tgd.clone(), tgd], &src_db());
+        assert_eq!(tgt.relation("Person").unwrap().len(), 2);
+        // second copy of the tgd fires nothing
+        assert_eq!(stats.fired, 2);
+    }
+
+    #[test]
+    fn general_chase_reaches_fixpoint_with_target_tgds() {
+        // copy + transitive closure on a cycle-free graph terminates
+        let s = SchemaBuilder::new("S")
+            .relation("E", &[("a", DataType::Int), ("b", DataType::Int)])
+            .relation("T", &[("a", DataType::Int), ("b", DataType::Int)])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert("E", Tuple::from([Value::Int(1), Value::Int(2)]));
+        db.insert("E", Tuple::from([Value::Int(2), Value::Int(3)]));
+        let copy = Tgd::new(vec![Atom::vars("E", &["x", "y"])], vec![Atom::vars("T", &["x", "y"])]);
+        let trans = Tgd::new(
+            vec![Atom::vars("T", &["x", "y"]), Atom::vars("T", &["y", "z"])],
+            vec![Atom::vars("T", &["x", "z"])],
+        );
+        let out = chase_general(&mut db, &[copy, trans], &[], 10);
+        assert!(matches!(out, ChaseOutcome::Done(_)), "{out}");
+        assert_eq!(db.relation("T").unwrap().len(), 3); // 12, 23, 13
+    }
+
+    #[test]
+    fn general_chase_bound_exceeded_on_nonterminating_tgd() {
+        // R(x,y) -> exists z . R(y,z): grows forever
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int), ("b", DataType::Int)])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert("R", Tuple::from([Value::Int(1), Value::Int(2)]));
+        let t = Tgd::new(vec![Atom::vars("R", &["x", "y"])], vec![Atom::vars("R", &["y", "z"])]);
+        let out = chase_general(&mut db, &[t], &[], 5);
+        assert!(matches!(out, ChaseOutcome::BoundExceeded(_)));
+    }
+
+    #[test]
+    fn egd_equates_labeled_null_with_constant() {
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("k", DataType::Int), ("v", DataType::Any)])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        let n = db.fresh_labeled();
+        db.insert("R", Tuple::from([Value::Int(1), n]));
+        db.insert("R", Tuple::from([Value::Int(1), Value::text("x")]));
+        // key egd: R(k, v1) & R(k, v2) -> v1 = v2
+        let egd = Egd {
+            body: vec![Atom::vars("R", &["k", "v1"]), Atom::vars("R", &["k", "v2"])],
+            left: "v1".into(),
+            right: "v2".into(),
+        };
+        let out = chase_general(&mut db, &[], &[egd], 10);
+        assert!(matches!(out, ChaseOutcome::Done(_)));
+        let r = db.relation("R").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().values()[1], Value::text("x"));
+    }
+
+    #[test]
+    fn egd_on_two_constants_fails() {
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("k", DataType::Int), ("v", DataType::Text)])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert("R", Tuple::from([Value::Int(1), Value::text("x")]));
+        db.insert("R", Tuple::from([Value::Int(1), Value::text("y")]));
+        let egd = Egd {
+            body: vec![Atom::vars("R", &["k", "v1"]), Atom::vars("R", &["k", "v2"])],
+            left: "v1".into(),
+            right: "v2".into(),
+        };
+        let out = chase_general(&mut db, &[], &[egd], 10);
+        assert_eq!(out, ChaseOutcome::Failed { egd_index: 0 });
+    }
+
+    #[test]
+    fn key_egds_equate_nulls_forced_by_the_key() {
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("k", DataType::Int), ("v", DataType::Any), ("w", DataType::Any)])
+            .key("R", &["k"])
+            .build()
+            .unwrap();
+        let egds = egds_from_keys(&s);
+        assert_eq!(egds.len(), 2); // one per non-key column
+        let mut db = Database::empty_of(&s);
+        let n1 = db.fresh_labeled();
+        let n2 = db.fresh_labeled();
+        db.insert("R", Tuple::from([Value::Int(1), n1, Value::text("x")]));
+        db.insert("R", Tuple::from([Value::Int(1), Value::text("v!"), n2]));
+        let out = chase_general(&mut db, &[], &egds, 10);
+        assert!(matches!(out, ChaseOutcome::Done(_)), "{out}");
+        let r = db.relation("R").unwrap();
+        assert_eq!(r.len(), 1, "{r}");
+        let t = r.iter().next().unwrap();
+        assert_eq!(t.values()[1], Value::text("v!"));
+        assert_eq!(t.values()[2], Value::text("x"));
+    }
+
+    #[test]
+    fn key_egds_fail_on_true_key_conflicts() {
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("k", DataType::Int), ("v", DataType::Text)])
+            .key("R", &["k"])
+            .build()
+            .unwrap();
+        let egds = egds_from_keys(&s);
+        let mut db = Database::empty_of(&s);
+        db.insert("R", Tuple::from([Value::Int(1), Value::text("a")]));
+        db.insert("R", Tuple::from([Value::Int(1), Value::text("b")]));
+        assert!(matches!(
+            chase_general(&mut db, &[], &egds, 10),
+            ChaseOutcome::Failed { .. }
+        ));
+    }
+
+    #[test]
+    fn chase_is_idempotent_on_consistent_instance() {
+        let tgd = Tgd::new(
+            vec![Atom::vars("Emp", &["e"])],
+            vec![Atom::vars("Person", &["e"])],
+        );
+        let (tgt, _) = chase_st(&tgt_schema(), std::slice::from_ref(&tgd), &src_db());
+        // merge source+target and chase again: nothing fires
+        let s2 = SchemaBuilder::new("Both")
+            .relation("Emp", &[("e", DataType::Text)])
+            .relation("Mgr", &[("e", DataType::Text), ("m", DataType::Text)])
+            .relation("Person", &[("p", DataType::Text)])
+            .build()
+            .unwrap();
+        let mut both = Database::empty_of(&s2);
+        for (name, rel) in src_db().relations() {
+            for t in rel.iter() {
+                both.insert(name, t.clone());
+            }
+        }
+        for (name, rel) in tgt.relations() {
+            for t in rel.iter() {
+                both.insert(name, t.clone());
+            }
+        }
+        let before = both.total_tuples();
+        let out = chase_general(&mut both, &[tgd], &[], 10);
+        assert!(matches!(out, ChaseOutcome::Done(st) if st.fired == 0));
+        assert_eq!(both.total_tuples(), before);
+    }
+}

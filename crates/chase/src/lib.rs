@@ -1,0 +1,28 @@
+//! The chase: data exchange with universal instances.
+//!
+//! §4 of the paper describes the Clio/data-exchange approach to TransGen:
+//! when mapping constraints are non-functional (GLAV / st-tgds), pick the
+//! target instance with certain-answer semantics — a *universal instance*
+//! containing labeled nulls "that are needed to compute the answers to
+//! queries but are not allowed to be returned as part of the answer".
+//! This crate implements that machinery:
+//!
+//! * [`chase::chase_st`] — the standard (restricted) chase of a source
+//!   instance with st-tgds, producing a universal target instance;
+//! * [`chase::chase_general`] — the bounded chase for arbitrary tgds
+//!   (target tgds included), which may not terminate and is therefore
+//!   step-bounded (composition of non-s-t tgds is undecidable, §6.1);
+//! * [`certain::certain_answers`] — query evaluation with labeled-null
+//!   filtering;
+//! * [`core::core_of`] — greedy core minimization of a universal instance
+//!   ("Data exchange: getting to the core").
+
+pub mod certain;
+pub mod chase;
+pub mod core;
+pub mod hom;
+
+pub use crate::core::core_of;
+pub use certain::certain_answers;
+pub use chase::{chase_general, chase_st, egds_from_keys, ChaseOutcome, ChaseStats, Egd};
+pub use hom::{exists_hom, hom_equivalent};

@@ -1,0 +1,191 @@
+//! Algebraic composition of functional mappings (view sets) by
+//! substitution, and of Figure 2-style equality-constraint mappings when
+//! one side is directly substitutable.
+
+use mm_expr::rewrite::{simplify_fix, substitute_bases};
+use mm_expr::{Expr, Mapping, MappingConstraint, ViewDef, ViewSet};
+use std::collections::HashMap;
+
+/// Compose two view sets: `first` defines the relations of an intermediate
+/// schema V over base B; `second` defines W over V. The result defines W
+/// directly over B (unfold `second` through `first`).
+///
+/// This is the manipulation behind the paper's Figure 6: with
+/// `first = mapS′→S` (old relations defined over the evolved schema) and
+/// `second = mapS→V` (the view over the old schema), the composition is
+/// the repaired view `mapS′→V`.
+pub fn compose_views(first: &ViewSet, second: &ViewSet) -> ViewSet {
+    let defs: HashMap<String, Expr> =
+        first.views.iter().map(|v| (v.name.clone(), v.expr.clone())).collect();
+    let mut out = ViewSet::new(first.base_schema.clone(), second.view_schema.clone());
+    for v in &second.views {
+        out.push(ViewDef::new(
+            v.name.clone(),
+            simplify_fix(&substitute_bases(&v.expr, &defs)),
+        ));
+    }
+    out
+}
+
+/// Compose two equality-constraint mappings `m12 : S1 → S2`, `m23 : S2 →
+/// S3` when `m12`'s constraints have the *substitutable* shape
+/// `Base(R) = expr` with `R` a relation of S2 (each S2 relation defined by
+/// an expression over S1). Every S2 relation mentioned by `m23`'s source
+/// sides is then replaced by its S1 definition.
+///
+/// Returns `None` when `m12` is not in substitutable shape for the
+/// relations `m23` uses — the caller should fall back to the logic-level
+/// algorithm ([`crate::sotgd::compose_st_tgds`]).
+pub fn compose_expr_mappings(m12: &Mapping, m23: &Mapping) -> Option<Mapping> {
+    // build S2-relation → S1-expression definitions from m12
+    let mut defs: HashMap<String, Expr> = HashMap::new();
+    for c in &m12.constraints {
+        if let MappingConstraint::ExprEq { source, target: Expr::Base(name) } = c {
+            // the S2 side must be a bare relation to be substitutable
+            defs.insert(name.clone(), source.clone());
+        }
+    }
+    let mut out = Mapping::new(m12.source_schema.clone(), m23.target_schema.clone());
+    for c in &m23.constraints {
+        match c {
+            MappingConstraint::ExprEq { source, target } => {
+                // every S2 relation used by `source` must have a definition
+                for base in mm_expr::analyze::base_relations(source) {
+                    if !defs.contains_key(base) {
+                        return None;
+                    }
+                }
+                out.push(MappingConstraint::ExprEq {
+                    source: simplify_fix(&substitute_bases(source, &defs)),
+                    target: target.clone(),
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::{Lit, Predicate};
+
+    /// The paper's Figure 6, verbatim:
+    /// mapV-S:  Students = π_{Name,Address,Country}(Names ⋈ Addresses)
+    /// mapS-S′: Names = Names′
+    ///          σ_{Country='US'}(Addresses) = Local × {'US'}
+    ///          σ_{Country≠'US'}(Addresses) = Foreign
+    /// composition: Students = π(Names′ ⋈ (Local×{'US'} ∪ Foreign))
+    fn students_view() -> ViewSet {
+        let mut v = ViewSet::new("S", "V");
+        v.push(ViewDef::new(
+            "Students",
+            Expr::base("Names")
+                .join(Expr::base("Addresses"), &[("SID", "SID")])
+                .project(&["Name", "Address", "Country"]),
+        ));
+        v
+    }
+
+    /// mapS′→S as a view set: old relations defined over the new schema.
+    fn old_over_new() -> ViewSet {
+        let mut v = ViewSet::new("Sprime", "S");
+        v.push(ViewDef::new("Names", Expr::base("NamesP")));
+        v.push(ViewDef::new(
+            "Addresses",
+            Expr::base("Local")
+                .product(Expr::literal_row(&["Country"], vec![Lit::text("US")]))
+                .union(Expr::base("Foreign")),
+        ));
+        v
+    }
+
+    #[test]
+    fn fig6_composition_produces_expected_view() {
+        let composed = compose_views(&old_over_new(), &students_view());
+        assert_eq!(composed.base_schema, "Sprime");
+        assert_eq!(composed.view_schema, "V");
+        let students = composed.view("Students").unwrap();
+        let expected = Expr::base("NamesP")
+            .join(
+                Expr::base("Local")
+                    .product(Expr::literal_row(&["Country"], vec![Lit::text("US")]))
+                    .union(Expr::base("Foreign")),
+                &[("SID", "SID")],
+            )
+            .project(&["Name", "Address", "Country"]);
+        assert_eq!(students.expr, expected);
+    }
+
+    #[test]
+    fn composition_is_associative_on_chains() {
+        // three layers of projections compose the same either way
+        let mut ab = ViewSet::new("A", "B");
+        ab.push(ViewDef::new("B1", Expr::base("A1").project(&["x", "y"])));
+        let mut bc = ViewSet::new("B", "C");
+        bc.push(ViewDef::new("C1", Expr::base("B1").project(&["x"])));
+        let mut cd = ViewSet::new("C", "D");
+        cd.push(ViewDef::new("D1", Expr::base("C1").select(Predicate::True)));
+
+        let left = compose_views(&compose_views(&ab, &bc), &cd);
+        let right = compose_views(&ab, &compose_views(&bc, &cd));
+        assert_eq!(left.view("D1").unwrap().expr, right.view("D1").unwrap().expr);
+        // and the collapsed chain simplified to a single projection
+        assert_eq!(
+            left.view("D1").unwrap().expr,
+            Expr::base("A1").project(&["x"])
+        );
+    }
+
+    #[test]
+    fn expr_mapping_composition_requires_substitutable_shape() {
+        // m12 with non-bare target side: not substitutable
+        let m12 = Mapping::with_constraints(
+            "S1",
+            "S2",
+            vec![MappingConstraint::ExprEq {
+                source: Expr::base("A"),
+                target: Expr::base("B").project(&["x"]),
+            }],
+        );
+        let m23 = Mapping::with_constraints(
+            "S2",
+            "S3",
+            vec![MappingConstraint::ExprEq {
+                source: Expr::base("B"),
+                target: Expr::base("C"),
+            }],
+        );
+        assert!(compose_expr_mappings(&m12, &m23).is_none());
+    }
+
+    #[test]
+    fn expr_mapping_composition_substitutes() {
+        let m12 = Mapping::with_constraints(
+            "S1",
+            "S2",
+            vec![MappingConstraint::ExprEq {
+                source: Expr::base("A").project(&["x", "y"]),
+                target: Expr::base("B"),
+            }],
+        );
+        let m23 = Mapping::with_constraints(
+            "S2",
+            "S3",
+            vec![MappingConstraint::ExprEq {
+                source: Expr::base("B").project(&["x"]),
+                target: Expr::base("C"),
+            }],
+        );
+        let m13 = compose_expr_mappings(&m12, &m23).unwrap();
+        assert_eq!(m13.source_schema, "S1");
+        assert_eq!(m13.target_schema, "S3");
+        match &m13.constraints[0] {
+            MappingConstraint::ExprEq { source, .. } => {
+                assert_eq!(source, &Expr::base("A").project(&["x"]));
+            }
+            _ => panic!(),
+        }
+    }
+}

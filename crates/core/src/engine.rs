@@ -1,0 +1,502 @@
+//! The engine: repository-backed operator invocations.
+
+use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
+use mm_instance::Database;
+use mm_match::MatchConfig;
+use mm_metamodel::Schema;
+use mm_modelgen::InheritanceStrategy;
+use mm_repository::{ArtifactId, Repository, RepositoryError};
+use std::fmt;
+
+/// Engine errors: repository misses plus operator failures, flattened for
+/// tool consumption.
+#[derive(Debug)]
+pub enum EngineError {
+    Repository(RepositoryError),
+    ModelGen(mm_modelgen::ModelGenError),
+    TransGen(mm_transgen::TransGenError),
+    Compose(mm_compose::ComposeError),
+    Eval(mm_eval::EvalError),
+    Corr(mm_transgen::CorrError),
+    Inverse(mm_evolution::InverseError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Repository(e) => write!(f, "repository: {e}"),
+            EngineError::ModelGen(e) => write!(f, "modelgen: {e}"),
+            EngineError::TransGen(e) => write!(f, "transgen: {e}"),
+            EngineError::Compose(e) => write!(f, "compose: {e}"),
+            EngineError::Eval(e) => write!(f, "eval: {e}"),
+            EngineError::Corr(e) => write!(f, "correspondence: {e}"),
+            EngineError::Inverse(e) => write!(f, "inverse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for EngineError {
+            fn from(e: $ty) -> Self {
+                EngineError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Repository, RepositoryError);
+from_err!(ModelGen, mm_modelgen::ModelGenError);
+from_err!(TransGen, mm_transgen::TransGenError);
+from_err!(Compose, mm_compose::ComposeError);
+from_err!(Eval, mm_eval::EvalError);
+from_err!(Corr, mm_transgen::CorrError);
+from_err!(Inverse, mm_evolution::InverseError);
+
+/// The model management engine: operators over a metadata repository.
+///
+/// Every operator method loads its inputs from the repository by name,
+/// stores its outputs, and records a lineage edge — the Rondo-style
+/// scripting surface: a "script" is simply a sequence of engine calls.
+#[derive(Default)]
+pub struct Engine {
+    pub repo: Repository,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine { repo: Repository::new() }
+    }
+
+    /// Register a schema under its own name.
+    pub fn add_schema(&self, schema: Schema) -> ArtifactId {
+        self.repo.store_schema(schema.name.clone(), schema)
+    }
+
+    fn schema(&self, name: &str) -> Result<(Schema, ArtifactId), EngineError> {
+        Ok(self.repo.latest_schema(name)?)
+    }
+
+    /// Match: compute correspondences between two registered schemas and
+    /// store them as `<source>~<target>`.
+    pub fn match_schemas(
+        &self,
+        source: &str,
+        target: &str,
+        cfg: &MatchConfig,
+    ) -> Result<(CorrespondenceSet, ArtifactId), EngineError> {
+        let (s, sid) = self.schema(source)?;
+        let (t, tid) = self.schema(target)?;
+        let cs = mm_match::match_schemas(&s, &t, cfg);
+        let out = self.repo.store_correspondences(format!("{source}~{target}"), cs.clone());
+        self.repo.record("match", vec![sid, tid], out.clone());
+        Ok((cs, out))
+    }
+
+    /// Match with memory: like [`Self::match_schemas`], but first replays
+    /// every *confirmed* correspondence set stored in the repository
+    /// (confidence 1.0 entries) into a [`mm_match::MatchMemory`] and
+    /// boosts remembered pairs — the paper's "previous matches" evidence.
+    pub fn match_schemas_with_memory(
+        &self,
+        source: &str,
+        target: &str,
+        cfg: &MatchConfig,
+    ) -> Result<(CorrespondenceSet, ArtifactId), EngineError> {
+        let (s, sid) = self.schema(source)?;
+        let (t, tid) = self.schema(target)?;
+        let mut memory = mm_match::MatchMemory::new();
+        for name in self.repo.correspondence_names() {
+            if let Ok((cs, _)) = self.repo.latest_correspondences(&name) {
+                for c in &cs.correspondences {
+                    if c.confidence >= 1.0 {
+                        memory.remember(&c.source, &c.target);
+                    }
+                }
+            }
+        }
+        let mut cs = mm_match::match_schemas(&s, &t, cfg);
+        memory.apply(&mut cs);
+        let out = self
+            .repo
+            .store_correspondences(format!("{source}~{target}"), cs.clone());
+        self.repo.record("match+memory", vec![sid, tid], out.clone());
+        Ok((cs, out))
+    }
+
+    /// ModelGen: translate a registered ER schema to a relational one;
+    /// stores the generated schema, the mapping, and the forward views.
+    pub fn modelgen_er_to_relational(
+        &self,
+        er: &str,
+        strategy: InheritanceStrategy,
+    ) -> Result<mm_modelgen::ModelGenResult, EngineError> {
+        let (s, sid) = self.schema(er)?;
+        let result = mm_modelgen::er_to_relational(&s, strategy)?;
+        let out_schema =
+            self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
+        let mapping_name = format!("{}->{}", er, result.schema.name);
+        let out_mapping = self.repo.store_mapping(mapping_name.clone(), result.mapping.clone());
+        let out_views = self.repo.store_viewset(format!("{mapping_name}.views"), result.views.clone());
+        self.repo.record(
+            format!("modelgen[{strategy}]"),
+            vec![sid],
+            out_schema.clone(),
+        );
+        self.repo.record(format!("modelgen[{strategy}]"), vec![out_schema], out_mapping.clone());
+        self.repo.record("modelgen.views", vec![out_mapping], out_views);
+        Ok(result)
+    }
+
+    /// ModelGen in the wrapper direction: relational to ER.
+    pub fn modelgen_relational_to_er(
+        &self,
+        rel: &str,
+    ) -> Result<mm_modelgen::ModelGenResult, EngineError> {
+        let (s, sid) = self.schema(rel)?;
+        let result = mm_modelgen::relational_to_er(&s)?;
+        let out_schema =
+            self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
+        self.repo.record("modelgen[rel->er]", vec![sid], out_schema);
+        Ok(result)
+    }
+
+    /// TransGen: compile a stored constraint mapping into query and update
+    /// views (stored as `<name>.qviews` / `<name>.uviews`).
+    pub fn transgen(
+        &self,
+        er: &str,
+        rel: &str,
+        mapping_name: &str,
+    ) -> Result<(ViewSet, ViewSet), EngineError> {
+        let (er_schema, erid) = self.schema(er)?;
+        let (rel_schema, relid) = self.schema(rel)?;
+        let (mapping, mid) = self.repo.latest_mapping(mapping_name)?;
+        let frags = mm_transgen::parse_fragments(&er_schema, &rel_schema, &mapping)?;
+        let qv = mm_transgen::query_views(&er_schema, &rel_schema, &frags)?;
+        let uv = mm_transgen::update_views(&er_schema, &rel_schema, &frags)?;
+        let qid = self.repo.store_viewset(format!("{mapping_name}.qviews"), qv.clone());
+        let uid = self.repo.store_viewset(format!("{mapping_name}.uviews"), uv.clone());
+        self.repo.record("transgen.query", vec![erid.clone(), relid.clone(), mid.clone()], qid);
+        self.repo.record("transgen.update", vec![erid, relid, mid], uid);
+        Ok((qv, uv))
+    }
+
+    /// Store a hand-written mapping.
+    pub fn add_mapping(&self, name: &str, mapping: Mapping) -> ArtifactId {
+        self.repo.store_mapping(name, mapping)
+    }
+
+    /// Store a hand-written view set.
+    pub fn add_viewset(&self, name: &str, views: ViewSet) -> ArtifactId {
+        self.repo.store_viewset(name, views)
+    }
+
+    /// Compose two stored view sets (`first` base→mid, `second` mid→top),
+    /// storing the collapsed result.
+    pub fn compose(
+        &self,
+        first: &str,
+        second: &str,
+        out_name: &str,
+    ) -> Result<ViewSet, EngineError> {
+        let (a, aid) = self.repo.latest_viewset(first)?;
+        let (b, bid) = self.repo.latest_viewset(second)?;
+        let composed = mm_compose::compose_views(&a, &b);
+        let out = self.repo.store_viewset(out_name, composed.clone());
+        self.repo.record("compose", vec![aid, bid], out);
+        Ok(composed)
+    }
+
+    /// Diff a stored schema against a stored mapping (§6.2).
+    pub fn diff(
+        &self,
+        schema: &str,
+        mapping: &str,
+    ) -> Result<mm_evolution::ExtractResult, EngineError> {
+        let (s, sid) = self.schema(schema)?;
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
+        let result = mm_evolution::diff(&s, &m, mm_evolution::diff::Side::Source);
+        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
+        self.repo.record("diff", vec![sid, mid], out);
+        Ok(result)
+    }
+
+    /// Extract the participating sub-schema (§6.2).
+    pub fn extract(
+        &self,
+        schema: &str,
+        mapping: &str,
+    ) -> Result<mm_evolution::ExtractResult, EngineError> {
+        let (s, sid) = self.schema(schema)?;
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
+        let result = mm_evolution::extract(&s, &m, mm_evolution::diff::Side::Source);
+        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
+        self.repo.record("extract", vec![sid, mid], out);
+        Ok(result)
+    }
+
+    /// Invert (§6.2): the *syntactic* inverse — swap the source/target
+    /// roles of a stored mapping (not the semantic Inverse of §6.4, which
+    /// is `mm_evolution::invert_views`).
+    pub fn invert(&self, mapping: &str, out_name: &str) -> Result<Mapping, EngineError> {
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
+        let inverted = m.inverted();
+        let out = self.repo.store_mapping(out_name, inverted.clone());
+        self.repo.record("invert", vec![mid], out);
+        Ok(inverted)
+    }
+
+    /// Merge two stored schemas modulo stored correspondences (§6.3).
+    pub fn merge(
+        &self,
+        left: &str,
+        right: &str,
+        corrs: &str,
+    ) -> Result<mm_evolution::MergeResult, EngineError> {
+        let (l, lid) = self.schema(left)?;
+        let (r, rid) = self.schema(right)?;
+        let (cs, cid) = self.repo.latest_correspondences(corrs)?;
+        let result = mm_evolution::merge(&l, &r, &cs);
+        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
+        self.repo.record("merge", vec![lid, rid, cid], out);
+        Ok(result)
+    }
+
+    /// Data exchange: chase a source instance through a stored tgd mapping
+    /// into the (stored) target schema; returns the universal instance.
+    pub fn exchange(
+        &self,
+        mapping: &str,
+        target_schema: &str,
+        source_db: &Database,
+    ) -> Result<(Database, mm_chase::ChaseStats), EngineError> {
+        let (m, _) = self.repo.latest_mapping(mapping)?;
+        let (t, _) = self.schema(target_schema)?;
+        let tgds: Vec<mm_expr::Tgd> = m
+            .as_tgds()
+            .ok_or_else(|| {
+                EngineError::TransGen(mm_transgen::TransGenError::Unrecognized(
+                    "exchange requires a tgd mapping".into(),
+                ))
+            })?
+            .into_iter()
+            .cloned()
+            .collect();
+        Ok(mm_chase::chase_st(&t, &tgds, source_db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::{Expr, MappingConstraint};
+    use mm_instance::Value;
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn er() -> Schema {
+        SchemaBuilder::new("ER")
+            .entity("Person", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .entity_sub("Employee", "Person", &[("Dept", DataType::Text)])
+            .key("Person", &["Id"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn modelgen_then_transgen_end_to_end() {
+        let engine = Engine::new();
+        engine.add_schema(er());
+        let gen = engine
+            .modelgen_er_to_relational("ER", InheritanceStrategy::Vertical)
+            .unwrap();
+        assert_eq!(gen.schema.name, "ER_rel");
+        let (qv, uv) = engine.transgen("ER", "ER_rel", "ER->ER_rel").unwrap();
+        assert_eq!(qv.len(), 2); // Person + Employee entity sets
+        assert_eq!(uv.len(), 2); // Person + Employee tables
+
+        // lineage: the qviews trace back to the ER schema
+        let (_, qid) = engine.repo.latest_viewset("ER->ER_rel.qviews").unwrap();
+        let up = engine.repo.upstream(&qid);
+        assert!(up.iter().any(|a| a.name.name == "ER"));
+    }
+
+    #[test]
+    fn match_records_lineage() {
+        let engine = Engine::new();
+        engine.add_schema(er());
+        let rel = SchemaBuilder::new("SQL")
+            .relation("HR", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .build()
+            .unwrap();
+        engine.add_schema(rel);
+        let (cs, cid) = engine
+            .match_schemas("ER", "SQL", &MatchConfig::default())
+            .unwrap();
+        assert!(!cs.is_empty());
+        let up = engine.repo.upstream(&cid);
+        assert_eq!(up.len(), 2);
+    }
+
+    #[test]
+    fn match_with_memory_boosts_confirmed_history() {
+        use mm_expr::{Correspondence, PathRef};
+        let engine = Engine::new();
+        let s = SchemaBuilder::new("S")
+            .relation("Empl", &[("dob", DataType::Date)])
+            .build()
+            .unwrap();
+        let t = SchemaBuilder::new("T")
+            .relation("Staff", &[("document", DataType::Date), ("geboortedatum", DataType::Date)])
+            .build()
+            .unwrap();
+        engine.add_schema(s);
+        engine.add_schema(t);
+        // a previously confirmed (confidence 1.0) pair from another project
+        let mut history = CorrespondenceSet::new("Old1", "Old2");
+        history.push(Correspondence::new(
+            PathRef::attr("X", "dob"),
+            PathRef::attr("Y", "geboortedatum"),
+            1.0,
+        ));
+        engine.repo.store_correspondences("history", history);
+        let cfg = MatchConfig { threshold: 0.0, top_k: 5, ..Default::default() };
+        let (cs, _) = engine.match_schemas_with_memory("S", "T", &cfg).unwrap();
+        let top = cs.candidates_for(&PathRef::attr("Empl", "dob"));
+        assert_eq!(top[0].target, PathRef::attr("Staff", "geboortedatum"));
+    }
+
+    #[test]
+    fn exchange_requires_tgds() {
+        let engine = Engine::new();
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        let t = SchemaBuilder::new("T")
+            .relation("U", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        engine.add_schema(s.clone());
+        engine.add_schema(t);
+        engine.add_mapping(
+            "bad",
+            Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
+                source: Expr::base("R"),
+                target: Expr::base("U"),
+            }]),
+        );
+        let db = Database::empty_of(&s);
+        assert!(engine.exchange("bad", "T", &db).is_err());
+
+        let mut good = Mapping::new("S", "T");
+        good.push_tgd(mm_expr::Tgd::new(
+            vec![mm_expr::Atom::vars("R", &["x"])],
+            vec![mm_expr::Atom::vars("U", &["x"])],
+        ));
+        engine.add_mapping("good", good);
+        let mut db = Database::empty_of(&s);
+        db.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
+        let (out, stats) = engine.exchange("good", "T", &db).unwrap();
+        assert_eq!(out.relation("U").unwrap().len(), 1);
+        assert_eq!(stats.fired, 1);
+    }
+
+    #[test]
+    fn invert_swaps_roles_and_records_lineage() {
+        let engine = Engine::new();
+        engine.add_mapping(
+            "m",
+            Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
+                source: Expr::base("A"),
+                target: Expr::base("B"),
+            }]),
+        );
+        let inv = engine.invert("m", "m_inv").unwrap();
+        assert_eq!(inv.source_schema, "T");
+        assert_eq!(inv.target_schema, "S");
+        let (_, id) = engine.repo.latest_mapping("m_inv").unwrap();
+        assert_eq!(engine.repo.upstream(&id).len(), 1);
+    }
+
+    #[test]
+    fn compose_stored_viewsets() {
+        use mm_expr::ViewDef;
+        let engine = Engine::new();
+        let mut ab = ViewSet::new("A", "B");
+        ab.push(ViewDef::new("B1", Expr::base("A1").project(&["x", "y"])));
+        let mut bc = ViewSet::new("B", "C");
+        bc.push(ViewDef::new("C1", Expr::base("B1").project(&["x"])));
+        engine.add_viewset("ab", ab);
+        engine.add_viewset("bc", bc);
+        let composed = engine.compose("ab", "bc", "ac").unwrap();
+        assert_eq!(composed.view("C1").unwrap().expr, Expr::base("A1").project(&["x"]));
+        assert_eq!(engine.repo.viewset_versions("ac"), 1);
+    }
+
+    #[test]
+    fn diff_extract_merge_via_engine() {
+        let engine = Engine::new();
+        let s = SchemaBuilder::new("S")
+            .relation("Empl", &[("EID", DataType::Int), ("Name", DataType::Text), ("Tel", DataType::Text)])
+            .key("Empl", &["EID"])
+            .build()
+            .unwrap();
+        engine.add_schema(s);
+        engine.add_mapping(
+            "m",
+            Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
+                source: Expr::base("Empl").project(&["EID", "Name"]),
+                target: Expr::base("Staff"),
+            }]),
+        );
+        let e = engine.extract("S", "m").unwrap();
+        assert_eq!(
+            e.schema.element("Empl").unwrap().attributes.len(),
+            2 // EID, Name
+        );
+        let d = engine.diff("S", "m").unwrap();
+        let names: Vec<&str> = d.schema.element("Empl").unwrap().attribute_names().collect();
+        assert_eq!(names, ["EID", "Tel"]);
+
+        // merge the diff back with the extract: full coverage again
+        let mut cs = CorrespondenceSet::new(e.schema.name.clone(), d.schema.name.clone());
+        cs.push(mm_expr::Correspondence::new(
+            mm_expr::PathRef::element("Empl"),
+            mm_expr::PathRef::element("Empl"),
+            1.0,
+        ));
+        cs.push(mm_expr::Correspondence::new(
+            mm_expr::PathRef::attr("Empl", "EID"),
+            mm_expr::PathRef::attr("Empl", "EID"),
+            1.0,
+        ));
+        engine.add_schema(e.schema.clone());
+        engine.add_schema(d.schema.clone());
+        let cid = engine.repo.store_correspondences("ed", cs);
+        let _ = cid;
+        let m = engine.merge(&e.schema.name, &d.schema.name, "ed").unwrap();
+        let names: Vec<&str> = m.schema.element("Empl").unwrap().attribute_names().collect();
+        assert_eq!(names, ["EID", "Name", "Tel"]);
+    }
+
+    #[test]
+    fn fragments_parse_from_engine_generated_mapping() {
+        // the modelgen-produced mapping is in TransGen's language — the
+        // "common metamodel and expressive mapping language" the paper's
+        // conclusion calls for
+        let engine = Engine::new();
+        engine.add_schema(er());
+        let gen = engine
+            .modelgen_er_to_relational("ER", InheritanceStrategy::Horizontal)
+            .unwrap();
+        let er_schema = engine.repo.latest_schema("ER").unwrap().0;
+        let frags =
+            mm_transgen::parse_fragments(&er_schema, &gen.schema, &gen.mapping).unwrap();
+        assert_eq!(frags.len(), 2);
+        let gaps = mm_transgen::check_coverage(&er_schema, &frags);
+        assert!(gaps.is_empty(), "{gaps:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! The model management engine: the reusable component of Figure 1.
+//!
+//! "A model management system is a component that supports the creation,
+//! compilation, reuse, evolution, and execution of mappings between
+//! schemas represented in a wide range of metamodels. … it is a reusable
+//! component that can be embedded, with relatively modest customization,
+//! into user-oriented tools" (§2). [`Engine`] is that component: a
+//! metadata repository plus every operator, each invocation recorded as
+//! lineage so tools get impact analysis for free.
+//!
+//! The operator sub-crates remain directly usable; the engine is the
+//! convenience layer gluing them to the repository. All public types of
+//! the sub-crates are re-exported under [`prelude`].
+
+pub mod engine;
+pub mod script;
+
+pub use engine::{Engine, EngineError};
+pub use script::{run_script, ScriptError};
+
+/// One-stop imports for applications embedding the engine.
+pub mod prelude {
+    pub use crate::engine::{Engine, EngineError};
+    pub use crate::script::{run_script, ScriptError};
+    pub use mm_chase::{
+        certain_answers, chase_general, chase_st, core_of, egds_from_keys, exists_hom,
+        hom_equivalent, ChaseOutcome, ChaseStats, Egd,
+    };
+    pub use mm_compose::{
+        apply_sotgd, compose_expr_mappings, compose_st_tgds, compose_views, transport_via,
+        try_deskolemize, ComposeError,
+    };
+    pub use mm_eval::{eval, find_homomorphisms, materialize_views, unfold_query, EvalError};
+    pub use mm_evolution::{
+        diff, evolve_view, extract, invert_views, merge, verify_inverse, EvolutionOutcome,
+        ExtractResult, InverseError, InverseKind, MergeResult, Side,
+    };
+    pub use mm_expr::{
+        entity_extent, optimize, output_schema, AggFunc, AggSpec, Atom, CmpOp, Correspondence, CorrespondenceSet, Expr,
+        ExprError, Func, Lit, Mapping, MappingConstraint, PathRef, Predicate, Scalar, SoClause,
+        SoTgd, Term, Tgd, ViewDef, ViewSet,
+    };
+    pub use mm_instance::{validate, Database, RelSchema, Relation, Tuple, Value};
+    pub use mm_match::{
+        match_schemas, remember_session, IncrementalSession, MatchConfig, MatchMemory,
+    };
+    pub use mm_metamodel::{
+        parse_schema, Attribute, Cardinality, Constraint, DataType, Element, ElementKind, Key,
+        Metamodel, ParseError, Schema, SchemaBuilder, TYPE_ATTR,
+    };
+    pub use mm_modelgen::{
+        er_to_relational, nest_relational, relational_to_er, shred_nested, three_copy_translate,
+        InheritanceStrategy, ModelGenError, ModelGenResult,
+    };
+    pub use mm_repository::{ArtifactId, ArtifactKind, LineageEdge, Repository};
+    pub use mm_runtime::{
+        advise_indexes, batch_load, check_query, compile_policy, compile_triggers, explain,
+        fire_triggers, maintain_insertions, propagate, run_sync, trace, translate_rules,
+        translate_violations, view_insert_delta, AccessPolicy, AccessRule, AccessViolation,
+        Delta, Firing, IndexRecommendation, IndexUse, MaintenanceStrategy, Mediator, SyncRule,
+        SyncStats, Trace, TraceStep, Trigger, Witness,
+    };
+    pub use mm_transgen::{
+        check_coverage, check_implication, correspondences_to_views, parse_fragments,
+        propagate_to_tables, query_views, snowflake_constraints, unexpressible_constraints,
+        update_views, verify_roundtrip, Fragment, PropagatedConstraint, RoundtripReport,
+        TransGenError, Unexpressible,
+    };
+}

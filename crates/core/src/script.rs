@@ -1,0 +1,295 @@
+//! A Rondo-style scripting language over the engine.
+//!
+//! The original model-management implementation, Rondo, was "a
+//! programming platform for generic model management" (§1.3): operator
+//! invocations composed into scripts. This module gives the engine that
+//! surface — a small line-oriented language whose statements are operator
+//! calls against the repository, so a whole evolution or integration
+//! scenario is a text file:
+//!
+//! ```text
+//! schema ER {
+//!   entity Person(Id: int, Name: text)
+//!   entity Employee : Person(Dept: text)
+//!   key Person(Id)
+//! }
+//! modelgen vertical ER
+//! transgen ER ER_rel ER->ER_rel
+//! match ER ER_rel
+//! extract ER ER->ER_rel
+//! diff ER ER->ER_rel
+//! show lineage
+//! ```
+//!
+//! Every statement records lineage via the engine; `run_script` returns
+//! the printable log.
+
+use crate::engine::{Engine, EngineError};
+use mm_metamodel::parse_schema;
+use mm_modelgen::InheritanceStrategy;
+use std::fmt;
+
+/// A script failure with its (1-based) line number.
+#[derive(Debug)]
+pub struct ScriptError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "script line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScriptError {
+    ScriptError { line, message: message.into() }
+}
+
+fn op_err(line: usize, e: EngineError) -> ScriptError {
+    err(line, e.to_string())
+}
+
+/// Execute a script against `engine`, returning one log line per
+/// statement.
+pub fn run_script(engine: &Engine, script: &str) -> Result<Vec<String>, ScriptError> {
+    let mut log = Vec::new();
+    let lines: Vec<(usize, &str)> =
+        script.lines().enumerate().map(|(i, l)| (i + 1, l)).collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (no, raw) = lines[i];
+        let line = raw.trim();
+        i += 1;
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if line.starts_with("schema ") && line.ends_with('{') {
+            // collect the block through the closing brace
+            let mut block = String::from(line);
+            block.push('\n');
+            let mut closed = false;
+            while i < lines.len() {
+                let (_, braw) = lines[i];
+                block.push_str(braw);
+                block.push('\n');
+                i += 1;
+                if braw.trim() == "}" {
+                    closed = true;
+                    break;
+                }
+            }
+            if !closed {
+                return Err(err(no, "unterminated schema block"));
+            }
+            let schema =
+                parse_schema(&block).map_err(|e| err(no + e.line - 1, e.message))?;
+            let id = engine.add_schema(schema);
+            log.push(format!("schema {id}"));
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().expect("non-empty line");
+        let args: Vec<&str> = parts.collect();
+        match (cmd, args.as_slice()) {
+            ("match", [source, target]) => {
+                let (cs, id) = engine
+                    .match_schemas(source, target, &mm_match::MatchConfig::default())
+                    .map_err(|e| op_err(no, e))?;
+                log.push(format!("match {id}: {} correspondences", cs.len()));
+            }
+            ("match+memory", [source, target]) => {
+                let (cs, id) = engine
+                    .match_schemas_with_memory(
+                        source,
+                        target,
+                        &mm_match::MatchConfig::default(),
+                    )
+                    .map_err(|e| op_err(no, e))?;
+                log.push(format!("match+memory {id}: {} correspondences", cs.len()));
+            }
+            ("modelgen", [strategy, er]) => {
+                let strategy = match *strategy {
+                    "vertical" => InheritanceStrategy::Vertical,
+                    "horizontal" => InheritanceStrategy::Horizontal,
+                    "flat" => InheritanceStrategy::Flat,
+                    other => return Err(err(no, format!("unknown strategy `{other}`"))),
+                };
+                let gen = engine
+                    .modelgen_er_to_relational(er, strategy)
+                    .map_err(|e| op_err(no, e))?;
+                log.push(format!(
+                    "modelgen[{strategy}] {er} -> {} ({} constraints)",
+                    gen.schema.name,
+                    gen.mapping.len()
+                ));
+            }
+            ("transgen", [er, rel, mapping]) => {
+                let (qv, uv) =
+                    engine.transgen(er, rel, mapping).map_err(|e| op_err(no, e))?;
+                log.push(format!(
+                    "transgen {mapping}: {} query views, {} update views",
+                    qv.len(),
+                    uv.len()
+                ));
+            }
+            ("compose", [first, second, out]) => {
+                let composed =
+                    engine.compose(first, second, out).map_err(|e| op_err(no, e))?;
+                log.push(format!("compose {first} . {second} -> {out} ({} views)", composed.len()));
+            }
+            ("extract", [schema, mapping]) => {
+                let r = engine.extract(schema, mapping).map_err(|e| op_err(no, e))?;
+                log.push(format!(
+                    "extract {schema} via {mapping} -> {} ({} elements)",
+                    r.schema.name,
+                    r.schema.len()
+                ));
+            }
+            ("diff", [schema, mapping]) => {
+                let r = engine.diff(schema, mapping).map_err(|e| op_err(no, e))?;
+                log.push(format!(
+                    "diff {schema} via {mapping} -> {} ({} elements)",
+                    r.schema.name,
+                    r.schema.len()
+                ));
+            }
+            ("invert", [mapping, out]) => {
+                let inv = engine.invert(mapping, out).map_err(|e| op_err(no, e))?;
+                log.push(format!(
+                    "invert {mapping} -> {out} ({} -> {})",
+                    inv.source_schema, inv.target_schema
+                ));
+            }
+            ("merge", [left, right, corrs]) => {
+                let r = engine.merge(left, right, corrs).map_err(|e| op_err(no, e))?;
+                log.push(format!(
+                    "merge {left} + {right} -> {} ({} elements)",
+                    r.schema.name,
+                    r.schema.len()
+                ));
+            }
+            ("show", ["lineage"]) => {
+                for edge in engine.repo.lineage() {
+                    let ins: Vec<String> =
+                        edge.inputs.iter().map(|a| a.to_string()).collect();
+                    log.push(format!(
+                        "  {}({}) -> {}",
+                        edge.operator,
+                        ins.join(", "),
+                        edge.output
+                    ));
+                }
+            }
+            ("show", [kind, name]) if *kind == "schema" => {
+                let (s, _) = engine
+                    .repo
+                    .latest_schema(name)
+                    .map_err(|e| op_err(no, EngineError::Repository(e)))?;
+                log.push(s.to_string());
+            }
+            (cmd, _) => {
+                return Err(err(no, format!("unknown or malformed statement `{cmd}`")))
+            }
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = r#"
+// the paper's running example, as a Rondo-style script
+schema ER {
+  entity Person(Id: int, Name: text)
+  entity Employee : Person(Dept: text)
+  entity Customer : Person(CreditScore: int)
+  key Person(Id)
+}
+modelgen vertical ER
+transgen ER ER_rel ER->ER_rel
+match ER ER_rel
+extract ER ER->ER_rel
+diff ER ER->ER_rel
+show lineage
+"#;
+
+    #[test]
+    fn full_script_runs_and_logs_each_operator() {
+        let engine = Engine::new();
+        let log = run_script(&engine, SCRIPT).unwrap();
+        assert!(log.iter().any(|l| l.starts_with("schema ")));
+        assert!(log.iter().any(|l| l.contains("modelgen[vertical]")));
+        assert!(log.iter().any(|l| l.contains("query views")));
+        assert!(log.iter().any(|l| l.starts_with("match ")));
+        // lineage shows the transgen edges
+        assert!(log.iter().any(|l| l.contains("transgen.query")));
+        // repository now holds the artifacts
+        assert_eq!(engine.repo.schema_versions("ER"), 1);
+        assert_eq!(engine.repo.mapping_versions("ER->ER_rel"), 1);
+    }
+
+    #[test]
+    fn schema_block_errors_carry_absolute_line_numbers() {
+        let bad = "\nschema X {\n  table T(a: varchar)\n}\n";
+        let engine = Engine::new();
+        let e = run_script(&engine, bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown type"));
+    }
+
+    #[test]
+    fn unknown_statement_reports_line() {
+        let engine = Engine::new();
+        let e = run_script(&engine, "frobnicate A B").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_artifact_is_an_operator_error() {
+        let engine = Engine::new();
+        let e = run_script(&engine, "transgen A B C").unwrap_err();
+        assert!(e.message.contains("not found"));
+    }
+
+    #[test]
+    fn unterminated_schema_block_rejected() {
+        let engine = Engine::new();
+        let e = run_script(&engine, "schema X {\n  table T(a: int)\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn merge_via_script() {
+        let engine = Engine::new();
+        let script = r#"
+schema L {
+  table Empl(EID: int, Name: text)
+}
+schema R {
+  table Staff(SID: int, Name: text)
+}
+match L R
+merge L R L~R
+"#;
+        let log = run_script(&engine, script).unwrap();
+        assert!(log.iter().any(|l| l.starts_with("merge ")));
+        assert!(engine.repo.latest_schema("L+R").is_ok());
+    }
+
+    #[test]
+    fn show_schema_prints_definition() {
+        let engine = Engine::new();
+        let log = run_script(
+            &engine,
+            "schema S {\n  table T(a: int)\n}\nshow schema S",
+        )
+        .unwrap();
+        assert!(log.iter().any(|l| l.contains("table T(a: int)")));
+    }
+}

@@ -1,0 +1,269 @@
+//! Conjunctive-query evaluation via homomorphism search.
+//!
+//! A conjunctive query is a list of atoms over variables and constants.
+//! Evaluating it means finding every *binding* (homomorphism) of the
+//! variables into the database that makes all atoms hold — the primitive
+//! the chase (`mm-chase`), tgd satisfaction checking, and certain-answer
+//! evaluation are built on.
+
+use mm_expr::{Atom, Lit, Term};
+use mm_instance::{Database, Tuple, Value};
+use std::collections::HashMap;
+
+/// A variable binding: variable name → value.
+pub type Binding = HashMap<String, Value>;
+
+fn lit_to_value(l: &Lit) -> Value {
+    match l {
+        Lit::Int(v) => Value::Int(*v),
+        Lit::Double(v) => Value::Double(*v),
+        Lit::Bool(v) => Value::Bool(*v),
+        Lit::Text(v) => Value::Text(v.clone()),
+        Lit::Date(v) => Value::Date(*v),
+        Lit::Null => Value::Null,
+    }
+}
+
+/// Try to extend `binding` so that `atom` maps onto `tuple`.
+/// Returns `None` on conflict. Function terms never match (they only occur
+/// in SO-tgd heads, which are not chased directly).
+fn match_atom(atom: &Atom, tuple: &Tuple, binding: &Binding) -> Option<Binding> {
+    if atom.terms.len() != tuple.arity() {
+        return None;
+    }
+    let mut b = binding.clone();
+    for (term, value) in atom.terms.iter().zip(tuple.values()) {
+        match term {
+            Term::Var(v) => match b.get(v) {
+                Some(bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    b.insert(v.clone(), value.clone());
+                }
+            },
+            Term::Const(l) => {
+                if &lit_to_value(l) != value {
+                    return None;
+                }
+            }
+            Term::Func(..) => return None,
+        }
+    }
+    Some(b)
+}
+
+/// Order atoms so that atoms sharing variables with already-placed atoms
+/// come early (greedy bound-variable heuristic) — the join-ordering step
+/// of the CQ evaluator. Deterministic for reproducibility.
+fn order_atoms<'a>(atoms: &'a [Atom], db: &Database) -> Vec<&'a Atom> {
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut ordered: Vec<&Atom> = Vec::with_capacity(atoms.len());
+    let mut bound: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    while !remaining.is_empty() {
+        // pick the atom with the most bound variables; tie-break on the
+        // smallest relation, then on position (determinism)
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let bound_vars =
+                    a.variables().iter().filter(|v| bound.contains(**v)).count();
+                let size = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
+                (i, (std::cmp::Reverse(bound_vars), size, i))
+            })
+            .min_by_key(|(_, k)| *k)
+            .expect("non-empty");
+        let atom = remaining.remove(idx);
+        for v in atom.variables() {
+            bound.insert(v);
+        }
+        ordered.push(atom);
+    }
+    ordered
+}
+
+/// Find all homomorphisms from the conjunction `atoms` into `db`.
+///
+/// Atoms over relations missing from the database yield no bindings (an
+/// empty relation, not an error — the chase routinely queries targets
+/// whose relations are not yet populated).
+pub fn find_homomorphisms(atoms: &[Atom], db: &Database) -> Vec<Binding> {
+    find_homomorphisms_seeded(atoms, db, &Binding::new())
+}
+
+/// Like [`find_homomorphisms`], but variables pre-bound in `seed` are
+/// fixed. Used by the chase to test whether a tgd head is already
+/// satisfied under the body binding (labeled nulls in the seed must match
+/// themselves, not re-map).
+pub fn find_homomorphisms_seeded(
+    atoms: &[Atom],
+    db: &Database,
+    seed: &Binding,
+) -> Vec<Binding> {
+    if atoms.is_empty() {
+        return vec![seed.clone()];
+    }
+    let ordered = order_atoms(atoms, db);
+    let mut bindings = vec![seed.clone()];
+    for atom in ordered {
+        let Some(rel) = db.relation(&atom.relation) else {
+            return Vec::new();
+        };
+        let mut next = Vec::new();
+        for b in &bindings {
+            for t in rel.iter() {
+                if let Some(b2) = match_atom(atom, t, b) {
+                    next.push(b2);
+                }
+            }
+        }
+        if next.is_empty() {
+            return Vec::new();
+        }
+        bindings = next;
+    }
+    bindings
+}
+
+/// Instantiate a (function-free, fully bound) atom under a binding,
+/// producing a tuple. Existential variables absent from the binding are
+/// filled by `fresh`, which must return a new labeled null per call per
+/// variable (the caller memoizes per-variable if needed).
+pub fn instantiate_atom(
+    atom: &Atom,
+    binding: &Binding,
+    fresh: &mut dyn FnMut(&str) -> Value,
+) -> Tuple {
+    let values = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => match binding.get(v) {
+                Some(val) => val.clone(),
+                None => fresh(v),
+            },
+            Term::Const(l) => lit_to_value(l),
+            Term::Func(..) => {
+                panic!("function term in first-order instantiation")
+            }
+        })
+        .collect();
+    Tuple::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::RelSchema;
+    use mm_metamodel::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new("D");
+        let mut r = mm_instance::Relation::new(RelSchema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+        ]));
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            r.insert(Tuple::from([Value::Int(a), Value::Int(b)]));
+        }
+        db.insert_relation("E", r);
+        db
+    }
+
+    #[test]
+    fn single_atom_binds_all_tuples() {
+        let hs = find_homomorphisms(&[Atom::vars("E", &["x", "y"])], &db());
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn join_via_shared_variable() {
+        // E(x,y) & E(y,z): paths of length 2
+        let hs = find_homomorphisms(
+            &[Atom::vars("E", &["x", "y"]), Atom::vars("E", &["y", "z"])],
+            &db(),
+        );
+        assert_eq!(hs.len(), 2); // 1-2-3 and 2-3-4
+        for h in &hs {
+            let x = &h["x"];
+            let z = &h["z"];
+            assert_ne!(x, z);
+        }
+    }
+
+    #[test]
+    fn repeated_variable_forces_equality() {
+        // E(x,x): no loops in this graph
+        let hs = find_homomorphisms(&[Atom::vars("E", &["x", "x"])], &db());
+        assert!(hs.is_empty());
+    }
+
+    #[test]
+    fn constants_filter() {
+        let atom = Atom::new(
+            "E",
+            vec![Term::Const(Lit::Int(2)), Term::var("y")],
+        );
+        let hs = find_homomorphisms(&[atom], &db());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0]["y"], Value::Int(3));
+    }
+
+    #[test]
+    fn missing_relation_yields_no_bindings() {
+        let hs = find_homomorphisms(&[Atom::vars("Nope", &["x"])], &db());
+        assert!(hs.is_empty());
+    }
+
+    #[test]
+    fn empty_query_has_one_empty_binding() {
+        let hs = find_homomorphisms(&[], &db());
+        assert_eq!(hs.len(), 1);
+        assert!(hs[0].is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_never_matches() {
+        let hs = find_homomorphisms(&[Atom::vars("E", &["x"])], &db());
+        assert!(hs.is_empty());
+    }
+
+    #[test]
+    fn instantiate_with_fresh_nulls_memoized_by_caller() {
+        let atom = Atom::vars("T", &["x", "n", "n"]);
+        let mut binding = Binding::new();
+        binding.insert("x".into(), Value::Int(1));
+        let mut memo: HashMap<String, Value> = HashMap::new();
+        let mut counter = 0u64;
+        let t = instantiate_atom(&atom, &binding, &mut |v| {
+            memo.entry(v.to_string())
+                .or_insert_with(|| {
+                    let val = Value::Labeled(counter);
+                    counter += 1;
+                    val
+                })
+                .clone()
+        });
+        assert_eq!(t.values()[0], Value::Int(1));
+        assert_eq!(t.values()[1], t.values()[2]); // same existential var, same null
+        assert!(t.values()[1].is_labeled());
+    }
+
+    #[test]
+    fn labeled_nulls_participate_in_joins_by_label() {
+        let mut db = Database::new("D");
+        let mut r = mm_instance::Relation::new(RelSchema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+        ]));
+        r.insert(Tuple::from([Value::Int(1), Value::Labeled(7)]));
+        r.insert(Tuple::from([Value::Labeled(7), Value::Int(9)]));
+        db.insert_relation("E", r);
+        let hs = find_homomorphisms(
+            &[Atom::vars("E", &["x", "y"]), Atom::vars("E", &["y", "z"])],
+            &db,
+        );
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0]["y"], Value::Labeled(7));
+    }
+}

@@ -1,0 +1,17 @@
+//! The mapping-runtime substrate: executing algebra expressions and
+//! conjunctive queries over databases.
+//!
+//! §5 of the paper promotes the runtime that executes mappings to a
+//! first-class model management component. This crate is the execution
+//! core every runtime service builds on: a materializing relational
+//! algebra evaluator (with Entity SQL-style `IS OF` type tests), a
+//! conjunctive-query/homomorphism engine used by the chase and by tgd
+//! checking, and view materialization/unfolding.
+
+pub mod cq;
+pub mod engine;
+pub mod view;
+
+pub use cq::{find_homomorphisms, Binding};
+pub use engine::{eval, EvalError};
+pub use view::{materialize_views, unfold_query};

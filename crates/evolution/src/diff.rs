@@ -1,0 +1,427 @@
+//! Extract and Diff (§6.2).
+//!
+//! `Extract(S, map)` returns the maximal sub-schema of `S` that
+//! participates in `map`, with an embedding mapping. `Diff(S, map)` is its
+//! complement: the sub-schema covering what the mapping loses. Keys are
+//! retained on both sides ("the complement must be re-joinable" — the
+//! view-complement reading of Bancilhon & Spyratos the paper cites).
+//!
+//! Participation is computed syntactically from the mapping constraints:
+//! an attribute participates if a constraint's expression on the relevant
+//! side mentions it (in a projection, predicate, join key, or scalar) for
+//! its element — a sound approximation for the SPJRU expressions the
+//! engine generates.
+
+use mm_expr::{Expr, Mapping, MappingConstraint, Predicate, Scalar, ViewDef, ViewSet};
+use mm_metamodel::{Element, Schema};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Output of Extract/Diff: the sub-schema plus its embedding views (each
+/// retained element defined as a projection of the original element).
+#[derive(Debug, Clone)]
+pub struct ExtractResult {
+    pub schema: Schema,
+    /// Views defining the sub-schema's relations over the original schema.
+    pub embedding: ViewSet,
+}
+
+/// Collect, per base relation of `schema`, the attribute names an
+/// expression mentions.
+fn collect_used(expr: &Expr, schema: &Schema, used: &mut BTreeMap<String, BTreeSet<String>>) {
+    // attribute names mentioned anywhere in the expression
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    walk_names(expr, &mut names);
+    for base in mm_expr::analyze::base_relations(expr) {
+        if let Some(elem) = schema.element(base) {
+            let entry = used.entry(base.to_string()).or_default();
+            for a in &elem.attributes {
+                if names.contains(&a.name) {
+                    entry.insert(a.name.clone());
+                }
+            }
+        }
+    }
+}
+
+fn walk_names(expr: &Expr, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Base(_) => {}
+        Expr::Literal { columns, .. } => out.extend(columns.iter().cloned()),
+        Expr::Project { input, columns } => {
+            out.extend(columns.iter().cloned());
+            walk_names(input, out);
+        }
+        Expr::Select { input, predicate } => {
+            pred_names(predicate, out);
+            walk_names(input, out);
+        }
+        Expr::Join { left, right, on } | Expr::LeftJoin { left, right, on } => {
+            for (a, b) in on {
+                out.insert(a.clone());
+                out.insert(b.clone());
+            }
+            walk_names(left, out);
+            walk_names(right, out);
+        }
+        Expr::Product { left, right }
+        | Expr::Union { left, right, .. }
+        | Expr::Diff { left, right } => {
+            walk_names(left, out);
+            walk_names(right, out);
+        }
+        Expr::Rename { input, renames } => {
+            for (a, b) in renames {
+                out.insert(a.clone());
+                out.insert(b.clone());
+            }
+            walk_names(input, out);
+        }
+        Expr::Extend { input, column, scalar } => {
+            out.insert(column.clone());
+            scalar_names(scalar, out);
+            walk_names(input, out);
+        }
+        Expr::Distinct { input } => walk_names(input, out),
+        Expr::Aggregate { input, group_by, aggregates } => {
+            out.extend(group_by.iter().cloned());
+            for a in aggregates {
+                if let Some(c) = &a.column {
+                    out.insert(c.clone());
+                }
+                out.insert(a.output.clone());
+            }
+            walk_names(input, out);
+        }
+    }
+}
+
+fn scalar_names(s: &Scalar, out: &mut BTreeSet<String>) {
+    match s {
+        Scalar::Col(c) => {
+            out.insert(c.clone());
+        }
+        Scalar::Lit(_) => {}
+        Scalar::Func(_, args) => {
+            for a in args {
+                scalar_names(a, out);
+            }
+        }
+        Scalar::Case { branches, otherwise } => {
+            for (p, v) in branches {
+                pred_names(p, out);
+                scalar_names(v, out);
+            }
+            scalar_names(otherwise, out);
+        }
+    }
+}
+
+fn pred_names(p: &Predicate, out: &mut BTreeSet<String>) {
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            scalar_names(left, out);
+            scalar_names(right, out);
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            pred_names(a, out);
+            pred_names(b, out);
+        }
+        Predicate::Not(q) => pred_names(q, out),
+        Predicate::IsNull(s) => scalar_names(s, out),
+        Predicate::IsOf { .. } | Predicate::True | Predicate::False => {}
+    }
+}
+
+/// Which side of the mapping refers to `schema`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Source,
+    Target,
+}
+
+/// Attributes of `schema` participating in the mapping, per element.
+fn participation(
+    schema: &Schema,
+    mapping: &Mapping,
+    side: Side,
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut used: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for c in &mapping.constraints {
+        match c {
+            MappingConstraint::ExprEq { source, target } => {
+                let e = match side {
+                    Side::Source => source,
+                    Side::Target => target,
+                };
+                collect_used(e, schema, &mut used);
+            }
+            MappingConstraint::Tgd(tgd) => {
+                let atoms = match side {
+                    Side::Source => &tgd.body,
+                    Side::Target => &tgd.head,
+                };
+                for a in atoms {
+                    if let Some(layout) = schema.instance_layout(&a.relation) {
+                        let entry = used.entry(a.relation.clone()).or_default();
+                        // positions bound by non-fresh terms participate;
+                        // a tgd atom binds every position, so all columns
+                        // participate
+                        for attr in layout {
+                            entry.insert(attr.name);
+                        }
+                    }
+                }
+            }
+            MappingConstraint::SoTgd(so) => {
+                for cl in &so.clauses {
+                    let atoms = match side {
+                        Side::Source => &cl.body,
+                        Side::Target => &cl.head,
+                    };
+                    for a in atoms {
+                        if let Some(layout) = schema.instance_layout(&a.relation) {
+                            let entry = used.entry(a.relation.clone()).or_default();
+                            for attr in layout {
+                                entry.insert(attr.name);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    used
+}
+
+fn key_names(schema: &Schema, element: &str) -> Vec<String> {
+    match schema.declared_key(element) {
+        Some(k) => k.to_vec(),
+        None => schema
+            .element(element)
+            .and_then(|e| e.attributes.first())
+            .map(|a| vec![a.name.clone()])
+            .unwrap_or_default(),
+    }
+}
+
+fn build_subschema(
+    schema: &Schema,
+    name: String,
+    keep: &BTreeMap<String, Vec<String>>, // element -> retained attrs (ordered)
+) -> ExtractResult {
+    let mut sub = Schema::new(name.clone());
+    let mut embedding = ViewSet::new(schema.name.clone(), name);
+    for elem in schema.elements() {
+        let Some(cols) = keep.get(&elem.name) else { continue };
+        if cols.is_empty() {
+            continue;
+        }
+        let attrs: Vec<_> = elem
+            .attributes
+            .iter()
+            .filter(|a| cols.contains(&a.name))
+            .cloned()
+            .collect();
+        sub.add_element(Element {
+            name: elem.name.clone(),
+            kind: elem.kind.clone(),
+            attributes: attrs.clone(),
+        })
+        .expect("sub-schema element unique");
+        let col_names: Vec<String> = attrs.iter().map(|a| a.name.clone()).collect();
+        embedding.push(ViewDef::new(
+            elem.name.clone(),
+            Expr::base(elem.name.clone()).project_owned(col_names),
+        ));
+    }
+    // constraints that still type-check are carried over
+    for c in &schema.constraints {
+        let _ = sub.add_constraint(c.clone());
+    }
+    ExtractResult { schema: sub, embedding }
+}
+
+/// Extract: the maximal sub-schema of `schema` participating in `mapping`
+/// (on the given side), with its embedding views. Keys of participating
+/// elements are always retained.
+pub fn extract(schema: &Schema, mapping: &Mapping, side: Side) -> ExtractResult {
+    let used = participation(schema, mapping, side);
+    let mut keep: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for elem in schema.elements() {
+        let Some(attrs) = used.get(&elem.name) else { continue };
+        let mut cols: Vec<String> = Vec::new();
+        for k in key_names(schema, &elem.name) {
+            if elem.attributes.iter().any(|a| a.name == k) && !cols.contains(&k) {
+                cols.push(k);
+            }
+        }
+        for a in &elem.attributes {
+            if attrs.contains(&a.name) && !cols.contains(&a.name) {
+                cols.push(a.name.clone());
+            }
+        }
+        keep.insert(elem.name.clone(), cols);
+    }
+    build_subschema(schema, format!("{}_extract", schema.name), &keep)
+}
+
+/// Diff: the complement of Extract — elements and attributes *not*
+/// participating in the mapping, with keys retained for re-joinability.
+/// Fully covered elements disappear entirely (they lose nothing).
+pub fn diff(schema: &Schema, mapping: &Mapping, side: Side) -> ExtractResult {
+    let used = participation(schema, mapping, side);
+    let mut keep: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for elem in schema.elements() {
+        let covered = used.get(&elem.name);
+        let uncovered: Vec<String> = elem
+            .attributes
+            .iter()
+            .filter(|a| covered.map(|c| !c.contains(&a.name)).unwrap_or(true))
+            .map(|a| a.name.clone())
+            .collect();
+        if uncovered.is_empty() {
+            continue; // fully covered: nothing lost
+        }
+        let mut cols: Vec<String> = Vec::new();
+        for k in key_names(schema, &elem.name) {
+            if elem.attributes.iter().any(|a| a.name == k) && !cols.contains(&k) {
+                cols.push(k);
+            }
+        }
+        for u in uncovered {
+            if !cols.contains(&u) {
+                cols.push(u);
+            }
+        }
+        keep.insert(elem.name.clone(), cols);
+    }
+    build_subschema(schema, format!("{}_diff", schema.name), &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("S")
+            .relation("Empl", &[
+                ("EID", DataType::Int),
+                ("Name", DataType::Text),
+                ("Tel", DataType::Text),
+                ("AID", DataType::Int),
+            ])
+            .relation("Addr", &[
+                ("AID", DataType::Int),
+                ("City", DataType::Text),
+                ("Zip", DataType::Text),
+            ])
+            .relation("Audit", &[("ts", DataType::Date), ("what", DataType::Text)])
+            .key("Empl", &["EID"])
+            .build()
+            .unwrap()
+    }
+
+    fn mapping() -> Mapping {
+        // uses Empl.EID, Empl.Name, Empl.AID (join), Addr.AID, Addr.City
+        Mapping::with_constraints(
+            "S",
+            "T",
+            vec![MappingConstraint::ExprEq {
+                source: Expr::base("Empl")
+                    .join(Expr::base("Addr"), &[("AID", "AID")])
+                    .project(&["EID", "Name", "City"]),
+                target: Expr::base("Staff"),
+            }],
+        )
+    }
+
+    #[test]
+    fn extract_keeps_participating_attributes_plus_key() {
+        let r = extract(&schema(), &mapping(), Side::Source);
+        let empl = r.schema.element("Empl").unwrap();
+        let names: Vec<&str> = empl.attribute_names().collect();
+        assert_eq!(names, ["EID", "Name", "AID"]);
+        let addr = r.schema.element("Addr").unwrap();
+        let names: Vec<&str> = addr.attribute_names().collect();
+        assert_eq!(names, ["AID", "City"]);
+        // Audit does not participate at all
+        assert!(r.schema.element("Audit").is_none());
+        // embedding views project the originals
+        assert_eq!(r.embedding.len(), 2);
+    }
+
+    #[test]
+    fn diff_keeps_lost_attributes_plus_key() {
+        let r = diff(&schema(), &mapping(), Side::Source);
+        let empl = r.schema.element("Empl").unwrap();
+        let names: Vec<&str> = empl.attribute_names().collect();
+        // key EID + lost Tel
+        assert_eq!(names, ["EID", "Tel"]);
+        let addr = r.schema.element("Addr").unwrap();
+        let names: Vec<&str> = addr.attribute_names().collect();
+        assert_eq!(names, ["AID", "Zip"]);
+        // Audit is entirely lost
+        let audit = r.schema.element("Audit").unwrap();
+        assert_eq!(audit.attributes.len(), 2);
+    }
+
+    #[test]
+    fn extract_and_diff_cover_the_schema() {
+        // every attribute is in extract or diff (keys may be in both)
+        let s = schema();
+        let e = extract(&s, &mapping(), Side::Source);
+        let d = diff(&s, &mapping(), Side::Source);
+        for elem in s.elements() {
+            for a in &elem.attributes {
+                let in_e = e
+                    .schema
+                    .element(&elem.name)
+                    .map(|x| x.attribute(&a.name).is_some())
+                    .unwrap_or(false);
+                let in_d = d
+                    .schema
+                    .element(&elem.name)
+                    .map(|x| x.attribute(&a.name).is_some())
+                    .unwrap_or(false);
+                assert!(in_e || in_d, "{}.{} lost by both", elem.name, a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_covered_schema_has_empty_diff() {
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int), ("b", DataType::Text)])
+            .build()
+            .unwrap();
+        let m = Mapping::with_constraints(
+            "S",
+            "T",
+            vec![MappingConstraint::ExprEq {
+                source: Expr::base("R").project(&["a", "b"]),
+                target: Expr::base("T"),
+            }],
+        );
+        let d = diff(&s, &m, Side::Source);
+        assert!(d.schema.is_empty());
+    }
+
+    #[test]
+    fn tgd_constraints_cover_all_atom_columns() {
+        use mm_expr::{Atom, Tgd};
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int), ("b", DataType::Text)])
+            .relation("Z", &[("c", DataType::Int)])
+            .build()
+            .unwrap();
+        let mut m = Mapping::new("S", "T");
+        m.push_tgd(Tgd::new(vec![Atom::vars("R", &["x", "y"])], vec![Atom::vars("T", &["x"])]));
+        let e = extract(&s, &m, Side::Source);
+        assert!(e.schema.element("R").is_some());
+        assert!(e.schema.element("Z").is_none());
+        let d = diff(&s, &m, Side::Source);
+        assert!(d.schema.element("R").is_none());
+        assert!(d.schema.element("Z").is_some());
+    }
+}

@@ -1,0 +1,495 @@
+//! Computing and checking inverses of view-defined transformations
+//! (§6.4).
+//!
+//! The paper distinguishes the syntactic `Invert` (swap source/target
+//! roles, `mm_expr::Mapping::inverted`) from the semantic `Inverse`: a
+//! transformation that actually reproduces the source instance —
+//! "roundtripping". [`invert_views`] computes an inverse for the
+//! invertible class this engine generates (per-relation
+//! projection/rename/selection partitions that jointly retain every
+//! column and a key); [`verify_inverse`] classifies a candidate pair as
+//! exact inverse, quasi-inverse (Fagin et al.'s relaxation, checked here
+//! as mapping-equivalence: `f(g(f(D))) = f(D)`), or neither.
+
+use mm_eval::materialize_views;
+use mm_expr::{Expr, ViewDef, ViewSet};
+use mm_instance::Database;
+use mm_metamodel::Schema;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Classification of a candidate inverse on a sample instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InverseKind {
+    /// `g(f(D)) = D`: exact roundtrip.
+    Exact,
+    /// Not exact, but `f(g(f(D))) = f(D)`: the inverse recovers a source
+    /// equivalent under the forward mapping (quasi-inverse behaviour).
+    Quasi,
+    /// Neither.
+    NotInverse,
+}
+
+impl fmt::Display for InverseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InverseKind::Exact => "exact inverse",
+            InverseKind::Quasi => "quasi-inverse",
+            InverseKind::NotInverse => "not an inverse",
+        })
+    }
+}
+
+/// Errors from inverse computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InverseError {
+    /// A view reads more than one base relation; out of the invertible
+    /// class.
+    MultiRelationView(String),
+    /// The views over a relation do not jointly cover its columns.
+    LostColumns { relation: String, missing: Vec<String> },
+    /// The views over a relation do not share key columns to rejoin on.
+    NoKey(String),
+    /// A view's shape is outside the invertible class (set operators,
+    /// computed columns).
+    Unsupported(String),
+}
+
+impl fmt::Display for InverseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InverseError::MultiRelationView(v) => {
+                write!(f, "view `{v}` reads multiple relations")
+            }
+            InverseError::LostColumns { relation, missing } => {
+                write!(f, "columns of `{relation}` lost: {}", missing.join(", "))
+            }
+            InverseError::NoKey(r) => write!(f, "no key to rejoin `{r}`"),
+            InverseError::Unsupported(v) => write!(f, "view `{v}` outside invertible class"),
+        }
+    }
+}
+
+impl std::error::Error for InverseError {}
+
+/// The shape of a single invertible view: a selection/projection/rename
+/// over one base relation.
+struct SimpleView<'a> {
+    view_name: &'a str,
+    base: String,
+    /// base column -> view column
+    renames: Vec<(String, String)>,
+    /// Whether any selection occurs in the pipeline.
+    has_selection: bool,
+    /// Column equalities implied by the selections (`col = lit` conjuncts
+    /// over base column names). A projected-away column whose value the
+    /// selection pins down can be reconstructed — the Figure 6
+    /// `Local × {'US'}` pattern.
+    implied: Vec<(String, mm_expr::Lit)>,
+}
+
+enum PeelOp {
+    Project(Vec<String>),
+    Rename(Vec<(String, String)>),
+}
+
+/// Collect `col = lit` conjuncts from a predicate (top-level ANDs only).
+fn implied_equalities(p: &mm_expr::Predicate, out: &mut Vec<(String, mm_expr::Lit)>) {
+    use mm_expr::{CmpOp, Predicate, Scalar};
+    match p {
+        Predicate::And(a, b) => {
+            implied_equalities(a, out);
+            implied_equalities(b, out);
+        }
+        Predicate::Cmp { op: CmpOp::Eq, left, right } => match (left, right) {
+            (Scalar::Col(c), Scalar::Lit(l)) | (Scalar::Lit(l), Scalar::Col(c)) => {
+                out.push((c.clone(), l.clone()));
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+fn analyze_view<'a>(
+    v: &'a ViewDef,
+    source: &Schema,
+) -> Result<SimpleView<'a>, InverseError> {
+    // peel: Project / Rename / Select / Distinct over Base, recording the
+    // pipeline outer-first, then replay it inner-to-outer from the base
+    let mut ops: Vec<PeelOp> = Vec::new();
+    let mut has_selection = false;
+    let mut implied: Vec<(String, mm_expr::Lit)> = Vec::new();
+    let mut cur = &v.expr;
+    let base = loop {
+        match cur {
+            Expr::Base(b) => break b.clone(),
+            Expr::Project { input, columns } => {
+                ops.push(PeelOp::Project(columns.clone()));
+                cur = input;
+            }
+            Expr::Rename { input, renames: rs } => {
+                ops.push(PeelOp::Rename(rs.clone()));
+                cur = input;
+            }
+            Expr::Select { input, predicate } => {
+                has_selection = true;
+                implied_equalities(predicate, &mut implied);
+                cur = input;
+            }
+            Expr::Distinct { input } => cur = input,
+            Expr::Join { .. } | Expr::LeftJoin { .. } | Expr::Product { .. } => {
+                return Err(InverseError::MultiRelationView(v.name.clone()))
+            }
+            _ => return Err(InverseError::Unsupported(v.name.clone())),
+        }
+    };
+    let layout = source
+        .instance_layout(&base)
+        .ok_or_else(|| InverseError::Unsupported(v.name.clone()))?;
+    // base column -> Some(current name) if still alive
+    let mut alive: Vec<(String, Option<String>)> = layout
+        .iter()
+        .map(|a| (a.name.clone(), Some(a.name.clone())))
+        .collect();
+    for op in ops.iter().rev() {
+        match op {
+            PeelOp::Project(cols) => {
+                for (_, cur_name) in alive.iter_mut() {
+                    if let Some(n) = cur_name {
+                        if !cols.contains(n) {
+                            *cur_name = None;
+                        }
+                    }
+                }
+            }
+            PeelOp::Rename(rs) => {
+                // simultaneous: match against a snapshot of current names
+                for (_, cur_name) in alive.iter_mut() {
+                    if let Some(n) = cur_name.clone() {
+                        if let Some((_, new)) = rs.iter().find(|(old, _)| old == &n) {
+                            *cur_name = Some(new.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let kept: Vec<(String, String)> = alive
+        .into_iter()
+        .filter_map(|(b, n)| n.map(|n| (b, n)))
+        .collect();
+    // keep only implied equalities over base column names (selections
+    // below all renames — the common generated shape)
+    let layout_names: Vec<&str> = layout.iter().map(|a| a.name.as_str()).collect();
+    implied.retain(|(c, _)| layout_names.contains(&c.as_str()));
+    Ok(SimpleView { view_name: &v.name, base, renames: kept, has_selection, implied })
+}
+
+/// Compute an inverse view set for `views : source → target` when every
+/// view is a projection/rename (optionally selection) of a single source
+/// relation, and the views over each relation jointly retain all columns
+/// and share the relation's key.
+pub fn invert_views(views: &ViewSet, source: &Schema) -> Result<ViewSet, InverseError> {
+    let mut by_base: BTreeMap<String, Vec<SimpleView<'_>>> = BTreeMap::new();
+    for v in &views.views {
+        let sv = analyze_view(v, source)?;
+        by_base.entry(sv.base.clone()).or_default().push(sv);
+    }
+    let mut out = ViewSet::new(views.view_schema.clone(), views.base_schema.clone());
+    for (base, svs) in &by_base {
+        let layout = source.instance_layout(base).expect("validated");
+        let order: Vec<String> = layout.iter().map(|a| a.name.clone()).collect();
+
+        // Strategy 1 — horizontal reconstruction: every fragment is
+        // width-complete (each base column either kept or pinned by a
+        // selection equality); inverse = union of the re-widened
+        // fragments. This is the Figure 6 `Local × {'US'} ∪ Foreign`
+        // pattern.
+        let width_complete = svs.iter().all(|s| {
+            order.iter().all(|col| {
+                s.renames.iter().any(|(b, _)| b == col)
+                    || s.implied.iter().any(|(c, _)| c == col)
+            })
+        });
+        if width_complete {
+            let mut expr: Option<Expr> = None;
+            for s in svs {
+                let mut e = widen_fragment(s, &order);
+                e = e.project_owned(order.clone());
+                expr = Some(match expr {
+                    None => e,
+                    Some(acc) => acc.union(e),
+                });
+            }
+            out.push(ViewDef::new(base.clone(), expr.expect("non-empty group")));
+            continue;
+        }
+
+        // Strategy 2 — vertical reconstruction: projection fragments
+        // rejoined on the key. Selections here would lose rows silently,
+        // so they are rejected into the error.
+        if svs.iter().any(|s| s.has_selection) {
+            return Err(InverseError::Unsupported(format!(
+                "mixed selection/projection fragments over `{base}`"
+            )));
+        }
+        let key: Vec<String> = match source.declared_key(base) {
+            Some(k) => k.to_vec(),
+            None => vec![layout
+                .first()
+                .ok_or_else(|| InverseError::NoKey(base.clone()))?
+                .name
+                .clone()],
+        };
+        // column coverage
+        let missing: Vec<String> = layout
+            .iter()
+            .filter(|a| !svs.iter().any(|s| s.renames.iter().any(|(b, _)| b == &a.name)))
+            .map(|a| a.name.clone())
+            .collect();
+        if !missing.is_empty() {
+            return Err(InverseError::LostColumns { relation: base.clone(), missing });
+        }
+        // every fragment must retain the key
+        for s in svs {
+            for k in &key {
+                if !s.renames.iter().any(|(b, _)| b == k) {
+                    return Err(InverseError::NoKey(base.clone()));
+                }
+            }
+        }
+        // assemble: join the fragments on the key, project columns back
+        let mut expr: Option<Expr> = None;
+        let mut have: Vec<String> = Vec::new();
+        for s in svs {
+            // rename view columns back to base names, keeping only new ones
+            let back: Vec<(String, String)> = s
+                .renames
+                .iter()
+                .filter(|(b, v)| b != v)
+                .map(|(b, v)| (v.clone(), b.clone()))
+                .collect();
+            let mut e = Expr::base(s.view_name);
+            if !back.is_empty() {
+                e = Expr::Rename { input: Box::new(e), renames: back };
+            }
+            let cols: Vec<String> = s
+                .renames
+                .iter()
+                .map(|(b, _)| b.clone())
+                .filter(|c| key.contains(c) || !have.contains(c))
+                .collect();
+            e = e.project_owned(cols.clone());
+            expr = Some(match expr {
+                None => {
+                    have.extend(cols);
+                    e
+                }
+                Some(acc) => {
+                    have.extend(cols.iter().filter(|c| !key.contains(c)).cloned());
+                    let on: Vec<(String, String)> =
+                        key.iter().map(|k| (k.clone(), k.clone())).collect();
+                    Expr::Join { left: Box::new(acc), right: Box::new(e), on }
+                }
+            });
+        }
+        out.push(ViewDef::new(
+            base.clone(),
+            expr.expect("at least one view").project_owned(order),
+        ));
+    }
+    Ok(out)
+}
+
+/// Rename a fragment's columns back to base names and re-attach
+/// selection-pinned columns as literal extensions.
+fn widen_fragment(s: &SimpleView<'_>, order: &[String]) -> Expr {
+    let back: Vec<(String, String)> = s
+        .renames
+        .iter()
+        .filter(|(b, v)| b != v)
+        .map(|(b, v)| (v.clone(), b.clone()))
+        .collect();
+    let mut e = Expr::base(s.view_name);
+    if !back.is_empty() {
+        e = Expr::Rename { input: Box::new(e), renames: back };
+    }
+    for col in order {
+        if s.renames.iter().any(|(b, _)| b == col) {
+            continue;
+        }
+        let lit = s
+            .implied
+            .iter()
+            .find(|(c, _)| c == col)
+            .map(|(_, l)| l.clone())
+            .expect("width-completeness checked");
+        e = e.extend(col, mm_expr::Scalar::Lit(lit));
+    }
+    e
+}
+
+/// Classify `inverse` against `forward` on a sample instance.
+pub fn verify_inverse(
+    forward: &ViewSet,
+    inverse: &ViewSet,
+    source_schema: &Schema,
+    target_schema: &Schema,
+    sample: &Database,
+) -> InverseKind {
+    let Ok(t) = materialize_views(forward, source_schema, sample) else {
+        return InverseKind::NotInverse;
+    };
+    let Ok(back) = materialize_views(inverse, target_schema, &t) else {
+        return InverseKind::NotInverse;
+    };
+    let exact = source_schema.elements().all(|e| {
+        match (sample.relation(&e.name), back.relation(&e.name)) {
+            (Some(a), Some(b)) => a.set_eq(b),
+            (None, None) => true,
+            (Some(a), None) => a.is_empty(),
+            (None, Some(b)) => b.is_empty(),
+        }
+    });
+    if exact {
+        return InverseKind::Exact;
+    }
+    // quasi: f(g(f(D))) = f(D)
+    let Ok(t2) = materialize_views(forward, source_schema, &back) else {
+        return InverseKind::NotInverse;
+    };
+    let quasi = t
+        .relations()
+        .all(|(name, rel)| t2.relation(name).map(|r| rel.set_eq(r)).unwrap_or(false));
+    if quasi {
+        InverseKind::Quasi
+    } else {
+        InverseKind::NotInverse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_instance::{Tuple, Value};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn source() -> Schema {
+        SchemaBuilder::new("S")
+            .relation("Names", &[("SID", DataType::Int), ("Name", DataType::Text)])
+            .relation("Addresses", &[
+                ("SID", DataType::Int),
+                ("Address", DataType::Text),
+                ("Country", DataType::Text),
+            ])
+            .key("Names", &["SID"])
+            .key("Addresses", &["SID"])
+            .build()
+            .unwrap()
+    }
+
+    fn sample() -> Database {
+        let mut db = Database::empty_of(&source());
+        db.insert("Names", Tuple::from([Value::Int(1), Value::text("ann")]));
+        db.insert("Names", Tuple::from([Value::Int(2), Value::text("bob")]));
+        db.insert(
+            "Addresses",
+            Tuple::from([Value::Int(1), Value::text("5 Rue"), Value::text("FR")]),
+        );
+        db.insert(
+            "Addresses",
+            Tuple::from([Value::Int(2), Value::text("9 Ave"), Value::text("US")]),
+        );
+        db
+    }
+
+    /// A lossless vertical split of Addresses into two fragments.
+    fn split_views() -> ViewSet {
+        let mut vs = ViewSet::new("S", "T");
+        vs.push(ViewDef::new("Names2", Expr::base("Names")));
+        vs.push(ViewDef::new(
+            "AddrCore",
+            Expr::base("Addresses").project(&["SID", "Address"]),
+        ));
+        vs.push(ViewDef::new(
+            "AddrGeo",
+            Expr::base("Addresses")
+                .project(&["SID", "Country"])
+                .rename(&[("Country", "Land")]),
+        ));
+        vs
+    }
+
+    fn target_of_split() -> Schema {
+        SchemaBuilder::new("T")
+            .relation("Names2", &[("SID", DataType::Int), ("Name", DataType::Text)])
+            .relation("AddrCore", &[("SID", DataType::Int), ("Address", DataType::Text)])
+            .relation("AddrGeo", &[("SID", DataType::Int), ("Land", DataType::Text)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lossless_split_inverts_exactly() {
+        let fwd = split_views();
+        let inv = invert_views(&fwd, &source()).unwrap();
+        assert_eq!(inv.len(), 2); // Names, Addresses
+        let kind = verify_inverse(&fwd, &inv, &source(), &target_of_split(), &sample());
+        assert_eq!(kind, InverseKind::Exact);
+    }
+
+    #[test]
+    fn lossy_projection_detected() {
+        let mut vs = ViewSet::new("S", "T");
+        vs.push(ViewDef::new("N", Expr::base("Names").project(&["SID"])));
+        let err = invert_views(&vs, &source()).unwrap_err();
+        assert!(matches!(err, InverseError::LostColumns { .. }));
+    }
+
+    #[test]
+    fn join_view_is_outside_class() {
+        let mut vs = ViewSet::new("S", "T");
+        vs.push(ViewDef::new(
+            "J",
+            Expr::base("Names").join(Expr::base("Addresses"), &[("SID", "SID")]),
+        ));
+        assert!(matches!(
+            invert_views(&vs, &source()),
+            Err(InverseError::MultiRelationView(_))
+        ));
+    }
+
+    #[test]
+    fn selection_makes_inverse_quasi_at_best() {
+        use mm_expr::Predicate;
+        // forward drops FR rows; the computed inverse cannot resurrect
+        // them, but re-applying the forward map agrees: quasi-inverse
+        let mut fwd = ViewSet::new("S", "T");
+        fwd.push(ViewDef::new("Names2", Expr::base("Names")));
+        fwd.push(ViewDef::new(
+            "AddrUS",
+            Expr::base("Addresses").select(Predicate::col_eq_lit("Country", "US")),
+        ));
+        let tgt = SchemaBuilder::new("T")
+            .relation("Names2", &[("SID", DataType::Int), ("Name", DataType::Text)])
+            .relation("AddrUS", &[
+                ("SID", DataType::Int),
+                ("Address", DataType::Text),
+                ("Country", DataType::Text),
+            ])
+            .build()
+            .unwrap();
+        let inv = invert_views(&fwd, &source()).unwrap();
+        let kind = verify_inverse(&fwd, &inv, &source(), &tgt, &sample());
+        assert_eq!(kind, InverseKind::Quasi);
+    }
+
+    #[test]
+    fn fragment_without_key_rejected() {
+        let mut vs = ViewSet::new("S", "T");
+        vs.push(ViewDef::new("A1", Expr::base("Addresses").project(&["SID", "Address"])));
+        vs.push(ViewDef::new("A2", Expr::base("Addresses").project(&["Country"])));
+        assert!(matches!(invert_views(&vs, &source()), Err(InverseError::NoKey(_))));
+    }
+}

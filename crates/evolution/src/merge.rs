@@ -1,0 +1,314 @@
+//! Merge (§6.3): combine two schemas given a mapping describing their
+//! overlap.
+//!
+//! The algorithm follows the Pottinger–Bernstein "merging models based on
+//! given correspondences" recipe at the granularity this engine needs:
+//! element-level correspondences collapse elements (first input wins the
+//! name), attribute-level correspondences collapse attributes, everything
+//! else is unioned. The result carries mappings from the merged schema
+//! back to each input.
+
+use mm_expr::{Correspondence, CorrespondenceSet, PathRef};
+use mm_metamodel::{Attribute, DataType, Element, Schema};
+use std::collections::BTreeMap;
+
+/// Output of Merge: the merged schema and the two projections (as
+/// correspondence sets — one per input, from merged paths to input
+/// paths).
+#[derive(Debug, Clone)]
+pub struct MergeResult {
+    pub schema: Schema,
+    pub to_left: CorrespondenceSet,
+    pub to_right: CorrespondenceSet,
+}
+
+/// Reconcile the types of two corresponding attributes: equal types keep,
+/// Int/Double widens, anything else falls back to `Any`.
+fn reconcile(a: DataType, b: DataType) -> DataType {
+    if a == b {
+        a
+    } else if a.compatible_with(b) {
+        b
+    } else if b.compatible_with(a) {
+        a
+    } else {
+        DataType::Any
+    }
+}
+
+/// Merge two schemas modulo `corrs` (correspondences from `left` paths to
+/// `right` paths). Elements/attributes relating the two sides are
+/// collapsed; the left input's names win.
+pub fn merge(left: &Schema, right: &Schema, corrs: &CorrespondenceSet) -> MergeResult {
+    // element-level matches: right elem -> left elem
+    let mut elem_match: BTreeMap<&str, &str> = BTreeMap::new();
+    // attribute-level matches: (right elem, right attr) -> (left elem, left attr)
+    let mut attr_match: BTreeMap<(&str, &str), (&str, &str)> = BTreeMap::new();
+    for c in &corrs.correspondences {
+        match (&c.source.attribute, &c.target.attribute) {
+            (None, None) => {
+                elem_match.insert(c.target.element.as_str(), c.source.element.as_str());
+            }
+            (Some(sa), Some(ta)) => {
+                attr_match.insert(
+                    (c.target.element.as_str(), ta.as_str()),
+                    (c.source.element.as_str(), sa.as_str()),
+                );
+                // an attribute correspondence implies its elements match
+                elem_match
+                    .entry(c.target.element.as_str())
+                    .or_insert(c.source.element.as_str());
+            }
+            _ => {}
+        }
+    }
+
+    let mut merged = Schema::new(format!("{}+{}", left.name, right.name));
+    let mut to_left = CorrespondenceSet::new(merged.name.clone(), left.name.clone());
+    let mut to_right = CorrespondenceSet::new(merged.name.clone(), right.name.clone());
+
+    // all left elements go in as-is
+    for e in left.elements() {
+        merged.add_element(e.clone()).expect("left elements unique");
+        to_left.push(Correspondence::new(
+            PathRef::element(e.name.clone()),
+            PathRef::element(e.name.clone()),
+            1.0,
+        ));
+        for a in &e.attributes {
+            to_left.push(Correspondence::new(
+                PathRef::attr(e.name.clone(), a.name.clone()),
+                PathRef::attr(e.name.clone(), a.name.clone()),
+                1.0,
+            ));
+        }
+    }
+
+    // right elements: collapse matched ones, add the rest
+    for e in right.elements() {
+        if let Some(l_name) = elem_match.get(e.name.as_str()) {
+            to_right.push(Correspondence::new(
+                PathRef::element((*l_name).to_string()),
+                PathRef::element(e.name.clone()),
+                1.0,
+            ));
+            for a in &e.attributes {
+                if let Some((le, la)) = attr_match.get(&(e.name.as_str(), a.name.as_str())) {
+                    // collapse onto the left attribute; reconcile types
+                    if let Some(elem) = merged.element_mut(le) {
+                        if let Some(ma) = elem.attributes.iter_mut().find(|x| &x.name == la)
+                        {
+                            ma.ty = reconcile(ma.ty, a.ty);
+                            ma.nullable |= a.nullable;
+                        }
+                    }
+                    to_right.push(Correspondence::new(
+                        PathRef::attr((*le).to_string(), (*la).to_string()),
+                        PathRef::attr(e.name.clone(), a.name.clone()),
+                        1.0,
+                    ));
+                } else {
+                    // unmatched attribute of a matched element: append to
+                    // the collapsed element (renamed on clash)
+                    let target = merged.element_mut(l_name).expect("matched element");
+                    let name = if target.attributes.iter().any(|x| x.name == a.name) {
+                        format!("{}_{}", e.name, a.name)
+                    } else {
+                        a.name.clone()
+                    };
+                    target.attributes.push(Attribute {
+                        name: name.clone(),
+                        ty: a.ty,
+                        nullable: true, // left instances lack it
+                    });
+                    to_right.push(Correspondence::new(
+                        PathRef::attr((*l_name).to_string(), name),
+                        PathRef::attr(e.name.clone(), a.name.clone()),
+                        1.0,
+                    ));
+                }
+            }
+        } else {
+            // unmatched element: carried over, renamed on clash
+            let name = if merged.contains(&e.name) {
+                format!("{}_{}", right.name, e.name)
+            } else {
+                e.name.clone()
+            };
+            let mut elem = e.clone();
+            elem.name = name.clone();
+            // parent/association references into collapsed elements stay
+            // valid only if those elements kept their names; drop edges we
+            // cannot re-target
+            // a second collision after qualification is ignored: the
+            // element is dropped rather than aborting the merge
+            let _ = merged.add_element(Element {
+                name: name.clone(),
+                kind: mm_metamodel::ElementKind::Relation,
+                attributes: elem.attributes.clone(),
+            });
+            to_right.push(Correspondence::new(
+                PathRef::element(name.clone()),
+                PathRef::element(e.name.clone()),
+                1.0,
+            ));
+            for a in &e.attributes {
+                to_right.push(Correspondence::new(
+                    PathRef::attr(name.clone(), a.name.clone()),
+                    PathRef::attr(e.name.clone(), a.name.clone()),
+                    1.0,
+                ));
+            }
+        }
+    }
+
+    // constraints from the left carry over when still well-formed
+    for c in &left.constraints {
+        let _ = merged.add_constraint(c.clone());
+    }
+
+    MergeResult { schema: merged, to_left, to_right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::SchemaBuilder;
+
+    fn left() -> Schema {
+        SchemaBuilder::new("L")
+            .relation("Empl", &[("EID", DataType::Int), ("Name", DataType::Text)])
+            .relation("Proj", &[("PID", DataType::Int)])
+            .key("Empl", &["EID"])
+            .build()
+            .unwrap()
+    }
+
+    fn right() -> Schema {
+        SchemaBuilder::new("R")
+            .relation("Staff", &[
+                ("SID", DataType::Int),
+                ("Name", DataType::Text),
+                ("City", DataType::Text),
+            ])
+            .relation("Budget", &[("amount", DataType::Double)])
+            .build()
+            .unwrap()
+    }
+
+    fn corrs() -> CorrespondenceSet {
+        let mut cs = CorrespondenceSet::new("L", "R");
+        cs.push(Correspondence::new(
+            PathRef::element("Empl"),
+            PathRef::element("Staff"),
+            1.0,
+        ));
+        cs.push(Correspondence::new(
+            PathRef::attr("Empl", "EID"),
+            PathRef::attr("Staff", "SID"),
+            1.0,
+        ));
+        cs.push(Correspondence::new(
+            PathRef::attr("Empl", "Name"),
+            PathRef::attr("Staff", "Name"),
+            1.0,
+        ));
+        cs
+    }
+
+    #[test]
+    fn matched_elements_collapse_with_union_of_attributes() {
+        let m = merge(&left(), &right(), &corrs());
+        let empl = m.schema.element("Empl").unwrap();
+        let names: Vec<&str> = empl.attribute_names().collect();
+        // EID/Name collapsed, City appended (nullable)
+        assert_eq!(names, ["EID", "Name", "City"]);
+        assert!(empl.attribute("City").unwrap().nullable);
+        assert!(m.schema.element("Staff").is_none());
+    }
+
+    #[test]
+    fn unmatched_elements_carried_over() {
+        let m = merge(&left(), &right(), &corrs());
+        assert!(m.schema.element("Proj").is_some());
+        assert!(m.schema.element("Budget").is_some());
+        assert_eq!(m.schema.len(), 3);
+    }
+
+    #[test]
+    fn projections_track_both_inputs() {
+        let m = merge(&left(), &right(), &corrs());
+        // merged Empl.EID maps to right Staff.SID
+        assert!(m.to_right.correspondences.iter().any(|c| {
+            c.source == PathRef::attr("Empl", "EID") && c.target == PathRef::attr("Staff", "SID")
+        }));
+        // and to left Empl.EID
+        assert!(m.to_left.correspondences.iter().any(|c| {
+            c.source == PathRef::attr("Empl", "EID") && c.target == PathRef::attr("Empl", "EID")
+        }));
+    }
+
+    #[test]
+    fn type_conflicts_reconcile() {
+        assert_eq!(reconcile(DataType::Int, DataType::Int), DataType::Int);
+        assert_eq!(reconcile(DataType::Int, DataType::Double), DataType::Double);
+        assert_eq!(reconcile(DataType::Text, DataType::Bool), DataType::Any);
+    }
+
+    #[test]
+    fn attribute_name_clash_gets_qualified() {
+        let l = SchemaBuilder::new("L")
+            .relation("T", &[("x", DataType::Int), ("note", DataType::Text)])
+            .build()
+            .unwrap();
+        let r = SchemaBuilder::new("R")
+            .relation("U", &[("y", DataType::Int), ("note", DataType::Bool)])
+            .build()
+            .unwrap();
+        let mut cs = CorrespondenceSet::new("L", "R");
+        cs.push(Correspondence::new(PathRef::element("T"), PathRef::element("U"), 1.0));
+        cs.push(Correspondence::new(
+            PathRef::attr("T", "x"),
+            PathRef::attr("U", "y"),
+            1.0,
+        ));
+        // U.note is unmatched and clashes with T.note -> qualified name
+        let m = merge(&l, &r, &cs);
+        let t = m.schema.element("T").unwrap();
+        let names: Vec<&str> = t.attribute_names().collect();
+        assert_eq!(names, ["x", "note", "U_note"]);
+    }
+
+    #[test]
+    fn empty_correspondences_mean_disjoint_union() {
+        let m = merge(&left(), &right(), &CorrespondenceSet::new("L", "R"));
+        assert_eq!(m.schema.len(), 4);
+        assert!(m.schema.element("Staff").is_some());
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_identical_schema_with_identity_corrs() {
+        let l = left();
+        let mut cs = CorrespondenceSet::new("L", "L");
+        for e in l.elements() {
+            cs.push(Correspondence::new(
+                PathRef::element(e.name.clone()),
+                PathRef::element(e.name.clone()),
+                1.0,
+            ));
+            for a in &e.attributes {
+                cs.push(Correspondence::new(
+                    PathRef::attr(e.name.clone(), a.name.clone()),
+                    PathRef::attr(e.name.clone(), a.name.clone()),
+                    1.0,
+                ));
+            }
+        }
+        let m = merge(&l, &l, &cs);
+        assert_eq!(m.schema.len(), l.len());
+        for e in l.elements() {
+            let me = m.schema.element(&e.name).unwrap();
+            assert_eq!(me.attributes.len(), e.attributes.len());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The paper's Figure 5 schema-evolution scenario, end to end.
+//!
+//! Given schema S with instance D and a view V over S, S evolves into S′.
+//! The script: (1) migrate D through the forward mapping into D′;
+//! (2) repair V by composing mapV-S with mapS-S′ (Figure 6) so it reads
+//! from S′ directly.
+
+use mm_compose::compose_views;
+use mm_eval::{materialize_views, EvalError};
+use mm_expr::ViewSet;
+use mm_instance::Database;
+use mm_metamodel::Schema;
+
+/// Result of the evolution script.
+#[derive(Debug, Clone)]
+pub struct EvolutionOutcome {
+    /// D′: the database migrated to the evolved schema.
+    pub migrated: Database,
+    /// mapV-S′: the view repaired to read from the evolved schema.
+    pub repaired_views: ViewSet,
+}
+
+/// Run the Figure 5 script.
+///
+/// * `migration` — mapS-S′ as forward views (S′ relations over S), used
+///   to migrate `d`;
+/// * `old_over_new` — mapS-S′ in the substitutable direction (S relations
+///   over S′), used to repair `v_views` by composition;
+/// * `v_views` — mapV-S (the view definitions over S).
+pub fn evolve_view(
+    s: &Schema,
+    migration: &ViewSet,
+    old_over_new: &ViewSet,
+    v_views: &ViewSet,
+    d: &Database,
+) -> Result<EvolutionOutcome, EvalError> {
+    let migrated = materialize_views(migration, s, d)?;
+    let repaired_views = compose_views(old_over_new, v_views);
+    Ok(EvolutionOutcome { migrated, repaired_views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_eval::eval;
+    use mm_expr::{Expr, Lit, Predicate, ViewDef};
+    use mm_instance::{Tuple, Value};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn s() -> Schema {
+        SchemaBuilder::new("S")
+            .relation("Names", &[("SID", DataType::Int), ("Name", DataType::Text)])
+            .relation("Addresses", &[
+                ("SID", DataType::Int),
+                ("Address", DataType::Text),
+                ("Country", DataType::Text),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn s_prime() -> Schema {
+        SchemaBuilder::new("Sprime")
+            .relation("NamesP", &[("SID", DataType::Int), ("Name", DataType::Text)])
+            .relation("Local", &[("SID", DataType::Int), ("Address", DataType::Text)])
+            .relation("Foreign", &[
+                ("SID", DataType::Int),
+                ("Address", DataType::Text),
+                ("Country", DataType::Text),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    /// mapS-S′ forward: the evolved relations defined over S.
+    fn migration() -> ViewSet {
+        let mut v = ViewSet::new("S", "Sprime");
+        v.push(ViewDef::new("NamesP", Expr::base("Names")));
+        v.push(ViewDef::new(
+            "Local",
+            Expr::base("Addresses")
+                .select(Predicate::col_eq_lit("Country", "US"))
+                .project(&["SID", "Address"]),
+        ));
+        v.push(ViewDef::new(
+            "Foreign",
+            Expr::base("Addresses")
+                .select(Predicate::col_eq_lit("Country", "US").negate()),
+        ));
+        v
+    }
+
+    /// mapS-S′ substitutable: the old relations defined over S′ (the form
+    /// Figure 6 composes with).
+    fn old_over_new() -> ViewSet {
+        let mut v = ViewSet::new("Sprime", "S");
+        v.push(ViewDef::new("Names", Expr::base("NamesP")));
+        v.push(ViewDef::new(
+            "Addresses",
+            Expr::base("Local")
+                .product(Expr::literal_row(&["Country"], vec![Lit::text("US")]))
+                .union(Expr::base("Foreign")),
+        ));
+        v
+    }
+
+    /// mapV-S: the Students view of Figure 6.
+    fn v_views() -> ViewSet {
+        let mut v = ViewSet::new("S", "V");
+        v.push(ViewDef::new(
+            "Students",
+            Expr::base("Names")
+                .join(Expr::base("Addresses"), &[("SID", "SID")])
+                .project(&["Name", "Address", "Country"]),
+        ));
+        v
+    }
+
+    fn d() -> Database {
+        let mut db = Database::empty_of(&s());
+        db.insert("Names", Tuple::from([Value::Int(1), Value::text("ann")]));
+        db.insert("Names", Tuple::from([Value::Int(2), Value::text("bob")]));
+        db.insert(
+            "Addresses",
+            Tuple::from([Value::Int(1), Value::text("9 Ave"), Value::text("US")]),
+        );
+        db.insert(
+            "Addresses",
+            Tuple::from([Value::Int(2), Value::text("5 Rue"), Value::text("FR")]),
+        );
+        db
+    }
+
+    #[test]
+    fn fig5_script_migrates_and_repairs() {
+        let outcome = evolve_view(&s(), &migration(), &old_over_new(), &v_views(), &d()).unwrap();
+        // D′ has the split address relations
+        assert_eq!(outcome.migrated.relation("Local").unwrap().len(), 1);
+        assert_eq!(outcome.migrated.relation("Foreign").unwrap().len(), 1);
+        assert_eq!(outcome.migrated.relation("NamesP").unwrap().len(), 2);
+
+        // the repaired view evaluated on D′ equals the old view on D
+        let old_students = eval(&v_views().view("Students").unwrap().expr, &s(), &d()).unwrap();
+        let new_students = eval(
+            &outcome.repaired_views.view("Students").unwrap().expr,
+            &s_prime(),
+            &outcome.migrated,
+        )
+        .unwrap();
+        assert!(old_students.set_eq(&new_students), "old:\n{old_students}\nnew:\n{new_students}");
+        assert_eq!(new_students.len(), 2);
+    }
+
+    #[test]
+    fn repaired_view_reads_only_evolved_relations() {
+        let outcome = evolve_view(&s(), &migration(), &old_over_new(), &v_views(), &d()).unwrap();
+        let bases =
+            mm_expr::analyze::base_relations(&outcome.repaired_views.view("Students").unwrap().expr);
+        assert!(bases.iter().all(|b| ["NamesP", "Local", "Foreign"].contains(b)), "{bases:?}");
+    }
+}

@@ -1,0 +1,570 @@
+//! Relational algebra over the universal metamodel.
+//!
+//! This is the engine's transformation language: TransGen emits it, the
+//! runtime (`mm-eval`) executes it, Compose substitutes through it, and the
+//! pretty printer renders it in a SQL-like surface syntax for humans (the
+//! paper's Figure 3 is exactly such a rendering).
+//!
+//! The algebra is *named* (columns are addressed by name, not position);
+//! joins keep the left operand's columns and drop the right operand's join
+//! columns, which makes `R.join(S, &[("k","k")])` behave like the natural
+//! join `R ⋈ S` used throughout the paper's figures.
+
+use crate::literal::Lit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scalar expressions over a row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scalar {
+    /// A named column of the input row.
+    Col(String),
+    /// A literal constant.
+    Lit(Lit),
+    /// Built-in function application.
+    Func(Func, Vec<Scalar>),
+    /// `CASE WHEN p THEN a ELSE b END` — needed for the type-case queries
+    /// TransGen generates for inheritance mappings (Figure 3).
+    Case {
+        branches: Vec<(Predicate, Scalar)>,
+        otherwise: Box<Scalar>,
+    },
+}
+
+impl Scalar {
+    pub fn col(name: impl Into<String>) -> Self {
+        Scalar::Col(name.into())
+    }
+
+    pub fn lit(l: impl Into<Lit>) -> Self {
+        Scalar::Lit(l.into())
+    }
+}
+
+/// Built-in scalar functions. A deliberately small set: the paper asks for
+/// "user-defined functions" in the limit; the engine's extension point is
+/// adding variants here plus one line in the evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Func {
+    /// String concatenation of all arguments.
+    Concat,
+    Add,
+    Sub,
+    Mul,
+    /// First non-null argument.
+    Coalesce,
+    /// Uppercase a string.
+    Upper,
+    /// Lowercase a string.
+    Lower,
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Func::Concat => "CONCAT",
+            Func::Add => "ADD",
+            Func::Sub => "SUB",
+            Func::Mul => "MUL",
+            Func::Coalesce => "COALESCE",
+            Func::Upper => "UPPER",
+            Func::Lower => "LOWER",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Row predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Comparison of two scalars (SQL three-valued: NULL operands make the
+    /// comparison false).
+    Cmp { op: CmpOp, left: Scalar, right: Scalar },
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+    Not(Box<Predicate>),
+    IsNull(Scalar),
+    /// Entity SQL's `x IS OF (type)` / `IS OF (ONLY type)`: tests the
+    /// reserved `$type` column against an entity type and (transitively)
+    /// its subtypes, resolved against the schema at evaluation time.
+    IsOf { ty: String, only: bool },
+    /// Constant truth — identity for predicate folds.
+    True,
+    False,
+}
+
+impl Predicate {
+    pub fn eq(left: Scalar, right: Scalar) -> Self {
+        Predicate::Cmp { op: CmpOp::Eq, left, right }
+    }
+
+    pub fn col_eq_lit(col: &str, lit: impl Into<Lit>) -> Self {
+        Predicate::eq(Scalar::col(col), Scalar::lit(lit))
+    }
+
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::False, _) | (_, Predicate::False) => Predicate::False,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    pub fn or(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::False, p) | (p, Predicate::False) => p,
+            (Predicate::True, _) | (_, Predicate::True) => Predicate::True,
+            (a, b) => Predicate::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    pub fn negate(self) -> Predicate {
+        match self {
+            Predicate::True => Predicate::False,
+            Predicate::False => Predicate::True,
+            Predicate::Not(p) => *p,
+            Predicate::Cmp { op, left, right } => {
+                Predicate::Cmp { op: op.negate(), left, right }
+            }
+            p => Predicate::Not(Box::new(p)),
+        }
+    }
+}
+
+/// Relational algebra expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A base relation / entity set of the schema in scope.
+    Base(String),
+    /// A constant relation with named, ordered columns.
+    Literal { columns: Vec<String>, rows: Vec<Vec<Lit>> },
+    /// π — keep exactly `columns`, in order (set semantics: output is
+    /// deduplicated by the evaluator).
+    Project { input: Box<Expr>, columns: Vec<String> },
+    /// σ — keep rows satisfying the predicate.
+    Select { input: Box<Expr>, predicate: Predicate },
+    /// Equi-join; output columns are left's columns followed by right's
+    /// columns minus right's join columns (natural-join behaviour when the
+    /// join column names coincide).
+    Join { left: Box<Expr>, right: Box<Expr>, on: Vec<(String, String)> },
+    /// Left outer join; unmatched left rows are padded with NULLs on the
+    /// right's columns.
+    LeftJoin { left: Box<Expr>, right: Box<Expr>, on: Vec<(String, String)> },
+    /// × — cross product; column names must be disjoint.
+    Product { left: Box<Expr>, right: Box<Expr> },
+    /// ∪ — set union (`all = true` gives UNION ALL bag behaviour inside a
+    /// pipeline; materialization into a relation deduplicates). Schemas
+    /// must be positionally compatible; output uses left's names.
+    Union { left: Box<Expr>, right: Box<Expr>, all: bool },
+    /// ∖ — set difference.
+    Diff { left: Box<Expr>, right: Box<Expr> },
+    /// ρ — rename columns (old → new).
+    Rename { input: Box<Expr>, renames: Vec<(String, String)> },
+    /// Append a computed column.
+    Extend { input: Box<Expr>, column: String, scalar: Scalar },
+    /// Explicit duplicate elimination.
+    Distinct { input: Box<Expr> },
+    /// γ — grouping and aggregation: group rows by `group_by` (kept, in
+    /// order, as the leading output columns) and append one column per
+    /// aggregate. "If tractability were not a consideration, one would
+    /// want a mapping language that includes first-order logic **with
+    /// aggregation**" (§2) — report writers and OLAP tools (§1.1) need it.
+    Aggregate {
+        input: Box<Expr>,
+        group_by: Vec<String>,
+        aggregates: Vec<AggSpec>,
+    },
+}
+
+/// One aggregate column of an [`Expr::Aggregate`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Input column; `None` only for `Count` (count of rows).
+    pub column: Option<String>,
+    /// Output column name.
+    pub output: String,
+}
+
+impl AggSpec {
+    pub fn count(output: impl Into<String>) -> Self {
+        AggSpec { func: AggFunc::Count, column: None, output: output.into() }
+    }
+
+    pub fn of(func: AggFunc, column: impl Into<String>, output: impl Into<String>) -> Self {
+        AggSpec { func, column: Some(column.into()), output: output.into() }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        })
+    }
+}
+
+impl Expr {
+    pub fn base(name: impl Into<String>) -> Expr {
+        Expr::Base(name.into())
+    }
+
+    pub fn project(self, columns: &[&str]) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|s| (*s).into()).collect(),
+        }
+    }
+
+    pub fn project_owned(self, columns: Vec<String>) -> Expr {
+        Expr::Project { input: Box::new(self), columns }
+    }
+
+    pub fn select(self, predicate: Predicate) -> Expr {
+        Expr::Select { input: Box::new(self), predicate }
+    }
+
+    pub fn join(self, right: Expr, on: &[(&str, &str)]) -> Expr {
+        Expr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on.iter().map(|(a, b)| ((*a).into(), (*b).into())).collect(),
+        }
+    }
+
+    pub fn left_join(self, right: Expr, on: &[(&str, &str)]) -> Expr {
+        Expr::LeftJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on.iter().map(|(a, b)| ((*a).into(), (*b).into())).collect(),
+        }
+    }
+
+    pub fn product(self, right: Expr) -> Expr {
+        Expr::Product { left: Box::new(self), right: Box::new(right) }
+    }
+
+    pub fn union(self, right: Expr) -> Expr {
+        Expr::Union { left: Box::new(self), right: Box::new(right), all: false }
+    }
+
+    pub fn union_all(self, right: Expr) -> Expr {
+        Expr::Union { left: Box::new(self), right: Box::new(right), all: true }
+    }
+
+    pub fn diff(self, right: Expr) -> Expr {
+        Expr::Diff { left: Box::new(self), right: Box::new(right) }
+    }
+
+    pub fn rename(self, renames: &[(&str, &str)]) -> Expr {
+        Expr::Rename {
+            input: Box::new(self),
+            renames: renames.iter().map(|(a, b)| ((*a).into(), (*b).into())).collect(),
+        }
+    }
+
+    pub fn extend(self, column: &str, scalar: Scalar) -> Expr {
+        Expr::Extend { input: Box::new(self), column: column.into(), scalar }
+    }
+
+    pub fn distinct(self) -> Expr {
+        Expr::Distinct { input: Box::new(self) }
+    }
+
+    pub fn aggregate(self, group_by: &[&str], aggregates: Vec<AggSpec>) -> Expr {
+        Expr::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|s| (*s).into()).collect(),
+            aggregates,
+        }
+    }
+
+    /// A one-row constant relation, e.g. `{("Country", 'US')}` as used in
+    /// Figure 6's `Local × {"US"}`.
+    pub fn literal_row(columns: &[&str], row: Vec<Lit>) -> Expr {
+        Expr::Literal {
+            columns: columns.iter().map(|s| (*s).into()).collect(),
+            rows: vec![row],
+        }
+    }
+
+    /// Number of operators in the expression tree (a size metric for
+    /// benchmarks and optimizer sanity checks).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Expr::Base(_) | Expr::Literal { .. } => 0,
+            Expr::Project { input, .. }
+            | Expr::Select { input, .. }
+            | Expr::Rename { input, .. }
+            | Expr::Extend { input, .. }
+            | Expr::Distinct { input }
+            | Expr::Aggregate { input, .. } => input.size(),
+            Expr::Join { left, right, .. }
+            | Expr::LeftJoin { left, right, .. }
+            | Expr::Product { left, right }
+            | Expr::Union { left, right, .. }
+            | Expr::Diff { left, right } => left.size() + right.size(),
+        }
+    }
+
+    /// Depth of the expression tree.
+    pub fn depth(&self) -> usize {
+        1 + match self {
+            Expr::Base(_) | Expr::Literal { .. } => 0,
+            Expr::Project { input, .. }
+            | Expr::Select { input, .. }
+            | Expr::Rename { input, .. }
+            | Expr::Extend { input, .. }
+            | Expr::Distinct { input }
+            | Expr::Aggregate { input, .. } => input.depth(),
+            Expr::Join { left, right, .. }
+            | Expr::LeftJoin { left, right, .. }
+            | Expr::Product { left, right }
+            | Expr::Union { left, right, .. }
+            | Expr::Diff { left, right } => left.depth().max(right.depth()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQL-like pretty printing
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Col(c) => f.write_str(c),
+            Scalar::Lit(l) => write!(f, "{l}"),
+            Scalar::Func(func, args) => {
+                write!(f, "{func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Scalar::Case { branches, otherwise } => {
+                f.write_str("CASE")?;
+                for (p, s) in branches {
+                    write!(f, " WHEN {p} THEN {s}")?;
+                }
+                write!(f, " ELSE {otherwise} END")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { op, left, right } => write!(f, "{left} {op} {right}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+            Predicate::IsNull(s) => write!(f, "{s} IS NULL"),
+            Predicate::IsOf { ty, only } => {
+                if *only {
+                    write!(f, "IS OF (ONLY {ty})")
+                } else {
+                    write!(f, "IS OF ({ty})")
+                }
+            }
+            Predicate::True => f.write_str("TRUE"),
+            Predicate::False => f.write_str("FALSE"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Base(n) => f.write_str(n),
+            Expr::Literal { columns, rows } => {
+                write!(f, "VALUES[{}](", columns.join(", "))?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    let cells: Vec<String> = row.iter().map(Lit::to_string).collect();
+                    write!(f, "{}", cells.join(", "))?;
+                }
+                write!(f, ")")
+            }
+            Expr::Project { input, columns } => {
+                write!(f, "SELECT {} FROM ({input})", columns.join(", "))
+            }
+            Expr::Select { input, predicate } => {
+                write!(f, "({input}) WHERE {predicate}")
+            }
+            Expr::Join { left, right, on } => {
+                write!(f, "({left}) JOIN ({right}) ON {}", on_list(on))
+            }
+            Expr::LeftJoin { left, right, on } => {
+                write!(f, "({left}) LEFT OUTER JOIN ({right}) ON {}", on_list(on))
+            }
+            Expr::Product { left, right } => write!(f, "({left}) CROSS JOIN ({right})"),
+            Expr::Union { left, right, all } => {
+                write!(f, "({left}) UNION{} ({right})", if *all { " ALL" } else { "" })
+            }
+            Expr::Diff { left, right } => write!(f, "({left}) EXCEPT ({right})"),
+            Expr::Rename { input, renames } => {
+                let rs: Vec<String> =
+                    renames.iter().map(|(a, b)| format!("{a} AS {b}")).collect();
+                write!(f, "({input}) RENAME {}", rs.join(", "))
+            }
+            Expr::Extend { input, column, scalar } => {
+                write!(f, "({input}) EXTEND {column} := {scalar}")
+            }
+            Expr::Distinct { input } => write!(f, "DISTINCT ({input})"),
+            Expr::Aggregate { input, group_by, aggregates } => {
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|a| match &a.column {
+                        Some(c) => format!("{}({c}) AS {}", a.func, a.output),
+                        None => format!("{}(*) AS {}", a.func, a.output),
+                    })
+                    .collect();
+                write!(
+                    f,
+                    "SELECT {}{} FROM ({input}) GROUP BY {}",
+                    if group_by.is_empty() { String::new() } else { format!("{}, ", group_by.join(", ")) },
+                    aggs.join(", "),
+                    if group_by.is_empty() { "()".to_string() } else { group_by.join(", ") }
+                )
+            }
+        }
+    }
+}
+
+fn on_list(on: &[(String, String)]) -> String {
+    on.iter()
+        .map(|(a, b)| format!("{a} = {b}"))
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = Expr::base("Empl")
+            .join(Expr::base("Addr"), &[("AID", "AID")])
+            .project(&["EID", "City"]);
+        assert_eq!(e.size(), 4);
+        assert_eq!(e.depth(), 3);
+        match &e {
+            Expr::Project { columns, .. } => assert_eq!(columns, &["EID", "City"]),
+            _ => panic!("expected projection"),
+        }
+    }
+
+    #[test]
+    fn predicate_and_or_identities() {
+        let p = Predicate::col_eq_lit("a", 1i64);
+        assert_eq!(Predicate::True.and(p.clone()), p);
+        assert_eq!(Predicate::False.or(p.clone()), p);
+        assert_eq!(Predicate::False.and(p.clone()), Predicate::False);
+        assert_eq!(Predicate::True.or(p), Predicate::True);
+    }
+
+    #[test]
+    fn negation_flips_comparisons_and_cancels() {
+        let p = Predicate::Cmp {
+            op: CmpOp::Lt,
+            left: Scalar::col("x"),
+            right: Scalar::lit(5i64),
+        };
+        match p.clone().negate() {
+            Predicate::Cmp { op, .. } => assert_eq!(op, CmpOp::Ge),
+            _ => panic!(),
+        }
+        let q = Predicate::IsNull(Scalar::col("x"));
+        assert_eq!(q.clone().negate().negate(), q);
+    }
+
+    #[test]
+    fn display_reads_like_sql() {
+        let e = Expr::base("Names")
+            .select(Predicate::col_eq_lit("Country", "US"))
+            .project(&["Name"]);
+        let s = e.to_string();
+        assert!(s.contains("WHERE Country = 'US'"), "{s}");
+        assert!(s.starts_with("SELECT Name"), "{s}");
+    }
+
+    #[test]
+    fn is_of_displays_entity_sql_style() {
+        let p = Predicate::IsOf { ty: "Employee".into(), only: true };
+        assert_eq!(p.to_string(), "IS OF (ONLY Employee)");
+    }
+
+    #[test]
+    fn literal_row_displays_values() {
+        let e = Expr::literal_row(&["Country"], vec![Lit::text("US")]);
+        assert_eq!(e.to_string(), "VALUES[Country]('US')");
+    }
+
+    #[test]
+    fn case_scalar_displays() {
+        let s = Scalar::Case {
+            branches: vec![(Predicate::col_eq_lit("t", "E"), Scalar::lit("emp"))],
+            otherwise: Box::new(Scalar::lit("other")),
+        };
+        assert_eq!(s.to_string(), "CASE WHEN t = 'E' THEN 'emp' ELSE 'other' END");
+    }
+}

@@ -1,0 +1,479 @@
+//! Static analysis of algebra expressions: output-schema inference, base
+//! relation usage, scalar column references.
+//!
+//! TransGen and Compose both rely on schema inference to check that the
+//! expressions they manufacture are well-typed before handing them to the
+//! runtime — the design-time/runtime split §5 of the paper calls for.
+
+use crate::algebra::{Expr, Func, Predicate, Scalar};
+use mm_metamodel::{Attribute, DataType, Schema, TYPE_ATTR};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors raised by static analysis of an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    UnknownRelation(String),
+    UnknownColumn { column: String, available: Vec<String> },
+    DuplicateColumn(String),
+    /// Union/diff operands with different arities.
+    ArityMismatch { left: usize, right: usize },
+    /// `IS OF` used against a schema element that is not an entity type,
+    /// or over an input without a `$type` column.
+    NotAnEntity(String),
+    /// A literal relation whose rows disagree with its column list.
+    MalformedLiteral,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            ExprError::UnknownColumn { column, available } => {
+                write!(f, "unknown column `{column}` (available: {})", available.join(", "))
+            }
+            ExprError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            ExprError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch: {left} vs {right}")
+            }
+            ExprError::NotAnEntity(e) => write!(f, "`{e}` is not an entity type"),
+            ExprError::MalformedLiteral => f.write_str("malformed literal relation"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+fn dup_check(attrs: &[Attribute]) -> Result<(), ExprError> {
+    let mut seen = BTreeSet::new();
+    for a in attrs {
+        if !seen.insert(a.name.as_str()) {
+            return Err(ExprError::DuplicateColumn(a.name.clone()));
+        }
+    }
+    Ok(())
+}
+
+fn require(attrs: &[Attribute], col: &str) -> Result<usize, ExprError> {
+    attrs.iter().position(|a| a.name == col).ok_or_else(|| ExprError::UnknownColumn {
+        column: col.to_string(),
+        available: attrs.iter().map(|a| a.name.clone()).collect(),
+    })
+}
+
+/// Infer the type of a scalar over the given input columns. `Any` is the
+/// bottom for cases analysis cannot pin down (`Coalesce` over mixed types).
+fn scalar_type(s: &Scalar, attrs: &[Attribute]) -> Result<DataType, ExprError> {
+    match s {
+        Scalar::Col(c) => Ok(attrs[require(attrs, c)?].ty),
+        Scalar::Lit(l) => Ok(l.data_type().unwrap_or(DataType::Any)),
+        Scalar::Func(f, args) => {
+            for a in args {
+                scalar_type(a, attrs)?;
+            }
+            Ok(match f {
+                Func::Concat | Func::Upper | Func::Lower => DataType::Text,
+                Func::Add | Func::Sub | Func::Mul => args
+                    .first()
+                    .map(|a| scalar_type(a, attrs))
+                    .transpose()?
+                    .unwrap_or(DataType::Int),
+                Func::Coalesce => args
+                    .first()
+                    .map(|a| scalar_type(a, attrs))
+                    .transpose()?
+                    .unwrap_or(DataType::Any),
+            })
+        }
+        Scalar::Case { branches, otherwise } => {
+            for (p, v) in branches {
+                check_predicate(p, attrs, None)?;
+                scalar_type(v, attrs)?;
+            }
+            scalar_type(otherwise, attrs)
+        }
+    }
+}
+
+/// Check a predicate's column references. `schema` is needed for `IsOf`.
+fn check_predicate(
+    p: &Predicate,
+    attrs: &[Attribute],
+    schema: Option<&Schema>,
+) -> Result<(), ExprError> {
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            scalar_type(left, attrs)?;
+            scalar_type(right, attrs)?;
+            Ok(())
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            check_predicate(a, attrs, schema)?;
+            check_predicate(b, attrs, schema)
+        }
+        Predicate::Not(q) => check_predicate(q, attrs, schema),
+        Predicate::IsNull(s) => scalar_type(s, attrs).map(|_| ()),
+        Predicate::IsOf { ty, .. } => {
+            if require(attrs, TYPE_ATTR).is_err() {
+                return Err(ExprError::NotAnEntity(ty.clone()));
+            }
+            if let Some(sch) = schema {
+                match sch.element(ty) {
+                    Some(e) if e.is_entity_type() => Ok(()),
+                    _ => Err(ExprError::NotAnEntity(ty.clone())),
+                }
+            } else {
+                Ok(())
+            }
+        }
+        Predicate::True | Predicate::False => Ok(()),
+    }
+}
+
+/// Infer the output column layout of `expr` against `schema`.
+pub fn output_schema(expr: &Expr, schema: &Schema) -> Result<Vec<Attribute>, ExprError> {
+    match expr {
+        Expr::Base(name) => schema
+            .instance_layout(name)
+            .ok_or_else(|| ExprError::UnknownRelation(name.clone())),
+        Expr::Literal { columns, rows } => {
+            if rows.iter().any(|r| r.len() != columns.len()) {
+                return Err(ExprError::MalformedLiteral);
+            }
+            let attrs: Vec<Attribute> = columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let ty = rows
+                        .iter()
+                        .find_map(|r| r[i].data_type())
+                        .unwrap_or(DataType::Any);
+                    Attribute::nullable(c.clone(), ty)
+                })
+                .collect();
+            dup_check(&attrs)?;
+            Ok(attrs)
+        }
+        Expr::Project { input, columns } => {
+            let inp = output_schema(input, schema)?;
+            let mut out = Vec::with_capacity(columns.len());
+            for c in columns {
+                out.push(inp[require(&inp, c)?].clone());
+            }
+            dup_check(&out)?;
+            Ok(out)
+        }
+        Expr::Select { input, predicate } => {
+            let inp = output_schema(input, schema)?;
+            check_predicate(predicate, &inp, Some(schema))?;
+            Ok(inp)
+        }
+        Expr::Join { left, right, on } | Expr::LeftJoin { left, right, on } => {
+            let l = output_schema(left, schema)?;
+            let r = output_schema(right, schema)?;
+            let mut drop_right = BTreeSet::new();
+            for (lc, rc) in on {
+                require(&l, lc)?;
+                require(&r, rc)?;
+                drop_right.insert(rc.as_str());
+            }
+            let outer = matches!(expr, Expr::LeftJoin { .. });
+            let mut out = l;
+            for a in &r {
+                if !drop_right.contains(a.name.as_str()) {
+                    let mut a = a.clone();
+                    if outer {
+                        a.nullable = true; // NULL padding on unmatched rows
+                    }
+                    out.push(a);
+                }
+            }
+            dup_check(&out)?;
+            Ok(out)
+        }
+        Expr::Product { left, right } => {
+            let mut l = output_schema(left, schema)?;
+            let r = output_schema(right, schema)?;
+            l.extend(r);
+            dup_check(&l)?;
+            Ok(l)
+        }
+        Expr::Union { left, right, .. } | Expr::Diff { left, right } => {
+            let l = output_schema(left, schema)?;
+            let r = output_schema(right, schema)?;
+            if l.len() != r.len() {
+                return Err(ExprError::ArityMismatch { left: l.len(), right: r.len() });
+            }
+            Ok(l)
+        }
+        Expr::Rename { input, renames } => {
+            // simultaneous semantics: every `old` refers to the *input*
+            // column names, so swaps (`a→b, b→a`) behave as expected
+            let inp = output_schema(input, schema)?;
+            for (old, _) in renames {
+                require(&inp, old)?;
+            }
+            let out: Vec<Attribute> = inp
+                .into_iter()
+                .map(|mut a| {
+                    if let Some((_, new)) = renames.iter().find(|(old, _)| old == &a.name) {
+                        a.name = new.clone();
+                    }
+                    a
+                })
+                .collect();
+            dup_check(&out)?;
+            Ok(out)
+        }
+        Expr::Extend { input, column, scalar } => {
+            let mut out = output_schema(input, schema)?;
+            let ty = scalar_type(scalar, &out)?;
+            if out.iter().any(|a| &a.name == column) {
+                return Err(ExprError::DuplicateColumn(column.clone()));
+            }
+            out.push(Attribute::nullable(column.clone(), ty));
+            Ok(out)
+        }
+        Expr::Distinct { input } => output_schema(input, schema),
+        Expr::Aggregate { input, group_by, aggregates } => {
+            let inp = output_schema(input, schema)?;
+            let mut out = Vec::with_capacity(group_by.len() + aggregates.len());
+            for g in group_by {
+                out.push(inp[require(&inp, g)?].clone());
+            }
+            for a in aggregates {
+                let ty = match (&a.func, &a.column) {
+                    (crate::algebra::AggFunc::Count, _) => DataType::Int,
+                    (crate::algebra::AggFunc::Avg, _) => DataType::Double,
+                    (_, Some(c)) => inp[require(&inp, c)?].ty,
+                    (_, None) => {
+                        return Err(ExprError::UnknownColumn {
+                            column: format!("{}(*)", a.func),
+                            available: inp.iter().map(|x| x.name.clone()).collect(),
+                        })
+                    }
+                };
+                out.push(Attribute::nullable(a.output.clone(), ty));
+            }
+            dup_check(&out)?;
+            Ok(out)
+        }
+    }
+}
+
+/// The *extent* of entity type `ty`: the union, over `ty` and all its
+/// subtypes, of each subtype's entity set projected onto `ty`'s instance
+/// layout (`$type` first). This is the algebraic reading of the paper's
+/// single "Persons" entity set (Figures 2–3): entities live in the set of
+/// their most-derived type; querying a supertype unions the subtree.
+pub fn entity_extent(schema: &Schema, ty: &str) -> Result<Expr, ExprError> {
+    let layout = schema
+        .instance_layout(ty)
+        .ok_or_else(|| ExprError::UnknownRelation(ty.to_string()))?;
+    let cols: Vec<String> = layout.into_iter().map(|a| a.name).collect();
+    let subtree = schema.subtree(ty);
+    if subtree.is_empty() {
+        return Err(ExprError::NotAnEntity(ty.to_string()));
+    }
+    let mut expr: Option<Expr> = None;
+    for d in subtree {
+        let branch = Expr::base(d).project_owned(cols.clone());
+        expr = Some(match expr {
+            None => branch,
+            Some(e) => e.union(branch),
+        });
+    }
+    Ok(expr.expect("subtree non-empty"))
+}
+
+/// All base relations referenced by the expression, deduplicated in first-
+/// occurrence order.
+pub fn base_relations(expr: &Expr) -> Vec<&str> {
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+        match e {
+            Expr::Base(n) => {
+                if !out.contains(&n.as_str()) {
+                    out.push(n);
+                }
+            }
+            Expr::Literal { .. } => {}
+            Expr::Project { input, .. }
+            | Expr::Select { input, .. }
+            | Expr::Rename { input, .. }
+            | Expr::Extend { input, .. }
+            | Expr::Distinct { input }
+            | Expr::Aggregate { input, .. } => walk(input, out),
+            Expr::Join { left, right, .. }
+            | Expr::LeftJoin { left, right, .. }
+            | Expr::Product { left, right }
+            | Expr::Union { left, right, .. }
+            | Expr::Diff { left, right } => {
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Expr;
+    use crate::literal::Lit;
+    use mm_metamodel::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("S")
+            .relation("Empl", &[("EID", DataType::Int), ("Name", DataType::Text), ("AID", DataType::Int)])
+            .relation("Addr", &[("AID", DataType::Int), ("City", DataType::Text)])
+            .entity("Person", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .entity_sub("Employee", "Person", &[("Dept", DataType::Text)])
+            .build()
+            .unwrap()
+    }
+
+    fn names(attrs: &[Attribute]) -> Vec<&str> {
+        attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    #[test]
+    fn base_layout_for_relation_and_entity() {
+        let s = schema();
+        let e = Expr::base("Empl");
+        assert_eq!(names(&output_schema(&e, &s).unwrap()), ["EID", "Name", "AID"]);
+        let p = Expr::base("Employee");
+        assert_eq!(
+            names(&output_schema(&p, &s).unwrap()),
+            [TYPE_ATTR, "Id", "Name", "Dept"]
+        );
+    }
+
+    #[test]
+    fn join_drops_right_join_columns() {
+        let s = schema();
+        let e = Expr::base("Empl").join(Expr::base("Addr"), &[("AID", "AID")]);
+        assert_eq!(names(&output_schema(&e, &s).unwrap()), ["EID", "Name", "AID", "City"]);
+    }
+
+    #[test]
+    fn left_join_makes_right_columns_nullable() {
+        let s = schema();
+        let e = Expr::base("Empl").left_join(Expr::base("Addr"), &[("AID", "AID")]);
+        let out = output_schema(&e, &s).unwrap();
+        assert!(out.iter().find(|a| a.name == "City").unwrap().nullable);
+        assert!(!out.iter().find(|a| a.name == "EID").unwrap().nullable);
+    }
+
+    #[test]
+    fn join_with_name_clash_rejected() {
+        let s = schema();
+        // joining Empl with itself on EID leaves duplicate Name/AID columns
+        let e = Expr::base("Empl").join(Expr::base("Empl"), &[("EID", "EID")]);
+        assert!(matches!(output_schema(&e, &s), Err(ExprError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn projection_unknown_column_reports_available() {
+        let s = schema();
+        let e = Expr::base("Addr").project(&["Nope"]);
+        match output_schema(&e, &s) {
+            Err(ExprError::UnknownColumn { column, available }) => {
+                assert_eq!(column, "Nope");
+                assert_eq!(available, ["AID", "City"]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_arity_checked() {
+        let s = schema();
+        let e = Expr::base("Addr").union(Expr::base("Empl"));
+        assert!(matches!(output_schema(&e, &s), Err(ExprError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn rename_changes_names() {
+        let s = schema();
+        let e = Expr::base("Addr").rename(&[("City", "Town")]);
+        assert_eq!(names(&output_schema(&e, &s).unwrap()), ["AID", "Town"]);
+    }
+
+    #[test]
+    fn swap_rename_is_simultaneous() {
+        let s = schema();
+        let e = Expr::base("Addr").rename(&[("AID", "City"), ("City", "AID")]);
+        let out = output_schema(&e, &s).unwrap();
+        // AID (int) became City, City (text) became AID — types follow
+        assert_eq!(names(&out), ["City", "AID"]);
+        assert_eq!(out[0].ty, DataType::Int);
+        assert_eq!(out[1].ty, DataType::Text);
+    }
+
+    #[test]
+    fn extend_appends_typed_column() {
+        let s = schema();
+        let e = Expr::base("Addr").extend("Country", Scalar::lit("US"));
+        let out = output_schema(&e, &s).unwrap();
+        assert_eq!(out.last().unwrap().name, "Country");
+        assert_eq!(out.last().unwrap().ty, DataType::Text);
+    }
+
+    #[test]
+    fn is_of_requires_type_column_and_entity() {
+        let s = schema();
+        let good = Expr::base("Person")
+            .select(Predicate::IsOf { ty: "Employee".into(), only: false });
+        assert!(output_schema(&good, &s).is_ok());
+        let bad = Expr::base("Addr")
+            .select(Predicate::IsOf { ty: "Employee".into(), only: false });
+        assert!(matches!(output_schema(&bad, &s), Err(ExprError::NotAnEntity(_))));
+        let bad2 = Expr::base("Person")
+            .select(Predicate::IsOf { ty: "Addr".into(), only: false });
+        assert!(matches!(output_schema(&bad2, &s), Err(ExprError::NotAnEntity(_))));
+    }
+
+    #[test]
+    fn literal_relation_types_from_rows() {
+        let s = schema();
+        let e = Expr::literal_row(&["Country"], vec![Lit::text("US")]);
+        let out = output_schema(&e, &s).unwrap();
+        assert_eq!(out[0].ty, DataType::Text);
+    }
+
+    #[test]
+    fn malformed_literal_rejected() {
+        let s = schema();
+        let e = Expr::Literal {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![vec![Lit::Int(1)]],
+        };
+        assert_eq!(output_schema(&e, &s), Err(ExprError::MalformedLiteral));
+    }
+
+    #[test]
+    fn entity_extent_unions_subtree_on_supertype_layout() {
+        let s = schema();
+        let e = entity_extent(&s, "Person").unwrap();
+        let out = output_schema(&e, &s).unwrap();
+        assert_eq!(names(&out), [TYPE_ATTR, "Id", "Name"]);
+        assert_eq!(base_relations(&e), ["Person", "Employee"]);
+        // leaf type: no union, full layout
+        let leaf = entity_extent(&s, "Employee").unwrap();
+        assert_eq!(names(&output_schema(&leaf, &s).unwrap()), [TYPE_ATTR, "Id", "Name", "Dept"]);
+        // non-entity rejected
+        assert!(entity_extent(&s, "Empl").is_err());
+    }
+
+    #[test]
+    fn base_relations_dedup_in_order() {
+        let e = Expr::base("A")
+            .join(Expr::base("B"), &[("x", "x")])
+            .union(Expr::base("A").project(&["x"]));
+        // union arity nonsense is fine; we only inspect base usage
+        assert_eq!(base_relations(&e), ["A", "B"]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Literal constants appearing in expressions.
+//!
+//! Mirrors the constant part of `mm_instance::Value` without the
+//! instance-only variants (labeled nulls), so the expression layer stays
+//! independent of the instance layer.
+
+use mm_metamodel::DataType;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A literal constant in a query, predicate, or logic term.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Lit {
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    Text(String),
+    Date(i32),
+    Null,
+}
+
+impl Lit {
+    pub fn text(s: impl Into<String>) -> Self {
+        Lit::Text(s.into())
+    }
+
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Lit::Int(_) => Some(DataType::Int),
+            Lit::Double(_) => Some(DataType::Double),
+            Lit::Bool(_) => Some(DataType::Bool),
+            Lit::Text(_) => Some(DataType::Text),
+            Lit::Date(_) => Some(DataType::Date),
+            Lit::Null => None,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Lit::Null => 0,
+            Lit::Bool(_) => 1,
+            Lit::Int(_) => 2,
+            Lit::Double(_) => 3,
+            Lit::Date(_) => 4,
+            Lit::Text(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Lit {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Lit::Int(a), Lit::Int(b)) => a == b,
+            (Lit::Double(a), Lit::Double(b)) => a.to_bits() == b.to_bits(),
+            (Lit::Bool(a), Lit::Bool(b)) => a == b,
+            (Lit::Text(a), Lit::Text(b)) => a == b,
+            (Lit::Date(a), Lit::Date(b)) => a == b,
+            (Lit::Null, Lit::Null) => true,
+            (Lit::Int(a), Lit::Double(b)) | (Lit::Double(b), Lit::Int(a)) => {
+                (*a as f64).to_bits() == b.to_bits()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Lit {}
+
+impl std::hash::Hash for Lit {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Lit::Int(a) => {
+                state.write_u8(2);
+                state.write_u64((*a as f64).to_bits());
+            }
+            Lit::Double(d) => {
+                state.write_u8(2);
+                state.write_u64(d.to_bits());
+            }
+            Lit::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(*b as u8);
+            }
+            Lit::Text(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+            Lit::Date(d) => {
+                state.write_u8(4);
+                state.write_i32(*d);
+            }
+            Lit::Null => state.write_u8(0),
+        }
+    }
+}
+
+impl PartialOrd for Lit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Lit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Lit::Int(a), Lit::Int(b)) => a.cmp(b),
+            (Lit::Double(a), Lit::Double(b)) => a.total_cmp(b),
+            (Lit::Int(a), Lit::Double(b)) => (*a as f64).total_cmp(b),
+            (Lit::Double(a), Lit::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Lit::Bool(a), Lit::Bool(b)) => a.cmp(b),
+            (Lit::Text(a), Lit::Text(b)) => a.cmp(b),
+            (Lit::Date(a), Lit::Date(b)) => a.cmp(b),
+            (Lit::Null, Lit::Null) => Ordering::Equal,
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Int(v) => write!(f, "{v}"),
+            Lit::Double(v) => write!(f, "{v}"),
+            Lit::Bool(v) => write!(f, "{}", if *v { "TRUE" } else { "FALSE" }),
+            Lit::Text(v) => write!(f, "'{v}'"),
+            Lit::Date(v) => write!(f, "DATE({v})"),
+            Lit::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl From<i64> for Lit {
+    fn from(v: i64) -> Self {
+        Lit::Int(v)
+    }
+}
+
+impl From<&str> for Lit {
+    fn from(v: &str) -> Self {
+        Lit::Text(v.to_string())
+    }
+}
+
+impl From<bool> for Lit {
+    fn from(v: bool) -> Self {
+        Lit::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Lit::Int(2), Lit::Double(2.0));
+        assert_ne!(Lit::Int(2), Lit::Double(2.5));
+    }
+
+    #[test]
+    fn null_equals_null_syntactically() {
+        // This is *syntactic* equality for expression manipulation, not
+        // SQL three-valued logic (the evaluator handles that).
+        assert_eq!(Lit::Null, Lit::Null);
+    }
+
+    #[test]
+    fn ordering_total_over_mixed() {
+        let mut v = [Lit::text("z"), Lit::Null, Lit::Int(5), Lit::Bool(false)];
+        v.sort();
+        assert_eq!(v[0], Lit::Null);
+        assert_eq!(v[3], Lit::text("z"));
+    }
+
+    #[test]
+    fn display_sql_style() {
+        assert_eq!(Lit::Bool(true).to_string(), "TRUE");
+        assert_eq!(Lit::text("US").to_string(), "'US'");
+    }
+}

@@ -1,0 +1,380 @@
+//! Mappings, mapping constraints, correspondences, and view definitions —
+//! the artifacts model management operators consume and produce.
+
+use crate::algebra::Expr;
+use crate::logic::{SoTgd, Tgd};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reference to a schema element or one of its attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathRef {
+    pub element: String,
+    /// `None` refers to the element itself (e.g. a root correspondence in
+    /// a snowflake mapping, Figure 4's ✱-edge).
+    pub attribute: Option<String>,
+}
+
+impl PathRef {
+    pub fn element(element: impl Into<String>) -> Self {
+        PathRef { element: element.into(), attribute: None }
+    }
+
+    pub fn attr(element: impl Into<String>, attribute: impl Into<String>) -> Self {
+        PathRef { element: element.into(), attribute: Some(attribute.into()) }
+    }
+}
+
+impl fmt::Display for PathRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.attribute {
+            Some(a) => write!(f, "{}.{a}", self.element),
+            None => f.write_str(&self.element),
+        }
+    }
+}
+
+/// A correspondence: a pair of schema paths "believed to be related in
+/// some unspecified way" (§3.1), with a matcher confidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Correspondence {
+    pub source: PathRef,
+    pub target: PathRef,
+    pub confidence: f64,
+}
+
+impl Correspondence {
+    pub fn new(source: PathRef, target: PathRef, confidence: f64) -> Self {
+        Correspondence { source, target, confidence }
+    }
+}
+
+impl fmt::Display for Correspondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ~ {} ({:.2})", self.source, self.target, self.confidence)
+    }
+}
+
+/// The output of Match: a ranked set of correspondences between a source
+/// and a target schema.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CorrespondenceSet {
+    pub source_schema: String,
+    pub target_schema: String,
+    pub correspondences: Vec<Correspondence>,
+}
+
+impl CorrespondenceSet {
+    pub fn new(source_schema: impl Into<String>, target_schema: impl Into<String>) -> Self {
+        CorrespondenceSet {
+            source_schema: source_schema.into(),
+            target_schema: target_schema.into(),
+            correspondences: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, c: Correspondence) {
+        self.correspondences.push(c);
+    }
+
+    /// Candidates for a given source path, best first — the "all viable
+    /// candidates" presentation §3.1.1 argues matters more than top-1
+    /// accuracy for engineered mappings.
+    pub fn candidates_for(&self, source: &PathRef) -> Vec<&Correspondence> {
+        let mut v: Vec<&Correspondence> =
+            self.correspondences.iter().filter(|c| &c.source == source).collect();
+        v.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+        v
+    }
+
+    /// Keep only the top-k candidates per source path.
+    pub fn top_k(&self, k: usize) -> CorrespondenceSet {
+        let mut sources: Vec<&PathRef> = Vec::new();
+        for c in &self.correspondences {
+            if !sources.contains(&&c.source) {
+                sources.push(&c.source);
+            }
+        }
+        let mut out = CorrespondenceSet::new(
+            self.source_schema.clone(),
+            self.target_schema.clone(),
+        );
+        for s in sources {
+            for c in self.candidates_for(s).into_iter().take(k) {
+                out.push(c.clone());
+            }
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.correspondences.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.correspondences.is_empty()
+    }
+}
+
+/// A single mapping constraint, in one of the engine's constraint
+/// languages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MappingConstraint {
+    /// A (source-to-target) tuple-generating dependency.
+    Tgd(Tgd),
+    /// A second-order tgd (typically produced by Compose).
+    SoTgd(SoTgd),
+    /// Equality of two algebra expressions, the left over the source and
+    /// the right over the target — the paper's Figure 2 constraint style
+    /// (ADO.NET mapping language).
+    ExprEq { source: Expr, target: Expr },
+}
+
+impl fmt::Display for MappingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingConstraint::Tgd(t) => write!(f, "{t}"),
+            MappingConstraint::SoTgd(t) => write!(f, "{t}"),
+            MappingConstraint::ExprEq { source, target } => {
+                write!(f, "{source}\n  =\n{target}")
+            }
+        }
+    }
+}
+
+/// A mapping between two schemas: a set of mapping constraints whose
+/// instance-level semantics is the set of instance pairs ⟨D1, D2⟩
+/// satisfying every constraint (§2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    pub source_schema: String,
+    pub target_schema: String,
+    pub constraints: Vec<MappingConstraint>,
+}
+
+impl Mapping {
+    pub fn new(source_schema: impl Into<String>, target_schema: impl Into<String>) -> Self {
+        Mapping {
+            source_schema: source_schema.into(),
+            target_schema: target_schema.into(),
+            constraints: Vec::new(),
+        }
+    }
+
+    pub fn with_constraints(
+        source_schema: impl Into<String>,
+        target_schema: impl Into<String>,
+        constraints: Vec<MappingConstraint>,
+    ) -> Self {
+        Mapping {
+            source_schema: source_schema.into(),
+            target_schema: target_schema.into(),
+            constraints,
+        }
+    }
+
+    pub fn push(&mut self, c: MappingConstraint) {
+        self.constraints.push(c);
+    }
+
+    pub fn push_tgd(&mut self, t: Tgd) {
+        self.constraints.push(MappingConstraint::Tgd(t));
+    }
+
+    /// The tgd constraints, if *all* constraints are tgds (the precondition
+    /// of the chase and of st-tgd composition).
+    pub fn as_tgds(&self) -> Option<Vec<&Tgd>> {
+        self.constraints
+            .iter()
+            .map(|c| match c {
+                MappingConstraint::Tgd(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Syntactic inverse: swap source and target roles (the paper's §6.2
+    /// `Invert` — "simply reverses the roles of the source and target",
+    /// not the semantic `Inverse` of §6.4). Constraint formulas are kept;
+    /// their orientation is interpreted by the consuming operator.
+    pub fn inverted(&self) -> Mapping {
+        Mapping {
+            source_schema: self.target_schema.clone(),
+            target_schema: self.source_schema.clone(),
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| match c {
+                    MappingConstraint::ExprEq { source, target } => MappingConstraint::ExprEq {
+                        source: target.clone(),
+                        target: source.clone(),
+                    },
+                    other => other.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mapping {} -> {} {{", self.source_schema, self.target_schema)?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A view definition: a named transformation (functional mapping
+/// constraint, §2) expressed in the algebra.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewDef {
+    /// The relation (in the *view's* schema) that the expression defines.
+    pub name: String,
+    /// The defining query over the *base* schema.
+    pub expr: Expr,
+}
+
+impl ViewDef {
+    pub fn new(name: impl Into<String>, expr: Expr) -> Self {
+        ViewDef { name: name.into(), expr }
+    }
+}
+
+impl fmt::Display for ViewDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE VIEW {} AS {}", self.name, self.expr)
+    }
+}
+
+/// A set of view definitions over one base schema — TransGen's output
+/// (query views or update views).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ViewSet {
+    /// Schema the views read from.
+    pub base_schema: String,
+    /// Schema the views define.
+    pub view_schema: String,
+    pub views: Vec<ViewDef>,
+}
+
+impl ViewSet {
+    pub fn new(base_schema: impl Into<String>, view_schema: impl Into<String>) -> Self {
+        ViewSet {
+            base_schema: base_schema.into(),
+            view_schema: view_schema.into(),
+            views: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, v: ViewDef) {
+        self.views.push(v);
+    }
+
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::Atom;
+
+    #[test]
+    fn candidates_sorted_by_confidence() {
+        let mut cs = CorrespondenceSet::new("S", "T");
+        let src = PathRef::attr("Empl", "Name");
+        cs.push(Correspondence::new(src.clone(), PathRef::attr("Staff", "FullName"), 0.5));
+        cs.push(Correspondence::new(src.clone(), PathRef::attr("Staff", "Name"), 0.9));
+        cs.push(Correspondence::new(
+            PathRef::attr("Empl", "EID"),
+            PathRef::attr("Staff", "SID"),
+            0.8,
+        ));
+        let cands = cs.candidates_for(&src);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].target, PathRef::attr("Staff", "Name"));
+    }
+
+    #[test]
+    fn top_k_limits_per_source() {
+        let mut cs = CorrespondenceSet::new("S", "T");
+        let src = PathRef::attr("A", "x");
+        for (i, conf) in [(0, 0.9), (1, 0.8), (2, 0.7)] {
+            cs.push(Correspondence::new(
+                src.clone(),
+                PathRef::attr("B", format!("y{i}")),
+                conf,
+            ));
+        }
+        let top = cs.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert!(top.correspondences.iter().all(|c| c.confidence >= 0.8));
+    }
+
+    #[test]
+    fn inverted_swaps_schemas_and_expr_sides() {
+        let m = Mapping::with_constraints(
+            "S",
+            "T",
+            vec![MappingConstraint::ExprEq {
+                source: Expr::base("A"),
+                target: Expr::base("B"),
+            }],
+        );
+        let inv = m.inverted();
+        assert_eq!(inv.source_schema, "T");
+        assert_eq!(inv.target_schema, "S");
+        match &inv.constraints[0] {
+            MappingConstraint::ExprEq { source, target } => {
+                assert_eq!(source, &Expr::base("B"));
+                assert_eq!(target, &Expr::base("A"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn as_tgds_requires_all_tgds() {
+        let mut m = Mapping::new("S", "T");
+        m.push_tgd(Tgd::new(vec![Atom::vars("R", &["x"])], vec![Atom::vars("S", &["x"])]));
+        assert!(m.as_tgds().is_some());
+        m.push(MappingConstraint::ExprEq {
+            source: Expr::base("A"),
+            target: Expr::base("B"),
+        });
+        assert!(m.as_tgds().is_none());
+    }
+
+    #[test]
+    fn view_set_lookup() {
+        let mut vs = ViewSet::new("S", "V");
+        vs.push(ViewDef::new("Students", Expr::base("Names")));
+        assert!(vs.view("Students").is_some());
+        assert!(vs.view("Nope").is_none());
+    }
+
+    #[test]
+    fn pathref_display() {
+        assert_eq!(PathRef::attr("Empl", "EID").to_string(), "Empl.EID");
+        assert_eq!(PathRef::element("Empl").to_string(), "Empl");
+    }
+}

@@ -1,0 +1,738 @@
+//! Algebraic optimization: predicate pushdown and column pruning.
+//!
+//! §4 of the paper: "it must be possible to generate efficient
+//! transformations … which is likely to expose a wealth of optimization
+//! opportunities." The unfolded/composed expressions the engine produces
+//! (Figure 3 reconstructions, Figure 6 compositions, mediator chains) are
+//! deeply nested; this pass rewrites them so the materializing evaluator
+//! touches less data:
+//!
+//! * **predicate pushdown** — selections move through projections,
+//!   renames, extends, set operations, and into the inputs of joins and
+//!   products (conjunct by conjunct);
+//! * **column pruning** — projections are replicated below joins, unions,
+//!   and products so intermediates carry only needed columns;
+//! * plus the [`crate::rewrite::simplify_fix`] clean-ups.
+//!
+//! All rewrites are semantics-preserving under the evaluator's semantics
+//! (verified by property tests and the EQ9 ablation).
+
+use crate::algebra::{Expr, Predicate, Scalar};
+use crate::analyze::{output_schema, ExprError};
+use mm_metamodel::Schema;
+use std::collections::BTreeSet;
+
+/// Fully optimize an expression against `schema`.
+pub fn optimize(expr: &Expr, schema: &Schema) -> Result<Expr, ExprError> {
+    // validate up front so the passes can assume well-typedness
+    output_schema(expr, schema)?;
+    let mut cur = crate::rewrite::simplify_fix(expr);
+    for _ in 0..8 {
+        let pushed = push_predicates(&cur, schema)?;
+        let pruned = prune_columns(&pushed, schema)?;
+        let next = crate::rewrite::simplify_fix(&pruned);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    Ok(cur)
+}
+
+// ---------------------------------------------------------------------------
+// predicate pushdown
+
+fn columns_of(expr: &Expr, schema: &Schema) -> Result<Vec<String>, ExprError> {
+    Ok(output_schema(expr, schema)?.into_iter().map(|a| a.name).collect())
+}
+
+fn pred_columns(p: &Predicate, out: &mut BTreeSet<String>) {
+    match p {
+        Predicate::Cmp { left, right, .. } => {
+            scalar_columns(left, out);
+            scalar_columns(right, out);
+        }
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            pred_columns(a, out);
+            pred_columns(b, out);
+        }
+        Predicate::Not(q) => pred_columns(q, out),
+        Predicate::IsNull(s) => scalar_columns(s, out),
+        Predicate::IsOf { .. } => {
+            out.insert(mm_metamodel::TYPE_ATTR.to_string());
+        }
+        Predicate::True | Predicate::False => {}
+    }
+}
+
+fn scalar_columns(s: &Scalar, out: &mut BTreeSet<String>) {
+    match s {
+        Scalar::Col(c) => {
+            out.insert(c.clone());
+        }
+        Scalar::Lit(_) => {}
+        Scalar::Func(_, args) => {
+            for a in args {
+                scalar_columns(a, out);
+            }
+        }
+        Scalar::Case { branches, otherwise } => {
+            for (p, v) in branches {
+                pred_columns(p, out);
+                scalar_columns(v, out);
+            }
+            scalar_columns(otherwise, out);
+        }
+    }
+}
+
+fn split_conjuncts(p: Predicate, out: &mut Vec<Predicate>) {
+    match p {
+        Predicate::And(a, b) => {
+            split_conjuncts(*a, out);
+            split_conjuncts(*b, out);
+        }
+        Predicate::True => {}
+        other => out.push(other),
+    }
+}
+
+fn conjoin(preds: Vec<Predicate>) -> Predicate {
+    preds.into_iter().fold(Predicate::True, |acc, p| acc.and(p))
+}
+
+fn rename_in_scalar(s: &Scalar, map: &dyn Fn(&str) -> Option<String>) -> Scalar {
+    match s {
+        Scalar::Col(c) => Scalar::Col(map(c).unwrap_or_else(|| c.clone())),
+        Scalar::Lit(_) => s.clone(),
+        Scalar::Func(f, args) => {
+            Scalar::Func(*f, args.iter().map(|a| rename_in_scalar(a, map)).collect())
+        }
+        Scalar::Case { branches, otherwise } => Scalar::Case {
+            branches: branches
+                .iter()
+                .map(|(p, v)| (rename_in_pred(p, map), rename_in_scalar(v, map)))
+                .collect(),
+            otherwise: Box::new(rename_in_scalar(otherwise, map)),
+        },
+    }
+}
+
+fn rename_in_pred(p: &Predicate, map: &dyn Fn(&str) -> Option<String>) -> Predicate {
+    match p {
+        Predicate::Cmp { op, left, right } => Predicate::Cmp {
+            op: *op,
+            left: rename_in_scalar(left, map),
+            right: rename_in_scalar(right, map),
+        },
+        Predicate::And(a, b) => Predicate::And(
+            Box::new(rename_in_pred(a, map)),
+            Box::new(rename_in_pred(b, map)),
+        ),
+        Predicate::Or(a, b) => Predicate::Or(
+            Box::new(rename_in_pred(a, map)),
+            Box::new(rename_in_pred(b, map)),
+        ),
+        Predicate::Not(q) => Predicate::Not(Box::new(rename_in_pred(q, map))),
+        Predicate::IsNull(s) => Predicate::IsNull(rename_in_scalar(s, map)),
+        other => other.clone(),
+    }
+}
+
+/// One bottom-up pass moving selections as deep as possible.
+fn push_predicates(expr: &Expr, schema: &Schema) -> Result<Expr, ExprError> {
+    let e = match expr {
+        Expr::Base(_) | Expr::Literal { .. } => expr.clone(),
+        Expr::Project { input, columns } => Expr::Project {
+            input: Box::new(push_predicates(input, schema)?),
+            columns: columns.clone(),
+        },
+        Expr::Select { input, predicate } => {
+            let inner = push_predicates(input, schema)?;
+            return push_select(predicate.clone(), inner, schema);
+        }
+        Expr::Join { left, right, on } => Expr::Join {
+            left: Box::new(push_predicates(left, schema)?),
+            right: Box::new(push_predicates(right, schema)?),
+            on: on.clone(),
+        },
+        Expr::LeftJoin { left, right, on } => Expr::LeftJoin {
+            left: Box::new(push_predicates(left, schema)?),
+            right: Box::new(push_predicates(right, schema)?),
+            on: on.clone(),
+        },
+        Expr::Product { left, right } => Expr::Product {
+            left: Box::new(push_predicates(left, schema)?),
+            right: Box::new(push_predicates(right, schema)?),
+        },
+        Expr::Union { left, right, all } => Expr::Union {
+            left: Box::new(push_predicates(left, schema)?),
+            right: Box::new(push_predicates(right, schema)?),
+            all: *all,
+        },
+        Expr::Diff { left, right } => Expr::Diff {
+            left: Box::new(push_predicates(left, schema)?),
+            right: Box::new(push_predicates(right, schema)?),
+        },
+        Expr::Rename { input, renames } => Expr::Rename {
+            input: Box::new(push_predicates(input, schema)?),
+            renames: renames.clone(),
+        },
+        Expr::Extend { input, column, scalar } => Expr::Extend {
+            input: Box::new(push_predicates(input, schema)?),
+            column: column.clone(),
+            scalar: scalar.clone(),
+        },
+        Expr::Distinct { input } => {
+            Expr::Distinct { input: Box::new(push_predicates(input, schema)?) }
+        }
+        Expr::Aggregate { input, group_by, aggregates } => Expr::Aggregate {
+            input: Box::new(push_predicates(input, schema)?),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+    };
+    Ok(e)
+}
+
+/// Push a selection predicate into `input` where possible.
+fn push_select(pred: Predicate, input: Expr, schema: &Schema) -> Result<Expr, ExprError> {
+    match input {
+        Expr::Project { input: inner, columns } => {
+            // predicate only sees projected columns, all present below
+            let pushed = push_select(pred, *inner, schema)?;
+            Ok(Expr::Project { input: Box::new(pushed), columns })
+        }
+        Expr::Rename { input: inner, renames } => {
+            // rewrite predicate columns new -> old, push below the rename
+            let back = |c: &str| {
+                renames
+                    .iter()
+                    .find(|(_, new)| new == c)
+                    .map(|(old, _)| old.clone())
+            };
+            let renamed = rename_in_pred(&pred, &back);
+            let pushed = push_select(renamed, *inner, schema)?;
+            Ok(Expr::Rename { input: Box::new(pushed), renames })
+        }
+        Expr::Distinct { input: inner } => {
+            let pushed = push_select(pred, *inner, schema)?;
+            Ok(Expr::Distinct { input: Box::new(pushed) })
+        }
+        Expr::Extend { input: inner, column, scalar } => {
+            // conjuncts not touching the computed column move below
+            let mut conjuncts = Vec::new();
+            split_conjuncts(pred, &mut conjuncts);
+            let (below, above): (Vec<_>, Vec<_>) = conjuncts.into_iter().partition(|c| {
+                let mut cols = BTreeSet::new();
+                pred_columns(c, &mut cols);
+                !cols.contains(&column)
+            });
+            let mut e = push_select(conjoin(below), *inner, schema)?;
+            e = Expr::Extend { input: Box::new(e), column, scalar };
+            Ok(wrap_select(e, conjoin(above)))
+        }
+        Expr::Union { left, right, all } => {
+            // left keeps names; the right side is positional — translate
+            let l_cols = columns_of(&left, schema)?;
+            let r_cols = columns_of(&right, schema)?;
+            let to_right = |c: &str| {
+                l_cols
+                    .iter()
+                    .position(|x| x == c)
+                    .and_then(|i| r_cols.get(i).cloned())
+            };
+            let r_pred = rename_in_pred(&pred, &to_right);
+            let l = push_select(pred, *left, schema)?;
+            let r = push_select(r_pred, *right, schema)?;
+            Ok(Expr::Union { left: Box::new(l), right: Box::new(r), all })
+        }
+        Expr::Join { left, right, on } => {
+            push_into_join(pred, *left, *right, on, schema, JoinKind::Inner)
+        }
+        Expr::Product { left, right } => {
+            push_into_join(pred, *left, *right, Vec::new(), schema, JoinKind::Inner)
+        }
+        Expr::Aggregate { input, group_by, aggregates } => {
+            // conjuncts over group-by columns commute with grouping;
+            // conjuncts over aggregate outputs (HAVING-style) stay above
+            let mut conjuncts = Vec::new();
+            split_conjuncts(pred, &mut conjuncts);
+            let (below, above): (Vec<_>, Vec<_>) = conjuncts.into_iter().partition(|c| {
+                let mut cols = BTreeSet::new();
+                pred_columns(c, &mut cols);
+                cols.iter().all(|x| group_by.contains(x))
+            });
+            let inner = push_select(conjoin(below), *input, schema)?;
+            let e = Expr::Aggregate { input: Box::new(inner), group_by, aggregates };
+            Ok(wrap_select(e, conjoin(above)))
+        }
+        Expr::LeftJoin { left, right, on } => {
+            // only left-side conjuncts are safe to push (right side
+            // filtering changes NULL padding)
+            let l_cols: BTreeSet<String> =
+                columns_of(&left, schema)?.into_iter().collect();
+            let mut conjuncts = Vec::new();
+            split_conjuncts(pred, &mut conjuncts);
+            let (l_push, above): (Vec<_>, Vec<_>) = conjuncts.into_iter().partition(|c| {
+                let mut cols = BTreeSet::new();
+                pred_columns(c, &mut cols);
+                cols.iter().all(|x| l_cols.contains(x))
+            });
+            let l = push_select(conjoin(l_push), *left, schema)?;
+            let e = Expr::LeftJoin { left: Box::new(l), right, on };
+            Ok(wrap_select(e, conjoin(above)))
+        }
+        other => Ok(wrap_select(other, pred)),
+    }
+}
+
+enum JoinKind {
+    Inner,
+}
+
+fn push_into_join(
+    pred: Predicate,
+    left: Expr,
+    right: Expr,
+    on: Vec<(String, String)>,
+    schema: &Schema,
+    _kind: JoinKind,
+) -> Result<Expr, ExprError> {
+    let l_cols: BTreeSet<String> = columns_of(&left, schema)?.into_iter().collect();
+    let r_cols: BTreeSet<String> = columns_of(&right, schema)?.into_iter().collect();
+    let mut conjuncts = Vec::new();
+    split_conjuncts(pred, &mut conjuncts);
+    let mut l_push = Vec::new();
+    let mut r_push = Vec::new();
+    let mut above = Vec::new();
+    for c in conjuncts {
+        let mut cols = BTreeSet::new();
+        pred_columns(&c, &mut cols);
+        if cols.iter().all(|x| l_cols.contains(x)) {
+            // a conjunct over left columns can also mirror to the right
+            // when every column is a join key (filter both build sides)
+            l_push.push(c);
+        } else if cols.iter().all(|x| r_cols.contains(x)) {
+            r_push.push(c);
+        } else {
+            // mixed: a conjunct on a (left-named) join key column can be
+            // rewritten to the right name; otherwise stay above
+            let to_right = |col: &str| {
+                on.iter().find(|(l, _)| l == col).map(|(_, r)| r.clone())
+            };
+            let rewritten = rename_in_pred(&c, &to_right);
+            let mut rcols = BTreeSet::new();
+            pred_columns(&rewritten, &mut rcols);
+            if rcols.iter().all(|x| r_cols.contains(x)) {
+                r_push.push(rewritten);
+            } else {
+                above.push(c);
+            }
+        }
+    }
+    let l = push_select(conjoin(l_push), left, schema)?;
+    let r = push_select(conjoin(r_push), right, schema)?;
+    let joined = if on.is_empty() {
+        Expr::Product { left: Box::new(l), right: Box::new(r) }
+    } else {
+        Expr::Join { left: Box::new(l), right: Box::new(r), on }
+    };
+    Ok(wrap_select(joined, conjoin(above)))
+}
+
+fn wrap_select(e: Expr, pred: Predicate) -> Expr {
+    match pred {
+        Predicate::True => e,
+        p => Expr::Select { input: Box::new(e), predicate: p },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// column pruning
+
+/// One top-down pass inserting projections below joins/unions/products so
+/// intermediates only carry needed columns.
+fn prune_columns(expr: &Expr, schema: &Schema) -> Result<Expr, ExprError> {
+    let all: Vec<String> = columns_of(expr, schema)?;
+    prune_needed(expr, &all.into_iter().collect::<BTreeSet<_>>(), schema)
+}
+
+fn prune_needed(
+    expr: &Expr,
+    needed: &BTreeSet<String>,
+    schema: &Schema,
+) -> Result<Expr, ExprError> {
+    match expr {
+        Expr::Base(_) | Expr::Literal { .. } => Ok(expr.clone()),
+        Expr::Project { input, columns } => {
+            let mut want: BTreeSet<String> = columns.iter().cloned().collect();
+            // keep only the projected columns that are needed upstream,
+            // preserving order — but a projection's output IS its column
+            // list; upstream needs are a subset
+            want.retain(|c| needed.contains(c) || needed.is_empty());
+            let cols: Vec<String> = if want.is_empty() {
+                columns.clone()
+            } else {
+                columns.iter().filter(|c| want.contains(*c)).cloned().collect()
+            };
+            let inner_needed: BTreeSet<String> = cols.iter().cloned().collect();
+            Ok(Expr::Project {
+                input: Box::new(prune_needed(input, &inner_needed, schema)?),
+                columns: cols,
+            })
+        }
+        Expr::Select { input, predicate } => {
+            let mut want = needed.clone();
+            pred_columns(predicate, &mut want);
+            Ok(Expr::Select {
+                input: Box::new(prune_needed(input, &want, schema)?),
+                predicate: predicate.clone(),
+            })
+        }
+        Expr::Join { left, right, on } => {
+            let l_cols = columns_of(left, schema)?;
+            let r_cols = columns_of(right, schema)?;
+            let mut l_want: Vec<String> = l_cols
+                .iter()
+                .filter(|c| needed.contains(*c) || on.iter().any(|(a, _)| a == *c))
+                .cloned()
+                .collect();
+            let mut r_want: Vec<String> = r_cols
+                .iter()
+                .filter(|c| needed.contains(*c) || on.iter().any(|(_, b)| b == *c))
+                .cloned()
+                .collect();
+            if l_want.is_empty() {
+                l_want = l_cols.clone();
+            }
+            if r_want.is_empty() {
+                r_want = r_cols.clone();
+            }
+            let l_set: BTreeSet<String> = l_want.iter().cloned().collect();
+            let r_set: BTreeSet<String> = r_want.iter().cloned().collect();
+            let l = maybe_project(prune_needed(left, &l_set, schema)?, &l_cols, l_want);
+            let r = maybe_project(prune_needed(right, &r_set, schema)?, &r_cols, r_want);
+            Ok(Expr::Join { left: Box::new(l), right: Box::new(r), on: on.clone() })
+        }
+        Expr::LeftJoin { left, right, on } => Ok(Expr::LeftJoin {
+            left: Box::new(prune_needed(left, needed, schema)?),
+            right: Box::new(prune_needed(right, needed, schema)?),
+            on: on.clone(),
+        }),
+        Expr::Product { left, right } => Ok(Expr::Product {
+            left: Box::new(prune_needed(left, needed, schema)?),
+            right: Box::new(prune_needed(right, needed, schema)?),
+        }),
+        Expr::Union { left, right, all } => {
+            // positional: translate needed left names to right names
+            let l_cols = columns_of(left, schema)?;
+            let r_cols = columns_of(right, schema)?;
+            let keep: Vec<usize> = (0..l_cols.len())
+                .filter(|i| needed.contains(&l_cols[*i]))
+                .collect();
+            if keep.is_empty() || keep.len() == l_cols.len() {
+                return Ok(Expr::Union {
+                    left: Box::new(prune_needed(
+                        left,
+                        &l_cols.iter().cloned().collect(),
+                        schema,
+                    )?),
+                    right: Box::new(prune_needed(
+                        right,
+                        &r_cols.iter().cloned().collect(),
+                        schema,
+                    )?),
+                    all: *all,
+                });
+            }
+            let l_keep: Vec<String> = keep.iter().map(|&i| l_cols[i].clone()).collect();
+            let r_keep: Vec<String> = keep.iter().map(|&i| r_cols[i].clone()).collect();
+            let l = prune_needed(left, &l_keep.iter().cloned().collect(), schema)?
+                .project_owned(l_keep);
+            let r = prune_needed(right, &r_keep.iter().cloned().collect(), schema)?
+                .project_owned(r_keep);
+            Ok(Expr::Union { left: Box::new(l), right: Box::new(r), all: *all })
+        }
+        Expr::Diff { left, right } => Ok(Expr::Diff {
+            left: Box::new(prune_needed(
+                left,
+                &columns_of(left, schema)?.into_iter().collect(),
+                schema,
+            )?),
+            right: Box::new(prune_needed(
+                right,
+                &columns_of(right, schema)?.into_iter().collect(),
+                schema,
+            )?),
+        }),
+        Expr::Rename { input, renames } => {
+            let back: BTreeSet<String> = needed
+                .iter()
+                .map(|c| {
+                    renames
+                        .iter()
+                        .find(|(_, new)| new == c)
+                        .map(|(old, _)| old.clone())
+                        .unwrap_or_else(|| c.clone())
+                })
+                .collect();
+            Ok(Expr::Rename {
+                input: Box::new(prune_needed(input, &back, schema)?),
+                renames: renames.clone(),
+            })
+        }
+        Expr::Extend { input, column, scalar } => {
+            let mut want = needed.clone();
+            want.remove(column);
+            scalar_columns(scalar, &mut want);
+            // inputs must still provide everything needed plus scalar deps
+            Ok(Expr::Extend {
+                input: Box::new(prune_needed(input, &want, schema)?),
+                column: column.clone(),
+                scalar: scalar.clone(),
+            })
+        }
+        Expr::Distinct { input } => Ok(Expr::Distinct {
+            input: Box::new(prune_needed(input, needed, schema)?),
+        }),
+        Expr::Aggregate { input, group_by, aggregates } => {
+            // the aggregate needs its grouping and aggregated columns
+            let mut want: BTreeSet<String> = group_by.iter().cloned().collect();
+            for a in aggregates {
+                if let Some(c) = &a.column {
+                    want.insert(c.clone());
+                }
+            }
+            Ok(Expr::Aggregate {
+                input: Box::new(prune_needed(input, &want, schema)?),
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+            })
+        }
+    }
+}
+
+/// Wrap `e` in a projection when it would strictly reduce its columns.
+fn maybe_project(e: Expr, have: &[String], want: Vec<String>) -> Expr {
+    if want.len() < have.len() {
+        e.project_owned(want)
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::CmpOp;
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("S")
+            .relation("Empl", &[
+                ("EID", DataType::Int),
+                ("Name", DataType::Text),
+                ("Tel", DataType::Text),
+                ("AID", DataType::Int),
+            ])
+            .relation("Addr", &[
+                ("AID", DataType::Int),
+                ("City", DataType::Text),
+                ("Zip", DataType::Text),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    fn count_selects_above_joins(e: &Expr) -> usize {
+        // selections sitting directly on a join = not pushed
+        match e {
+            Expr::Select { input, .. } => {
+                let own = usize::from(matches!(
+                    **input,
+                    Expr::Join { .. } | Expr::Product { .. }
+                ));
+                own + count_selects_above_joins(input)
+            }
+            Expr::Project { input, .. }
+            | Expr::Rename { input, .. }
+            | Expr::Extend { input, .. }
+            | Expr::Distinct { input } => count_selects_above_joins(input),
+            Expr::Join { left, right, .. }
+            | Expr::LeftJoin { left, right, .. }
+            | Expr::Product { left, right }
+            | Expr::Union { left, right, .. }
+            | Expr::Diff { left, right } => {
+                count_selects_above_joins(left) + count_selects_above_joins(right)
+            }
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn selection_pushes_through_join_to_the_right_side() {
+        let s = schema();
+        let e = Expr::base("Empl")
+            .join(Expr::base("Addr"), &[("AID", "AID")])
+            .select(Predicate::col_eq_lit("City", "rome"));
+        let opt = optimize(&e, &s).unwrap();
+        assert_eq!(count_selects_above_joins(&opt), 0, "{opt}");
+        // the selection now sits on Addr
+        assert!(opt.to_string().contains("(Addr) WHERE City = 'rome'"), "{opt}");
+    }
+
+    #[test]
+    fn mixed_conjunction_splits_across_join() {
+        let s = schema();
+        let e = Expr::base("Empl")
+            .join(Expr::base("Addr"), &[("AID", "AID")])
+            .select(
+                Predicate::col_eq_lit("Name", "ann").and(Predicate::col_eq_lit("City", "rome")),
+            );
+        let opt = optimize(&e, &s).unwrap();
+        let text = opt.to_string();
+        assert!(text.contains("(Empl) WHERE Name = 'ann'"), "{text}");
+        assert!(text.contains("(Addr) WHERE City = 'rome'"), "{text}");
+    }
+
+    #[test]
+    fn join_key_predicate_mirrors_to_the_right_name() {
+        let s = schema();
+        // AID is the left name of the join key; the conjunct can filter
+        // the right side too (rewritten to its AID)
+        let e = Expr::base("Empl")
+            .join(Expr::base("Addr"), &[("AID", "AID")])
+            .select(Predicate::col_eq_lit("AID", 10i64));
+        let opt = optimize(&e, &s).unwrap();
+        assert_eq!(count_selects_above_joins(&opt), 0, "{opt}");
+    }
+
+    #[test]
+    fn selection_pushes_through_union_with_positional_rename() {
+        let s = schema();
+        let left = Expr::base("Empl").project(&["EID", "Name"]);
+        let right = Expr::base("Addr")
+            .project(&["AID", "City"]); // positional: EID<->AID, Name<->City
+        let e = left.union(right).select(Predicate::col_eq_lit("Name", "x"));
+        let opt = optimize(&e, &s).unwrap();
+        let text = opt.to_string();
+        // right branch filters City (the positional twin of Name)
+        assert!(text.contains("City = 'x'"), "{text}");
+        assert!(!matches!(opt, Expr::Select { .. }), "selection not pushed: {text}");
+    }
+
+    #[test]
+    fn left_join_only_pushes_left_conjuncts() {
+        let s = schema();
+        let e = Expr::base("Empl")
+            .left_join(Expr::base("Addr"), &[("AID", "AID")])
+            .select(
+                Predicate::col_eq_lit("Name", "ann")
+                    .and(Predicate::IsNull(Scalar::col("City"))),
+            );
+        let opt = optimize(&e, &s).unwrap();
+        let text = opt.to_string();
+        // Name filter moved to Empl; City IS NULL stayed above the outer join
+        assert!(text.contains("(Empl) WHERE Name = 'ann'"), "{text}");
+        assert!(text.contains("LEFT OUTER JOIN"), "{text}");
+        assert!(
+            matches!(&opt, Expr::Select { predicate, .. }
+                if predicate.to_string().contains("City IS NULL")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn column_pruning_inserts_projections_below_joins() {
+        let s = schema();
+        let e = Expr::base("Empl")
+            .join(Expr::base("Addr"), &[("AID", "AID")])
+            .project(&["Name", "City"]);
+        let opt = optimize(&e, &s).unwrap();
+        let text = opt.to_string();
+        // Tel and Zip are never carried through the join
+        assert!(!needed_in_join(&opt, "Tel"), "{text}");
+        assert!(!needed_in_join(&opt, "Zip"), "{text}");
+    }
+
+    fn needed_in_join(e: &Expr, col: &str) -> bool {
+        match e {
+            Expr::Join { left, right, .. } => {
+                let l = crate::analyze::output_schema(left, &schema()).unwrap();
+                let r = crate::analyze::output_schema(right, &schema()).unwrap();
+                l.iter().chain(r.iter()).any(|a| a.name == col)
+            }
+            Expr::Project { input, .. }
+            | Expr::Select { input, .. }
+            | Expr::Rename { input, .. }
+            | Expr::Extend { input, .. }
+            | Expr::Distinct { input } => needed_in_join(input, col),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn extend_pushdown_skips_computed_column() {
+        let s = schema();
+        let e = Expr::base("Empl")
+            .extend("Flag", Scalar::lit(true))
+            .select(
+                Predicate::col_eq_lit("Flag", true).and(Predicate::col_eq_lit("Name", "ann")),
+            );
+        let opt = optimize(&e, &s).unwrap();
+        let text = opt.to_string();
+        assert!(text.contains("(Empl) WHERE Name = 'ann'"), "{text}");
+        assert!(text.contains("Flag = TRUE"), "{text}");
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let s = schema();
+        let e = Expr::base("Empl")
+            .join(Expr::base("Addr"), &[("AID", "AID")])
+            .select(Predicate::col_eq_lit("City", "rome"))
+            .project(&["Name"]);
+        let once = optimize(&e, &s).unwrap();
+        let twice = optimize(&once, &s).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn groupby_conjuncts_push_below_aggregates_having_stays() {
+        use crate::algebra::AggSpec;
+        let s = schema();
+        let e = Expr::base("Empl")
+            .aggregate(&["AID"], vec![AggSpec::count("n")])
+            .select(
+                Predicate::col_eq_lit("AID", 10i64).and(Predicate::Cmp {
+                    op: CmpOp::Gt,
+                    left: Scalar::col("n"),
+                    right: Scalar::lit(1i64),
+                }),
+            );
+        let opt = optimize(&e, &s).unwrap();
+        let text = opt.to_string();
+        // AID filter reached the Empl scan; the HAVING-style n filter
+        // remains above the aggregate
+        assert!(text.contains("(Empl) WHERE AID = 10"), "{text}");
+        assert!(
+            matches!(&opt, Expr::Select { predicate, .. } if predicate.to_string().contains("n > 1")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn comparison_operators_push_too() {
+        let s = schema();
+        let e = Expr::base("Empl")
+            .join(Expr::base("Addr"), &[("AID", "AID")])
+            .select(Predicate::Cmp {
+                op: CmpOp::Gt,
+                left: Scalar::col("EID"),
+                right: Scalar::lit(5i64),
+            });
+        let opt = optimize(&e, &s).unwrap();
+        assert_eq!(count_selects_above_joins(&opt), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Expression rewriting: base-relation substitution (view unfolding) and
+//! algebraic simplification.
+//!
+//! Substitution is the algebraic half of Compose (§6.1): composing a view
+//! `V = e1(S)` with a view `W = e2(V)` is `W = e2[V ↦ e1](S)`. The runtime
+//! uses the same rewrite to mediate queries through chains of mappings
+//! (§5, "Peer-to-peer") and can then `simplify` the collapsed expression.
+
+use crate::algebra::{Expr, Predicate};
+use std::collections::HashMap;
+
+/// Replace every `Base(name)` with `defs[name]` where defined.
+pub fn substitute_bases(expr: &Expr, defs: &HashMap<String, Expr>) -> Expr {
+    match expr {
+        Expr::Base(n) => defs.get(n).cloned().unwrap_or_else(|| expr.clone()),
+        Expr::Literal { .. } => expr.clone(),
+        Expr::Project { input, columns } => Expr::Project {
+            input: Box::new(substitute_bases(input, defs)),
+            columns: columns.clone(),
+        },
+        Expr::Select { input, predicate } => Expr::Select {
+            input: Box::new(substitute_bases(input, defs)),
+            predicate: predicate.clone(),
+        },
+        Expr::Join { left, right, on } => Expr::Join {
+            left: Box::new(substitute_bases(left, defs)),
+            right: Box::new(substitute_bases(right, defs)),
+            on: on.clone(),
+        },
+        Expr::LeftJoin { left, right, on } => Expr::LeftJoin {
+            left: Box::new(substitute_bases(left, defs)),
+            right: Box::new(substitute_bases(right, defs)),
+            on: on.clone(),
+        },
+        Expr::Product { left, right } => Expr::Product {
+            left: Box::new(substitute_bases(left, defs)),
+            right: Box::new(substitute_bases(right, defs)),
+        },
+        Expr::Union { left, right, all } => Expr::Union {
+            left: Box::new(substitute_bases(left, defs)),
+            right: Box::new(substitute_bases(right, defs)),
+            all: *all,
+        },
+        Expr::Diff { left, right } => Expr::Diff {
+            left: Box::new(substitute_bases(left, defs)),
+            right: Box::new(substitute_bases(right, defs)),
+        },
+        Expr::Rename { input, renames } => Expr::Rename {
+            input: Box::new(substitute_bases(input, defs)),
+            renames: renames.clone(),
+        },
+        Expr::Extend { input, column, scalar } => Expr::Extend {
+            input: Box::new(substitute_bases(input, defs)),
+            column: column.clone(),
+            scalar: scalar.clone(),
+        },
+        Expr::Distinct { input } => {
+            Expr::Distinct { input: Box::new(substitute_bases(input, defs)) }
+        }
+        Expr::Aggregate { input, group_by, aggregates } => Expr::Aggregate {
+            input: Box::new(substitute_bases(input, defs)),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+    }
+}
+
+/// One bottom-up simplification pass:
+///
+/// * `σ_TRUE(e) → e`, `σ_p(σ_q(e)) → σ_{p∧q}(e)`;
+/// * `π_cols(π_inner(e)) → π_cols(e)` (outer projection wins — its columns
+///   are a subset of the inner's output by well-typedness);
+/// * `DISTINCT(DISTINCT(e)) → DISTINCT(e)`, `DISTINCT(π(e)) → π(e)`
+///   (projection already deduplicates under set semantics);
+/// * identity renames dropped.
+pub fn simplify(expr: &Expr) -> Expr {
+    let e = map_children(expr, &simplify);
+    match e {
+        Expr::Select { input, predicate } => match (predicate, *input) {
+            (Predicate::True, inner) => inner,
+            (p, Expr::Select { input: inner, predicate: q }) => {
+                Expr::Select { input: inner, predicate: q.and(p) }
+            }
+            (p, inner) => Expr::Select { input: Box::new(inner), predicate: p },
+        },
+        Expr::Project { input, columns } => match *input {
+            Expr::Project { input: inner, .. } => {
+                Expr::Project { input: inner, columns }
+            }
+            inner => Expr::Project { input: Box::new(inner), columns },
+        },
+        Expr::Distinct { input } => match *input {
+            d @ Expr::Distinct { .. } => d,
+            p @ Expr::Project { .. } => p,
+            inner => Expr::Distinct { input: Box::new(inner) },
+        },
+        Expr::Rename { input, renames } => {
+            let renames: Vec<(String, String)> =
+                renames.into_iter().filter(|(a, b)| a != b).collect();
+            if renames.is_empty() {
+                *input
+            } else {
+                Expr::Rename { input, renames }
+            }
+        }
+        other => other,
+    }
+}
+
+/// Simplify to a fixpoint (bounded; each pass strictly shrinks or the loop
+/// stops).
+pub fn simplify_fix(expr: &Expr) -> Expr {
+    let mut cur = simplify(expr);
+    loop {
+        let next = simplify(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn map_children(expr: &Expr, f: &dyn Fn(&Expr) -> Expr) -> Expr {
+    match expr {
+        Expr::Base(_) | Expr::Literal { .. } => expr.clone(),
+        Expr::Project { input, columns } => {
+            Expr::Project { input: Box::new(f(input)), columns: columns.clone() }
+        }
+        Expr::Select { input, predicate } => {
+            Expr::Select { input: Box::new(f(input)), predicate: predicate.clone() }
+        }
+        Expr::Join { left, right, on } => Expr::Join {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            on: on.clone(),
+        },
+        Expr::LeftJoin { left, right, on } => Expr::LeftJoin {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            on: on.clone(),
+        },
+        Expr::Product { left, right } => {
+            Expr::Product { left: Box::new(f(left)), right: Box::new(f(right)) }
+        }
+        Expr::Union { left, right, all } => Expr::Union {
+            left: Box::new(f(left)),
+            right: Box::new(f(right)),
+            all: *all,
+        },
+        Expr::Diff { left, right } => {
+            Expr::Diff { left: Box::new(f(left)), right: Box::new(f(right)) }
+        }
+        Expr::Rename { input, renames } => {
+            Expr::Rename { input: Box::new(f(input)), renames: renames.clone() }
+        }
+        Expr::Extend { input, column, scalar } => Expr::Extend {
+            input: Box::new(f(input)),
+            column: column.clone(),
+            scalar: scalar.clone(),
+        },
+        Expr::Distinct { input } => Expr::Distinct { input: Box::new(f(input)) },
+        Expr::Aggregate { input, group_by, aggregates } => Expr::Aggregate {
+            input: Box::new(f(input)),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{Predicate, Scalar};
+
+    #[test]
+    fn substitution_unfolds_views() {
+        let view = Expr::base("Names").join(Expr::base("Addresses"), &[("SID", "SID")]);
+        let query = Expr::base("Students").project(&["Name"]);
+        let mut defs = HashMap::new();
+        defs.insert("Students".to_string(), view.clone());
+        let unfolded = substitute_bases(&query, &defs);
+        match unfolded {
+            Expr::Project { input, .. } => assert_eq!(*input, view),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn substitution_leaves_unknown_bases() {
+        let q = Expr::base("Other");
+        let unfolded = substitute_bases(&q, &HashMap::new());
+        assert_eq!(unfolded, q);
+    }
+
+    #[test]
+    fn select_true_eliminated() {
+        let e = Expr::base("R").select(Predicate::True);
+        assert_eq!(simplify(&e), Expr::base("R"));
+    }
+
+    #[test]
+    fn nested_selects_merge() {
+        let e = Expr::base("R")
+            .select(Predicate::col_eq_lit("a", 1i64))
+            .select(Predicate::col_eq_lit("b", 2i64));
+        match simplify(&e) {
+            Expr::Select { input, predicate } => {
+                assert_eq!(*input, Expr::base("R"));
+                assert!(matches!(predicate, Predicate::And(_, _)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn projection_of_projection_collapses() {
+        let e = Expr::base("R").project(&["a", "b"]).project(&["a"]);
+        match simplify(&e) {
+            Expr::Project { input, columns } => {
+                assert_eq!(*input, Expr::base("R"));
+                assert_eq!(columns, ["a"]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn distinct_of_projection_dropped() {
+        let e = Expr::base("R").project(&["a"]).distinct();
+        assert_eq!(simplify(&e), Expr::base("R").project(&["a"]));
+    }
+
+    #[test]
+    fn identity_rename_dropped() {
+        let e = Expr::base("R").rename(&[("a", "a")]);
+        assert_eq!(simplify(&e), Expr::base("R"));
+    }
+
+    #[test]
+    fn simplify_fix_reaches_fixpoint_through_layers() {
+        let e = Expr::base("R")
+            .select(Predicate::True)
+            .project(&["a", "b"])
+            .select(Predicate::True)
+            .project(&["a"])
+            .distinct();
+        let s = simplify_fix(&e);
+        assert_eq!(s, Expr::base("R").project(&["a"]));
+    }
+
+    #[test]
+    fn extend_children_simplified() {
+        let e = Expr::base("R").select(Predicate::True).extend("c", Scalar::lit(1i64));
+        let s = simplify(&e);
+        match s {
+            Expr::Extend { input, .. } => assert_eq!(*input, Expr::base("R")),
+            _ => panic!(),
+        }
+    }
+}

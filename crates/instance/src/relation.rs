@@ -1,0 +1,318 @@
+//! Tuples and set-semantics relations.
+
+use crate::value::Value;
+use mm_metamodel::{Attribute, DataType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple: a fixed-arity row of values. Cheap to clone (Arc'd payload),
+/// since evaluation and the chase pass tuples around heavily.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple(Arc<Vec<Value>>);
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(Arc::new(values))
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Project onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenate with another tuple.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple::new(v)
+    }
+
+    /// Whether every value is a constant (no NULLs, no labeled nulls).
+    pub fn is_ground(&self) -> bool {
+        self.0.iter().all(Value::is_constant)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(vs: [Value; N]) -> Self {
+        Tuple::new(vs.into())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The column layout of a relation instance: ordered attribute list.
+///
+/// This is the instance-level schema; it is derived from (and checked
+/// against) the metamodel-level [`mm_metamodel::Element`] but carried on
+/// the relation so algebra evaluation is self-contained.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelSchema {
+    pub attributes: Vec<Attribute>,
+}
+
+impl RelSchema {
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        RelSchema { attributes }
+    }
+
+    pub fn of(pairs: &[(&str, DataType)]) -> Self {
+        RelSchema {
+            attributes: pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of attribute `name`.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attributes.iter().map(|a| a.name.as_str())
+    }
+
+    pub fn has(&self, name: &str) -> bool {
+        self.position(name).is_some()
+    }
+}
+
+/// A set-semantics relation instance: dedup on insert, deterministic
+/// (insertion-order) iteration.
+///
+/// Set semantics matches the paper's formal treatment of mappings
+/// (instance-level semantics over sets of tuples); bag behaviour where it
+/// matters (UNION ALL in generated queries, Fig 3) is handled by the
+/// evaluator before tuples land in a relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    pub schema: RelSchema,
+    tuples: Vec<Tuple>,
+    #[serde(skip)]
+    seen: HashSet<Tuple>,
+}
+
+impl Relation {
+    pub fn new(schema: RelSchema) -> Self {
+        Relation { schema, tuples: Vec::new(), seen: HashSet::new() }
+    }
+
+    pub fn with_tuples(schema: RelSchema, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::new(schema);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Insert a tuple; returns `true` if it was new. Panics in debug builds
+    /// on arity mismatch (an arity mismatch is always an engine bug, not a
+    /// data error).
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        debug_assert_eq!(
+            tuple.arity(),
+            self.schema.arity(),
+            "arity mismatch inserting into relation"
+        );
+        if self.seen.insert(tuple.clone()) {
+            self.tuples.push(tuple);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert without the arity debug-check. Only for tests that exercise
+    /// the instance validator's handling of malformed data.
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
+        if self.seen.insert(tuple.clone()) {
+            self.tuples.push(tuple);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        if self.seen.remove(tuple) {
+            // O(n); deletions are rare relative to scans in this engine
+            if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
+                self.tuples.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Sorted copy of the tuples — canonical form for equality checks in
+    /// tests and roundtripping verification.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v = self.tuples.clone();
+        v.sort();
+        v
+    }
+
+    /// Set equality with another relation (ignores column names; positions
+    /// must agree).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.len() == other.len() && self.tuples.iter().all(|t| other.contains(t))
+    }
+
+    /// Rebuild the dedup index (needed after deserialization, where the
+    /// `seen` set is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.seen = self.tuples.iter().cloned().collect();
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.set_eq(other)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.schema.names().collect();
+        writeln!(f, "[{}]", names.join(", "))?;
+        for t in &self.tuples {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(name_a: &str, name_b: &str) -> Relation {
+        Relation::new(RelSchema::of(&[(name_a, DataType::Int), (name_b, DataType::Text)]))
+    }
+
+    fn t(i: i64, s: &str) -> Tuple {
+        Tuple::from([Value::Int(i), Value::text(s)])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = r2("a", "b");
+        assert!(r.insert(t(1, "x")));
+        assert!(!r.insert(t(1, "x")));
+        assert!(r.insert(t(2, "y")));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let mut r = r2("a", "b");
+        r.insert(t(3, "c"));
+        r.insert(t(1, "a"));
+        r.insert(t(2, "b"));
+        let firsts: Vec<i64> = r
+            .iter()
+            .map(|tp| match tp.get(0).unwrap() {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(firsts, [3, 1, 2]);
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut r = r2("a", "b");
+        r.insert(t(1, "x"));
+        r.insert(t(2, "y"));
+        assert!(r.remove(&t(1, "x")));
+        assert!(!r.remove(&t(1, "x")));
+        assert!(!r.contains(&t(1, "x")));
+        assert!(r.insert(t(1, "x"))); // can be re-inserted
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let mut a = r2("a", "b");
+        let mut b = r2("a", "b");
+        a.insert(t(1, "x"));
+        a.insert(t(2, "y"));
+        b.insert(t(2, "y"));
+        b.insert(t(1, "x"));
+        assert!(a.set_eq(&b));
+        b.insert(t(3, "z"));
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn tuple_project_and_concat() {
+        let tp = Tuple::from([Value::Int(1), Value::text("x"), Value::Bool(true)]);
+        assert_eq!(tp.project(&[2, 0]), Tuple::from([Value::Bool(true), Value::Int(1)]));
+        let q = Tuple::from([Value::Int(9)]);
+        assert_eq!(
+            tp.concat(&q),
+            Tuple::new(vec![Value::Int(1), Value::text("x"), Value::Bool(true), Value::Int(9)])
+        );
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(t(1, "x").is_ground());
+        assert!(!Tuple::from([Value::Int(1), Value::Null]).is_ground());
+        assert!(!Tuple::from([Value::Labeled(3)]).is_ground());
+    }
+
+    #[test]
+    fn schema_positions() {
+        let s = RelSchema::of(&[("a", DataType::Int), ("b", DataType::Text)]);
+        assert_eq!(s.position("b"), Some(1));
+        assert_eq!(s.position("z"), None);
+        assert!(s.has("a"));
+    }
+}

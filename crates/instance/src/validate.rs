@@ -1,0 +1,396 @@
+//! Validation of database instances against schemas and their integrity
+//! constraints.
+//!
+//! §5 of the paper lists integrity-constraint checking as a runtime
+//! service whose work is split between design time and runtime; this
+//! module is the runtime half — the checker the mapping runtime invokes on
+//! target databases after update propagation or data exchange.
+
+use crate::database::Database;
+use crate::relation::Tuple;
+use crate::value::Value;
+use mm_metamodel::{Constraint, ElementKind, Schema, TYPE_ATTR};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A violation of a schema or constraint by an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceViolation {
+    /// A relation required by the schema is missing from the database.
+    MissingRelation(String),
+    /// A tuple's arity does not match the element's instance schema.
+    ArityMismatch { element: String, expected: usize, actual: usize },
+    /// A value does not conform to the attribute's declared type.
+    TypeMismatch { element: String, attribute: String, value: String },
+    /// NULL in a non-nullable attribute.
+    NullViolation { element: String, attribute: String },
+    /// Key constraint violated by two distinct tuples.
+    KeyViolation { element: String, key: Vec<String> },
+    /// Foreign key / inclusion dependency dangling.
+    InclusionViolation { from: String, to: String, tuple: String },
+    /// An entity's `$type` tag names a type that is not a subtype of its
+    /// entity set.
+    BadEntityType { set: String, ty: String },
+    /// Disjointness violated: an entity key appears in both sets with
+    /// most-derived types under both sides.
+    DisjointViolation { left: String, right: String },
+    /// Covering violated: an instance of `parent` belongs to no child.
+    CoveringViolation { parent: String },
+}
+
+impl fmt::Display for InstanceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceViolation::MissingRelation(n) => write!(f, "missing relation `{n}`"),
+            InstanceViolation::ArityMismatch { element, expected, actual } => {
+                write!(f, "arity mismatch in `{element}`: expected {expected}, got {actual}")
+            }
+            InstanceViolation::TypeMismatch { element, attribute, value } => {
+                write!(f, "type mismatch in `{element}.{attribute}`: {value}")
+            }
+            InstanceViolation::NullViolation { element, attribute } => {
+                write!(f, "null in non-nullable `{element}.{attribute}`")
+            }
+            InstanceViolation::KeyViolation { element, key } => {
+                write!(f, "key violation on `{element}`({})", key.join(", "))
+            }
+            InstanceViolation::InclusionViolation { from, to, tuple } => {
+                write!(f, "dangling reference from `{from}` to `{to}`: {tuple}")
+            }
+            InstanceViolation::BadEntityType { set, ty } => {
+                write!(f, "entity in `{set}` tagged with non-subtype `{ty}`")
+            }
+            InstanceViolation::DisjointViolation { left, right } => {
+                write!(f, "disjointness of `{left}`/`{right}` violated")
+            }
+            InstanceViolation::CoveringViolation { parent } => {
+                write!(f, "covering of `{parent}` violated")
+            }
+        }
+    }
+}
+
+/// Validate `db` against `schema`. Collects all violations (no fail-fast):
+/// callers such as the runtime's error-translation service want the full
+/// list.
+pub fn validate(schema: &Schema, db: &Database) -> Vec<InstanceViolation> {
+    let mut out = Vec::new();
+    for elem in schema.elements() {
+        let Some(rel) = db.relation(&elem.name) else {
+            out.push(InstanceViolation::MissingRelation(elem.name.clone()));
+            continue;
+        };
+        let Some(expected) = Database::instance_schema(schema, &elem.name) else {
+            continue;
+        };
+        for tuple in rel.iter() {
+            if tuple.arity() != expected.arity() {
+                out.push(InstanceViolation::ArityMismatch {
+                    element: elem.name.clone(),
+                    expected: expected.arity(),
+                    actual: tuple.arity(),
+                });
+                continue;
+            }
+            for (i, attr) in expected.attributes.iter().enumerate() {
+                let v = &tuple.values()[i];
+                if !v.conforms_to(attr.ty) {
+                    out.push(InstanceViolation::TypeMismatch {
+                        element: elem.name.clone(),
+                        attribute: attr.name.clone(),
+                        value: v.to_string(),
+                    });
+                }
+                if v.is_null() && !attr.nullable && attr.name != TYPE_ATTR {
+                    out.push(InstanceViolation::NullViolation {
+                        element: elem.name.clone(),
+                        attribute: attr.name.clone(),
+                    });
+                }
+            }
+            // entity sets: the $type tag must be a subtype of the set
+            if matches!(elem.kind, ElementKind::EntityType { .. }) {
+                if let Some(Value::Text(ty)) = tuple.get(0) {
+                    if !schema.is_subtype(ty, &elem.name) {
+                        out.push(InstanceViolation::BadEntityType {
+                            set: elem.name.clone(),
+                            ty: ty.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for c in &schema.constraints {
+        check_constraint(schema, db, c, &mut out);
+    }
+    out
+}
+
+fn key_projection(
+    schema: &Schema,
+    db: &Database,
+    element: &str,
+    attrs: &[String],
+) -> Option<Vec<Tuple>> {
+    let rel = db.relation(element)?;
+    let layout = Database::instance_schema(schema, element)?;
+    let positions: Vec<usize> =
+        attrs.iter().map(|a| layout.position(a)).collect::<Option<_>>()?;
+    Some(rel.iter().map(|t| t.project(&positions)).collect())
+}
+
+fn check_constraint(
+    schema: &Schema,
+    db: &Database,
+    c: &Constraint,
+    out: &mut Vec<InstanceViolation>,
+) {
+    match c {
+        Constraint::Key(k) => {
+            if let Some(proj) = key_projection(schema, db, &k.element, &k.attributes) {
+                let mut seen = HashSet::with_capacity(proj.len());
+                for t in proj {
+                    if !seen.insert(t) {
+                        out.push(InstanceViolation::KeyViolation {
+                            element: k.element.clone(),
+                            key: k.attributes.clone(),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        Constraint::ForeignKey(fk) => check_inclusion(
+            schema,
+            db,
+            (&fk.from, &fk.from_attrs),
+            (&fk.to, &fk.to_attrs),
+            out,
+        ),
+        Constraint::Inclusion(i) => {
+            check_inclusion(schema, db, (&i.from, &i.from_attrs), (&i.to, &i.to_attrs), out)
+        }
+        Constraint::Disjoint { left, right } => {
+            // Entities are identified by their non-$type columns shared
+            // via the common ancestor: compare the full flattened key-less
+            // tuples is too strict, so we compare on the first attribute
+            // after $type, which by convention is the identity. For
+            // relations, compare whole tuples.
+            let l = entity_ids(schema, db, left);
+            let r = entity_ids(schema, db, right);
+            if let (Some(l), Some(r)) = (l, r) {
+                if l.iter().any(|t| r.contains(t)) {
+                    out.push(InstanceViolation::DisjointViolation {
+                        left: left.clone(),
+                        right: right.clone(),
+                    });
+                }
+            }
+        }
+        Constraint::Covering { parent, children } => {
+            // every entity in `parent`'s set whose most-derived type is
+            // exactly `parent` violates a total covering
+            if let Some(rel) = db.relation(parent) {
+                let violated = rel.iter().any(|t| match t.get(0) {
+                    Some(Value::Text(ty)) => {
+                        ty == parent && !children.iter().any(|c| schema.is_subtype(ty, c))
+                    }
+                    _ => false,
+                });
+                if violated {
+                    out.push(InstanceViolation::CoveringViolation { parent: parent.clone() });
+                }
+            }
+        }
+        Constraint::NotNull { element, attribute } => {
+            if let (Some(rel), Some(layout)) =
+                (db.relation(element), Database::instance_schema(schema, element))
+            {
+                if let Some(pos) = layout.position(attribute) {
+                    if rel.iter().any(|t| t.values()[pos].is_null()) {
+                        out.push(InstanceViolation::NullViolation {
+                            element: element.clone(),
+                            attribute: attribute.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Identity projection for disjointness: the first attribute after the
+/// `$type` tag for entity sets (by convention the key), whole tuples for
+/// relations.
+fn entity_ids(schema: &Schema, db: &Database, element: &str) -> Option<HashSet<Tuple>> {
+    let rel = db.relation(element)?;
+    let is_entity = schema.element(element)?.is_entity_type();
+    Some(
+        rel.iter()
+            .map(|t| if is_entity && t.arity() > 1 { t.project(&[1]) } else { t.clone() })
+            .collect(),
+    )
+}
+
+fn check_inclusion(
+    schema: &Schema,
+    db: &Database,
+    from: (&str, &[String]),
+    to: (&str, &[String]),
+    out: &mut Vec<InstanceViolation>,
+) {
+    let Some(from_proj) = key_projection(schema, db, from.0, from.1) else { return };
+    let Some(to_proj) = key_projection(schema, db, to.0, to.1) else { return };
+    let target: HashSet<Tuple> = to_proj.into_iter().collect();
+    for t in from_proj {
+        // SQL semantics: rows with NULL in the referencing columns are
+        // exempt from the foreign key
+        if t.values().iter().any(Value::is_null) {
+            continue;
+        }
+        if !target.contains(&t) {
+            out.push(InstanceViolation::InclusionViolation {
+                from: from.0.to_string(),
+                to: to.0.to_string(),
+                tuple: t.to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("S")
+            .relation("Orders", &[("id", DataType::Int), ("cust", DataType::Int)])
+            .relation("Customers", &[("id", DataType::Int), ("name", DataType::Text)])
+            .key("Orders", &["id"])
+            .foreign_key("Orders", &["cust"], "Customers", &["id"])
+            .build()
+            .unwrap()
+    }
+
+    fn tt(vs: Vec<Value>) -> Tuple {
+        Tuple::new(vs)
+    }
+
+    #[test]
+    fn valid_instance_has_no_violations() {
+        let s = schema();
+        let mut db = Database::empty_of(&s);
+        db.insert("Customers", tt(vec![Value::Int(1), Value::text("ann")]));
+        db.insert("Orders", tt(vec![Value::Int(10), Value::Int(1)]));
+        assert!(validate(&s, &db).is_empty());
+    }
+
+    #[test]
+    fn dangling_fk_detected() {
+        let s = schema();
+        let mut db = Database::empty_of(&s);
+        db.insert("Orders", tt(vec![Value::Int(10), Value::Int(99)]));
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::InclusionViolation { .. })));
+    }
+
+    #[test]
+    fn key_violation_detected() {
+        let s = schema();
+        let mut db = Database::empty_of(&s);
+        db.insert("Customers", tt(vec![Value::Int(1), Value::text("a")]));
+        db.insert("Orders", tt(vec![Value::Int(10), Value::Int(1)]));
+        db.insert("Orders", tt(vec![Value::Int(10), Value::Int(1)])); // dup, set-dedup'd
+        db.insert("Orders", tt(vec![Value::Int(10), Value::Int(2)])); // same key, diff tuple
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::KeyViolation { .. })));
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let s = schema();
+        let mut db = Database::empty_of(&s);
+        db.insert("Customers", tt(vec![Value::text("oops"), Value::text("a")]));
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let s = schema();
+        let mut db = Database::empty_of(&s);
+        let mut r = crate::relation::Relation::new(
+            Database::instance_schema(&s, "Customers").unwrap(),
+        );
+        r.insert_unchecked(tt(vec![Value::Int(1)])); // too narrow
+        db.insert_relation("Customers", r);
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn missing_relation_detected() {
+        let s = schema();
+        let db = Database::new("D");
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::MissingRelation(_))));
+    }
+
+    #[test]
+    fn null_in_fk_is_exempt() {
+        let s = SchemaBuilder::new("S")
+            .relation("Customers", &[("id", DataType::Int)])
+            .relation_nullable("Orders", &[("id", DataType::Int, false), ("cust", DataType::Int, true)])
+            .foreign_key("Orders", &["cust"], "Customers", &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert("Orders", tt(vec![Value::Int(1), Value::Null]));
+        assert!(validate(&s, &db).is_empty());
+    }
+
+    #[test]
+    fn covering_violation_detected() {
+        let s = SchemaBuilder::new("ER")
+            .entity("P", &[("Id", DataType::Int)])
+            .entity_sub("E", "P", &[])
+            .constraint(Constraint::Covering { parent: "P".into(), children: vec!["E".into()] })
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert_entity("P", "P", vec![Value::Int(1)]); // most-derived type P: violates
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::CoveringViolation { .. })));
+    }
+
+    #[test]
+    fn disjoint_violation_detected() {
+        let s = SchemaBuilder::new("ER")
+            .entity("P", &[("Id", DataType::Int)])
+            .entity_sub("E", "P", &[])
+            .entity_sub("C", "P", &[])
+            .constraint(Constraint::Disjoint { left: "E".into(), right: "C".into() })
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert_entity("E", "E", vec![Value::Int(1)]);
+        db.insert_entity("C", "C", vec![Value::Int(1)]);
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::DisjointViolation { .. })));
+    }
+
+    #[test]
+    fn bad_entity_type_tag_detected() {
+        let s = SchemaBuilder::new("ER")
+            .entity("P", &[("Id", DataType::Int)])
+            .entity("Q", &[("Id", DataType::Int)])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert_entity("P", "Q", vec![Value::Int(1)]);
+        let v = validate(&s, &db);
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::BadEntityType { .. })));
+    }
+}

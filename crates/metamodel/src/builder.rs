@@ -1,0 +1,217 @@
+//! Fluent construction of schemas.
+//!
+//! The builder front-loads validation errors: `build()` returns the first
+//! construction error, so tests and examples can assemble schemas in one
+//! expression.
+
+use crate::constraints::{Constraint, ForeignKey, Key};
+use crate::error::MetamodelError;
+use crate::schema::{Attribute, Cardinality, Element, ElementKind, Schema};
+use crate::types::DataType;
+
+/// Fluent builder for [`Schema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    schema: Schema,
+    error: Option<MetamodelError>,
+}
+
+impl SchemaBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder { schema: Schema::new(name), error: None }
+    }
+
+    fn push(mut self, element: Element) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = self.schema.add_element(element) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    fn attrs(pairs: &[(&str, DataType)]) -> Vec<Attribute> {
+        pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect()
+    }
+
+    /// Add a flat relation.
+    pub fn relation(self, name: &str, attrs: &[(&str, DataType)]) -> Self {
+        self.push(Element {
+            name: name.into(),
+            kind: ElementKind::Relation,
+            attributes: Self::attrs(attrs),
+        })
+    }
+
+    /// Add a relation with explicit nullability per attribute.
+    pub fn relation_nullable(
+        self,
+        name: &str,
+        attrs: &[(&str, DataType, bool)],
+    ) -> Self {
+        self.push(Element {
+            name: name.into(),
+            kind: ElementKind::Relation,
+            attributes: attrs
+                .iter()
+                .map(|(n, t, nl)| Attribute { name: (*n).into(), ty: *t, nullable: *nl })
+                .collect(),
+        })
+    }
+
+    /// Add a root entity type.
+    pub fn entity(self, name: &str, attrs: &[(&str, DataType)]) -> Self {
+        self.push(Element {
+            name: name.into(),
+            kind: ElementKind::EntityType { parent: None },
+            attributes: Self::attrs(attrs),
+        })
+    }
+
+    /// Add an entity subtype. Only the *added* attributes are listed.
+    pub fn entity_sub(self, name: &str, parent: &str, attrs: &[(&str, DataType)]) -> Self {
+        self.push(Element {
+            name: name.into(),
+            kind: ElementKind::EntityType { parent: Some(parent.into()) },
+            attributes: Self::attrs(attrs),
+        })
+    }
+
+    /// Add a binary association between two entity types.
+    pub fn association(
+        self,
+        name: &str,
+        from: &str,
+        to: &str,
+        from_card: Cardinality,
+        to_card: Cardinality,
+    ) -> Self {
+        self.push(Element {
+            name: name.into(),
+            kind: ElementKind::Association {
+                from: from.into(),
+                to: to.into(),
+                from_card,
+                to_card,
+            },
+            attributes: Vec::new(),
+        })
+    }
+
+    /// Add a nested collection owned by `parent`.
+    pub fn nested(self, name: &str, parent: &str, attrs: &[(&str, DataType)]) -> Self {
+        self.push(Element {
+            name: name.into(),
+            kind: ElementKind::Nested { parent: parent.into() },
+            attributes: Self::attrs(attrs),
+        })
+    }
+
+    /// Add a key constraint.
+    pub fn key(mut self, element: &str, attrs: &[&str]) -> Self {
+        if self.error.is_none() {
+            let c = Constraint::Key(Key {
+                element: element.into(),
+                attributes: attrs.iter().map(|s| (*s).into()).collect(),
+            });
+            if let Err(e) = self.schema.add_constraint(c) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Add a foreign key constraint.
+    pub fn foreign_key(
+        mut self,
+        from: &str,
+        from_attrs: &[&str],
+        to: &str,
+        to_attrs: &[&str],
+    ) -> Self {
+        if self.error.is_none() {
+            let c = Constraint::ForeignKey(ForeignKey {
+                from: from.into(),
+                from_attrs: from_attrs.iter().map(|s| (*s).into()).collect(),
+                to: to.into(),
+                to_attrs: to_attrs.iter().map(|s| (*s).into()).collect(),
+            });
+            if let Err(e) = self.schema.add_constraint(c) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Add any constraint.
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = self.schema.add_constraint(c) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Finish, returning the schema or the first construction error.
+    pub fn build(self) -> Result<Schema, MetamodelError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.schema),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_happy_path() {
+        let s = SchemaBuilder::new("W")
+            .relation("Orders", &[("id", DataType::Int), ("cust", DataType::Int)])
+            .relation("Customers", &[("id", DataType::Int), ("name", DataType::Text)])
+            .key("Orders", &["id"])
+            .foreign_key("Orders", &["cust"], "Customers", &["id"])
+            .build()
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.constraints.len(), 2);
+    }
+
+    #[test]
+    fn builder_propagates_first_error() {
+        let err = SchemaBuilder::new("W")
+            .relation("A", &[("x", DataType::Int)])
+            .relation("A", &[("y", DataType::Int)])
+            .key("A", &["zzz"]) // would also be an error, but first wins
+            .build()
+            .unwrap_err();
+        assert_eq!(err, MetamodelError::DuplicateElement("A".into()));
+    }
+
+    #[test]
+    fn nullable_relation_attributes() {
+        let s = SchemaBuilder::new("S")
+            .relation_nullable("R", &[("a", DataType::Int, false), ("b", DataType::Text, true)])
+            .build()
+            .unwrap();
+        let r = s.element("R").unwrap();
+        assert!(!r.attribute("a").unwrap().nullable);
+        assert!(r.attribute("b").unwrap().nullable);
+    }
+
+    #[test]
+    fn association_between_entities() {
+        let s = SchemaBuilder::new("S")
+            .entity("A", &[("id", DataType::Int)])
+            .entity("B", &[("id", DataType::Int)])
+            .association("AB", "A", "B", Cardinality::One, Cardinality::Many)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            s.element("AB").unwrap().kind,
+            ElementKind::Association { .. }
+        ));
+    }
+}

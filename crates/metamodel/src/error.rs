@@ -1,0 +1,68 @@
+//! Error types for schema construction and profile validation.
+
+use std::fmt;
+
+/// An error raised while constructing or manipulating a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetamodelError {
+    /// An element with this name already exists in the schema.
+    DuplicateElement(String),
+    /// An attribute with this name already exists on the element.
+    DuplicateAttribute { element: String, attribute: String },
+    /// A referenced element does not exist.
+    UnknownElement(String),
+    /// A referenced attribute does not exist on the element.
+    UnknownAttribute { element: String, attribute: String },
+    /// Inheritance edges form a cycle through this element.
+    InheritanceCycle(String),
+    /// The parent of an entity type is not itself an entity type.
+    InvalidParent { child: String, parent: String },
+    /// A constraint refers to elements/attributes inconsistently
+    /// (e.g. a foreign key with mismatched column counts).
+    MalformedConstraint(String),
+}
+
+impl fmt::Display for MetamodelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetamodelError::DuplicateElement(n) => write!(f, "duplicate element `{n}`"),
+            MetamodelError::DuplicateAttribute { element, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` on `{element}`")
+            }
+            MetamodelError::UnknownElement(n) => write!(f, "unknown element `{n}`"),
+            MetamodelError::UnknownAttribute { element, attribute } => {
+                write!(f, "unknown attribute `{attribute}` on `{element}`")
+            }
+            MetamodelError::InheritanceCycle(n) => {
+                write!(f, "inheritance cycle through `{n}`")
+            }
+            MetamodelError::InvalidParent { child, parent } => {
+                write!(f, "`{child}` has non-entity parent `{parent}`")
+            }
+            MetamodelError::MalformedConstraint(msg) => {
+                write!(f, "malformed constraint: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetamodelError {}
+
+/// A violation found when validating a schema against a metamodel profile.
+///
+/// Profile validation never fails fast: all violations are collected so a
+/// ModelGen pass knows the complete set of constructs to eliminate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending element.
+    pub element: String,
+    /// Human-readable description of why the construct is outside the
+    /// profile.
+    pub reason: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.element, self.reason)
+    }
+}

@@ -1,0 +1,374 @@
+//! A text format for schemas — the parser for [`Schema`]'s `Display`
+//! syntax, so tools can read schemas from files and the repository can
+//! exchange them with humans.
+//!
+//! ```text
+//! schema ER {
+//!   table Empl(EID: int, Name: text, AID: int)
+//!   entity Person(Id: int, Name: text)
+//!   entity Employee : Person(Dept: text)
+//!   assoc Works (Employee *->1 Person)
+//!   nested Items in Empl(qty: int)
+//!   key Person(Id)
+//!   fk Empl(AID) -> Addr(AID)
+//!   incl A(x) <= B(y)
+//!   disjoint(Employee, Customer)
+//!   covering Person = Employee | Customer
+//!   notnull Empl.Name
+//! }
+//! ```
+//!
+//! `Display` output parses back to an equal schema (round-trip tested,
+//! including by property tests over generated schemas).
+
+use crate::constraints::{Constraint, ForeignKey, InclusionDependency, Key};
+use crate::error::MetamodelError;
+use crate::schema::{Attribute, Cardinality, Element, ElementKind, Schema};
+use crate::types::DataType;
+use std::fmt;
+
+/// A parse failure with a line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn from_schema_err(line: usize, e: MetamodelError) -> ParseError {
+    err(line, e.to_string())
+}
+
+/// Parse a schema from its textual form.
+pub fn parse_schema(text: &str) -> Result<Schema, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    // header: schema <name> {
+    let (header_no, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.is_empty() && !l.starts_with("//"))
+        .ok_or_else(|| err(0, "empty input"))?;
+    let name = header
+        .strip_prefix("schema ")
+        .and_then(|rest| rest.strip_suffix('{'))
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| err(header_no, "expected `schema <name> {`"))?;
+    let mut schema = Schema::new(name);
+    let mut closed = false;
+    for (no, line) in lines {
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if line == "}" {
+            closed = true;
+            break;
+        }
+        parse_item(&mut schema, no, line)?;
+    }
+    if !closed {
+        return Err(err(0, "missing closing `}`"));
+    }
+    Ok(schema)
+}
+
+fn parse_item(schema: &mut Schema, no: usize, line: &str) -> Result<(), ParseError> {
+    if let Some(rest) = line.strip_prefix("table ") {
+        let (name, attrs) = parse_named_attrs(no, rest)?;
+        schema
+            .add_element(Element { name, kind: ElementKind::Relation, attributes: attrs })
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("entity ") {
+        // entity Name(attrs) | entity Name : Parent(attrs)
+        let (head, attrs_src) = split_paren(no, rest)?;
+        let (name, parent) = match head.split_once(':') {
+            Some((n, p)) => (n.trim().to_string(), Some(p.trim().to_string())),
+            None => (head.trim().to_string(), None),
+        };
+        let attrs = parse_attr_list(no, attrs_src)?;
+        schema
+            .add_element(Element {
+                name,
+                kind: ElementKind::EntityType { parent },
+                attributes: attrs,
+            })
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("assoc ") {
+        // assoc Name (From <c>-><c> To)
+        let (name, inner) = split_paren(no, rest)?;
+        let parts: Vec<&str> = inner.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(err(no, "expected `assoc Name (From c->c To)`"));
+        }
+        let (from, arrow, to) = (parts[0], parts[1], parts[2]);
+        let (fc, tc) = arrow
+            .split_once("->")
+            .ok_or_else(|| err(no, "expected `c->c` cardinalities"))?;
+        let card = |s: &str| -> Result<Cardinality, ParseError> {
+            match s {
+                "1" => Ok(Cardinality::One),
+                "?" => Ok(Cardinality::ZeroOrOne),
+                "*" => Ok(Cardinality::Many),
+                other => Err(err(no, format!("unknown cardinality `{other}`"))),
+            }
+        };
+        schema
+            .add_element(Element {
+                name: name.trim().to_string(),
+                kind: ElementKind::Association {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    from_card: card(fc)?,
+                    to_card: card(tc)?,
+                },
+                attributes: Vec::new(),
+            })
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("nested ") {
+        // nested Name in Parent(attrs)
+        let (head, attrs_src) = split_paren(no, rest)?;
+        let (name, parent) = head
+            .split_once(" in ")
+            .map(|(n, p)| (n.trim().to_string(), p.trim().to_string()))
+            .ok_or_else(|| err(no, "expected `nested Name in Parent(attrs)`"))?;
+        let attrs = parse_attr_list(no, attrs_src)?;
+        schema
+            .add_element(Element {
+                name,
+                kind: ElementKind::Nested { parent },
+                attributes: attrs,
+            })
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("key ") {
+        let (element, cols) = split_paren(no, rest)?;
+        schema
+            .add_constraint(Constraint::Key(Key {
+                element: element.trim().to_string(),
+                attributes: split_commas(cols),
+            }))
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("fk ") {
+        let (from_part, to_part) = rest
+            .split_once("->")
+            .ok_or_else(|| err(no, "expected `fk A(x) -> B(y)`"))?;
+        let (from, from_attrs) = split_paren(no, from_part.trim())?;
+        let (to, to_attrs) = split_paren(no, to_part.trim())?;
+        schema
+            .add_constraint(Constraint::ForeignKey(ForeignKey {
+                from: from.trim().to_string(),
+                from_attrs: split_commas(from_attrs),
+                to: to.trim().to_string(),
+                to_attrs: split_commas(to_attrs),
+            }))
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("incl ") {
+        let (from_part, to_part) = rest
+            .split_once("<=")
+            .ok_or_else(|| err(no, "expected `incl A(x) <= B(y)`"))?;
+        let (from, from_attrs) = split_paren(no, from_part.trim())?;
+        let (to, to_attrs) = split_paren(no, to_part.trim())?;
+        schema
+            .add_constraint(Constraint::Inclusion(InclusionDependency {
+                from: from.trim().to_string(),
+                from_attrs: split_commas(from_attrs),
+                to: to.trim().to_string(),
+                to_attrs: split_commas(to_attrs),
+            }))
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("disjoint") {
+        let (_, inner) = split_paren(no, rest)?;
+        let parts = split_commas(inner);
+        if parts.len() != 2 {
+            return Err(err(no, "expected `disjoint(A, B)`"));
+        }
+        schema
+            .add_constraint(Constraint::Disjoint {
+                left: parts[0].clone(),
+                right: parts[1].clone(),
+            })
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("covering ") {
+        let (parent, kids) = rest
+            .split_once('=')
+            .ok_or_else(|| err(no, "expected `covering P = A | B`"))?;
+        schema
+            .add_constraint(Constraint::Covering {
+                parent: parent.trim().to_string(),
+                children: kids.split('|').map(|k| k.trim().to_string()).collect(),
+            })
+            .map_err(|e| from_schema_err(no, e))
+    } else if let Some(rest) = line.strip_prefix("notnull ") {
+        let (element, attribute) = rest
+            .split_once('.')
+            .ok_or_else(|| err(no, "expected `notnull Element.attr`"))?;
+        schema
+            .add_constraint(Constraint::NotNull {
+                element: element.trim().to_string(),
+                attribute: attribute.trim().to_string(),
+            })
+            .map_err(|e| from_schema_err(no, e))
+    } else {
+        Err(err(no, format!("unrecognized item: `{line}`")))
+    }
+}
+
+/// Split `Name(...)` into head and the *first balanced* parenthesized
+/// body (trailing groups, like the empty attribute list `Display` prints
+/// after associations, are ignored).
+fn split_paren(no: usize, s: &str) -> Result<(&str, &str), ParseError> {
+    let open = s.find('(').ok_or_else(|| err(no, "expected `(`"))?;
+    let mut depth = 0usize;
+    for (i, ch) in s.char_indices().skip(open) {
+        match ch {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((s[..open].trim(), &s[open + 1..i]));
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(err(no, "mismatched parentheses"))
+}
+
+fn split_commas(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+/// Parse `name(attr: type, attr: type?)`.
+fn parse_named_attrs(no: usize, s: &str) -> Result<(String, Vec<Attribute>), ParseError> {
+    let (name, body) = split_paren(no, s)?;
+    Ok((name.to_string(), parse_attr_list(no, body)?))
+}
+
+fn parse_attr_list(no: usize, body: &str) -> Result<Vec<Attribute>, ParseError> {
+    let mut out = Vec::new();
+    for part in body.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| err(no, format!("expected `name: type` in `{part}`")))?;
+        let ty = ty.trim();
+        let (ty, nullable) = match ty.strip_suffix('?') {
+            Some(t) => (t.trim(), true),
+            None => (ty, false),
+        };
+        let ty = match ty {
+            "int" => DataType::Int,
+            "double" => DataType::Double,
+            "bool" => DataType::Bool,
+            "text" => DataType::Text,
+            "date" => DataType::Date,
+            "any" => DataType::Any,
+            other => return Err(err(no, format!("unknown type `{other}`"))),
+        };
+        out.push(Attribute { name: name.trim().to_string(), ty, nullable });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    const SAMPLE: &str = r#"
+schema ER {
+  // the paper's running example
+  entity Person(Id: int, Name: text)
+  entity Employee : Person(Dept: text)
+  entity Customer : Person(CreditScore: int, BillingAddr: text?)
+  table HR(Id: int, Name: text)
+  key Person(Id)
+  notnull HR.Name
+}
+"#;
+
+    #[test]
+    fn parses_the_running_example() {
+        let s = parse_schema(SAMPLE).unwrap();
+        assert_eq!(s.name, "ER");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.parent_of("Employee"), Some("Person"));
+        assert!(s.element("Customer").unwrap().attribute("BillingAddr").unwrap().nullable);
+        assert_eq!(s.constraints.len(), 2);
+        assert_eq!(s.declared_key("Person"), Some(&["Id".to_string()][..]));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let original = SchemaBuilder::new("Mix")
+            .relation("T", &[("a", DataType::Int), ("b", DataType::Text)])
+            .relation_nullable("U", &[("x", DataType::Double, true)])
+            .entity("P", &[("Id", DataType::Int)])
+            .entity_sub("E", "P", &[("D", DataType::Date)])
+            .association("W", "E", "P", Cardinality::Many, Cardinality::One)
+            .nested("Items", "T", &[("qty", DataType::Int)])
+            .key("P", &["Id"])
+            .foreign_key("T", &["a"], "U", &["x"])
+            .constraint(Constraint::Disjoint { left: "E".into(), right: "P".into() })
+            .constraint(Constraint::Covering { parent: "P".into(), children: vec!["E".into()] })
+            .constraint(Constraint::NotNull { element: "T".into(), attribute: "b".into() })
+            .constraint(Constraint::Inclusion(InclusionDependency {
+                from: "T".into(),
+                from_attrs: vec!["a".into()],
+                to: "U".into(),
+                to_attrs: vec!["x".into()],
+            }))
+            .build()
+            .unwrap();
+        let text = original.to_string();
+        let parsed = parse_schema(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(parsed, original, "\n{text}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "schema X {\n  table T(a: int)\n  wibble\n}";
+        let e = parse_schema(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let bad = "schema X {\n  table T(a: varchar)\n}";
+        let e = parse_schema(bad).unwrap_err();
+        assert!(e.message.contains("unknown type"));
+    }
+
+    #[test]
+    fn missing_brace_rejected() {
+        let bad = "schema X {\n  table T(a: int)\n";
+        assert!(parse_schema(bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_element_surfaces_schema_error() {
+        let bad = "schema X {\n  table T(a: int)\n  table T(b: int)\n}";
+        let e = parse_schema(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_attribute_lists_allowed() {
+        let s = parse_schema("schema X {\n  entity E()\n}").unwrap();
+        assert!(s.element("E").unwrap().attributes.is_empty());
+    }
+}

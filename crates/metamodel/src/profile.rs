@@ -1,0 +1,155 @@
+//! Metamodel profiles: the concrete metamodels the engine supports.
+//!
+//! §2 of the paper: "an MMS must support schemas expressed in all popular
+//! metamodels. Today, that means SQL, XML Schema, Entity-Relationship, and
+//! object-oriented metamodels". Each profile admits a subset of the
+//! universal constructs; [`Metamodel::violations`] reports precisely the
+//! constructs ModelGen must eliminate to move a schema into the profile.
+
+use crate::error::Violation;
+use crate::schema::{ElementKind, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete metamodel, i.e. a profile of the universal metamodel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metamodel {
+    /// Flat SQL: relations only. No inheritance, associations, or nesting.
+    Relational,
+    /// Extended ER (as in the ADO.NET Entity Data Model): entity types with
+    /// inheritance plus associations. No nesting; plain relations are also
+    /// disallowed (an ER schema exposes entity sets, not tables).
+    EntityRelationship,
+    /// Object-oriented: classes (entity types) with single inheritance and
+    /// references (associations). Same constructs as ER in this engine;
+    /// kept distinct because ModelGen strategies differ (OO wrappers
+    /// require updatability).
+    ObjectOriented,
+    /// XML-like: relations/entity roots with nested collections; no
+    /// inheritance or associations (containment instead of reference).
+    XmlLike,
+    /// The universal metamodel itself: everything is admissible.
+    Universal,
+}
+
+impl Metamodel {
+    /// Whether this profile admits the given construct.
+    pub fn admits(self, kind: &ElementKind) -> bool {
+        use Metamodel::*;
+        match self {
+            Universal => true,
+            Relational => matches!(kind, ElementKind::Relation),
+            EntityRelationship | ObjectOriented => matches!(
+                kind,
+                ElementKind::EntityType { .. } | ElementKind::Association { .. }
+            ),
+            XmlLike => matches!(
+                kind,
+                ElementKind::Relation
+                    | ElementKind::EntityType { parent: None }
+                    | ElementKind::Nested { .. }
+            ),
+        }
+    }
+
+    /// All constructs of `schema` that fall outside this profile. An empty
+    /// result means `schema` conforms.
+    pub fn violations(self, schema: &Schema) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for e in schema.elements() {
+            if !self.admits(&e.kind) {
+                out.push(Violation {
+                    element: e.name.clone(),
+                    reason: format!("{} is not expressible in {}", describe(&e.kind), self),
+                });
+            }
+        }
+        out
+    }
+
+    /// Convenience: does the schema conform to this profile?
+    pub fn conforms(self, schema: &Schema) -> bool {
+        schema.elements().all(|e| self.admits(&e.kind))
+    }
+}
+
+fn describe(kind: &ElementKind) -> &'static str {
+    match kind {
+        ElementKind::Relation => "a flat relation",
+        ElementKind::EntityType { parent: None } => "a root entity type",
+        ElementKind::EntityType { parent: Some(_) } => "a subtype (is-a edge)",
+        ElementKind::Association { .. } => "an association",
+        ElementKind::Nested { .. } => "a nested collection",
+    }
+}
+
+impl fmt::Display for Metamodel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Metamodel::Relational => "Relational",
+            Metamodel::EntityRelationship => "ER",
+            Metamodel::ObjectOriented => "OO",
+            Metamodel::XmlLike => "XML",
+            Metamodel::Universal => "Universal",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use crate::types::DataType;
+
+    fn mixed_schema() -> Schema {
+        SchemaBuilder::new("Mixed")
+            .relation("T", &[("a", DataType::Int)])
+            .entity("P", &[("Id", DataType::Int)])
+            .entity_sub("E", "P", &[("D", DataType::Text)])
+            .nested("Items", "T", &[("qty", DataType::Int)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn relational_rejects_entities_and_nesting() {
+        let s = mixed_schema();
+        let v = Metamodel::Relational.violations(&s);
+        let names: Vec<&str> = v.iter().map(|x| x.element.as_str()).collect();
+        assert_eq!(names, ["P", "E", "Items"]);
+    }
+
+    #[test]
+    fn er_rejects_relations_and_nesting() {
+        let s = mixed_schema();
+        let v = Metamodel::EntityRelationship.violations(&s);
+        let names: Vec<&str> = v.iter().map(|x| x.element.as_str()).collect();
+        assert_eq!(names, ["T", "Items"]);
+    }
+
+    #[test]
+    fn xml_rejects_subtypes() {
+        let s = mixed_schema();
+        let v = Metamodel::XmlLike.violations(&s);
+        let names: Vec<&str> = v.iter().map(|x| x.element.as_str()).collect();
+        assert_eq!(names, ["E"]);
+    }
+
+    #[test]
+    fn universal_admits_everything() {
+        let s = mixed_schema();
+        assert!(Metamodel::Universal.conforms(&s));
+    }
+
+    #[test]
+    fn pure_relational_schema_conforms() {
+        let s = SchemaBuilder::new("S")
+            .relation("A", &[("x", DataType::Int)])
+            .relation("B", &[("y", DataType::Text)])
+            .build()
+            .unwrap();
+        assert!(Metamodel::Relational.conforms(&s));
+        assert!(!Metamodel::EntityRelationship.conforms(&s));
+    }
+}

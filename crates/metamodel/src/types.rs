@@ -1,0 +1,120 @@
+//! Primitive data types shared by all metamodel profiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Primitive data types of the universal metamodel.
+///
+/// The set is deliberately small: the paper (§2) asks for "a basis set of
+/// data type constructs that are common to many metamodels". Each concrete
+/// metamodel maps its native types onto these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (SQL INT/BIGINT, XSD integer, OO int/long).
+    Int,
+    /// 64-bit floating point (SQL DOUBLE/FLOAT, XSD double).
+    Double,
+    /// Boolean.
+    Bool,
+    /// Unicode string (SQL VARCHAR/NVARCHAR, XSD string).
+    Text,
+    /// Calendar date, stored as days since an epoch.
+    Date,
+    /// Wildcard used by generated schemas before a concrete type is pinned
+    /// down and by the matcher when the type is unknown.
+    Any,
+}
+
+impl DataType {
+    /// Whether a value of `self` can flow into a slot typed `other`
+    /// without loss of meaning. `Any` is compatible with everything in
+    /// both directions; `Int` widens to `Double`.
+    pub fn compatible_with(self, other: DataType) -> bool {
+        use DataType::*;
+        matches!(
+            (self, other),
+            (Any, _) | (_, Any) | (Int, Double)
+        ) || self == other
+    }
+
+    /// A similarity score in `[0, 1]` for the schema matcher's data-type
+    /// heuristic.
+    pub fn similarity(self, other: DataType) -> f64 {
+        use DataType::*;
+        if self == other {
+            1.0
+        } else if matches!((self, other), (Int, Double) | (Double, Int)) {
+            0.8
+        } else if self == Any || other == Any {
+            0.5
+        } else {
+            0.1
+        }
+    }
+
+    /// All concrete (non-`Any`) types, used by workload generators.
+    pub const CONCRETE: [DataType; 5] =
+        [DataType::Int, DataType::Double, DataType::Bool, DataType::Text, DataType::Date];
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Double => "double",
+            DataType::Bool => "bool",
+            DataType::Text => "text",
+            DataType::Date => "date",
+            DataType::Any => "any",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_types_are_compatible() {
+        for t in DataType::CONCRETE {
+            assert!(t.compatible_with(t), "{t} should be self-compatible");
+        }
+    }
+
+    #[test]
+    fn int_widens_to_double_but_not_back() {
+        assert!(DataType::Int.compatible_with(DataType::Double));
+        assert!(!DataType::Double.compatible_with(DataType::Int));
+    }
+
+    #[test]
+    fn any_is_bidirectionally_compatible() {
+        for t in DataType::CONCRETE {
+            assert!(DataType::Any.compatible_with(t));
+            assert!(t.compatible_with(DataType::Any));
+        }
+    }
+
+    #[test]
+    fn text_does_not_flow_into_int() {
+        assert!(!DataType::Text.compatible_with(DataType::Int));
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        for a in DataType::CONCRETE {
+            for b in DataType::CONCRETE {
+                let s = a.similarity(b);
+                assert!((0.0..=1.0).contains(&s));
+                assert_eq!(s, b.similarity(a));
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(DataType::Text.to_string(), "text");
+        assert_eq!(DataType::Date.to_string(), "date");
+    }
+}

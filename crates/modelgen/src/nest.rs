@@ -1,0 +1,180 @@
+//! Nesting introduction: relational → XML-like translation (the reverse
+//! of shredding), completing the ModelGen repertoire across the paper's
+//! §2 metamodel list (SQL ↔ ER/OO and SQL ↔ XML in both directions).
+//!
+//! A table with exactly one single-column foreign key into another table
+//! becomes a nested collection of that parent; everything else stays a
+//! flat relation. The instance mapping routes the foreign-key column into
+//! the nested layout's `$parent` surrogate; relational rows carry no
+//! document order, so the ordinal is synthesized as 0 (documented
+//! information loss — order is an XML-only notion).
+
+use crate::er_rel::{ModelGenError, ModelGenResult};
+use mm_expr::{Expr, Mapping, MappingConstraint, Scalar, ViewDef, ViewSet};
+use mm_metamodel::{Constraint, Element, ElementKind, Metamodel, Schema};
+
+/// Translate a flat relational schema into an XML-like schema by turning
+/// single-FK tables into nested collections.
+pub fn nest_relational(rel: &Schema) -> Result<ModelGenResult, ModelGenError> {
+    let violations = Metamodel::Relational.violations(rel);
+    if !violations.is_empty() {
+        return Err(ModelGenError::WrongProfile {
+            expected: Metamodel::Relational,
+            violations: violations.iter().map(|v| v.to_string()).collect(),
+        });
+    }
+    let xml_name = format!("{}_xml", rel.name);
+    let mut xml = Schema::new(xml_name.clone());
+    let mut mapping = Mapping::new(rel.name.clone(), xml_name.clone());
+    let mut views = ViewSet::new(rel.name.clone(), xml_name.clone());
+
+    // candidate nestings: table -> (parent, fk column) for tables with
+    // exactly one single-column outgoing FK
+    let mut nest_under: Vec<(String, String, String)> = Vec::new();
+    for t in rel.elements() {
+        let fks: Vec<_> = rel
+            .constraints
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::ForeignKey(fk)
+                    if fk.from == t.name && fk.from_attrs.len() == 1 && fk.to != t.name =>
+                {
+                    Some((fk.to.clone(), fk.from_attrs[0].clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        if let [(parent, col)] = fks.as_slice() {
+            nest_under.push((t.name.clone(), parent.clone(), col.clone()));
+        }
+    }
+
+    // parents (and plain tables) first so Nested edges validate
+    for t in rel.elements() {
+        if nest_under.iter().any(|(child, ..)| child == &t.name) {
+            continue;
+        }
+        xml.add_element(Element {
+            name: t.name.clone(),
+            kind: ElementKind::Relation,
+            attributes: t.attributes.clone(),
+        })?;
+        mapping.push(MappingConstraint::ExprEq {
+            source: Expr::base(t.name.clone()),
+            target: Expr::base(t.name.clone()),
+        });
+        views.push(ViewDef::new(t.name.clone(), Expr::base(t.name.clone())));
+    }
+    for (child, parent, fk_col) in &nest_under {
+        let elem = rel.element(child).expect("enumerated");
+        let attrs: Vec<_> = elem
+            .attributes
+            .iter()
+            .filter(|a| &a.name != fk_col)
+            .cloned()
+            .collect();
+        let attr_names: Vec<String> = attrs.iter().map(|a| a.name.clone()).collect();
+        xml.add_element(Element {
+            name: child.clone(),
+            kind: ElementKind::Nested { parent: parent.clone() },
+            attributes: attrs,
+        })?;
+        // nested instance layout: [$parent, attrs..., $ord]
+        let mut cols = vec!["$parent".to_string()];
+        cols.extend(attr_names);
+        cols.push("$ord".to_string());
+        let view = Expr::base(child.clone())
+            .rename(&[(fk_col.as_str(), "$parent")])
+            .extend("$ord", Scalar::lit(0i64))
+            .project_owned(cols);
+        mapping.push(MappingConstraint::ExprEq {
+            source: view.clone(),
+            target: Expr::base(child.clone()),
+        });
+        views.push(ViewDef::new(child.clone(), view));
+    }
+    Ok(ModelGenResult { schema: xml, mapping, views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested::shred_nested;
+    use mm_eval::materialize_views;
+    use mm_instance::{Database, Tuple, Value};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn rel() -> Schema {
+        SchemaBuilder::new("DB")
+            .relation("Order", &[("oid", DataType::Int), ("cust", DataType::Text)])
+            .relation("Line", &[
+                ("lid", DataType::Int),
+                ("order_ref", DataType::Int),
+                ("sku", DataType::Text),
+            ])
+            .relation("Audit", &[("ts", DataType::Date)])
+            .key("Order", &["oid"])
+            .foreign_key("Line", &["order_ref"], "Order", &["oid"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_fk_table_becomes_nested() {
+        let r = nest_relational(&rel()).unwrap();
+        assert!(Metamodel::XmlLike.conforms(&r.schema));
+        assert!(matches!(
+            r.schema.element("Line").unwrap().kind,
+            ElementKind::Nested { ref parent } if parent == "Order"
+        ));
+        // the FK column is absorbed into $parent
+        let names: Vec<&str> = r.schema.element("Line").unwrap().attribute_names().collect();
+        assert_eq!(names, ["lid", "sku"]);
+        // fk-less tables pass through
+        assert!(r.schema.element("Audit").unwrap().is_relation());
+    }
+
+    #[test]
+    fn instance_translation_routes_fk_to_parent_surrogate() {
+        let schema = rel();
+        let r = nest_relational(&schema).unwrap();
+        let mut db = Database::empty_of(&schema);
+        db.insert("Order", Tuple::from([Value::Int(1), Value::text("acme")]));
+        db.insert(
+            "Line",
+            Tuple::from([Value::Int(10), Value::Int(1), Value::text("bolt")]),
+        );
+        let xml_db = materialize_views(&r.views, &schema, &db).unwrap();
+        let line = xml_db.relation("Line").unwrap();
+        let row = line.iter().next().unwrap();
+        // layout [$parent, lid, sku, $ord]
+        assert_eq!(row.values()[0], Value::Int(1));
+        assert_eq!(row.values()[2], Value::text("bolt"));
+        assert_eq!(row.values()[3], Value::Int(0));
+    }
+
+    #[test]
+    fn nest_then_shred_restores_a_relational_profile() {
+        let r = nest_relational(&rel()).unwrap();
+        let back = shred_nested(&r.schema).unwrap();
+        assert!(Metamodel::Relational.conforms(&back.schema));
+        // the child's surrogate column reappears flat
+        let names: Vec<&str> =
+            back.schema.element("Line").unwrap().attribute_names().collect();
+        assert_eq!(names, ["parent_ref", "lid", "sku", "ord"]);
+    }
+
+    #[test]
+    fn multi_fk_tables_stay_flat() {
+        let s = SchemaBuilder::new("DB")
+            .relation("A", &[("aid", DataType::Int)])
+            .relation("B", &[("bid", DataType::Int)])
+            .relation("Link", &[("a", DataType::Int), ("b", DataType::Int)])
+            .foreign_key("Link", &["a"], "A", &["aid"])
+            .foreign_key("Link", &["b"], "B", &["bid"])
+            .build()
+            .unwrap();
+        let r = nest_relational(&s).unwrap();
+        assert!(r.schema.element("Link").unwrap().is_relation());
+    }
+}

@@ -1,0 +1,105 @@
+//! Shredding XML-like nested collections into flat relations.
+
+use crate::er_rel::{ModelGenError, ModelGenResult};
+use mm_expr::{Expr, Mapping, MappingConstraint, ViewDef, ViewSet};
+use mm_metamodel::{Attribute, DataType, Element, ElementKind, Metamodel, Schema};
+
+/// Shred an XML-like schema (relations/root entities + nested
+/// collections) into a flat relational schema. Each nested collection
+/// becomes a relation with its surrogate parent reference and ordinal
+/// made into explicit columns — exactly its instance layout, so the
+/// instance-level mapping is the identity on each element.
+pub fn shred_nested(xml: &Schema) -> Result<ModelGenResult, ModelGenError> {
+    let violations = Metamodel::XmlLike.violations(xml);
+    if !violations.is_empty() {
+        return Err(ModelGenError::WrongProfile {
+            expected: Metamodel::XmlLike,
+            violations: violations.iter().map(|v| v.to_string()).collect(),
+        });
+    }
+    let rel_name = format!("{}_rel", xml.name);
+    let mut rel = Schema::new(rel_name.clone());
+    let mut mapping = Mapping::new(xml.name.clone(), rel_name.clone());
+    let mut views = ViewSet::new(xml.name.clone(), rel_name.clone());
+
+    for e in xml.elements() {
+        let attrs: Vec<Attribute> = match &e.kind {
+            ElementKind::Relation => e.attributes.clone(),
+            ElementKind::Nested { .. } => {
+                let mut v = vec![Attribute::new("parent_ref", DataType::Any)];
+                v.extend(e.attributes.iter().cloned());
+                v.push(Attribute::new("ord", DataType::Int));
+                v
+            }
+            ElementKind::EntityType { .. } => {
+                // root entity (no inheritance by profile): flatten with a
+                // type column is unnecessary — treat as plain relation
+                e.attributes.clone()
+            }
+            ElementKind::Association { .. } => unreachable!("outside XmlLike profile"),
+        };
+        rel.add_element(Element {
+            name: e.name.clone(),
+            kind: ElementKind::Relation,
+            attributes: attrs,
+        })?;
+        // the instance layouts align; express the view as the renamed scan
+        let view = match &e.kind {
+            ElementKind::Nested { .. } => Expr::base(e.name.clone())
+                .rename(&[("$parent", "parent_ref"), ("$ord", "ord")]),
+            ElementKind::EntityType { .. } => {
+                let cols: Vec<String> =
+                    e.attributes.iter().map(|a| a.name.clone()).collect();
+                Expr::base(e.name.clone()).project_owned(cols)
+            }
+            _ => Expr::base(e.name.clone()),
+        };
+        mapping.push(MappingConstraint::ExprEq {
+            source: view.clone(),
+            target: Expr::base(e.name.clone()),
+        });
+        views.push(ViewDef::new(e.name.clone(), view));
+    }
+    Ok(ModelGenResult { schema: rel, mapping, views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::SchemaBuilder;
+
+    fn xml() -> Schema {
+        SchemaBuilder::new("Doc")
+            .relation("Order", &[("oid", DataType::Int), ("cust", DataType::Text)])
+            .nested("Line", "Order", &[("sku", DataType::Text), ("qty", DataType::Int)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nested_becomes_relation_with_parent_and_ordinal() {
+        let r = shred_nested(&xml()).unwrap();
+        assert!(Metamodel::Relational.conforms(&r.schema));
+        let line = r.schema.element("Line").unwrap();
+        let names: Vec<&str> = line.attribute_names().collect();
+        assert_eq!(names, ["parent_ref", "sku", "qty", "ord"]);
+    }
+
+    #[test]
+    fn plain_relations_pass_through() {
+        let r = shred_nested(&xml()).unwrap();
+        let order = r.schema.element("Order").unwrap();
+        let names: Vec<&str> = order.attribute_names().collect();
+        assert_eq!(names, ["oid", "cust"]);
+    }
+
+    #[test]
+    fn er_subtypes_rejected() {
+        let bad = SchemaBuilder::new("X")
+            .entity("P", &[("a", DataType::Int)])
+            .entity_sub("C", "P", &[])
+            .build()
+            .unwrap();
+        assert!(matches!(shred_nested(&bad), Err(ModelGenError::WrongProfile { .. })));
+    }
+}

@@ -1,0 +1,188 @@
+//! Relational → ER translation (the wrapper-generation direction: "given
+//! only one of the two schemas, the other is derived along with a mapping"
+//! — §3, with the derived schema an OO/ER wrapper).
+
+use crate::er_rel::{ModelGenError, ModelGenResult};
+use mm_expr::{entity_extent, Expr, Mapping, MappingConstraint, Scalar, ViewDef, ViewSet};
+use mm_metamodel::{
+    Cardinality, Constraint, Element, ElementKind, Metamodel, Schema, TYPE_ATTR,
+};
+
+/// The key column of a table: its key constraint's first attribute, or
+/// its first column.
+fn table_key(rel: &Schema, table: &str) -> Result<String, ModelGenError> {
+    for c in &rel.constraints {
+        if let Constraint::Key(k) = c {
+            if k.element == table {
+                return Ok(k.attributes[0].clone());
+            }
+        }
+    }
+    rel.element(table)
+        .and_then(|e| e.attributes.first())
+        .map(|a| a.name.clone())
+        .ok_or_else(|| ModelGenError::NoKey(table.to_string()))
+}
+
+/// Translate a flat relational schema into an ER schema: each table
+/// becomes a root entity type; each single-column foreign key becomes an
+/// association (the relational rendering of a reference). Multi-column
+/// foreign keys are carried over as plain FK constraints on the ER side
+/// (they remain checkable but have no association rendering).
+pub fn relational_to_er(rel: &Schema) -> Result<ModelGenResult, ModelGenError> {
+    let violations = Metamodel::Relational.violations(rel);
+    if !violations.is_empty() {
+        return Err(ModelGenError::WrongProfile {
+            expected: Metamodel::Relational,
+            violations: violations.iter().map(|v| v.to_string()).collect(),
+        });
+    }
+    let er_name = format!("{}_er", rel.name);
+    let mut er = Schema::new(er_name.clone());
+    let mut mapping = Mapping::new(rel.name.clone(), er_name.clone());
+    let mut views = ViewSet::new(rel.name.clone(), er_name.clone());
+
+    for t in rel.elements() {
+        er.add_element(Element {
+            name: t.name.clone(),
+            kind: ElementKind::EntityType { parent: None },
+            attributes: t.attributes.clone(),
+        })?;
+        let attr_names: Vec<String> =
+            t.attributes.iter().map(|a| a.name.clone()).collect();
+        // ER entity set = table rows tagged with their entity type
+        let mut layout: Vec<String> = vec![TYPE_ATTR.to_string()];
+        layout.extend(attr_names.iter().cloned());
+        let view = Expr::base(t.name.clone())
+            .extend(TYPE_ATTR, Scalar::lit(t.name.as_str()))
+            .project_owned(layout);
+        views.push(ViewDef::new(t.name.clone(), view));
+        // constraint: π_attrs(ext(E)) = T
+        mapping.push(MappingConstraint::ExprEq {
+            source: Expr::base(t.name.clone()),
+            target: entity_extent(&er, &t.name)
+                .expect("just added entity")
+                .project_owned(attr_names),
+        });
+    }
+
+    for c in &rel.constraints {
+        match c {
+            Constraint::ForeignKey(fk) if fk.from_attrs.len() == 1 => {
+                let assoc = format!("{}_{}", fk.from, fk.to);
+                if !er.contains(&assoc) {
+                    er.add_element(Element {
+                        name: assoc.clone(),
+                        kind: ElementKind::Association {
+                            from: fk.from.clone(),
+                            to: fk.to.clone(),
+                            from_card: Cardinality::Many,
+                            to_card: Cardinality::One,
+                        },
+                        attributes: Vec::new(),
+                    })?;
+                    // association instances: ($from = referencing row's
+                    // key, $to = the FK column's value, i.e. the
+                    // referenced row's key)
+                    let from_key = table_key(rel, &fk.from)?;
+                    let fk_col = fk.from_attrs[0].as_str();
+                    let view = if from_key == fk_col {
+                        // self-identifying reference: key doubles as FK
+                        Expr::base(fk.from.clone())
+                            .project(&[from_key.as_str()])
+                            .rename(&[(from_key.as_str(), "$from")])
+                            .extend("$to", Scalar::col("$from"))
+                    } else {
+                        Expr::base(fk.from.clone())
+                            .project(&[from_key.as_str(), fk_col])
+                            .rename(&[(from_key.as_str(), "$from"), (fk_col, "$to")])
+                    };
+                    views.push(ViewDef::new(assoc, view));
+                }
+            }
+            other => {
+                // keys, not-null, multi-column FKs: carried over verbatim
+                let _ = er.add_constraint(other.clone());
+            }
+        }
+    }
+
+    Ok(ModelGenResult { schema: er, mapping, views })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn rel() -> Schema {
+        SchemaBuilder::new("DB")
+            .relation("Orders", &[("oid", DataType::Int), ("cust", DataType::Int)])
+            .relation("Customers", &[("cid", DataType::Int), ("name", DataType::Text)])
+            .key("Customers", &["cid"])
+            .foreign_key("Orders", &["cust"], "Customers", &["cid"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tables_become_entities_and_fk_becomes_association() {
+        let r = relational_to_er(&rel()).unwrap();
+        assert!(Metamodel::EntityRelationship.conforms(&r.schema));
+        assert!(r.schema.element("Orders").unwrap().is_entity_type());
+        assert!(matches!(
+            r.schema.element("Orders_Customers").unwrap().kind,
+            ElementKind::Association { .. }
+        ));
+    }
+
+    #[test]
+    fn keys_carried_over() {
+        let r = relational_to_er(&rel()).unwrap();
+        assert!(r
+            .schema
+            .constraints
+            .iter()
+            .any(|c| matches!(c, Constraint::Key(k) if k.element == "Customers")));
+    }
+
+    #[test]
+    fn views_tag_rows_with_entity_type() {
+        let r = relational_to_er(&rel()).unwrap();
+        let v = r.views.view("Customers").unwrap();
+        // shape: project([$type, cid, name]) over extend($type)
+        match &v.expr {
+            Expr::Project { columns, .. } => {
+                assert_eq!(columns[0], TYPE_ATTR);
+                assert_eq!(columns[1..], ["cid".to_string(), "name".to_string()]);
+            }
+            other => panic!("unexpected view shape: {other}"),
+        }
+    }
+
+    #[test]
+    fn er_input_rejected() {
+        let er = SchemaBuilder::new("ER")
+            .entity("E", &[("x", DataType::Int)])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            relational_to_er(&er),
+            Err(ModelGenError::WrongProfile { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_er_rel_er_preserves_attribute_sets() {
+        use crate::er_rel::{er_to_relational, InheritanceStrategy};
+        let er = SchemaBuilder::new("ER")
+            .entity("P", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .build()
+            .unwrap();
+        let rel = er_to_relational(&er, InheritanceStrategy::Vertical).unwrap();
+        let back = relational_to_er(&rel.schema).unwrap();
+        let p = back.schema.element("P").unwrap();
+        let names: Vec<&str> = p.attribute_names().collect();
+        assert_eq!(names, ["Id", "Name"]);
+    }
+}

@@ -1,0 +1,1151 @@
+//! A compact, self-contained binary codec for repository snapshots.
+//!
+//! Hand-rolled (no external serialization format is available in the
+//! dependency budget): length-prefixed, little-endian, with one-byte tags
+//! for enums. Every encodable type has a matching decoder; round-trip
+//! property tests live at the bottom of the module.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mm_expr::{
+    AggFunc, AggSpec, Atom, CmpOp, Correspondence, CorrespondenceSet, Expr, Func, Lit, Mapping,
+    MappingConstraint, PathRef, Predicate, Scalar, SoClause, SoTgd, Term, Tgd, ViewDef,
+    ViewSet,
+};
+use mm_metamodel::{
+    Attribute, Cardinality, Constraint, DataType, Element, ElementKind, ForeignKey,
+    InclusionDependency, Key, Schema,
+};
+use std::fmt;
+
+/// Decoding error: the snapshot is truncated or contains an unknown tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+pub type DecodeResult<T> = Result<T, DecodeError>;
+
+/// Byte writer.
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::with_capacity(4096) }
+    }
+
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    pub fn i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.u32(items.len() as u32);
+        for it in items {
+            f(self, it);
+        }
+    }
+}
+
+/// Byte reader.
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn need(&self, n: usize) -> DecodeResult<()> {
+        if self.buf.remaining() < n {
+            Err(DecodeError(format!("truncated: need {n}, have {}", self.buf.remaining())))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn u8(&mut self) -> DecodeResult<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn u32(&mut self) -> DecodeResult<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn u64(&mut self) -> DecodeResult<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn i64(&mut self) -> DecodeResult<i64> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    pub fn i32(&mut self) -> DecodeResult<i32> {
+        self.need(4)?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    pub fn f64(&mut self) -> DecodeResult<f64> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    pub fn bool(&mut self) -> DecodeResult<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    pub fn str(&mut self) -> DecodeResult<String> {
+        let n = self.u32()? as usize;
+        self.need(n)?;
+        let bytes = self.buf.copy_to_bytes(n);
+        String::from_utf8(bytes.to_vec()).map_err(|e| DecodeError(e.to_string()))
+    }
+
+    pub fn seq<T>(&mut self, mut f: impl FnMut(&mut Self) -> DecodeResult<T>) -> DecodeResult<Vec<T>> {
+        let n = self.u32()? as usize;
+        // sanity bound: element encodings take at least one byte
+        if n > self.buf.remaining() {
+            return Err(DecodeError(format!("sequence length {n} exceeds buffer")));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Types encodable into a snapshot.
+pub trait Encode {
+    fn encode(&self, w: &mut Writer);
+}
+
+/// Types decodable from a snapshot.
+pub trait Decode: Sized {
+    fn decode(r: &mut Reader) -> DecodeResult<Self>;
+}
+
+fn bad_tag(what: &str, tag: u8) -> DecodeError {
+    DecodeError(format!("unknown {what} tag {tag}"))
+}
+
+// --- metamodel ------------------------------------------------------------
+
+impl Encode for DataType {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            DataType::Int => 0,
+            DataType::Double => 1,
+            DataType::Bool => 2,
+            DataType::Text => 3,
+            DataType::Date => 4,
+            DataType::Any => 5,
+        });
+    }
+}
+
+impl Decode for DataType {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => DataType::Int,
+            1 => DataType::Double,
+            2 => DataType::Bool,
+            3 => DataType::Text,
+            4 => DataType::Date,
+            5 => DataType::Any,
+            t => return Err(bad_tag("DataType", t)),
+        })
+    }
+}
+
+impl Encode for Attribute {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.name);
+        self.ty.encode(w);
+        w.bool(self.nullable);
+    }
+}
+
+impl Decode for Attribute {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(Attribute {
+            name: r.str()?,
+            ty: DataType::decode(r)?,
+            nullable: r.bool()?,
+        })
+    }
+}
+
+impl Encode for Cardinality {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            Cardinality::One => 0,
+            Cardinality::ZeroOrOne => 1,
+            Cardinality::Many => 2,
+        });
+    }
+}
+
+impl Decode for Cardinality {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Cardinality::One,
+            1 => Cardinality::ZeroOrOne,
+            2 => Cardinality::Many,
+            t => return Err(bad_tag("Cardinality", t)),
+        })
+    }
+}
+
+impl Encode for ElementKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ElementKind::Relation => w.u8(0),
+            ElementKind::EntityType { parent } => {
+                w.u8(1);
+                match parent {
+                    Some(p) => {
+                        w.bool(true);
+                        w.str(p);
+                    }
+                    None => w.bool(false),
+                }
+            }
+            ElementKind::Association { from, to, from_card, to_card } => {
+                w.u8(2);
+                w.str(from);
+                w.str(to);
+                from_card.encode(w);
+                to_card.encode(w);
+            }
+            ElementKind::Nested { parent } => {
+                w.u8(3);
+                w.str(parent);
+            }
+        }
+    }
+}
+
+impl Decode for ElementKind {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => ElementKind::Relation,
+            1 => {
+                let parent = if r.bool()? { Some(r.str()?) } else { None };
+                ElementKind::EntityType { parent }
+            }
+            2 => ElementKind::Association {
+                from: r.str()?,
+                to: r.str()?,
+                from_card: Cardinality::decode(r)?,
+                to_card: Cardinality::decode(r)?,
+            },
+            3 => ElementKind::Nested { parent: r.str()? },
+            t => return Err(bad_tag("ElementKind", t)),
+        })
+    }
+}
+
+impl Encode for Constraint {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Constraint::Key(k) => {
+                w.u8(0);
+                w.str(&k.element);
+                w.seq(&k.attributes, |w, a| w.str(a));
+            }
+            Constraint::ForeignKey(fk) => {
+                w.u8(1);
+                w.str(&fk.from);
+                w.seq(&fk.from_attrs, |w, a| w.str(a));
+                w.str(&fk.to);
+                w.seq(&fk.to_attrs, |w, a| w.str(a));
+            }
+            Constraint::Inclusion(i) => {
+                w.u8(2);
+                w.str(&i.from);
+                w.seq(&i.from_attrs, |w, a| w.str(a));
+                w.str(&i.to);
+                w.seq(&i.to_attrs, |w, a| w.str(a));
+            }
+            Constraint::Disjoint { left, right } => {
+                w.u8(3);
+                w.str(left);
+                w.str(right);
+            }
+            Constraint::Covering { parent, children } => {
+                w.u8(4);
+                w.str(parent);
+                w.seq(children, |w, c| w.str(c));
+            }
+            Constraint::NotNull { element, attribute } => {
+                w.u8(5);
+                w.str(element);
+                w.str(attribute);
+            }
+        }
+    }
+}
+
+impl Decode for Constraint {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Constraint::Key(Key {
+                element: r.str()?,
+                attributes: r.seq(Reader::str)?,
+            }),
+            1 => Constraint::ForeignKey(ForeignKey {
+                from: r.str()?,
+                from_attrs: r.seq(Reader::str)?,
+                to: r.str()?,
+                to_attrs: r.seq(Reader::str)?,
+            }),
+            2 => Constraint::Inclusion(InclusionDependency {
+                from: r.str()?,
+                from_attrs: r.seq(Reader::str)?,
+                to: r.str()?,
+                to_attrs: r.seq(Reader::str)?,
+            }),
+            3 => Constraint::Disjoint { left: r.str()?, right: r.str()? },
+            4 => Constraint::Covering {
+                parent: r.str()?,
+                children: r.seq(Reader::str)?,
+            },
+            5 => Constraint::NotNull { element: r.str()?, attribute: r.str()? },
+            t => return Err(bad_tag("Constraint", t)),
+        })
+    }
+}
+
+impl Encode for Schema {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.name);
+        let elements: Vec<&Element> = self.elements().collect();
+        w.u32(elements.len() as u32);
+        for e in elements {
+            w.str(&e.name);
+            e.kind.encode(w);
+            w.seq(&e.attributes, |w, a| a.encode(w));
+        }
+        w.seq(&self.constraints, |w, c| c.encode(w));
+    }
+}
+
+impl Decode for Schema {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        let name = r.str()?;
+        let mut schema = Schema::new(name);
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let name = r.str()?;
+            let kind = ElementKind::decode(r)?;
+            let attributes = r.seq(Attribute::decode)?;
+            schema
+                .add_element(Element { name, kind, attributes })
+                .map_err(|e| DecodeError(e.to_string()))?;
+        }
+        for c in r.seq(Constraint::decode)? {
+            schema.add_constraint(c).map_err(|e| DecodeError(e.to_string()))?;
+        }
+        Ok(schema)
+    }
+}
+
+// --- expressions -----------------------------------------------------------
+
+impl Encode for Lit {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Lit::Int(v) => {
+                w.u8(0);
+                w.i64(*v);
+            }
+            Lit::Double(v) => {
+                w.u8(1);
+                w.f64(*v);
+            }
+            Lit::Bool(v) => {
+                w.u8(2);
+                w.bool(*v);
+            }
+            Lit::Text(v) => {
+                w.u8(3);
+                w.str(v);
+            }
+            Lit::Date(v) => {
+                w.u8(4);
+                w.i32(*v);
+            }
+            Lit::Null => w.u8(5),
+        }
+    }
+}
+
+impl Decode for Lit {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Lit::Int(r.i64()?),
+            1 => Lit::Double(r.f64()?),
+            2 => Lit::Bool(r.bool()?),
+            3 => Lit::Text(r.str()?),
+            4 => Lit::Date(r.i32()?),
+            5 => Lit::Null,
+            t => return Err(bad_tag("Lit", t)),
+        })
+    }
+}
+
+impl Encode for Func {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            Func::Concat => 0,
+            Func::Add => 1,
+            Func::Sub => 2,
+            Func::Mul => 3,
+            Func::Coalesce => 4,
+            Func::Upper => 5,
+            Func::Lower => 6,
+        });
+    }
+}
+
+impl Decode for Func {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Func::Concat,
+            1 => Func::Add,
+            2 => Func::Sub,
+            3 => Func::Mul,
+            4 => Func::Coalesce,
+            5 => Func::Upper,
+            6 => Func::Lower,
+            t => return Err(bad_tag("Func", t)),
+        })
+    }
+}
+
+impl Encode for CmpOp {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            CmpOp::Eq => 0,
+            CmpOp::Ne => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        });
+    }
+}
+
+impl Decode for CmpOp {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Ne,
+            2 => CmpOp::Lt,
+            3 => CmpOp::Le,
+            4 => CmpOp::Gt,
+            5 => CmpOp::Ge,
+            t => return Err(bad_tag("CmpOp", t)),
+        })
+    }
+}
+
+impl Encode for Scalar {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Scalar::Col(c) => {
+                w.u8(0);
+                w.str(c);
+            }
+            Scalar::Lit(l) => {
+                w.u8(1);
+                l.encode(w);
+            }
+            Scalar::Func(f, args) => {
+                w.u8(2);
+                f.encode(w);
+                w.seq(args, |w, a| a.encode(w));
+            }
+            Scalar::Case { branches, otherwise } => {
+                w.u8(3);
+                w.u32(branches.len() as u32);
+                for (p, s) in branches {
+                    p.encode(w);
+                    s.encode(w);
+                }
+                otherwise.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Scalar {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Scalar::Col(r.str()?),
+            1 => Scalar::Lit(Lit::decode(r)?),
+            2 => Scalar::Func(Func::decode(r)?, r.seq(Scalar::decode)?),
+            3 => {
+                let n = r.u32()? as usize;
+                let mut branches = Vec::with_capacity(n);
+                for _ in 0..n {
+                    branches.push((Predicate::decode(r)?, Scalar::decode(r)?));
+                }
+                Scalar::Case { branches, otherwise: Box::new(Scalar::decode(r)?) }
+            }
+            t => return Err(bad_tag("Scalar", t)),
+        })
+    }
+}
+
+impl Encode for Predicate {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Predicate::Cmp { op, left, right } => {
+                w.u8(0);
+                op.encode(w);
+                left.encode(w);
+                right.encode(w);
+            }
+            Predicate::And(a, b) => {
+                w.u8(1);
+                a.encode(w);
+                b.encode(w);
+            }
+            Predicate::Or(a, b) => {
+                w.u8(2);
+                a.encode(w);
+                b.encode(w);
+            }
+            Predicate::Not(p) => {
+                w.u8(3);
+                p.encode(w);
+            }
+            Predicate::IsNull(s) => {
+                w.u8(4);
+                s.encode(w);
+            }
+            Predicate::IsOf { ty, only } => {
+                w.u8(5);
+                w.str(ty);
+                w.bool(*only);
+            }
+            Predicate::True => w.u8(6),
+            Predicate::False => w.u8(7),
+        }
+    }
+}
+
+impl Decode for Predicate {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Predicate::Cmp {
+                op: CmpOp::decode(r)?,
+                left: Scalar::decode(r)?,
+                right: Scalar::decode(r)?,
+            },
+            1 => Predicate::And(Box::new(Predicate::decode(r)?), Box::new(Predicate::decode(r)?)),
+            2 => Predicate::Or(Box::new(Predicate::decode(r)?), Box::new(Predicate::decode(r)?)),
+            3 => Predicate::Not(Box::new(Predicate::decode(r)?)),
+            4 => Predicate::IsNull(Scalar::decode(r)?),
+            5 => Predicate::IsOf { ty: r.str()?, only: r.bool()? },
+            6 => Predicate::True,
+            7 => Predicate::False,
+            t => return Err(bad_tag("Predicate", t)),
+        })
+    }
+}
+
+fn encode_pairs(w: &mut Writer, pairs: &[(String, String)]) {
+    w.u32(pairs.len() as u32);
+    for (a, b) in pairs {
+        w.str(a);
+        w.str(b);
+    }
+}
+
+fn decode_pairs(r: &mut Reader) -> DecodeResult<Vec<(String, String)>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((r.str()?, r.str()?));
+    }
+    Ok(out)
+}
+
+impl Encode for Expr {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Expr::Base(n) => {
+                w.u8(0);
+                w.str(n);
+            }
+            Expr::Literal { columns, rows } => {
+                w.u8(1);
+                w.seq(columns, |w, c| w.str(c));
+                w.u32(rows.len() as u32);
+                for row in rows {
+                    w.seq(row, |w, l| l.encode(w));
+                }
+            }
+            Expr::Project { input, columns } => {
+                w.u8(2);
+                input.encode(w);
+                w.seq(columns, |w, c| w.str(c));
+            }
+            Expr::Select { input, predicate } => {
+                w.u8(3);
+                input.encode(w);
+                predicate.encode(w);
+            }
+            Expr::Join { left, right, on } => {
+                w.u8(4);
+                left.encode(w);
+                right.encode(w);
+                encode_pairs(w, on);
+            }
+            Expr::LeftJoin { left, right, on } => {
+                w.u8(5);
+                left.encode(w);
+                right.encode(w);
+                encode_pairs(w, on);
+            }
+            Expr::Product { left, right } => {
+                w.u8(6);
+                left.encode(w);
+                right.encode(w);
+            }
+            Expr::Union { left, right, all } => {
+                w.u8(7);
+                left.encode(w);
+                right.encode(w);
+                w.bool(*all);
+            }
+            Expr::Diff { left, right } => {
+                w.u8(8);
+                left.encode(w);
+                right.encode(w);
+            }
+            Expr::Rename { input, renames } => {
+                w.u8(9);
+                input.encode(w);
+                encode_pairs(w, renames);
+            }
+            Expr::Extend { input, column, scalar } => {
+                w.u8(10);
+                input.encode(w);
+                w.str(column);
+                scalar.encode(w);
+            }
+            Expr::Distinct { input } => {
+                w.u8(11);
+                input.encode(w);
+            }
+            Expr::Aggregate { input, group_by, aggregates } => {
+                w.u8(12);
+                input.encode(w);
+                w.seq(group_by, |w, g| w.str(g));
+                w.u32(aggregates.len() as u32);
+                for a in aggregates {
+                    w.u8(match a.func {
+                        AggFunc::Count => 0,
+                        AggFunc::Sum => 1,
+                        AggFunc::Min => 2,
+                        AggFunc::Max => 3,
+                        AggFunc::Avg => 4,
+                    });
+                    match &a.column {
+                        Some(c) => {
+                            w.bool(true);
+                            w.str(c);
+                        }
+                        None => w.bool(false),
+                    }
+                    w.str(&a.output);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Expr {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Expr::Base(r.str()?),
+            1 => {
+                let columns = r.seq(Reader::str)?;
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(r.seq(Lit::decode)?);
+                }
+                Expr::Literal { columns, rows }
+            }
+            2 => Expr::Project {
+                input: Box::new(Expr::decode(r)?),
+                columns: r.seq(Reader::str)?,
+            },
+            3 => Expr::Select {
+                input: Box::new(Expr::decode(r)?),
+                predicate: Predicate::decode(r)?,
+            },
+            4 => Expr::Join {
+                left: Box::new(Expr::decode(r)?),
+                right: Box::new(Expr::decode(r)?),
+                on: decode_pairs(r)?,
+            },
+            5 => Expr::LeftJoin {
+                left: Box::new(Expr::decode(r)?),
+                right: Box::new(Expr::decode(r)?),
+                on: decode_pairs(r)?,
+            },
+            6 => Expr::Product {
+                left: Box::new(Expr::decode(r)?),
+                right: Box::new(Expr::decode(r)?),
+            },
+            7 => Expr::Union {
+                left: Box::new(Expr::decode(r)?),
+                right: Box::new(Expr::decode(r)?),
+                all: r.bool()?,
+            },
+            8 => Expr::Diff {
+                left: Box::new(Expr::decode(r)?),
+                right: Box::new(Expr::decode(r)?),
+            },
+            9 => Expr::Rename {
+                input: Box::new(Expr::decode(r)?),
+                renames: decode_pairs(r)?,
+            },
+            10 => Expr::Extend {
+                input: Box::new(Expr::decode(r)?),
+                column: r.str()?,
+                scalar: Scalar::decode(r)?,
+            },
+            11 => Expr::Distinct { input: Box::new(Expr::decode(r)?) },
+            12 => {
+                let input = Box::new(Expr::decode(r)?);
+                let group_by = r.seq(Reader::str)?;
+                let n = r.u32()? as usize;
+                let mut aggregates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let func = match r.u8()? {
+                        0 => AggFunc::Count,
+                        1 => AggFunc::Sum,
+                        2 => AggFunc::Min,
+                        3 => AggFunc::Max,
+                        4 => AggFunc::Avg,
+                        t => return Err(bad_tag("AggFunc", t)),
+                    };
+                    let column = if r.bool()? { Some(r.str()?) } else { None };
+                    let output = r.str()?;
+                    aggregates.push(AggSpec { func, column, output });
+                }
+                Expr::Aggregate { input, group_by, aggregates }
+            }
+            t => return Err(bad_tag("Expr", t)),
+        })
+    }
+}
+
+// --- logic ------------------------------------------------------------------
+
+impl Encode for Term {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Term::Var(v) => {
+                w.u8(0);
+                w.str(v);
+            }
+            Term::Const(l) => {
+                w.u8(1);
+                l.encode(w);
+            }
+            Term::Func(f, args) => {
+                w.u8(2);
+                w.str(f);
+                w.seq(args, |w, a| a.encode(w));
+            }
+        }
+    }
+}
+
+impl Decode for Term {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Term::Var(r.str()?),
+            1 => Term::Const(Lit::decode(r)?),
+            2 => Term::Func(r.str()?, r.seq(Term::decode)?),
+            t => return Err(bad_tag("Term", t)),
+        })
+    }
+}
+
+impl Encode for Atom {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.relation);
+        w.seq(&self.terms, |w, t| t.encode(w));
+    }
+}
+
+impl Decode for Atom {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(Atom { relation: r.str()?, terms: r.seq(Term::decode)? })
+    }
+}
+
+impl Encode for Tgd {
+    fn encode(&self, w: &mut Writer) {
+        w.seq(&self.body, |w, a| a.encode(w));
+        w.seq(&self.head, |w, a| a.encode(w));
+    }
+}
+
+impl Decode for Tgd {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(Tgd { body: r.seq(Atom::decode)?, head: r.seq(Atom::decode)? })
+    }
+}
+
+impl Encode for SoTgd {
+    fn encode(&self, w: &mut Writer) {
+        w.seq(&self.functions, |w, f| w.str(f));
+        w.u32(self.clauses.len() as u32);
+        for c in &self.clauses {
+            w.seq(&c.body, |w, a| a.encode(w));
+            w.u32(c.eqs.len() as u32);
+            for (l, rr) in &c.eqs {
+                l.encode(w);
+                rr.encode(w);
+            }
+            w.seq(&c.head, |w, a| a.encode(w));
+        }
+    }
+}
+
+impl Decode for SoTgd {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        let functions = r.seq(Reader::str)?;
+        let n = r.u32()? as usize;
+        let mut clauses = Vec::with_capacity(n);
+        for _ in 0..n {
+            let body = r.seq(Atom::decode)?;
+            let ne = r.u32()? as usize;
+            let mut eqs = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                eqs.push((Term::decode(r)?, Term::decode(r)?));
+            }
+            let head = r.seq(Atom::decode)?;
+            clauses.push(SoClause { body, eqs, head });
+        }
+        Ok(SoTgd { functions, clauses })
+    }
+}
+
+// --- mappings ----------------------------------------------------------------
+
+impl Encode for MappingConstraint {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MappingConstraint::Tgd(t) => {
+                w.u8(0);
+                t.encode(w);
+            }
+            MappingConstraint::SoTgd(t) => {
+                w.u8(1);
+                t.encode(w);
+            }
+            MappingConstraint::ExprEq { source, target } => {
+                w.u8(2);
+                source.encode(w);
+                target.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for MappingConstraint {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => MappingConstraint::Tgd(Tgd::decode(r)?),
+            1 => MappingConstraint::SoTgd(SoTgd::decode(r)?),
+            2 => MappingConstraint::ExprEq {
+                source: Expr::decode(r)?,
+                target: Expr::decode(r)?,
+            },
+            t => return Err(bad_tag("MappingConstraint", t)),
+        })
+    }
+}
+
+impl Encode for Mapping {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.source_schema);
+        w.str(&self.target_schema);
+        w.seq(&self.constraints, |w, c| c.encode(w));
+    }
+}
+
+impl Decode for Mapping {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(Mapping {
+            source_schema: r.str()?,
+            target_schema: r.str()?,
+            constraints: r.seq(MappingConstraint::decode)?,
+        })
+    }
+}
+
+impl Encode for PathRef {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.element);
+        match &self.attribute {
+            Some(a) => {
+                w.bool(true);
+                w.str(a);
+            }
+            None => w.bool(false),
+        }
+    }
+}
+
+impl Decode for PathRef {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        let element = r.str()?;
+        let attribute = if r.bool()? { Some(r.str()?) } else { None };
+        Ok(PathRef { element, attribute })
+    }
+}
+
+impl Encode for Correspondence {
+    fn encode(&self, w: &mut Writer) {
+        self.source.encode(w);
+        self.target.encode(w);
+        w.f64(self.confidence);
+    }
+}
+
+impl Decode for Correspondence {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(Correspondence {
+            source: PathRef::decode(r)?,
+            target: PathRef::decode(r)?,
+            confidence: r.f64()?,
+        })
+    }
+}
+
+impl Encode for CorrespondenceSet {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.source_schema);
+        w.str(&self.target_schema);
+        w.seq(&self.correspondences, |w, c| c.encode(w));
+    }
+}
+
+impl Decode for CorrespondenceSet {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(CorrespondenceSet {
+            source_schema: r.str()?,
+            target_schema: r.str()?,
+            correspondences: r.seq(Correspondence::decode)?,
+        })
+    }
+}
+
+impl Encode for ViewDef {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.name);
+        self.expr.encode(w);
+    }
+}
+
+impl Decode for ViewDef {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(ViewDef { name: r.str()?, expr: Expr::decode(r)? })
+    }
+}
+
+impl Encode for ViewSet {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.base_schema);
+        w.str(&self.view_schema);
+        w.seq(&self.views, |w, v| v.encode(w));
+    }
+}
+
+impl Decode for ViewSet {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(ViewSet {
+            base_schema: r.str()?,
+            view_schema: r.str()?,
+            views: r.seq(ViewDef::decode)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::SchemaBuilder;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut w = Writer::new();
+        v.encode(&mut w);
+        let mut r = Reader::new(w.finish());
+        let back = T::decode(&mut r).expect("decode");
+        assert_eq!(&back, v);
+        assert!(r.is_empty(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn schema_roundtrips() {
+        let s = SchemaBuilder::new("ER")
+            .entity("Person", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .entity_sub("Employee", "Person", &[("Dept", DataType::Text)])
+            .relation("T", &[("a", DataType::Double)])
+            .nested("Items", "T", &[("qty", DataType::Int)])
+            .association("A", "Person", "Employee", Cardinality::One, Cardinality::Many)
+            .key("Person", &["Id"])
+            .foreign_key("T", &["a"], "T", &["a"])
+            .build()
+            .unwrap();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        use mm_expr::Scalar;
+        let e = Expr::base("Names")
+            .join(Expr::base("Addresses"), &[("SID", "SID")])
+            .select(Predicate::col_eq_lit("Country", "US").or(Predicate::IsNull(Scalar::col("Zip"))))
+            .extend("tag", Scalar::Case {
+                branches: vec![(Predicate::True, Scalar::lit(1i64))],
+                otherwise: Box::new(Scalar::Lit(Lit::Null)),
+            })
+            .project(&["Name", "tag"])
+            .union(Expr::literal_row(&["Name", "tag"], vec![Lit::text("x"), Lit::Int(0)]))
+            .distinct()
+            .aggregate(
+                &["Name"],
+                vec![
+                    AggSpec::count("n"),
+                    AggSpec::of(AggFunc::Sum, "tag", "total"),
+                ],
+            );
+        roundtrip(&e);
+    }
+
+    #[test]
+    fn mapping_with_all_constraint_kinds_roundtrips() {
+        let tgd = Tgd::new(vec![Atom::vars("R", &["x"])], vec![Atom::vars("S", &["x", "y"])]);
+        let so = SoTgd::skolemize(std::slice::from_ref(&tgd), "f");
+        let m = Mapping::with_constraints(
+            "A",
+            "B",
+            vec![
+                MappingConstraint::Tgd(tgd),
+                MappingConstraint::SoTgd(so),
+                MappingConstraint::ExprEq {
+                    source: Expr::base("R").project(&["x"]),
+                    target: Expr::base("S"),
+                },
+            ],
+        );
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn correspondences_and_views_roundtrip() {
+        let mut cs = CorrespondenceSet::new("S", "T");
+        cs.push(Correspondence::new(
+            PathRef::attr("A", "x"),
+            PathRef::element("B"),
+            0.75,
+        ));
+        roundtrip(&cs);
+        let mut vs = ViewSet::new("S", "V");
+        vs.push(ViewDef::new("V1", Expr::base("A").rename(&[("x", "y")])));
+        roundtrip(&vs);
+    }
+
+    #[test]
+    fn truncated_buffer_errors_cleanly() {
+        let mut w = Writer::new();
+        Expr::base("LongRelationName").encode(&mut w);
+        let bytes = w.finish();
+        let mut r = Reader::new(bytes.slice(0..3));
+        assert!(Expr::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_errors_cleanly() {
+        let mut w = Writer::new();
+        w.u8(99);
+        let mut r = Reader::new(w.finish());
+        assert!(Expr::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_errors_cleanly() {
+        let mut w = Writer::new();
+        w.u8(0); // Base tag
+        w.u32(u32::MAX); // absurd string length
+        let mut r = Reader::new(w.finish());
+        assert!(Expr::decode(&mut r).is_err());
+    }
+}

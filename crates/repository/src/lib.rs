@@ -1,0 +1,18 @@
+//! The metadata repository of Figure 1: versioned storage for schemas,
+//! mappings, and view sets, with operator lineage between artifacts and
+//! binary snapshots.
+//!
+//! The original model-management proposal grew out of Microsoft
+//! Repository (§1.4); this crate is the modern, embeddable equivalent:
+//! every operator invocation records a lineage edge from its inputs to
+//! its output, supporting the impact-analysis and dependency-management
+//! uses the paper attributes to the repository, while the artifacts
+//! themselves are full mapping-language objects rather than "simple
+//! relationships".
+
+pub mod codec;
+pub mod store;
+
+pub use store::{
+    ArtifactId, ArtifactKind, LineageEdge, Repository, RepositoryError, VersionedName,
+};

@@ -1,0 +1,476 @@
+//! The versioned artifact store with operator lineage.
+
+use crate::codec::{Decode, DecodeError, Encode, Reader, Writer};
+use bytes::Bytes;
+use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
+use mm_metamodel::Schema;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What kind of artifact an id refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ArtifactKind {
+    Schema,
+    Mapping,
+    ViewSet,
+    Correspondences,
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArtifactKind::Schema => "schema",
+            ArtifactKind::Mapping => "mapping",
+            ArtifactKind::ViewSet => "viewset",
+            ArtifactKind::Correspondences => "correspondences",
+        })
+    }
+}
+
+/// A (name, version) pair naming one stored artifact version.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VersionedName {
+    pub name: String,
+    pub version: u32,
+}
+
+impl fmt::Display for VersionedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@v{}", self.name, self.version)
+    }
+}
+
+/// Fully qualified artifact id.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArtifactId {
+    pub kind: ArtifactKind,
+    pub name: VersionedName,
+}
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.kind, self.name)
+    }
+}
+
+/// A lineage edge: `operator(inputs) = output` — the repository's record
+/// of one model-management operator invocation (impact analysis, §1.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageEdge {
+    pub operator: String,
+    pub inputs: Vec<ArtifactId>,
+    pub output: ArtifactId,
+}
+
+/// Repository errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepositoryError {
+    NotFound(String),
+    Decode(DecodeError),
+    /// Snapshot header mismatch.
+    BadSnapshot,
+}
+
+impl fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepositoryError::NotFound(n) => write!(f, "artifact `{n}` not found"),
+            RepositoryError::Decode(e) => write!(f, "{e}"),
+            RepositoryError::BadSnapshot => f.write_str("bad snapshot header"),
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+impl From<DecodeError> for RepositoryError {
+    fn from(e: DecodeError) -> Self {
+        RepositoryError::Decode(e)
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    schemas: BTreeMap<String, Vec<Schema>>,
+    mappings: BTreeMap<String, Vec<Mapping>>,
+    viewsets: BTreeMap<String, Vec<ViewSet>>,
+    correspondences: BTreeMap<String, Vec<CorrespondenceSet>>,
+    lineage: Vec<LineageEdge>,
+}
+
+/// Thread-safe versioned metadata repository.
+#[derive(Default)]
+pub struct Repository {
+    inner: RwLock<Store>,
+}
+
+const SNAPSHOT_MAGIC: u32 = 0x4D4D5232; // "MMR2"
+
+macro_rules! accessors {
+    ($store_fn:ident, $get_fn:ident, $latest_fn:ident, $versions_fn:ident,
+     $field:ident, $ty:ty, $kind:expr) => {
+        /// Store a new version; returns its id.
+        pub fn $store_fn(&self, name: impl Into<String>, value: $ty) -> ArtifactId {
+            let name = name.into();
+            let mut store = self.inner.write();
+            let versions = store.$field.entry(name.clone()).or_default();
+            versions.push(value);
+            ArtifactId {
+                kind: $kind,
+                name: VersionedName { name, version: versions.len() as u32 - 1 },
+            }
+        }
+
+        /// Fetch a specific version.
+        pub fn $get_fn(&self, name: &str, version: u32) -> Result<$ty, RepositoryError> {
+            self.inner
+                .read()
+                .$field
+                .get(name)
+                .and_then(|v| v.get(version as usize))
+                .cloned()
+                .ok_or_else(|| RepositoryError::NotFound(format!("{name}@v{version}")))
+        }
+
+        /// Fetch the latest version with its id.
+        pub fn $latest_fn(&self, name: &str) -> Result<($ty, ArtifactId), RepositoryError> {
+            let store = self.inner.read();
+            let versions = store
+                .$field
+                .get(name)
+                .filter(|v| !v.is_empty())
+                .ok_or_else(|| RepositoryError::NotFound(name.to_string()))?;
+            let version = versions.len() as u32 - 1;
+            Ok((
+                versions[version as usize].clone(),
+                ArtifactId {
+                    kind: $kind,
+                    name: VersionedName { name: name.to_string(), version },
+                },
+            ))
+        }
+
+        /// Number of stored versions.
+        pub fn $versions_fn(&self, name: &str) -> u32 {
+            self.inner.read().$field.get(name).map(|v| v.len() as u32).unwrap_or(0)
+        }
+    };
+}
+
+impl Repository {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    accessors!(store_schema, get_schema, latest_schema, schema_versions,
+               schemas, Schema, ArtifactKind::Schema);
+    accessors!(store_mapping, get_mapping, latest_mapping, mapping_versions,
+               mappings, Mapping, ArtifactKind::Mapping);
+    accessors!(store_viewset, get_viewset, latest_viewset, viewset_versions,
+               viewsets, ViewSet, ArtifactKind::ViewSet);
+    accessors!(store_correspondences, get_correspondences, latest_correspondences,
+               correspondences_versions, correspondences, CorrespondenceSet,
+               ArtifactKind::Correspondences);
+
+    /// Names of all stored schemas.
+    pub fn schema_names(&self) -> Vec<String> {
+        self.inner.read().schemas.keys().cloned().collect()
+    }
+
+    /// Names of all stored mappings.
+    pub fn mapping_names(&self) -> Vec<String> {
+        self.inner.read().mappings.keys().cloned().collect()
+    }
+
+    /// Names of all stored view sets.
+    pub fn viewset_names(&self) -> Vec<String> {
+        self.inner.read().viewsets.keys().cloned().collect()
+    }
+
+    /// Names of all stored correspondence sets.
+    pub fn correspondence_names(&self) -> Vec<String> {
+        self.inner.read().correspondences.keys().cloned().collect()
+    }
+
+    /// Record an operator invocation.
+    pub fn record(&self, operator: impl Into<String>, inputs: Vec<ArtifactId>, output: ArtifactId) {
+        self.inner.write().lineage.push(LineageEdge {
+            operator: operator.into(),
+            inputs,
+            output,
+        });
+    }
+
+    /// All lineage edges (clone).
+    pub fn lineage(&self) -> Vec<LineageEdge> {
+        self.inner.read().lineage.clone()
+    }
+
+    /// Transitive inputs of an artifact — the static-lineage query of
+    /// Microsoft Repository (§1.4).
+    pub fn upstream(&self, of: &ArtifactId) -> Vec<ArtifactId> {
+        let lineage = self.inner.read().lineage.clone();
+        let mut out: Vec<ArtifactId> = Vec::new();
+        let mut frontier = vec![of.clone()];
+        while let Some(cur) = frontier.pop() {
+            for e in &lineage {
+                if e.output == cur {
+                    for i in &e.inputs {
+                        if !out.contains(i) && i != of {
+                            out.push(i.clone());
+                            frontier.push(i.clone());
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Artifacts (transitively) derived from `of` — impact analysis.
+    pub fn downstream(&self, of: &ArtifactId) -> Vec<ArtifactId> {
+        let lineage = self.inner.read().lineage.clone();
+        let mut out: Vec<ArtifactId> = Vec::new();
+        let mut frontier = vec![of.clone()];
+        while let Some(cur) = frontier.pop() {
+            for e in &lineage {
+                if e.inputs.contains(&cur) && !out.contains(&e.output) && e.output != *of {
+                    out.push(e.output.clone());
+                    frontier.push(e.output.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Serialize the whole repository to a snapshot.
+    pub fn snapshot(&self) -> Bytes {
+        let store = self.inner.read();
+        let mut w = Writer::new();
+        w.u32(SNAPSHOT_MAGIC);
+        encode_versions(&mut w, &store.schemas);
+        encode_versions(&mut w, &store.mappings);
+        encode_versions(&mut w, &store.viewsets);
+        encode_versions(&mut w, &store.correspondences);
+        w.u32(store.lineage.len() as u32);
+        for e in &store.lineage {
+            w.str(&e.operator);
+            encode_ids(&mut w, &e.inputs);
+            encode_id(&mut w, &e.output);
+        }
+        w.finish()
+    }
+
+    /// Restore a repository from a snapshot.
+    pub fn restore(bytes: Bytes) -> Result<Self, RepositoryError> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != SNAPSHOT_MAGIC {
+            return Err(RepositoryError::BadSnapshot);
+        }
+        let schemas = decode_versions::<Schema>(&mut r)?;
+        let mappings = decode_versions::<Mapping>(&mut r)?;
+        let viewsets = decode_versions::<ViewSet>(&mut r)?;
+        let correspondences = decode_versions::<CorrespondenceSet>(&mut r)?;
+        let n = r.u32()? as usize;
+        let mut lineage = Vec::with_capacity(n);
+        for _ in 0..n {
+            let operator = r.str()?;
+            let inputs = decode_ids(&mut r)?;
+            let output = decode_id(&mut r)?;
+            lineage.push(LineageEdge { operator, inputs, output });
+        }
+        Ok(Repository {
+            inner: RwLock::new(Store { schemas, mappings, viewsets, correspondences, lineage }),
+        })
+    }
+}
+
+fn encode_versions<T: Encode>(w: &mut Writer, map: &BTreeMap<String, Vec<T>>) {
+    w.u32(map.len() as u32);
+    for (name, versions) in map {
+        w.str(name);
+        w.u32(versions.len() as u32);
+        for v in versions {
+            v.encode(w);
+        }
+    }
+}
+
+fn decode_versions<T: Decode>(r: &mut Reader) -> Result<BTreeMap<String, Vec<T>>, DecodeError> {
+    let n = r.u32()? as usize;
+    let mut map = BTreeMap::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let k = r.u32()? as usize;
+        let mut versions = Vec::with_capacity(k);
+        for _ in 0..k {
+            versions.push(T::decode(r)?);
+        }
+        map.insert(name, versions);
+    }
+    Ok(map)
+}
+
+fn encode_id(w: &mut Writer, id: &ArtifactId) {
+    w.u8(match id.kind {
+        ArtifactKind::Schema => 0,
+        ArtifactKind::Mapping => 1,
+        ArtifactKind::ViewSet => 2,
+        ArtifactKind::Correspondences => 3,
+    });
+    w.str(&id.name.name);
+    w.u32(id.name.version);
+}
+
+fn decode_id(r: &mut Reader) -> Result<ArtifactId, DecodeError> {
+    let kind = match r.u8()? {
+        0 => ArtifactKind::Schema,
+        1 => ArtifactKind::Mapping,
+        2 => ArtifactKind::ViewSet,
+        3 => ArtifactKind::Correspondences,
+        t => return Err(DecodeError(format!("unknown artifact kind {t}"))),
+    };
+    Ok(ArtifactId { kind, name: VersionedName { name: r.str()?, version: r.u32()? } })
+}
+
+fn encode_ids(w: &mut Writer, ids: &[ArtifactId]) {
+    w.u32(ids.len() as u32);
+    for id in ids {
+        encode_id(w, id);
+    }
+}
+
+fn decode_ids(r: &mut Reader) -> Result<Vec<ArtifactId>, DecodeError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_id(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::{Expr, MappingConstraint, ViewDef};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn sample_schema(name: &str) -> Schema {
+        SchemaBuilder::new(name)
+            .relation("R", &[("a", DataType::Int)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn versioning_is_monotone() {
+        let repo = Repository::new();
+        let v0 = repo.store_schema("S", sample_schema("S"));
+        let v1 = repo.store_schema("S", sample_schema("S"));
+        assert_eq!(v0.name.version, 0);
+        assert_eq!(v1.name.version, 1);
+        assert_eq!(repo.schema_versions("S"), 2);
+        let (latest, id) = repo.latest_schema("S").unwrap();
+        assert_eq!(id.name.version, 1);
+        assert_eq!(latest.name, "S");
+        assert!(repo.get_schema("S", 0).is_ok());
+        assert!(repo.get_schema("S", 7).is_err());
+    }
+
+    #[test]
+    fn lineage_upstream_downstream() {
+        let repo = Repository::new();
+        let s1 = repo.store_schema("S1", sample_schema("S1"));
+        let s2 = repo.store_schema("S2", sample_schema("S2"));
+        let m = repo.store_mapping(
+            "m12",
+            Mapping::with_constraints("S1", "S2", vec![MappingConstraint::ExprEq {
+                source: Expr::base("R"),
+                target: Expr::base("R"),
+            }]),
+        );
+        repo.record("match", vec![s1.clone(), s2.clone()], m.clone());
+        let mut vs = ViewSet::new("S1", "S2");
+        vs.push(ViewDef::new("R", Expr::base("R")));
+        let v = repo.store_viewset("v12", vs);
+        repo.record("transgen", vec![m.clone()], v.clone());
+
+        let up = repo.upstream(&v);
+        assert!(up.contains(&m));
+        assert!(up.contains(&s1));
+        assert!(up.contains(&s2));
+        let down = repo.downstream(&s1);
+        assert!(down.contains(&m));
+        assert!(down.contains(&v));
+        assert!(repo.upstream(&s1).is_empty());
+    }
+
+    #[test]
+    fn snapshot_restores_everything() {
+        let repo = Repository::new();
+        let s = repo.store_schema("S", sample_schema("S"));
+        let m = repo.store_mapping(
+            "m",
+            Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
+                source: Expr::base("R").project(&["a"]),
+                target: Expr::base("R2"),
+            }]),
+        );
+        repo.record("modelgen", vec![s], m);
+        let mut cs = CorrespondenceSet::new("S", "T");
+        cs.push(mm_expr::Correspondence::new(
+            mm_expr::PathRef::attr("R", "a"),
+            mm_expr::PathRef::attr("R2", "b"),
+            0.9,
+        ));
+        repo.store_correspondences("c", cs);
+
+        let bytes = repo.snapshot();
+        let restored = Repository::restore(bytes).unwrap();
+        assert_eq!(restored.schema_versions("S"), 1);
+        assert_eq!(restored.mapping_versions("m"), 1);
+        assert_eq!(restored.correspondences_versions("c"), 1);
+        assert_eq!(restored.lineage().len(), 1);
+        assert_eq!(
+            restored.get_mapping("m", 0).unwrap(),
+            repo.get_mapping("m", 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_snapshot_rejected() {
+        match Repository::restore(Bytes::from_static(b"nope")) {
+            Err(RepositoryError::BadSnapshot) => {}
+            other => panic!("expected BadSnapshot, got {:?}", other.map(|_| ()).err()),
+        }
+        match Repository::restore(Bytes::from_static(b"x")) {
+            Err(RepositoryError::Decode(_)) => {}
+            other => panic!("expected Decode error, got {:?}", other.map(|_| ()).err()),
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes() {
+        use std::sync::Arc;
+        let repo = Arc::new(Repository::new());
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let r = Arc::clone(&repo);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..25 {
+                    r.store_schema(format!("S{i}"), sample_schema(&format!("S{i}_{j}")));
+                    let _ = r.latest_schema(&format!("S{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(repo.schema_versions(&format!("S{i}")), 25);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Access control over mapped schemas (§5, "Access control"):
+//! "Access control constraints on the target might be enforced by a
+//! combination of constraints enforced on the server and those enforced
+//! by the client runtime. This may affect the constraint preprocessing
+//! required by the design tools to distribute the access control work
+//! between the two layers."
+//!
+//! The policy language is deliberately view-shaped: per target relation,
+//! a set of visible columns and an optional row predicate. The compiler
+//! folds the policy *into* the view definitions (design time), so the
+//! runtime needs no per-row checks — and the same policy can be checked
+//! against a query statically (client side) to fail fast before any data
+//! moves.
+
+use mm_expr::{Expr, Predicate, ViewDef, ViewSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-relation access rule.
+#[derive(Debug, Clone)]
+pub struct AccessRule {
+    /// Columns the subject may see; empty = all columns.
+    pub visible_columns: Vec<String>,
+    /// Row-level restriction, over the relation's columns.
+    pub row_filter: Option<Predicate>,
+}
+
+impl AccessRule {
+    pub fn columns(cols: &[&str]) -> Self {
+        AccessRule {
+            visible_columns: cols.iter().map(|c| (*c).into()).collect(),
+            row_filter: None,
+        }
+    }
+
+    pub fn rows(filter: Predicate) -> Self {
+        AccessRule { visible_columns: Vec::new(), row_filter: Some(filter) }
+    }
+
+    pub fn with_rows(mut self, filter: Predicate) -> Self {
+        self.row_filter = Some(filter);
+        self
+    }
+}
+
+/// An access policy: rules per target relation. Relations without a rule
+/// are denied entirely (deny-by-default).
+#[derive(Debug, Clone, Default)]
+pub struct AccessPolicy {
+    pub rules: BTreeMap<String, AccessRule>,
+}
+
+impl AccessPolicy {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn allow(mut self, relation: impl Into<String>, rule: AccessRule) -> Self {
+        self.rules.insert(relation.into(), rule);
+        self
+    }
+}
+
+/// A static authorization failure (the client-side half of the paper's
+/// split enforcement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessViolation {
+    DeniedRelation(String),
+    DeniedColumn { relation: String, column: String },
+}
+
+impl fmt::Display for AccessViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessViolation::DeniedRelation(r) => write!(f, "access to `{r}` denied"),
+            AccessViolation::DeniedColumn { relation, column } => {
+                write!(f, "access to `{relation}.{column}` denied")
+            }
+        }
+    }
+}
+
+/// Design-time compilation: fold the policy into the view set, producing
+/// restricted views (σ row-filter, π visible columns). Queries mediated
+/// through the result can never observe denied rows/columns; relations
+/// without rules are dropped.
+pub fn compile_policy(views: &ViewSet, policy: &AccessPolicy) -> ViewSet {
+    let mut out = ViewSet::new(views.base_schema.clone(), views.view_schema.clone());
+    for v in &views.views {
+        let Some(rule) = policy.rules.get(&v.name) else { continue };
+        let mut expr = v.expr.clone();
+        if let Some(filter) = &rule.row_filter {
+            expr = expr.select(filter.clone());
+        }
+        if !rule.visible_columns.is_empty() {
+            expr = expr.project_owned(rule.visible_columns.clone());
+        }
+        out.push(ViewDef::new(v.name.clone(), expr));
+    }
+    out
+}
+
+/// Client-side static check: does `query` touch anything the policy
+/// denies? Collects all violations (a tool wants the full list).
+///
+/// Column attribution is by name: a referenced column is authorized iff
+/// it appears in the visible set of some relation the query *uses* (a
+/// relation with an empty mask authorizes all of its columns, which —
+/// name-based — means every referenced column). Columns visible only in
+/// rules for relations the query does not touch grant nothing.
+pub fn check_query(query: &Expr, policy: &AccessPolicy) -> Vec<AccessViolation> {
+    let mut out = Vec::new();
+    let used_relations = mm_expr::analyze::base_relations(query);
+    let mut any_unmasked = false;
+    let mut allowed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut first_masked: Option<&str> = None;
+    for base in &used_relations {
+        match policy.rules.get(*base) {
+            None => out.push(AccessViolation::DeniedRelation(base.to_string())),
+            Some(rule) if rule.visible_columns.is_empty() => any_unmasked = true,
+            Some(rule) => {
+                first_masked.get_or_insert(base);
+                allowed.extend(rule.visible_columns.iter().map(String::as_str));
+            }
+        }
+    }
+    if !any_unmasked {
+        if let Some(attribute_to) = first_masked {
+            let mut used_cols = std::collections::BTreeSet::new();
+            collect_columns(query, &mut used_cols);
+            for c in &used_cols {
+                if !allowed.contains(c.as_str()) {
+                    out.push(AccessViolation::DeniedColumn {
+                        relation: attribute_to.to_string(),
+                        column: c.clone(),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out.dedup();
+    out
+}
+
+fn collect_columns(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+    match e {
+        Expr::Project { input, columns } => {
+            out.extend(columns.iter().cloned());
+            collect_columns(input, out);
+        }
+        Expr::Select { input, .. }
+        | Expr::Rename { input, .. }
+        | Expr::Extend { input, .. }
+        | Expr::Distinct { input } => collect_columns(input, out),
+        Expr::Join { left, right, .. }
+        | Expr::LeftJoin { left, right, .. }
+        | Expr::Product { left, right }
+        | Expr::Union { left, right, .. }
+        | Expr::Diff { left, right } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_eval::{eval, materialize_views, unfold_query};
+    use mm_instance::{Database, Tuple, Value};
+    use mm_metamodel::{DataType, Schema, SchemaBuilder};
+
+    fn base() -> (Schema, Database, ViewSet) {
+        let s = SchemaBuilder::new("HRDB")
+            .relation("emp", &[
+                ("id", DataType::Int),
+                ("name", DataType::Text),
+                ("salary", DataType::Int),
+                ("dept", DataType::Text),
+            ])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        for (id, name, salary, dept) in
+            [(1, "ann", 90, "eng"), (2, "bob", 70, "eng"), (3, "cyd", 80, "hr")]
+        {
+            db.insert(
+                "emp",
+                Tuple::from([
+                    Value::Int(id),
+                    Value::text(name),
+                    Value::Int(salary),
+                    Value::text(dept),
+                ]),
+            );
+        }
+        let mut views = ViewSet::new("HRDB", "Portal");
+        views.push(ViewDef::new("Employees", Expr::base("emp")));
+        views.push(ViewDef::new(
+            "Payroll",
+            Expr::base("emp").project(&["id", "salary"]),
+        ));
+        (s, db, views)
+    }
+
+    #[test]
+    fn column_mask_hides_salary() {
+        let (s, db, views) = base();
+        let policy = AccessPolicy::new()
+            .allow("Employees", AccessRule::columns(&["id", "name", "dept"]));
+        let restricted = compile_policy(&views, &policy);
+        let mat = materialize_views(&restricted, &s, &db).unwrap();
+        let emp = mat.relation("Employees").unwrap();
+        assert!(!emp.schema.has("salary"));
+        assert_eq!(emp.len(), 3);
+        // the Payroll view is denied entirely
+        assert!(mat.relation("Payroll").is_none());
+    }
+
+    #[test]
+    fn row_filter_restricts_visible_rows() {
+        let (s, db, views) = base();
+        let policy = AccessPolicy::new().allow(
+            "Employees",
+            AccessRule::columns(&["id", "name", "dept"])
+                .with_rows(Predicate::col_eq_lit("dept", "eng")),
+        );
+        let restricted = compile_policy(&views, &policy);
+        let mat = materialize_views(&restricted, &s, &db).unwrap();
+        assert_eq!(mat.relation("Employees").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn queries_through_restricted_views_cannot_leak() {
+        let (s, db, views) = base();
+        let policy = AccessPolicy::new().allow(
+            "Employees",
+            AccessRule::columns(&["id", "name"])
+                .with_rows(Predicate::col_eq_lit("dept", "eng")),
+        );
+        let restricted = compile_policy(&views, &policy);
+        // an adversarial query asking for everything still sees the mask
+        let q = Expr::base("Employees");
+        let unfolded = unfold_query(&q, &restricted);
+        let r = eval(&unfolded, &s, &db).unwrap();
+        let cols: Vec<&str> = r.schema.names().collect();
+        assert_eq!(cols, ["id", "name"]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn static_check_flags_denied_access() {
+        let (_, _, _) = base();
+        let policy =
+            AccessPolicy::new().allow("Employees", AccessRule::columns(&["id", "name"]));
+        let bad = Expr::base("Payroll").project(&["salary"]);
+        let violations = check_query(&bad, &policy);
+        assert!(violations.contains(&AccessViolation::DeniedRelation("Payroll".into())));
+        let sneaky = Expr::base("Employees").project(&["salary"]);
+        let violations = check_query(&sneaky, &policy);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, AccessViolation::DeniedColumn { column, .. } if column == "salary")));
+        let fine = Expr::base("Employees").project(&["name"]);
+        assert!(check_query(&fine, &policy).is_empty());
+    }
+
+    #[test]
+    fn columns_visible_only_in_unused_rules_grant_nothing() {
+        // salary is visible through Payroll, but a query against
+        // Employees must not borrow that visibility
+        let policy = AccessPolicy::new()
+            .allow("Employees", AccessRule::columns(&["id", "name"]))
+            .allow("Payroll", AccessRule::columns(&["id", "salary"]));
+        let sneaky = Expr::base("Employees").project(&["salary"]);
+        let v = check_query(&sneaky, &policy);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, AccessViolation::DeniedColumn { column, .. } if column == "salary")));
+        // but querying salary through Payroll itself is fine
+        let fine = Expr::base("Payroll").project(&["salary"]);
+        assert!(check_query(&fine, &policy).is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Error translation (§5, "Errors"): "if a data access via T is
+//! translated into an access on S that generates an error, then the error
+//! needs to be passed back through mapST in a form that is understandable
+//! in the context of T."
+//!
+//! The translator takes integrity violations raised against the *tables*
+//! (the S side) and re-expresses them against the entity model (the T
+//! side) using the mapping's fragments: a violation on table `Empl`
+//! becomes a violation on entity type `Employee` with entity attribute
+//! names.
+
+use mm_instance::InstanceViolation;
+use mm_metamodel::Schema;
+use mm_transgen::Fragment;
+use std::fmt;
+
+/// A base-side violation re-expressed in target (entity) terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetError {
+    /// The entity type(s) the offending table stores.
+    pub entity_types: Vec<String>,
+    /// The attribute in entity terms, when the violation names one.
+    pub attribute: Option<String>,
+    /// Human-readable message in target terms.
+    pub message: String,
+    /// The original base-side violation, preserved for debugging.
+    pub source: InstanceViolation,
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (from: {})", self.message, self.source)
+    }
+}
+
+/// Map the table name of a violation, if any.
+fn violation_table(v: &InstanceViolation) -> Option<&str> {
+    match v {
+        InstanceViolation::MissingRelation(n) => Some(n),
+        InstanceViolation::ArityMismatch { element, .. }
+        | InstanceViolation::TypeMismatch { element, .. }
+        | InstanceViolation::NullViolation { element, .. }
+        | InstanceViolation::KeyViolation { element, .. } => Some(element),
+        InstanceViolation::InclusionViolation { from, .. } => Some(from),
+        InstanceViolation::BadEntityType { set, .. } => Some(set),
+        InstanceViolation::DisjointViolation { left, .. } => Some(left),
+        InstanceViolation::CoveringViolation { parent } => Some(parent),
+    }
+}
+
+fn violation_attribute(v: &InstanceViolation) -> Option<&str> {
+    match v {
+        InstanceViolation::TypeMismatch { attribute, .. }
+        | InstanceViolation::NullViolation { attribute, .. } => Some(attribute),
+        InstanceViolation::KeyViolation { key, .. } => key.first().map(String::as_str),
+        _ => None,
+    }
+}
+
+/// Translate base-side violations into target-context errors using the
+/// mapping `fragments`. Violations on tables outside the mapping pass
+/// through with an empty entity-type list.
+pub fn translate_violations(
+    rel: &Schema,
+    fragments: &[Fragment],
+    violations: &[InstanceViolation],
+) -> Vec<TargetError> {
+    violations
+        .iter()
+        .map(|v| {
+            let table = violation_table(v);
+            let frag = table.and_then(|t| {
+                fragments.iter().find(|f| f.table.as_deref() == Some(t))
+            });
+            match frag {
+                Some(f) => {
+                    let entity_types: Vec<String> = if f.types.is_empty() {
+                        vec![f.extent_type.clone()]
+                    } else {
+                        f.types.iter().map(|a| a.ty.clone()).collect()
+                    };
+                    // table column -> entity attribute (positional)
+                    let attribute = table.and_then(|t| {
+                        let layout = rel.instance_layout(t)?;
+                        let col = violation_attribute(v)?;
+                        let pos = layout.iter().position(|a| a.name == col)?;
+                        f.columns.get(pos).cloned()
+                    });
+                    let message = match &attribute {
+                        Some(a) => format!(
+                            "constraint violated on {}.{a}",
+                            entity_types.join("/")
+                        ),
+                        None => format!("constraint violated on {}", entity_types.join("/")),
+                    };
+                    TargetError {
+                        entity_types,
+                        attribute,
+                        message,
+                        source: v.clone(),
+                    }
+                }
+                None => TargetError {
+                    entity_types: Vec::new(),
+                    attribute: None,
+                    message: format!("unmapped base error: {v}"),
+                    source: v.clone(),
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::{entity_extent, Expr, Mapping, MappingConstraint, Predicate};
+    use mm_metamodel::{DataType, SchemaBuilder};
+    use mm_transgen::parse_fragments;
+
+    fn setup() -> (Schema, Schema, Vec<Fragment>) {
+        let er = SchemaBuilder::new("ER")
+            .entity("Person", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .entity_sub("Customer", "Person", &[("CreditScore", DataType::Int)])
+            .key("Person", &["Id"])
+            .build()
+            .unwrap();
+        let rel = SchemaBuilder::new("SQL")
+            .relation("Client", &[
+                ("Id", DataType::Int),
+                ("Name", DataType::Text),
+                ("Score", DataType::Int),
+            ])
+            .build()
+            .unwrap();
+        let m = Mapping::with_constraints(
+            "ER",
+            "SQL",
+            vec![MappingConstraint::ExprEq {
+                source: entity_extent(&er, "Customer")
+                    .unwrap()
+                    .select(Predicate::IsOf { ty: "Customer".into(), only: false })
+                    .project(&["Id", "Name", "CreditScore"]),
+                target: Expr::base("Client"),
+            }],
+        );
+        let frags = parse_fragments(&er, &rel, &m).unwrap();
+        (er, rel, frags)
+    }
+
+    #[test]
+    fn table_violation_maps_to_entity_attribute() {
+        let (_, rel, frags) = setup();
+        let v = InstanceViolation::NullViolation {
+            element: "Client".into(),
+            attribute: "Score".into(),
+        };
+        let out = translate_violations(&rel, &frags, &[v]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].entity_types, ["Customer"]);
+        // table column Score positionally maps to entity CreditScore
+        assert_eq!(out[0].attribute.as_deref(), Some("CreditScore"));
+        assert!(out[0].message.contains("Customer.CreditScore"));
+    }
+
+    #[test]
+    fn key_violation_names_key_attribute() {
+        let (_, rel, frags) = setup();
+        let v = InstanceViolation::KeyViolation {
+            element: "Client".into(),
+            key: vec!["Id".into()],
+        };
+        let out = translate_violations(&rel, &frags, &[v]);
+        assert_eq!(out[0].attribute.as_deref(), Some("Id"));
+    }
+
+    #[test]
+    fn unmapped_table_passes_through() {
+        let (_, rel, frags) = setup();
+        let v = InstanceViolation::MissingRelation("Audit".into());
+        let out = translate_violations(&rel, &frags, &[v]);
+        assert!(out[0].entity_types.is_empty());
+        assert!(out[0].message.contains("unmapped"));
+    }
+}

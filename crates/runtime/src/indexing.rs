@@ -1,0 +1,257 @@
+//! Index advice for mapped schemas (§5, "Indexing"): "it is probably
+//! best to index the data sources and derive a mapping that enables the
+//! index to be accessed via T."
+//!
+//! The advisor takes a workload of *target-level* queries, unfolds each
+//! through the mapping down to the base schema, and mines the unfolded
+//! plans for index opportunities: join keys (hash-join build/probe
+//! columns) and equality-selection columns. Recommendations are ranked by
+//! how many workload queries would use them.
+
+use mm_expr::{Expr, Predicate, Scalar, ViewSet};
+use mm_metamodel::Schema;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why an index helps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IndexUse {
+    JoinKey,
+    EqualitySelection,
+}
+
+impl fmt::Display for IndexUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IndexUse::JoinKey => "join key",
+            IndexUse::EqualitySelection => "equality selection",
+        })
+    }
+}
+
+/// One recommendation: an index on `relation(column)` of the base schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexRecommendation {
+    pub relation: String,
+    pub column: String,
+    pub uses: Vec<IndexUse>,
+    /// How many workload queries touch this (relation, column) this way.
+    pub demand: usize,
+}
+
+impl fmt::Display for IndexRecommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let uses: Vec<String> = self.uses.iter().map(IndexUse::to_string).collect();
+        write!(
+            f,
+            "CREATE INDEX ON {}({})  -- {} ({} queries)",
+            self.relation,
+            self.column,
+            uses.join(" + "),
+            self.demand
+        )
+    }
+}
+
+/// Advise base-relation indexes for a workload of target-level queries
+/// mediated through `views`.
+pub fn advise_indexes(
+    workload: &[Expr],
+    views: &ViewSet,
+    base_schema: &Schema,
+) -> Vec<IndexRecommendation> {
+    let mut demand: BTreeMap<(String, String), BTreeMap<IndexUse, usize>> = BTreeMap::new();
+    for q in workload {
+        let unfolded = mm_eval::unfold_query(q, views);
+        // optimize so selections sit against their base relations
+        let plan = mm_expr::optimize(&unfolded, base_schema).unwrap_or(unfolded);
+        let mut seen: Vec<((String, String), IndexUse)> = Vec::new();
+        mine(&plan, base_schema, &mut seen);
+        seen.sort();
+        seen.dedup();
+        for (key, use_) in seen {
+            *demand.entry(key).or_default().entry(use_).or_default() += 1;
+        }
+    }
+    let mut out: Vec<IndexRecommendation> = demand
+        .into_iter()
+        .map(|((relation, column), uses)| {
+            let total = uses.values().sum();
+            IndexRecommendation {
+                relation,
+                column,
+                uses: uses.into_keys().collect(),
+                demand: total,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.demand.cmp(&a.demand).then_with(|| a.relation.cmp(&b.relation)));
+    out
+}
+
+/// Collect (relation, column, use) facts from a plan. A column is
+/// attributed to a base relation when the subplan beneath the join /
+/// selection is a scan (optionally selected/projected) of that relation
+/// still exposing the column under its base name.
+fn mine(e: &Expr, schema: &Schema, out: &mut Vec<((String, String), IndexUse)>) {
+    match e {
+        Expr::Join { left, right, on } | Expr::LeftJoin { left, right, on } => {
+            for (l, r) in on {
+                if let Some(rel) = scan_of(left, l, schema) {
+                    out.push(((rel, l.clone()), IndexUse::JoinKey));
+                }
+                if let Some(rel) = scan_of(right, r, schema) {
+                    out.push(((rel, r.clone()), IndexUse::JoinKey));
+                }
+            }
+            mine(left, schema, out);
+            mine(right, schema, out);
+        }
+        Expr::Select { input, predicate } => {
+            let mut cols = Vec::new();
+            equality_columns(predicate, &mut cols);
+            for c in cols {
+                if let Some(rel) = scan_of(input, &c, schema) {
+                    out.push(((rel, c), IndexUse::EqualitySelection));
+                }
+            }
+            mine(input, schema, out);
+        }
+        Expr::Project { input, .. }
+        | Expr::Rename { input, .. }
+        | Expr::Extend { input, .. }
+        | Expr::Distinct { input } => mine(input, schema, out),
+        Expr::Product { left, right }
+        | Expr::Union { left, right, .. }
+        | Expr::Diff { left, right } => {
+            mine(left, schema, out);
+            mine(right, schema, out);
+        }
+        Expr::Aggregate { input, .. } => mine(input, schema, out),
+        Expr::Base(_) | Expr::Literal { .. } => {}
+    }
+}
+
+/// If `e` is (a selection/projection/distinct over) a base scan that still
+/// exposes `col` under its base name, return the relation.
+fn scan_of(e: &Expr, col: &str, schema: &Schema) -> Option<String> {
+    match e {
+        Expr::Base(n) => {
+            let layout = schema.instance_layout(n)?;
+            layout.iter().any(|a| a.name == col).then(|| n.clone())
+        }
+        Expr::Select { input, .. } | Expr::Distinct { input } => scan_of(input, col, schema),
+        Expr::Project { input, columns } => {
+            if !columns.iter().any(|c| c == col) {
+                return None;
+            }
+            scan_of(input, col, schema)
+        }
+        Expr::Rename { input, renames } => {
+            // translate the column back through the rename
+            let below = renames
+                .iter()
+                .find(|(_, new)| new == col)
+                .map(|(old, _)| old.as_str())
+                .unwrap_or(col);
+            // a rename *onto* this name shadows the original
+            if below == col && renames.iter().any(|(old, _)| old == col) {
+                return None;
+            }
+            scan_of(input, below, schema)
+        }
+        Expr::Extend { input, column, .. } => {
+            if column == col {
+                return None; // computed, not indexable at the base
+            }
+            scan_of(input, col, schema)
+        }
+        _ => None,
+    }
+}
+
+fn equality_columns(p: &Predicate, out: &mut Vec<String>) {
+    match p {
+        Predicate::Cmp { op: mm_expr::CmpOp::Eq, left, right } => match (left, right) {
+            (Scalar::Col(c), Scalar::Lit(_)) | (Scalar::Lit(_), Scalar::Col(c)) => {
+                out.push(c.clone());
+            }
+            _ => {}
+        },
+        Predicate::And(a, b) => {
+            equality_columns(a, out);
+            equality_columns(b, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::{Predicate, ViewDef};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn setup() -> (Schema, ViewSet) {
+        let s = SchemaBuilder::new("Ops")
+            .relation("Empl", &[
+                ("EID", DataType::Int),
+                ("Name", DataType::Text),
+                ("AID", DataType::Int),
+            ])
+            .relation("Addr", &[("AID", DataType::Int), ("City", DataType::Text)])
+            .build()
+            .unwrap();
+        let mut views = ViewSet::new("Ops", "Portal");
+        views.push(ViewDef::new(
+            "Staff",
+            Expr::base("Empl")
+                .join(Expr::base("Addr"), &[("AID", "AID")])
+                .project(&["EID", "Name", "City"]),
+        ));
+        (s, views)
+    }
+
+    #[test]
+    fn join_keys_and_selection_columns_recommended() {
+        let (s, views) = setup();
+        let workload = vec![
+            Expr::base("Staff").select(Predicate::col_eq_lit("City", "rome")),
+            Expr::base("Staff").select(Predicate::col_eq_lit("City", "oslo")),
+            Expr::base("Staff").project(&["Name"]),
+        ];
+        let recs = advise_indexes(&workload, &views, &s);
+        // Addr.City: equality selections pushed down by the optimizer
+        let city = recs
+            .iter()
+            .find(|r| r.relation == "Addr" && r.column == "City")
+            .expect("city index recommended");
+        assert!(city.uses.contains(&IndexUse::EqualitySelection));
+        assert_eq!(city.demand, 2);
+        // join keys on both sides of the view's join
+        assert!(recs.iter().any(|r| r.relation == "Empl" && r.column == "AID"));
+        assert!(recs.iter().any(|r| r.relation == "Addr" && r.column == "AID"));
+        // ranked by demand: the join keys appear in all three queries
+        assert!(recs[0].demand >= city.demand);
+    }
+
+    #[test]
+    fn empty_workload_no_recommendations() {
+        let (s, views) = setup();
+        assert!(advise_indexes(&[], &views, &s).is_empty());
+    }
+
+    #[test]
+    fn recommendation_renders_as_ddl_comment() {
+        let rec = IndexRecommendation {
+            relation: "Addr".into(),
+            column: "City".into(),
+            uses: vec![IndexUse::EqualitySelection],
+            demand: 2,
+        };
+        assert_eq!(
+            rec.to_string(),
+            "CREATE INDEX ON Addr(City)  -- equality selection (2 queries)"
+        );
+    }
+}

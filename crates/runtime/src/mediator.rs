@@ -1,0 +1,204 @@
+//! Query mediation through chains of mappings (§5, "Peer-to-peer").
+//!
+//! "There is a chain of mappings from the schema to be queried, T, to a
+//! source S1, which is mapped to a source S2, etc. The mapping design tool
+//! might optimize a query on T to collapse the chain into direct
+//! mappings … the runtime needs to be able to process a query on T by
+//! propagating it through the chain." Both strategies live here; EQ6
+//! benchmarks them against each other.
+
+use mm_compose::compose_views;
+use mm_eval::{eval, unfold_query, EvalError};
+use mm_expr::{Expr, ViewSet};
+use mm_instance::{Database, Relation};
+use mm_metamodel::Schema;
+
+/// A mediator over a chain of view-defined mappings.
+///
+/// `chain[0]` defines the first virtual schema over the base; `chain[i]`
+/// defines level i+1 over level i. Queries arrive against the top level.
+pub struct Mediator<'a> {
+    pub base_schema: &'a Schema,
+    pub chain: Vec<&'a ViewSet>,
+}
+
+impl<'a> Mediator<'a> {
+    pub fn new(base_schema: &'a Schema, chain: Vec<&'a ViewSet>) -> Self {
+        Mediator { base_schema, chain }
+    }
+
+    /// Answer a top-level query by unfolding it hop by hop down the chain
+    /// and evaluating the final expression on the base database.
+    pub fn answer_chained(
+        &self,
+        query: &Expr,
+        base_db: &Database,
+    ) -> Result<Relation, EvalError> {
+        eval(&self.unfold(query), self.base_schema, base_db)
+    }
+
+    /// Like [`Self::answer_chained`], but runs the algebraic optimizer
+    /// (predicate pushdown + column pruning) on the collapsed expression
+    /// before evaluating — the §4 "optimization opportunities".
+    pub fn answer_chained_optimized(
+        &self,
+        query: &Expr,
+        base_db: &Database,
+    ) -> Result<Relation, EvalError> {
+        let q = self.unfold(query);
+        let optimized = mm_expr::optimize(&q, self.base_schema).map_err(EvalError::Static)?;
+        eval(&optimized, self.base_schema, base_db)
+    }
+
+    /// Unfold a top-level query down to the base schema.
+    pub fn unfold(&self, query: &Expr) -> Expr {
+        let mut q = query.clone();
+        for views in self.chain.iter().rev() {
+            q = unfold_query(&q, views);
+        }
+        q
+    }
+
+    /// Collapse the chain into one direct mapping (design-time
+    /// composition), returning the composed view set.
+    pub fn collapse(&self) -> Option<ViewSet> {
+        let mut iter = self.chain.iter();
+        let first = (*iter.next()?).clone();
+        Some(iter.fold(first, |acc, next| compose_views(&acc, next)))
+    }
+
+    /// Answer a top-level query through a pre-collapsed mapping.
+    pub fn answer_collapsed(
+        &self,
+        collapsed: &ViewSet,
+        query: &Expr,
+        base_db: &Database,
+    ) -> Result<Relation, EvalError> {
+        let q = unfold_query(query, collapsed);
+        eval(&q, self.base_schema, base_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::{Predicate, ViewDef};
+    use mm_instance::{Tuple, Value};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    fn base() -> (Schema, Database) {
+        let s = SchemaBuilder::new("Base")
+            .relation("People", &[
+                ("id", DataType::Int),
+                ("name", DataType::Text),
+                ("age", DataType::Int),
+                ("city", DataType::Text),
+            ])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        for (id, name, age, city) in [
+            (1, "ann", 31, "rome"),
+            (2, "bob", 17, "oslo"),
+            (3, "cyd", 45, "rome"),
+        ] {
+            db.insert(
+                "People",
+                Tuple::from([
+                    Value::Int(id),
+                    Value::text(name),
+                    Value::Int(age),
+                    Value::text(city),
+                ]),
+            );
+        }
+        (s, db)
+    }
+
+    /// Two-hop chain: Adults over People; RomanAdults over Adults.
+    fn chain() -> (ViewSet, ViewSet) {
+        let mut l1 = ViewSet::new("Base", "L1");
+        l1.push(ViewDef::new(
+            "Adults",
+            Expr::base("People").select(Predicate::Cmp {
+                op: mm_expr::CmpOp::Ge,
+                left: mm_expr::Scalar::col("age"),
+                right: mm_expr::Scalar::lit(18i64),
+            }),
+        ));
+        let mut l2 = ViewSet::new("L1", "L2");
+        l2.push(ViewDef::new(
+            "RomanAdults",
+            Expr::base("Adults")
+                .select(Predicate::col_eq_lit("city", "rome"))
+                .project(&["id", "name"]),
+        ));
+        (l1, l2)
+    }
+
+    #[test]
+    fn chained_and_collapsed_agree() {
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let q = Expr::base("RomanAdults").project(&["name"]);
+        let chained = m.answer_chained(&q, &db).unwrap();
+        let collapsed = m.collapse().unwrap();
+        let direct = m.answer_collapsed(&collapsed, &q, &db).unwrap();
+        assert!(chained.set_eq(&direct));
+        assert_eq!(chained.len(), 2); // ann, cyd
+    }
+
+    #[test]
+    fn collapsed_mapping_reads_base_directly() {
+        let (s, _) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let collapsed = m.collapse().unwrap();
+        let v = collapsed.view("RomanAdults").unwrap();
+        assert_eq!(mm_expr::analyze::base_relations(&v.expr), ["People"]);
+    }
+
+    #[test]
+    fn optimized_mediation_agrees_with_plain() {
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let q = Expr::base("RomanAdults").project(&["name"]);
+        let plain = m.answer_chained(&q, &db).unwrap();
+        let fast = m.answer_chained_optimized(&q, &db).unwrap();
+        assert!(plain.set_eq(&fast));
+        // the optimized unfolding pushes both filters down to People
+        let opt = mm_expr::optimize(&m.unfold(&q), &s).unwrap();
+        assert!(opt.to_string().contains("People) WHERE"), "{opt}");
+    }
+
+    #[test]
+    fn empty_chain_collapse_is_none() {
+        let (s, _) = base();
+        let m = Mediator::new(&s, vec![]);
+        assert!(m.collapse().is_none());
+    }
+
+    #[test]
+    fn deep_chain_mediation() {
+        // 5 identity-ish hops on top of the filter chain
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let mut hops: Vec<ViewSet> = vec![l1, l2];
+        for i in 0..5 {
+            let prev = if i == 0 { "RomanAdults".to_string() } else { format!("V{}", i - 1) };
+            let mut vs = ViewSet::new(format!("L{}", i + 2), format!("L{}", i + 3));
+            vs.push(ViewDef::new(format!("V{i}"), Expr::base(prev)));
+            hops.push(vs);
+        }
+        let refs: Vec<&ViewSet> = hops.iter().collect();
+        let m = Mediator::new(&s, refs);
+        let q = Expr::base("V4");
+        let r = m.answer_chained(&q, &db).unwrap();
+        assert_eq!(r.len(), 2);
+        let collapsed = m.collapse().unwrap();
+        let r2 = m.answer_collapsed(&collapsed, &q, &db).unwrap();
+        assert!(r.set_eq(&r2));
+    }
+}

@@ -1,0 +1,204 @@
+//! Synchronization logic across mappings (§5, "Synchronization logic"):
+//! "Data replication rules may be stated in terms of T … For efficiency,
+//! it may be better to translate the rules into equivalent rules on
+//! finer-grained (e.g., relational) data in the corresponding sources S1
+//! and S2 to be executed there."
+//!
+//! A [`SyncRule`] replicates a slice of a *target* (view-level) relation
+//! from one peer to another. [`translate_rules`] pushes each rule through
+//! both peers' mappings, producing base-level copy rules: an (optimized)
+//! source expression over peer 1's base schema and a loader into peer 2's
+//! base relations via peer 2's update views. [`run_sync`] executes the
+//! translated rules.
+
+use mm_eval::{eval, materialize_views, EvalError};
+use mm_expr::{Expr, Predicate, ViewSet};
+use mm_instance::Database;
+use mm_metamodel::Schema;
+
+/// A replication rule in target terms: copy `σ filter (view_relation)`
+/// from peer 1 to peer 2.
+#[derive(Debug, Clone)]
+pub struct SyncRule {
+    pub view_relation: String,
+    pub filter: Option<Predicate>,
+}
+
+impl SyncRule {
+    pub fn all(view_relation: impl Into<String>) -> Self {
+        SyncRule { view_relation: view_relation.into(), filter: None }
+    }
+
+    pub fn filtered(view_relation: impl Into<String>, filter: Predicate) -> Self {
+        SyncRule { view_relation: view_relation.into(), filter: Some(filter) }
+    }
+}
+
+/// A rule translated to base level: evaluate `source_expr` on peer 1's
+/// base database; the rows are target-level tuples staged for peer 2.
+#[derive(Debug, Clone)]
+pub struct TranslatedRule {
+    pub view_relation: String,
+    /// Over peer 1's base schema (unfolded + optimized).
+    pub source_expr: Expr,
+}
+
+/// Translate target-level rules to base-level rules against peer 1.
+pub fn translate_rules(
+    rules: &[SyncRule],
+    peer1_views: &ViewSet,
+    peer1_schema: &Schema,
+) -> Vec<TranslatedRule> {
+    rules
+        .iter()
+        .map(|r| {
+            let mut q = Expr::base(r.view_relation.clone());
+            if let Some(f) = &r.filter {
+                q = q.select(f.clone());
+            }
+            let unfolded = mm_eval::unfold_query(&q, peer1_views);
+            let source_expr =
+                mm_expr::optimize(&unfolded, peer1_schema).unwrap_or(unfolded);
+            TranslatedRule { view_relation: r.view_relation.clone(), source_expr }
+        })
+        .collect()
+}
+
+/// Statistics of one sync run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncStats {
+    pub rows_read: usize,
+    pub rows_written: usize,
+}
+
+/// Execute translated rules: read from peer 1's base, write into peer 2's
+/// base through peer 2's *update views* (peer 2's target relations are
+/// staged, then pushed down). Peer 2's view schema must contain the
+/// synced relations.
+pub fn run_sync(
+    rules: &[TranslatedRule],
+    peer1_schema: &Schema,
+    peer1_db: &Database,
+    peer2_update_views: &ViewSet,
+    peer2_view_schema: &Schema,
+    peer2_db: &mut Database,
+) -> Result<SyncStats, EvalError> {
+    let mut stats = SyncStats::default();
+    // stage the replicated slices as an instance of peer 2's view schema
+    let mut staged = Database::empty_of(peer2_view_schema);
+    for rule in rules {
+        let rows = eval(&rule.source_expr, peer1_schema, peer1_db)?;
+        stats.rows_read += rows.len();
+        for t in rows.iter() {
+            staged.insert(&rule.view_relation, t.clone());
+        }
+    }
+    // push through peer 2's update views into its base relations
+    let tables = materialize_views(peer2_update_views, peer2_view_schema, &staged)?;
+    for (name, rel) in tables.relations() {
+        for t in rel.iter() {
+            if let Some(target) = peer2_db.relation_mut(name) {
+                if target.insert(t.clone()) {
+                    stats.rows_written += 1;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::ViewDef;
+    use mm_instance::{Tuple, Value};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    /// Two peers exposing the same `Contacts` view over different base
+    /// layouts: peer 1 splits name/phone over two tables, peer 2 stores
+    /// one table.
+    fn setup() -> (Schema, Database, ViewSet, Schema, Schema, Database, ViewSet) {
+        let p1 = SchemaBuilder::new("P1")
+            .relation("names", &[("id", DataType::Int), ("name", DataType::Text)])
+            .relation("phones", &[("id", DataType::Int), ("phone", DataType::Text)])
+            .build()
+            .unwrap();
+        let mut p1db = Database::empty_of(&p1);
+        for (id, name, phone) in [(1, "ann", "555"), (2, "bob", "556")] {
+            p1db.insert("names", Tuple::from([Value::Int(id), Value::text(name)]));
+            p1db.insert("phones", Tuple::from([Value::Int(id), Value::text(phone)]));
+        }
+        let mut p1_views = ViewSet::new("P1", "T");
+        p1_views.push(ViewDef::new(
+            "Contacts",
+            Expr::base("names").join(Expr::base("phones"), &[("id", "id")]),
+        ));
+
+        let tschema = SchemaBuilder::new("T")
+            .relation("Contacts", &[
+                ("id", DataType::Int),
+                ("name", DataType::Text),
+                ("phone", DataType::Text),
+            ])
+            .build()
+            .unwrap();
+
+        let p2 = SchemaBuilder::new("P2")
+            .relation("contact_book", &[
+                ("id", DataType::Int),
+                ("name", DataType::Text),
+                ("phone", DataType::Text),
+            ])
+            .build()
+            .unwrap();
+        let p2db = Database::empty_of(&p2);
+        // peer 2's update views: its base table as a function of the view
+        let mut p2_uviews = ViewSet::new("T", "P2");
+        p2_uviews.push(ViewDef::new("contact_book", Expr::base("Contacts")));
+        (p1, p1db, p1_views, tschema, p2, p2db, p2_uviews)
+    }
+
+    #[test]
+    fn rule_translates_to_optimized_base_expression() {
+        let (p1, _, p1_views, ..) = setup();
+        let rules = vec![SyncRule::filtered(
+            "Contacts",
+            Predicate::col_eq_lit("name", "ann"),
+        )];
+        let translated = translate_rules(&rules, &p1_views, &p1);
+        let text = translated[0].source_expr.to_string();
+        // the filter was pushed to the base `names` relation
+        assert!(text.contains("(names) WHERE name = 'ann'"), "{text}");
+    }
+
+    #[test]
+    fn sync_replicates_the_slice() {
+        let (p1, p1db, p1_views, tschema, _, mut p2db, p2_uviews) = setup();
+        let rules = vec![SyncRule::filtered(
+            "Contacts",
+            Predicate::col_eq_lit("name", "ann"),
+        )];
+        let translated = translate_rules(&rules, &p1_views, &p1);
+        let stats =
+            run_sync(&translated, &p1, &p1db, &p2_uviews, &tschema, &mut p2db).unwrap();
+        assert_eq!(stats.rows_read, 1);
+        assert_eq!(stats.rows_written, 1);
+        let book = p2db.relation("contact_book").unwrap();
+        assert_eq!(book.len(), 1);
+        assert_eq!(book.iter().next().unwrap().values()[1], Value::text("ann"));
+    }
+
+    #[test]
+    fn sync_is_idempotent() {
+        let (p1, p1db, p1_views, tschema, _, mut p2db, p2_uviews) = setup();
+        let rules = vec![SyncRule::all("Contacts")];
+        let translated = translate_rules(&rules, &p1_views, &p1);
+        let first =
+            run_sync(&translated, &p1, &p1db, &p2_uviews, &tschema, &mut p2db).unwrap();
+        assert_eq!(first.rows_written, 2);
+        let second =
+            run_sync(&translated, &p1, &p1db, &p2_uviews, &tschema, &mut p2db).unwrap();
+        assert_eq!(second.rows_written, 0); // set semantics: nothing new
+        assert_eq!(p2db.relation("contact_book").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Update propagation (§5): "updates on T need to be translated into
+//! updates on S via mapST."
+//!
+//! In the ADO.NET pattern the engine compiles *update views* (tables as
+//! functions of entities, `mm-transgen`); propagating an entity-level
+//! delta then means evaluating the update views against the pre- and
+//! post-update entity databases and diffing — which this module optimizes
+//! to a per-view delta evaluation for insert-only changes, falling back
+//! to two-sided diffing when deletions are involved.
+
+use crate::ivm::Delta;
+use mm_eval::{materialize_views, EvalError};
+use mm_expr::ViewSet;
+use mm_instance::{Database, Tuple};
+use mm_metamodel::Schema;
+use std::fmt;
+
+/// Errors from update propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateError {
+    Eval(EvalError),
+    /// The delta touches a relation the view schema does not know.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Eval(e) => write!(f, "evaluation: {e}"),
+            UpdateError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<EvalError> for UpdateError {
+    fn from(e: EvalError) -> Self {
+        UpdateError::Eval(e)
+    }
+}
+
+/// A two-sided delta on the base/table side.
+#[derive(Debug, Clone, Default)]
+pub struct TableDelta {
+    pub inserts: Vec<(String, Tuple)>,
+    pub deletes: Vec<(String, Tuple)>,
+}
+
+impl TableDelta {
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Propagate an entity-level change through the update views: evaluate the
+/// views on the entity database before and after applying `inserted` /
+/// `deleted`, and report the table-level difference.
+///
+/// `entity_db` is mutated to the post-update state.
+pub fn propagate(
+    update_views: &ViewSet,
+    entity_schema: &Schema,
+    entity_db: &mut Database,
+    inserted: &Delta,
+    deleted: &[(String, Tuple)],
+) -> Result<TableDelta, UpdateError> {
+    for rel in inserted.inserts.keys() {
+        if entity_db.relation(rel).is_none() {
+            return Err(UpdateError::UnknownRelation(rel.clone()));
+        }
+    }
+    let before = materialize_views(update_views, entity_schema, entity_db)?;
+    inserted.apply_to(entity_db);
+    for (rel, t) in deleted {
+        let r = entity_db
+            .relation_mut(rel)
+            .ok_or_else(|| UpdateError::UnknownRelation(rel.clone()))?;
+        r.remove(t);
+    }
+    let after = materialize_views(update_views, entity_schema, entity_db)?;
+
+    let mut delta = TableDelta::default();
+    for (name, after_rel) in after.relations() {
+        let before_rel = before.relation(name);
+        for t in after_rel.iter() {
+            if before_rel.map(|r| !r.contains(t)).unwrap_or(true) {
+                delta.inserts.push((name.to_string(), t.clone()));
+            }
+        }
+        if let Some(b) = before_rel {
+            for t in b.iter() {
+                if !after_rel.contains(t) {
+                    delta.deletes.push((name.to_string(), t.clone()));
+                }
+            }
+        }
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_expr::Mapping;
+    use mm_instance::Value;
+    use mm_metamodel::{DataType, SchemaBuilder};
+    use mm_transgen::{parse_fragments, update_views};
+
+    fn er() -> Schema {
+        SchemaBuilder::new("ER")
+            .entity("Person", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .entity_sub("Employee", "Person", &[("Dept", DataType::Text)])
+            .key("Person", &["Id"])
+            .build()
+            .unwrap()
+    }
+
+    fn rel() -> Schema {
+        SchemaBuilder::new("SQL")
+            .relation("HR", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .relation("Empl", &[("Id", DataType::Int), ("Dept", DataType::Text)])
+            .build()
+            .unwrap()
+    }
+
+    fn mapping(er: &Schema) -> Mapping {
+        use mm_expr::{entity_extent, Expr, MappingConstraint};
+        Mapping::with_constraints(
+            "ER",
+            "SQL",
+            vec![
+                MappingConstraint::ExprEq {
+                    source: entity_extent(er, "Person").unwrap().project(&["Id", "Name"]),
+                    target: Expr::base("HR"),
+                },
+                MappingConstraint::ExprEq {
+                    source: entity_extent(er, "Employee").unwrap().project(&["Id", "Dept"]),
+                    target: Expr::base("Empl"),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn entity_insert_becomes_table_inserts() {
+        let er = er();
+        let rel = rel();
+        let frags = parse_fragments(&er, &rel, &mapping(&er)).unwrap();
+        let uv = update_views(&er, &rel, &frags).unwrap();
+        let mut db = Database::empty_of(&er);
+        db.insert_entity("Person", "Person", vec![Value::Int(1), Value::text("pat")]);
+
+        let mut delta = Delta::new();
+        delta.insert(
+            "Employee",
+            Tuple::from([
+                Value::text("Employee"),
+                Value::Int(2),
+                Value::text("eve"),
+                Value::text("hr"),
+            ]),
+        );
+        let td = propagate(&uv, &er, &mut db, &delta, &[]).unwrap();
+        // eve lands in both HR (as a person) and Empl (as an employee)
+        assert_eq!(td.inserts.len(), 2);
+        assert!(td.deletes.is_empty());
+        assert!(td.inserts.iter().any(|(n, _)| n == "HR"));
+        assert!(td.inserts.iter().any(|(n, _)| n == "Empl"));
+    }
+
+    #[test]
+    fn entity_delete_becomes_table_deletes() {
+        let er = er();
+        let rel = rel();
+        let frags = parse_fragments(&er, &rel, &mapping(&er)).unwrap();
+        let uv = update_views(&er, &rel, &frags).unwrap();
+        let mut db = Database::empty_of(&er);
+        let eve = Tuple::from([
+            Value::text("Employee"),
+            Value::Int(2),
+            Value::text("eve"),
+            Value::text("hr"),
+        ]);
+        db.insert("Employee", eve.clone());
+        let td = propagate(
+            &uv,
+            &er,
+            &mut db,
+            &Delta::new(),
+            &[("Employee".to_string(), eve)],
+        )
+        .unwrap();
+        assert_eq!(td.deletes.len(), 2);
+        assert!(td.inserts.is_empty());
+    }
+
+    #[test]
+    fn noop_update_produces_empty_delta() {
+        let er = er();
+        let rel = rel();
+        let frags = parse_fragments(&er, &rel, &mapping(&er)).unwrap();
+        let uv = update_views(&er, &rel, &frags).unwrap();
+        let mut db = Database::empty_of(&er);
+        let td = propagate(&uv, &er, &mut db, &Delta::new(), &[]).unwrap();
+        assert!(td.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let er = er();
+        let rel = rel();
+        let frags = parse_fragments(&er, &rel, &mapping(&er)).unwrap();
+        let uv = update_views(&er, &rel, &frags).unwrap();
+        let mut db = Database::empty_of(&er);
+        let mut delta = Delta::new();
+        delta.insert("Nope", Tuple::from([Value::Int(1)]));
+        assert!(matches!(
+            propagate(&uv, &er, &mut db, &delta, &[]),
+            Err(UpdateError::UnknownRelation(_))
+        ));
+    }
+}

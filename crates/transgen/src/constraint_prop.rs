@@ -1,0 +1,355 @@
+//! Integrity-constraint propagation across mappings (§2, §5).
+//!
+//! "For a given source and target database that are related by a given
+//! mapping, we might need to check that if the source database satisfies
+//! the source integrity constraints then the target database also
+//! satisfies the target integrity constraints" (§2). And from §5: "due to
+//! differences in S's and T's metamodels, some constraints on T may not
+//! be expressible on S. For example, the disjointness of two sets of
+//! instances of two classes in T with a common superclass is not
+//! expressible as relational integrity constraints on S if … the classes
+//! are mapped to distinct tables."
+//!
+//! This module reasons over a fragment mapping (entity model T, tables S):
+//!
+//! * [`propagate_to_tables`] — derive the table-side constraints implied
+//!   by the entity model: hierarchy keys become table keys, subtype
+//!   fragments foreign-key into fragments storing their supertypes,
+//!   non-nullable entity attributes become NOT NULL columns;
+//! * [`unexpressible_constraints`] — entity-side constraints with no
+//!   relational rendering under the mapping, headlined by the paper's
+//!   disjointness example (vacuously enforced by horizontal partitioning,
+//!   *not expressible* when siblings share a table slice or live in
+//!   distinct tables keyed independently);
+//! * [`check_implication`] — the dynamic check from §2: chase a sample
+//!   source instance through the update views and validate the target
+//!   constraints.
+
+use crate::fragments::Fragment;
+use crate::update_views::update_views;
+use mm_eval::materialize_views;
+use mm_instance::{validate, Database, InstanceViolation};
+use mm_metamodel::{Constraint, ForeignKey, Key, Schema};
+
+/// A propagated constraint together with its justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropagatedConstraint {
+    pub constraint: Constraint,
+    /// Which entity-side fact implies it.
+    pub because: String,
+}
+
+/// A target-side constraint the mapping cannot express on the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unexpressible {
+    pub constraint: Constraint,
+    pub reason: String,
+}
+
+fn table_of<'a>(fragments: &'a [Fragment], ty: &str, schema: &Schema) -> Option<&'a Fragment> {
+    fragments
+        .iter()
+        .find(|f| f.table.is_some() && f.contains_type(schema, ty))
+}
+
+/// Derive relational constraints on the fragment tables from the entity
+/// model's constraints and the mapping structure.
+pub fn propagate_to_tables(
+    er: &Schema,
+    rel: &Schema,
+    fragments: &[Fragment],
+) -> Vec<PropagatedConstraint> {
+    let mut out = Vec::new();
+    // 1. hierarchy keys become keys of every fragment table that projects
+    //    all key columns
+    for f in fragments {
+        let Some(table) = &f.table else { continue };
+        let Some(key) = er.declared_key(&f.root) else { continue };
+        if !key.iter().all(|k| f.columns.contains(k)) {
+            continue;
+        }
+        // positions of the key columns in the table's layout
+        let Some(layout) = rel.instance_layout(table) else { continue };
+        let table_key: Option<Vec<String>> = key
+            .iter()
+            .map(|k| {
+                f.columns
+                    .iter()
+                    .position(|c| c == k)
+                    .and_then(|i| layout.get(i))
+                    .map(|a| a.name.clone())
+            })
+            .collect();
+        let Some(table_key) = table_key else { continue };
+        out.push(PropagatedConstraint {
+            constraint: Constraint::Key(Key {
+                element: table.clone(),
+                attributes: table_key,
+            }),
+            because: format!("key of hierarchy `{}` projected by `{f}`", f.root),
+        });
+    }
+    // 2. a fragment storing a subtype slice references any fragment
+    //    storing a supertype slice of the same entities (its rows are a
+    //    subset, so the key columns form an inclusion/foreign key)
+    for sub in fragments {
+        let (Some(sub_table), Some(key)) = (&sub.table, er.declared_key(&sub.root)) else {
+            continue;
+        };
+        if !key.iter().all(|k| sub.columns.contains(k)) {
+            continue;
+        }
+        for sup in fragments {
+            let Some(sup_table) = &sup.table else { continue };
+            if std::ptr::eq(sub, sup) || sub.root != sup.root {
+                continue;
+            }
+            if !key.iter().all(|k| sup.columns.contains(k)) {
+                continue;
+            }
+            // every type stored by `sub` must also be stored by `sup`
+            let covered = er
+                .subtree(&sub.root)
+                .iter()
+                .filter(|ty| sub.contains_type(er, ty))
+                .all(|ty| sup.contains_type(er, ty));
+            if !covered {
+                continue;
+            }
+            let col_name = |f: &Fragment, table: &str, k: &str| -> Option<String> {
+                let layout = rel.instance_layout(table)?;
+                f.columns
+                    .iter()
+                    .position(|c| c == k)
+                    .and_then(|i| layout.get(i))
+                    .map(|a| a.name.clone())
+            };
+            let from_attrs: Option<Vec<String>> =
+                key.iter().map(|k| col_name(sub, sub_table, k)).collect();
+            let to_attrs: Option<Vec<String>> =
+                key.iter().map(|k| col_name(sup, sup_table, k)).collect();
+            if let (Some(from_attrs), Some(to_attrs)) = (from_attrs, to_attrs) {
+                out.push(PropagatedConstraint {
+                    constraint: Constraint::ForeignKey(ForeignKey {
+                        from: sub_table.clone(),
+                        from_attrs,
+                        to: sup_table.clone(),
+                        to_attrs,
+                    }),
+                    because: format!(
+                        "rows of `{sub_table}` are the `{}`-slice of `{sup_table}`",
+                        sub.extent_type
+                    ),
+                });
+            }
+        }
+    }
+    // 3. non-nullable entity attributes become NOT NULL on their columns
+    for f in fragments {
+        let Some(table) = &f.table else { continue };
+        let Ok(attrs) = er.all_attributes(&f.extent_type) else { continue };
+        let Some(layout) = rel.instance_layout(table) else { continue };
+        for (i, col) in f.columns.iter().enumerate() {
+            let Some(src) = attrs.iter().find(|a| &a.name == col) else { continue };
+            if !src.nullable {
+                if let Some(tcol) = layout.get(i) {
+                    out.push(PropagatedConstraint {
+                        constraint: Constraint::NotNull {
+                            element: table.clone(),
+                            attribute: tcol.name.clone(),
+                        },
+                        because: format!("`{}.{}` is non-nullable", f.extent_type, col),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Entity-side constraints that have no relational rendering under the
+/// mapping — the paper's §5 integrity-constraint discussion.
+pub fn unexpressible_constraints(
+    er: &Schema,
+    fragments: &[Fragment],
+) -> Vec<Unexpressible> {
+    let mut out = Vec::new();
+    for c in &er.constraints {
+        match c {
+            Constraint::Disjoint { left, right } => {
+                let lt = table_of(fragments, left, er).and_then(|f| f.table.clone());
+                let rt = table_of(fragments, right, er).and_then(|f| f.table.clone());
+                match (lt, rt) {
+                    (Some(a), Some(b)) if a != b => out.push(Unexpressible {
+                        constraint: c.clone(),
+                        reason: format!(
+                            "`{left}` and `{right}` map to distinct tables `{a}`/`{b}`: \
+                             their disjointness is not a relational constraint on either \
+                             table (the paper's §5 example)"
+                        ),
+                    }),
+                    (Some(a), Some(b)) => {
+                        // same table: distinguishable only if the slices
+                        // carry a discriminator — the fragment type lists
+                        // are the static witness, so this is expressible
+                        let _ = (a, b);
+                    }
+                    _ => out.push(Unexpressible {
+                        constraint: c.clone(),
+                        reason: format!("`{left}` or `{right}` is unmapped"),
+                    }),
+                }
+            }
+            Constraint::Covering { parent, children } => {
+                // expressible only if the parent's slice table equals the
+                // union of the children's — never derivable from the
+                // fragments alone when they live in distinct tables
+                let pt = table_of(fragments, parent, er).and_then(|f| f.table.clone());
+                let kid_tables: Vec<_> = children
+                    .iter()
+                    .map(|k| table_of(fragments, k, er).and_then(|f| f.table.clone()))
+                    .collect();
+                if kid_tables.iter().any(Option::is_none) || pt.is_none() {
+                    out.push(Unexpressible {
+                        constraint: c.clone(),
+                        reason: "covering across unmapped types".into(),
+                    });
+                } else if kid_tables.iter().any(|t| t != &pt) {
+                    out.push(Unexpressible {
+                        constraint: c.clone(),
+                        reason: format!(
+                            "covering of `{parent}` spans multiple tables; relational \
+                             schemas cannot state it without assertions"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The §2 dynamic check: push a source-constraint-satisfying entity
+/// sample through the update views and validate the *propagated* table
+/// constraints on the result. Returns violations (empty = implication
+/// held on this sample).
+pub fn check_implication(
+    er: &Schema,
+    rel: &Schema,
+    fragments: &[Fragment],
+    sample: &Database,
+) -> Result<Vec<InstanceViolation>, crate::fragments::TransGenError> {
+    // the entity sample must itself be valid
+    let source_violations = validate(er, sample);
+    if !source_violations.is_empty() {
+        return Ok(source_violations);
+    }
+    let uv = update_views(er, rel, fragments)?;
+    let tables = materialize_views(&uv, er, sample)
+        .map_err(|e| crate::fragments::TransGenError::BadReference(e.to_string()))?;
+    let mut rel_with_constraints = rel.clone();
+    for p in propagate_to_tables(er, rel, fragments) {
+        let _ = rel_with_constraints.add_constraint(p.constraint);
+    }
+    Ok(validate(&rel_with_constraints, &tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::parse_fragments;
+    use crate::fragments::tests::{fig2_er, fig2_mapping, fig2_rel};
+    use mm_instance::Value;
+
+    fn frags() -> (Schema, Schema, Vec<Fragment>) {
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let f = parse_fragments(&er, &rel, &fig2_mapping(&er)).expect("fragments");
+        (er, rel, f)
+    }
+
+    #[test]
+    fn hierarchy_key_propagates_to_every_fragment_table() {
+        let (er, rel, f) = frags();
+        let props = propagate_to_tables(&er, &rel, &f);
+        for table in ["HR", "Empl", "Client"] {
+            assert!(
+                props.iter().any(|p| matches!(
+                    &p.constraint,
+                    Constraint::Key(k) if k.element == table && k.attributes == vec!["Id".to_string()]
+                )),
+                "no key propagated to {table}"
+            );
+        }
+    }
+
+    #[test]
+    fn subtype_tables_reference_supertype_tables() {
+        let (er, rel, f) = frags();
+        let props = propagate_to_tables(&er, &rel, &f);
+        // Empl stores Employee ⊆ {Person, Employee} = HR's slice
+        assert!(props.iter().any(|p| matches!(
+            &p.constraint,
+            Constraint::ForeignKey(fk) if fk.from == "Empl" && fk.to == "HR"
+        )));
+        // Client's Customer slice is NOT a subset of HR's slice
+        assert!(!props.iter().any(|p| matches!(
+            &p.constraint,
+            Constraint::ForeignKey(fk) if fk.from == "Client" && fk.to == "HR"
+        )));
+    }
+
+    #[test]
+    fn papers_disjointness_example_is_unexpressible() {
+        let (mut er, rel, _) = frags();
+        er.add_constraint(Constraint::Disjoint {
+            left: "Employee".into(),
+            right: "Customer".into(),
+        })
+        .expect("valid constraint");
+        let f = parse_fragments(&er, &rel, &fig2_mapping(&er)).expect("fragments");
+        let un = unexpressible_constraints(&er, &f);
+        assert_eq!(un.len(), 1);
+        assert!(un[0].reason.contains("distinct tables"));
+    }
+
+    #[test]
+    fn covering_across_tables_is_unexpressible() {
+        let (mut er, rel, _) = frags();
+        er.add_constraint(Constraint::Covering {
+            parent: "Person".into(),
+            children: vec!["Employee".into(), "Customer".into()],
+        })
+        .expect("valid constraint");
+        let f = parse_fragments(&er, &rel, &fig2_mapping(&er)).expect("fragments");
+        let un = unexpressible_constraints(&er, &f);
+        assert!(un.iter().any(|u| matches!(u.constraint, Constraint::Covering { .. })));
+    }
+
+    #[test]
+    fn implication_holds_on_valid_sample() {
+        let (er, rel, f) = frags();
+        let mut db = Database::empty_of(&er);
+        db.insert_entity("Person", "Person", vec![Value::Int(1), Value::text("pat")]);
+        db.insert_entity(
+            "Employee",
+            "Employee",
+            vec![Value::Int(2), Value::text("eve"), Value::text("hr")],
+        );
+        let v = check_implication(&er, &rel, &f, &db).expect("check runs");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn implication_check_catches_key_violation() {
+        let (er, rel, f) = frags();
+        let mut db = Database::empty_of(&er);
+        // two distinct persons sharing the key: the entity-side key is
+        // violated and reported before propagation
+        db.insert_entity("Person", "Person", vec![Value::Int(1), Value::text("a")]);
+        db.insert_entity("Person", "Person", vec![Value::Int(1), Value::text("b")]);
+        let v = check_implication(&er, &rel, &f, &db).expect("check runs");
+        assert!(v.iter().any(|x| matches!(x, InstanceViolation::KeyViolation { .. })));
+    }
+}

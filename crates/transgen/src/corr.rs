@@ -1,0 +1,438 @@
+//! From correspondences to mapping constraints and transformations
+//! (§3.1.2 of the paper).
+//!
+//! Two generators:
+//!
+//! * [`snowflake_constraints`] — the unambiguous interpretation of
+//!   correspondences between two snowflake schemas (Melnik et al., the
+//!   paper's Figure 4): given a root correspondence, every attribute
+//!   correspondence becomes the equality of two join expressions;
+//! * [`correspondences_to_views`] — the Clio'00-style baseline that
+//!   generates transformations *directly* from correspondences
+//!   ("correspondences amount to a visual programming language"), used as
+//!   the comparison point for constraint-based TransGen.
+
+use mm_expr::{
+    Correspondence, CorrespondenceSet, Expr, Lit, Mapping, MappingConstraint, Scalar,
+    ViewDef, ViewSet,
+};
+use mm_metamodel::{Constraint, Schema};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Errors from correspondence interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorrError {
+    /// No element-level root correspondence found.
+    NoRootCorrespondence,
+    /// An element mentioned by a correspondence is missing.
+    UnknownElement(String),
+    /// No foreign-key join path from the root to this element.
+    NoJoinPath { root: String, element: String },
+}
+
+impl fmt::Display for CorrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrError::NoRootCorrespondence => f.write_str("no root correspondence"),
+            CorrError::UnknownElement(e) => write!(f, "unknown element `{e}`"),
+            CorrError::NoJoinPath { root, element } => {
+                write!(f, "no join path from `{root}` to `{element}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorrError {}
+
+/// The key column of an element: declared key head or first attribute.
+fn key_col(schema: &Schema, element: &str) -> Result<String, CorrError> {
+    if let Some(k) = schema.declared_key(element) {
+        return Ok(k[0].clone());
+    }
+    schema
+        .element(element)
+        .and_then(|e| e.attributes.first())
+        .map(|a| a.name.clone())
+        .ok_or_else(|| CorrError::UnknownElement(element.to_string()))
+}
+
+/// Adjacency: element → (neighbour, join columns as (this side,
+/// neighbour side)).
+type FkGraph<'a> = HashMap<&'a str, Vec<(&'a str, (String, String))>>;
+
+/// Foreign-key adjacency (bidirectional).
+fn fk_graph(schema: &Schema) -> FkGraph<'_> {
+    let mut g: FkGraph<'_> = HashMap::new();
+    for c in &schema.constraints {
+        if let Constraint::ForeignKey(fk) = c {
+            g.entry(fk.from.as_str()).or_default().push((
+                fk.to.as_str(),
+                (fk.from_attrs[0].clone(), fk.to_attrs[0].clone()),
+            ));
+            g.entry(fk.to.as_str()).or_default().push((
+                fk.from.as_str(),
+                (fk.to_attrs[0].clone(), fk.from_attrs[0].clone()),
+            ));
+        }
+    }
+    g
+}
+
+/// BFS join path `root → element`; returns the left-deep join expression
+/// starting at `Base(root)`. `root == element` gives the bare scan.
+fn join_path(schema: &Schema, root: &str, element: &str) -> Result<Expr, CorrError> {
+    if schema.element(element).is_none() {
+        return Err(CorrError::UnknownElement(element.to_string()));
+    }
+    if root == element {
+        return Ok(Expr::base(root));
+    }
+    let g = fk_graph(schema);
+    // BFS recording predecessor edges
+    let mut prev: HashMap<&str, (&str, (String, String))> = HashMap::new();
+    let mut queue = VecDeque::from([root]);
+    while let Some(cur) = queue.pop_front() {
+        if cur == element {
+            break;
+        }
+        if let Some(edges) = g.get(cur) {
+            for (next, cols) in edges {
+                if *next != root && !prev.contains_key(next) {
+                    prev.insert(next, (cur, cols.clone()));
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    if !prev.contains_key(element) {
+        return Err(CorrError::NoJoinPath {
+            root: root.to_string(),
+            element: element.to_string(),
+        });
+    }
+    // reconstruct path root -> element
+    let mut path: Vec<(&str, (String, String))> = Vec::new();
+    let mut cur = element;
+    while cur != root {
+        let (p, cols) = prev[&cur].clone();
+        path.push((cur, cols));
+        cur = p;
+    }
+    path.reverse();
+    let mut expr = Expr::base(root);
+    for (node, (near_col, far_col)) in path {
+        expr = expr.join(Expr::base(node), &[(near_col.as_str(), far_col.as_str())]);
+    }
+    Ok(expr)
+}
+
+/// Interpret correspondences between two snowflake schemas as mapping
+/// constraints (Figure 4). Requires one element-level correspondence
+/// designating the two roots; each attribute correspondence
+/// `S-elem.a ~ T-elem.b` becomes
+/// `π(key_s, a)(joinpath_s) = π(key_t, b)(joinpath_t)`,
+/// and the root correspondence itself becomes the key equality.
+pub fn snowflake_constraints(
+    source: &Schema,
+    target: &Schema,
+    corrs: &CorrespondenceSet,
+) -> Result<Mapping, CorrError> {
+    let root_corr = corrs
+        .correspondences
+        .iter()
+        .find(|c| c.source.attribute.is_none() && c.target.attribute.is_none())
+        .ok_or(CorrError::NoRootCorrespondence)?;
+    let s_root = &root_corr.source.element;
+    let t_root = &root_corr.target.element;
+    let s_key = key_col(source, s_root)?;
+    let t_key = key_col(target, t_root)?;
+
+    let mut m = Mapping::new(source.name.clone(), target.name.clone());
+    // constraint 1: key equality from the root correspondence
+    m.push(MappingConstraint::ExprEq {
+        source: Expr::base(s_root.clone()).project(&[s_key.as_str()]),
+        target: Expr::base(t_root.clone()).project(&[t_key.as_str()]),
+    });
+    for c in &corrs.correspondences {
+        let (Some(sa), Some(ta)) = (&c.source.attribute, &c.target.attribute) else {
+            continue;
+        };
+        let s_expr = join_path(source, s_root, &c.source.element)?
+            .project(&[s_key.as_str(), sa.as_str()]);
+        let t_expr = join_path(target, t_root, &c.target.element)?
+            .project(&[t_key.as_str(), ta.as_str()]);
+        m.push(MappingConstraint::ExprEq { source: s_expr, target: t_expr });
+    }
+    Ok(m)
+}
+
+/// The Clio'00-style direct generator: for each target element with at
+/// least one attribute correspondence, join the involved source elements
+/// along foreign-key paths (anchored at the source element with the most
+/// correspondences), map corresponding attributes across, and pad
+/// unmatched target attributes with NULL.
+pub fn correspondences_to_views(
+    source: &Schema,
+    target: &Schema,
+    corrs: &CorrespondenceSet,
+) -> Result<ViewSet, CorrError> {
+    // best correspondence per (target element, target attribute)
+    let mut best: BTreeMap<(String, String), &Correspondence> = BTreeMap::new();
+    for c in &corrs.correspondences {
+        let (Some(_), Some(ta)) = (&c.source.attribute, &c.target.attribute) else {
+            continue;
+        };
+        let k = (c.target.element.clone(), ta.clone());
+        if best.get(&k).map(|b| c.confidence > b.confidence).unwrap_or(true) {
+            best.insert(k, c);
+        }
+    }
+    let mut out = ViewSet::new(source.name.clone(), target.name.clone());
+    for te in target.elements() {
+        let picks: Vec<(&str, &Correspondence)> = te
+            .attributes
+            .iter()
+            .filter_map(|a| {
+                best.get(&(te.name.clone(), a.name.clone()))
+                    .map(|c| (a.name.as_str(), *c))
+            })
+            .collect();
+        if picks.is_empty() {
+            continue;
+        }
+        // anchor = the source element with the most picks
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for (_, c) in &picks {
+            *counts.entry(c.source.element.as_str()).or_default() += 1;
+        }
+        let anchor = counts
+            .iter()
+            .max_by_key(|(name, n)| (**n, std::cmp::Reverse(**name)))
+            .map(|(name, _)| *name)
+            .expect("picks non-empty");
+        // join every other involved element onto the anchor
+        let mut expr = Expr::base(anchor);
+        let mut joined: Vec<&str> = vec![anchor];
+        for (_, c) in &picks {
+            let elem = c.source.element.as_str();
+            if joined.contains(&elem) {
+                continue;
+            }
+            // reuse the path machinery; the path starts at the anchor
+            let path_expr = join_path(source, anchor, elem)?;
+            // replace the path's leading Base(anchor) with what we have so
+            // far (the path is left-deep, so substitute at the leaf)
+            expr = graft(path_expr, &expr, anchor);
+            joined.push(elem);
+        }
+        // compute target attributes
+        let mut cols: Vec<String> = Vec::with_capacity(te.attributes.len());
+        for a in &te.attributes {
+            let tmp = format!("${}", a.name);
+            let scalar = match picks.iter().find(|(ta, _)| *ta == a.name) {
+                Some((_, c)) => {
+                    Scalar::col(c.source.attribute.clone().expect("attr corr"))
+                }
+                None => Scalar::Lit(Lit::Null),
+            };
+            expr = expr.extend(&tmp, scalar);
+            cols.push(tmp);
+        }
+        expr = expr.project_owned(cols.clone());
+        let renames: Vec<(String, String)> = cols
+            .iter()
+            .zip(&te.attributes)
+            .map(|(tmp, a)| (tmp.clone(), a.name.clone()))
+            .collect();
+        expr = Expr::Rename { input: Box::new(expr), renames };
+        out.push(ViewDef::new(te.name.clone(), expr));
+    }
+    Ok(out)
+}
+
+/// Replace the left-most `Base(anchor)` leaf of `path` with `stem`.
+fn graft(path: Expr, stem: &Expr, anchor: &str) -> Expr {
+    match path {
+        Expr::Base(ref n) if n == anchor => stem.clone(),
+        Expr::Join { left, right, on } => Expr::Join {
+            left: Box::new(graft(*left, stem, anchor)),
+            right,
+            on,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_eval::eval;
+    use mm_expr::PathRef;
+    use mm_instance::{Database, Tuple, Value};
+    use mm_metamodel::{DataType, SchemaBuilder};
+
+    /// The paper's Figure 4 schemas: Empl/Addr vs Staff.
+    fn fig4_source() -> Schema {
+        SchemaBuilder::new("S")
+            .relation("Empl", &[
+                ("EID", DataType::Int),
+                ("Name", DataType::Text),
+                ("Tel", DataType::Text),
+                ("AID", DataType::Int),
+            ])
+            .relation("Addr", &[
+                ("AID", DataType::Int),
+                ("City", DataType::Text),
+                ("Zip", DataType::Text),
+            ])
+            .key("Empl", &["EID"])
+            .foreign_key("Empl", &["AID"], "Addr", &["AID"])
+            .build()
+            .unwrap()
+    }
+
+    fn fig4_target() -> Schema {
+        SchemaBuilder::new("T")
+            .relation("Staff", &[
+                ("SID", DataType::Int),
+                ("Name", DataType::Text),
+                ("BirthDate", DataType::Date),
+                ("City", DataType::Text),
+            ])
+            .key("Staff", &["SID"])
+            .build()
+            .unwrap()
+    }
+
+    fn fig4_corrs() -> CorrespondenceSet {
+        let mut cs = CorrespondenceSet::new("S", "T");
+        cs.push(Correspondence::new(
+            PathRef::element("Empl"),
+            PathRef::element("Staff"),
+            1.0,
+        ));
+        cs.push(Correspondence::new(
+            PathRef::attr("Empl", "Name"),
+            PathRef::attr("Staff", "Name"),
+            1.0,
+        ));
+        cs.push(Correspondence::new(
+            PathRef::attr("Addr", "City"),
+            PathRef::attr("Staff", "City"),
+            1.0,
+        ));
+        cs
+    }
+
+    #[test]
+    fn fig4_constraints_match_paper() {
+        let m = snowflake_constraints(&fig4_source(), &fig4_target(), &fig4_corrs()).unwrap();
+        assert_eq!(m.len(), 3);
+        // 1. πEID(Empl) = πSID(Staff)
+        match &m.constraints[0] {
+            MappingConstraint::ExprEq { source, target } => {
+                assert_eq!(source, &Expr::base("Empl").project(&["EID"]));
+                assert_eq!(target, &Expr::base("Staff").project(&["SID"]));
+            }
+            _ => panic!(),
+        }
+        // 2. πEID,Name(Empl) = πSID,Name(Staff)
+        match &m.constraints[1] {
+            MappingConstraint::ExprEq { source, .. } => {
+                assert_eq!(source, &Expr::base("Empl").project(&["EID", "Name"]));
+            }
+            _ => panic!(),
+        }
+        // 3. πEID,City(Empl ⋈ Addr) = πSID,City(Staff)
+        match &m.constraints[2] {
+            MappingConstraint::ExprEq { source, target } => {
+                assert_eq!(
+                    source,
+                    &Expr::base("Empl")
+                        .join(Expr::base("Addr"), &[("AID", "AID")])
+                        .project(&["EID", "City"])
+                );
+                assert_eq!(target, &Expr::base("Staff").project(&["SID", "City"]));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn missing_root_correspondence_rejected() {
+        let mut cs = fig4_corrs();
+        cs.correspondences.remove(0);
+        assert_eq!(
+            snowflake_constraints(&fig4_source(), &fig4_target(), &cs),
+            Err(CorrError::NoRootCorrespondence)
+        );
+    }
+
+    #[test]
+    fn unreachable_element_reported() {
+        let mut s = fig4_source();
+        s.add_element(mm_metamodel::Element {
+            name: "Island".into(),
+            kind: mm_metamodel::ElementKind::Relation,
+            attributes: vec![mm_metamodel::Attribute::new("X", DataType::Int)],
+        })
+        .unwrap();
+        let mut cs = fig4_corrs();
+        cs.push(Correspondence::new(
+            PathRef::attr("Island", "X"),
+            PathRef::attr("Staff", "BirthDate"),
+            0.9,
+        ));
+        assert!(matches!(
+            snowflake_constraints(&s, &fig4_target(), &cs),
+            Err(CorrError::NoJoinPath { .. })
+        ));
+    }
+
+    #[test]
+    fn clio_style_view_joins_and_pads() {
+        let s = fig4_source();
+        let t = fig4_target();
+        let views = correspondences_to_views(&s, &t, &fig4_corrs()).unwrap();
+        let staff = views.view("Staff").unwrap();
+
+        let mut db = Database::empty_of(&s);
+        db.insert(
+            "Empl",
+            Tuple::from([Value::Int(1), Value::text("ann"), Value::text("555"), Value::Int(10)]),
+        );
+        db.insert("Addr", Tuple::from([Value::Int(10), Value::text("rome"), Value::text("00100")]));
+        let r = eval(&staff.expr, &s, &db).unwrap();
+        assert_eq!(r.len(), 1);
+        let names: Vec<&str> = r.schema.names().collect();
+        assert_eq!(names, ["SID", "Name", "BirthDate", "City"]);
+        let row = r.iter().next().unwrap();
+        // SID unmapped -> NULL (no corr for SID in this set), Name mapped,
+        // BirthDate padded NULL, City joined from Addr
+        assert_eq!(row.values()[1], Value::text("ann"));
+        assert_eq!(row.values()[2], Value::Null);
+        assert_eq!(row.values()[3], Value::text("rome"));
+    }
+
+    #[test]
+    fn clio_style_single_relation_no_join() {
+        let s = fig4_source();
+        let t = fig4_target();
+        let mut cs = CorrespondenceSet::new("S", "T");
+        cs.push(Correspondence::new(
+            PathRef::attr("Empl", "EID"),
+            PathRef::attr("Staff", "SID"),
+            1.0,
+        ));
+        cs.push(Correspondence::new(
+            PathRef::attr("Empl", "Name"),
+            PathRef::attr("Staff", "Name"),
+            1.0,
+        ));
+        let views = correspondences_to_views(&s, &t, &cs).unwrap();
+        let staff = views.view("Staff").unwrap();
+        // no Addr join needed
+        assert_eq!(mm_expr::analyze::base_relations(&staff.expr), ["Empl"]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Query-view generation: reconstructing the entity model from the tables
+//! (the paper's Figure 3 query, generalized).
+//!
+//! For each hierarchy, the generated query:
+//! 1. normalizes every fragment's relational expression to entity
+//!    attribute names, tags it with a `_from`-style flag, and renames its
+//!    non-key columns apart;
+//! 2. collects all keys, left-outer-joins every fragment onto them (the
+//!    set-algebra simulation of the full outer join);
+//! 3. reconstructs the most-derived type with a `CASE` over the flag
+//!    vector — exactly the `CASE WHEN (T5._from2 AND NOT(T5._from1))
+//!    THEN Person(…)` analysis of Figure 3;
+//! 4. reconstructs each attribute with a `COALESCE` over the fragments
+//!    that carry it, and emits one view per entity set.
+
+use crate::fragments::{Fragment, TransGenError};
+use mm_expr::{Expr, Func, Lit, Predicate, Scalar, ViewDef, ViewSet};
+use mm_metamodel::{Schema, TYPE_ATTR};
+use std::collections::BTreeMap;
+
+/// The join key of a group of fragments: the hierarchy root's declared
+/// key if present, otherwise the columns every fragment projects.
+fn join_key(er: &Schema, root: &str, frags: &[&Fragment]) -> Result<Vec<String>, TransGenError> {
+    if let Some(k) = er.declared_key(root) {
+        return Ok(k.to_vec());
+    }
+    let first = frags.first().ok_or(TransGenError::Empty)?;
+    let shared: Vec<String> = first
+        .columns
+        .iter()
+        .filter(|c| frags.iter().all(|f| f.columns.contains(c)))
+        .cloned()
+        .collect();
+    if shared.is_empty() {
+        return Err(TransGenError::NoJoinKey(root.to_string()));
+    }
+    Ok(shared)
+}
+
+fn flag_col(i: usize) -> String {
+    format!("$from{i}")
+}
+
+fn frag_col(col: &str, i: usize) -> String {
+    format!("{col}@f{i}")
+}
+
+/// Generate query views (entity sets over the relational schema) for all
+/// hierarchies covered by `fragments`.
+pub fn query_views(
+    er: &Schema,
+    rel: &Schema,
+    fragments: &[Fragment],
+) -> Result<ViewSet, TransGenError> {
+    let mut by_root: BTreeMap<&str, Vec<&Fragment>> = BTreeMap::new();
+    for f in fragments {
+        by_root.entry(f.root.as_str()).or_default().push(f);
+    }
+    let mut out = ViewSet::new(rel.name.clone(), er.name.clone());
+    for (root, frags) in by_root {
+        build_root_views(er, rel, root, &frags, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn build_root_views(
+    er: &Schema,
+    rel: &Schema,
+    root: &str,
+    frags: &[&Fragment],
+    out: &mut ViewSet,
+) -> Result<(), TransGenError> {
+    let key = join_key(er, root, frags)?;
+
+    // 1. normalized, tagged fragment expressions
+    let mut normalized: Vec<Expr> = Vec::with_capacity(frags.len());
+    for (i, f) in frags.iter().enumerate() {
+        // positional rename: relational columns -> entity attribute names
+        let tgt_attrs = mm_expr::output_schema(&f.table_expr, rel)
+            .map_err(|e| TransGenError::BadReference(e.to_string()))?;
+        let renames: Vec<(String, String)> = tgt_attrs
+            .iter()
+            .zip(&f.columns)
+            .filter(|(a, c)| &a.name != *c)
+            .map(|(a, c)| (a.name.clone(), c.clone()))
+            .collect();
+        let mut e = f.table_expr.clone();
+        if !renames.is_empty() {
+            e = Expr::Rename { input: Box::new(e), renames };
+        }
+        // rename non-key columns apart
+        let apart: Vec<(String, String)> = f
+            .columns
+            .iter()
+            .filter(|c| !key.contains(c))
+            .map(|c| (c.clone(), frag_col(c, i)))
+            .collect();
+        if !apart.is_empty() {
+            e = Expr::Rename { input: Box::new(e), renames: apart };
+        }
+        // tag with the _from flag
+        e = e.extend(&flag_col(i), Scalar::lit(true));
+        normalized.push(e);
+    }
+
+    // 2. all keys, then left-join every fragment
+    let mut keys: Option<Expr> = None;
+    for nf in &normalized {
+        let k = nf.clone().project_owned(key.clone());
+        keys = Some(match keys {
+            None => k,
+            Some(e) => e.union(k),
+        });
+    }
+    let mut joined = keys.expect("at least one fragment");
+    for nf in &normalized {
+        let on: Vec<(&str, &str)> =
+            key.iter().map(|k| (k.as_str(), k.as_str())).collect();
+        let on_owned: Vec<(String, String)> =
+            on.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        joined = Expr::LeftJoin {
+            left: Box::new(joined),
+            right: Box::new(nf.clone()),
+            on: on_owned,
+        };
+    }
+
+    // 3. the type-reconstruction CASE over flag vectors
+    let types = er.subtree(root);
+    let mut vectors: BTreeMap<Vec<bool>, &str> = BTreeMap::new();
+    let mut branches: Vec<(Predicate, Scalar)> = Vec::new();
+    for ty in &types {
+        let vector: Vec<bool> = frags.iter().map(|f| f.contains_type(er, ty)).collect();
+        if !vector.iter().any(|b| *b) {
+            // type entirely unmapped: it cannot be reconstructed; the
+            // coverage checker reports it
+            continue;
+        }
+        if let Some(other) = vectors.insert(vector.clone(), ty) {
+            return Err(TransGenError::AmbiguousTypes {
+                left: other.to_string(),
+                right: ty.to_string(),
+            });
+        }
+        let mut pred = Predicate::True;
+        for (i, member) in vector.iter().enumerate() {
+            let flag = Scalar::col(flag_col(i));
+            let test = if *member {
+                Predicate::eq(flag, Scalar::lit(true))
+            } else {
+                Predicate::IsNull(flag)
+            };
+            pred = pred.and(test);
+        }
+        branches.push((pred, Scalar::lit(*ty)));
+    }
+    let type_case = Scalar::Case {
+        branches,
+        otherwise: Box::new(Scalar::Lit(Lit::Null)),
+    };
+    let tagged = joined.extend(TYPE_ATTR, type_case);
+
+    // 4. per-set views
+    for ty in &types {
+        let layout = er.instance_layout(ty).expect("entity layout");
+        // entities of most-derived type exactly `ty` (canonical storage)
+        let selected = tagged
+            .clone()
+            .select(Predicate::col_eq_lit(TYPE_ATTR, *ty));
+        let mut with_attrs = selected;
+        let mut cols: Vec<String> = vec![TYPE_ATTR.to_string()];
+        for a in layout.iter().skip(1) {
+            cols.push(a.name.clone());
+            if key.contains(&a.name) {
+                continue; // key columns are already present under their name
+            }
+            // COALESCE over fragments that carry this attribute for `ty`
+            let sources: Vec<Scalar> = frags
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.contains_type(er, ty) && f.columns.contains(&a.name))
+                .map(|(i, _)| Scalar::col(frag_col(&a.name, i)))
+                .collect();
+            let value = match sources.len() {
+                0 => Scalar::Lit(Lit::Null), // coverage gap
+                1 => sources.into_iter().next().expect("len checked"),
+                _ => Scalar::Func(Func::Coalesce, sources),
+            };
+            with_attrs = with_attrs.extend(&a.name, value);
+        }
+        out.push(ViewDef::new(*ty, with_attrs.project_owned(cols)));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::parse_fragments;
+    use crate::fragments::tests::{fig2_er, fig2_mapping, fig2_rel};
+    use mm_eval::materialize_views;
+    use mm_instance::{Database, Tuple, Value};
+
+    fn fig2_tables() -> Database {
+        let rel = fig2_rel();
+        let mut db = Database::empty_of(&rel);
+        // pat is a plain person; eve an employee; carl a customer
+        db.insert("HR", Tuple::from([Value::Int(1), Value::text("pat")]));
+        db.insert("HR", Tuple::from([Value::Int(2), Value::text("eve")]));
+        db.insert("Empl", Tuple::from([Value::Int(2), Value::text("hr")]));
+        db.insert(
+            "Client",
+            Tuple::from([
+                Value::Int(3),
+                Value::text("carl"),
+                Value::Int(700),
+                Value::text("5 Rue"),
+            ]),
+        );
+        db
+    }
+
+    #[test]
+    fn fig3_query_reconstructs_entities_from_tables() {
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let frags = parse_fragments(&er, &rel, &fig2_mapping(&er)).unwrap();
+        let qv = query_views(&er, &rel, &frags).unwrap();
+        assert_eq!(qv.len(), 3);
+        let entities = materialize_views(&qv, &rel, &fig2_tables()).unwrap();
+
+        let person = entities.relation("Person").unwrap();
+        assert_eq!(person.len(), 1);
+        let row = person.iter().next().unwrap();
+        assert_eq!(row.values()[0], Value::text("Person"));
+        assert_eq!(row.values()[1], Value::Int(1));
+        assert_eq!(row.values()[2], Value::text("pat"));
+
+        let emp = entities.relation("Employee").unwrap();
+        assert_eq!(emp.len(), 1);
+        let row = emp.iter().next().unwrap();
+        assert_eq!(
+            row.values(),
+            [
+                Value::text("Employee"),
+                Value::Int(2),
+                Value::text("eve"),
+                Value::text("hr")
+            ]
+        );
+
+        let cust = entities.relation("Customer").unwrap();
+        assert_eq!(cust.len(), 1);
+        let row = cust.iter().next().unwrap();
+        assert_eq!(row.values()[3], Value::Int(700));
+        assert_eq!(row.values()[4], Value::text("5 Rue"));
+    }
+
+    #[test]
+    fn generated_query_prints_with_case_when_flags() {
+        // the textual shape of Figure 3: CASE WHEN over _from flags
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let frags = parse_fragments(&er, &rel, &fig2_mapping(&er)).unwrap();
+        let qv = query_views(&er, &rel, &frags).unwrap();
+        let text = qv.view("Person").unwrap().expr.to_string();
+        assert!(text.contains("CASE WHEN"), "{text}");
+        assert!(text.contains("$from0"), "{text}");
+        assert!(text.contains("LEFT OUTER JOIN"), "{text}");
+    }
+
+    #[test]
+    fn ambiguous_type_vectors_rejected() {
+        use mm_expr::{entity_extent, Mapping, MappingConstraint};
+        use mm_metamodel::{DataType, SchemaBuilder};
+        let er = SchemaBuilder::new("ER")
+            .entity("P", &[("Id", DataType::Int)])
+            .entity_sub("C", "P", &[])
+            .key("P", &["Id"])
+            .build()
+            .unwrap();
+        let rel = SchemaBuilder::new("SQL")
+            .relation("T", &[("Id", DataType::Int)])
+            .build()
+            .unwrap();
+        // one fragment covering both P and C: their vectors coincide
+        let m = Mapping::with_constraints(
+            "ER",
+            "SQL",
+            vec![MappingConstraint::ExprEq {
+                source: entity_extent(&er, "P").unwrap().project(&["Id"]),
+                target: Expr::base("T"),
+            }],
+        );
+        let frags = parse_fragments(&er, &rel, &m).unwrap();
+        assert!(matches!(
+            query_views(&er, &rel, &frags),
+            Err(TransGenError::AmbiguousTypes { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_key_rejected() {
+        use mm_expr::{entity_extent, Mapping, MappingConstraint};
+        use mm_metamodel::{DataType, SchemaBuilder};
+        // two fragments with disjoint columns and no declared key
+        let er = SchemaBuilder::new("ER")
+            .entity("P", &[("A", DataType::Int), ("B", DataType::Int)])
+            .build()
+            .unwrap();
+        let rel = SchemaBuilder::new("SQL")
+            .relation("TA", &[("A", DataType::Int)])
+            .relation("TB", &[("B", DataType::Int)])
+            .build()
+            .unwrap();
+        let m = Mapping::with_constraints(
+            "ER",
+            "SQL",
+            vec![
+                MappingConstraint::ExprEq {
+                    source: entity_extent(&er, "P").unwrap().project(&["A"]),
+                    target: Expr::base("TA"),
+                },
+                MappingConstraint::ExprEq {
+                    source: entity_extent(&er, "P").unwrap().project(&["B"]),
+                    target: Expr::base("TB"),
+                },
+            ],
+        );
+        let frags = parse_fragments(&er, &rel, &m).unwrap();
+        assert!(matches!(
+            query_views(&er, &rel, &frags),
+            Err(TransGenError::NoJoinKey(_))
+        ));
+    }
+}

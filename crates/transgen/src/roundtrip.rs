@@ -1,0 +1,192 @@
+//! Roundtripping verification (§4): update view ∘ query view = identity.
+
+use crate::fragments::{Fragment, TransGenError};
+use crate::query_views::query_views;
+use crate::update_views::update_views;
+use mm_eval::materialize_views;
+use mm_instance::Database;
+use mm_metamodel::Schema;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A static coverage problem that would break roundtripping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverageGap {
+    /// No fragment stores entities of this type: they vanish on update.
+    TypeUnmapped { ty: String },
+    /// An attribute of the type is stored by no fragment covering the
+    /// type: its value is lost.
+    AttributeUnmapped { ty: String, attribute: String },
+}
+
+impl fmt::Display for CoverageGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverageGap::TypeUnmapped { ty } => write!(f, "type `{ty}` is unmapped"),
+            CoverageGap::AttributeUnmapped { ty, attribute } => {
+                write!(f, "attribute `{ty}.{attribute}` is unmapped")
+            }
+        }
+    }
+}
+
+/// Statically check that every type and attribute of every hierarchy
+/// touched by `fragments` is stored somewhere.
+pub fn check_coverage(er: &Schema, fragments: &[Fragment]) -> Vec<CoverageGap> {
+    let mut gaps = Vec::new();
+    let roots: BTreeSet<&str> = fragments.iter().map(|f| f.root.as_str()).collect();
+    for root in roots {
+        for ty in er.subtree(root) {
+            let covering: Vec<&Fragment> =
+                fragments.iter().filter(|f| f.contains_type(er, ty)).collect();
+            if covering.is_empty() {
+                gaps.push(CoverageGap::TypeUnmapped { ty: ty.to_string() });
+                continue;
+            }
+            let layout = er.instance_layout(ty).expect("entity layout");
+            for a in layout.iter().skip(1) {
+                if !covering.iter().any(|f| f.columns.contains(&a.name)) {
+                    gaps.push(CoverageGap::AttributeUnmapped {
+                        ty: ty.to_string(),
+                        attribute: a.name.clone(),
+                    });
+                }
+            }
+        }
+    }
+    gaps
+}
+
+/// The outcome of a dynamic roundtrip check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundtripReport {
+    /// Static gaps found before execution.
+    pub gaps: Vec<CoverageGap>,
+    /// Entity sets whose roundtripped contents differ from the input
+    /// (name, expected size, actual size).
+    pub mismatches: Vec<(String, usize, usize)>,
+}
+
+impl RoundtripReport {
+    pub fn roundtrips(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Compile both view sets from `fragments` and verify on `sample` that
+/// entities → tables → entities is the identity.
+pub fn verify_roundtrip(
+    er: &Schema,
+    rel: &Schema,
+    fragments: &[Fragment],
+    sample: &Database,
+) -> Result<RoundtripReport, TransGenError> {
+    let gaps = check_coverage(er, fragments);
+    let uv = update_views(er, rel, fragments)?;
+    let qv = query_views(er, rel, fragments)?;
+    let tables = materialize_views(&uv, er, sample)
+        .map_err(|e| TransGenError::BadReference(e.to_string()))?;
+    let back = materialize_views(&qv, rel, &tables)
+        .map_err(|e| TransGenError::BadReference(e.to_string()))?;
+    let mut mismatches = Vec::new();
+    for (name, rel_in) in sample.relations() {
+        let Some(rel_out) = back.relation(name) else {
+            if !rel_in.is_empty() {
+                mismatches.push((name.to_string(), rel_in.len(), 0));
+            }
+            continue;
+        };
+        if !rel_in.set_eq(rel_out) {
+            mismatches.push((name.to_string(), rel_in.len(), rel_out.len()));
+        }
+    }
+    Ok(RoundtripReport { gaps, mismatches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::parse_fragments;
+    use crate::fragments::tests::{fig2_er, fig2_mapping, fig2_rel};
+    use mm_instance::Value;
+
+    fn entities() -> Database {
+        let er = fig2_er();
+        let mut db = Database::empty_of(&er);
+        db.insert_entity("Person", "Person", vec![Value::Int(1), Value::text("pat")]);
+        db.insert_entity(
+            "Employee",
+            "Employee",
+            vec![Value::Int(2), Value::text("eve"), Value::text("hr")],
+        );
+        db.insert_entity(
+            "Customer",
+            "Customer",
+            vec![Value::Int(3), Value::text("carl"), Value::Int(700), Value::text("5 Rue")],
+        );
+        db
+    }
+
+    #[test]
+    fn fig2_mapping_roundtrips() {
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let frags = parse_fragments(&er, &rel, &fig2_mapping(&er)).unwrap();
+        let report = verify_roundtrip(&er, &rel, &frags, &entities()).unwrap();
+        assert!(report.gaps.is_empty(), "{:?}", report.gaps);
+        assert!(report.roundtrips(), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn dropping_a_constraint_creates_gaps_and_breaks_roundtrip() {
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let mut m = fig2_mapping(&er);
+        m.constraints.remove(2); // drop the Customer -> Client constraint
+        let frags = parse_fragments(&er, &rel, &m).unwrap();
+        let gaps = check_coverage(&er, &frags);
+        assert!(gaps.contains(&CoverageGap::TypeUnmapped { ty: "Customer".into() }));
+        let report = verify_roundtrip(&er, &rel, &frags, &entities()).unwrap();
+        assert!(!report.roundtrips());
+        assert!(report.mismatches.iter().any(|(n, ..)| n == "Customer"));
+    }
+
+    #[test]
+    fn attribute_gap_detected() {
+        use mm_expr::{entity_extent, Expr, Mapping, MappingConstraint};
+        use mm_metamodel::{DataType, SchemaBuilder};
+        let er = SchemaBuilder::new("ER")
+            .entity("P", &[("Id", DataType::Int), ("Name", DataType::Text)])
+            .key("P", &["Id"])
+            .build()
+            .unwrap();
+        let rel = SchemaBuilder::new("SQL")
+            .relation("T", &[("Id", DataType::Int)])
+            .build()
+            .unwrap();
+        let m = Mapping::with_constraints(
+            "ER",
+            "SQL",
+            vec![MappingConstraint::ExprEq {
+                source: entity_extent(&er, "P").unwrap().project(&["Id"]),
+                target: Expr::base("T"),
+            }],
+        );
+        let frags = parse_fragments(&er, &rel, &m).unwrap();
+        let gaps = check_coverage(&er, &frags);
+        assert_eq!(
+            gaps,
+            vec![CoverageGap::AttributeUnmapped { ty: "P".into(), attribute: "Name".into() }]
+        );
+    }
+
+    #[test]
+    fn empty_entity_db_roundtrips_trivially() {
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let frags = parse_fragments(&er, &rel, &fig2_mapping(&er)).unwrap();
+        let report =
+            verify_roundtrip(&er, &rel, &frags, &Database::empty_of(&er)).unwrap();
+        assert!(report.roundtrips());
+    }
+}

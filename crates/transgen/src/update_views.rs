@@ -1,0 +1,125 @@
+//! Update-view generation: the tables as functions of the entity model.
+//!
+//! This is the easy direction of the ADO.NET compilation: each Figure 2
+//! constraint *is* the definition of its table over the entity schema —
+//! the compiler only has to rename the entity attribute names back to the
+//! table's column names. The views translate entity-level updates into
+//! table updates (§5, "Update propagation").
+
+use crate::fragments::{Fragment, TransGenError};
+use mm_expr::{Expr, Predicate, ViewDef, ViewSet};
+use mm_metamodel::Schema;
+
+/// Generate update views (one per fragment whose relational side is a
+/// bare table) over the entity schema.
+pub fn update_views(
+    er: &Schema,
+    rel: &Schema,
+    fragments: &[Fragment],
+) -> Result<ViewSet, TransGenError> {
+    let mut out = ViewSet::new(er.name.clone(), rel.name.clone());
+    for f in fragments {
+        let Some(table) = &f.table else {
+            // a computed relational side is not updatable through this
+            // fragment; skip (the roundtrip checker will flag it if the
+            // table is otherwise uncovered)
+            continue;
+        };
+        // source side: σ_types(ext(extent_type)) projected to f.columns
+        let ext = mm_expr::entity_extent(er, &f.extent_type)
+            .map_err(|e| TransGenError::BadReference(e.to_string()))?;
+        let mut e = ext;
+        if !f.types.is_empty() {
+            let mut pred: Option<Predicate> = None;
+            for alt in &f.types {
+                let p = Predicate::IsOf { ty: alt.ty.clone(), only: alt.only };
+                pred = Some(match pred {
+                    None => p,
+                    Some(q) => q.or(p),
+                });
+            }
+            e = e.select(pred.expect("non-empty types"));
+        }
+        e = e.project_owned(f.columns.clone());
+        // rename entity attribute names to the table's column names
+        let table_attrs = rel
+            .instance_layout(table)
+            .ok_or_else(|| TransGenError::BadReference(format!("unknown table `{table}`")))?;
+        let renames: Vec<(String, String)> = f
+            .columns
+            .iter()
+            .zip(&table_attrs)
+            .filter(|(c, a)| *c != &a.name)
+            .map(|(c, a)| (c.clone(), a.name.clone()))
+            .collect();
+        if !renames.is_empty() {
+            e = Expr::Rename { input: Box::new(e), renames };
+        }
+        out.push(ViewDef::new(table.clone(), e));
+    }
+    if out.is_empty() {
+        return Err(TransGenError::Empty);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::parse_fragments;
+    use crate::fragments::tests::{fig2_er, fig2_mapping, fig2_rel};
+    use mm_eval::materialize_views;
+    use mm_instance::{Database, Value};
+
+    fn fig2_entities() -> Database {
+        let er = fig2_er();
+        let mut db = Database::empty_of(&er);
+        db.insert_entity("Person", "Person", vec![Value::Int(1), Value::text("pat")]);
+        db.insert_entity(
+            "Employee",
+            "Employee",
+            vec![Value::Int(2), Value::text("eve"), Value::text("hr")],
+        );
+        db.insert_entity(
+            "Customer",
+            "Customer",
+            vec![
+                Value::Int(3),
+                Value::text("carl"),
+                Value::Int(700),
+                Value::text("5 Rue"),
+            ],
+        );
+        db
+    }
+
+    #[test]
+    fn update_views_populate_tables_from_entities() {
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let frags = parse_fragments(&er, &rel, &fig2_mapping(&er)).unwrap();
+        let uv = update_views(&er, &rel, &frags).unwrap();
+        assert_eq!(uv.len(), 3);
+        let tables = materialize_views(&uv, &er, &fig2_entities()).unwrap();
+        // HR holds persons + employees (pat, eve)
+        assert_eq!(tables.relation("HR").unwrap().len(), 2);
+        // Empl holds employees only
+        assert_eq!(tables.relation("Empl").unwrap().len(), 1);
+        // Client holds customers, with renamed Score/Addr columns
+        let client = tables.relation("Client").unwrap();
+        assert_eq!(client.len(), 1);
+        let names: Vec<&str> = client.schema.names().collect();
+        assert_eq!(names, ["Id", "Name", "Score", "Addr"]);
+    }
+
+    #[test]
+    fn customers_never_leak_into_hr() {
+        let er = fig2_er();
+        let rel = fig2_rel();
+        let frags = parse_fragments(&er, &rel, &fig2_mapping(&er)).unwrap();
+        let uv = update_views(&er, &rel, &frags).unwrap();
+        let tables = materialize_views(&uv, &er, &fig2_entities()).unwrap();
+        let hr = tables.relation("HR").unwrap();
+        assert!(hr.iter().all(|t| t.values()[0] != Value::Int(3)));
+    }
+}

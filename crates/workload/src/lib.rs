@@ -1,0 +1,22 @@
+//! Synthetic workload generators for the benchmark harness and property
+//! tests.
+//!
+//! The paper has no public testbed; these generators produce the schema
+//! and data families its scenarios assume (see DESIGN.md §"Substitutions"):
+//! snowflake schemas (Figure 4 / data warehousing), inheritance
+//! hierarchies (Figures 2–3 / ADO.NET), perturbed schema copies with
+//! ground-truth correspondences (matcher evaluation), tgd chains with
+//! controllable producer fan-out (composition blowup), and evolution
+//! chains (Figure 5). Everything is seeded and deterministic.
+
+pub mod data;
+pub mod evolution;
+pub mod perturb;
+pub mod schemas;
+pub mod tgds;
+
+pub use data::{populate_er, populate_relational};
+pub use evolution::{evolution_chain, EvolutionStep};
+pub use perturb::{perturb_schema, GroundTruth};
+pub use schemas::{er_hierarchy, relational_schema, snowflake_schema};
+pub use tgds::{composition_chain, copy_tgds};

@@ -1,0 +1,217 @@
+//! Schema perturbation with ground truth — the matcher's evaluation
+//! harness (EQ3).
+//!
+//! A perturbed copy renames elements and attributes through abbreviation,
+//! synonym substitution, case-convention changes, and suffix noise, drops
+//! some attributes, and adds distractors. The generator returns the exact
+//! attribute-level ground-truth pairs, so precision/recall and top-k hit
+//! rates are measurable.
+
+use mm_expr::PathRef;
+use mm_metamodel::{Attribute, DataType, Element, Schema};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground truth of a perturbation: pairs of (original path, perturbed
+/// path) that a perfect matcher should find.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    pub pairs: Vec<(PathRef, PathRef)>,
+}
+
+impl GroundTruth {
+    pub fn contains(&self, source: &PathRef, target: &PathRef) -> bool {
+        self.pairs.iter().any(|(s, t)| s == source && t == target)
+    }
+
+    /// The expected target for a source path.
+    pub fn expected(&self, source: &PathRef) -> Option<&PathRef> {
+        self.pairs.iter().find(|(s, _)| s == source).map(|(_, t)| t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+const SYNONYM_PAIRS: &[(&str, &str)] = &[
+    ("customer", "client"),
+    ("employee", "staff"),
+    ("id", "key"),
+    ("name", "title"),
+    ("address", "addr"),
+    ("quantity", "qty"),
+    ("department", "dept"),
+    ("phone", "tel"),
+];
+
+fn perturb_name(rng: &mut SmallRng, name: &str, strength: f64) -> String {
+    let mut out = name.to_string();
+    // synonym substitution on word parts
+    for (a, b) in SYNONYM_PAIRS {
+        if rng.gen_bool(strength) {
+            if out.contains(a) {
+                out = out.replace(a, b);
+            } else if out.contains(b) {
+                out = out.replace(b, a);
+            }
+        }
+    }
+    // abbreviation: drop vowels from the tail
+    if rng.gen_bool(strength * 0.6) && out.len() > 5 {
+        let head: String = out.chars().take(3).collect();
+        let tail: String =
+            out.chars().skip(3).filter(|c| !"aeiou".contains(*c)).collect();
+        out = format!("{head}{tail}");
+    }
+    // case convention flip: snake_case <-> camelCase
+    if rng.gen_bool(strength * 0.8) {
+        if out.contains('_') {
+            let mut camel = String::new();
+            let mut upper_next = false;
+            for ch in out.chars() {
+                if ch == '_' {
+                    upper_next = true;
+                } else if upper_next {
+                    camel.extend(ch.to_uppercase());
+                    upper_next = false;
+                } else {
+                    camel.push(ch);
+                }
+            }
+            out = camel;
+        } else {
+            out = out.to_uppercase();
+        }
+    }
+    // suffix noise
+    if rng.gen_bool(strength * 0.3) {
+        out.push('2');
+    }
+    out
+}
+
+/// Perturb `schema` into a renamed copy. `strength` in `[0,1]` scales how
+/// aggressive the renames are; `drop_prob` removes attributes (no ground
+/// truth emitted for them); `add_prob` inserts distractor attributes.
+pub fn perturb_schema(
+    schema: &Schema,
+    seed: u64,
+    strength: f64,
+    drop_prob: f64,
+    add_prob: f64,
+) -> (Schema, GroundTruth) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Schema::new(format!("{}_perturbed", schema.name));
+    let mut truth = GroundTruth::default();
+    let mut distractor = 0usize;
+    for e in schema.elements() {
+        let new_elem_name = perturb_name(&mut rng, &e.name, strength);
+        let mut attrs = Vec::new();
+        for a in &e.attributes {
+            if rng.gen_bool(drop_prob) {
+                continue;
+            }
+            let new_attr = perturb_name(&mut rng, &a.name, strength);
+            if attrs.iter().any(|x: &Attribute| x.name == new_attr) {
+                continue; // collision after rename: treat as dropped
+            }
+            attrs.push(Attribute { name: new_attr.clone(), ty: a.ty, nullable: a.nullable });
+            truth.pairs.push((
+                PathRef::attr(e.name.clone(), a.name.clone()),
+                PathRef::attr(new_elem_name.clone(), new_attr),
+            ));
+        }
+        if rng.gen_bool(add_prob) {
+            attrs.push(Attribute::new(format!("extra_{distractor}"), DataType::Text));
+            distractor += 1;
+        }
+        // keep the element kind structure intact for relations; entity
+        // hierarchies keep their (renamed) parents
+        let kind = match &e.kind {
+            mm_metamodel::ElementKind::EntityType { parent: Some(p) } => {
+                // the parent was emitted earlier with its perturbed name;
+                // recover it from the truth table's element renames
+                let renamed = truth
+                    .pairs
+                    .iter()
+                    .find(|(s, _)| &s.element == p)
+                    .map(|(_, t)| t.element.clone())
+                    .unwrap_or_else(|| p.clone());
+                mm_metamodel::ElementKind::EntityType { parent: Some(renamed) }
+            }
+            other => other.clone(),
+        };
+        if out
+            .add_element(Element { name: new_elem_name.clone(), kind, attributes: attrs })
+            .is_err()
+        {
+            // element-name collision: drop this element's ground truth
+            truth.pairs.retain(|(_, t)| t.element != new_elem_name);
+            continue;
+        }
+        truth
+            .pairs
+            .push((PathRef::element(e.name.clone()), PathRef::element(new_elem_name)));
+    }
+    (out, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemas::relational_schema;
+
+    #[test]
+    fn zero_strength_keeps_names() {
+        let s = relational_schema(3, 3, 4);
+        let (p, truth) = perturb_schema(&s, 1, 0.0, 0.0, 0.0);
+        assert_eq!(p.len(), s.len());
+        // all names identical
+        for (src, tgt) in &truth.pairs {
+            assert_eq!(src.element, tgt.element);
+            assert_eq!(src.attribute, tgt.attribute);
+        }
+    }
+
+    #[test]
+    fn strong_perturbation_changes_names_but_keeps_truth() {
+        let s = relational_schema(3, 3, 4);
+        let (p, truth) = perturb_schema(&s, 2, 0.9, 0.0, 0.0);
+        assert!(!truth.is_empty());
+        let changed = truth
+            .pairs
+            .iter()
+            .filter(|(a, b)| a.attribute != b.attribute || a.element != b.element)
+            .count();
+        assert!(changed > 0, "nothing was renamed");
+        // every truth target exists in the perturbed schema
+        for (_, tgt) in &truth.pairs {
+            let elem = p.element(&tgt.element).expect("target element exists");
+            if let Some(a) = &tgt.attribute {
+                assert!(elem.attribute(a).is_some(), "{tgt} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn drops_shrink_ground_truth() {
+        let s = relational_schema(3, 4, 6);
+        let (_, full) = perturb_schema(&s, 5, 0.3, 0.0, 0.0);
+        let (_, dropped) = perturb_schema(&s, 5, 0.3, 0.5, 0.0);
+        assert!(dropped.len() < full.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = relational_schema(3, 3, 3);
+        let (p1, t1) = perturb_schema(&s, 9, 0.5, 0.1, 0.2);
+        let (p2, t2) = perturb_schema(&s, 9, 0.5, 0.1, 0.2);
+        assert_eq!(p1, p2);
+        assert_eq!(t1.pairs, t2.pairs);
+    }
+}

@@ -1,0 +1,230 @@
+//! Schema generators.
+
+use mm_metamodel::{Attribute, DataType, Element, ElementKind, ForeignKey, Key, Schema};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const WORDS: &[&str] = &[
+    "order", "customer", "invoice", "line", "item", "product", "supplier", "region",
+    "employee", "department", "account", "payment", "shipment", "address", "contact",
+    "price", "quantity", "status", "date", "name", "code", "total", "city", "country",
+    "phone", "email", "category", "stock", "branch", "budget",
+];
+
+fn word(rng: &mut SmallRng) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+fn attr_name(rng: &mut SmallRng, used: &mut Vec<String>) -> String {
+    loop {
+        let n = if rng.gen_bool(0.5) {
+            format!("{}_{}", word(rng), word(rng))
+        } else {
+            word(rng).to_string()
+        };
+        if !used.contains(&n) {
+            used.push(n.clone());
+            return n;
+        }
+    }
+}
+
+fn data_type(rng: &mut SmallRng) -> DataType {
+    DataType::CONCRETE[rng.gen_range(0..DataType::CONCRETE.len())]
+}
+
+/// A flat relational schema with `relations` tables of `attrs_per` columns
+/// each (first column is an Int key), plus random single-column foreign
+/// keys between consecutive tables.
+pub fn relational_schema(seed: u64, relations: usize, attrs_per: usize) -> Schema {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut schema = Schema::new(format!("rel{seed}"));
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..relations {
+        let rel_name = format!("{}_{}", word(&mut rng), i);
+        let mut used = Vec::new();
+        let mut attrs = vec![Attribute::new(format!("{rel_name}_id"), DataType::Int)];
+        for _ in 1..attrs_per.max(1) {
+            attrs.push(Attribute::new(attr_name(&mut rng, &mut used), data_type(&mut rng)));
+        }
+        schema
+            .add_element(Element {
+                name: rel_name.clone(),
+                kind: ElementKind::Relation,
+                attributes: attrs,
+            })
+            .expect("generated names unique");
+        schema
+            .add_constraint(mm_metamodel::Constraint::Key(Key {
+                element: rel_name.clone(),
+                attributes: vec![format!("{rel_name}_id")],
+            }))
+            .expect("key over own column");
+        names.push(rel_name);
+    }
+    schema
+}
+
+/// A snowflake schema: one fact relation referencing `dims` dimension
+/// relations, each with `attrs_per` attributes. The fact's key column is
+/// `<fact>_id`; each dimension has `<dim>_id` and an FK from the fact.
+pub fn snowflake_schema(seed: u64, dims: usize, attrs_per: usize) -> Schema {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut schema = Schema::new(format!("snow{seed}"));
+    // dimensions first so FKs validate
+    let mut dim_names = Vec::with_capacity(dims);
+    for i in 0..dims {
+        let name = format!("dim{i}_{}", word(&mut rng));
+        let mut used = Vec::new();
+        let mut attrs = vec![Attribute::new(format!("{name}_id"), DataType::Int)];
+        for _ in 0..attrs_per {
+            attrs.push(Attribute::new(attr_name(&mut rng, &mut used), data_type(&mut rng)));
+        }
+        schema
+            .add_element(Element {
+                name: name.clone(),
+                kind: ElementKind::Relation,
+                attributes: attrs,
+            })
+            .expect("unique");
+        dim_names.push(name);
+    }
+    let mut fact_attrs = vec![Attribute::new("fact_id", DataType::Int)];
+    let mut used = Vec::new();
+    for d in &dim_names {
+        fact_attrs.push(Attribute::new(format!("{d}_ref"), DataType::Int));
+    }
+    for _ in 0..attrs_per {
+        fact_attrs.push(Attribute::new(attr_name(&mut rng, &mut used), data_type(&mut rng)));
+    }
+    schema
+        .add_element(Element {
+            name: "fact".into(),
+            kind: ElementKind::Relation,
+            attributes: fact_attrs,
+        })
+        .expect("unique");
+    schema
+        .add_constraint(mm_metamodel::Constraint::Key(Key {
+            element: "fact".into(),
+            attributes: vec!["fact_id".into()],
+        }))
+        .expect("valid key");
+    for d in &dim_names {
+        schema
+            .add_constraint(mm_metamodel::Constraint::Key(Key {
+                element: d.clone(),
+                attributes: vec![format!("{d}_id")],
+            }))
+            .expect("valid key");
+        schema
+            .add_constraint(mm_metamodel::Constraint::ForeignKey(ForeignKey {
+                from: "fact".into(),
+                from_attrs: vec![format!("{d}_ref")],
+                to: d.clone(),
+                to_attrs: vec![format!("{d}_id")],
+            }))
+            .expect("valid fk");
+    }
+    schema
+}
+
+/// An ER schema with one hierarchy: a root entity with `depth` levels of
+/// `fanout` subtypes each; every type adds `attrs_per` own attributes.
+/// The root declares an Int key `Id`.
+pub fn er_hierarchy(seed: u64, depth: usize, fanout: usize, attrs_per: usize) -> Schema {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut schema = Schema::new(format!("er{seed}"));
+    let mut root_attrs = vec![Attribute::new("Id", DataType::Int)];
+    let mut used = vec!["Id".to_string()];
+    for _ in 0..attrs_per {
+        root_attrs.push(Attribute::new(attr_name(&mut rng, &mut used), data_type(&mut rng)));
+    }
+    schema
+        .add_element(Element {
+            name: "Root".into(),
+            kind: ElementKind::EntityType { parent: None },
+            attributes: root_attrs,
+        })
+        .expect("unique");
+    schema
+        .add_constraint(mm_metamodel::Constraint::Key(Key {
+            element: "Root".into(),
+            attributes: vec!["Id".into()],
+        }))
+        .expect("valid key");
+    let mut level = vec!["Root".to_string()];
+    let mut counter = 0usize;
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for parent in &level {
+            for _ in 0..fanout {
+                let name = format!("T{counter}");
+                counter += 1;
+                let mut attrs = Vec::new();
+                for _ in 0..attrs_per.max(1) {
+                    attrs.push(Attribute::new(
+                        attr_name(&mut rng, &mut used),
+                        data_type(&mut rng),
+                    ));
+                }
+                schema
+                    .add_element(Element {
+                        name: name.clone(),
+                        kind: ElementKind::EntityType { parent: Some(parent.clone()) },
+                        attributes: attrs,
+                    })
+                    .expect("unique");
+                next.push(name);
+            }
+        }
+        level = next;
+    }
+    schema
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_metamodel::Metamodel;
+
+    #[test]
+    fn relational_generator_is_deterministic_and_conformant() {
+        let a = relational_schema(7, 5, 4);
+        let b = relational_schema(7, 5, 4);
+        assert_eq!(a, b);
+        assert!(Metamodel::Relational.conforms(&a));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn snowflake_has_fact_and_fk_per_dim() {
+        let s = snowflake_schema(3, 4, 3);
+        assert!(s.element("fact").is_some());
+        let fks = s
+            .constraints
+            .iter()
+            .filter(|c| matches!(c, mm_metamodel::Constraint::ForeignKey(_)))
+            .count();
+        assert_eq!(fks, 4);
+    }
+
+    #[test]
+    fn er_hierarchy_size_and_profile() {
+        let s = er_hierarchy(1, 2, 2, 2);
+        // 1 root + 2 + 4 = 7 types
+        assert_eq!(s.len(), 7);
+        assert!(Metamodel::EntityRelationship.conforms(&s));
+        assert_eq!(s.subtree("Root").len(), 7);
+        // every type inherits Id
+        for ty in s.subtree("Root") {
+            let attrs = s.all_attributes(ty).unwrap();
+            assert_eq!(attrs[0].name, "Id");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(relational_schema(1, 3, 3), relational_schema(2, 3, 3));
+    }
+}

@@ -1,0 +1,118 @@
+//! EF1 — Figure 1 architecture: the engine drives every operator through
+//! the repository, lineage connects the artifacts, and the repository
+//! snapshot round-trips the whole session.
+
+use model_management::prelude::*;
+
+fn paper_er() -> Schema {
+    SchemaBuilder::new("ER")
+        .entity("Person", &[("Id", DataType::Int), ("Name", DataType::Text)])
+        .entity_sub("Employee", "Person", &[("Dept", DataType::Text)])
+        .entity_sub("Customer", "Person", &[
+            ("CreditScore", DataType::Int),
+            ("BillingAddr", DataType::Text),
+        ])
+        .key("Person", &["Id"])
+        .build()
+        .expect("paper schema")
+}
+
+#[test]
+fn full_operator_tour_with_lineage() {
+    let engine = Engine::new();
+    engine.add_schema(paper_er());
+
+    // ModelGen
+    let gen = engine
+        .modelgen_er_to_relational("ER", InheritanceStrategy::Vertical)
+        .expect("modelgen");
+    assert!(Metamodel::Relational.conforms(&gen.schema));
+
+    // TransGen
+    let (qv, uv) = engine.transgen("ER", "ER_rel", "ER->ER_rel").expect("transgen");
+    assert_eq!(qv.len(), 3);
+    assert_eq!(uv.len(), 3);
+
+    // Match against an independent schema
+    let legacy = SchemaBuilder::new("Legacy")
+        .relation("staff", &[("id", DataType::Int), ("name", DataType::Text)])
+        .build()
+        .expect("legacy schema");
+    engine.add_schema(legacy);
+    let (cs, _) = engine
+        .match_schemas("ER", "Legacy", &MatchConfig::default())
+        .expect("match");
+    assert!(!cs.is_empty());
+
+    // Compose stored view sets
+    engine.add_viewset("fwd", gen.views.clone());
+    let mut top = ViewSet::new("ER_rel", "Top");
+    top.push(ViewDef::new("People", Expr::base("Person").project(&["Id", "Name"])));
+    engine.add_viewset("top", top);
+    let collapsed = engine.compose("fwd", "top", "collapsed").expect("compose");
+    // the collapsed view reads the ER entity sets directly
+    let bases = mm_expr::analyze::base_relations(&collapsed.view("People").expect("view").expr);
+    assert!(bases.contains(&"Person"));
+
+    // Extract / Diff over the generated mapping
+    let extract = engine.extract("ER", "ER->ER_rel").expect("extract");
+    assert!(!extract.schema.is_empty());
+
+    // Exchange via a tgd mapping
+    let s = SchemaBuilder::new("Src")
+        .relation("Emp", &[("e", DataType::Text)])
+        .build()
+        .expect("src");
+    let t = SchemaBuilder::new("Tgt")
+        .relation("Mgr", &[("e", DataType::Text), ("m", DataType::Text)])
+        .build()
+        .expect("tgt");
+    engine.add_schema(s.clone());
+    engine.add_schema(t);
+    let mut m = Mapping::new("Src", "Tgt");
+    m.push_tgd(Tgd::new(vec![Atom::vars("Emp", &["e"])], vec![Atom::vars("Mgr", &["e", "m"])]));
+    engine.add_mapping("exch", m);
+    let mut db = Database::empty_of(&s);
+    db.insert("Emp", Tuple::from([Value::text("ann")]));
+    let (universal, stats) = engine.exchange("exch", "Tgt", &db).expect("exchange");
+    assert_eq!(stats.nulls, 1);
+    assert!(!universal.is_ground());
+
+    // certain answers over the universal instance
+    let tgt_schema = engine.repo.latest_schema("Tgt").expect("stored").0;
+    let certain = certain_answers(&Expr::base("Mgr").project(&["e"]), &tgt_schema, &universal)
+        .expect("certain");
+    assert_eq!(certain.len(), 1);
+
+    // Lineage: transgen output reaches back to the ER schema
+    let (_, qid) = engine.repo.latest_viewset("ER->ER_rel.qviews").expect("stored");
+    let upstream = engine.repo.upstream(&qid);
+    assert!(upstream.iter().any(|a| a.name.name == "ER" && a.kind == ArtifactKind::Schema));
+
+    // Snapshot round-trip preserves the session
+    let bytes = engine.repo.snapshot();
+    let restored = Repository::restore(bytes).expect("restore");
+    assert_eq!(restored.lineage().len(), engine.repo.lineage().len());
+    assert_eq!(
+        restored.latest_mapping("ER->ER_rel").expect("restored mapping").0,
+        engine.repo.latest_mapping("ER->ER_rel").expect("original mapping").0,
+    );
+}
+
+#[test]
+fn engine_surfaces_operator_errors() {
+    let engine = Engine::new();
+    // missing artifacts
+    assert!(engine.transgen("nope", "nope", "nope").is_err());
+    assert!(engine.compose("a", "b", "c").is_err());
+    // modelgen on a non-ER schema
+    let s = SchemaBuilder::new("Flat")
+        .relation("T", &[("a", DataType::Int)])
+        .build()
+        .expect("flat schema");
+    engine.add_schema(s);
+    assert!(matches!(
+        engine.modelgen_er_to_relational("Flat", InheritanceStrategy::Flat),
+        Err(EngineError::ModelGen(_))
+    ));
+}

@@ -1,0 +1,192 @@
+//! EF5/EF6 — the paper's Figures 5 and 6: schema evolution handled by
+//! mapping composition, with the exact composed view of Figure 6.
+
+use model_management::prelude::*;
+
+fn s() -> Schema {
+    SchemaBuilder::new("S")
+        .relation("Names", &[("SID", DataType::Int), ("Name", DataType::Text)])
+        .relation("Addresses", &[
+            ("SID", DataType::Int),
+            ("Address", DataType::Text),
+            ("Country", DataType::Text),
+        ])
+        .build()
+        .expect("fig6 S")
+}
+
+fn s_prime() -> Schema {
+    SchemaBuilder::new("Sprime")
+        .relation("NamesP", &[("SID", DataType::Int), ("Name", DataType::Text)])
+        .relation("Local", &[("SID", DataType::Int), ("Address", DataType::Text)])
+        .relation("Foreign", &[
+            ("SID", DataType::Int),
+            ("Address", DataType::Text),
+            ("Country", DataType::Text),
+        ])
+        .build()
+        .expect("fig6 S'")
+}
+
+fn students_view() -> ViewSet {
+    let mut v = ViewSet::new("S", "V");
+    v.push(ViewDef::new(
+        "Students",
+        Expr::base("Names")
+            .join(Expr::base("Addresses"), &[("SID", "SID")])
+            .project(&["Name", "Address", "Country"]),
+    ));
+    v
+}
+
+fn migration() -> ViewSet {
+    let mut v = ViewSet::new("S", "Sprime");
+    v.push(ViewDef::new("NamesP", Expr::base("Names")));
+    v.push(ViewDef::new(
+        "Local",
+        Expr::base("Addresses")
+            .select(Predicate::col_eq_lit("Country", "US"))
+            .project(&["SID", "Address"]),
+    ));
+    v.push(ViewDef::new(
+        "Foreign",
+        Expr::base("Addresses").select(Predicate::col_eq_lit("Country", "US").negate()),
+    ));
+    v
+}
+
+fn old_over_new() -> ViewSet {
+    let mut v = ViewSet::new("Sprime", "S");
+    v.push(ViewDef::new("Names", Expr::base("NamesP")));
+    v.push(ViewDef::new(
+        "Addresses",
+        Expr::base("Local")
+            .product(Expr::literal_row(&["Country"], vec![Lit::text("US")]))
+            .union(Expr::base("Foreign")),
+    ));
+    v
+}
+
+fn d() -> Database {
+    let mut db = Database::empty_of(&s());
+    for (sid, name) in [(1, "ann"), (2, "bob"), (3, "cyd")] {
+        db.insert("Names", Tuple::from([Value::Int(sid), Value::text(name)]));
+    }
+    for (sid, addr, c) in [(1, "9 Ave", "US"), (2, "5 Rue", "FR"), (3, "2 Way", "US")] {
+        db.insert(
+            "Addresses",
+            Tuple::from([Value::Int(sid), Value::text(addr), Value::text(c)]),
+        );
+    }
+    db
+}
+
+#[test]
+fn ef6_composed_mapping_is_the_papers_formula() {
+    // mapV-S' = Students = π_{Name,Address,Country}(Names' ⋈ (Local×{US} ∪ Foreign))
+    let composed = compose_views(&old_over_new(), &students_view());
+    let students = composed.view("Students").expect("repaired view");
+    let expected = Expr::base("NamesP")
+        .join(
+            Expr::base("Local")
+                .product(Expr::literal_row(&["Country"], vec![Lit::text("US")]))
+                .union(Expr::base("Foreign")),
+            &[("SID", "SID")],
+        )
+        .project(&["Name", "Address", "Country"]);
+    assert_eq!(students.expr, expected);
+}
+
+#[test]
+fn ef5_migration_preserves_the_view() {
+    let outcome =
+        evolve_view(&s(), &migration(), &old_over_new(), &students_view(), &d()).expect("evolve");
+    // migration splits by country
+    assert_eq!(outcome.migrated.relation("Local").expect("Local").len(), 2);
+    assert_eq!(outcome.migrated.relation("Foreign").expect("Foreign").len(), 1);
+
+    let before = eval(&students_view().views[0].expr, &s(), &d()).expect("before");
+    let after = eval(
+        &outcome.repaired_views.views[0].expr,
+        &s_prime(),
+        &outcome.migrated,
+    )
+    .expect("after");
+    assert!(before.set_eq(&after));
+    assert_eq!(after.len(), 3);
+}
+
+#[test]
+fn ef5_composition_through_the_engine_with_lineage() {
+    let engine = Engine::new();
+    engine.add_viewset("old_over_new", old_over_new());
+    engine.add_viewset("students", students_view());
+    let repaired = engine
+        .compose("old_over_new", "students", "students_repaired")
+        .expect("compose");
+    assert!(repaired.view("Students").is_some());
+    let (_, id) = engine.repo.latest_viewset("students_repaired").expect("stored");
+    assert_eq!(engine.repo.upstream(&id).len(), 2);
+}
+
+#[test]
+fn ef5_diff_captures_what_the_mapping_does_not_touch() {
+    // a migration that only moves US addresses: Diff (structural
+    // participation, §6.2) reports the untouched parts — the whole Names
+    // relation — while Addresses participates fully (its Country column
+    // is read by the selection predicate)
+    let lossy = Mapping::with_constraints(
+        "S",
+        "Sprime",
+        vec![MappingConstraint::ExprEq {
+            source: Expr::base("Addresses")
+                .select(Predicate::col_eq_lit("Country", "US"))
+                .project(&["SID", "Address"]),
+            target: Expr::base("Local"),
+        }],
+    );
+    let complement = diff(&s(), &lossy, mm_evolution::diff::Side::Source);
+    let names = complement.schema.element("Names").expect("untouched relation");
+    assert_eq!(names.attributes.len(), 2);
+    assert!(complement.schema.element("Addresses").is_none());
+    // and Extract returns exactly the participating complement
+    let participating = extract(&s(), &lossy, mm_evolution::diff::Side::Source);
+    assert!(participating.schema.element("Addresses").is_some());
+    assert!(participating.schema.element("Names").is_none());
+}
+
+#[test]
+fn ef5_inverse_rolls_back_the_migration() {
+    let inv = invert_views(&migration(), &s()).expect("invertible migration");
+    let kind = verify_inverse(&migration(), &inv, &s(), &s_prime(), &d());
+    assert_eq!(kind, InverseKind::Exact);
+}
+
+#[test]
+fn evolution_chain_workload_preserves_views_end_to_end() {
+    // the generated many-step variant of Figure 5
+    use mm_workload::{evolution_chain, populate_relational, relational_schema};
+    let s0 = relational_schema(33, 4, 3);
+    let db0 = populate_relational(&s0, 12, 15);
+    let first = s0.element_names().next().expect("non-empty").to_string();
+    let cols: Vec<String> = s0
+        .element(&first)
+        .expect("exists")
+        .attributes
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    let mut views = ViewSet::new(s0.name.clone(), "V");
+    views.push(ViewDef::new("V0", Expr::base(first).project_owned(cols)));
+    let before = eval(&views.views[0].expr, &s0, &db0).expect("before");
+
+    let mut schema = s0;
+    let mut db = db0;
+    for step in evolution_chain(&schema, 8, 6) {
+        db = materialize_views(&step.migration, &schema, &db).expect("migrate");
+        views = compose_views(&step.old_over_new, &views);
+        schema = step.schema;
+    }
+    let after = eval(&views.views[0].expr, &schema, &db).expect("after");
+    assert!(before.set_eq(&after));
+}
