@@ -1,7 +1,8 @@
 //! The chase procedure over tgds and egds.
 
-use mm_eval::cq::{find_homomorphisms, find_homomorphisms_seeded, instantiate_atom, Binding};
+use mm_eval::cq::{find_homomorphisms_governed, instantiate_atom, Binding};
 use mm_expr::{Atom, Tgd};
+use mm_guard::{ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
 use mm_metamodel::Schema;
 use std::collections::HashMap;
@@ -91,11 +92,44 @@ impl fmt::Display for ChaseOutcome {
     }
 }
 
+/// A governed chase that could not finish: the typed resource error plus
+/// the statistics of the partial run (work done before the trip). For
+/// `chase_general_governed` the partially chased database is left in
+/// place, so callers can inspect or discard the partial instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaseFailure {
+    pub error: ExecError,
+    pub stats: ChaseStats,
+}
+
+impl fmt::Display for ChaseFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chase aborted after {} firings / {} rounds: {}",
+            self.stats.fired, self.stats.rounds, self.error
+        )
+    }
+}
+
+impl std::error::Error for ChaseFailure {}
+
+impl From<ChaseFailure> for ExecError {
+    fn from(f: ChaseFailure) -> Self {
+        f.error
+    }
+}
+
 /// Check whether `head` (with existentials) is already satisfied in `db`
 /// under `binding`: does some extension of the binding to the head's
 /// existential variables map all head atoms into the database? Universal
 /// bindings — including labeled nulls — stay fixed.
-fn head_satisfied(head: &[Atom], binding: &Binding, db: &Database) -> bool {
+fn head_satisfied(
+    head: &[Atom],
+    binding: &Binding,
+    db: &Database,
+    gov: &mut Governor,
+) -> Result<bool, ExecError> {
     let mut head_vars = std::collections::BTreeSet::new();
     for a in head {
         for t in &a.terms {
@@ -107,7 +141,41 @@ fn head_satisfied(head: &[Atom], binding: &Binding, db: &Database) -> bool {
         .filter(|(k, _)| head_vars.contains(k.as_str()))
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
-    !find_homomorphisms_seeded(head, db, &seed).is_empty()
+    Ok(!find_homomorphisms_governed(head, db, &seed, gov)?.is_empty())
+}
+
+/// Fire one tgd binding into `db`: instantiate every head atom (minting
+/// memoized fresh nulls for existentials) and insert the tuples.
+fn fire_head(
+    tgd: &Tgd,
+    b: &Binding,
+    db: &mut Database,
+    stats: &mut ChaseStats,
+    gov: &mut Governor,
+) -> Result<(), ExecError> {
+    // one fresh null per existential variable per firing, shared
+    // across the head atoms of this firing
+    let mut memo: HashMap<String, Value> = HashMap::new();
+    let mut minted = 0usize;
+    for atom in &tgd.head {
+        gov.row()?;
+        let t = {
+            let db_ref = &mut *db;
+            let mut fresh = |v: &str| {
+                memo.entry(v.to_string())
+                    .or_insert_with(|| {
+                        minted += 1;
+                        db_ref.fresh_labeled()
+                    })
+                    .clone()
+            };
+            instantiate_atom(atom, b, &mut fresh)?
+        };
+        db.insert(&atom.relation, t);
+    }
+    stats.nulls += minted;
+    stats.fired += 1;
+    Ok(())
 }
 
 /// The standard chase for **source-to-target** tgds: bodies are evaluated
@@ -117,116 +185,162 @@ fn head_satisfied(head: &[Atom], binding: &Binding, db: &Database) -> bool {
 /// re-chasing an already-consistent pair adds nothing.
 ///
 /// Returns the universal target instance and stats.
+///
+/// Legacy ungoverned entry point; panics on function terms in tgd heads
+/// (use [`chase_st_governed`] for the typed-error path).
 pub fn chase_st(
     target_schema: &Schema,
     tgds: &[Tgd],
     source_db: &Database,
 ) -> (Database, ChaseStats) {
+    #[allow(clippy::expect_used)] // unbounded budget: only Unsupported inputs can fail
+    chase_st_governed(target_schema, tgds, source_db, &ExecBudget::unbounded())
+        .expect("chase_st on unsupported input; use chase_st_governed for a typed error")
+}
+
+/// Governed source-to-target chase: join probes, head-satisfaction
+/// checks, and inserted tuples are metered against `budget`; on a trip
+/// the typed error plus partial-run statistics come back as a
+/// [`ChaseFailure`].
+pub fn chase_st_governed(
+    target_schema: &Schema,
+    tgds: &[Tgd],
+    source_db: &Database,
+    budget: &ExecBudget,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
+    let mut gov = Governor::new(budget);
     let mut target = Database::empty_of(target_schema);
     target.set_label_watermark(source_db.label_watermark());
     let mut stats = ChaseStats { rounds: 1, ..Default::default() };
     for tgd in tgds {
-        let bindings = find_homomorphisms(&tgd.body, source_db);
-        for b in bindings {
-            if head_satisfied(&tgd.head, &b, &target) {
-                continue;
+        let mut run = || -> Result<(), ExecError> {
+            let bindings = find_homomorphisms_governed(&tgd.body, source_db, &Binding::new(), &mut gov)?;
+            for b in bindings {
+                if head_satisfied(&tgd.head, &b, &target, &mut gov)? {
+                    continue;
+                }
+                fire_head(tgd, &b, &mut target, &mut stats, &mut gov)?;
             }
-            // one fresh null per existential variable per firing, shared
-            // across the head atoms of this firing
-            let mut memo: HashMap<String, Value> = HashMap::new();
-            let mut minted = 0usize;
-            for atom in &tgd.head {
-                let t = {
-                    let target_ref = &mut target;
-                    let mut fresh = |v: &str| {
-                        memo.entry(v.to_string())
-                            .or_insert_with(|| {
-                                minted += 1;
-                                target_ref.fresh_labeled()
-                            })
-                            .clone()
-                    };
-                    instantiate_atom(atom, &b, &mut fresh)
-                };
-                target.insert(&atom.relation, t);
-            }
-            stats.nulls += minted;
-            stats.fired += 1;
-        }
+            Ok(())
+        };
+        run().map_err(|error| ChaseFailure { error, stats })?;
     }
-    (target, stats)
+    Ok((target, stats))
 }
 
 /// The bounded restricted chase for **general** tgds and egds over a
 /// single database (source and target relations may coincide — schema
 /// evolution scenarios chase views and bases together). `max_rounds`
-/// bounds the fixpoint loop since general tgds need not terminate.
+/// bounds the fixpoint loop since general tgds need not terminate; an
+/// exhausted bound comes back as [`ChaseOutcome::BoundExceeded`].
+///
+/// Legacy ungoverned entry point over [`chase_general_governed`].
 pub fn chase_general(
     db: &mut Database,
     tgds: &[Tgd],
     egds: &[Egd],
     max_rounds: usize,
 ) -> ChaseOutcome {
-    let mut stats = ChaseStats::default();
-    for _round in 0..max_rounds {
-        stats.rounds += 1;
-        let mut changed = false;
-        for tgd in tgds {
-            let bindings = find_homomorphisms(&tgd.body, db);
-            for b in bindings {
-                if head_satisfied(&tgd.head, &b, db) {
-                    continue;
-                }
-                let mut memo: HashMap<String, Value> = HashMap::new();
-                let mut minted = 0usize;
-                for atom in &tgd.head {
-                    let t = {
-                        let db_ref = &mut *db;
-                        let mut fresh = |v: &str| {
-                            memo.entry(v.to_string())
-                                .or_insert_with(|| {
-                                    minted += 1;
-                                    db_ref.fresh_labeled()
-                                })
-                                .clone()
-                        };
-                        instantiate_atom(atom, &b, &mut fresh)
-                    };
-                    db.insert(&atom.relation, t);
-                }
-                stats.nulls += minted;
-                stats.fired += 1;
-                changed = true;
-            }
+    let budget = ExecBudget::unbounded().with_rounds(max_rounds as u64);
+    match chase_general_governed(db, tgds, egds, &budget) {
+        Ok(outcome) => outcome,
+        Err(ChaseFailure { error: ExecError::Diverged { .. }, stats }) => {
+            ChaseOutcome::BoundExceeded(stats)
         }
-        for (i, egd) in egds.iter().enumerate() {
-            let bindings = find_homomorphisms(&egd.body, db);
-            for b in bindings {
-                let l = &b[&egd.left];
-                let r = &b[&egd.right];
-                if l == r {
-                    continue;
-                }
-                match (l.is_labeled(), r.is_labeled()) {
-                    (false, false) => return ChaseOutcome::Failed { egd_index: i },
-                    (true, _) => {
-                        equate(db, l.clone(), r.clone());
-                        changed = true;
-                    }
-                    (false, true) => {
-                        equate(db, r.clone(), l.clone());
-                        changed = true;
-                    }
-                }
-            }
-        }
-        if !changed {
-            return ChaseOutcome::Done(stats);
-        }
+        #[allow(clippy::panic)] // unbounded except rounds: no other trip is reachable
+        Err(f) => panic!("chase_general on unsupported input: {f}"),
     }
-    ChaseOutcome::BoundExceeded(stats)
 }
 
+/// Governed general chase. The fixpoint loop runs until convergence or
+/// until the budget trips:
+///
+/// * exceeding the budget's **round** cap without converging reports
+///   [`ExecError::Diverged`] — the tgd set is divergent, or the cap is
+///   too small; no more silent truncation,
+/// * step / row / wall-clock caps and cancellation report their own
+///   [`ExecError`] variants,
+/// * an egd equating two distinct constants is a semantic answer, not a
+///   resource failure: it stays `Ok(ChaseOutcome::Failed { .. })`.
+///
+/// On error the partially chased `db` is left in place (callers decide
+/// whether a partial universal instance is useful) together with the
+/// partial-run statistics in the [`ChaseFailure`].
+pub fn chase_general_governed(
+    db: &mut Database,
+    tgds: &[Tgd],
+    egds: &[Egd],
+    budget: &ExecBudget,
+) -> Result<ChaseOutcome, ChaseFailure> {
+    let mut gov = Governor::new(budget);
+    let mut stats = ChaseStats::default();
+    loop {
+        if let Some(limit) = budget.max_rounds() {
+            if stats.rounds as u64 >= limit {
+                return Err(ChaseFailure {
+                    error: ExecError::Diverged { rounds: limit },
+                    stats,
+                });
+            }
+        }
+        gov.check_now().map_err(|error| ChaseFailure { error, stats })?;
+        stats.rounds += 1;
+        let mut changed = false;
+        let mut round = |db: &mut Database,
+                         stats: &mut ChaseStats,
+                         changed: &mut bool|
+         -> Result<Option<ChaseOutcome>, ExecError> {
+            for tgd in tgds {
+                let bindings = find_homomorphisms_governed(&tgd.body, db, &Binding::new(), &mut gov)?;
+                for b in bindings {
+                    if head_satisfied(&tgd.head, &b, db, &mut gov)? {
+                        continue;
+                    }
+                    fire_head(tgd, &b, db, stats, &mut gov)?;
+                    *changed = true;
+                }
+            }
+            for (i, egd) in egds.iter().enumerate() {
+                let bindings = find_homomorphisms_governed(&egd.body, db, &Binding::new(), &mut gov)?;
+                for b in bindings {
+                    gov.step()?;
+                    let missing = |side: &str| {
+                        ExecError::malformed(format!(
+                            "egd #{i} equates variable '{side}' not bound by its body"
+                        ))
+                    };
+                    let l = b.get(&egd.left).ok_or_else(|| missing(&egd.left))?;
+                    let r = b.get(&egd.right).ok_or_else(|| missing(&egd.right))?;
+                    if l == r {
+                        continue;
+                    }
+                    match (l.is_labeled(), r.is_labeled()) {
+                        (false, false) => return Ok(Some(ChaseOutcome::Failed { egd_index: i })),
+                        (true, _) => {
+                            equate(db, l.clone(), r.clone());
+                            *changed = true;
+                        }
+                        (false, true) => {
+                            equate(db, r.clone(), l.clone());
+                            *changed = true;
+                        }
+                    }
+                }
+            }
+            Ok(None)
+        };
+        match round(db, &mut stats, &mut changed) {
+            Ok(Some(failed)) => return Ok(failed),
+            Ok(None) => {}
+            Err(error) => return Err(ChaseFailure { error, stats }),
+        }
+        if !changed {
+            return Ok(ChaseOutcome::Done(stats));
+        }
+    }
+}
+
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Replace every occurrence of labeled null `from` with `to` across the
 /// database (egd resolution).
 fn equate(db: &mut Database, from: Value, to: Value) {

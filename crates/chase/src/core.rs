@@ -109,6 +109,7 @@ fn find_proper_endomorphism(db: &Database) -> Search {
     }
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 fn search(
     db: &Database,
     tuples: &[(String, Tuple)],

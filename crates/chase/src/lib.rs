@@ -17,6 +17,8 @@
 //! * [`core::core_of`] — greedy core minimization of a universal instance
 //!   ("Data exchange: getting to the core").
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod certain;
 pub mod chase;
 pub mod core;
@@ -24,5 +26,8 @@ pub mod hom;
 
 pub use crate::core::core_of;
 pub use certain::certain_answers;
-pub use chase::{chase_general, chase_st, egds_from_keys, ChaseOutcome, ChaseStats, Egd};
+pub use chase::{
+    chase_general, chase_general_governed, chase_st, chase_st_governed, egds_from_keys,
+    ChaseFailure, ChaseOutcome, ChaseStats, Egd,
+};
 pub use hom::{exists_hom, hom_equivalent};

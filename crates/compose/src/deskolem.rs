@@ -17,28 +17,43 @@
 //! provides.
 
 use mm_expr::{Atom, SoTgd, Term, Tgd};
+use mm_guard::{ExecBudget, ExecError, Governor};
 use std::collections::HashMap;
 
 /// Try to rewrite `so` as a set of first-order st-tgds. Returns `None`
 /// when any clause is genuinely second-order (by the conservative
 /// conditions above).
 pub fn try_deskolemize(so: &SoTgd) -> Option<Vec<Tgd>> {
+    let mut gov = Governor::new(&ExecBudget::unbounded());
+    // Unbounded governor never reports exhaustion/cancellation.
+    try_deskolemize_governed(so, &mut gov).unwrap_or_default()
+}
+
+/// Budgeted variant of [`try_deskolemize`]: the folding pass is linear in
+/// the SO-tgd, but composition can hand it an exponentially large input,
+/// so the walk accrues one step per head term against `gov`.
+pub fn try_deskolemize_governed(
+    so: &SoTgd,
+    gov: &mut Governor,
+) -> Result<Option<Vec<Tgd>>, ExecError> {
+    gov.clauses(so.clauses.len() as u64)?;
     // function symbol -> (clause index, argument list) of first sighting
     let mut usage: HashMap<&str, (usize, &[Term])> = HashMap::new();
     for (ci, clause) in so.clauses.iter().enumerate() {
         if !clause.eqs.is_empty() {
-            return None;
+            return Ok(None);
         }
         for atom in &clause.head {
             for term in &atom.terms {
+                gov.step()?;
                 if !check_term(term, ci, &mut usage) {
-                    return None;
+                    return Ok(None);
                 }
             }
         }
         // bodies must already be function-free (they are, by construction)
         if clause.body.iter().any(Atom::has_func) {
-            return None;
+            return Ok(None);
         }
     }
 
@@ -58,9 +73,10 @@ pub fn try_deskolemize(so: &SoTgd) -> Option<Vec<Tgd>> {
                     .collect(),
             })
             .collect();
+        gov.steps_n(clause.body.len() as u64 + clause.head.len() as u64)?;
         out.push(Tgd::new(clause.body.clone(), head));
     }
-    Some(out)
+    Ok(Some(out))
 }
 
 /// Validate one head term: function terms must have variable-only args,

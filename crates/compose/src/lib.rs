@@ -17,12 +17,17 @@
 //!   (up to homomorphic equivalence) with applying the composed mapping
 //!   directly.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod algebraic;
 pub mod deskolem;
 pub mod sotgd;
 pub mod transport;
 
 pub use algebraic::{compose_expr_mappings, compose_views};
-pub use deskolem::try_deskolemize;
-pub use sotgd::{apply_sotgd, compose_st_tgds, ComposeError, DEFAULT_CLAUSE_BOUND};
+pub use deskolem::{try_deskolemize, try_deskolemize_governed};
+pub use sotgd::{
+    apply_sotgd, apply_sotgd_governed, compose_st_tgds, compose_st_tgds_governed, ComposeError,
+    DEFAULT_CLAUSE_BOUND,
+};
 pub use transport::transport_via;

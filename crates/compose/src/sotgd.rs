@@ -7,21 +7,25 @@
 //! body atom, which is where the exponential lower bound on output size
 //! comes from (benchmark EQ1 measures exactly this growth).
 
-use mm_eval::cq::find_homomorphisms;
+use mm_eval::cq::find_homomorphisms_governed;
 use mm_expr::{Atom, Lit, SoClause, SoTgd, Term, Tgd};
+use mm_guard::{ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
 use mm_metamodel::Schema;
 use std::collections::HashMap;
 use std::fmt;
 
 /// Errors from logic-level composition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ComposeError {
     /// A constraint of the first mapping is not a valid tgd.
     InvalidTgd(String),
     /// Output size exceeded the configured bound (the exponential blowup
     /// is real; callers opt into large outputs explicitly).
     OutputTooLarge { clauses: usize, bound: usize },
+    /// Governance failure: execution budget tripped or cancellation
+    /// observed while splicing.
+    Exec(ExecError),
 }
 
 impl fmt::Display for ComposeError {
@@ -31,22 +35,46 @@ impl fmt::Display for ComposeError {
             ComposeError::OutputTooLarge { clauses, bound } => {
                 write!(f, "composition produced {clauses} clauses, bound is {bound}")
             }
+            ComposeError::Exec(e) => write!(f, "composition aborted: {e}"),
         }
     }
 }
 
 impl std::error::Error for ComposeError {}
 
+impl From<ExecError> for ComposeError {
+    fn from(e: ExecError) -> Self {
+        ComposeError::Exec(e)
+    }
+}
+
 /// Default bound on the number of output clauses.
 pub const DEFAULT_CLAUSE_BOUND: usize = 1 << 16;
 
 /// Compose `m12 : S1 → S2` with `m23 : S2 → S3`, producing an SO-tgd from
 /// S1 to S3. `clause_bound` caps the (worst-case exponential) output.
+///
+/// Ungoverned wrapper over [`compose_st_tgds_governed`] (unbounded
+/// budget; the explicit `clause_bound` still applies).
 pub fn compose_st_tgds(
     m12: &[Tgd],
     m23: &[Tgd],
     clause_bound: usize,
 ) -> Result<SoTgd, ComposeError> {
+    compose_st_tgds_governed(m12, m23, clause_bound, &ExecBudget::unbounded())
+}
+
+/// Governed composition: in addition to the hard `clause_bound`, the
+/// budget's clause cap, step cap, wall clock, and cancellation token are
+/// observed while splicing — the splice loop is the exponential part, so
+/// it polls the governor per produced clause *before* materializing it.
+pub fn compose_st_tgds_governed(
+    m12: &[Tgd],
+    m23: &[Tgd],
+    clause_bound: usize,
+    budget: &ExecBudget,
+) -> Result<SoTgd, ComposeError> {
+    let mut gov = Governor::new(budget);
     for t in m12.iter().chain(m23) {
         t.validate().map_err(|e| ComposeError::InvalidTgd(e.to_string()))?;
     }
@@ -83,6 +111,17 @@ pub fn compose_st_tgds(
         };
         let mut combo = vec![0usize; options.len()];
         loop {
+            // govern *before* materializing the next clause: the hard
+            // bound stops the exponential splice without first paying
+            // for the oversized clause
+            if out_clauses.len() + 1 > clause_bound {
+                return Err(ComposeError::OutputTooLarge {
+                    clauses: out_clauses.len() + 1,
+                    bound: clause_bound,
+                });
+            }
+            gov.clauses(out_clauses.len() as u64 + 1)?;
+            gov.step()?;
             // build one spliced clause
             let mut body: Vec<Atom> = Vec::new();
             let mut eqs: Vec<(Term, Term)> = Vec::new();
@@ -112,12 +151,6 @@ pub fn compose_st_tgds(
             };
             simplify_clause(&mut clause);
             out_clauses.push(clause);
-            if out_clauses.len() > clause_bound {
-                return Err(ComposeError::OutputTooLarge {
-                    clauses: out_clauses.len(),
-                    bound: clause_bound,
-                });
-            }
             // next combination
             let mut i = 0;
             loop {
@@ -223,33 +256,49 @@ pub fn apply_sotgd(
     sotgd: &SoTgd,
     source_db: &Database,
     target_schema: &Schema,
-) -> Database {
+) -> Result<Database, ExecError> {
+    apply_sotgd_governed(sotgd, source_db, target_schema, &ExecBudget::unbounded())
+}
+
+/// Governed [`apply_sotgd`]: homomorphism search and produced tuples are
+/// metered against `budget`. An unbound variable in a head or equality
+/// (malformed SO-tgd) surfaces as [`ExecError::Malformed`], not a panic.
+pub fn apply_sotgd_governed(
+    sotgd: &SoTgd,
+    source_db: &Database,
+    target_schema: &Schema,
+    budget: &ExecBudget,
+) -> Result<Database, ExecError> {
+    let mut gov = Governor::new(budget);
     let mut target = Database::empty_of(target_schema);
     target.set_label_watermark(source_db.label_watermark());
     // memoized Skolem values: (function, args) -> labeled null
     let mut skolem: HashMap<(String, Vec<Value>), Value> = HashMap::new();
 
     for clause in &sotgd.clauses {
-        let bindings = find_homomorphisms(&clause.body, source_db);
+        let bindings =
+            find_homomorphisms_governed(&clause.body, source_db, &Default::default(), &mut gov)?;
         'bindings: for b in bindings {
             for (l, r) in &clause.eqs {
-                let lv = eval_term_rec(l, &b, &mut skolem, &mut target);
-                let rv = eval_term_rec(r, &b, &mut skolem, &mut target);
+                gov.step()?;
+                let lv = eval_term_rec(l, &b, &mut skolem, &mut target)?;
+                let rv = eval_term_rec(r, &b, &mut skolem, &mut target)?;
                 if lv != rv {
                     continue 'bindings;
                 }
             }
             for atom in &clause.head {
+                gov.row()?;
                 let vals: Vec<Value> = atom
                     .terms
                     .iter()
                     .map(|t| eval_term_rec(t, &b, &mut skolem, &mut target))
-                    .collect();
+                    .collect::<Result<_, _>>()?;
                 target.insert(&atom.relation, Tuple::new(vals));
             }
         }
     }
-    target
+    Ok(target)
 }
 
 fn eval_term_rec(
@@ -257,22 +306,23 @@ fn eval_term_rec(
     b: &mm_eval::cq::Binding,
     skolem: &mut HashMap<(String, Vec<Value>), Value>,
     target: &mut Database,
-) -> Value {
-    match t {
-        Term::Var(v) => b
-            .get(v)
-            .cloned()
-            .unwrap_or_else(|| panic!("unbound variable `{v}` in SO-tgd head/equality")),
+) -> Result<Value, ExecError> {
+    Ok(match t {
+        Term::Var(v) => b.get(v).cloned().ok_or_else(|| {
+            ExecError::malformed(format!("unbound variable `{v}` in SO-tgd head/equality"))
+        })?,
         Term::Const(l) => lit_to_value(l),
         Term::Func(f, args) => {
-            let arg_vals: Vec<Value> =
-                args.iter().map(|a| eval_term_rec(a, b, skolem, target)).collect();
+            let arg_vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_term_rec(a, b, skolem, target))
+                .collect::<Result<_, _>>()?;
             skolem
                 .entry((f.clone(), arg_vals))
                 .or_insert_with(|| target.fresh_labeled())
                 .clone()
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -400,7 +450,7 @@ mod tests {
 
         // direct: apply composed SO-tgd
         let so = compose_st_tgds(&m12(), &m23(), DEFAULT_CLAUSE_BOUND).unwrap();
-        let d3_direct = apply_sotgd(&so, &d1, &s3);
+        let d3_direct = apply_sotgd(&so, &d1, &s3).unwrap();
 
         assert!(
             hom_equivalent(&d3_chase, &d3_direct),
@@ -431,7 +481,7 @@ mod tests {
             .unwrap();
         let mut d1 = Database::empty_of(&s1);
         d1.insert("R", Tuple::from([Value::Int(1)]));
-        let d3 = apply_sotgd(&so, &d1, &s3);
+        let d3 = apply_sotgd(&so, &d1, &s3).unwrap();
         // S(1,1) satisfies both body atoms with x=y=1 -> T(1)
         assert!(d3.relation("T").unwrap().contains(&Tuple::from([Value::Int(1)])));
     }

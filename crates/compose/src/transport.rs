@@ -60,7 +60,7 @@ mod tests {
 
         let (d3_chase, _, _) = transport_via(&s2, &m12, &s3, &m23, &d1);
         let so = compose_st_tgds(&m12, &m23, DEFAULT_CLAUSE_BOUND).unwrap();
-        let d3_direct = apply_sotgd(&so, &d1, &s3);
+        let d3_direct = apply_sotgd(&so, &d1, &s3).unwrap();
         assert!(hom_equivalent(&d3_chase, &d3_direct));
         assert_eq!(d3_direct.relation("C").unwrap().len(), 4);
     }
@@ -95,7 +95,7 @@ mod tests {
 
         let (d3_chase, _, _) = transport_via(&s2, &m12, &s3, &m23, &d1);
         let so = compose_st_tgds(&m12, &m23, DEFAULT_CLAUSE_BOUND).unwrap();
-        let d3_direct = apply_sotgd(&so, &d1, &s3);
+        let d3_direct = apply_sotgd(&so, &d1, &s3).unwrap();
         assert!(hom_equivalent(&d3_chase, &d3_direct));
         assert_eq!(d3_direct.relation("Q").unwrap().len(), 3);
     }

@@ -1,12 +1,50 @@
 //! The engine: repository-backed operator invocations.
 
-use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
+use mm_expr::{CorrespondenceSet, Mapping, SoTgd, Tgd, ViewSet};
+use mm_guard::{ExecBudget, Governor};
 use mm_instance::Database;
 use mm_match::MatchConfig;
 use mm_metamodel::Schema;
 use mm_modelgen::InheritanceStrategy;
 use mm_repository::{ArtifactId, Repository, RepositoryError};
 use std::fmt;
+
+/// Default round cap for the general chase. The general chase may not
+/// terminate (composition of non-s-t tgds is undecidable, §6.1), so the
+/// engine always runs it under a cap; exceeding the cap surfaces as
+/// [`mm_guard::ExecError::Diverged`] rather than a silent stop.
+pub const DEFAULT_CHASE_ROUNDS: u64 = 256;
+
+/// Resource-governance knobs for engine operators.
+///
+/// The engine threads these through every operator that can run away:
+/// data exchange (chase), general chase, and mapping composition. The
+/// default configuration is permissive — an unbounded [`ExecBudget`],
+/// [`DEFAULT_CHASE_ROUNDS`] rounds for the general chase, and
+/// [`mm_compose::DEFAULT_CLAUSE_BOUND`] clauses for SO-tgd composition —
+/// so ungoverned callers see the historical behavior.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Round cap for general-chase invocations whose budget does not set
+    /// one. Defaults to [`DEFAULT_CHASE_ROUNDS`].
+    pub chase_max_rounds: u64,
+    /// Clause cap for SO-tgd composition. Defaults to
+    /// [`mm_compose::DEFAULT_CLAUSE_BOUND`].
+    pub compose_clause_bound: usize,
+    /// Baseline execution budget (steps, rows, wall clock, cancellation)
+    /// applied to every governed operator. Defaults to unbounded.
+    pub budget: ExecBudget,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            chase_max_rounds: DEFAULT_CHASE_ROUNDS,
+            compose_clause_bound: mm_compose::DEFAULT_CLAUSE_BOUND,
+            budget: ExecBudget::unbounded(),
+        }
+    }
+}
 
 /// Engine errors: repository misses plus operator failures, flattened for
 /// tool consumption.
@@ -19,6 +57,9 @@ pub enum EngineError {
     Eval(mm_eval::EvalError),
     Corr(mm_transgen::CorrError),
     Inverse(mm_evolution::InverseError),
+    /// Resource governance: budget exhaustion, cancellation, divergence,
+    /// or malformed caller-supplied data caught by a governed operator.
+    Exec(mm_guard::ExecError),
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +72,7 @@ impl fmt::Display for EngineError {
             EngineError::Eval(e) => write!(f, "eval: {e}"),
             EngineError::Corr(e) => write!(f, "correspondence: {e}"),
             EngineError::Inverse(e) => write!(f, "inverse: {e}"),
+            EngineError::Exec(e) => write!(f, "execution: {e}"),
         }
     }
 }
@@ -54,6 +96,7 @@ from_err!(Compose, mm_compose::ComposeError);
 from_err!(Eval, mm_eval::EvalError);
 from_err!(Corr, mm_transgen::CorrError);
 from_err!(Inverse, mm_evolution::InverseError);
+from_err!(Exec, mm_guard::ExecError);
 
 /// The model management engine: operators over a metadata repository.
 ///
@@ -63,11 +106,42 @@ from_err!(Inverse, mm_evolution::InverseError);
 #[derive(Default)]
 pub struct Engine {
     pub repo: Repository,
+    pub config: EngineConfig,
 }
 
 impl Engine {
     pub fn new() -> Self {
-        Engine { repo: Repository::new() }
+        Engine { repo: Repository::new(), config: EngineConfig::default() }
+    }
+
+    /// An engine with explicit governance knobs (round caps, clause
+    /// bounds, execution budget).
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine { repo: Repository::new(), config }
+    }
+
+    /// The budget chase-based operators run under: the configured
+    /// baseline, with the configured round cap filled in when the
+    /// baseline does not set one.
+    fn chase_budget(&self) -> ExecBudget {
+        let b = self.config.budget.clone();
+        if b.max_rounds().is_none() {
+            b.with_rounds(self.config.chase_max_rounds)
+        } else {
+            b
+        }
+    }
+
+    fn tgds_of(m: &Mapping) -> Result<Vec<Tgd>, EngineError> {
+        Ok(m.as_tgds()
+            .ok_or_else(|| {
+                EngineError::TransGen(mm_transgen::TransGenError::Unrecognized(
+                    "operator requires a tgd mapping".into(),
+                ))
+            })?
+            .into_iter()
+            .cloned()
+            .collect())
     }
 
     /// Register a schema under its own name.
@@ -195,7 +269,10 @@ impl Engine {
     }
 
     /// Compose two stored view sets (`first` base→mid, `second` mid→top),
-    /// storing the collapsed result.
+    /// storing the collapsed result. The size of the composed definitions
+    /// is checked against the configured budget's clause cap, so a
+    /// blowing-up chain trips `BudgetExhausted` instead of storing an
+    /// enormous mapping.
     pub fn compose(
         &self,
         first: &str,
@@ -205,9 +282,46 @@ impl Engine {
         let (a, aid) = self.repo.latest_viewset(first)?;
         let (b, bid) = self.repo.latest_viewset(second)?;
         let composed = mm_compose::compose_views(&a, &b);
+        let mut gov = Governor::new(&self.config.budget);
+        let nodes: usize = composed.views.iter().map(|v| v.expr.size()).sum();
+        gov.clauses(nodes as u64)?;
+        gov.steps_n(nodes as u64)?;
         let out = self.repo.store_viewset(out_name, composed.clone());
         self.repo.record("compose", vec![aid, bid], out);
         Ok(composed)
+    }
+
+    /// Compose two stored *tgd* mappings (§6.1): Skolemize into an
+    /// SO-tgd under the configured clause bound and budget, then try to
+    /// fold the result back into first-order st-tgds. When folding
+    /// succeeds the first-order mapping is stored under `out_name`.
+    pub fn compose_tgd_mappings(
+        &self,
+        first: &str,
+        second: &str,
+        out_name: &str,
+    ) -> Result<(SoTgd, Option<Mapping>), EngineError> {
+        let (m12, aid) = self.repo.latest_mapping(first)?;
+        let (m23, bid) = self.repo.latest_mapping(second)?;
+        let t12 = Self::tgds_of(&m12)?;
+        let t23 = Self::tgds_of(&m23)?;
+        let so = mm_compose::compose_st_tgds_governed(
+            &t12,
+            &t23,
+            self.config.compose_clause_bound,
+            &self.config.budget,
+        )?;
+        let mut gov = Governor::new(&self.config.budget);
+        let folded = mm_compose::try_deskolemize_governed(&so, &mut gov)?.map(|tgds| {
+            let mut m = Mapping::new(m12.source_schema.clone(), m23.target_schema.clone());
+            for t in tgds {
+                m.push_tgd(t);
+            }
+            let out = self.repo.store_mapping(out_name, m.clone());
+            self.repo.record("compose.tgd", vec![aid, bid], out);
+            m
+        });
+        Ok((so, folded))
     }
 
     /// Diff a stored schema against a stored mapping (§6.2).
@@ -267,6 +381,11 @@ impl Engine {
 
     /// Data exchange: chase a source instance through a stored tgd mapping
     /// into the (stored) target schema; returns the universal instance.
+    ///
+    /// Runs under the engine's configured [`ExecBudget`]; a budget trip or
+    /// cancellation surfaces as [`EngineError::Exec`]. The s-t chase
+    /// always terminates, so no round cap applies here — see
+    /// [`Self::chase_general`] for the capped general chase.
     pub fn exchange(
         &self,
         mapping: &str,
@@ -275,17 +394,32 @@ impl Engine {
     ) -> Result<(Database, mm_chase::ChaseStats), EngineError> {
         let (m, _) = self.repo.latest_mapping(mapping)?;
         let (t, _) = self.schema(target_schema)?;
-        let tgds: Vec<mm_expr::Tgd> = m
-            .as_tgds()
-            .ok_or_else(|| {
-                EngineError::TransGen(mm_transgen::TransGenError::Unrecognized(
-                    "exchange requires a tgd mapping".into(),
-                ))
-            })?
-            .into_iter()
-            .cloned()
-            .collect();
-        Ok(mm_chase::chase_st(&t, &tgds, source_db))
+        let tgds = Self::tgds_of(&m)?;
+        mm_chase::chase_st_governed(&t, &tgds, source_db, &self.config.budget)
+            .map_err(|f| EngineError::Exec(f.into()))
+    }
+
+    /// Run the bounded general chase of `source_db` with a stored tgd
+    /// mapping's constraints plus the key egds of `schema`. The chase may
+    /// diverge, so it runs under the configured round cap
+    /// ([`EngineConfig::chase_max_rounds`], default
+    /// [`DEFAULT_CHASE_ROUNDS`]) and budget; divergence surfaces as
+    /// [`EngineError::Exec`] with [`mm_guard::ExecError::Diverged`].
+    pub fn chase_general(
+        &self,
+        mapping: &str,
+        schema: &str,
+        source_db: &Database,
+    ) -> Result<(Database, mm_chase::ChaseOutcome), EngineError> {
+        let (m, _) = self.repo.latest_mapping(mapping)?;
+        let (s, _) = self.schema(schema)?;
+        let tgds = Self::tgds_of(&m)?;
+        let egds = mm_chase::egds_from_keys(&s);
+        let mut db = source_db.clone();
+        let outcome =
+            mm_chase::chase_general_governed(&mut db, &tgds, &egds, &self.chase_budget())
+                .map_err(|f| EngineError::Exec(f.into()))?;
+        Ok((db, outcome))
     }
 }
 

@@ -12,25 +12,35 @@
 //! convenience layer gluing them to the repository. All public types of
 //! the sub-crates are re-exported under [`prelude`].
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod engine;
 pub mod script;
 
-pub use engine::{Engine, EngineError};
+pub use engine::{Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
 pub use script::{run_script, ScriptError};
 
 /// One-stop imports for applications embedding the engine.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineError};
+    pub use crate::engine::{Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
     pub use crate::script::{run_script, ScriptError};
     pub use mm_chase::{
-        certain_answers, chase_general, chase_st, core_of, egds_from_keys, exists_hom,
-        hom_equivalent, ChaseOutcome, ChaseStats, Egd,
+        certain_answers, chase_general, chase_general_governed, chase_st, chase_st_governed,
+        core_of, egds_from_keys, exists_hom, hom_equivalent, ChaseFailure, ChaseOutcome,
+        ChaseStats, Egd,
     };
     pub use mm_compose::{
-        apply_sotgd, compose_expr_mappings, compose_st_tgds, compose_views, transport_via,
-        try_deskolemize, ComposeError,
+        apply_sotgd, apply_sotgd_governed, compose_expr_mappings, compose_st_tgds,
+        compose_st_tgds_governed, compose_views, transport_via, try_deskolemize,
+        try_deskolemize_governed, ComposeError, DEFAULT_CLAUSE_BOUND,
     };
-    pub use mm_eval::{eval, find_homomorphisms, materialize_views, unfold_query, EvalError};
+    pub use mm_eval::{
+        eval, eval_governed, find_homomorphisms, find_homomorphisms_governed, materialize_views,
+        materialize_views_governed, unfold_query, EvalError,
+    };
+    pub use mm_guard::{
+        CancelToken, Degradation, DegradationKind, ExecBudget, ExecError, Governor, Resource,
+    };
     pub use mm_evolution::{
         diff, evolve_view, extract, invert_views, merge, verify_inverse, EvolutionOutcome,
         ExtractResult, InverseError, InverseKind, MergeResult, Side,
@@ -54,11 +64,13 @@ pub mod prelude {
     };
     pub use mm_repository::{ArtifactId, ArtifactKind, LineageEdge, Repository};
     pub use mm_runtime::{
-        advise_indexes, batch_load, check_query, compile_policy, compile_triggers, explain,
-        fire_triggers, maintain_insertions, propagate, run_sync, trace, translate_rules,
-        translate_violations, view_insert_delta, AccessPolicy, AccessRule, AccessViolation,
-        Delta, Firing, IndexRecommendation, IndexUse, MaintenanceStrategy, Mediator, SyncRule,
-        SyncStats, Trace, TraceStep, Trigger, Witness,
+        advise_indexes, batch_load, batch_load_governed, check_query, compile_policy,
+        compile_triggers, explain, fire_triggers, maintain_insertions,
+        maintain_insertions_governed, propagate, run_sync, trace, translate_rules,
+        translate_violations, view_insert_delta, view_insert_delta_governed, AccessPolicy,
+        AccessRule, AccessViolation, Delta, Firing, IndexRecommendation, IndexUse,
+        MaintenanceReport, MaintenanceStrategy, MediationMode, MediationResult, Mediator,
+        SyncRule, SyncStats, Trace, TraceStep, Trigger, Witness,
     };
     pub use mm_transgen::{
         check_coverage, check_implication, correspondences_to_views, parse_fragments,

@@ -91,7 +91,7 @@ pub fn run_script(engine: &Engine, script: &str) -> Result<Vec<String>, ScriptEr
             continue;
         }
         let mut parts = line.split_whitespace();
-        let cmd = parts.next().expect("non-empty line");
+        let Some(cmd) = parts.next() else { continue };
         let args: Vec<&str> = parts.collect();
         match (cmd, args.as_slice()) {
             ("match", [source, target]) => {

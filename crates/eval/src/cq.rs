@@ -7,6 +7,7 @@
 //! evaluation are built on.
 
 use mm_expr::{Atom, Lit, Term};
+use mm_guard::{ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
 use std::collections::HashMap;
 
@@ -52,6 +53,7 @@ fn match_atom(atom: &Atom, tuple: &Tuple, binding: &Binding) -> Option<Binding> 
     Some(b)
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Order atoms so that atoms sharing variables with already-placed atoms
 /// come early (greedy bound-variable heuristic) — the join-ordering step
 /// of the CQ evaluator. Deterministic for reproducibility.
@@ -100,55 +102,79 @@ pub fn find_homomorphisms_seeded(
     db: &Database,
     seed: &Binding,
 ) -> Vec<Binding> {
+    let mut gov = Governor::new(&ExecBudget::unbounded());
+    // an unbounded governor with a private token cannot fail
+    find_homomorphisms_governed(atoms, db, seed, &mut gov).unwrap_or_default()
+}
+
+/// Governed homomorphism search: every join probe is metered as one
+/// budget step, so an exponential join trips `BudgetExhausted` (or
+/// observes cancellation) instead of running unbounded. The governor is
+/// borrowed, not owned, so a pipeline (e.g. one chase round firing many
+/// tgds) accumulates work against a single budget.
+pub fn find_homomorphisms_governed(
+    atoms: &[Atom],
+    db: &Database,
+    seed: &Binding,
+    gov: &mut Governor,
+) -> Result<Vec<Binding>, ExecError> {
+    gov.check_now()?;
     if atoms.is_empty() {
-        return vec![seed.clone()];
+        return Ok(vec![seed.clone()]);
     }
     let ordered = order_atoms(atoms, db);
     let mut bindings = vec![seed.clone()];
     for atom in ordered {
         let Some(rel) = db.relation(&atom.relation) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         let mut next = Vec::new();
         for b in &bindings {
             for t in rel.iter() {
+                gov.step()?;
                 if let Some(b2) = match_atom(atom, t, b) {
                     next.push(b2);
                 }
             }
         }
         if next.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         bindings = next;
     }
-    bindings
+    Ok(bindings)
 }
 
 /// Instantiate a (function-free, fully bound) atom under a binding,
 /// producing a tuple. Existential variables absent from the binding are
 /// filled by `fresh`, which must return a new labeled null per call per
 /// variable (the caller memoizes per-variable if needed).
+///
+/// Function terms are not first-order instantiable (they only occur in
+/// SO-tgd heads, which go through `apply_sotgd`) and yield a typed
+/// [`ExecError::Unsupported`] instead of a panic.
 pub fn instantiate_atom(
     atom: &Atom,
     binding: &Binding,
     fresh: &mut dyn FnMut(&str) -> Value,
-) -> Tuple {
-    let values = atom
-        .terms
-        .iter()
-        .map(|t| match t {
+) -> Result<Tuple, ExecError> {
+    let mut values = Vec::with_capacity(atom.terms.len());
+    for t in &atom.terms {
+        values.push(match t {
             Term::Var(v) => match binding.get(v) {
                 Some(val) => val.clone(),
                 None => fresh(v),
             },
             Term::Const(l) => lit_to_value(l),
-            Term::Func(..) => {
-                panic!("function term in first-order instantiation")
+            Term::Func(name, _) => {
+                return Err(ExecError::unsupported(format!(
+                    "function term '{name}' in first-order instantiation of atom '{}'",
+                    atom.relation
+                )))
             }
-        })
-        .collect();
-    Tuple::new(values)
+        });
+    }
+    Ok(Tuple::new(values))
 }
 
 #[cfg(test)]
@@ -243,7 +269,8 @@ mod tests {
                     val
                 })
                 .clone()
-        });
+        })
+        .unwrap();
         assert_eq!(t.values()[0], Value::Int(1));
         assert_eq!(t.values()[1], t.values()[2]); // same existential var, same null
         assert!(t.values()[1].is_labeled());

@@ -1,18 +1,22 @@
 //! Materializing evaluator for the relational algebra.
 
 use mm_expr::{CmpOp, Expr, ExprError, Func, Lit, Predicate, Scalar};
+use mm_guard::{ExecBudget, ExecError, Governor};
 use mm_instance::{Database, RelSchema, Relation, Tuple, Value};
 use mm_metamodel::{Schema, TYPE_ATTR};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Errors raised during evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EvalError {
     /// Static analysis of the expression failed.
     Static(ExprError),
     /// The database lacks a relation the schema promises.
     MissingRelation(String),
+    /// Governance failure (budget, cancellation) or malformed
+    /// caller-supplied expression caught at runtime.
+    Exec(ExecError),
 }
 
 impl fmt::Display for EvalError {
@@ -20,6 +24,7 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::Static(e) => write!(f, "static error: {e}"),
             EvalError::MissingRelation(r) => write!(f, "missing relation `{r}`"),
+            EvalError::Exec(e) => write!(f, "execution error: {e}"),
         }
     }
 }
@@ -30,6 +35,23 @@ impl From<ExprError> for EvalError {
     fn from(e: ExprError) -> Self {
         EvalError::Static(e)
     }
+}
+
+impl From<ExecError> for EvalError {
+    fn from(e: ExecError) -> Self {
+        EvalError::Exec(e)
+    }
+}
+
+/// Resolve a column position or report the malformed reference as a
+/// typed error (the static checker normally rules this out, but the
+/// expression is caller-supplied data and must not panic the engine).
+fn position_or_err(schema: &RelSchema, column: &str, context: &str) -> Result<usize, EvalError> {
+    schema.position(column).ok_or_else(|| {
+        EvalError::Exec(ExecError::malformed(format!(
+            "column '{column}' not present in input of {context}"
+        )))
+    })
 }
 
 fn lit_to_value(l: &Lit) -> Value {
@@ -192,21 +214,45 @@ fn positions_of(schema: &RelSchema) -> HashMap<String, usize> {
 ///
 /// The expression is statically checked against `schema` first, so
 /// evaluation itself can index by position without per-row checks.
+/// Ungoverned: runs under an unbounded budget (still panic-free).
 pub fn eval(expr: &Expr, schema: &Schema, db: &Database) -> Result<Relation, EvalError> {
+    let mut gov = Governor::new(&ExecBudget::unbounded());
+    eval_governed(expr, schema, db, &mut gov)
+}
+
+/// Evaluate `expr` under an execution governor: every produced tuple is
+/// metered as a row and every processed input tuple as a step, so
+/// runaway products/joins trip the budget (or observe cancellation)
+/// instead of exhausting memory.
+pub fn eval_governed(
+    expr: &Expr,
+    schema: &Schema,
+    db: &Database,
+    gov: &mut Governor,
+) -> Result<Relation, EvalError> {
+    // Entry safepoint: a pre-cancelled token or expired deadline trips
+    // before any work, regardless of input size.
+    gov.check_now()?;
     let out_attrs = mm_expr::output_schema(expr, schema)?;
     let out_schema = RelSchema::new(out_attrs);
-    let tuples = eval_rows(expr, schema, db)?;
+    let tuples = eval_rows(expr, schema, db, gov)?;
     Ok(Relation::with_tuples(out_schema, tuples))
 }
 
 /// Internal: evaluate to a bag of tuples (dedup happens on
 /// materialization, except where set semantics is required mid-pipeline).
-fn eval_rows(expr: &Expr, schema: &Schema, db: &Database) -> Result<Vec<Tuple>, EvalError> {
+fn eval_rows(
+    expr: &Expr,
+    schema: &Schema,
+    db: &Database,
+    gov: &mut Governor,
+) -> Result<Vec<Tuple>, EvalError> {
     match expr {
         Expr::Base(name) => {
             let rel = db
                 .relation(name)
                 .ok_or_else(|| EvalError::MissingRelation(name.clone()))?;
+            gov.steps_n(rel.len() as u64)?;
             Ok(rel.iter().cloned().collect())
         }
         Expr::Literal { rows, .. } => Ok(rows
@@ -218,41 +264,44 @@ fn eval_rows(expr: &Expr, schema: &Schema, db: &Database) -> Result<Vec<Tuple>, 
             let in_schema = RelSchema::new(in_attrs);
             let positions: Vec<usize> = columns
                 .iter()
-                .map(|c| in_schema.position(c).expect("checked statically"))
-                .collect();
-            let rows = eval_rows(input, schema, db)?;
+                .map(|c| position_or_err(&in_schema, c, "projection"))
+                .collect::<Result<_, _>>()?;
+            let rows = eval_rows(input, schema, db, gov)?;
+            gov.steps_n(rows.len() as u64)?;
             Ok(rows.iter().map(|t| t.project(&positions)).collect())
         }
         Expr::Select { input, predicate } => {
             let in_attrs = mm_expr::output_schema(input, schema)?;
             let in_schema = RelSchema::new(in_attrs);
             let pos = positions_of(&in_schema);
-            let rows = eval_rows(input, schema, db)?;
+            let rows = eval_rows(input, schema, db, gov)?;
+            gov.steps_n(rows.len() as u64)?;
             Ok(rows
                 .into_iter()
                 .filter(|t| eval_predicate(predicate, &Row { positions: &pos, tuple: t }, schema))
                 .collect())
         }
         Expr::Join { left, right, on } => {
-            hash_join(expr, left, right, on, schema, db, false)
+            hash_join(expr, left, right, on, schema, db, false, gov)
         }
         Expr::LeftJoin { left, right, on } => {
-            hash_join(expr, left, right, on, schema, db, true)
+            hash_join(expr, left, right, on, schema, db, true, gov)
         }
         Expr::Product { left, right } => {
-            let l = eval_rows(left, schema, db)?;
-            let r = eval_rows(right, schema, db)?;
-            let mut out = Vec::with_capacity(l.len() * r.len());
+            let l = eval_rows(left, schema, db, gov)?;
+            let r = eval_rows(right, schema, db, gov)?;
+            let mut out = Vec::with_capacity(l.len().saturating_mul(r.len()));
             for lt in &l {
                 for rt in &r {
+                    gov.row()?;
                     out.push(lt.concat(rt));
                 }
             }
             Ok(out)
         }
         Expr::Union { left, right, all } => {
-            let mut l = eval_rows(left, schema, db)?;
-            let r = eval_rows(right, schema, db)?;
+            let mut l = eval_rows(left, schema, db, gov)?;
+            let r = eval_rows(right, schema, db, gov)?;
             l.extend(r);
             if !all {
                 let mut seen = std::collections::HashSet::with_capacity(l.len());
@@ -261,20 +310,21 @@ fn eval_rows(expr: &Expr, schema: &Schema, db: &Database) -> Result<Vec<Tuple>, 
             Ok(l)
         }
         Expr::Diff { left, right } => {
-            let l = eval_rows(left, schema, db)?;
+            let l = eval_rows(left, schema, db, gov)?;
             let r: std::collections::HashSet<Tuple> =
-                eval_rows(right, schema, db)?.into_iter().collect();
+                eval_rows(right, schema, db, gov)?.into_iter().collect();
             let mut seen = std::collections::HashSet::new();
             Ok(l.into_iter()
                 .filter(|t| !r.contains(t) && seen.insert(t.clone()))
                 .collect())
         }
-        Expr::Rename { input, .. } => eval_rows(input, schema, db),
+        Expr::Rename { input, .. } => eval_rows(input, schema, db, gov),
         Expr::Extend { input, column: _, scalar } => {
             let in_attrs = mm_expr::output_schema(input, schema)?;
             let in_schema = RelSchema::new(in_attrs);
             let pos = positions_of(&in_schema);
-            let rows = eval_rows(input, schema, db)?;
+            let rows = eval_rows(input, schema, db, gov)?;
+            gov.steps_n(rows.len() as u64)?;
             Ok(rows
                 .into_iter()
                 .map(|t| {
@@ -286,7 +336,7 @@ fn eval_rows(expr: &Expr, schema: &Schema, db: &Database) -> Result<Vec<Tuple>, 
                 .collect())
         }
         Expr::Distinct { input } => {
-            let rows = eval_rows(input, schema, db)?;
+            let rows = eval_rows(input, schema, db, gov)?;
             let mut seen = std::collections::HashSet::with_capacity(rows.len());
             Ok(rows.into_iter().filter(|t| seen.insert(t.clone())).collect())
         }
@@ -295,17 +345,19 @@ fn eval_rows(expr: &Expr, schema: &Schema, db: &Database) -> Result<Vec<Tuple>, 
             let in_schema = RelSchema::new(in_attrs);
             let group_pos: Vec<usize> = group_by
                 .iter()
-                .map(|c| in_schema.position(c).expect("checked statically"))
-                .collect();
+                .map(|c| position_or_err(&in_schema, c, "GROUP BY"))
+                .collect::<Result<_, _>>()?;
             let agg_pos: Vec<Option<usize>> = aggregates
                 .iter()
                 .map(|a| {
                     a.column
                         .as_ref()
-                        .map(|c| in_schema.position(c).expect("checked statically"))
+                        .map(|c| position_or_err(&in_schema, c, "aggregate"))
+                        .transpose()
                 })
-                .collect();
-            let rows = eval_rows(input, schema, db)?;
+                .collect::<Result<_, _>>()?;
+            let rows = eval_rows(input, schema, db, gov)?;
+            gov.steps_n(rows.len() as u64)?;
             // group preserving first-seen order
             let mut order: Vec<Tuple> = Vec::new();
             let mut groups: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
@@ -321,7 +373,7 @@ fn eval_rows(expr: &Expr, schema: &Schema, db: &Database) -> Result<Vec<Tuple>, 
                 let members = &groups[&key];
                 let mut vals = key.values().to_vec();
                 for (spec, pos) in aggregates.iter().zip(&agg_pos) {
-                    vals.push(eval_aggregate(spec.func, *pos, members));
+                    vals.push(eval_aggregate(spec.func, *pos, members)?);
                 }
                 out.push(Tuple::new(vals));
             }
@@ -331,14 +383,23 @@ fn eval_rows(expr: &Expr, schema: &Schema, db: &Database) -> Result<Vec<Tuple>, 
 }
 
 /// Compute one aggregate over a group. NULLs are skipped (SQL semantics);
-/// an all-NULL (or empty) group yields NULL except for COUNT.
+/// an all-NULL (or empty) group yields NULL except for COUNT. A SUM /
+/// AVG / MIN / MAX spec without a column is caller-supplied malformed
+/// data and reports a typed error rather than panicking.
 fn eval_aggregate(
     func: mm_expr::algebra::AggFunc,
     pos: Option<usize>,
     members: &[&Tuple],
-) -> Value {
+) -> Result<Value, EvalError> {
     use mm_expr::algebra::AggFunc;
-    match func {
+    let need_col = |pos: Option<usize>| {
+        pos.ok_or_else(|| {
+            EvalError::Exec(ExecError::malformed(format!(
+                "aggregate {func:?} requires a column argument"
+            )))
+        })
+    };
+    Ok(match func {
         AggFunc::Count => match pos {
             None => Value::Int(members.len() as i64),
             Some(i) => Value::Int(
@@ -346,7 +407,7 @@ fn eval_aggregate(
             ),
         },
         AggFunc::Sum | AggFunc::Avg => {
-            let i = pos.expect("sum/avg need a column");
+            let i = need_col(pos)?;
             let mut sum = 0f64;
             let mut n = 0usize;
             let mut all_int = true;
@@ -375,7 +436,7 @@ fn eval_aggregate(
             }
         }
         AggFunc::Min | AggFunc::Max => {
-            let i = pos.expect("min/max need a column");
+            let i = need_col(pos)?;
             let mut best: Option<Value> = None;
             for t in members {
                 let v = &t.values()[i];
@@ -396,9 +457,10 @@ fn eval_aggregate(
             }
             best.unwrap_or(Value::Null)
         }
-    }
+    })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn hash_join(
     _expr: &Expr,
     left: &Expr,
@@ -407,24 +469,30 @@ fn hash_join(
     schema: &Schema,
     db: &Database,
     outer: bool,
+    gov: &mut Governor,
 ) -> Result<Vec<Tuple>, EvalError> {
     let l_schema = RelSchema::new(mm_expr::output_schema(left, schema)?);
     let r_schema = RelSchema::new(mm_expr::output_schema(right, schema)?);
-    let l_keys: Vec<usize> =
-        on.iter().map(|(a, _)| l_schema.position(a).expect("checked")).collect();
-    let r_keys: Vec<usize> =
-        on.iter().map(|(_, b)| r_schema.position(b).expect("checked")).collect();
+    let l_keys: Vec<usize> = on
+        .iter()
+        .map(|(a, _)| position_or_err(&l_schema, a, "join (left side)"))
+        .collect::<Result<_, _>>()?;
+    let r_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, b)| position_or_err(&r_schema, b, "join (right side)"))
+        .collect::<Result<_, _>>()?;
     // columns of the right side that survive (non-join columns)
     let keep_right: Vec<usize> = (0..r_schema.arity())
         .filter(|i| !r_keys.contains(i))
         .collect();
 
-    let l_rows = eval_rows(left, schema, db)?;
-    let r_rows = eval_rows(right, schema, db)?;
+    let l_rows = eval_rows(left, schema, db, gov)?;
+    let r_rows = eval_rows(right, schema, db, gov)?;
 
     // build on the right side
     let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::with_capacity(r_rows.len());
     for t in &r_rows {
+        gov.step()?;
         let key = t.project(&r_keys);
         // SQL join semantics: NULL keys never match
         if key.values().iter().any(Value::is_null) {
@@ -435,6 +503,7 @@ fn hash_join(
 
     let mut out = Vec::new();
     for lt in &l_rows {
+        gov.step()?;
         let key = lt.project(&l_keys);
         let probe = if key.values().iter().any(Value::is_null) {
             None
@@ -444,6 +513,7 @@ fn hash_join(
         match probe {
             Some(matches) => {
                 for rt in matches {
+                    gov.row()?;
                     let mut vals = lt.values().to_vec();
                     for &i in &keep_right {
                         vals.push(rt.values()[i].clone());
@@ -571,7 +641,8 @@ mod tests {
         // internal bag semantics: union all of the same relation twice has
         // 4 rows mid-pipeline, but a materialized Relation is a set
         let e = Expr::base("Addr").union_all(Expr::base("Addr"));
-        let rows = eval_rows(&e, &schema(), &db()).unwrap();
+        let mut gov = Governor::new(&ExecBudget::unbounded());
+        let rows = eval_rows(&e, &schema(), &db(), &mut gov).unwrap();
         assert_eq!(rows.len(), 4);
         let r = eval(&e, &schema(), &db()).unwrap();
         assert_eq!(r.len(), 2);

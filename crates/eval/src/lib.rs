@@ -8,10 +8,12 @@
 //! conjunctive-query/homomorphism engine used by the chase and by tgd
 //! checking, and view materialization/unfolding.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod cq;
 pub mod engine;
 pub mod view;
 
-pub use cq::{find_homomorphisms, Binding};
-pub use engine::{eval, EvalError};
-pub use view::{materialize_views, unfold_query};
+pub use cq::{find_homomorphisms, find_homomorphisms_governed, Binding};
+pub use engine::{eval, eval_governed, EvalError};
+pub use view::{materialize_views, materialize_views_governed, unfold_query};

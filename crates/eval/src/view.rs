@@ -5,9 +5,10 @@
 //! *unfold* the query through the view definitions and run it directly on
 //! the base database (mediation / virtual integration, §5 "Peer-to-peer").
 
-use crate::engine::{eval, EvalError};
+use crate::engine::{eval, eval_governed, EvalError};
 use mm_expr::rewrite::{simplify_fix, substitute_bases};
 use mm_expr::{Expr, ViewSet};
+use mm_guard::Governor;
 use mm_instance::Database;
 use mm_metamodel::Schema;
 use std::collections::HashMap;
@@ -22,6 +23,22 @@ pub fn materialize_views(
     let mut out = Database::new(views.view_schema.clone());
     for v in &views.views {
         let rel = eval(&v.expr, base_schema, base_db)?;
+        out.insert_relation(v.name.clone(), rel);
+    }
+    Ok(out)
+}
+
+/// Budgeted variant of [`materialize_views`]: all views accrue against the
+/// one governor, so the budget bounds the whole materialization pass.
+pub fn materialize_views_governed(
+    views: &ViewSet,
+    base_schema: &Schema,
+    base_db: &Database,
+    gov: &mut Governor,
+) -> Result<Database, EvalError> {
+    let mut out = Database::new(views.view_schema.clone());
+    for v in &views.views {
+        let rel = eval_governed(&v.expr, base_schema, base_db, gov)?;
         out.insert_relation(v.name.clone(), rel);
     }
     Ok(out)

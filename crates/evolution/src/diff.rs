@@ -204,6 +204,7 @@ fn key_names(schema: &Schema, element: &str) -> Vec<String> {
     }
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 fn build_subschema(
     schema: &Schema,
     name: String,

@@ -18,6 +18,8 @@
 //!   after Fagin);
 //! * [`scenario`] — the paper's Figure 5 end-to-end evolution script.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod diff;
 pub mod inverse;
 pub mod merge;

@@ -36,6 +36,7 @@ fn reconcile(a: DataType, b: DataType) -> DataType {
     }
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Merge two schemas modulo `corrs` (correspondences from `left` paths to
 /// `right` paths). Elements/attributes relating the two sides are
 /// collapsed; the left input's names win.

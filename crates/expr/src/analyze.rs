@@ -261,6 +261,7 @@ pub fn output_schema(expr: &Expr, schema: &Schema) -> Result<Vec<Attribute>, Exp
     }
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// The *extent* of entity type `ty`: the union, over `ty` and all its
 /// subtypes, of each subtype's entity set projected onto `ty`'s instance
 /// layout (`$type` first). This is the algebraic reading of the paper's

@@ -17,6 +17,8 @@
 //! The algebra doubles as the execution language of the mapping runtime
 //! (`mm-eval`) and as TransGen's output language.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod algebra;
 pub mod analyze;
 pub mod literal;

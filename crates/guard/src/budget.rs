@@ -1,0 +1,90 @@
+//! Budget declarations.
+
+use std::time::{Duration, Instant};
+
+use crate::CancelToken;
+
+/// Resource caps for one governed operation (or a pipeline of them).
+///
+/// All caps are optional; [`ExecBudget::unbounded`] is the identity
+/// budget that only ever fails through its [`CancelToken`]. The wall
+/// clock cap is anchored at construction time (`with_wall`), so a
+/// budget threaded through several operators bounds their *combined*
+/// elapsed time, not each one separately.
+#[derive(Debug, Clone)]
+pub struct ExecBudget {
+    pub(crate) max_steps: Option<u64>,
+    pub(crate) max_rows: Option<u64>,
+    pub(crate) max_rounds: Option<u64>,
+    pub(crate) max_clauses: Option<u64>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) cancel: CancelToken,
+}
+
+impl ExecBudget {
+    /// No caps; cancellable only.
+    pub fn unbounded() -> Self {
+        ExecBudget {
+            max_steps: None,
+            max_rows: None,
+            max_rounds: None,
+            max_clauses: None,
+            deadline: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Cap logical work units (atom instantiations, join probes).
+    pub fn with_steps(mut self, n: u64) -> Self {
+        self.max_steps = Some(n);
+        self
+    }
+
+    /// Cap materialized tuples.
+    pub fn with_rows(mut self, n: u64) -> Self {
+        self.max_rows = Some(n);
+        self
+    }
+
+    /// Cap fixpoint rounds (chase iterations).
+    pub fn with_rounds(mut self, n: u64) -> Self {
+        self.max_rounds = Some(n);
+        self
+    }
+
+    /// Cap produced clauses (SO-tgd composition output size).
+    pub fn with_clauses(mut self, n: u64) -> Self {
+        self.max_clauses = Some(n);
+        self
+    }
+
+    /// Cap wall-clock time, measured from *now*.
+    pub fn with_wall(mut self, d: Duration) -> Self {
+        self.deadline = Some(Instant::now() + d);
+        self
+    }
+
+    /// Attach an externally held cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    pub fn max_rounds(&self) -> Option<u64> {
+        self.max_rounds
+    }
+
+    pub fn max_clauses(&self) -> Option<u64> {
+        self.max_clauses
+    }
+}
+
+impl Default for ExecBudget {
+    fn default() -> Self {
+        ExecBudget::unbounded()
+    }
+}

@@ -1,0 +1,97 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NEVER: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Fault-injection hook: auto-trip once this many polls have
+    /// happened. `NEVER` disables the hook.
+    trip_at: AtomicU64,
+    polls: AtomicU64,
+}
+
+/// Shared cancellation flag. Clones observe the same flag; any holder
+/// (another thread, a timeout driver, a fault harness) can trip it and
+/// every governed loop will stop at its next poll with
+/// [`crate::ExecError::Cancelled`].
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                trip_at: AtomicU64::new(NEVER),
+                polls: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Fault-injection: arrange for the token to trip itself on its
+    /// `n`-th poll. Deterministic, unlike wall-clock-based cancellation,
+    /// so tests can stop an operator at an exact point mid-run.
+    pub fn trip_after_polls(&self, n: u64) {
+        self.inner.trip_at.store(n, Ordering::Release);
+    }
+
+    /// Number of times governed code has polled this token.
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Acquire)
+    }
+
+    /// Poll from governed code: counts the poll, applies the
+    /// fault-injection trip point, and reports the flag.
+    pub(crate) fn poll(&self) -> bool {
+        let polls = self.inner.polls.fetch_add(1, Ordering::AcqRel) + 1;
+        if polls >= self.inner.trip_at.load(Ordering::Acquire) {
+            self.inner.cancelled.store(true, Ordering::Release);
+        }
+        self.is_cancelled()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn trip_after_polls_is_deterministic() {
+        let t = CancelToken::new();
+        t.trip_after_polls(3);
+        assert!(!t.poll());
+        assert!(!t.poll());
+        assert!(t.poll());
+        assert!(t.is_cancelled());
+    }
+}

@@ -1,0 +1,144 @@
+//! The unified error taxonomy for governed execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// The meterable resources an [`crate::ExecBudget`] can cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Logical units of work (atom instantiations, join probes, term
+    /// evaluations). The finest-grained meter.
+    Steps,
+    /// Tuples materialized into results or intermediate instances.
+    Rows,
+    /// Fixpoint iterations (chase rounds).
+    Rounds,
+    /// Formula clauses produced (SO-tgd composition output).
+    Clauses,
+    /// Elapsed wall-clock time.
+    WallClock,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Resource::Steps => "steps",
+            Resource::Rows => "rows",
+            Resource::Rounds => "rounds",
+            Resource::Clauses => "clauses",
+            Resource::WallClock => "wall-clock",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Typed failure of a governed operation.
+///
+/// Invariant the engine maintains: operators return one of these (or a
+/// degraded result carrying a [`Degradation`]) for *any* input — never
+/// a panic, never an unbounded run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A budget cap was hit. `consumed` is the amount metered when the
+    /// cap tripped (for `WallClock`, milliseconds).
+    BudgetExhausted {
+        resource: Resource,
+        consumed: u64,
+        limit: u64,
+    },
+    /// The cancellation token was tripped; `after_steps` is how much
+    /// work had been metered when the operator noticed.
+    Cancelled { after_steps: u64 },
+    /// A fixpoint failed to converge within its round limit — the
+    /// dependency set is divergent (or the limit is too small).
+    Diverged { rounds: u64 },
+    /// The input asks for something outside the supported fragment
+    /// (e.g. a function term where only first-order terms are legal).
+    Unsupported { what: String },
+    /// Caller-supplied data is structurally invalid (arity mismatch,
+    /// unbound variable, missing column).
+    Malformed { what: String },
+    /// An internal invariant broke. Reported instead of panicking so
+    /// callers can still unwind cleanly.
+    Internal { what: String },
+}
+
+impl ExecError {
+    pub fn unsupported(what: impl Into<String>) -> Self {
+        ExecError::Unsupported { what: what.into() }
+    }
+
+    pub fn malformed(what: impl Into<String>) -> Self {
+        ExecError::Malformed { what: what.into() }
+    }
+
+    pub fn internal(what: impl Into<String>) -> Self {
+        ExecError::Internal { what: what.into() }
+    }
+
+    /// True for errors caused by resource limits (the cases degradation
+    /// strategies may recover from), false for input/logic errors.
+    pub fn is_resource(&self) -> bool {
+        matches!(
+            self,
+            ExecError::BudgetExhausted { .. } | ExecError::Cancelled { .. } | ExecError::Diverged { .. }
+        )
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BudgetExhausted { resource, consumed, limit } => {
+                write!(f, "budget exhausted: {consumed} {resource} consumed (limit {limit})")
+            }
+            ExecError::Cancelled { after_steps } => {
+                write!(f, "cancelled after {after_steps} steps")
+            }
+            ExecError::Diverged { rounds } => {
+                write!(f, "fixpoint diverged: no convergence within {rounds} rounds")
+            }
+            ExecError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            ExecError::Malformed { what } => write!(f, "malformed input: {what}"),
+            ExecError::Internal { what } => write!(f, "internal error: {what}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// How an operator degraded instead of failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationKind {
+    /// Mediator: the pre-composed (collapsed) mapping tripped its
+    /// budget; answered hop-by-hop through the mapping chain instead.
+    CollapsedToChained,
+    /// IVM: delta-rule maintenance tripped its budget; fell back to a
+    /// full recompute of the affected view.
+    IncrementalToRecompute,
+}
+
+impl fmt::Display for DegradationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DegradationKind::CollapsedToChained => "collapsed mediation -> chained unfolding",
+            DegradationKind::IncrementalToRecompute => "incremental maintenance -> full recompute",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Record of a graceful fallback, carried alongside the (still valid)
+/// result so callers can observe that the fast path was abandoned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    pub kind: DegradationKind,
+    /// The resource error that forced the fallback.
+    pub cause: ExecError,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "degraded ({}): {}", self.kind, self.cause)
+    }
+}

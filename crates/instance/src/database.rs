@@ -30,6 +30,7 @@ impl Database {
         Database { name: name.into(), relations: BTreeMap::new(), next_label: 0 }
     }
 
+    #[allow(clippy::expect_used)] // invariant-backed: see expect messages
     /// Create an empty instance of `schema`: one empty relation per
     /// relation/entity-type/nested element (associations become link
     /// relations).

@@ -8,6 +8,8 @@
 //! set-semantics relations, and databases, plus validation of instances
 //! against schemas and their integrity constraints.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod database;
 pub mod relation;
 pub mod validate;

@@ -17,6 +17,8 @@
 //!   re-ranks under user accept/reject feedback (the paper's "incremental
 //!   schema matching").
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod lexical;
 pub mod matcher;
 pub mod memory;

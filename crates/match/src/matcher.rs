@@ -1,5 +1,10 @@
 //! The combining matcher and the incremental (human-in-the-loop) session.
 
+// `expect` here re-raises worker-thread panics from scoped joins and
+// documents enumerated-key invariants — not caller-facing failure modes
+// (DESIGN.md §7).
+#![allow(clippy::expect_used)]
+
 use crate::lexical::{name_similarity, Thesaurus};
 use crate::structural::{Flooding, PairNode};
 use crate::typing::type_similarity;

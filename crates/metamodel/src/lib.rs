@@ -14,6 +14,8 @@
 //! reduces to eliminating the constructs the target profile forbids.
 //! Construct elimination itself lives in the `mm-modelgen` crate.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod builder;
 pub mod constraints;
 pub mod error;

@@ -261,6 +261,7 @@ impl Schema {
         Ok(chain)
     }
 
+    #[allow(clippy::expect_used)] // invariant-backed: see expect messages
     /// All attributes of an entity type, inherited first (root-most first),
     /// then locally declared — the flattened attribute list the instance
     /// layer and ModelGen operate on. For non-entity elements this is just

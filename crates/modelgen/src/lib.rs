@@ -23,6 +23,8 @@
 //!   baseline the paper calls "rather inefficient for data exchange"
 //!   (benchmark EQ2 quantifies this against the compiled views).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod er_rel;
 pub mod nest;
 pub mod nested;

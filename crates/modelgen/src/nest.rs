@@ -13,6 +13,7 @@ use crate::er_rel::{ModelGenError, ModelGenResult};
 use mm_expr::{Expr, Mapping, MappingConstraint, Scalar, ViewDef, ViewSet};
 use mm_metamodel::{Constraint, Element, ElementKind, Metamodel, Schema};
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Translate a flat relational schema into an XML-like schema by turning
 /// single-FK tables into nested collections.
 pub fn nest_relational(rel: &Schema) -> Result<ModelGenResult, ModelGenError> {

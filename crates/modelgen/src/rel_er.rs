@@ -24,6 +24,7 @@ fn table_key(rel: &Schema, table: &str) -> Result<String, ModelGenError> {
         .ok_or_else(|| ModelGenError::NoKey(table.to_string()))
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Translate a flat relational schema into an ER schema: each table
 /// becomes a root entity type; each single-column foreign key becomes an
 /// association (the relational rendering of a reference). Multi-column

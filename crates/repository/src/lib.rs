@@ -10,6 +10,8 @@
 //! themselves are full mapping-language objects rather than "simple
 //! relationships".
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod codec;
 pub mod store;
 

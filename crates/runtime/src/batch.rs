@@ -9,8 +9,9 @@
 //! resulting table rows to the base database — bypassing per-row update
 //! propagation.
 
-use mm_eval::{materialize_views, EvalError};
+use mm_eval::{materialize_views_governed, EvalError};
 use mm_expr::ViewSet;
+use mm_guard::{ExecBudget, Governor};
 use mm_instance::Database;
 use mm_metamodel::Schema;
 
@@ -31,8 +32,27 @@ pub fn batch_load(
     batch: &Database,
     base_db: &mut Database,
 ) -> Result<LoadStats, EvalError> {
+    batch_load_governed(update_views, entity_schema, batch, base_db, &ExecBudget::unbounded())
+}
+
+/// Budgeted variant of [`batch_load`]: the view transformation and the
+/// per-row append both accrue against the budget, so an oversized or
+/// adversarial batch trips a typed error instead of loading unboundedly.
+/// The base database is only mutated after the transformation succeeds in
+/// full, so a budget trip leaves it untouched.
+pub fn batch_load_governed(
+    update_views: &ViewSet,
+    entity_schema: &Schema,
+    batch: &Database,
+    base_db: &mut Database,
+    budget: &ExecBudget,
+) -> Result<LoadStats, EvalError> {
+    let mut gov = Governor::new(budget);
     let staged = batch.total_tuples();
-    let tables = materialize_views(update_views, entity_schema, batch)?;
+    let tables = materialize_views_governed(update_views, entity_schema, batch, &mut gov)?;
+    // Charge the whole append before touching the base database.
+    let append_rows: usize = tables.relations().map(|(_, r)| r.len()).sum();
+    gov.rows_n(append_rows as u64).map_err(EvalError::Exec)?;
     let mut loaded = 0usize;
     for (name, rel) in tables.relations() {
         for t in rel.iter() {

@@ -10,11 +10,16 @@
 //! benchmarks incremental maintenance against recompute to find the
 //! crossover.
 
-use mm_eval::{eval, EvalError};
+use mm_eval::{eval_governed, EvalError};
 use mm_expr::{Expr, ViewSet};
+use mm_guard::{Degradation, DegradationKind, ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Relation, Tuple};
 use mm_metamodel::Schema;
 use std::collections::BTreeMap;
+
+fn malformed_col(col: &str, context: &str) -> EvalError {
+    EvalError::Exec(ExecError::malformed(format!("column '{col}' missing in {context}")))
+}
 
 /// A set-semantics delta: tuples inserted per relation. (Deletions force
 /// recompute in this engine; see module docs.)
@@ -99,14 +104,15 @@ fn delta_eval(
     old_db: &Database,
     new_db: &Database,
     delta_db: &Database,
+    gov: &mut Governor,
 ) -> Result<Relation, EvalError> {
     match expr {
         Expr::Base(_) | Expr::Literal { .. } => {
             // Δ(R) = delta tuples of R; literals never change
             match expr {
-                Expr::Base(_) => eval(expr, schema, delta_db),
+                Expr::Base(_) => eval_governed(expr, schema, delta_db, gov),
                 _ => {
-                    let r = eval(expr, schema, new_db)?;
+                    let r = eval_governed(expr, schema, new_db, gov)?;
                     Ok(Relation::new(r.schema))
                 }
             }
@@ -118,9 +124,11 @@ fn delta_eval(
         | Expr::Distinct { .. }
         | Expr::Union { .. }
         | Expr::Join { .. }
-        | Expr::Product { .. } => delta_structural(expr, schema, old_db, new_db, delta_db),
+        | Expr::Product { .. } => delta_structural(expr, schema, old_db, new_db, delta_db, gov),
         Expr::Diff { .. } | Expr::LeftJoin { .. } | Expr::Aggregate { .. } => {
-            unreachable!("non-monotone operators are routed to recompute")
+            Err(EvalError::Exec(ExecError::internal(
+                "non-monotone operator reached the delta rules; recompute routing failed",
+            )))
         }
     }
 }
@@ -133,24 +141,28 @@ fn delta_structural(
     old_db: &Database,
     new_db: &Database,
     delta_db: &Database,
+    gov: &mut Governor,
 ) -> Result<Relation, EvalError> {
     match expr {
         Expr::Project { input, columns } => {
-            let d = delta_eval(input, schema, old_db, new_db, delta_db)?;
+            let d = delta_eval(input, schema, old_db, new_db, delta_db, gov)?;
             let positions: Vec<usize> = columns
                 .iter()
-                .map(|c| d.schema.position(c).expect("checked statically"))
-                .collect();
+                .map(|c| {
+                    d.schema.position(c).ok_or_else(|| malformed_col(c, "projection delta"))
+                })
+                .collect::<Result<_, _>>()?;
             let out_attrs: Vec<_> =
                 positions.iter().map(|&i| d.schema.attributes[i].clone()).collect();
             let mut out = Relation::new(mm_instance::RelSchema::new(out_attrs));
             for t in d.iter() {
+                gov.row()?;
                 out.insert(t.project(&positions));
             }
             Ok(out)
         }
         Expr::Rename { input, renames } => {
-            let d = delta_eval(input, schema, old_db, new_db, delta_db)?;
+            let d = delta_eval(input, schema, old_db, new_db, delta_db, gov)?;
             let mut attrs = d.schema.attributes.clone();
             for (old, new) in renames {
                 if let Some(a) = attrs.iter_mut().find(|a| &a.name == old) {
@@ -159,15 +171,17 @@ fn delta_structural(
             }
             let mut out = Relation::new(mm_instance::RelSchema::new(attrs));
             for t in d.iter() {
+                gov.row()?;
                 out.insert(t.clone());
             }
             Ok(out)
         }
-        Expr::Distinct { input } => delta_eval(input, schema, old_db, new_db, delta_db),
+        Expr::Distinct { input } => delta_eval(input, schema, old_db, new_db, delta_db, gov),
         Expr::Union { left, right, .. } => {
-            let mut l = delta_eval(left, schema, old_db, new_db, delta_db)?;
-            let r = delta_eval(right, schema, old_db, new_db, delta_db)?;
+            let mut l = delta_eval(left, schema, old_db, new_db, delta_db, gov)?;
+            let r = delta_eval(right, schema, old_db, new_db, delta_db, gov)?;
             for t in r.iter() {
+                gov.row()?;
                 l.insert(t.clone());
             }
             Ok(l)
@@ -187,30 +201,32 @@ fn delta_structural(
                 }
                 _ => unreachable!(),
             };
-            let d = delta_eval(input, schema, old_db, new_db, delta_db)?;
-            run_over_scratch(schema, d, rebuild)
+            let d = delta_eval(input, schema, old_db, new_db, delta_db, gov)?;
+            run_over_scratch(schema, d, rebuild, gov)
         }
         Expr::Join { left, right, on } => {
             // Δ(A ⋈ B) = ΔA ⋈ Bⁿᵉʷ  ∪  Aᵒˡᵈ ⋈ ΔB
-            let da = delta_eval(left, schema, old_db, new_db, delta_db)?;
-            let db_ = delta_eval(right, schema, old_db, new_db, delta_db)?;
-            let b_new = eval(right, schema, new_db)?;
-            let a_old = eval(left, schema, old_db)?;
-            let part1 = join_materialized(&da, &b_new, on)?;
-            let part2 = join_materialized(&a_old, &db_, on)?;
+            let da = delta_eval(left, schema, old_db, new_db, delta_db, gov)?;
+            let db_ = delta_eval(right, schema, old_db, new_db, delta_db, gov)?;
+            let b_new = eval_governed(right, schema, new_db, gov)?;
+            let a_old = eval_governed(left, schema, old_db, gov)?;
+            let part1 = join_materialized(&da, &b_new, on, gov)?;
+            let part2 = join_materialized(&a_old, &db_, on, gov)?;
             let mut out = part1;
             for t in part2.iter() {
+                gov.row()?;
                 out.insert(t.clone());
             }
             Ok(out)
         }
         Expr::Product { left, right } => {
-            let da = delta_eval(left, schema, old_db, new_db, delta_db)?;
-            let db_ = delta_eval(right, schema, old_db, new_db, delta_db)?;
-            let b_new = eval(right, schema, new_db)?;
-            let a_old = eval(left, schema, old_db)?;
-            let mut out = product_materialized(&da, &b_new);
-            for t in product_materialized(&a_old, &db_).iter() {
+            let da = delta_eval(left, schema, old_db, new_db, delta_db, gov)?;
+            let db_ = delta_eval(right, schema, old_db, new_db, delta_db, gov)?;
+            let b_new = eval_governed(right, schema, new_db, gov)?;
+            let a_old = eval_governed(left, schema, old_db, gov)?;
+            let mut out = product_materialized(&da, &b_new, gov)?;
+            for t in product_materialized(&a_old, &db_, gov)?.iter() {
+                gov.row()?;
                 out.insert(t.clone());
             }
             Ok(out)
@@ -225,6 +241,7 @@ fn run_over_scratch(
     schema: &Schema,
     input: Relation,
     rebuild: Box<dyn Fn(Expr) -> Expr>,
+    gov: &mut Governor,
 ) -> Result<Relation, EvalError> {
     use mm_metamodel::{Element, ElementKind};
     let mut scratch_schema = schema.clone();
@@ -236,19 +253,26 @@ fn run_over_scratch(
     let mut scratch_db = Database::new("$scratch");
     scratch_db.insert_relation("$scratch", input);
     let e = rebuild(Expr::base("$scratch"));
-    eval(&e, &scratch_schema, &scratch_db)
+    eval_governed(&e, &scratch_schema, &scratch_db, gov)
 }
 
 fn join_materialized(
     left: &Relation,
     right: &Relation,
     on: &[(String, String)],
+    gov: &mut Governor,
 ) -> Result<Relation, EvalError> {
     use std::collections::HashMap;
-    let l_keys: Vec<usize> =
-        on.iter().map(|(a, _)| left.schema.position(a).expect("join col")).collect();
-    let r_keys: Vec<usize> =
-        on.iter().map(|(_, b)| right.schema.position(b).expect("join col")).collect();
+    let l_keys: Vec<usize> = on
+        .iter()
+        .map(|(a, _)| left.schema.position(a).ok_or_else(|| malformed_col(a, "join delta (left)")))
+        .collect::<Result<_, _>>()?;
+    let r_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, b)| {
+            right.schema.position(b).ok_or_else(|| malformed_col(b, "join delta (right)"))
+        })
+        .collect::<Result<_, _>>()?;
     let keep_right: Vec<usize> =
         (0..right.schema.arity()).filter(|i| !r_keys.contains(i)).collect();
     let mut out_attrs = left.schema.attributes.clone();
@@ -257,6 +281,7 @@ fn join_materialized(
     }
     let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
     for t in right.iter() {
+        gov.step()?;
         let key = t.project(&r_keys);
         if key.values().iter().any(mm_instance::Value::is_null) {
             continue;
@@ -265,12 +290,14 @@ fn join_materialized(
     }
     let mut out = Relation::new(mm_instance::RelSchema::new(out_attrs));
     for lt in left.iter() {
+        gov.step()?;
         let key = lt.project(&l_keys);
         if key.values().iter().any(mm_instance::Value::is_null) {
             continue;
         }
         if let Some(matches) = table.get(&key) {
             for rt in matches {
+                gov.row()?;
                 let mut vals = lt.values().to_vec();
                 for &i in &keep_right {
                     vals.push(rt.values()[i].clone());
@@ -282,16 +309,21 @@ fn join_materialized(
     Ok(out)
 }
 
-fn product_materialized(left: &Relation, right: &Relation) -> Relation {
+fn product_materialized(
+    left: &Relation,
+    right: &Relation,
+    gov: &mut Governor,
+) -> Result<Relation, EvalError> {
     let mut out_attrs = left.schema.attributes.clone();
     out_attrs.extend(right.schema.attributes.iter().cloned());
     let mut out = Relation::new(mm_instance::RelSchema::new(out_attrs));
     for lt in left.iter() {
         for rt in right.iter() {
+            gov.row()?;
             out.insert(lt.concat(rt));
         }
     }
-    out
+    Ok(out)
 }
 
 /// The inserted rows of `expr` under an insert-only base `delta`
@@ -304,25 +336,40 @@ pub fn view_insert_delta(
     old_db: &Database,
     delta: &Delta,
 ) -> Result<Relation, EvalError> {
+    let mut gov = Governor::new(&ExecBudget::unbounded());
+    view_insert_delta_governed(expr, schema, old_db, delta, &mut gov)
+}
+
+/// Budgeted variant of [`view_insert_delta`]: both the delta rules and
+/// the before-image check accrue against `gov`.
+pub fn view_insert_delta_governed(
+    expr: &Expr,
+    schema: &Schema,
+    old_db: &Database,
+    delta: &Delta,
+    gov: &mut Governor,
+) -> Result<Relation, EvalError> {
     let mut new_db = old_db.clone();
     delta.apply_to(&mut new_db);
     if monotone(expr) {
         let delta_db = delta.as_database(schema);
-        let raw = delta_eval(expr, schema, old_db, &new_db, &delta_db)?;
+        let raw = delta_eval(expr, schema, old_db, &new_db, &delta_db, gov)?;
         // delta rules may re-derive tuples that already existed
-        let before = eval(expr, schema, old_db)?;
+        let before = eval_governed(expr, schema, old_db, gov)?;
         let mut out = Relation::new(raw.schema.clone());
         for t in raw.iter() {
+            gov.step()?;
             if !before.contains(t) {
                 out.insert(t.clone());
             }
         }
         Ok(out)
     } else {
-        let before = eval(expr, schema, old_db)?;
-        let after = eval(expr, schema, &new_db)?;
+        let before = eval_governed(expr, schema, old_db, gov)?;
+        let after = eval_governed(expr, schema, &new_db, gov)?;
         let mut out = Relation::new(after.schema.clone());
         for t in after.iter() {
+            gov.step()?;
             if !before.contains(t) {
                 out.insert(t.clone());
             }
@@ -342,28 +389,94 @@ pub fn maintain_insertions(
     delta: &Delta,
     materialized: &mut Database,
 ) -> Result<Vec<(String, MaintenanceStrategy)>, EvalError> {
+    let reports = maintain_insertions_governed(
+        views,
+        base_schema,
+        base_db,
+        delta,
+        materialized,
+        &ExecBudget::unbounded(),
+    )?;
+    Ok(reports.into_iter().map(|r| (r.view, r.strategy)).collect())
+}
+
+/// How one view fared under [`maintain_insertions_governed`].
+#[derive(Debug)]
+pub struct MaintenanceReport {
+    pub view: String,
+    pub strategy: MaintenanceStrategy,
+    /// `Some` when the delta rules tripped the budget and the maintainer
+    /// fell back to a full recompute for this view.
+    pub degradation: Option<Degradation>,
+}
+
+/// Budgeted variant of [`maintain_insertions`]. The step/row budget
+/// governs the incremental pass as a whole; when the delta rules for a
+/// view exhaust it, the maintainer degrades to a full recompute of that
+/// view under a fresh step meter (the wall-clock deadline and the
+/// cancellation token carry over, so the call stays bounded end to end)
+/// and records the [`Degradation`]. Cancellation and non-resource errors
+/// propagate — only `BudgetExhausted` triggers the fallback.
+pub fn maintain_insertions_governed(
+    views: &ViewSet,
+    base_schema: &Schema,
+    base_db: &Database,
+    delta: &Delta,
+    materialized: &mut Database,
+    budget: &ExecBudget,
+) -> Result<Vec<MaintenanceReport>, EvalError> {
     let mut new_db = base_db.clone();
     delta.apply_to(&mut new_db);
     let delta_db = delta.as_database(base_schema);
-    let mut used = Vec::with_capacity(views.views.len());
+    let mut gov = Governor::new(budget);
+    let mut reports = Vec::with_capacity(views.views.len());
     for v in &views.views {
         if monotone(&v.expr) {
-            let d = delta_eval(&v.expr, base_schema, base_db, &new_db, &delta_db)?;
-            if let Some(rel) = materialized.relation_mut(&v.name) {
-                for t in d.iter() {
-                    rel.insert(t.clone());
+            match delta_eval(&v.expr, base_schema, base_db, &new_db, &delta_db, &mut gov) {
+                Ok(d) => {
+                    if let Some(rel) = materialized.relation_mut(&v.name) {
+                        for t in d.iter() {
+                            rel.insert(t.clone());
+                        }
+                    } else {
+                        materialized.insert_relation(v.name.clone(), d);
+                    }
+                    reports.push(MaintenanceReport {
+                        view: v.name.clone(),
+                        strategy: MaintenanceStrategy::Incremental,
+                        degradation: None,
+                    });
                 }
-            } else {
-                materialized.insert_relation(v.name.clone(), d);
+                Err(EvalError::Exec(cause @ ExecError::BudgetExhausted { .. })) => {
+                    let mut recompute_gov = Governor::new(budget);
+                    let r = eval_governed(&v.expr, base_schema, &new_db, &mut recompute_gov)?;
+                    materialized.insert_relation(v.name.clone(), r);
+                    reports.push(MaintenanceReport {
+                        view: v.name.clone(),
+                        strategy: MaintenanceStrategy::Recompute,
+                        degradation: Some(Degradation {
+                            kind: DegradationKind::IncrementalToRecompute,
+                            cause,
+                        }),
+                    });
+                }
+                Err(e) => return Err(e),
             }
-            used.push((v.name.clone(), MaintenanceStrategy::Incremental));
         } else {
-            let r = eval(&v.expr, base_schema, &new_db)?;
+            // Planned recompute (non-monotone view): runs under its own
+            // step meter, like the degraded path, so one expensive
+            // recompute does not starve the incremental views.
+            let mut recompute_gov = Governor::new(budget);
+            let r = eval_governed(&v.expr, base_schema, &new_db, &mut recompute_gov)?;
             materialized.insert_relation(v.name.clone(), r);
-            used.push((v.name.clone(), MaintenanceStrategy::Recompute));
+            reports.push(MaintenanceReport {
+                view: v.name.clone(),
+                strategy: MaintenanceStrategy::Recompute,
+                degradation: None,
+            });
         }
     }
-    Ok(used)
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -491,6 +604,73 @@ mod tests {
         let rel = mat.relation("OrdersPerCustomer").unwrap();
         let row = rel.iter().find(|t| t.values()[0] == Value::Int(1)).unwrap();
         assert_eq!(row.values()[1], Value::Int(2));
+    }
+
+    #[test]
+    fn governed_maintenance_degrades_to_recompute_on_tight_budget() {
+        let (s, db, vs) = setup();
+        let mut mat = materialize_views(&vs, &s, &db).unwrap();
+        let mut delta = Delta::new();
+        delta.insert("Orders", Tuple::from([Value::Int(11), Value::Int(2), Value::Int(80)]));
+        delta.insert("Customers", Tuple::from([Value::Int(3), Value::text("cyd")]));
+        // Probe the two strategies' costs: the delta rules for the join
+        // view touch its before/after images, so the incremental pass
+        // costs strictly more than any single recompute. A budget between
+        // the two trips the delta rules but lets the fallback finish.
+        let mut new_db = db.clone();
+        delta.apply_to(&mut new_db);
+        let delta_db = delta.as_database(&s);
+        let mut inc_gov = Governor::new(&ExecBudget::unbounded());
+        for v in vs.views.iter().filter(|v| monotone(&v.expr)) {
+            delta_eval(&v.expr, &s, &db, &new_db, &delta_db, &mut inc_gov).unwrap();
+        }
+        let inc_cost = inc_gov.steps_consumed();
+        let mut rec_max = 0;
+        for v in &vs.views {
+            let mut g = Governor::new(&ExecBudget::unbounded());
+            mm_eval::eval_governed(&v.expr, &s, &new_db, &mut g).unwrap();
+            rec_max = rec_max.max(g.steps_consumed());
+        }
+        assert!(rec_max < inc_cost, "probe: recompute {rec_max} vs incremental {inc_cost}");
+        let budget = ExecBudget::unbounded().with_steps((rec_max + inc_cost) / 2);
+        let reports =
+            maintain_insertions_governed(&vs, &s, &db, &delta, &mut mat, &budget).unwrap();
+        let degraded: Vec<_> = reports.iter().filter(|r| r.degradation.is_some()).collect();
+        assert!(!degraded.is_empty(), "expected at least one view to degrade: {reports:?}");
+        for r in &degraded {
+            assert_eq!(r.strategy, MaintenanceStrategy::Recompute);
+            let d = r.degradation.as_ref().unwrap();
+            assert_eq!(d.kind, mm_guard::DegradationKind::IncrementalToRecompute);
+            assert!(matches!(d.cause, mm_guard::ExecError::BudgetExhausted { .. }));
+        }
+        // degraded maintenance must still produce the correct views
+        let mut new_db = db.clone();
+        delta.apply_to(&mut new_db);
+        let oracle = materialize_views(&vs, &s, &new_db).unwrap();
+        for (name, rel) in oracle.relations() {
+            assert!(rel.set_eq(mat.relation(name).unwrap()), "view {name} diverged");
+        }
+    }
+
+    #[test]
+    fn governed_maintenance_unbounded_matches_ungoverned() {
+        let (s, db, vs) = setup();
+        let mut mat = materialize_views(&vs, &s, &db).unwrap();
+        let mut delta = Delta::new();
+        delta.insert("Orders", Tuple::from([Value::Int(11), Value::Int(2), Value::Int(80)]));
+        let reports = maintain_insertions_governed(
+            &vs,
+            &s,
+            &db,
+            &delta,
+            &mut mat,
+            &ExecBudget::unbounded(),
+        )
+        .unwrap();
+        assert!(reports.iter().all(|r| r.degradation.is_none()));
+        assert!(reports
+            .iter()
+            .all(|r| r.strategy == MaintenanceStrategy::Incremental));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   re-expressed in the context of the mapped (target) schema;
 //! * [`batch`] — batch loading through a mapping into base relations.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod access;
 pub mod batch;
 pub mod debugger;
@@ -33,12 +35,15 @@ pub mod triggers;
 pub mod updates;
 
 pub use access::{check_query, compile_policy, AccessPolicy, AccessRule, AccessViolation};
-pub use batch::batch_load;
+pub use batch::{batch_load, batch_load_governed};
 pub use indexing::{advise_indexes, IndexRecommendation, IndexUse};
 pub use errors::{translate_violations, TargetError};
 pub use debugger::{trace, Trace, TraceStep};
-pub use ivm::{maintain_insertions, view_insert_delta, Delta, MaintenanceStrategy};
-pub use mediator::Mediator;
+pub use ivm::{
+    maintain_insertions, maintain_insertions_governed, view_insert_delta,
+    view_insert_delta_governed, Delta, MaintenanceReport, MaintenanceStrategy,
+};
+pub use mediator::{MediationMode, MediationResult, Mediator};
 pub use provenance::{explain, Witness};
 pub use sync::{run_sync, translate_rules, SyncRule, SyncStats, TranslatedRule};
 pub use triggers::{compile_triggers, fire_triggers, CompiledTrigger, Firing, Trigger};

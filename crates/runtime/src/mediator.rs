@@ -8,10 +8,31 @@
 //! benchmarks them against each other.
 
 use mm_compose::compose_views;
-use mm_eval::{eval, unfold_query, EvalError};
+use mm_eval::{eval, eval_governed, unfold_query, EvalError};
 use mm_expr::{Expr, ViewSet};
+use mm_guard::{Degradation, DegradationKind, ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Relation};
 use mm_metamodel::Schema;
+
+/// Which mediation strategy produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediationMode {
+    /// The chain was pre-composed into one direct mapping.
+    Collapsed,
+    /// The query was unfolded hop by hop down the chain.
+    Chained,
+}
+
+/// Result of a governed mediation: the rows plus a record of which
+/// strategy ran and whether the mediator had to degrade to produce them.
+#[derive(Debug)]
+pub struct MediationResult {
+    pub rows: Relation,
+    pub mode: MediationMode,
+    /// `Some` when the collapsed plan tripped the budget and the mediator
+    /// fell back to hop-by-hop unfolding.
+    pub degradation: Option<Degradation>,
+}
 
 /// A mediator over a chain of view-defined mappings.
 ///
@@ -76,6 +97,66 @@ impl<'a> Mediator<'a> {
     ) -> Result<Relation, EvalError> {
         let q = unfold_query(query, collapsed);
         eval(&q, self.base_schema, base_db)
+    }
+
+    /// Budgeted [`Self::collapse`]: the size of the composed view
+    /// definitions accrues against the clause budget after each hop, so a
+    /// chain whose composition blows up trips `BudgetExhausted` instead of
+    /// materializing an enormous mapping.
+    pub fn collapse_governed(&self, gov: &mut Governor) -> Result<Option<ViewSet>, ExecError> {
+        let mut iter = self.chain.iter();
+        let Some(first) = iter.next() else { return Ok(None) };
+        let mut acc = (*first).clone();
+        for next in iter {
+            acc = compose_views(&acc, next);
+            let nodes: usize = acc.views.iter().map(|v| v.expr.size()).sum();
+            gov.clauses(nodes as u64)?;
+            gov.steps_n(nodes as u64)?;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Answer a top-level query under a budget, preferring the collapsed
+    /// (pre-composed) mapping and degrading gracefully to hop-by-hop
+    /// unfolding when composing the chain trips the budget.
+    ///
+    /// The degraded attempt restarts the step meter but shares the
+    /// original wall-clock deadline and cancellation token, so the whole
+    /// call stays bounded. Cancellation and errors on the degraded path
+    /// propagate — there is nothing further to fall back to.
+    pub fn answer_governed(
+        &self,
+        query: &Expr,
+        base_db: &Database,
+        budget: &ExecBudget,
+    ) -> Result<MediationResult, EvalError> {
+        let mut gov = Governor::new(budget);
+        match self.collapse_governed(&mut gov) {
+            Ok(Some(collapsed)) => {
+                let q = unfold_query(query, &collapsed);
+                let rows = eval_governed(&q, self.base_schema, base_db, &mut gov)?;
+                Ok(MediationResult { rows, mode: MediationMode::Collapsed, degradation: None })
+            }
+            Ok(None) => {
+                // Empty chain: the query already addresses the base.
+                let rows = eval_governed(query, self.base_schema, base_db, &mut gov)?;
+                Ok(MediationResult { rows, mode: MediationMode::Chained, degradation: None })
+            }
+            Err(cause @ ExecError::BudgetExhausted { .. }) => {
+                let mut gov = Governor::new(budget);
+                let rows =
+                    eval_governed(&self.unfold(query), self.base_schema, base_db, &mut gov)?;
+                Ok(MediationResult {
+                    rows,
+                    mode: MediationMode::Chained,
+                    degradation: Some(Degradation {
+                        kind: DegradationKind::CollapsedToChained,
+                        cause,
+                    }),
+                })
+            }
+            Err(e) => Err(EvalError::Exec(e)),
+        }
     }
 }
 
@@ -171,6 +252,51 @@ mod tests {
         // the optimized unfolding pushes both filters down to People
         let opt = mm_expr::optimize(&m.unfold(&q), &s).unwrap();
         assert!(opt.to_string().contains("People) WHERE"), "{opt}");
+    }
+
+    #[test]
+    fn governed_mediation_prefers_collapsed() {
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let q = Expr::base("RomanAdults").project(&["name"]);
+        let r = m.answer_governed(&q, &db, &ExecBudget::unbounded()).unwrap();
+        assert_eq!(r.mode, MediationMode::Collapsed);
+        assert!(r.degradation.is_none());
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn governed_mediation_degrades_to_chained_on_clause_budget() {
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let q = Expr::base("RomanAdults").project(&["name"]);
+        // clause budget far below the collapsed mapping's expression size
+        let budget = ExecBudget::unbounded().with_clauses(1);
+        let r = m.answer_governed(&q, &db, &budget).unwrap();
+        assert_eq!(r.mode, MediationMode::Chained);
+        let d = r.degradation.expect("collapse should have tripped the budget");
+        assert_eq!(d.kind, DegradationKind::CollapsedToChained);
+        assert!(matches!(d.cause, ExecError::BudgetExhausted { .. }));
+        // the degraded answer still agrees with the ungoverned one
+        let oracle = m.answer_chained(&q, &db).unwrap();
+        assert!(r.rows.set_eq(&oracle));
+    }
+
+    #[test]
+    fn governed_mediation_cancellation_propagates() {
+        use mm_guard::CancelToken;
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let token = CancelToken::new();
+        token.cancel();
+        let q = Expr::base("RomanAdults");
+        let err = m
+            .answer_governed(&q, &db, &ExecBudget::unbounded().with_cancel(token))
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Exec(ExecError::Cancelled { .. })), "{err:?}");
     }
 
     #[test]

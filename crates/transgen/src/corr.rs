@@ -167,6 +167,7 @@ pub fn snowflake_constraints(
     Ok(m)
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// The Clio'00-style direct generator: for each target element with at
 /// least one attribute correspondence, join the involved source elements
 /// along foreign-key paths (anchored at the source element with the most

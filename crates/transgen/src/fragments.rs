@@ -135,6 +135,7 @@ fn parse_type_pred(p: &Predicate) -> Option<Vec<TypeAlt>> {
     }
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Try to recognize the source side as `π_cols(σ_types(ext(T)))`,
 /// `π_cols(ext(T))`, or `σ_types(ext(T))` for some entity type `T` of
 /// `er`.
@@ -170,6 +171,7 @@ fn parse_source(er: &Schema, src: &Expr) -> Option<(String, Vec<TypeAlt>, Vec<St
     None
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Parse every constraint of `mapping` into fragments. The mapping's
 /// source schema is the ER side (`er`), its target the relational side
 /// (`rel`).

@@ -23,6 +23,8 @@
 //! the Clio'00-style "correspondences as a visual programming language"
 //! baseline that generates transformations directly.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod constraint_prop;
 pub mod corr;
 pub mod fragments;

@@ -30,6 +30,7 @@ impl fmt::Display for CoverageGap {
     }
 }
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Statically check that every type and attribute of every hierarchy
 /// touched by `fragments` is stored somewhere.
 pub fn check_coverage(er: &Schema, fragments: &[Fragment]) -> Vec<CoverageGap> {

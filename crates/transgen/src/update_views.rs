@@ -10,6 +10,7 @@ use crate::fragments::{Fragment, TransGenError};
 use mm_expr::{Expr, Predicate, ViewDef, ViewSet};
 use mm_metamodel::Schema;
 
+#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Generate update views (one per fragment whose relational side is a
 /// bare table) over the entity schema.
 pub fn update_views(

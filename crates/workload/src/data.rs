@@ -1,5 +1,10 @@
 //! Instance generators: populate schemas with consistent synthetic data.
 
+// Fixture generators: schemas/data/tgd sets are built from static,
+// known-good literals; `expect`/`unwrap` failures are generator bugs,
+// not runtime failure modes (DESIGN.md §7).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mm_instance::{Database, Tuple, Value};
 use mm_metamodel::{Constraint, DataType, ElementKind, Schema};
 use rand::rngs::SmallRng;

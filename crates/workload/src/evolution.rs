@@ -2,6 +2,11 @@
 //! changes, each with a forward migration and the substitutable
 //! old-over-new mapping needed for view repair by composition.
 
+// Fixture generators: schemas/data/tgd sets are built from static,
+// known-good literals; `expect`/`unwrap` failures are generator bugs,
+// not runtime failure modes (DESIGN.md §7).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mm_expr::{Expr, Predicate, ViewDef, ViewSet};
 use mm_metamodel::{Attribute, DataType, Element, ElementKind, Schema};
 use rand::rngs::SmallRng;

@@ -1,0 +1,174 @@
+//! Fault injection: adversarial inputs for the governance test suite.
+//!
+//! Generators for the ways a model-management operator can run away or
+//! be fed garbage: divergent tgd sets whose chase never closes,
+//! mapping chains whose composition is exponential, malformed SO-tgds
+//! and oversized instances, and pre-armed cancellation tokens for
+//! mid-operation aborts. `tests/governance.rs` drives every engine
+//! operator with these and asserts a typed error or a recorded
+//! degradation — never a panic, never an unbounded run.
+
+use crate::tgds::{binary_schema, composition_chain};
+use mm_expr::{Atom, SoClause, SoTgd, Term, Tgd};
+use mm_guard::CancelToken;
+use mm_instance::{Database, Tuple, Value};
+use mm_metamodel::Schema;
+
+/// A divergent general-chase input: `R0(x, y) → ∃z . R0(y, z)` over a
+/// nonempty `R0`. Every round fires with a fresh labeled null in second
+/// position, so the fixpoint never closes and only a round cap (or
+/// budget) stops the chase.
+pub fn divergent_tgds() -> (Schema, Database, Vec<Tgd>) {
+    let schema = binary_schema("Loop", "R", 1);
+    let mut db = Database::empty_of(&schema);
+    db.insert("R0", Tuple::from([Value::Int(0), Value::Int(1)]));
+    let tgds = vec![Tgd::new(
+        vec![Atom::vars("R0", &["x", "y"])],
+        vec![Atom::vars("R0", &["y", "z"])],
+    )];
+    (schema, db, tgds)
+}
+
+/// A weakly acyclic (terminating) general-chase input: a copy chain
+/// `R0 → R1 → … → R{n-1}` with one seed tuple. The chase closes after
+/// `n` rounds, firing once per hop.
+pub fn terminating_chain(n: usize) -> (Schema, Database, Vec<Tgd>) {
+    let schema = binary_schema("Chain", "R", n);
+    let mut db = Database::empty_of(&schema);
+    db.insert("R0", Tuple::from([Value::Int(0), Value::Int(1)]));
+    let tgds = (0..n.saturating_sub(1))
+        .map(|i| {
+            Tgd::new(
+                vec![Atom::vars(format!("R{i}"), &["x", "y"])],
+                vec![Atom::vars(format!("R{}", i + 1), &["x", "y"])],
+            )
+        })
+        .collect();
+    (schema, db, tgds)
+}
+
+/// A composition input engineered to splice `producers ^ body_atoms`
+/// clauses — exponential in the second mapping's body width. Feed a
+/// clause bound below that count to trip `OutputTooLarge`, or a clause
+/// budget to trip `BudgetExhausted`.
+pub fn exponential_compose(
+    producers: usize,
+    body_atoms: usize,
+) -> (Schema, Schema, Schema, Vec<Tgd>, Vec<Tgd>) {
+    composition_chain(producers, body_atoms)
+}
+
+/// A malformed SO-tgd: the head of its single clause references a
+/// variable the body never binds. Applying it must surface
+/// `ExecError::Malformed`, not a panic.
+pub fn unbound_variable_sotgd() -> (Schema, Schema, SoTgd) {
+    let src = binary_schema("Src", "A", 1);
+    let tgt = binary_schema("Tgt", "B", 1);
+    let so = SoTgd {
+        functions: Vec::new(),
+        clauses: vec![SoClause {
+            body: vec![Atom::vars("A0", &["x", "y"])],
+            eqs: Vec::new(),
+            head: vec![Atom {
+                relation: "B0".into(),
+                terms: vec![Term::var("x"), Term::var("never_bound")],
+            }],
+        }],
+    };
+    (src, tgt, so)
+}
+
+/// An oversized instance: `rows` tuples in the single relation `R0` of a
+/// binary schema. Use with a row budget well below `rows` to verify that
+/// materializing operators stop early instead of buffering everything.
+pub fn oversized_instance(rows: usize) -> (Schema, Database) {
+    let schema = binary_schema("Big", "R", 1);
+    let mut db = Database::empty_of(&schema);
+    for i in 0..rows {
+        db.insert("R0", Tuple::from([Value::Int(i as i64), Value::Int((i + 1) as i64)]));
+    }
+    (schema, db)
+}
+
+/// A self-join workload whose homomorphism search is quadratic in `rows`:
+/// `R0(x, y) & R0(y, z) → ∃w . T0(x, w)` over a dense `R0`. Good for
+/// tripping step budgets inside the join loops rather than at the rim.
+pub fn quadratic_join(rows: usize) -> (Schema, Schema, Database, Vec<Tgd>) {
+    let src = binary_schema("QSrc", "R", 1);
+    let tgt = binary_schema("QTgt", "T", 1);
+    let mut db = Database::empty_of(&src);
+    for i in 0..rows {
+        // a clique-ish graph: everything points at everything mod a band
+        for j in 0..3usize {
+            db.insert(
+                "R0",
+                Tuple::from([Value::Int(i as i64), Value::Int(((i + j) % rows) as i64)]),
+            );
+        }
+    }
+    let tgds = vec![Tgd::new(
+        vec![Atom::vars("R0", &["x", "y"]), Atom::vars("R0", &["y", "z"])],
+        vec![Atom::vars("T0", &["x", "w"])],
+    )];
+    (src, tgt, db, tgds)
+}
+
+/// A cancellation token pre-armed to trip after `polls` governor
+/// safepoints — deterministic mid-operation cancellation without
+/// threads or timing.
+pub fn cancel_after(polls: u64) -> CancelToken {
+    let token = CancelToken::new();
+    token.trip_after_polls(polls);
+    token
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_chase::{chase_general_governed, ChaseOutcome};
+    use mm_guard::ExecBudget;
+
+    #[test]
+    fn divergent_set_never_closes_under_round_cap() {
+        let (_, mut db, tgds) = divergent_tgds();
+        let err = chase_general_governed(
+            &mut db,
+            &tgds,
+            &[],
+            &ExecBudget::unbounded().with_rounds(8),
+        )
+        .unwrap_err();
+        assert!(err.error.is_resource(), "{err}");
+    }
+
+    #[test]
+    fn terminating_chain_closes() {
+        let (_, mut db, tgds) = terminating_chain(4);
+        let out = chase_general_governed(
+            &mut db,
+            &tgds,
+            &[],
+            &ExecBudget::unbounded().with_rounds(64),
+        )
+        .unwrap();
+        assert!(matches!(out, ChaseOutcome::Done(_)));
+        assert_eq!(db.relation("R3").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn oversized_instance_has_requested_rows() {
+        let (_, db) = oversized_instance(100);
+        assert_eq!(db.relation("R0").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn cancel_after_trips_at_the_requested_poll() {
+        let token = cancel_after(3);
+        assert!(!token.is_cancelled());
+        let budget = ExecBudget::unbounded().with_cancel(token.clone());
+        let mut gov = mm_guard::Governor::new(&budget);
+        assert!(gov.check_now().is_ok());
+        assert!(gov.check_now().is_ok());
+        assert!(gov.check_now().is_err());
+    }
+}

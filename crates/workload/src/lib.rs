@@ -9,14 +9,21 @@
 //! controllable producer fan-out (composition blowup), and evolution
 //! chains (Figure 5). Everything is seeded and deterministic.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod data;
 pub mod evolution;
+pub mod faults;
 pub mod perturb;
 pub mod schemas;
 pub mod tgds;
 
 pub use data::{populate_er, populate_relational};
 pub use evolution::{evolution_chain, EvolutionStep};
+pub use faults::{
+    cancel_after, divergent_tgds, exponential_compose, oversized_instance, quadratic_join,
+    terminating_chain, unbound_variable_sotgd,
+};
 pub use perturb::{perturb_schema, GroundTruth};
 pub use schemas::{er_hierarchy, relational_schema, snowflake_schema};
-pub use tgds::{composition_chain, copy_tgds};
+pub use tgds::{binary_schema, composition_chain, copy_tgds};

@@ -1,5 +1,10 @@
 //! Schema generators.
 
+// Fixture generators: schemas/data/tgd sets are built from static,
+// known-good literals; `expect`/`unwrap` failures are generator bugs,
+// not runtime failure modes (DESIGN.md §7).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mm_metamodel::{Attribute, DataType, Element, ElementKind, ForeignKey, Key, Schema};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -1,5 +1,10 @@
 //! tgd-mapping generators for the composition benchmarks (EQ1, EQ7).
 
+// Fixture generators: schemas/data/tgd sets are built from static,
+// known-good literals; `expect`/`unwrap` failures are generator bugs,
+// not runtime failure modes (DESIGN.md §7).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use mm_expr::{Atom, Tgd};
 use mm_metamodel::{Attribute, DataType, Element, ElementKind, Schema};
 

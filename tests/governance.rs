@@ -1,0 +1,334 @@
+//! Tier-1 fault-injection suite: every engine operator, driven with the
+//! adversarial inputs from `mm_workload::faults`, must return a typed
+//! error or a recorded degradation within its budget — never panic,
+//! never run unbounded.
+
+use mm_engine::prelude::*;
+use mm_workload::faults;
+
+fn store_tgd_mapping(engine: &Engine, name: &str, source: &str, target: &str, tgds: Vec<Tgd>) {
+    let mut m = Mapping::new(source, target);
+    for t in tgds {
+        m.push_tgd(t);
+    }
+    engine.add_mapping(name, m);
+}
+
+/// The divergent tgd set trips `Diverged` at the configured round cap
+/// instead of silently stopping or spinning forever.
+#[test]
+fn divergent_chase_trips_diverged() {
+    let (schema, db, tgds) = faults::divergent_tgds();
+    let engine = Engine::with_config(EngineConfig { chase_max_rounds: 16, ..Default::default() });
+    engine.add_schema(schema);
+    store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
+    let err = engine.chase_general("loop", "Loop", &db).unwrap_err();
+    match err {
+        EngineError::Exec(ExecError::Diverged { rounds }) => assert_eq!(rounds, 16),
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+/// The same divergent set under a wall-clock budget stops within the
+/// deadline — boundedness does not depend on the round cap alone.
+#[test]
+fn divergent_chase_respects_wall_clock() {
+    let (schema, db, tgds) = faults::divergent_tgds();
+    let engine = Engine::with_config(EngineConfig {
+        chase_max_rounds: u64::MAX,
+        budget: ExecBudget::unbounded().with_wall(std::time::Duration::from_millis(50)),
+        ..Default::default()
+    });
+    engine.add_schema(schema);
+    store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
+    let started = std::time::Instant::now();
+    let err = engine.chase_general("loop", "Loop", &db).unwrap_err();
+    assert!(started.elapsed() < std::time::Duration::from_secs(10), "ran unbounded");
+    assert!(
+        matches!(err, EngineError::Exec(ExecError::BudgetExhausted { .. })),
+        "expected a budget trip, got {err:?}"
+    );
+}
+
+/// A weakly acyclic set terminates normally under a generous budget —
+/// governance must not break converging runs.
+#[test]
+fn terminating_chain_completes_under_budget() {
+    let (schema, db, tgds) = faults::terminating_chain(5);
+    let engine = Engine::new();
+    engine.add_schema(schema);
+    store_tgd_mapping(&engine, "chain", "Chain", "Chain", tgds);
+    let (out, outcome) = engine.chase_general("chain", "Chain", &db).unwrap();
+    assert!(matches!(outcome, ChaseOutcome::Done(_)));
+    assert_eq!(out.relation("R4").unwrap().len(), 1);
+}
+
+/// Mid-operation cancellation stops an otherwise-unbounded chase: no
+/// round cap, no step cap — the token alone halts it.
+#[test]
+fn cancellation_stops_divergent_chase() {
+    let (schema, db, tgds) = faults::divergent_tgds();
+    let token = faults::cancel_after(5);
+    let engine = Engine::with_config(EngineConfig {
+        chase_max_rounds: u64::MAX,
+        budget: ExecBudget::unbounded().with_cancel(token),
+        ..Default::default()
+    });
+    engine.add_schema(schema);
+    store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
+    let err = engine.chase_general("loop", "Loop", &db).unwrap_err();
+    assert!(matches!(err, EngineError::Exec(ExecError::Cancelled { .. })), "{err:?}");
+}
+
+/// Exchange of an oversized instance trips the row budget with a typed
+/// error instead of materializing everything.
+#[test]
+fn exchange_respects_row_budget() {
+    let (src, db) = faults::oversized_instance(5_000);
+    let tgt = mm_workload::binary_schema("TgtBig", "T", 1);
+    let tgds = vec![Tgd::new(
+        vec![Atom::vars("R0", &["x", "y"])],
+        vec![Atom::vars("T0", &["x", "y"])],
+    )];
+    let engine = Engine::with_config(EngineConfig {
+        budget: ExecBudget::unbounded().with_rows(100),
+        ..Default::default()
+    });
+    engine.add_schema(src);
+    engine.add_schema(tgt);
+    store_tgd_mapping(&engine, "copy", "Big", "TgtBig", tgds);
+    let err = engine.exchange("copy", "TgtBig", &Database::new("Big")).map(|_| ()).err();
+    // empty source: fine. Now the oversized one must trip.
+    assert!(err.is_none() || matches!(err, Some(EngineError::Exec(_))));
+    let err = engine.exchange("copy", "TgtBig", &db).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Exec(ExecError::BudgetExhausted { resource: Resource::Rows, .. })
+        ),
+        "{err:?}"
+    );
+}
+
+/// Under the default (permissive) config the governed exchange agrees
+/// with the legacy ungoverned chase.
+#[test]
+fn governed_exchange_matches_legacy_chase() {
+    let (src, db) = faults::oversized_instance(50);
+    let tgt = mm_workload::binary_schema("TgtBig", "T", 1);
+    let tgds = vec![Tgd::new(
+        vec![Atom::vars("R0", &["x", "y"])],
+        vec![Atom::vars("T0", &["x", "y"])],
+    )];
+    let engine = Engine::new();
+    engine.add_schema(src);
+    engine.add_schema(tgt.clone());
+    store_tgd_mapping(&engine, "copy", "Big", "TgtBig", tgds.clone());
+    let (governed, stats) = engine.exchange("copy", "TgtBig", &db).unwrap();
+    let (legacy, legacy_stats) = chase_st(&tgt, &tgds, &db);
+    assert!(governed.relation("T0").unwrap().set_eq(legacy.relation("T0").unwrap()));
+    assert_eq!(stats.fired, legacy_stats.fired);
+}
+
+/// Exponential SO-tgd composition trips the engine's clause bound with a
+/// typed `ComposeError` instead of materializing 4^4 clauses.
+#[test]
+fn exponential_compose_trips_clause_bound() {
+    let (_, _, _, m12, m23) = faults::exponential_compose(4, 4);
+    let engine = Engine::with_config(EngineConfig {
+        compose_clause_bound: 32, // < 4^4 = 256
+        ..Default::default()
+    });
+    store_tgd_mapping(&engine, "m12", "S1", "S2", m12);
+    store_tgd_mapping(&engine, "m23", "S2", "S3", m23);
+    let err = engine.compose_tgd_mappings("m12", "m23", "m13").unwrap_err();
+    assert!(matches!(err, EngineError::Compose(ComposeError::OutputTooLarge { .. })), "{err:?}");
+}
+
+/// The same composition under a clause *budget* (rather than the bound)
+/// surfaces `BudgetExhausted { resource: Clauses }`.
+#[test]
+fn exponential_compose_trips_clause_budget() {
+    let (_, _, _, m12, m23) = faults::exponential_compose(4, 4);
+    let engine = Engine::with_config(EngineConfig {
+        budget: ExecBudget::unbounded().with_clauses(32),
+        ..Default::default()
+    });
+    store_tgd_mapping(&engine, "m12", "S1", "S2", m12);
+    store_tgd_mapping(&engine, "m23", "S2", "S3", m23);
+    let err = engine.compose_tgd_mappings("m12", "m23", "m13").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::Compose(ComposeError::Exec(ExecError::BudgetExhausted {
+                resource: Resource::Clauses,
+                ..
+            }))
+        ),
+        "{err:?}"
+    );
+}
+
+/// A feasible composition stores the deskolemized first-order mapping.
+#[test]
+fn feasible_compose_stores_folded_mapping() {
+    let (_, _, _, m12, m23) = faults::exponential_compose(2, 2);
+    let engine = Engine::new();
+    store_tgd_mapping(&engine, "m12", "S1", "S2", m12);
+    store_tgd_mapping(&engine, "m23", "S2", "S3", m23);
+    let (so, _folded) = engine.compose_tgd_mappings("m12", "m23", "m13").unwrap();
+    assert_eq!(so.clauses.len(), 4);
+}
+
+/// Applying a malformed SO-tgd (head variable never bound by the body)
+/// returns `Malformed`, not a panic.
+#[test]
+fn malformed_sotgd_yields_typed_error() {
+    let (src, tgt, so) = faults::unbound_variable_sotgd();
+    let mut db = Database::empty_of(&src);
+    db.insert("A0", Tuple::from([Value::Int(1), Value::Int(2)]));
+    let err = apply_sotgd(&so, &db, &tgt).unwrap_err();
+    assert!(matches!(err, ExecError::Malformed { .. }), "{err:?}");
+}
+
+/// The quadratic self-join workload trips a step budget inside the
+/// homomorphism search, and a pre-cancelled token stops evaluation
+/// before any work.
+#[test]
+fn eval_and_hom_search_respect_budgets() {
+    let (src, tgt, db, tgds) = faults::quadratic_join(60);
+    let tight = ExecBudget::unbounded().with_steps(200);
+    let err = chase_st_governed(&tgt, &tgds, &db, &tight).unwrap_err();
+    assert!(err.error.is_resource(), "{err}");
+    assert!(err.stats.rounds <= 1);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = ExecBudget::unbounded().with_cancel(token);
+    let mut gov = Governor::new(&budget);
+    let err = eval_governed(&Expr::base("R0"), &src, &db, &mut gov).unwrap_err();
+    assert!(matches!(err, EvalError::Exec(ExecError::Cancelled { .. })), "{err:?}");
+}
+
+/// Governed batch load of an oversized batch trips the row budget and
+/// leaves the base database untouched.
+#[test]
+fn batch_load_budget_trip_leaves_base_untouched() {
+    let (schema, batch) = faults::oversized_instance(1_000);
+    let mut views = ViewSet::new("Big", "Load");
+    views.push(ViewDef::new("R0", Expr::base("R0")));
+    let mut base = Database::empty_of(&schema);
+    let budget = ExecBudget::unbounded().with_rows(10);
+    let err = batch_load_governed(&views, &schema, &batch, &mut base, &budget).unwrap_err();
+    assert!(matches!(err, EvalError::Exec(ExecError::BudgetExhausted { .. })), "{err:?}");
+    assert_eq!(base.relation("R0").unwrap().len(), 0, "budget trip must not partially load");
+}
+
+/// The governed mediator prefers the collapsed plan and degrades to
+/// chained unfolding — with the degradation recorded — when the collapse
+/// trips the clause budget. Both paths return the same rows.
+#[test]
+fn mediator_degradation_is_recorded_and_correct() {
+    let (schema, db) = faults::oversized_instance(20);
+    let mut l1 = ViewSet::new("Big", "L1");
+    l1.push(ViewDef::new("V1", Expr::base("R0")));
+    let mut l2 = ViewSet::new("L1", "L2");
+    l2.push(ViewDef::new("V2", Expr::base("V1").project(&["a"])));
+    let mediator = Mediator::new(&schema, vec![&l1, &l2]);
+    let q = Expr::base("V2");
+
+    let full = mediator.answer_governed(&q, &db, &ExecBudget::unbounded()).unwrap();
+    assert_eq!(full.mode, MediationMode::Collapsed);
+    assert!(full.degradation.is_none());
+
+    let tight = ExecBudget::unbounded().with_clauses(1);
+    let degraded = mediator.answer_governed(&q, &db, &tight).unwrap();
+    assert_eq!(degraded.mode, MediationMode::Chained);
+    let d = degraded.degradation.expect("degradation must be recorded");
+    assert_eq!(d.kind, DegradationKind::CollapsedToChained);
+    assert!(degraded.rows.set_eq(&full.rows));
+}
+
+/// IVM under a starved budget degrades to recompute per view, records
+/// it, and still produces correct views.
+#[test]
+fn ivm_degradation_is_recorded_and_correct() {
+    let (schema, db) = faults::oversized_instance(200);
+    let mut views = ViewSet::new("Big", "V");
+    views.push(ViewDef::new(
+        "SelfJoin",
+        Expr::base("R0")
+            .join(Expr::base("R0").rename(&[("a", "b"), ("b", "c")]), &[("b", "b")]),
+    ));
+    let mut mat = materialize_views(&views, &schema, &db).unwrap();
+    let mut delta = Delta::new();
+    delta.insert("R0", Tuple::from([Value::Int(9_999), Value::Int(0)]));
+
+    // starve the incremental pass: one step is never enough for the
+    // join's delta rules, but the per-view recompute meter is fresh
+    let budget = ExecBudget::unbounded().with_steps(1);
+    let reports =
+        maintain_insertions_governed(&views, &schema, &db, &delta, &mut mat, &budget);
+    match reports {
+        Ok(reports) => {
+            let r = &reports[0];
+            assert_eq!(r.strategy, MaintenanceStrategy::Recompute);
+            assert!(r.degradation.is_some(), "degradation must be recorded");
+            let mut new_db = db.clone();
+            delta.apply_to(&mut new_db);
+            let oracle = materialize_views(&views, &schema, &new_db).unwrap();
+            assert!(oracle.relation("SelfJoin").unwrap().set_eq(mat.relation("SelfJoin").unwrap()));
+        }
+        // also acceptable: the recompute itself cannot fit one step —
+        // but then the error must be typed, not a panic
+        Err(e) => assert!(matches!(e, EvalError::Exec(ExecError::BudgetExhausted { .. })), "{e:?}"),
+    }
+}
+
+/// Every repository-backed engine operator handles adversarial inputs
+/// with `Ok` or a typed error — this test's completion is the no-panic,
+/// no-unbounded-run guarantee for the whole operator surface.
+#[test]
+fn engine_operator_surface_is_total() {
+    let engine = Engine::with_config(EngineConfig {
+        chase_max_rounds: 8,
+        compose_clause_bound: 64,
+        budget: ExecBudget::unbounded()
+            .with_steps(200_000)
+            .with_rows(100_000)
+            .with_clauses(64)
+            .with_wall(std::time::Duration::from_secs(30)),
+    });
+
+    // missing artifacts: typed repository errors
+    assert!(matches!(engine.exchange("nope", "nope", &Database::new("x")),
+        Err(EngineError::Repository(_))));
+    assert!(matches!(engine.chase_general("nope", "nope", &Database::new("x")),
+        Err(EngineError::Repository(_))));
+    assert!(matches!(engine.compose("nope", "nope", "out"), Err(EngineError::Repository(_))));
+    assert!(matches!(engine.compose_tgd_mappings("nope", "nope", "out"),
+        Err(EngineError::Repository(_))));
+
+    // non-tgd mapping where tgds are required: typed transgen error
+    engine.add_mapping(
+        "views-only",
+        Mapping::with_constraints("A", "B", vec![MappingConstraint::ExprEq {
+            source: Expr::base("X"),
+            target: Expr::base("Y"),
+        }]),
+    );
+    assert!(matches!(engine.compose_tgd_mappings("views-only", "views-only", "out"),
+        Err(EngineError::TransGen(_))));
+
+    // adversarial workloads under the capped config: each is Ok or typed
+    let (schema, db, tgds) = faults::divergent_tgds();
+    engine.add_schema(schema);
+    store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
+    assert!(matches!(engine.chase_general("loop", "Loop", &db),
+        Err(EngineError::Exec(_))));
+
+    let (_, _, _, m12, m23) = faults::exponential_compose(4, 4);
+    store_tgd_mapping(&engine, "m12", "S1", "S2", m12);
+    store_tgd_mapping(&engine, "m23", "S2", "S3", m23);
+    assert!(engine.compose_tgd_mappings("m12", "m23", "m13").is_err());
+}

@@ -236,7 +236,7 @@ proptest! {
         }
         let (chased, _, _) = transport_via(&s2, &m12, &s3, &m23, &d1);
         let so = compose_st_tgds(&m12, &m23, 1 << 12).expect("compose");
-        let direct = apply_sotgd(&so, &d1, &s3);
+        let direct = apply_sotgd(&so, &d1, &s3).expect("apply");
         prop_assert!(hom_equivalent(&chased, &direct));
     }
 
@@ -257,7 +257,7 @@ proptest! {
         for (i, (a, b)) in rows.iter().enumerate() {
             d1.insert(&format!("A{}", i % 2), Tuple::from([Value::Int(*a), Value::Int(*b)]));
         }
-        let via_so = apply_sotgd(&so, &d1, &s3);
+        let via_so = apply_sotgd(&so, &d1, &s3).expect("apply");
         let (via_fo, _) = chase_st(&s3, &tgds, &d1);
         prop_assert!(hom_equivalent(&via_so, &via_fo));
     }
@@ -337,5 +337,56 @@ proptest! {
         let db = populate_er(&er, seed, 3);
         let report = verify_roundtrip(&er, &gen.schema, &frags, &db).expect("roundtrip");
         prop_assert!(report.roundtrips(), "{:?}", report.mismatches);
+    }
+
+    // --- governance: weakly acyclic sets terminate under generous budgets ---
+    #[test]
+    fn weakly_acyclic_chase_terminates_under_budget(hops in 2usize..7) {
+        use mm_workload::faults;
+        let (_, mut db, tgds) = faults::terminating_chain(hops);
+        let budget = ExecBudget::unbounded().with_rounds(64).with_steps(1_000_000);
+        let out = chase_general_governed(&mut db, &tgds, &[], &budget).expect("terminates");
+        prop_assert!(matches!(out, ChaseOutcome::Done(st) if st.fired as usize == hops - 1));
+        prop_assert_eq!(db.relation(&format!("R{}", hops - 1)).expect("last hop").len(), 1);
+    }
+
+    // --- governance: divergent sets trip a typed resource error -------------
+    #[test]
+    fn divergent_chase_trips_resource_error(cap in 1u64..12) {
+        use mm_workload::faults;
+        let (_, mut db, tgds) = faults::divergent_tgds();
+        let budget = ExecBudget::unbounded().with_rounds(cap);
+        let failure = chase_general_governed(&mut db, &tgds, &[], &budget)
+            .expect_err("must not converge");
+        prop_assert!(
+            matches!(
+                failure.error,
+                ExecError::Diverged { .. } | ExecError::BudgetExhausted { .. }
+            ),
+            "unexpected error: {}",
+            failure.error
+        );
+    }
+
+    // --- governance: cancellation stops chase and eval mid-run --------------
+    #[test]
+    fn cancellation_stops_chase_and_eval(polls in 1u64..6) {
+        use mm_workload::faults;
+        // chase: no round cap — the token alone must stop the divergent run
+        let (_, mut db, tgds) = faults::divergent_tgds();
+        let budget = ExecBudget::unbounded().with_cancel(faults::cancel_after(polls));
+        let failure = chase_general_governed(&mut db, &tgds, &[], &budget)
+            .expect_err("cancellation must stop the chase");
+        prop_assert!(matches!(failure.error, ExecError::Cancelled { .. }), "{}", failure.error);
+
+        // eval: the token trips inside the join loops of a large self-join
+        let (schema, big) = faults::oversized_instance(5_000);
+        let q = Expr::base("R0")
+            .join(Expr::base("R0").rename(&[("a", "b"), ("b", "c")]), &[("b", "b")]);
+        let budget = ExecBudget::unbounded().with_cancel(faults::cancel_after(polls));
+        let mut gov = Governor::new(&budget);
+        let err = eval_governed(&q, &schema, &big, &mut gov)
+            .expect_err("cancellation must stop evaluation");
+        prop_assert!(matches!(err, EvalError::Exec(ExecError::Cancelled { .. })), "{err:?}");
     }
 }

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface `mm-repository`'s codec uses: a
+//! cheaply-cloneable immutable `Bytes` with a consuming read cursor, a
+//! growable `BytesMut` writer, and the `Buf`/`BufMut` traits carrying the
+//! little-endian accessors. Semantics match the real crate for that
+//! subset (including panics on over-read, which the codec guards against
+//! with explicit `remaining` checks).
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Immutable shared byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-slice sharing the same allocation. The range is relative to
+    /// the current view.
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(range.start <= range.end && self.start + range.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(n) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read-side accessors (little-endian subset).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_i32_le(&mut self) -> i32;
+    fn get_i64_le(&mut self) -> i64;
+    fn get_f64_le(&mut self) -> f64;
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty) => {{
+        let mut b = [0u8; std::mem::size_of::<$ty>()];
+        b.copy_from_slice($self.take(std::mem::size_of::<$ty>()));
+        <$ty>::from_le_bytes(b)
+    }};
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+
+    fn get_i32_le(&mut self) -> i32 {
+        get_le!(self, i32)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        get_le!(self, i64)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        get_le!(self, f64)
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n).to_vec())
+    }
+}
+
+/// Write-side accessors (little-endian subset).
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i32_le(&mut self, v: i32);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i32_le(&mut self, v: i32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u8(7);
+        w.put_u32_le(0xdead_beef);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i32_le(-12);
+        w.put_i64_le(i64::MIN + 3);
+        w.put_f64_le(1.5);
+        w.put_slice(b"xyz");
+        let mut b = w.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_i32_le(), -12);
+        assert_eq!(b.get_i64_le(), i64::MIN + 3);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert_eq!(&b.copy_to_bytes(3)[..], b"xyz");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_bounds() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..2);
+        assert_eq!(&s2[..], &[3]);
+    }
+}

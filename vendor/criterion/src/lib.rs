@@ -1,0 +1,145 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Provides the API subset the bench targets use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `sample_size`/`bench_with_input`, `BenchmarkId`, `Bencher::iter`, and
+//! `black_box` — backed by a simple wall-clock loop: warm up, then run
+//! enough iterations to fill a short measurement window and report the
+//! mean time per iteration. No statistics, plots, or report files.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement harness handed to the closure under test.
+pub struct Bencher {
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up pass; also seeds the per-iteration estimate
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed();
+
+        // pick an iteration count that fills ~100ms, capped to keep
+        // pathological benches (deliberate blowups) from stalling
+        let budget = Duration::from_millis(100);
+        let iters = if first.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / first.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.measured = Some(start.elapsed() / iters as u32);
+    }
+}
+
+fn run_bench(id: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some(d) => println!("bench {id:<50} {d:>12.2?}/iter"),
+        None => println!("bench {id:<50} (no measurement)"),
+    }
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        // sampling statistics are not modelled; accepted for API parity
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _c: self }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API the test suite uses:
+//! `Strategy` with `prop_map`/`prop_filter`/`prop_recursive`/`boxed`,
+//! strategies for primitive `any`, integer/float ranges, tuple and
+//! `collection::vec` composition, character-class string patterns
+//! (`"[a-z]{0,8}"`), the `prop_oneof!`/`proptest!`/`prop_assert!` macros,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, deliberate for the offline build:
+//! generation is a deterministic function of the test name and case
+//! index (stable across runs, no persistence files), and failing cases
+//! are *not* shrunk — the panic message carries the case seed instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Per-test configuration (subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // the real default is 256; 64 keeps the offline suite quick while
+        // still exercising the space
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Build a union of equally-weighted alternative strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The property-test entry point: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $($crate::proptest!(@one ($cfg); $(#[$meta])* fn $name($($arg in $strat),*) $body);)*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $($crate::proptest!(@one ($crate::ProptestConfig::default()); $(#[$meta])* fn $name($($arg in $strat),*) $body);)*
+    };
+    (@one ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases as u64 {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                // bind the case index into the panic payload path so a
+                // failure names the reproducing seed
+                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                { $body }
+                __guard.disarm();
+            }
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! Concrete generators: xoshiro256++ behind both `SmallRng` and `StdRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+macro_rules! wrapper {
+    ($name:ident) => {
+        #[derive(Debug, Clone)]
+        pub struct $name(Xoshiro256);
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                $name(Xoshiro256::from_u64(seed))
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+    };
+}
+
+wrapper!(SmallRng);
+wrapper!(StdRng);

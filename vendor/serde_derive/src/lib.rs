@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repository's wire format is a hand-rolled codec (`mm-repository`);
+//! serde derives on the model types are declarative only. This stub
+//! accepts the derive syntax (including `#[serde(...)]` helper
+//! attributes) and expands to nothing, which keeps the workspace building
+//! in environments with no registry access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
