@@ -1,0 +1,158 @@
+//! Indexed, semi-naive evaluation core (PR 2): index probes vs scans on
+//! CQ evaluation, and the semi-naive indexed chase vs the naive
+//! full-reevaluation reference.
+//!
+//! Besides the criterion groups, `main` re-measures each point once with
+//! `mm_bench::timed`, asserts the fast and reference paths agree
+//! bit-identically, and writes the `BENCH_eval.json` baseline at the
+//! workspace root (the vendored criterion stub emits no files). The
+//! committed baseline records the headline claim: ≥10× on the largest
+//! exchange-chase workload.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mm_bench::timed;
+use mm_engine::prelude::*;
+use mm_workload::{copy_tgds, faults, tgds::binary_schema};
+use std::io::Write as _;
+
+/// The EQ7 exchange workload: `relations` copy tgds over `rows` tuples
+/// each — the head-satisfaction check is the quadratic hot spot of the
+/// naive chase.
+fn exchange_setup(relations: usize, rows: usize) -> (Schema, Vec<Tgd>, Database) {
+    let src = binary_schema("Src", "A", relations);
+    let tgt = binary_schema("Tgt", "B", relations);
+    let tgds = copy_tgds("A", "B", relations);
+    let mut db = Database::empty_of(&src);
+    for i in 0..relations {
+        for r in 0..rows {
+            db.insert(
+                &format!("A{i}"),
+                Tuple::from([Value::Int(r as i64), Value::Int((r + 1) as i64)]),
+            );
+        }
+    }
+    (tgt, tgds, db)
+}
+
+const CQ_SIZES: [usize; 3] = [200, 1_000, 4_000];
+const CHASE_SIZES: [usize; 3] = [250, 1_000, 4_000];
+
+/// Two-atom self-join `R0(x, y) ∧ R0(y, z)`: the compiled plan probes a
+/// hash index on `R0.0` for the second atom; the naive path re-scans.
+fn bench_cq_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_cq_self_join");
+    group.sample_size(10);
+    for rows in CQ_SIZES {
+        let (_, _, db, tgds) = faults::quadratic_join(rows);
+        let body = tgds[0].body.clone();
+        let budget = ExecBudget::unbounded();
+        let seed = std::collections::HashMap::new();
+        group.bench_with_input(BenchmarkId::new("indexed", rows), &(), |b, _| {
+            b.iter(|| {
+                find_homomorphisms_governed(&body, &db, &seed, &mut Governor::new(&budget))
+                    .expect("unbounded")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", rows), &(), |b, _| {
+            b.iter(|| {
+                find_homomorphisms_naive(&body, &db, &seed, &mut Governor::new(&budget))
+                    .expect("unbounded")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The exchange chase, semi-naive + indexed vs the naive reference.
+fn bench_chase_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_chase_exchange");
+    group.sample_size(10);
+    let budget = ExecBudget::unbounded();
+    for rows in CHASE_SIZES {
+        let (tgt, tgds, db) = exchange_setup(4, rows);
+        group.bench_with_input(BenchmarkId::new("semi_naive_indexed", rows), &(), |b, _| {
+            b.iter(|| chase_st_governed(&tgt, &tgds, &db, &budget).expect("unbounded"))
+        });
+        if rows <= 1_000 {
+            // the reference is quadratic; keep criterion runs bounded
+            group.bench_with_input(BenchmarkId::new("naive_reference", rows), &(), |b, _| {
+                b.iter(|| chase_st_reference(&tgt, &tgds, &db, &budget).expect("unbounded"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One-shot measurements for the committed baseline: every point runs
+/// both paths once, asserts bit-identical results, and records the
+/// speedup.
+fn emit_baseline() {
+    let budget = ExecBudget::unbounded();
+    let mut rows_json: Vec<String> = Vec::new();
+
+    for rows in CQ_SIZES {
+        let (_, _, db, tgds) = faults::quadratic_join(rows);
+        let body = tgds[0].body.clone();
+        let seed = std::collections::HashMap::new();
+        let (fast, fast_t) = timed(|| {
+            find_homomorphisms_governed(&body, &db, &seed, &mut Governor::new(&budget))
+                .expect("unbounded")
+        });
+        let (naive, naive_t) = timed(|| {
+            find_homomorphisms_naive(&body, &db, &seed, &mut Governor::new(&budget))
+                .expect("unbounded")
+        });
+        assert_eq!(fast, naive, "indexed CQ eval diverged from the naive scan");
+        rows_json.push(point_json("cq_self_join", rows, fast.len(), naive_t, fast_t));
+    }
+
+    for rows in CHASE_SIZES {
+        let (tgt, tgds, db) = exchange_setup(4, rows);
+        let (fast, fast_t) = timed(|| chase_st_governed(&tgt, &tgds, &db, &budget).expect("ok"));
+        let (reference, naive_t) =
+            timed(|| chase_st_reference(&tgt, &tgds, &db, &budget).expect("ok"));
+        assert_eq!(fast, reference, "semi-naive chase diverged from the reference");
+        rows_json.push(point_json("chase_exchange_4rel", rows, fast.1.fired, naive_t, fast_t));
+    }
+
+    let body = format!(
+        "{{\n  \"experiment\": \"eval_core\",\n  \"description\": \"indexed, semi-naive evaluation core vs naive reference paths (bit-identical results asserted per point)\",\n  \"command\": \"cargo bench -p mm-bench --bench eval\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_eval.json");
+    f.write_all(body.as_bytes()).expect("write BENCH_eval.json");
+    println!("\nwrote {path}");
+}
+
+fn point_json(
+    workload: &str,
+    size: usize,
+    result_size: usize,
+    naive: std::time::Duration,
+    fast: std::time::Duration,
+) -> String {
+    let speedup = ms(naive) / ms(fast).max(1e-6);
+    println!(
+        "{workload:<22} size {size:>6}: naive {:>10.3} ms, indexed {:>9.3} ms, {speedup:>7.1}x",
+        ms(naive),
+        ms(fast),
+    );
+    format!(
+        "    {{\"workload\": \"{workload}\", \"size\": {size}, \"result_size\": {result_size}, \"naive_ms\": {:.3}, \"indexed_ms\": {:.3}, \"speedup\": {:.1}}}",
+        ms(naive),
+        ms(fast),
+        speedup,
+    )
+}
+
+criterion_group!(benches, bench_cq_join, bench_chase_exchange);
+
+fn main() {
+    benches();
+    emit_baseline();
+}

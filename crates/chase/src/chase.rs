@@ -1,6 +1,17 @@
 //! The chase procedure over tgds and egds.
+//!
+//! Since PR 2 the chase runs on compiled [`TgdPlan`]s (see
+//! [`crate::plan`]): bodies and head-satisfaction checks execute as
+//! indexed slot-binding joins, and the general chase is *semi-naive* —
+//! after the first round each tgd body is only instantiated against
+//! bindings touching at least one tuple inserted since that tgd's last
+//! evaluation. Results are bit-identical (same tuples, same labeled-null
+//! ids, same stats) to the naive full-reevaluation chase, which is kept
+//! as [`chase_st_reference`]/[`chase_general_reference`] for
+//! differential testing and benchmarking.
 
-use mm_eval::cq::{find_homomorphisms_governed, instantiate_atom, Binding};
+use crate::plan::ChaseProgram;
+use mm_eval::plan::{CqPlan, ExecOptions, VarTable};
 use mm_expr::{Atom, Tgd};
 use mm_guard::{ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
@@ -120,64 +131,6 @@ impl From<ChaseFailure> for ExecError {
     }
 }
 
-/// Check whether `head` (with existentials) is already satisfied in `db`
-/// under `binding`: does some extension of the binding to the head's
-/// existential variables map all head atoms into the database? Universal
-/// bindings — including labeled nulls — stay fixed.
-fn head_satisfied(
-    head: &[Atom],
-    binding: &Binding,
-    db: &Database,
-    gov: &mut Governor,
-) -> Result<bool, ExecError> {
-    let mut head_vars = std::collections::BTreeSet::new();
-    for a in head {
-        for t in &a.terms {
-            t.vars(&mut head_vars);
-        }
-    }
-    let seed: Binding = binding
-        .iter()
-        .filter(|(k, _)| head_vars.contains(k.as_str()))
-        .map(|(k, v)| (k.clone(), v.clone()))
-        .collect();
-    Ok(!find_homomorphisms_governed(head, db, &seed, gov)?.is_empty())
-}
-
-/// Fire one tgd binding into `db`: instantiate every head atom (minting
-/// memoized fresh nulls for existentials) and insert the tuples.
-fn fire_head(
-    tgd: &Tgd,
-    b: &Binding,
-    db: &mut Database,
-    stats: &mut ChaseStats,
-    gov: &mut Governor,
-) -> Result<(), ExecError> {
-    // one fresh null per existential variable per firing, shared
-    // across the head atoms of this firing
-    let mut memo: HashMap<String, Value> = HashMap::new();
-    let mut minted = 0usize;
-    for atom in &tgd.head {
-        gov.row()?;
-        let t = {
-            let db_ref = &mut *db;
-            let mut fresh = |v: &str| {
-                memo.entry(v.to_string())
-                    .or_insert_with(|| {
-                        minted += 1;
-                        db_ref.fresh_labeled()
-                    })
-                    .clone()
-            };
-            instantiate_atom(atom, b, &mut fresh)?
-        };
-        db.insert(&atom.relation, t);
-    }
-    stats.nulls += minted;
-    stats.fired += 1;
-    Ok(())
-}
-
 /// The standard chase for **source-to-target** tgds: bodies are evaluated
 /// over `source_db`, heads asserted into a fresh target database. Because
 /// target relations never feed tgd bodies, one pass over the tgds reaches
@@ -208,22 +161,60 @@ pub fn chase_st_governed(
     source_db: &Database,
     budget: &ExecBudget,
 ) -> Result<(Database, ChaseStats), ChaseFailure> {
+    let program = ChaseProgram::compile(tgds, source_db);
+    chase_st_prepared(target_schema, &program, source_db, budget)
+}
+
+/// Source-to-target chase over a pre-compiled [`ChaseProgram`] — the
+/// entry point the engine plan cache uses to amortize tgd compilation
+/// across repeated exchanges of the same mapping.
+pub fn chase_st_prepared(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    budget: &ExecBudget,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
+    chase_st_impl(target_schema, program, source_db, budget, true)
+}
+
+/// Reference (naive) source-to-target chase: identical structure but
+/// every join and satisfaction check runs as a full scan, never an index
+/// probe. Bit-identical to [`chase_st_governed`] by construction — kept
+/// public as the differential-testing oracle and benchmark baseline.
+pub fn chase_st_reference(
+    target_schema: &Schema,
+    tgds: &[Tgd],
+    source_db: &Database,
+    budget: &ExecBudget,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
+    let program = ChaseProgram::compile(tgds, source_db);
+    chase_st_impl(target_schema, &program, source_db, budget, false)
+}
+
+fn chase_st_impl(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    budget: &ExecBudget,
+    use_indexes: bool,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
     let mut gov = Governor::new(budget);
     let mut target = Database::empty_of(target_schema);
     target.set_label_watermark(source_db.label_watermark());
     let mut stats = ChaseStats { rounds: 1, ..Default::default() };
-    for tgd in tgds {
-        let mut run = || -> Result<(), ExecError> {
-            let bindings = find_homomorphisms_governed(&tgd.body, source_db, &Binding::new(), &mut gov)?;
-            for b in bindings {
-                if head_satisfied(&tgd.head, &b, &target, &mut gov)? {
+    for plan in program.plans() {
+        let mut run = |stats: &mut ChaseStats| -> Result<(), ExecError> {
+            let mut matches = Vec::new();
+            plan.body_matches(source_db, use_indexes, &mut gov, &mut matches)?;
+            for m in matches {
+                if plan.head_satisfied(&m.binding, &target, use_indexes, &mut gov)? {
                     continue;
                 }
-                fire_head(tgd, &b, &mut target, &mut stats, &mut gov)?;
+                plan.fire(&m.binding, &mut target, stats, &mut gov)?;
             }
             Ok(())
         };
-        run().map_err(|error| ChaseFailure { error, stats })?;
+        run(&mut stats).map_err(|error| ChaseFailure { error, stats })?;
     }
     Ok((target, stats))
 }
@@ -272,8 +263,50 @@ pub fn chase_general_governed(
     egds: &[Egd],
     budget: &ExecBudget,
 ) -> Result<ChaseOutcome, ChaseFailure> {
+    let program = ChaseProgram::compile(tgds, db);
+    chase_general_prepared(db, &program, egds, budget)
+}
+
+/// General chase over a pre-compiled [`ChaseProgram`] (semi-naive,
+/// indexed) — the entry point for plan-cache reuse across calls.
+pub fn chase_general_prepared(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+) -> Result<ChaseOutcome, ChaseFailure> {
+    chase_general_impl(db, program, egds, budget, true, true)
+}
+
+/// Reference (naive) general chase: every round re-evaluates every tgd
+/// body in full, by scan. Bit-identical to [`chase_general_governed`] —
+/// same tuples, same labeled-null ids, same [`ChaseStats`] — kept public
+/// as the differential-testing oracle and benchmark baseline.
+pub fn chase_general_reference(
+    db: &mut Database,
+    tgds: &[Tgd],
+    egds: &[Egd],
+    budget: &ExecBudget,
+) -> Result<ChaseOutcome, ChaseFailure> {
+    let program = ChaseProgram::compile(tgds, db);
+    chase_general_impl(db, &program, egds, budget, false, false)
+}
+
+#[allow(clippy::type_complexity)] // watermark alias would hide, not help
+fn chase_general_impl(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    semi_naive: bool,
+    use_indexes: bool,
+) -> Result<ChaseOutcome, ChaseFailure> {
     let mut gov = Governor::new(budget);
     let mut stats = ChaseStats::default();
+    // per-tgd semi-naive watermarks: body-relation name → relation length
+    // at this tgd's previous body evaluation. `None` = evaluate in full
+    // (first round, or after an egd rewrite shifted insertion positions).
+    let mut watermarks: Vec<Option<HashMap<String, u32>>> = vec![None; program.len()];
     loop {
         if let Some(limit) = budget.max_rounds() {
             if stats.rounds as u64 >= limit {
@@ -288,48 +321,61 @@ pub fn chase_general_governed(
         let mut changed = false;
         let mut round = |db: &mut Database,
                          stats: &mut ChaseStats,
-                         changed: &mut bool|
+                         changed: &mut bool,
+                         watermarks: &mut Vec<Option<HashMap<String, u32>>>|
          -> Result<Option<ChaseOutcome>, ExecError> {
-            for tgd in tgds {
-                let bindings = find_homomorphisms_governed(&tgd.body, db, &Binding::new(), &mut gov)?;
-                for b in bindings {
-                    if head_satisfied(&tgd.head, &b, db, &mut gov)? {
+            for (ti, plan) in program.plans().iter().enumerate() {
+                let rel_len =
+                    |db: &Database, r: &str| db.relation(r).map_or(0, |rel| rel.tuples().len() as u32);
+                let mut matches = Vec::new();
+                match watermarks[ti].as_ref().filter(|_| semi_naive) {
+                    Some(wm) => {
+                        let grew = plan
+                            .body_rels()
+                            .iter()
+                            .any(|r| rel_len(db, r) > wm.get(r).copied().unwrap_or(0));
+                        if !grew {
+                            // no delta: every body binding was already
+                            // enumerated (and its head satisfied or
+                            // fired) at this tgd's previous evaluation
+                            continue;
+                        }
+                        plan.body_matches_delta(db, wm, use_indexes, &mut gov, &mut matches)?;
+                    }
+                    None => plan.body_matches(db, use_indexes, &mut gov, &mut matches)?,
+                }
+                // record the watermark before firing, so this tgd's own
+                // insertions count as next round's delta
+                watermarks[ti] = Some(
+                    plan.body_rels()
+                        .iter()
+                        .map(|r| (r.clone(), rel_len(db, r)))
+                        .collect(),
+                );
+                for m in matches {
+                    if plan.head_satisfied(&m.binding, db, use_indexes, &mut gov)? {
                         continue;
                     }
-                    fire_head(tgd, &b, db, stats, &mut gov)?;
+                    plan.fire(&m.binding, db, stats, &mut gov)?;
                     *changed = true;
                 }
             }
-            for (i, egd) in egds.iter().enumerate() {
-                let bindings = find_homomorphisms_governed(&egd.body, db, &Binding::new(), &mut gov)?;
-                for b in bindings {
-                    gov.step()?;
-                    let missing = |side: &str| {
-                        ExecError::malformed(format!(
-                            "egd #{i} equates variable '{side}' not bound by its body"
-                        ))
-                    };
-                    let l = b.get(&egd.left).ok_or_else(|| missing(&egd.left))?;
-                    let r = b.get(&egd.right).ok_or_else(|| missing(&egd.right))?;
-                    if l == r {
-                        continue;
-                    }
-                    match (l.is_labeled(), r.is_labeled()) {
-                        (false, false) => return Ok(Some(ChaseOutcome::Failed { egd_index: i })),
-                        (true, _) => {
-                            equate(db, l.clone(), r.clone());
-                            *changed = true;
-                        }
-                        (false, true) => {
-                            equate(db, r.clone(), l.clone());
-                            *changed = true;
-                        }
-                    }
+            let mut egd_changed = false;
+            if let Some(failed) = egd_pass(db, egds, use_indexes, &mut gov, &mut egd_changed)? {
+                return Ok(Some(failed));
+            }
+            if egd_changed {
+                *changed = true;
+                // equate() removes and re-inserts tuples, shifting the
+                // insertion positions the watermarks index — every body
+                // must be evaluated in full next round
+                for w in watermarks.iter_mut() {
+                    *w = None;
                 }
             }
             Ok(None)
         };
-        match round(db, &mut stats, &mut changed) {
+        match round(db, &mut stats, &mut changed, &mut watermarks) {
             Ok(Some(failed)) => return Ok(failed),
             Ok(None) => {}
             Err(error) => return Err(ChaseFailure { error, stats }),
@@ -338,6 +384,60 @@ pub fn chase_general_governed(
             return Ok(ChaseOutcome::Done(stats));
         }
     }
+}
+
+/// One egd pass: evaluate every egd body and resolve violations by
+/// equating labeled nulls (or failing on two distinct constants). Egd
+/// bodies are compiled fresh each pass so the greedy join order tracks
+/// current relation sizes, exactly like the per-call ordering of the
+/// naive path — egd processing order decides which null survives, so it
+/// must not drift between the reference and the indexed chase.
+fn egd_pass(
+    db: &mut Database,
+    egds: &[Egd],
+    use_indexes: bool,
+    gov: &mut Governor,
+    changed: &mut bool,
+) -> Result<Option<ChaseOutcome>, ExecError> {
+    for (i, egd) in egds.iter().enumerate() {
+        let mut table = VarTable::new();
+        let body = CqPlan::compile(&egd.body, &mut table, db, &[]);
+        let mut scratch = vec![None; table.len()];
+        let mut matches = Vec::new();
+        let opts = ExecOptions { use_indexes, ..Default::default() };
+        body.execute_governed(db, &mut scratch, &opts, gov, &mut matches)?;
+        let lslot = table.slot(&egd.left);
+        let rslot = table.slot(&egd.right);
+        for m in matches {
+            gov.step()?;
+            let missing = |side: &str| {
+                ExecError::malformed(format!(
+                    "egd #{i} equates variable '{side}' not bound by its body"
+                ))
+            };
+            let l = lslot
+                .and_then(|s| m.binding[s].clone())
+                .ok_or_else(|| missing(&egd.left))?;
+            let r = rslot
+                .and_then(|s| m.binding[s].clone())
+                .ok_or_else(|| missing(&egd.right))?;
+            if l == r {
+                continue;
+            }
+            match (l.is_labeled(), r.is_labeled()) {
+                (false, false) => return Ok(Some(ChaseOutcome::Failed { egd_index: i })),
+                (true, _) => {
+                    equate(db, l, r);
+                    *changed = true;
+                }
+                (false, true) => {
+                    equate(db, r, l);
+                    *changed = true;
+                }
+            }
+        }
+    }
+    Ok(None)
 }
 
 #[allow(clippy::expect_used)] // invariant-backed: see expect messages
@@ -542,6 +642,83 @@ mod tests {
             chase_general(&mut db, &[], &egds, 10),
             ChaseOutcome::Failed { .. }
         ));
+    }
+
+    #[test]
+    fn semi_naive_general_chase_is_bit_identical_to_reference() {
+        // copy + transitive closure + existential invention: multiple
+        // rounds of semi-naive deltas, null minting order must match
+        let s = SchemaBuilder::new("S")
+            .relation("E", &[("a", DataType::Int), ("b", DataType::Int)])
+            .relation("T", &[("a", DataType::Int), ("b", DataType::Int)])
+            .relation("W", &[("a", DataType::Int), ("w", DataType::Any)])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        for i in 1..6 {
+            db.insert("E", Tuple::from([Value::Int(i), Value::Int(i + 1)]));
+        }
+        let tgds = [
+            Tgd::new(vec![Atom::vars("E", &["x", "y"])], vec![Atom::vars("T", &["x", "y"])]),
+            Tgd::new(
+                vec![Atom::vars("T", &["x", "y"]), Atom::vars("T", &["y", "z"])],
+                vec![Atom::vars("T", &["x", "z"])],
+            ),
+            Tgd::new(vec![Atom::vars("T", &["x", "y"])], vec![Atom::vars("W", &["y", "w"])]),
+        ];
+        let budget = ExecBudget::unbounded().with_rounds(32);
+        let mut fast = db.clone();
+        let mut slow = db;
+        let a = chase_general_governed(&mut fast, &tgds, &[], &budget).unwrap();
+        let b = chase_general_reference(&mut slow, &tgds, &[], &budget).unwrap();
+        assert_eq!(a, b, "outcome (incl. fired/rounds/nulls stats) must match");
+        assert_eq!(fast, slow, "instances must match tuple-for-tuple incl. null ids");
+    }
+
+    #[test]
+    fn semi_naive_with_egd_rewrites_is_bit_identical_to_reference() {
+        // two tgds mint different nulls for the same key; the key egd
+        // equates them mid-chase, which rewrites tuples and forces the
+        // semi-naive watermarks to reset — results must still match
+        let s = SchemaBuilder::new("S")
+            .relation("Src", &[("k", DataType::Int)])
+            .relation("R", &[("k", DataType::Int), ("v", DataType::Any)])
+            .key("R", &["k"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert("Src", Tuple::from([Value::Int(1)]));
+        db.insert("Src", Tuple::from([Value::Int(2)]));
+        let tgds = [
+            Tgd::new(vec![Atom::vars("Src", &["k"])], vec![Atom::vars("R", &["k", "v"])]),
+            Tgd::new(vec![Atom::vars("Src", &["k"])], vec![Atom::vars("R", &["k", "w"])]),
+        ];
+        let egds = egds_from_keys(&s);
+        let budget = ExecBudget::unbounded().with_rounds(32);
+        let mut fast = db.clone();
+        let mut slow = db;
+        let a = chase_general_governed(&mut fast, &tgds, &egds, &budget).unwrap();
+        let b = chase_general_reference(&mut slow, &tgds, &egds, &budget).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.relation("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn st_chase_indexed_is_bit_identical_to_reference() {
+        let tgd = Tgd::new(
+            vec![Atom::vars("Emp", &["e"])],
+            vec![Atom::vars("Mgr", &["e", "m"]), Atom::vars("Person", &["m"])],
+        );
+        let budget = ExecBudget::unbounded();
+        let (fast, fs) =
+            chase_st_governed(&tgt_schema(), std::slice::from_ref(&tgd), &src_db(), &budget)
+                .unwrap();
+        let (slow, ss) =
+            chase_st_reference(&tgt_schema(), std::slice::from_ref(&tgd), &src_db(), &budget)
+                .unwrap();
+        assert_eq!(fs, ss);
+        assert_eq!(fast, slow);
     }
 
     #[test]

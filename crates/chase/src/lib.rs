@@ -23,11 +23,14 @@ pub mod certain;
 pub mod chase;
 pub mod core;
 pub mod hom;
+pub mod plan;
 
 pub use crate::core::core_of;
 pub use certain::certain_answers;
 pub use chase::{
-    chase_general, chase_general_governed, chase_st, chase_st_governed, egds_from_keys,
+    chase_general, chase_general_governed, chase_general_prepared, chase_general_reference,
+    chase_st, chase_st_governed, chase_st_prepared, chase_st_reference, egds_from_keys,
     ChaseFailure, ChaseOutcome, ChaseStats, Egd,
 };
 pub use hom::{exists_hom, hom_equivalent};
+pub use plan::{ChaseProgram, TgdPlan};

@@ -1,5 +1,6 @@
 //! The engine: repository-backed operator invocations.
 
+use mm_chase::ChaseProgram;
 use mm_expr::{CorrespondenceSet, Mapping, SoTgd, Tgd, ViewSet};
 use mm_guard::{ExecBudget, Governor};
 use mm_instance::Database;
@@ -7,7 +8,10 @@ use mm_match::MatchConfig;
 use mm_metamodel::Schema;
 use mm_modelgen::InheritanceStrategy;
 use mm_repository::{ArtifactId, Repository, RepositoryError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Default round cap for the general chase. The general chase may not
 /// terminate (composition of non-s-t tgds is undecidable, §6.1), so the
@@ -34,6 +38,12 @@ pub struct EngineConfig {
     /// Baseline execution budget (steps, rows, wall clock, cancellation)
     /// applied to every governed operator. Defaults to unbounded.
     pub budget: ExecBudget,
+    /// Reuse compiled [`ChaseProgram`]s across calls, keyed by the
+    /// mapping's [`ArtifactId`]. Versioned ids make staleness impossible:
+    /// storing a new mapping version yields a new id and therefore a
+    /// fresh compile. Defaults to `true`; disable to force per-call
+    /// compilation (e.g. when benchmarking compile cost).
+    pub cache_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -42,6 +52,7 @@ impl Default for EngineConfig {
             chase_max_rounds: DEFAULT_CHASE_ROUNDS,
             compose_clause_bound: mm_compose::DEFAULT_CLAUSE_BOUND,
             budget: ExecBudget::unbounded(),
+            cache_plans: true,
         }
     }
 }
@@ -107,17 +118,42 @@ from_err!(Exec, mm_guard::ExecError);
 pub struct Engine {
     pub repo: Repository,
     pub config: EngineConfig,
+    /// Compiled chase programs, keyed by mapping artifact. Interior
+    /// mutability because every operator takes `&self`.
+    chase_plans: Mutex<HashMap<ArtifactId, Arc<ChaseProgram>>>,
 }
 
 impl Engine {
     pub fn new() -> Self {
-        Engine { repo: Repository::new(), config: EngineConfig::default() }
+        Engine::with_config(EngineConfig::default())
     }
 
     /// An engine with explicit governance knobs (round caps, clause
     /// bounds, execution budget).
     pub fn with_config(config: EngineConfig) -> Self {
-        Engine { repo: Repository::new(), config }
+        Engine { repo: Repository::new(), config, chase_plans: Mutex::default() }
+    }
+
+    /// The compiled chase program for mapping artifact `id`, compiling
+    /// (and caching, unless [`EngineConfig::cache_plans`] is off) on
+    /// first use. `db` only supplies join-order selectivity hints for
+    /// that first compile; plan order never affects result sets.
+    fn chase_program(&self, id: &ArtifactId, tgds: &[Tgd], db: &Database) -> Arc<ChaseProgram> {
+        if !self.config.cache_plans {
+            return Arc::new(ChaseProgram::compile(tgds, db));
+        }
+        let mut cache = self.chase_plans.lock();
+        Arc::clone(
+            cache
+                .entry(id.clone())
+                .or_insert_with(|| Arc::new(ChaseProgram::compile(tgds, db))),
+        )
+    }
+
+    /// How many compiled chase programs the engine currently holds —
+    /// observability for tests and tools.
+    pub fn cached_chase_plans(&self) -> usize {
+        self.chase_plans.lock().len()
     }
 
     /// The budget chase-based operators run under: the configured
@@ -392,10 +428,11 @@ impl Engine {
         target_schema: &str,
         source_db: &Database,
     ) -> Result<(Database, mm_chase::ChaseStats), EngineError> {
-        let (m, _) = self.repo.latest_mapping(mapping)?;
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
         let (t, _) = self.schema(target_schema)?;
         let tgds = Self::tgds_of(&m)?;
-        mm_chase::chase_st_governed(&t, &tgds, source_db, &self.config.budget)
+        let program = self.chase_program(&mid, &tgds, source_db);
+        mm_chase::chase_st_prepared(&t, &program, source_db, &self.config.budget)
             .map_err(|f| EngineError::Exec(f.into()))
     }
 
@@ -411,13 +448,14 @@ impl Engine {
         schema: &str,
         source_db: &Database,
     ) -> Result<(Database, mm_chase::ChaseOutcome), EngineError> {
-        let (m, _) = self.repo.latest_mapping(mapping)?;
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
         let (s, _) = self.schema(schema)?;
         let tgds = Self::tgds_of(&m)?;
         let egds = mm_chase::egds_from_keys(&s);
         let mut db = source_db.clone();
+        let program = self.chase_program(&mid, &tgds, &db);
         let outcome =
-            mm_chase::chase_general_governed(&mut db, &tgds, &egds, &self.chase_budget())
+            mm_chase::chase_general_prepared(&mut db, &program, &egds, &self.chase_budget())
                 .map_err(|f| EngineError::Exec(f.into()))?;
         Ok((db, outcome))
     }
@@ -536,6 +574,71 @@ mod tests {
         let (out, stats) = engine.exchange("good", "T", &db).unwrap();
         assert_eq!(out.relation("U").unwrap().len(), 1);
         assert_eq!(stats.fired, 1);
+    }
+
+    #[test]
+    fn plan_cache_reuses_per_mapping_version_and_can_be_disabled() {
+        let copy_mapping = || {
+            let mut m = Mapping::new("S", "T");
+            m.push_tgd(mm_expr::Tgd::new(
+                vec![mm_expr::Atom::vars("R", &["x"])],
+                vec![mm_expr::Atom::vars("U", &["x"])],
+            ));
+            m
+        };
+        let schemas = |engine: &Engine| {
+            let s = SchemaBuilder::new("S")
+                .relation("R", &[("a", DataType::Int)])
+                .build()
+                .unwrap();
+            let t = SchemaBuilder::new("T")
+                .relation("U", &[("a", DataType::Int)])
+                .build()
+                .unwrap();
+            engine.add_schema(s.clone());
+            engine.add_schema(t);
+            s
+        };
+
+        let engine = Engine::new();
+        let s = schemas(&engine);
+        engine.add_mapping("m", copy_mapping());
+        let mut db = Database::empty_of(&s);
+        db.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
+
+        let (out1, _) = engine.exchange("m", "T", &db).unwrap();
+        assert_eq!(engine.cached_chase_plans(), 1);
+        let (out2, _) = engine.exchange("m", "T", &db).unwrap();
+        assert_eq!(engine.cached_chase_plans(), 1); // reused, not recompiled
+        assert_eq!(out1, out2);
+
+        // a new stored version gets a new ArtifactId, hence a new plan
+        engine.add_mapping("m", copy_mapping());
+        engine.exchange("m", "T", &db).unwrap();
+        assert_eq!(engine.cached_chase_plans(), 2);
+
+        // the general chase shares the same cache keyspace (it chases
+        // in place, so its db carries both source and target relations)
+        let both = SchemaBuilder::new("ST")
+            .relation("R", &[("a", DataType::Int)])
+            .relation("U", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        let mut gdb = Database::empty_of(&both);
+        gdb.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
+        engine.chase_general("m", "T", &gdb).unwrap();
+        assert_eq!(engine.cached_chase_plans(), 2);
+
+        // and the knob disables caching entirely
+        let uncached =
+            Engine::with_config(EngineConfig { cache_plans: false, ..Default::default() });
+        let s = schemas(&uncached);
+        uncached.add_mapping("m", copy_mapping());
+        let mut db = Database::empty_of(&s);
+        db.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
+        let (out3, _) = uncached.exchange("m", "T", &db).unwrap();
+        assert_eq!(uncached.cached_chase_plans(), 0);
+        assert_eq!(out1, out3);
     }
 
     #[test]

@@ -25,9 +25,10 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
     pub use crate::script::{run_script, ScriptError};
     pub use mm_chase::{
-        certain_answers, chase_general, chase_general_governed, chase_st, chase_st_governed,
-        core_of, egds_from_keys, exists_hom, hom_equivalent, ChaseFailure, ChaseOutcome,
-        ChaseStats, Egd,
+        certain_answers, chase_general, chase_general_governed, chase_general_prepared,
+        chase_general_reference, chase_st, chase_st_governed, chase_st_prepared,
+        chase_st_reference, core_of, egds_from_keys, exists_hom, hom_equivalent, ChaseFailure,
+        ChaseOutcome, ChaseProgram, ChaseStats, Egd,
     };
     pub use mm_compose::{
         apply_sotgd, apply_sotgd_governed, compose_expr_mappings, compose_st_tgds,
@@ -35,8 +36,9 @@ pub mod prelude {
         try_deskolemize_governed, ComposeError, DEFAULT_CLAUSE_BOUND,
     };
     pub use mm_eval::{
-        eval, eval_governed, find_homomorphisms, find_homomorphisms_governed, materialize_views,
-        materialize_views_governed, unfold_query, EvalError,
+        eval, eval_governed, find_homomorphisms, find_homomorphisms_governed,
+        find_homomorphisms_naive, materialize_views, materialize_views_governed, unfold_query,
+        CqPlan, EvalError, VarTable,
     };
     pub use mm_guard::{
         CancelToken, Degradation, DegradationKind, ExecBudget, ExecError, Governor, Resource,
@@ -66,11 +68,11 @@ pub mod prelude {
     pub use mm_runtime::{
         advise_indexes, batch_load, batch_load_governed, check_query, compile_policy,
         compile_triggers, explain, fire_triggers, maintain_insertions,
-        maintain_insertions_governed, propagate, run_sync, trace, translate_rules,
-        translate_violations, view_insert_delta, view_insert_delta_governed, AccessPolicy,
-        AccessRule, AccessViolation, Delta, Firing, IndexRecommendation, IndexUse,
-        MaintenanceReport, MaintenanceStrategy, MediationMode, MediationResult, Mediator,
-        SyncRule, SyncStats, Trace, TraceStep, Trigger, Witness,
+        maintain_insertions_governed, maintain_insertions_with_plan, propagate, run_sync, trace,
+        translate_rules, translate_violations, view_insert_delta, view_insert_delta_governed,
+        AccessPolicy, AccessRule, AccessViolation, Delta, Firing, IndexRecommendation, IndexUse,
+        MaintenancePlan, MaintenanceReport, MaintenanceStrategy, MediationMode, MediationPlan,
+        MediationResult, Mediator, SyncRule, SyncStats, Trace, TraceStep, Trigger, Witness,
     };
     pub use mm_transgen::{
         check_coverage, check_implication, correspondences_to_views, parse_fragments,

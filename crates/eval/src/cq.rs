@@ -6,24 +6,14 @@
 //! the chase (`mm-chase`), tgd satisfaction checking, and certain-answer
 //! evaluation are built on.
 
-use mm_expr::{Atom, Lit, Term};
+use crate::plan::{lit_to_value, CqPlan, ExecOptions, VarTable};
+use mm_expr::{Atom, Term};
 use mm_guard::{ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
 use std::collections::HashMap;
 
 /// A variable binding: variable name → value.
 pub type Binding = HashMap<String, Value>;
-
-fn lit_to_value(l: &Lit) -> Value {
-    match l {
-        Lit::Int(v) => Value::Int(*v),
-        Lit::Double(v) => Value::Double(*v),
-        Lit::Bool(v) => Value::Bool(*v),
-        Lit::Text(v) => Value::Text(v.clone()),
-        Lit::Date(v) => Value::Date(*v),
-        Lit::Null => Value::Null,
-    }
-}
 
 /// Try to extend `binding` so that `atom` maps onto `tuple`.
 /// Returns `None` on conflict. Function terms never match (they only occur
@@ -53,28 +43,27 @@ fn match_atom(atom: &Atom, tuple: &Tuple, binding: &Binding) -> Option<Binding> 
     Some(b)
 }
 
-#[allow(clippy::expect_used)] // invariant-backed: see expect messages
 /// Order atoms so that atoms sharing variables with already-placed atoms
 /// come early (greedy bound-variable heuristic) — the join-ordering step
-/// of the CQ evaluator. Deterministic for reproducibility.
+/// of the naive CQ evaluator, and the heuristic [`CqPlan`] replicates so
+/// both paths enumerate identically. Deterministic for reproducibility.
 fn order_atoms<'a>(atoms: &'a [Atom], db: &Database) -> Vec<&'a Atom> {
     let mut remaining: Vec<&Atom> = atoms.iter().collect();
     let mut ordered: Vec<&Atom> = Vec::with_capacity(atoms.len());
     let mut bound: std::collections::HashSet<&str> = std::collections::HashSet::new();
-    while !remaining.is_empty() {
-        // pick the atom with the most bound variables; tie-break on the
-        // smallest relation, then on position (determinism)
-        let (idx, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let bound_vars =
-                    a.variables().iter().filter(|v| bound.contains(**v)).count();
-                let size = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
-                (i, (std::cmp::Reverse(bound_vars), size, i))
-            })
-            .min_by_key(|(_, k)| *k)
-            .expect("non-empty");
+    // pick the atom with the most bound variables; tie-break on the
+    // smallest relation, then on position (determinism); the loop ends
+    // when `remaining` is drained and `min_by_key` has nothing to yield
+    while let Some((idx, _)) = remaining
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let bound_vars = a.variables().iter().filter(|v| bound.contains(**v)).count();
+            let size = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
+            (i, (std::cmp::Reverse(bound_vars), size, i))
+        })
+        .min_by_key(|(_, k)| *k)
+    {
         let atom = remaining.remove(idx);
         for v in atom.variables() {
             bound.insert(v);
@@ -112,7 +101,51 @@ pub fn find_homomorphisms_seeded(
 /// observes cancellation) instead of running unbounded. The governor is
 /// borrowed, not owned, so a pipeline (e.g. one chase round firing many
 /// tgds) accumulates work against a single budget.
+///
+/// Since PR 2 this compiles the conjunction into a [`CqPlan`] (slot
+/// bindings, index probes) and executes that; results — including their
+/// order — are identical to [`find_homomorphisms_naive`], which is kept
+/// as the differential-testing oracle. Callers that evaluate the same
+/// conjunction repeatedly should compile a [`CqPlan`] once instead.
 pub fn find_homomorphisms_governed(
+    atoms: &[Atom],
+    db: &Database,
+    seed: &Binding,
+    gov: &mut Governor,
+) -> Result<Vec<Binding>, ExecError> {
+    gov.check_now()?;
+    let mut table = VarTable::new();
+    // intern seed vars first so they get slots (and flow into the output
+    // bindings) even when they never occur in the atoms — the naive path
+    // carries every seed entry through to every result
+    let seed_slots: Vec<(usize, Value)> =
+        seed.iter().map(|(k, v)| (table.intern(k), v.clone())).collect();
+    let prebound: Vec<usize> = seed_slots.iter().map(|(s, _)| *s).collect();
+    let plan = CqPlan::compile(atoms, &mut table, db, &prebound);
+    let mut scratch = vec![None; table.len()];
+    for (s, v) in &seed_slots {
+        scratch[*s] = Some(v.clone());
+    }
+    let mut matches = Vec::new();
+    plan.execute_governed(db, &mut scratch, &ExecOptions::default(), gov, &mut matches)?;
+    Ok(matches
+        .into_iter()
+        .map(|m| {
+            m.binding
+                .into_iter()
+                .enumerate()
+                .filter_map(|(s, v)| Some((table.name(s)?.to_string(), v?)))
+                .collect()
+        })
+        .collect())
+}
+
+/// The naive nested-loop evaluator: scans every relation per atom and
+/// clones a string-keyed binding per probe. Kept as the reference oracle
+/// the compiled-plan path is property-tested against (and as the scan
+/// baseline in the eval bench); new code should call
+/// [`find_homomorphisms_governed`].
+pub fn find_homomorphisms_naive(
     atoms: &[Atom],
     db: &Database,
     seed: &Binding,
@@ -180,6 +213,7 @@ pub fn instantiate_atom(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mm_expr::Lit;
     use mm_instance::RelSchema;
     use mm_metamodel::DataType;
 
@@ -274,6 +308,28 @@ mod tests {
         assert_eq!(t.values()[0], Value::Int(1));
         assert_eq!(t.values()[1], t.values()[2]); // same existential var, same null
         assert!(t.values()[1].is_labeled());
+    }
+
+    #[test]
+    fn compiled_path_agrees_with_naive_oracle_including_order() {
+        let db = db();
+        let cases: Vec<Vec<Atom>> = vec![
+            vec![Atom::vars("E", &["x", "y"]), Atom::vars("E", &["y", "z"])],
+            vec![Atom::vars("E", &["x", "x"])],
+            vec![
+                Atom::new("E", vec![Term::Const(Lit::Int(2)), Term::var("y")]),
+                Atom::vars("E", &["y", "z"]),
+            ],
+            vec![],
+        ];
+        for atoms in cases {
+            let mut g1 = Governor::new(&ExecBudget::unbounded());
+            let mut g2 = Governor::new(&ExecBudget::unbounded());
+            let seed = Binding::from([("w".to_string(), Value::Int(7))]);
+            let fast = find_homomorphisms_governed(&atoms, &db, &seed, &mut g1).unwrap();
+            let slow = find_homomorphisms_naive(&atoms, &db, &seed, &mut g2).unwrap();
+            assert_eq!(fast, slow, "atoms: {atoms:?}");
+        }
     }
 
     #[test]

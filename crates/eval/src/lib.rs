@@ -12,8 +12,12 @@
 
 pub mod cq;
 pub mod engine;
+pub mod plan;
 pub mod view;
 
-pub use cq::{find_homomorphisms, find_homomorphisms_governed, Binding};
+pub use cq::{
+    find_homomorphisms, find_homomorphisms_governed, find_homomorphisms_naive, Binding,
+};
+pub use plan::{AtomRange, CqPlan, ExecOptions, PlanMatch, SlotTerm, VarTable};
 pub use engine::{eval, eval_governed, EvalError};
 pub use view::{materialize_views, materialize_views_governed, unfold_query};

@@ -1,0 +1,558 @@
+//! Compiled conjunctive-query plans.
+//!
+//! A [`CqPlan`] compiles a conjunction of atoms once — variables interned
+//! to dense `usize` slots by a [`VarTable`], a greedy join order fixed up
+//! front, per-atom index-probe patterns precomputed — so evaluation runs
+//! as a backtracking join over a single flat `Vec<Option<Value>>` scratch
+//! instead of cloning a string-keyed `HashMap` per probe. Atom matching
+//! probes a [`mm_instance::RelIndex`] bucket when any column is bound and
+//! falls back to a scan otherwise.
+//!
+//! Execution order is deliberately identical to the naive nested-loop
+//! evaluator in [`crate::cq`]: the join order replicates its greedy
+//! heuristic, and index buckets preserve relation insertion order, so the
+//! compiled path enumerates matches in exactly the order the naive scan
+//! would. Consumers that must be bit-identical to the naive path (the
+//! chase, whose labeled-null ids depend on firing order) rely on this.
+
+use mm_expr::{Atom, Lit, Term};
+use mm_guard::{ExecError, Governor};
+use mm_instance::{Database, RelIndex, Relation, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Lower an expression-level literal to an instance-level value (shared
+/// by the CQ matcher and the chase's head instantiation).
+pub fn lit_to_value(l: &Lit) -> Value {
+    match l {
+        Lit::Int(v) => Value::Int(*v),
+        Lit::Double(v) => Value::Double(*v),
+        Lit::Bool(v) => Value::Bool(*v),
+        Lit::Text(v) => Value::Text(v.clone()),
+        Lit::Date(v) => Value::Date(*v),
+        Lit::Null => Value::Null,
+    }
+}
+
+/// Interner mapping variable names to dense slots. Shared across the
+/// plans of one dependency (tgd body and head intern into the same table)
+/// so a slot identifies a variable across both sides.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+    map: HashMap<String, usize>,
+}
+
+impl VarTable {
+    pub fn new() -> Self {
+        VarTable::default()
+    }
+
+    /// Slot of `name`, allocating the next dense slot on first sight.
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = self.names.len();
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), s);
+        s
+    }
+
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.map.get(name).copied()
+    }
+
+    pub fn name(&self, slot: usize) -> Option<&str> {
+        self.names.get(slot).map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// One term of a compiled atom: an interned variable slot or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotTerm {
+    Var(usize),
+    Const(Value),
+}
+
+/// One atom of a compiled plan, in join order.
+#[derive(Debug, Clone)]
+pub struct AtomPlan {
+    pub relation: String,
+    terms: Vec<SlotTerm>,
+    /// Columns usable as an index-probe key when execution reaches this
+    /// atom: constant columns plus variable columns whose slot is bound
+    /// by an earlier plan atom or pre-bound by the caller's seed.
+    probe_cols: Vec<usize>,
+}
+
+impl AtomPlan {
+    pub fn terms(&self) -> &[SlotTerm] {
+        &self.terms
+    }
+}
+
+/// Per-atom tuple-range restriction for semi-naive evaluation, phrased
+/// in relation insertion positions (watermarks recorded as `rel.len()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomRange {
+    /// All tuples.
+    Full,
+    /// Only tuples inserted before the watermark ("old" tuples).
+    Below(u32),
+    /// Only tuples at or after the watermark (the delta).
+    AtOrAbove(u32),
+}
+
+impl AtomRange {
+    fn admits(self, pos: u32) -> bool {
+        match self {
+            AtomRange::Full => true,
+            AtomRange::Below(w) => pos < w,
+            AtomRange::AtOrAbove(w) => pos >= w,
+        }
+    }
+}
+
+/// One match of a plan: the slot values, plus the insertion position of
+/// the tuple matched at each plan atom (in plan order). The position
+/// vector orders matches exactly as the naive nested-loop enumeration
+/// would (lexicographic comparison), which is what lets the semi-naive
+/// chase recover the naive firing order after evaluating delta splits
+/// out of order.
+#[derive(Debug, Clone)]
+pub struct PlanMatch {
+    pub binding: Vec<Option<Value>>,
+    pub positions: Vec<u32>,
+}
+
+/// Knobs for one plan execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions<'r> {
+    /// Per-plan-atom tuple ranges (plan order); `None` means all tuples.
+    pub ranges: Option<&'r [AtomRange]>,
+    /// Probe relation indexes where a bound column allows it; `false`
+    /// forces the scan path (the benchmarked baseline).
+    pub use_indexes: bool,
+    /// Stop after this many matches (existence checks pass 1).
+    pub limit: Option<usize>,
+}
+
+impl Default for ExecOptions<'_> {
+    fn default() -> Self {
+        ExecOptions { ranges: None, use_indexes: true, limit: None }
+    }
+}
+
+/// A compiled conjunctive query. Compile once, execute many times.
+#[derive(Debug, Clone)]
+pub struct CqPlan {
+    atoms: Vec<AtomPlan>,
+    /// Plan position → index of the originating atom in the source list.
+    source: Vec<usize>,
+    num_slots: usize,
+    /// A function term appeared somewhere: the query matches nothing
+    /// (function terms only occur in SO-tgd heads, which are not chased
+    /// directly — same semantics as the naive matcher).
+    unsat: bool,
+}
+
+impl CqPlan {
+    /// Compile `atoms` against `table`, choosing a greedy join order
+    /// (most already-bound variables first; ties broken by smallest
+    /// relation in `db`, then source position — the exact heuristic of
+    /// the naive evaluator, so both paths enumerate identically).
+    ///
+    /// `prebound` lists slots the caller promises to seed before
+    /// executing; they widen index-probe patterns but deliberately do
+    /// not influence the join order (the naive path ignores seeds when
+    /// ordering). A promised slot left unseeded at execution time only
+    /// costs the probe — execution falls back to a scan.
+    pub fn compile(
+        atoms: &[Atom],
+        table: &mut VarTable,
+        db: &Database,
+        prebound: &[usize],
+    ) -> CqPlan {
+        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+        let mut source = Vec::with_capacity(atoms.len());
+        let mut bound_names: HashSet<&str> = HashSet::new();
+        while let Some((pick, _)) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| {
+                let a = &atoms[ai];
+                let bound_vars =
+                    a.variables().iter().filter(|v| bound_names.contains(**v)).count();
+                let size = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
+                (i, (std::cmp::Reverse(bound_vars), size, ai))
+            })
+            .min_by_key(|(_, k)| *k)
+        {
+            let ai = remaining.remove(pick);
+            for v in atoms[ai].variables() {
+                bound_names.insert(v);
+            }
+            source.push(ai);
+        }
+
+        let mut unsat = false;
+        let prebound: HashSet<usize> = prebound.iter().copied().collect();
+        let mut bound_slots: HashSet<usize> = HashSet::new();
+        let mut plans = Vec::with_capacity(source.len());
+        for &ai in &source {
+            let atom = &atoms[ai];
+            let mut terms = Vec::with_capacity(atom.terms.len());
+            for t in &atom.terms {
+                terms.push(match t {
+                    Term::Var(v) => SlotTerm::Var(table.intern(v)),
+                    Term::Const(l) => SlotTerm::Const(lit_to_value(l)),
+                    Term::Func(..) => {
+                        unsat = true;
+                        SlotTerm::Const(Value::Null)
+                    }
+                });
+            }
+            let probe_cols: Vec<usize> = terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| match t {
+                    SlotTerm::Const(_) => true,
+                    SlotTerm::Var(s) => bound_slots.contains(s) || prebound.contains(s),
+                })
+                .map(|(c, _)| c)
+                .collect();
+            for t in &terms {
+                if let SlotTerm::Var(s) = t {
+                    bound_slots.insert(*s);
+                }
+            }
+            plans.push(AtomPlan { relation: atom.relation.clone(), terms, probe_cols });
+        }
+        CqPlan { atoms: plans, source, num_slots: table.len(), unsat }
+    }
+
+    /// Number of slots the compiling table had seen when this plan was
+    /// built; execution scratch must be at least this long.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    pub fn atoms(&self) -> &[AtomPlan] {
+        &self.atoms
+    }
+
+    /// Plan position → source-atom index.
+    pub fn source_order(&self) -> &[usize] {
+        &self.source
+    }
+
+    /// Execute over `db`. `scratch` carries the seed (pre-bound slots as
+    /// `Some`) and is restored to exactly that seed state on return.
+    /// Every candidate tuple examined is metered as one governor step;
+    /// on a budget trip the error propagates with `scratch` restored.
+    pub fn execute_governed(
+        &self,
+        db: &Database,
+        scratch: &mut [Option<Value>],
+        opts: &ExecOptions<'_>,
+        gov: &mut Governor,
+        out: &mut Vec<PlanMatch>,
+    ) -> Result<(), ExecError> {
+        if self.unsat {
+            return Ok(());
+        }
+        debug_assert!(scratch.len() >= self.num_slots, "scratch shorter than plan slots");
+        let ctx = ExecCtx::prepare(self, db, opts);
+        let mut pos_acc = vec![0u32; self.atoms.len()];
+        let mut walk = Walk { plan: self, ctx: &ctx, opts, out };
+        let result = walk.step(0, scratch, &mut pos_acc, gov);
+        result.map(|_| ())
+    }
+}
+
+/// Per-execution prefetched relation handles and index snapshots (one
+/// `index()` cache lookup per atom instead of one per candidate binding).
+struct ExecCtx<'a> {
+    rels: Vec<Option<&'a Relation>>,
+    indexes: Vec<Option<Arc<RelIndex>>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    fn prepare(plan: &CqPlan, db: &'a Database, opts: &ExecOptions<'_>) -> Self {
+        let rels: Vec<Option<&Relation>> =
+            plan.atoms.iter().map(|a| db.relation(&a.relation)).collect();
+        let indexes = plan
+            .atoms
+            .iter()
+            .zip(&rels)
+            .map(|(a, rel)| match rel {
+                Some(rel) if opts.use_indexes && !a.probe_cols.is_empty() => {
+                    Some(rel.index(&a.probe_cols))
+                }
+                _ => None,
+            })
+            .collect();
+        ExecCtx { rels, indexes }
+    }
+}
+
+struct Walk<'p, 'c, 'o, 'r> {
+    plan: &'p CqPlan,
+    ctx: &'c ExecCtx<'c>,
+    opts: &'o ExecOptions<'r>,
+    out: &'o mut Vec<PlanMatch>,
+}
+
+impl Walk<'_, '_, '_, '_> {
+    /// Returns `Ok(true)` when the match limit was hit (stop unwinding).
+    fn step(
+        &mut self,
+        depth: usize,
+        scratch: &mut [Option<Value>],
+        pos_acc: &mut Vec<u32>,
+        gov: &mut Governor,
+    ) -> Result<bool, ExecError> {
+        if depth == self.plan.atoms.len() {
+            self.out.push(PlanMatch { binding: scratch.to_vec(), positions: pos_acc.clone() });
+            return Ok(self.opts.limit.is_some_and(|l| self.out.len() >= l));
+        }
+        let ap = &self.plan.atoms[depth];
+        let Some(rel) = self.ctx.rels[depth] else {
+            return Ok(false);
+        };
+        let range = self.opts.ranges.map_or(AtomRange::Full, |r| r[depth]);
+        let key = self.ctx.indexes[depth].as_ref().and_then(|_| {
+            let mut k = Vec::with_capacity(ap.probe_cols.len());
+            for &c in &ap.probe_cols {
+                match &ap.terms[c] {
+                    SlotTerm::Const(v) => k.push(v.clone()),
+                    SlotTerm::Var(s) => k.push(scratch[*s].clone()?),
+                }
+            }
+            Some(k)
+        });
+        let mut trail: Vec<usize> = Vec::new();
+        if let (Some(key), Some(idx)) = (key, self.ctx.indexes[depth].as_ref()) {
+            for (pos, tuple) in idx.probe(&key) {
+                if !range.admits(*pos) {
+                    continue;
+                }
+                gov.step()?;
+                let stop =
+                    self.admit(ap, tuple, *pos, depth, scratch, pos_acc, &mut trail, gov)?;
+                if stop {
+                    return Ok(true);
+                }
+            }
+        } else {
+            let tuples = rel.tuples();
+            let (start, end) = match range {
+                AtomRange::Full => (0, tuples.len()),
+                AtomRange::Below(w) => (0, (w as usize).min(tuples.len())),
+                AtomRange::AtOrAbove(w) => ((w as usize).min(tuples.len()), tuples.len()),
+            };
+            for (i, tuple) in tuples[start..end].iter().enumerate() {
+                gov.step()?;
+                let pos = (start + i) as u32;
+                let stop =
+                    self.admit(ap, tuple, pos, depth, scratch, pos_acc, &mut trail, gov)?;
+                if stop {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Try to match `tuple` at `depth` and recurse; always unwinds the
+    /// bindings this tuple introduced.
+    #[allow(clippy::too_many_arguments)] // internal hot path, grouping would just re-spell the struct
+    fn admit(
+        &mut self,
+        ap: &AtomPlan,
+        tuple: &Tuple,
+        pos: u32,
+        depth: usize,
+        scratch: &mut [Option<Value>],
+        pos_acc: &mut Vec<u32>,
+        trail: &mut Vec<usize>,
+        gov: &mut Governor,
+    ) -> Result<bool, ExecError> {
+        let matched = try_match(ap, tuple, scratch, trail);
+        let mut stop = false;
+        if matched {
+            pos_acc[depth] = pos;
+            match self.step(depth + 1, scratch, pos_acc, gov) {
+                Ok(s) => stop = s,
+                Err(e) => {
+                    for s in trail.drain(..) {
+                        scratch[s] = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for s in trail.drain(..) {
+            scratch[s] = None;
+        }
+        Ok(stop)
+    }
+}
+
+/// Extend `scratch` so `ap` maps onto `tuple`; newly bound slots are
+/// recorded on `trail` for the caller to unwind. Returns `false` on any
+/// conflict (partial binds stay on the trail).
+fn try_match(
+    ap: &AtomPlan,
+    tuple: &Tuple,
+    scratch: &mut [Option<Value>],
+    trail: &mut Vec<usize>,
+) -> bool {
+    let vals = tuple.values();
+    if vals.len() != ap.terms.len() {
+        return false;
+    }
+    for (c, term) in ap.terms.iter().enumerate() {
+        match term {
+            SlotTerm::Const(v) => {
+                if v != &vals[c] {
+                    return false;
+                }
+            }
+            SlotTerm::Var(s) => match &scratch[*s] {
+                Some(b) => {
+                    if b != &vals[c] {
+                        return false;
+                    }
+                }
+                None => {
+                    scratch[*s] = Some(vals[c].clone());
+                    trail.push(*s);
+                }
+            },
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_guard::ExecBudget;
+    use mm_instance::RelSchema;
+    use mm_metamodel::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new("D");
+        let mut r = mm_instance::Relation::new(RelSchema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+        ]));
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            r.insert(Tuple::from([Value::Int(a), Value::Int(b)]));
+        }
+        db.insert_relation("E", r);
+        db
+    }
+
+    fn run(plan: &CqPlan, table: &VarTable, db: &Database, opts: &ExecOptions<'_>) -> Vec<PlanMatch> {
+        let mut gov = Governor::new(&ExecBudget::unbounded());
+        let mut scratch = vec![None; table.len()];
+        let mut out = Vec::new();
+        plan.execute_governed(db, &mut scratch, opts, &mut gov, &mut out).unwrap();
+        assert!(scratch.iter().all(Option::is_none), "scratch not restored");
+        out
+    }
+
+    #[test]
+    fn indexed_and_scan_paths_agree_including_order() {
+        let db = db();
+        let atoms = [Atom::vars("E", &["x", "y"]), Atom::vars("E", &["y", "z"])];
+        let mut table = VarTable::new();
+        let plan = CqPlan::compile(&atoms, &mut table, &db, &[]);
+        let indexed = run(&plan, &table, &db, &ExecOptions::default());
+        let scanned =
+            run(&plan, &table, &db, &ExecOptions { use_indexes: false, ..Default::default() });
+        assert_eq!(indexed.len(), 2);
+        assert_eq!(indexed.len(), scanned.len());
+        for (a, b) in indexed.iter().zip(&scanned) {
+            assert_eq!(a.binding, b.binding);
+            assert_eq!(a.positions, b.positions);
+        }
+    }
+
+    #[test]
+    fn ranges_restrict_to_delta_tuples() {
+        let db = db();
+        let atoms = [Atom::vars("E", &["x", "y"])];
+        let mut table = VarTable::new();
+        let plan = CqPlan::compile(&atoms, &mut table, &db, &[]);
+        let delta = run(
+            &plan,
+            &table,
+            &db,
+            &ExecOptions { ranges: Some(&[AtomRange::AtOrAbove(2)]), ..Default::default() },
+        );
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].positions, [2]);
+        let old = run(
+            &plan,
+            &table,
+            &db,
+            &ExecOptions { ranges: Some(&[AtomRange::Below(2)]), ..Default::default() },
+        );
+        assert_eq!(old.len(), 2);
+    }
+
+    #[test]
+    fn limit_short_circuits() {
+        let db = db();
+        let atoms = [Atom::vars("E", &["x", "y"])];
+        let mut table = VarTable::new();
+        let plan = CqPlan::compile(&atoms, &mut table, &db, &[]);
+        let one = run(&plan, &table, &db, &ExecOptions { limit: Some(1), ..Default::default() });
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].positions, [0]);
+    }
+
+    #[test]
+    fn prebound_slot_enables_probe_and_seeded_run() {
+        let db = db();
+        let atoms = [Atom::vars("E", &["x", "y"])];
+        let mut table = VarTable::new();
+        let x = table.intern("x");
+        let plan = CqPlan::compile(&atoms, &mut table, &db, &[x]);
+        let mut gov = Governor::new(&ExecBudget::unbounded());
+        let mut scratch = vec![None; table.len()];
+        scratch[x] = Some(Value::Int(2));
+        let mut out = Vec::new();
+        plan.execute_governed(&db, &mut scratch, &ExecOptions::default(), &mut gov, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].binding[table.slot("y").unwrap()], Some(Value::Int(3)));
+        // only the probed bucket was metered, not the whole relation
+        assert_eq!(gov.steps_consumed(), 1);
+        assert_eq!(scratch[x], Some(Value::Int(2)), "seed preserved");
+    }
+
+    #[test]
+    fn function_terms_make_the_plan_unsatisfiable() {
+        let db = db();
+        let atoms = [Atom::new(
+            "E",
+            vec![Term::Func("f".into(), vec![]), Term::var("y")],
+        )];
+        let mut table = VarTable::new();
+        let plan = CqPlan::compile(&atoms, &mut table, &db, &[]);
+        assert!(run(&plan, &table, &db, &ExecOptions::default()).is_empty());
+    }
+}

@@ -16,6 +16,6 @@ pub mod validate;
 pub mod value;
 
 pub use database::Database;
-pub use relation::{RelSchema, Relation, Tuple};
+pub use relation::{RelIndex, RelSchema, Relation, Tuple};
 pub use validate::{validate, InstanceViolation};
 pub use value::Value;

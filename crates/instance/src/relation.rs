@@ -2,8 +2,9 @@
 
 use crate::value::Value;
 use mm_metamodel::{Attribute, DataType};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -29,9 +30,28 @@ impl Tuple {
         self.0.len()
     }
 
-    /// Project onto the given positions.
+    /// Project onto the given positions. Out-of-range positions yield
+    /// [`Value::Null`] rather than panicking (the §7 no-panic guarantee on
+    /// caller data): a NULL join key matches nothing under SQL semantics,
+    /// so a malformed projection degrades to an empty join instead of
+    /// aborting. Use [`Tuple::try_project`] where out-of-range positions
+    /// must be detected instead of absorbed.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(positions.iter().map(|&i| self.0[i].clone()).collect())
+        Tuple::new(
+            positions
+                .iter()
+                .map(|&i| self.0.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+
+    /// Strict projection: `None` if any position is out of range.
+    pub fn try_project(&self, positions: &[usize]) -> Option<Tuple> {
+        positions
+            .iter()
+            .map(|&i| self.0.get(i).cloned())
+            .collect::<Option<Vec<Value>>>()
+            .map(Tuple::new)
     }
 
     /// Concatenate with another tuple.
@@ -106,6 +126,48 @@ impl RelSchema {
     }
 }
 
+/// A hash index over one bound-position pattern of a relation.
+///
+/// Buckets map the projected key values at `positions` to the tuples
+/// carrying them, each paired with its insertion position in the backing
+/// relation. Bucket entries preserve relation insertion order, so an
+/// index probe enumerates exactly the subsequence a full scan with a
+/// filter would — evaluation results are order-identical either way, and
+/// the positions let semi-naive consumers restrict a probe to delta
+/// tuples (`pos >= watermark`) without touching the rest of the bucket.
+#[derive(Debug, Clone, Default)]
+pub struct RelIndex {
+    positions: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<(u32, Tuple)>>,
+}
+
+impl RelIndex {
+    fn build(positions: &[usize], tuples: &[Tuple]) -> Self {
+        let mut idx = RelIndex { positions: positions.to_vec(), buckets: HashMap::new() };
+        for (i, t) in tuples.iter().enumerate() {
+            idx.add(i as u32, t);
+        }
+        idx
+    }
+
+    fn add(&mut self, pos: u32, tuple: &Tuple) {
+        let key = tuple.project(&self.positions).values().to_vec();
+        self.buckets.entry(key).or_default().push((pos, tuple.clone()));
+    }
+
+    /// The bound-position pattern this index covers.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// All `(insertion position, tuple)` pairs whose projection onto the
+    /// index pattern equals `key`, in insertion order. Empty slice when no
+    /// tuple matches.
+    pub fn probe(&self, key: &[Value]) -> &[(u32, Tuple)] {
+        self.buckets.get(key).map_or(&[], Vec::as_slice)
+    }
+}
+
 /// A set-semantics relation instance: dedup on insert, deterministic
 /// (insertion-order) iteration.
 ///
@@ -113,17 +175,42 @@ impl RelSchema {
 /// (instance-level semantics over sets of tuples); bag behaviour where it
 /// matters (UNION ALL in generated queries, Fig 3) is handled by the
 /// evaluator before tuples land in a relation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Relations also carry a cache of [`RelIndex`]es keyed by bound-position
+/// pattern, built lazily on first probe and maintained incrementally on
+/// insert (removal invalidates the cache — deletions are rare relative to
+/// probes in this engine). The cache lives behind a lock so probing works
+/// through `&Relation`; it is never serialized or compared.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct Relation {
     pub schema: RelSchema,
     tuples: Vec<Tuple>,
     #[serde(skip)]
     seen: HashSet<Tuple>,
+    #[serde(skip)]
+    indexes: RwLock<HashMap<Vec<usize>, Arc<RelIndex>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        // index caches are rebuilt lazily on the clone's first probe
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuples.clone(),
+            seen: self.seen.clone(),
+            indexes: RwLock::default(),
+        }
+    }
 }
 
 impl Relation {
     pub fn new(schema: RelSchema) -> Self {
-        Relation { schema, tuples: Vec::new(), seen: HashSet::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+            seen: HashSet::new(),
+            indexes: RwLock::default(),
+        }
     }
 
     pub fn with_tuples(schema: RelSchema, tuples: impl IntoIterator<Item = Tuple>) -> Self {
@@ -143,18 +230,17 @@ impl Relation {
             self.schema.arity(),
             "arity mismatch inserting into relation"
         );
-        if self.seen.insert(tuple.clone()) {
-            self.tuples.push(tuple);
-            true
-        } else {
-            false
-        }
+        self.insert_unchecked(tuple)
     }
 
     /// Insert without the arity debug-check. Only for tests that exercise
     /// the instance validator's handling of malformed data.
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
         if self.seen.insert(tuple.clone()) {
+            let pos = self.tuples.len() as u32;
+            for idx in self.indexes.get_mut().values_mut() {
+                Arc::make_mut(idx).add(pos, &tuple);
+            }
             self.tuples.push(tuple);
             true
         } else {
@@ -173,6 +259,9 @@ impl Relation {
             if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
                 self.tuples.remove(pos);
             }
+            // removal shifts insertion positions; drop the whole cache
+            // rather than patching every bucket
+            self.indexes.get_mut().clear();
             true
         } else {
             false
@@ -191,6 +280,31 @@ impl Relation {
         self.tuples.iter()
     }
 
+    /// The tuples in insertion order. Position `i` in this slice is the
+    /// insertion position reported by [`RelIndex::probe`], and the slice
+    /// tail from a recorded length watermark is exactly the delta since
+    /// that watermark (as long as no removal happened in between).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The hash index for the bound-position pattern `positions`, built
+    /// on first request and cached; subsequent inserts maintain it
+    /// incrementally, removals invalidate it. The returned handle stays
+    /// valid (a snapshot) even if the relation changes afterwards.
+    pub fn index(&self, positions: &[usize]) -> Arc<RelIndex> {
+        if let Some(idx) = self.indexes.read().get(positions) {
+            return Arc::clone(idx);
+        }
+        let mut cache = self.indexes.write();
+        // re-check under the write lock: another thread may have built it
+        Arc::clone(
+            cache
+                .entry(positions.to_vec())
+                .or_insert_with(|| Arc::new(RelIndex::build(positions, &self.tuples))),
+        )
+    }
+
     /// Sorted copy of the tuples — canonical form for equality checks in
     /// tests and roundtripping verification.
     pub fn sorted_tuples(&self) -> Vec<Tuple> {
@@ -206,9 +320,10 @@ impl Relation {
     }
 
     /// Rebuild the dedup index (needed after deserialization, where the
-    /// `seen` set is skipped).
+    /// `seen` set is skipped) and drop any stale hash-index cache.
     pub fn rebuild_index(&mut self) {
         self.seen = self.tuples.iter().cloned().collect();
+        self.indexes.get_mut().clear();
     }
 }
 
@@ -299,6 +414,73 @@ mod tests {
             tp.concat(&q),
             Tuple::new(vec![Value::Int(1), Value::text("x"), Value::Bool(true), Value::Int(9)])
         );
+    }
+
+    #[test]
+    fn project_clamps_out_of_range_to_null() {
+        let tp = Tuple::from([Value::Int(1), Value::text("x")]);
+        assert_eq!(tp.project(&[0, 7]), Tuple::from([Value::Int(1), Value::Null]));
+        assert_eq!(tp.try_project(&[0, 7]), None);
+        assert_eq!(
+            tp.try_project(&[1, 0]),
+            Some(Tuple::from([Value::text("x"), Value::Int(1)]))
+        );
+    }
+
+    #[test]
+    fn index_probe_matches_filtered_scan_in_order() {
+        let mut r = r2("a", "b");
+        r.insert(t(1, "x"));
+        r.insert(t(2, "y"));
+        r.insert(t(1, "z"));
+        let idx = r.index(&[0]);
+        let hits = idx.probe(&[Value::Int(1)]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], (0, t(1, "x")));
+        assert_eq!(hits[1], (2, t(1, "z")));
+        assert!(idx.probe(&[Value::Int(9)]).is_empty());
+    }
+
+    #[test]
+    fn index_is_maintained_incrementally_on_insert() {
+        let mut r = r2("a", "b");
+        r.insert(t(1, "x"));
+        let _warm = r.index(&[0]); // build the cache, then insert more
+        r.insert(t(1, "y"));
+        r.insert(t(2, "z"));
+        let idx = r.index(&[0]);
+        assert_eq!(
+            idx.probe(&[Value::Int(1)]),
+            &[(0, t(1, "x")), (1, t(1, "y"))]
+        );
+        assert_eq!(idx.probe(&[Value::Int(2)]), &[(2, t(2, "z"))]);
+    }
+
+    #[test]
+    fn index_invalidated_by_remove() {
+        let mut r = r2("a", "b");
+        r.insert(t(1, "x"));
+        r.insert(t(2, "y"));
+        r.insert(t(1, "z"));
+        let _warm = r.index(&[0]);
+        r.remove(&t(1, "x"));
+        let idx = r.index(&[0]);
+        // positions reflect the post-removal layout
+        assert_eq!(idx.probe(&[Value::Int(1)]), &[(1, t(1, "z"))]);
+        assert_eq!(idx.probe(&[Value::Int(2)]), &[(0, t(2, "y"))]);
+    }
+
+    #[test]
+    fn multi_column_index_and_snapshot_semantics() {
+        let mut r = r2("a", "b");
+        r.insert(t(1, "x"));
+        let snapshot = r.index(&[0, 1]);
+        r.insert(t(1, "y"));
+        // the old handle is a snapshot; a fresh probe sees the new tuple
+        assert_eq!(snapshot.probe(&[Value::Int(1), Value::text("y")]).len(), 0);
+        let fresh = r.index(&[0, 1]);
+        assert_eq!(fresh.probe(&[Value::Int(1), Value::text("y")]).len(), 1);
+        assert_eq!(fresh.positions(), &[0, 1]);
     }
 
     #[test]

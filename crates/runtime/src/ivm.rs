@@ -378,6 +378,42 @@ pub fn view_insert_delta_governed(
     }
 }
 
+/// A compiled maintenance plan: the delta-independent analysis of a view
+/// set — which views are insert-monotone (delta rules apply) and which
+/// must recompute — done once and reused across deltas, like the chase's
+/// compiled [`mm_chase::ChaseProgram`]s.
+#[derive(Debug, Clone)]
+pub struct MaintenancePlan {
+    views: ViewSet,
+    monotone: Vec<bool>,
+}
+
+impl MaintenancePlan {
+    /// Analyze every view once.
+    pub fn compile(views: &ViewSet) -> MaintenancePlan {
+        let monotone = views.views.iter().map(|v| monotone(&v.expr)).collect();
+        MaintenancePlan { views: views.clone(), monotone }
+    }
+
+    /// The strategy this plan will attempt for `view` (the incremental
+    /// attempt can still degrade to a recompute at run time if the delta
+    /// rules trip the budget).
+    pub fn planned_strategy(&self, view: &str) -> Option<MaintenanceStrategy> {
+        self.views.views.iter().position(|v| v.name == view).map(|i| {
+            if self.monotone[i] {
+                MaintenanceStrategy::Incremental
+            } else {
+                MaintenanceStrategy::Recompute
+            }
+        })
+    }
+
+    /// The views this plan maintains.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+}
+
 /// Maintain materialized `views` (stored in `materialized`) under an
 /// insert-only base `delta`. `base_db` must be the *pre-update* database;
 /// the function applies the delta to a copy internally. Returns the
@@ -425,13 +461,29 @@ pub fn maintain_insertions_governed(
     materialized: &mut Database,
     budget: &ExecBudget,
 ) -> Result<Vec<MaintenanceReport>, EvalError> {
+    let plan = MaintenancePlan::compile(views);
+    maintain_insertions_with_plan(&plan, base_schema, base_db, delta, materialized, budget)
+}
+
+/// [`maintain_insertions_governed`] over a pre-compiled plan: the
+/// monotonicity analysis was paid once at [`MaintenancePlan::compile`];
+/// each call only runs the delta rules (or planned recomputes) for one
+/// delta. Use this when the same view set absorbs a stream of deltas.
+pub fn maintain_insertions_with_plan(
+    plan: &MaintenancePlan,
+    base_schema: &Schema,
+    base_db: &Database,
+    delta: &Delta,
+    materialized: &mut Database,
+    budget: &ExecBudget,
+) -> Result<Vec<MaintenanceReport>, EvalError> {
     let mut new_db = base_db.clone();
     delta.apply_to(&mut new_db);
     let delta_db = delta.as_database(base_schema);
     let mut gov = Governor::new(budget);
-    let mut reports = Vec::with_capacity(views.views.len());
-    for v in &views.views {
-        if monotone(&v.expr) {
+    let mut reports = Vec::with_capacity(plan.views.views.len());
+    for (v, &is_monotone) in plan.views.views.iter().zip(&plan.monotone) {
+        if is_monotone {
             match delta_eval(&v.expr, base_schema, base_db, &new_db, &delta_db, &mut gov) {
                 Ok(d) => {
                     if let Some(rel) = materialized.relation_mut(&v.name) {
@@ -671,6 +723,46 @@ mod tests {
         assert!(reports
             .iter()
             .all(|r| r.strategy == MaintenanceStrategy::Incremental));
+    }
+
+    #[test]
+    fn compiled_plan_absorbs_a_stream_of_deltas() {
+        let (s, db, vs) = setup();
+        let plan = MaintenancePlan::compile(&vs);
+        assert_eq!(
+            plan.planned_strategy("BigOrders"),
+            Some(MaintenanceStrategy::Incremental)
+        );
+        assert_eq!(
+            plan.planned_strategy("AllCustomers"),
+            Some(MaintenanceStrategy::Incremental)
+        );
+        assert_eq!(plan.planned_strategy("NoSuchView"), None);
+
+        let mut mat = materialize_views(&vs, &s, &db).unwrap();
+        let mut base = db.clone();
+        for (oid, cust, total) in [(21, 1, 70), (22, 2, 90), (23, 1, 5)] {
+            let mut delta = Delta::new();
+            delta.insert(
+                "Orders",
+                Tuple::from([Value::Int(oid), Value::Int(cust), Value::Int(total)]),
+            );
+            let reports = maintain_insertions_with_plan(
+                &plan,
+                &s,
+                &base,
+                &delta,
+                &mut mat,
+                &ExecBudget::unbounded(),
+            )
+            .unwrap();
+            assert!(reports.iter().all(|r| r.strategy == MaintenanceStrategy::Incremental));
+            delta.apply_to(&mut base);
+        }
+        let oracle = materialize_views(&vs, &s, &base).unwrap();
+        for (name, rel) in oracle.relations() {
+            assert!(rel.set_eq(mat.relation(name).unwrap()), "view {name} diverged");
+        }
     }
 
     #[test]

@@ -40,10 +40,11 @@ pub use indexing::{advise_indexes, IndexRecommendation, IndexUse};
 pub use errors::{translate_violations, TargetError};
 pub use debugger::{trace, Trace, TraceStep};
 pub use ivm::{
-    maintain_insertions, maintain_insertions_governed, view_insert_delta,
-    view_insert_delta_governed, Delta, MaintenanceReport, MaintenanceStrategy,
+    maintain_insertions, maintain_insertions_governed, maintain_insertions_with_plan,
+    view_insert_delta, view_insert_delta_governed, Delta, MaintenancePlan, MaintenanceReport,
+    MaintenanceStrategy,
 };
-pub use mediator::{MediationMode, MediationResult, Mediator};
+pub use mediator::{MediationMode, MediationPlan, MediationResult, Mediator};
 pub use provenance::{explain, Witness};
 pub use sync::{run_sync, translate_rules, SyncRule, SyncStats, TranslatedRule};
 pub use triggers::{compile_triggers, fire_triggers, CompiledTrigger, Firing, Trigger};

@@ -34,6 +34,51 @@ pub struct MediationResult {
     pub degradation: Option<Degradation>,
 }
 
+/// A prepared mediation strategy: the collapse-or-degrade decision of
+/// [`Mediator::answer_governed`], made once per chain and reusable across
+/// queries — the runtime analogue of the engine's chase-plan cache.
+/// Collapsing an n-hop chain is the expensive, query-independent part of
+/// mediation; a plan amortizes it.
+#[derive(Debug)]
+pub struct MediationPlan {
+    strategy: Strategy,
+    /// `Some` when planning degraded (composing the chain tripped the
+    /// budget); copied into every answer produced from this plan.
+    degradation: Option<Degradation>,
+}
+
+#[derive(Debug)]
+enum Strategy {
+    /// Unfold queries through the pre-composed direct mapping.
+    Collapsed(ViewSet),
+    /// Unfold hop by hop: the chain is empty, or collapsing it degraded.
+    Chained,
+}
+
+impl MediationPlan {
+    /// Which strategy answers produced from this plan will report.
+    pub fn mode(&self) -> MediationMode {
+        match self.strategy {
+            Strategy::Collapsed(_) => MediationMode::Collapsed,
+            Strategy::Chained => MediationMode::Chained,
+        }
+    }
+
+    /// The pre-composed direct mapping, when the plan collapsed.
+    pub fn collapsed_views(&self) -> Option<&ViewSet> {
+        match &self.strategy {
+            Strategy::Collapsed(vs) => Some(vs),
+            Strategy::Chained => None,
+        }
+    }
+
+    /// The degradation recorded at plan time, if composing the chain
+    /// tripped the budget.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        self.degradation.as_ref()
+    }
+}
+
 /// A mediator over a chain of view-defined mappings.
 ///
 /// `chain[0]` defines the first virtual schema over the base; `chain[i]`
@@ -116,14 +161,62 @@ impl<'a> Mediator<'a> {
         Ok(Some(acc))
     }
 
+    /// Decide the mediation strategy once, under `gov`'s budget:
+    /// collapse the chain (charging its composed size to the clause
+    /// meter) or, when that trips `BudgetExhausted`, record a
+    /// [`Degradation`] and plan to unfold hop by hop instead.
+    /// Cancellation and non-budget errors propagate — there is nothing
+    /// further to fall back to.
+    pub fn plan_governed(&self, gov: &mut Governor) -> Result<MediationPlan, ExecError> {
+        match self.collapse_governed(gov) {
+            Ok(Some(collapsed)) => {
+                Ok(MediationPlan { strategy: Strategy::Collapsed(collapsed), degradation: None })
+            }
+            // Empty chain: queries already address the base.
+            Ok(None) => Ok(MediationPlan { strategy: Strategy::Chained, degradation: None }),
+            Err(cause @ ExecError::BudgetExhausted { .. }) => Ok(MediationPlan {
+                strategy: Strategy::Chained,
+                degradation: Some(Degradation {
+                    kind: DegradationKind::CollapsedToChained,
+                    cause,
+                }),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`Self::plan_governed`] under a fresh governor for `budget`.
+    pub fn plan(&self, budget: &ExecBudget) -> Result<MediationPlan, ExecError> {
+        self.plan_governed(&mut Governor::new(budget))
+    }
+
+    /// Answer one query through a prepared plan. The per-chain work
+    /// (composition, the degrade decision) was already paid by
+    /// [`Self::plan`]; this only unfolds and evaluates `query`.
+    pub fn answer_with_plan(
+        &self,
+        plan: &MediationPlan,
+        query: &Expr,
+        base_db: &Database,
+        gov: &mut Governor,
+    ) -> Result<MediationResult, EvalError> {
+        let q = match &plan.strategy {
+            Strategy::Collapsed(collapsed) => unfold_query(query, collapsed),
+            Strategy::Chained => self.unfold(query),
+        };
+        let rows = eval_governed(&q, self.base_schema, base_db, gov)?;
+        Ok(MediationResult { rows, mode: plan.mode(), degradation: plan.degradation.clone() })
+    }
+
     /// Answer a top-level query under a budget, preferring the collapsed
     /// (pre-composed) mapping and degrading gracefully to hop-by-hop
     /// unfolding when composing the chain trips the budget.
     ///
-    /// The degraded attempt restarts the step meter but shares the
+    /// One-shot [`Self::plan_governed`] + [`Self::answer_with_plan`]:
+    /// a degraded attempt restarts the step meter but shares the
     /// original wall-clock deadline and cancellation token, so the whole
-    /// call stays bounded. Cancellation and errors on the degraded path
-    /// propagate — there is nothing further to fall back to.
+    /// call stays bounded. Callers mediating many queries over one chain
+    /// should plan once and reuse it.
     pub fn answer_governed(
         &self,
         query: &Expr,
@@ -131,32 +224,11 @@ impl<'a> Mediator<'a> {
         budget: &ExecBudget,
     ) -> Result<MediationResult, EvalError> {
         let mut gov = Governor::new(budget);
-        match self.collapse_governed(&mut gov) {
-            Ok(Some(collapsed)) => {
-                let q = unfold_query(query, &collapsed);
-                let rows = eval_governed(&q, self.base_schema, base_db, &mut gov)?;
-                Ok(MediationResult { rows, mode: MediationMode::Collapsed, degradation: None })
-            }
-            Ok(None) => {
-                // Empty chain: the query already addresses the base.
-                let rows = eval_governed(query, self.base_schema, base_db, &mut gov)?;
-                Ok(MediationResult { rows, mode: MediationMode::Chained, degradation: None })
-            }
-            Err(cause @ ExecError::BudgetExhausted { .. }) => {
-                let mut gov = Governor::new(budget);
-                let rows =
-                    eval_governed(&self.unfold(query), self.base_schema, base_db, &mut gov)?;
-                Ok(MediationResult {
-                    rows,
-                    mode: MediationMode::Chained,
-                    degradation: Some(Degradation {
-                        kind: DegradationKind::CollapsedToChained,
-                        cause,
-                    }),
-                })
-            }
-            Err(e) => Err(EvalError::Exec(e)),
+        let plan = self.plan_governed(&mut gov).map_err(EvalError::Exec)?;
+        if plan.degradation.is_some() {
+            gov = Governor::new(budget);
         }
+        self.answer_with_plan(&plan, query, base_db, &mut gov)
     }
 }
 
@@ -297,6 +369,51 @@ mod tests {
             .answer_governed(&q, &db, &ExecBudget::unbounded().with_cancel(token))
             .unwrap_err();
         assert!(matches!(err, EvalError::Exec(ExecError::Cancelled { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn plan_is_reusable_across_queries_and_agrees_with_one_shot() {
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let budget = ExecBudget::unbounded();
+        let plan = m.plan(&budget).unwrap();
+        assert_eq!(plan.mode(), MediationMode::Collapsed);
+        assert!(plan.degradation().is_none());
+        assert!(plan.collapsed_views().is_some());
+        for q in [
+            Expr::base("RomanAdults").project(&["name"]),
+            Expr::base("RomanAdults"),
+            Expr::base("RomanAdults").project(&["id"]),
+        ] {
+            let planned =
+                m.answer_with_plan(&plan, &q, &db, &mut Governor::new(&budget)).unwrap();
+            let one_shot = m.answer_governed(&q, &db, &budget).unwrap();
+            assert_eq!(planned.mode, one_shot.mode);
+            assert!(planned.rows.set_eq(&one_shot.rows));
+        }
+    }
+
+    #[test]
+    fn degraded_plan_carries_its_degradation_into_every_answer() {
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let tight = ExecBudget::unbounded().with_clauses(1);
+        let plan = m.plan(&tight).unwrap();
+        assert_eq!(plan.mode(), MediationMode::Chained);
+        assert!(plan.degradation().is_some());
+        let q = Expr::base("RomanAdults").project(&["name"]);
+        let r = m
+            .answer_with_plan(&plan, &q, &db, &mut Governor::new(&ExecBudget::unbounded()))
+            .unwrap();
+        assert_eq!(r.mode, MediationMode::Chained);
+        assert!(matches!(
+            r.degradation,
+            Some(Degradation { kind: DegradationKind::CollapsedToChained, .. })
+        ));
+        let oracle = m.answer_chained(&q, &db).unwrap();
+        assert!(r.rows.set_eq(&oracle));
     }
 
     #[test]

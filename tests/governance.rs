@@ -298,6 +298,7 @@ fn engine_operator_surface_is_total() {
             .with_rows(100_000)
             .with_clauses(64)
             .with_wall(std::time::Duration::from_secs(30)),
+        ..Default::default()
     });
 
     // missing artifacts: typed repository errors
