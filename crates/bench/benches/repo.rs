@@ -1,0 +1,189 @@
+//! Crash-safe repository (PR 3): WAL append throughput and recovery
+//! latency vs artifact count.
+//!
+//! Besides the criterion groups, `main` re-measures each point once with
+//! `mm_bench::timed`, asserts every recovery path reproduces the
+//! original repository bit-identically (`state_bytes`), and writes the
+//! `BENCH_repo.json` baseline at the workspace root (the vendored
+//! criterion stub emits no files). The committed baseline records the
+//! durability costs: per-artifact journaling overhead, log replay
+//! latency, and how much a snapshot checkpoint shrinks recovery.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mm_bench::timed;
+use mm_engine::prelude::*;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+fn sample_schema(i: usize) -> Schema {
+    SchemaBuilder::new(format!("S{i}"))
+        .relation("R", &[("a", DataType::Int), ("b", DataType::Text)])
+        .build()
+        .expect("static bench schema")
+}
+
+/// Store `n` schema versions through a durable repository and return
+/// the resulting disk image plus the in-memory fingerprint.
+fn journaled_image(n: usize) -> (BTreeMap<String, Vec<u8>>, bytes::Bytes) {
+    let mem = MemStorage::new();
+    let repo = Repository::open_durable(mem.clone(), DurableOptions::default())
+        .expect("open durable");
+    for i in 0..n {
+        repo.store_schema(format!("S{}", i % 8), sample_schema(i)).expect("store");
+    }
+    (mem.dump(), repo.state_bytes())
+}
+
+/// Same `n` writes, but compacted into a snapshot (empty log).
+fn checkpointed_image(n: usize) -> (BTreeMap<String, Vec<u8>>, bytes::Bytes) {
+    let mem = MemStorage::new();
+    let repo = Repository::open_durable(mem.clone(), DurableOptions::default())
+        .expect("open durable");
+    for i in 0..n {
+        repo.store_schema(format!("S{}", i % 8), sample_schema(i)).expect("store");
+    }
+    repo.checkpoint().expect("checkpoint");
+    (mem.dump(), repo.state_bytes())
+}
+
+/// Journaled writes: every `store_schema` appends one checksummed WAL
+/// frame before touching memory. The ephemeral branch is the same write
+/// with the log disabled — the difference is the durability tax.
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repo_wal_append");
+    group.sample_size(10);
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("durable", n), &(), |b, _| {
+            b.iter(|| {
+                let repo = Repository::open_durable(MemStorage::new(), DurableOptions::default())
+                    .expect("open");
+                for i in 0..n {
+                    repo.store_schema(format!("S{}", i % 8), sample_schema(i)).expect("store");
+                }
+                repo
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ephemeral", n), &(), |b, _| {
+            b.iter(|| {
+                let repo = Repository::new();
+                for i in 0..n {
+                    repo.store_schema(format!("S{}", i % 8), sample_schema(i)).expect("store");
+                }
+                repo
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Recovery latency: replaying an `n`-record log vs loading the
+/// equivalent snapshot.
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repo_recovery");
+    group.sample_size(10);
+    for n in SIZES {
+        let (log_image, _) = journaled_image(n);
+        let (snap_image, _) = checkpointed_image(n);
+        group.bench_with_input(BenchmarkId::new("replay_log", n), &(), |b, _| {
+            b.iter(|| {
+                Repository::open_durable(
+                    MemStorage::from_files(log_image.clone()),
+                    DurableOptions::default(),
+                )
+                .expect("recover")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("load_snapshot", n), &(), |b, _| {
+            b.iter(|| {
+                Repository::open_durable(
+                    MemStorage::from_files(snap_image.clone()),
+                    DurableOptions::default(),
+                )
+                .expect("recover")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One-shot measurements for the committed baseline: every recovery is
+/// asserted bit-identical to the repository that produced the image.
+fn emit_baseline() {
+    let mut rows_json: Vec<String> = Vec::new();
+
+    for n in SIZES {
+        let (_, durable_t) = timed(|| {
+            let repo = Repository::open_durable(MemStorage::new(), DurableOptions::default())
+                .expect("open");
+            for i in 0..n {
+                repo.store_schema(format!("S{}", i % 8), sample_schema(i)).expect("store");
+            }
+        });
+        let (_, ephemeral_t) = timed(|| {
+            let repo = Repository::new();
+            for i in 0..n {
+                repo.store_schema(format!("S{}", i % 8), sample_schema(i)).expect("store");
+            }
+        });
+        let (log_image, fingerprint) = journaled_image(n);
+        let wal_bytes = log_image.get(WAL_FILE).map(Vec::len).unwrap_or(0);
+        let (recovered, replay_t) = timed(|| {
+            Repository::open_durable(
+                MemStorage::from_files(log_image.clone()),
+                DurableOptions::default(),
+            )
+            .expect("recover from log")
+        });
+        assert_eq!(recovered.state_bytes(), fingerprint, "log replay diverged");
+
+        let (snap_image, snap_fp) = checkpointed_image(n);
+        let snap_bytes = snap_image.get(SNAPSHOT_FILE).map(Vec::len).unwrap_or(0);
+        let (recovered, snap_t) = timed(|| {
+            Repository::open_durable(
+                MemStorage::from_files(snap_image.clone()),
+                DurableOptions::default(),
+            )
+            .expect("recover from snapshot")
+        });
+        assert_eq!(recovered.state_bytes(), snap_fp, "snapshot load diverged");
+        assert_eq!(fingerprint, snap_fp, "checkpoint changed the state");
+
+        println!(
+            "artifacts {n:>5}: append durable {:>8.3} ms (ephemeral {:>7.3} ms), \
+             replay {:>8.3} ms ({wal_bytes} B log), snapshot {:>7.3} ms ({snap_bytes} B)",
+            ms(durable_t),
+            ms(ephemeral_t),
+            ms(replay_t),
+            ms(snap_t),
+        );
+        rows_json.push(format!(
+            "    {{\"artifacts\": {n}, \"append_durable_ms\": {:.3}, \"append_ephemeral_ms\": {:.3}, \"wal_bytes\": {wal_bytes}, \"replay_log_ms\": {:.3}, \"snapshot_bytes\": {snap_bytes}, \"load_snapshot_ms\": {:.3}}}",
+            ms(durable_t),
+            ms(ephemeral_t),
+            ms(replay_t),
+            ms(snap_t),
+        ));
+    }
+
+    let body = format!(
+        "{{\n  \"experiment\": \"repo_durability\",\n  \"description\": \"WAL append overhead and recovery latency (log replay vs snapshot load); every recovery asserted bit-identical to the source repository\",\n  \"command\": \"cargo bench -p mm-bench --bench repo\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repo.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_repo.json");
+    f.write_all(body.as_bytes()).expect("write BENCH_repo.json");
+    println!("\nwrote {path}");
+}
+
+criterion_group!(benches, bench_append, bench_recovery);
+
+fn main() {
+    benches();
+    emit_baseline();
+}

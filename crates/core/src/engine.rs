@@ -7,7 +7,7 @@ use mm_instance::Database;
 use mm_match::MatchConfig;
 use mm_metamodel::Schema;
 use mm_modelgen::InheritanceStrategy;
-use mm_repository::{ArtifactId, Repository, RepositoryError};
+use mm_repository::{ArtifactId, DurableOptions, Repository, RepositoryError, Storage};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -18,6 +18,33 @@ use std::sync::Arc;
 /// engine always runs it under a cap; exceeding the cap surfaces as
 /// [`mm_guard::ExecError::Diverged`] rather than a silent stop.
 pub const DEFAULT_CHASE_ROUNDS: u64 = 256;
+
+/// Where the engine's repository lives.
+#[derive(Clone, Default)]
+pub enum Durability {
+    /// In-memory only — the historical behavior. A crash loses
+    /// everything since startup.
+    #[default]
+    Ephemeral,
+    /// Journal every repository write through a write-ahead log on this
+    /// storage, running crash recovery on open (DESIGN.md §9).
+    Durable {
+        storage: Arc<dyn Storage>,
+        options: DurableOptions,
+    },
+}
+
+impl fmt::Debug for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Durability::Ephemeral => f.write_str("Ephemeral"),
+            Durability::Durable { options, .. } => f
+                .debug_struct("Durable")
+                .field("options", options)
+                .finish_non_exhaustive(),
+        }
+    }
+}
 
 /// Resource-governance knobs for engine operators.
 ///
@@ -44,6 +71,8 @@ pub struct EngineConfig {
     /// fresh compile. Defaults to `true`; disable to force per-call
     /// compilation (e.g. when benchmarking compile cost).
     pub cache_plans: bool,
+    /// Repository durability mode. Defaults to [`Durability::Ephemeral`].
+    pub durability: Durability,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +82,7 @@ impl Default for EngineConfig {
             compose_clause_bound: mm_compose::DEFAULT_CLAUSE_BOUND,
             budget: ExecBudget::unbounded(),
             cache_plans: true,
+            durability: Durability::Ephemeral,
         }
     }
 }
@@ -125,13 +155,38 @@ pub struct Engine {
 
 impl Engine {
     pub fn new() -> Self {
-        Engine::with_config(EngineConfig::default())
+        Engine {
+            repo: Repository::new(),
+            config: EngineConfig::default(),
+            chase_plans: Mutex::default(),
+        }
     }
 
     /// An engine with explicit governance knobs (round caps, clause
-    /// bounds, execution budget).
-    pub fn with_config(config: EngineConfig) -> Self {
-        Engine { repo: Repository::new(), config, chase_plans: Mutex::default() }
+    /// bounds, execution budget, durability). Fallible because a
+    /// [`Durability::Durable`] configuration opens the storage and runs
+    /// crash recovery.
+    pub fn with_config(config: EngineConfig) -> Result<Self, EngineError> {
+        let repo = match &config.durability {
+            Durability::Ephemeral => Repository::new(),
+            Durability::Durable { storage, options } => {
+                Repository::open_durable(Arc::clone(storage), options.clone())?
+            }
+        };
+        Ok(Engine { repo, config, chase_plans: Mutex::default() })
+    }
+
+    /// Open (or recover) a durable engine over `storage` with otherwise
+    /// default configuration — shorthand for [`Engine::with_config`]
+    /// with [`Durability::Durable`].
+    pub fn open_durable(
+        storage: Arc<dyn Storage>,
+        options: DurableOptions,
+    ) -> Result<Self, EngineError> {
+        Engine::with_config(EngineConfig {
+            durability: Durability::Durable { storage, options },
+            ..EngineConfig::default()
+        })
     }
 
     /// The compiled chase program for mapping artifact `id`, compiling
@@ -181,8 +236,8 @@ impl Engine {
     }
 
     /// Register a schema under its own name.
-    pub fn add_schema(&self, schema: Schema) -> ArtifactId {
-        self.repo.store_schema(schema.name.clone(), schema)
+    pub fn add_schema(&self, schema: Schema) -> Result<ArtifactId, EngineError> {
+        Ok(self.repo.store_schema(schema.name.clone(), schema)?)
     }
 
     fn schema(&self, name: &str) -> Result<(Schema, ArtifactId), EngineError> {
@@ -200,8 +255,8 @@ impl Engine {
         let (s, sid) = self.schema(source)?;
         let (t, tid) = self.schema(target)?;
         let cs = mm_match::match_schemas(&s, &t, cfg);
-        let out = self.repo.store_correspondences(format!("{source}~{target}"), cs.clone());
-        self.repo.record("match", vec![sid, tid], out.clone());
+        let out = self.repo.store_correspondences(format!("{source}~{target}"), cs.clone())?;
+        self.repo.record("match", vec![sid, tid], out.clone())?;
         Ok((cs, out))
     }
 
@@ -231,8 +286,8 @@ impl Engine {
         memory.apply(&mut cs);
         let out = self
             .repo
-            .store_correspondences(format!("{source}~{target}"), cs.clone());
-        self.repo.record("match+memory", vec![sid, tid], out.clone());
+            .store_correspondences(format!("{source}~{target}"), cs.clone())?;
+        self.repo.record("match+memory", vec![sid, tid], out.clone())?;
         Ok((cs, out))
     }
 
@@ -246,17 +301,18 @@ impl Engine {
         let (s, sid) = self.schema(er)?;
         let result = mm_modelgen::er_to_relational(&s, strategy)?;
         let out_schema =
-            self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
+            self.repo.store_schema(result.schema.name.clone(), result.schema.clone())?;
         let mapping_name = format!("{}->{}", er, result.schema.name);
-        let out_mapping = self.repo.store_mapping(mapping_name.clone(), result.mapping.clone());
-        let out_views = self.repo.store_viewset(format!("{mapping_name}.views"), result.views.clone());
+        let out_mapping = self.repo.store_mapping(mapping_name.clone(), result.mapping.clone())?;
+        let out_views =
+            self.repo.store_viewset(format!("{mapping_name}.views"), result.views.clone())?;
         self.repo.record(
             format!("modelgen[{strategy}]"),
             vec![sid],
             out_schema.clone(),
-        );
-        self.repo.record(format!("modelgen[{strategy}]"), vec![out_schema], out_mapping.clone());
-        self.repo.record("modelgen.views", vec![out_mapping], out_views);
+        )?;
+        self.repo.record(format!("modelgen[{strategy}]"), vec![out_schema], out_mapping.clone())?;
+        self.repo.record("modelgen.views", vec![out_mapping], out_views)?;
         Ok(result)
     }
 
@@ -268,8 +324,8 @@ impl Engine {
         let (s, sid) = self.schema(rel)?;
         let result = mm_modelgen::relational_to_er(&s)?;
         let out_schema =
-            self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
-        self.repo.record("modelgen[rel->er]", vec![sid], out_schema);
+            self.repo.store_schema(result.schema.name.clone(), result.schema.clone())?;
+        self.repo.record("modelgen[rel->er]", vec![sid], out_schema)?;
         Ok(result)
     }
 
@@ -287,21 +343,21 @@ impl Engine {
         let frags = mm_transgen::parse_fragments(&er_schema, &rel_schema, &mapping)?;
         let qv = mm_transgen::query_views(&er_schema, &rel_schema, &frags)?;
         let uv = mm_transgen::update_views(&er_schema, &rel_schema, &frags)?;
-        let qid = self.repo.store_viewset(format!("{mapping_name}.qviews"), qv.clone());
-        let uid = self.repo.store_viewset(format!("{mapping_name}.uviews"), uv.clone());
-        self.repo.record("transgen.query", vec![erid.clone(), relid.clone(), mid.clone()], qid);
-        self.repo.record("transgen.update", vec![erid, relid, mid], uid);
+        let qid = self.repo.store_viewset(format!("{mapping_name}.qviews"), qv.clone())?;
+        let uid = self.repo.store_viewset(format!("{mapping_name}.uviews"), uv.clone())?;
+        self.repo.record("transgen.query", vec![erid.clone(), relid.clone(), mid.clone()], qid)?;
+        self.repo.record("transgen.update", vec![erid, relid, mid], uid)?;
         Ok((qv, uv))
     }
 
     /// Store a hand-written mapping.
-    pub fn add_mapping(&self, name: &str, mapping: Mapping) -> ArtifactId {
-        self.repo.store_mapping(name, mapping)
+    pub fn add_mapping(&self, name: &str, mapping: Mapping) -> Result<ArtifactId, EngineError> {
+        Ok(self.repo.store_mapping(name, mapping)?)
     }
 
     /// Store a hand-written view set.
-    pub fn add_viewset(&self, name: &str, views: ViewSet) -> ArtifactId {
-        self.repo.store_viewset(name, views)
+    pub fn add_viewset(&self, name: &str, views: ViewSet) -> Result<ArtifactId, EngineError> {
+        Ok(self.repo.store_viewset(name, views)?)
     }
 
     /// Compose two stored view sets (`first` base→mid, `second` mid→top),
@@ -322,8 +378,8 @@ impl Engine {
         let nodes: usize = composed.views.iter().map(|v| v.expr.size()).sum();
         gov.clauses(nodes as u64)?;
         gov.steps_n(nodes as u64)?;
-        let out = self.repo.store_viewset(out_name, composed.clone());
-        self.repo.record("compose", vec![aid, bid], out);
+        let out = self.repo.store_viewset(out_name, composed.clone())?;
+        self.repo.record("compose", vec![aid, bid], out)?;
         Ok(composed)
     }
 
@@ -348,15 +404,18 @@ impl Engine {
             &self.config.budget,
         )?;
         let mut gov = Governor::new(&self.config.budget);
-        let folded = mm_compose::try_deskolemize_governed(&so, &mut gov)?.map(|tgds| {
-            let mut m = Mapping::new(m12.source_schema.clone(), m23.target_schema.clone());
-            for t in tgds {
-                m.push_tgd(t);
+        let folded = match mm_compose::try_deskolemize_governed(&so, &mut gov)? {
+            Some(tgds) => {
+                let mut m = Mapping::new(m12.source_schema.clone(), m23.target_schema.clone());
+                for t in tgds {
+                    m.push_tgd(t);
+                }
+                let out = self.repo.store_mapping(out_name, m.clone())?;
+                self.repo.record("compose.tgd", vec![aid, bid], out)?;
+                Some(m)
             }
-            let out = self.repo.store_mapping(out_name, m.clone());
-            self.repo.record("compose.tgd", vec![aid, bid], out);
-            m
-        });
+            None => None,
+        };
         Ok((so, folded))
     }
 
@@ -369,8 +428,8 @@ impl Engine {
         let (s, sid) = self.schema(schema)?;
         let (m, mid) = self.repo.latest_mapping(mapping)?;
         let result = mm_evolution::diff(&s, &m, mm_evolution::diff::Side::Source);
-        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
-        self.repo.record("diff", vec![sid, mid], out);
+        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone())?;
+        self.repo.record("diff", vec![sid, mid], out)?;
         Ok(result)
     }
 
@@ -383,8 +442,8 @@ impl Engine {
         let (s, sid) = self.schema(schema)?;
         let (m, mid) = self.repo.latest_mapping(mapping)?;
         let result = mm_evolution::extract(&s, &m, mm_evolution::diff::Side::Source);
-        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
-        self.repo.record("extract", vec![sid, mid], out);
+        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone())?;
+        self.repo.record("extract", vec![sid, mid], out)?;
         Ok(result)
     }
 
@@ -394,8 +453,8 @@ impl Engine {
     pub fn invert(&self, mapping: &str, out_name: &str) -> Result<Mapping, EngineError> {
         let (m, mid) = self.repo.latest_mapping(mapping)?;
         let inverted = m.inverted();
-        let out = self.repo.store_mapping(out_name, inverted.clone());
-        self.repo.record("invert", vec![mid], out);
+        let out = self.repo.store_mapping(out_name, inverted.clone())?;
+        self.repo.record("invert", vec![mid], out)?;
         Ok(inverted)
     }
 
@@ -410,8 +469,8 @@ impl Engine {
         let (r, rid) = self.schema(right)?;
         let (cs, cid) = self.repo.latest_correspondences(corrs)?;
         let result = mm_evolution::merge(&l, &r, &cs);
-        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone());
-        self.repo.record("merge", vec![lid, rid, cid], out);
+        let out = self.repo.store_schema(result.schema.name.clone(), result.schema.clone())?;
+        self.repo.record("merge", vec![lid, rid, cid], out)?;
         Ok(result)
     }
 
@@ -480,7 +539,7 @@ mod tests {
     #[test]
     fn modelgen_then_transgen_end_to_end() {
         let engine = Engine::new();
-        engine.add_schema(er());
+        engine.add_schema(er()).unwrap();
         let gen = engine
             .modelgen_er_to_relational("ER", InheritanceStrategy::Vertical)
             .unwrap();
@@ -498,12 +557,12 @@ mod tests {
     #[test]
     fn match_records_lineage() {
         let engine = Engine::new();
-        engine.add_schema(er());
+        engine.add_schema(er()).unwrap();
         let rel = SchemaBuilder::new("SQL")
             .relation("HR", &[("Id", DataType::Int), ("Name", DataType::Text)])
             .build()
             .unwrap();
-        engine.add_schema(rel);
+        engine.add_schema(rel).unwrap();
         let (cs, cid) = engine
             .match_schemas("ER", "SQL", &MatchConfig::default())
             .unwrap();
@@ -524,8 +583,8 @@ mod tests {
             .relation("Staff", &[("document", DataType::Date), ("geboortedatum", DataType::Date)])
             .build()
             .unwrap();
-        engine.add_schema(s);
-        engine.add_schema(t);
+        engine.add_schema(s).unwrap();
+        engine.add_schema(t).unwrap();
         // a previously confirmed (confidence 1.0) pair from another project
         let mut history = CorrespondenceSet::new("Old1", "Old2");
         history.push(Correspondence::new(
@@ -533,7 +592,7 @@ mod tests {
             PathRef::attr("Y", "geboortedatum"),
             1.0,
         ));
-        engine.repo.store_correspondences("history", history);
+        engine.repo.store_correspondences("history", history).unwrap();
         let cfg = MatchConfig { threshold: 0.0, top_k: 5, ..Default::default() };
         let (cs, _) = engine.match_schemas_with_memory("S", "T", &cfg).unwrap();
         let top = cs.candidates_for(&PathRef::attr("Empl", "dob"));
@@ -551,15 +610,16 @@ mod tests {
             .relation("U", &[("a", DataType::Int)])
             .build()
             .unwrap();
-        engine.add_schema(s.clone());
-        engine.add_schema(t);
+        engine.add_schema(s.clone()).unwrap();
+        engine.add_schema(t).unwrap();
         engine.add_mapping(
             "bad",
             Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
                 source: Expr::base("R"),
                 target: Expr::base("U"),
             }]),
-        );
+        )
+        .unwrap();
         let db = Database::empty_of(&s);
         assert!(engine.exchange("bad", "T", &db).is_err());
 
@@ -568,7 +628,7 @@ mod tests {
             vec![mm_expr::Atom::vars("R", &["x"])],
             vec![mm_expr::Atom::vars("U", &["x"])],
         ));
-        engine.add_mapping("good", good);
+        engine.add_mapping("good", good).unwrap();
         let mut db = Database::empty_of(&s);
         db.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
         let (out, stats) = engine.exchange("good", "T", &db).unwrap();
@@ -595,14 +655,14 @@ mod tests {
                 .relation("U", &[("a", DataType::Int)])
                 .build()
                 .unwrap();
-            engine.add_schema(s.clone());
-            engine.add_schema(t);
+            engine.add_schema(s.clone()).unwrap();
+            engine.add_schema(t).unwrap();
             s
         };
 
         let engine = Engine::new();
         let s = schemas(&engine);
-        engine.add_mapping("m", copy_mapping());
+        engine.add_mapping("m", copy_mapping()).unwrap();
         let mut db = Database::empty_of(&s);
         db.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
 
@@ -613,7 +673,7 @@ mod tests {
         assert_eq!(out1, out2);
 
         // a new stored version gets a new ArtifactId, hence a new plan
-        engine.add_mapping("m", copy_mapping());
+        engine.add_mapping("m", copy_mapping()).unwrap();
         engine.exchange("m", "T", &db).unwrap();
         assert_eq!(engine.cached_chase_plans(), 2);
 
@@ -631,9 +691,10 @@ mod tests {
 
         // and the knob disables caching entirely
         let uncached =
-            Engine::with_config(EngineConfig { cache_plans: false, ..Default::default() });
+            Engine::with_config(EngineConfig { cache_plans: false, ..Default::default() })
+                .unwrap();
         let s = schemas(&uncached);
-        uncached.add_mapping("m", copy_mapping());
+        uncached.add_mapping("m", copy_mapping()).unwrap();
         let mut db = Database::empty_of(&s);
         db.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
         let (out3, _) = uncached.exchange("m", "T", &db).unwrap();
@@ -650,7 +711,8 @@ mod tests {
                 source: Expr::base("A"),
                 target: Expr::base("B"),
             }]),
-        );
+        )
+        .unwrap();
         let inv = engine.invert("m", "m_inv").unwrap();
         assert_eq!(inv.source_schema, "T");
         assert_eq!(inv.target_schema, "S");
@@ -666,8 +728,8 @@ mod tests {
         ab.push(ViewDef::new("B1", Expr::base("A1").project(&["x", "y"])));
         let mut bc = ViewSet::new("B", "C");
         bc.push(ViewDef::new("C1", Expr::base("B1").project(&["x"])));
-        engine.add_viewset("ab", ab);
-        engine.add_viewset("bc", bc);
+        engine.add_viewset("ab", ab).unwrap();
+        engine.add_viewset("bc", bc).unwrap();
         let composed = engine.compose("ab", "bc", "ac").unwrap();
         assert_eq!(composed.view("C1").unwrap().expr, Expr::base("A1").project(&["x"]));
         assert_eq!(engine.repo.viewset_versions("ac"), 1);
@@ -681,14 +743,15 @@ mod tests {
             .key("Empl", &["EID"])
             .build()
             .unwrap();
-        engine.add_schema(s);
+        engine.add_schema(s).unwrap();
         engine.add_mapping(
             "m",
             Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
                 source: Expr::base("Empl").project(&["EID", "Name"]),
                 target: Expr::base("Staff"),
             }]),
-        );
+        )
+        .unwrap();
         let e = engine.extract("S", "m").unwrap();
         assert_eq!(
             e.schema.element("Empl").unwrap().attributes.len(),
@@ -710,9 +773,9 @@ mod tests {
             mm_expr::PathRef::attr("Empl", "EID"),
             1.0,
         ));
-        engine.add_schema(e.schema.clone());
-        engine.add_schema(d.schema.clone());
-        let cid = engine.repo.store_correspondences("ed", cs);
+        engine.add_schema(e.schema.clone()).unwrap();
+        engine.add_schema(d.schema.clone()).unwrap();
+        let cid = engine.repo.store_correspondences("ed", cs).unwrap();
         let _ = cid;
         let m = engine.merge(&e.schema.name, &d.schema.name, "ed").unwrap();
         let names: Vec<&str> = m.schema.element("Empl").unwrap().attribute_names().collect();
@@ -725,7 +788,7 @@ mod tests {
         // "common metamodel and expressive mapping language" the paper's
         // conclusion calls for
         let engine = Engine::new();
-        engine.add_schema(er());
+        engine.add_schema(er()).unwrap();
         let gen = engine
             .modelgen_er_to_relational("ER", InheritanceStrategy::Horizontal)
             .unwrap();

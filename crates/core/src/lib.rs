@@ -17,12 +17,12 @@
 pub mod engine;
 pub mod script;
 
-pub use engine::{Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
+pub use engine::{Durability, Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
 pub use script::{run_script, ScriptError};
 
 /// One-stop imports for applications embedding the engine.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
+    pub use crate::engine::{Durability, Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
     pub use crate::script::{run_script, ScriptError};
     pub use mm_chase::{
         certain_answers, chase_general, chase_general_governed, chase_general_prepared,
@@ -64,7 +64,11 @@ pub mod prelude {
         er_to_relational, nest_relational, relational_to_er, shred_nested, three_copy_translate,
         InheritanceStrategy, ModelGenError, ModelGenResult,
     };
-    pub use mm_repository::{ArtifactId, ArtifactKind, LineageEdge, Repository};
+    pub use mm_repository::{
+        ArtifactId, ArtifactKind, DurableOptions, FaultOp, FaultPlan, FaultStorage, LineageEdge,
+        MemStorage, Repository, RepositoryError, Storage, StorageError, SNAPSHOT_FILE,
+        SNAPSHOT_TMP_FILE, WAL_FILE,
+    };
     pub use mm_runtime::{
         advise_indexes, batch_load, batch_load_governed, check_query, compile_policy,
         compile_triggers, explain, fire_triggers, maintain_insertions,

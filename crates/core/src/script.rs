@@ -54,7 +54,36 @@ fn op_err(line: usize, e: EngineError) -> ScriptError {
 
 /// Execute a script against `engine`, returning one log line per
 /// statement.
+///
+/// The whole script runs as **one repository transaction**: a failure at
+/// any statement (parse error, unknown command, operator error) rolls
+/// the repository back to its pre-script state — no partial artifacts,
+/// no partial lineage — and a successful script commits exactly its
+/// writes. On a durable repository the commit lands as a single WAL
+/// batch frame, so a crash mid-script is indistinguishable from the
+/// script never having run.
 pub fn run_script(engine: &Engine, script: &str) -> Result<Vec<String>, ScriptError> {
+    engine
+        .repo
+        .begin()
+        .map_err(|e| err(0, format!("begin transaction: {e}")))?;
+    match run_statements(engine, script) {
+        Ok(log) => {
+            engine
+                .repo
+                .commit()
+                .map_err(|e| err(0, format!("commit transaction: {e}")))?;
+            Ok(log)
+        }
+        Err(e) => {
+            // rollback can only fail if no transaction is open, and ours is
+            let _ = engine.repo.rollback();
+            Err(e)
+        }
+    }
+}
+
+fn run_statements(engine: &Engine, script: &str) -> Result<Vec<String>, ScriptError> {
     let mut log = Vec::new();
     let lines: Vec<(usize, &str)> =
         script.lines().enumerate().map(|(i, l)| (i + 1, l)).collect();
@@ -86,7 +115,7 @@ pub fn run_script(engine: &Engine, script: &str) -> Result<Vec<String>, ScriptEr
             }
             let schema =
                 parse_schema(&block).map_err(|e| err(no + e.line - 1, e.message))?;
-            let id = engine.add_schema(schema);
+            let id = engine.add_schema(schema).map_err(|e| op_err(no, e))?;
             log.push(format!("schema {id}"));
             continue;
         }
@@ -280,6 +309,71 @@ merge L R L~R
         let log = run_script(&engine, script).unwrap();
         assert!(log.iter().any(|l| l.starts_with("merge ")));
         assert!(engine.repo.latest_schema("L+R").is_ok());
+    }
+
+    #[test]
+    fn failing_script_rolls_back_completely() {
+        let engine = Engine::new();
+        run_script(&engine, "schema Base {\n  table T(a: int)\n}").unwrap();
+        let schemas = engine.repo.schema_names();
+        let mappings = engine.repo.mapping_names();
+        let lineage = engine.repo.lineage().len();
+        let state = engine.repo.state_bytes();
+
+        // several statements succeed, then operator k fails
+        let bad = r#"
+schema ER {
+  entity Person(Id: int, Name: text)
+  key Person(Id)
+}
+modelgen vertical ER
+frobnicate X Y
+"#;
+        let e = run_script(&engine, bad).unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+        // pre-script state, exactly: names, version counts, lineage, bytes
+        assert_eq!(engine.repo.schema_names(), schemas);
+        assert_eq!(engine.repo.mapping_names(), mappings);
+        assert_eq!(engine.repo.schema_versions("ER"), 0);
+        assert_eq!(engine.repo.schema_versions("ER_rel"), 0);
+        assert_eq!(engine.repo.lineage().len(), lineage);
+        assert_eq!(engine.repo.state_bytes(), state);
+        assert!(!engine.repo.in_transaction());
+    }
+
+    #[test]
+    fn successful_script_commits_exactly_its_writes() {
+        let engine = Engine::new();
+        run_script(&engine, SCRIPT).unwrap();
+        assert!(!engine.repo.in_transaction());
+        assert_eq!(engine.repo.schema_versions("ER"), 1);
+        assert_eq!(engine.repo.mapping_versions("ER->ER_rel"), 1);
+        // re-running the same script commits a second round of versions —
+        // exactly one more of each, nothing phantom
+        run_script(&engine, SCRIPT).unwrap();
+        assert_eq!(engine.repo.schema_versions("ER"), 2);
+        assert_eq!(engine.repo.mapping_versions("ER->ER_rel"), 2);
+    }
+
+    #[test]
+    fn failing_script_on_durable_repository_leaves_no_trace_in_the_log() {
+        use mm_repository::{DurableOptions, MemStorage};
+        let mem = MemStorage::new();
+        let engine = Engine::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        run_script(&engine, "schema Base {\n  table T(a: int)\n}").unwrap();
+        let state = engine.repo.state_bytes();
+
+        let e = run_script(&engine, "schema X {\n  table U(a: int)\n}\nfrobnicate")
+            .unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+        assert_eq!(engine.repo.state_bytes(), state);
+
+        // a recovered repository agrees: the failed script never happened
+        drop(engine);
+        let reopened = Engine::open_durable(mem, DurableOptions::default()).unwrap();
+        assert_eq!(reopened.repo.state_bytes(), state);
+        assert_eq!(reopened.repo.schema_versions("Base"), 1);
+        assert_eq!(reopened.repo.schema_versions("X"), 0);
     }
 
     #[test]

@@ -61,6 +61,10 @@ pub enum ExecError {
     /// An internal invariant broke. Reported instead of panicking so
     /// callers can still unwind cleanly.
     Internal { what: String },
+    /// A storage/I/O operation failed (durable repository journaling,
+    /// snapshot swap). Not a resource error: retrying without fixing
+    /// the underlying device won't help.
+    Io { what: String },
 }
 
 impl ExecError {
@@ -74,6 +78,10 @@ impl ExecError {
 
     pub fn internal(what: impl Into<String>) -> Self {
         ExecError::Internal { what: what.into() }
+    }
+
+    pub fn io(what: impl Into<String>) -> Self {
+        ExecError::Io { what: what.into() }
     }
 
     /// True for errors caused by resource limits (the cases degradation
@@ -101,6 +109,7 @@ impl fmt::Display for ExecError {
             ExecError::Unsupported { what } => write!(f, "unsupported: {what}"),
             ExecError::Malformed { what } => write!(f, "malformed input: {what}"),
             ExecError::Internal { what } => write!(f, "internal error: {what}"),
+            ExecError::Io { what } => write!(f, "i/o error: {what}"),
         }
     }
 }

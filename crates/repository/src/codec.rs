@@ -31,6 +31,34 @@ impl std::error::Error for DecodeError {}
 
 pub type DecodeResult<T> = Result<T, DecodeError>;
 
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) checksum — guards every WAL frame and snapshot body
+/// against torn writes and bit rot. Hand-rolled because no checksum
+/// crate is in the dependency budget.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 /// Byte writer.
 pub struct Writer {
     buf: BytesMut,
@@ -149,18 +177,31 @@ impl Reader {
     }
 
     pub fn str(&mut self) -> DecodeResult<String> {
-        let n = self.u32()? as usize;
-        self.need(n)?;
+        // the same pre-allocation bound as `seq`: the length prefix must
+        // fit in the remaining buffer before any allocation happens, so
+        // an adversarial prefix cannot trigger an oversized allocation
+        let n = self.seq_len()?;
         let bytes = self.buf.copy_to_bytes(n);
         String::from_utf8(bytes.to_vec()).map_err(|e| DecodeError(e.to_string()))
     }
 
-    pub fn seq<T>(&mut self, mut f: impl FnMut(&mut Self) -> DecodeResult<T>) -> DecodeResult<Vec<T>> {
+    /// Read a `u32` length prefix, bounded by the remaining buffer —
+    /// element encodings take at least one byte, so any honest length
+    /// fits. Every decoder that pre-allocates from a length prefix goes
+    /// through this, capping `Vec::with_capacity` at the buffer size.
+    pub fn seq_len(&mut self) -> DecodeResult<usize> {
         let n = self.u32()? as usize;
-        // sanity bound: element encodings take at least one byte
         if n > self.buf.remaining() {
-            return Err(DecodeError(format!("sequence length {n} exceeds buffer")));
+            return Err(DecodeError(format!(
+                "length {n} exceeds remaining buffer ({})",
+                self.buf.remaining()
+            )));
         }
+        Ok(n)
+    }
+
+    pub fn seq<T>(&mut self, mut f: impl FnMut(&mut Self) -> DecodeResult<T>) -> DecodeResult<Vec<T>> {
+        let n = self.seq_len()?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(f(self)?);
@@ -541,7 +582,7 @@ impl Decode for Scalar {
             1 => Scalar::Lit(Lit::decode(r)?),
             2 => Scalar::Func(Func::decode(r)?, r.seq(Scalar::decode)?),
             3 => {
-                let n = r.u32()? as usize;
+                let n = r.seq_len()?;
                 let mut branches = Vec::with_capacity(n);
                 for _ in 0..n {
                     branches.push((Predicate::decode(r)?, Scalar::decode(r)?));
@@ -620,7 +661,7 @@ fn encode_pairs(w: &mut Writer, pairs: &[(String, String)]) {
 }
 
 fn decode_pairs(r: &mut Reader) -> DecodeResult<Vec<(String, String)>> {
-    let n = r.u32()? as usize;
+    let n = r.seq_len()?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push((r.str()?, r.str()?));
@@ -729,7 +770,7 @@ impl Decode for Expr {
             0 => Expr::Base(r.str()?),
             1 => {
                 let columns = r.seq(Reader::str)?;
-                let n = r.u32()? as usize;
+                let n = r.seq_len()?;
                 let mut rows = Vec::with_capacity(n);
                 for _ in 0..n {
                     rows.push(r.seq(Lit::decode)?);
@@ -780,7 +821,7 @@ impl Decode for Expr {
             12 => {
                 let input = Box::new(Expr::decode(r)?);
                 let group_by = r.seq(Reader::str)?;
-                let n = r.u32()? as usize;
+                let n = r.seq_len()?;
                 let mut aggregates = Vec::with_capacity(n);
                 for _ in 0..n {
                     let func = match r.u8()? {
@@ -880,11 +921,11 @@ impl Encode for SoTgd {
 impl Decode for SoTgd {
     fn decode(r: &mut Reader) -> DecodeResult<Self> {
         let functions = r.seq(Reader::str)?;
-        let n = r.u32()? as usize;
+        let n = r.seq_len()?;
         let mut clauses = Vec::with_capacity(n);
         for _ in 0..n {
             let body = r.seq(Atom::decode)?;
-            let ne = r.u32()? as usize;
+            let ne = r.seq_len()?;
             let mut eqs = Vec::with_capacity(ne);
             for _ in 0..ne {
                 eqs.push((Term::decode(r)?, Term::decode(r)?));
@@ -1136,6 +1177,39 @@ mod tests {
     fn unknown_tag_errors_cleanly() {
         let mut w = Writer::new();
         w.u8(99);
+        let mut r = Reader::new(w.finish());
+        assert!(Expr::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard IEEE CRC32 check values
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn adversarial_length_prefixes_error_before_allocating() {
+        // a str whose length prefix claims u32::MAX bytes
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        w.u8(b'x');
+        let mut r = Reader::new(w.finish());
+        assert!(r.str().is_err());
+
+        // an SO-tgd clause count far beyond the buffer
+        let mut w = Writer::new();
+        w.u32(0); // no functions
+        w.u32(u32::MAX); // absurd clause count
+        let mut r = Reader::new(w.finish());
+        assert!(SoTgd::decode(&mut r).is_err());
+
+        // a literal-table row count beyond the buffer
+        let mut w = Writer::new();
+        w.u8(1); // Expr::Literal tag
+        w.u32(0); // no columns
+        w.u32(0x7FFF_FFFF); // absurd row count
         let mut r = Reader::new(w.finish());
         assert!(Expr::decode(&mut r).is_err());
     }

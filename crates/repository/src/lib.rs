@@ -9,12 +9,23 @@
 //! uses the paper attributes to the repository, while the artifacts
 //! themselves are full mapping-language objects rather than "simple
 //! relationships".
+//!
+//! Durability (DESIGN.md §9): [`Repository::open_durable`] layers a
+//! checksummed write-ahead log ([`wal`]) and atomically swapped
+//! snapshots over a pluggable [`storage::Storage`] backend, with a
+//! fault-injecting wrapper ([`storage::FaultStorage`]) for crash
+//! testing.
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod codec;
+pub mod storage;
 pub mod store;
+pub mod wal;
 
+pub use storage::{FaultOp, FaultPlan, FaultStorage, MemStorage, Storage, StorageError};
 pub use store::{
-    ArtifactId, ArtifactKind, LineageEdge, Repository, RepositoryError, VersionedName,
+    ArtifactId, ArtifactKind, DurableOptions, LineageEdge, Repository, RepositoryError,
+    VersionedName, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,
 };
+pub use wal::{Wal, WalRecord, WalReplay};

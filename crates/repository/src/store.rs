@@ -1,12 +1,31 @@
-//! The versioned artifact store with operator lineage.
+//! The versioned artifact store with operator lineage, with an optional
+//! crash-safe durable mode.
+//!
+//! A [`Repository`] is either *ephemeral* ([`Repository::new`] — pure
+//! in-memory, the historical behavior) or *durable*
+//! ([`Repository::open_durable`] — every committed mutation is
+//! journaled through a checksummed write-ahead log before it is applied
+//! in memory, and [`Repository::checkpoint`] compacts the log into an
+//! atomically swapped snapshot). The recovery protocol and its
+//! invariants are documented in DESIGN.md §9; the crash-recovery
+//! property suite (`tests/crash_recovery.rs`) enforces them at every
+//! WAL byte offset and snapshot-swap step.
+//!
+//! Multi-operator commits are transactional: [`Repository::begin`]
+//! takes a whole-store savepoint, writes buffer into a single WAL batch
+//! frame, and [`Repository::commit`] / [`Repository::rollback`] make
+//! the batch all-or-nothing — against both errors and crashes.
 
-use crate::codec::{Decode, DecodeError, Encode, Reader, Writer};
+use crate::codec::{crc32, Decode, DecodeError, Encode, Reader, Writer};
+use crate::storage::{Storage, StorageError};
+use crate::wal::{Wal, WalRecord};
 use bytes::Bytes;
 use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
 use mm_metamodel::Schema;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What kind of artifact an id refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -68,8 +87,19 @@ pub struct LineageEdge {
 pub enum RepositoryError {
     NotFound(String),
     Decode(DecodeError),
-    /// Snapshot header mismatch.
-    BadSnapshot,
+    /// Snapshot validation failed: bad magic, unknown format version, or
+    /// a body checksum mismatch. The detail pinpoints the offset.
+    BadSnapshot { detail: String },
+    /// The storage layer failed (I/O error, torn write, crash).
+    Storage(StorageError),
+    /// `begin` while a transaction is already active, or `checkpoint`
+    /// during a transaction (a snapshot must not persist uncommitted
+    /// writes).
+    TransactionActive,
+    /// `commit`/`rollback` without an active transaction.
+    NoTransaction,
+    /// A durable-only operation (`checkpoint`) on an ephemeral repository.
+    NotDurable,
 }
 
 impl fmt::Display for RepositoryError {
@@ -77,7 +107,15 @@ impl fmt::Display for RepositoryError {
         match self {
             RepositoryError::NotFound(n) => write!(f, "artifact `{n}` not found"),
             RepositoryError::Decode(e) => write!(f, "{e}"),
-            RepositoryError::BadSnapshot => f.write_str("bad snapshot header"),
+            RepositoryError::BadSnapshot { detail } => write!(f, "bad snapshot: {detail}"),
+            RepositoryError::Storage(e) => write!(f, "{e}"),
+            RepositoryError::TransactionActive => {
+                f.write_str("a repository transaction is already active")
+            }
+            RepositoryError::NoTransaction => f.write_str("no active repository transaction"),
+            RepositoryError::NotDurable => {
+                f.write_str("operation requires a durable repository")
+            }
         }
     }
 }
@@ -90,7 +128,13 @@ impl From<DecodeError> for RepositoryError {
     }
 }
 
-#[derive(Default)]
+impl From<StorageError> for RepositoryError {
+    fn from(e: StorageError) -> Self {
+        RepositoryError::Storage(e)
+    }
+}
+
+#[derive(Default, Clone)]
 struct Store {
     schemas: BTreeMap<String, Vec<Schema>>,
     mappings: BTreeMap<String, Vec<Mapping>>,
@@ -99,27 +143,109 @@ struct Store {
     lineage: Vec<LineageEdge>,
 }
 
+/// An open transaction: the pre-transaction state to roll back to, plus
+/// the WAL records to flush as one batch frame on commit.
+struct TxState {
+    savepoint: Store,
+    buffer: Vec<WalRecord>,
+}
+
+/// Durability knobs for [`Repository::open_durable`].
+#[derive(Debug, Clone, Default)]
+pub struct DurableOptions {
+    /// Automatically [`Repository::checkpoint`] after this many committed
+    /// WAL batches. `None` (the default) checkpoints only on demand.
+    /// Auto-checkpoint failures do not fail the triggering write (the
+    /// WAL already has the data); they are recorded and retrievable via
+    /// [`Repository::take_checkpoint_error`].
+    pub checkpoint_every: Option<u64>,
+}
+
+struct DurState {
+    /// Sequence number the next committed batch will carry.
+    next_seq: u64,
+    batches_since_checkpoint: u64,
+    checkpoint_error: Option<StorageError>,
+}
+
+struct DurableCore {
+    storage: Arc<dyn Storage>,
+    wal: Wal,
+    state: Mutex<DurState>,
+    opts: DurableOptions,
+}
+
+impl DurableCore {
+    /// Append one committed batch, advancing the sequence counter only
+    /// after the frame is fully persisted.
+    fn append_now(&self, records: &[WalRecord]) -> Result<(), StorageError> {
+        let mut st = self.state.lock();
+        self.wal.append_batch(st.next_seq, records)?;
+        st.next_seq += 1;
+        st.batches_since_checkpoint += 1;
+        Ok(())
+    }
+}
+
 /// Thread-safe versioned metadata repository.
+///
+/// Lock order (held invariantly throughout this module, preventing
+/// deadlock): `tx` mutex → `inner` RwLock → durable `state` mutex.
 #[derive(Default)]
 pub struct Repository {
     inner: RwLock<Store>,
+    tx: Mutex<Option<TxState>>,
+    durable: Option<DurableCore>,
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x4D4D5232; // "MMR2"
+/// Snapshot format version. v2 added the version byte, the last-applied
+/// WAL sequence number, and the CRC32 body checksum.
+const SNAPSHOT_VERSION: u8 = 2;
+/// Snapshot header: magic (4) + version (1) + seq (8) + crc (4).
+const SNAPSHOT_HEADER_LEN: usize = 17;
+
+/// Storage file names of the durable layout.
+pub const SNAPSHOT_FILE: &str = "snapshot";
+pub const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
+pub const WAL_FILE: &str = "wal";
 
 macro_rules! accessors {
     ($store_fn:ident, $get_fn:ident, $latest_fn:ident, $versions_fn:ident,
-     $field:ident, $ty:ty, $kind:expr) => {
-        /// Store a new version; returns its id.
-        pub fn $store_fn(&self, name: impl Into<String>, value: $ty) -> ArtifactId {
+     $field:ident, $ty:ty, $kind:expr, $rec:ident) => {
+        /// Store a new version; returns its id. In durable mode the
+        /// write reaches the WAL (or the open transaction's buffer)
+        /// before it is applied in memory; a storage failure leaves the
+        /// repository unchanged.
+        pub fn $store_fn(
+            &self,
+            name: impl Into<String>,
+            value: $ty,
+        ) -> Result<ArtifactId, RepositoryError> {
             let name = name.into();
-            let mut store = self.inner.write();
-            let versions = store.$field.entry(name.clone()).or_default();
-            versions.push(value);
-            ArtifactId {
-                kind: $kind,
-                name: VersionedName { name, version: versions.len() as u32 - 1 },
-            }
+            let id = {
+                let mut tx = self.tx.lock();
+                let mut store = self.inner.write();
+                if let Some(tx) = tx.as_mut() {
+                    tx.buffer.push(WalRecord::$rec {
+                        name: name.clone(),
+                        value: value.clone(),
+                    });
+                } else if let Some(d) = &self.durable {
+                    d.append_now(&[WalRecord::$rec {
+                        name: name.clone(),
+                        value: value.clone(),
+                    }])?;
+                }
+                let versions = store.$field.entry(name.clone()).or_default();
+                versions.push(value);
+                ArtifactId {
+                    kind: $kind,
+                    name: VersionedName { name, version: versions.len() as u32 - 1 },
+                }
+            };
+            self.maybe_autocheckpoint();
+            Ok(id)
         }
 
         /// Fetch a specific version.
@@ -142,8 +268,12 @@ macro_rules! accessors {
                 .filter(|v| !v.is_empty())
                 .ok_or_else(|| RepositoryError::NotFound(name.to_string()))?;
             let version = versions.len() as u32 - 1;
+            let value = versions
+                .last()
+                .cloned()
+                .ok_or_else(|| RepositoryError::NotFound(name.to_string()))?;
             Ok((
-                versions[version as usize].clone(),
+                value,
                 ArtifactId {
                     kind: $kind,
                     name: VersionedName { name: name.to_string(), version },
@@ -159,19 +289,90 @@ macro_rules! accessors {
 }
 
 impl Repository {
+    /// An ephemeral (in-memory only) repository.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Open (or create) a durable repository over `storage`, running
+    /// crash recovery:
+    ///
+    /// 1. delete any half-written `snapshot.tmp` (the swap never
+    ///    completed, so the previous snapshot is still authoritative);
+    /// 2. load and validate the snapshot (magic, version, CRC32) if one
+    ///    exists, noting the last WAL sequence it includes;
+    /// 3. replay the longest valid WAL prefix, skipping frames at or
+    ///    below the snapshot's sequence (idempotent replay);
+    /// 4. physically truncate any torn/corrupted WAL tail so later
+    ///    appends extend the valid prefix.
+    pub fn open_durable(
+        storage: Arc<dyn Storage>,
+        opts: DurableOptions,
+    ) -> Result<Self, RepositoryError> {
+        storage.delete(SNAPSHOT_TMP_FILE)?;
+        let (mut store, base_seq) = match storage.read(SNAPSHOT_FILE)? {
+            Some(bytes) => decode_snapshot(bytes)?,
+            None => (Store::default(), 0),
+        };
+        let wal = Wal::new(Arc::clone(&storage), WAL_FILE);
+        let replay = wal.replay()?;
+        let truncated = replay.truncated();
+        let valid_len = replay.valid_len;
+        let mut last_seq = base_seq;
+        for (seq, records) in replay.batches {
+            if seq <= base_seq {
+                continue; // already folded into the snapshot
+            }
+            for rec in records {
+                apply_record(&mut store, rec);
+            }
+            last_seq = seq;
+        }
+        if truncated {
+            wal.truncate(valid_len)?;
+        }
+        Ok(Repository {
+            inner: RwLock::new(store),
+            tx: Mutex::new(None),
+            durable: Some(DurableCore {
+                storage,
+                wal,
+                state: Mutex::new(DurState {
+                    next_seq: last_seq + 1,
+                    batches_since_checkpoint: 0,
+                    checkpoint_error: None,
+                }),
+                opts,
+            }),
+        })
+    }
+
+    /// Is this repository journaling through a WAL?
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The sequence number of the last committed batch (durable mode).
+    pub fn durable_seq(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.state.lock().next_seq - 1)
+    }
+
+    /// The error of the most recent failed auto-checkpoint, if any
+    /// (taking clears it). Auto-checkpoint failures are not data loss —
+    /// the WAL holds everything — but callers may want to surface them.
+    pub fn take_checkpoint_error(&self) -> Option<StorageError> {
+        self.durable.as_ref().and_then(|d| d.state.lock().checkpoint_error.take())
+    }
+
     accessors!(store_schema, get_schema, latest_schema, schema_versions,
-               schemas, Schema, ArtifactKind::Schema);
+               schemas, Schema, ArtifactKind::Schema, Schema);
     accessors!(store_mapping, get_mapping, latest_mapping, mapping_versions,
-               mappings, Mapping, ArtifactKind::Mapping);
+               mappings, Mapping, ArtifactKind::Mapping, Mapping);
     accessors!(store_viewset, get_viewset, latest_viewset, viewset_versions,
-               viewsets, ViewSet, ArtifactKind::ViewSet);
+               viewsets, ViewSet, ArtifactKind::ViewSet, ViewSet);
     accessors!(store_correspondences, get_correspondences, latest_correspondences,
                correspondences_versions, correspondences, CorrespondenceSet,
-               ArtifactKind::Correspondences);
+               ArtifactKind::Correspondences, Correspondences);
 
     /// Names of all stored schemas.
     pub fn schema_names(&self) -> Vec<String> {
@@ -193,13 +394,29 @@ impl Repository {
         self.inner.read().correspondences.keys().cloned().collect()
     }
 
-    /// Record an operator invocation.
-    pub fn record(&self, operator: impl Into<String>, inputs: Vec<ArtifactId>, output: ArtifactId) {
-        self.inner.write().lineage.push(LineageEdge {
-            operator: operator.into(),
-            inputs,
-            output,
-        });
+    /// Record an operator invocation. Journaled like a store: callers
+    /// should store the output artifact *before* recording the edge, so
+    /// a crash between the two can orphan an artifact but never dangle
+    /// an edge.
+    pub fn record(
+        &self,
+        operator: impl Into<String>,
+        inputs: Vec<ArtifactId>,
+        output: ArtifactId,
+    ) -> Result<(), RepositoryError> {
+        let edge = LineageEdge { operator: operator.into(), inputs, output };
+        {
+            let mut tx = self.tx.lock();
+            let mut store = self.inner.write();
+            if let Some(tx) = tx.as_mut() {
+                tx.buffer.push(WalRecord::Lineage(edge.clone()));
+            } else if let Some(d) = &self.durable {
+                d.append_now(&[WalRecord::Lineage(edge.clone())])?;
+            }
+            store.lineage.push(edge);
+        }
+        self.maybe_autocheckpoint();
+        Ok(())
     }
 
     /// All lineage edges (clone).
@@ -246,46 +463,227 @@ impl Repository {
         out
     }
 
-    /// Serialize the whole repository to a snapshot.
-    pub fn snapshot(&self) -> Bytes {
-        let store = self.inner.read();
-        let mut w = Writer::new();
-        w.u32(SNAPSHOT_MAGIC);
-        encode_versions(&mut w, &store.schemas);
-        encode_versions(&mut w, &store.mappings);
-        encode_versions(&mut w, &store.viewsets);
-        encode_versions(&mut w, &store.correspondences);
-        w.u32(store.lineage.len() as u32);
-        for e in &store.lineage {
-            w.str(&e.operator);
-            encode_ids(&mut w, &e.inputs);
-            encode_id(&mut w, &e.output);
+    // --- transactions -----------------------------------------------------
+
+    /// Begin a transaction: take a whole-store savepoint and start
+    /// buffering journal records. One transaction at a time; writes from
+    /// any thread while it is open belong to it (single-writer
+    /// discipline is the caller's job, as with any savepoint API).
+    pub fn begin(&self) -> Result<(), RepositoryError> {
+        let mut tx = self.tx.lock();
+        if tx.is_some() {
+            return Err(RepositoryError::TransactionActive);
         }
-        w.finish()
+        let store = self.inner.read();
+        *tx = Some(TxState { savepoint: store.clone(), buffer: Vec::new() });
+        Ok(())
     }
 
-    /// Restore a repository from a snapshot.
+    /// Commit the open transaction. In durable mode the buffered records
+    /// are flushed as **one** WAL batch frame — all-or-nothing against
+    /// crashes — and a flush failure rolls the in-memory state back to
+    /// the savepoint before surfacing the error, so memory and log never
+    /// diverge.
+    pub fn commit(&self) -> Result<(), RepositoryError> {
+        {
+            let mut tx = self.tx.lock();
+            let Some(state) = tx.take() else {
+                return Err(RepositoryError::NoTransaction);
+            };
+            if let Some(d) = &self.durable {
+                if !state.buffer.is_empty() {
+                    if let Err(e) = d.append_now(&state.buffer) {
+                        *self.inner.write() = state.savepoint;
+                        return Err(RepositoryError::Storage(e));
+                    }
+                }
+            }
+        }
+        self.maybe_autocheckpoint();
+        Ok(())
+    }
+
+    /// Abandon the open transaction, restoring the savepoint.
+    pub fn rollback(&self) -> Result<(), RepositoryError> {
+        let mut tx = self.tx.lock();
+        let Some(state) = tx.take() else {
+            return Err(RepositoryError::NoTransaction);
+        };
+        *self.inner.write() = state.savepoint;
+        Ok(())
+    }
+
+    /// Is a transaction currently open?
+    pub fn in_transaction(&self) -> bool {
+        self.tx.lock().is_some()
+    }
+
+    // --- snapshots & checkpointing ----------------------------------------
+
+    /// Compact the WAL into an atomically swapped snapshot:
+    /// write-new-then-swap (`snapshot.tmp` → rename over `snapshot`),
+    /// then reset the log. Never overwrites the live snapshot in place;
+    /// a crash at any step leaves a recoverable state (see
+    /// [`Repository::open_durable`]).
+    pub fn checkpoint(&self) -> Result<(), RepositoryError> {
+        let Some(d) = &self.durable else {
+            return Err(RepositoryError::NotDurable);
+        };
+        // hold the tx lock throughout: writers queue behind it, so the
+        // snapshot is a consistent cut, and no uncommitted transaction
+        // state can leak into it
+        let tx = self.tx.lock();
+        if tx.is_some() {
+            return Err(RepositoryError::TransactionActive);
+        }
+        let store = self.inner.read();
+        let mut st = d.state.lock();
+        let bytes = snapshot_bytes(&store, st.next_seq - 1);
+        drop(store);
+        d.storage.write(SNAPSHOT_TMP_FILE, &bytes)?;
+        d.storage.rename(SNAPSHOT_TMP_FILE, SNAPSHOT_FILE)?;
+        // from here the snapshot is authoritative; resetting the log is
+        // best-effort (stale frames are skipped by sequence on recovery)
+        d.wal.reset()?;
+        st.batches_since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn maybe_autocheckpoint(&self) {
+        let Some(d) = &self.durable else { return };
+        let Some(every) = d.opts.checkpoint_every else { return };
+        if d.state.lock().batches_since_checkpoint < every {
+            return;
+        }
+        if let Err(e) = self.checkpoint() {
+            // not data loss (the WAL has everything); record for callers
+            if let Some(d) = &self.durable {
+                let err = match e {
+                    RepositoryError::Storage(s) => s,
+                    RepositoryError::TransactionActive => return, // retry later
+                    other => StorageError::io(SNAPSHOT_FILE, other.to_string()),
+                };
+                d.state.lock().checkpoint_error = Some(err);
+            }
+        }
+    }
+
+    /// Serialize the whole repository to a self-validating snapshot:
+    /// magic, format version, last WAL sequence, CRC32 over the body.
+    pub fn snapshot(&self) -> Bytes {
+        let store = self.inner.read();
+        let seq = self.durable.as_ref().map(|d| d.state.lock().next_seq - 1).unwrap_or(0);
+        snapshot_bytes(&store, seq)
+    }
+
+    /// The canonical body encoding of the current state, without the
+    /// snapshot header. Two repositories hold identical artifact and
+    /// lineage state iff their `state_bytes` agree — the comparison the
+    /// crash-recovery suite is built on.
+    pub fn state_bytes(&self) -> Bytes {
+        encode_store(&self.inner.read())
+    }
+
+    /// Restore an ephemeral repository from a snapshot.
     pub fn restore(bytes: Bytes) -> Result<Self, RepositoryError> {
-        let mut r = Reader::new(bytes);
-        if r.u32()? != SNAPSHOT_MAGIC {
-            return Err(RepositoryError::BadSnapshot);
-        }
-        let schemas = decode_versions::<Schema>(&mut r)?;
-        let mappings = decode_versions::<Mapping>(&mut r)?;
-        let viewsets = decode_versions::<ViewSet>(&mut r)?;
-        let correspondences = decode_versions::<CorrespondenceSet>(&mut r)?;
-        let n = r.u32()? as usize;
-        let mut lineage = Vec::with_capacity(n);
-        for _ in 0..n {
-            let operator = r.str()?;
-            let inputs = decode_ids(&mut r)?;
-            let output = decode_id(&mut r)?;
-            lineage.push(LineageEdge { operator, inputs, output });
-        }
+        let (store, _) = decode_snapshot(bytes)?;
         Ok(Repository {
-            inner: RwLock::new(Store { schemas, mappings, viewsets, correspondences, lineage }),
+            inner: RwLock::new(store),
+            tx: Mutex::new(None),
+            durable: None,
         })
     }
+}
+
+fn apply_record(store: &mut Store, rec: WalRecord) {
+    match rec {
+        WalRecord::Schema { name, value } => {
+            store.schemas.entry(name).or_default().push(value)
+        }
+        WalRecord::Mapping { name, value } => {
+            store.mappings.entry(name).or_default().push(value)
+        }
+        WalRecord::ViewSet { name, value } => {
+            store.viewsets.entry(name).or_default().push(value)
+        }
+        WalRecord::Correspondences { name, value } => {
+            store.correspondences.entry(name).or_default().push(value)
+        }
+        WalRecord::Lineage(edge) => store.lineage.push(edge),
+    }
+}
+
+fn encode_store(store: &Store) -> Bytes {
+    let mut w = Writer::new();
+    encode_versions(&mut w, &store.schemas);
+    encode_versions(&mut w, &store.mappings);
+    encode_versions(&mut w, &store.viewsets);
+    encode_versions(&mut w, &store.correspondences);
+    w.u32(store.lineage.len() as u32);
+    for e in &store.lineage {
+        e.encode(&mut w);
+    }
+    w.finish()
+}
+
+fn snapshot_bytes(store: &Store, seq: u64) -> Bytes {
+    let body = encode_store(store);
+    let mut w = Writer::new();
+    w.u32(SNAPSHOT_MAGIC);
+    w.u8(SNAPSHOT_VERSION);
+    w.u64(seq);
+    w.u32(crc32(&body));
+    let mut out = w.finish().to_vec();
+    out.extend_from_slice(&body);
+    Bytes::from(out)
+}
+
+fn decode_snapshot(bytes: Bytes) -> Result<(Store, u64), RepositoryError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN {
+        return Err(RepositoryError::BadSnapshot {
+            detail: format!(
+                "truncated header: {} of {SNAPSHOT_HEADER_LEN} bytes",
+                bytes.len()
+            ),
+        });
+    }
+    let mut r = Reader::new(bytes.slice(0..SNAPSHOT_HEADER_LEN));
+    let magic = r.u32()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(RepositoryError::BadSnapshot {
+            detail: format!("bad magic at offset 0: {magic:#010x}"),
+        });
+    }
+    let version = r.u8()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(RepositoryError::BadSnapshot {
+            detail: format!("unsupported format version {version} at offset 4"),
+        });
+    }
+    let seq = r.u64()?;
+    let expected_crc = r.u32()?;
+    let body = bytes.slice(SNAPSHOT_HEADER_LEN..bytes.len());
+    let found_crc = crc32(&body);
+    if found_crc != expected_crc {
+        return Err(RepositoryError::BadSnapshot {
+            detail: format!(
+                "body checksum mismatch over offsets {SNAPSHOT_HEADER_LEN}..{}: \
+                 expected {expected_crc:#010x}, found {found_crc:#010x}",
+                bytes.len()
+            ),
+        });
+    }
+    let mut r = Reader::new(body);
+    let schemas = decode_versions::<Schema>(&mut r)?;
+    let mappings = decode_versions::<Mapping>(&mut r)?;
+    let viewsets = decode_versions::<ViewSet>(&mut r)?;
+    let correspondences = decode_versions::<CorrespondenceSet>(&mut r)?;
+    let n = r.seq_len()?;
+    let mut lineage = Vec::with_capacity(n);
+    for _ in 0..n {
+        lineage.push(LineageEdge::decode(&mut r)?);
+    }
+    Ok((Store { schemas, mappings, viewsets, correspondences, lineage }, seq))
 }
 
 fn encode_versions<T: Encode>(w: &mut Writer, map: &BTreeMap<String, Vec<T>>) {
@@ -300,11 +698,11 @@ fn encode_versions<T: Encode>(w: &mut Writer, map: &BTreeMap<String, Vec<T>>) {
 }
 
 fn decode_versions<T: Decode>(r: &mut Reader) -> Result<BTreeMap<String, Vec<T>>, DecodeError> {
-    let n = r.u32()? as usize;
+    let n = r.seq_len()?;
     let mut map = BTreeMap::new();
     for _ in 0..n {
         let name = r.str()?;
-        let k = r.u32()? as usize;
+        let k = r.seq_len()?;
         let mut versions = Vec::with_capacity(k);
         for _ in 0..k {
             versions.push(T::decode(r)?);
@@ -314,47 +712,54 @@ fn decode_versions<T: Decode>(r: &mut Reader) -> Result<BTreeMap<String, Vec<T>>
     Ok(map)
 }
 
-fn encode_id(w: &mut Writer, id: &ArtifactId) {
-    w.u8(match id.kind {
-        ArtifactKind::Schema => 0,
-        ArtifactKind::Mapping => 1,
-        ArtifactKind::ViewSet => 2,
-        ArtifactKind::Correspondences => 3,
-    });
-    w.str(&id.name.name);
-    w.u32(id.name.version);
-}
-
-fn decode_id(r: &mut Reader) -> Result<ArtifactId, DecodeError> {
-    let kind = match r.u8()? {
-        0 => ArtifactKind::Schema,
-        1 => ArtifactKind::Mapping,
-        2 => ArtifactKind::ViewSet,
-        3 => ArtifactKind::Correspondences,
-        t => return Err(DecodeError(format!("unknown artifact kind {t}"))),
-    };
-    Ok(ArtifactId { kind, name: VersionedName { name: r.str()?, version: r.u32()? } })
-}
-
-fn encode_ids(w: &mut Writer, ids: &[ArtifactId]) {
-    w.u32(ids.len() as u32);
-    for id in ids {
-        encode_id(w, id);
+impl Encode for ArtifactId {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self.kind {
+            ArtifactKind::Schema => 0,
+            ArtifactKind::Mapping => 1,
+            ArtifactKind::ViewSet => 2,
+            ArtifactKind::Correspondences => 3,
+        });
+        w.str(&self.name.name);
+        w.u32(self.name.version);
     }
 }
 
-fn decode_ids(r: &mut Reader) -> Result<Vec<ArtifactId>, DecodeError> {
-    let n = r.u32()? as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(decode_id(r)?);
+impl Decode for ArtifactId {
+    fn decode(r: &mut Reader) -> Result<Self, DecodeError> {
+        let kind = match r.u8()? {
+            0 => ArtifactKind::Schema,
+            1 => ArtifactKind::Mapping,
+            2 => ArtifactKind::ViewSet,
+            3 => ArtifactKind::Correspondences,
+            t => return Err(DecodeError(format!("unknown artifact kind {t}"))),
+        };
+        Ok(ArtifactId { kind, name: VersionedName { name: r.str()?, version: r.u32()? } })
     }
-    Ok(out)
+}
+
+impl Encode for LineageEdge {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.operator);
+        w.seq(&self.inputs, |w, id| id.encode(w));
+        self.output.encode(w);
+    }
+}
+
+impl Decode for LineageEdge {
+    fn decode(r: &mut Reader) -> Result<Self, DecodeError> {
+        Ok(LineageEdge {
+            operator: r.str()?,
+            inputs: r.seq(ArtifactId::decode)?,
+            output: ArtifactId::decode(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::MemStorage;
     use mm_expr::{Expr, MappingConstraint, ViewDef};
     use mm_metamodel::{DataType, SchemaBuilder};
 
@@ -368,8 +773,8 @@ mod tests {
     #[test]
     fn versioning_is_monotone() {
         let repo = Repository::new();
-        let v0 = repo.store_schema("S", sample_schema("S"));
-        let v1 = repo.store_schema("S", sample_schema("S"));
+        let v0 = repo.store_schema("S", sample_schema("S")).unwrap();
+        let v1 = repo.store_schema("S", sample_schema("S")).unwrap();
         assert_eq!(v0.name.version, 0);
         assert_eq!(v1.name.version, 1);
         assert_eq!(repo.schema_versions("S"), 2);
@@ -383,20 +788,22 @@ mod tests {
     #[test]
     fn lineage_upstream_downstream() {
         let repo = Repository::new();
-        let s1 = repo.store_schema("S1", sample_schema("S1"));
-        let s2 = repo.store_schema("S2", sample_schema("S2"));
-        let m = repo.store_mapping(
-            "m12",
-            Mapping::with_constraints("S1", "S2", vec![MappingConstraint::ExprEq {
-                source: Expr::base("R"),
-                target: Expr::base("R"),
-            }]),
-        );
-        repo.record("match", vec![s1.clone(), s2.clone()], m.clone());
+        let s1 = repo.store_schema("S1", sample_schema("S1")).unwrap();
+        let s2 = repo.store_schema("S2", sample_schema("S2")).unwrap();
+        let m = repo
+            .store_mapping(
+                "m12",
+                Mapping::with_constraints("S1", "S2", vec![MappingConstraint::ExprEq {
+                    source: Expr::base("R"),
+                    target: Expr::base("R"),
+                }]),
+            )
+            .unwrap();
+        repo.record("match", vec![s1.clone(), s2.clone()], m.clone()).unwrap();
         let mut vs = ViewSet::new("S1", "S2");
         vs.push(ViewDef::new("R", Expr::base("R")));
-        let v = repo.store_viewset("v12", vs);
-        repo.record("transgen", vec![m.clone()], v.clone());
+        let v = repo.store_viewset("v12", vs).unwrap();
+        repo.record("transgen", vec![m.clone()], v.clone()).unwrap();
 
         let up = repo.upstream(&v);
         assert!(up.contains(&m));
@@ -411,22 +818,24 @@ mod tests {
     #[test]
     fn snapshot_restores_everything() {
         let repo = Repository::new();
-        let s = repo.store_schema("S", sample_schema("S"));
-        let m = repo.store_mapping(
-            "m",
-            Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
-                source: Expr::base("R").project(&["a"]),
-                target: Expr::base("R2"),
-            }]),
-        );
-        repo.record("modelgen", vec![s], m);
+        let s = repo.store_schema("S", sample_schema("S")).unwrap();
+        let m = repo
+            .store_mapping(
+                "m",
+                Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
+                    source: Expr::base("R").project(&["a"]),
+                    target: Expr::base("R2"),
+                }]),
+            )
+            .unwrap();
+        repo.record("modelgen", vec![s], m).unwrap();
         let mut cs = CorrespondenceSet::new("S", "T");
         cs.push(mm_expr::Correspondence::new(
             mm_expr::PathRef::attr("R", "a"),
             mm_expr::PathRef::attr("R2", "b"),
             0.9,
         ));
-        repo.store_correspondences("c", cs);
+        repo.store_correspondences("c", cs).unwrap();
 
         let bytes = repo.snapshot();
         let restored = Repository::restore(bytes).unwrap();
@@ -441,14 +850,55 @@ mod tests {
     }
 
     #[test]
-    fn bad_snapshot_rejected() {
-        match Repository::restore(Bytes::from_static(b"nope")) {
-            Err(RepositoryError::BadSnapshot) => {}
+    fn bad_snapshot_rejected_with_detail() {
+        match Repository::restore(Bytes::from_static(b"nope-and-padding-")) {
+            Err(RepositoryError::BadSnapshot { detail }) => {
+                assert!(detail.contains("magic"), "{detail}");
+            }
             other => panic!("expected BadSnapshot, got {:?}", other.map(|_| ()).err()),
         }
         match Repository::restore(Bytes::from_static(b"x")) {
-            Err(RepositoryError::Decode(_)) => {}
-            other => panic!("expected Decode error, got {:?}", other.map(|_| ()).err()),
+            Err(RepositoryError::BadSnapshot { detail }) => {
+                assert!(detail.contains("truncated"), "{detail}");
+            }
+            other => panic!("expected BadSnapshot, got {:?}", other.map(|_| ()).err()),
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshot_body_fails_checksum_with_offset_detail() {
+        let repo = Repository::new();
+        repo.store_schema("S", sample_schema("S")).unwrap();
+        let pristine = repo.snapshot().to_vec();
+        // flip one bit in every body byte position: always BadSnapshot,
+        // never a garbled decode or bogus data
+        for off in SNAPSHOT_HEADER_LEN..pristine.len() {
+            let mut corrupt = pristine.clone();
+            corrupt[off] ^= 0x01;
+            match Repository::restore(Bytes::from(corrupt)) {
+                Err(RepositoryError::BadSnapshot { detail }) => {
+                    assert!(detail.contains("checksum"), "{detail}");
+                    assert!(detail.contains("expected"), "{detail}");
+                }
+                other => panic!(
+                    "offset {off}: expected BadSnapshot, got {:?}",
+                    other.map(|_| ()).err()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let repo = Repository::new();
+        repo.store_schema("S", sample_schema("S")).unwrap();
+        let mut bytes = repo.snapshot().to_vec();
+        bytes[4] = 9; // version byte
+        match Repository::restore(Bytes::from(bytes)) {
+            Err(RepositoryError::BadSnapshot { detail }) => {
+                assert!(detail.contains("version 9"), "{detail}");
+            }
+            other => panic!("expected BadSnapshot, got {:?}", other.map(|_| ()).err()),
         }
     }
 
@@ -461,7 +911,8 @@ mod tests {
             let r = Arc::clone(&repo);
             handles.push(std::thread::spawn(move || {
                 for j in 0..25 {
-                    r.store_schema(format!("S{i}"), sample_schema(&format!("S{i}_{j}")));
+                    r.store_schema(format!("S{i}"), sample_schema(&format!("S{i}_{j}")))
+                        .unwrap();
                     let _ = r.latest_schema(&format!("S{i}"));
                 }
             }));
@@ -472,5 +923,109 @@ mod tests {
         for i in 0..4 {
             assert_eq!(repo.schema_versions(&format!("S{i}")), 25);
         }
+    }
+
+    #[test]
+    fn durable_round_trip_via_wal_only() {
+        let mem = MemStorage::new();
+        {
+            let repo =
+                Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+            let s = repo.store_schema("S", sample_schema("S")).unwrap();
+            let m = repo
+                .store_mapping(
+                    "m",
+                    Mapping::with_constraints("S", "T", vec![MappingConstraint::ExprEq {
+                        source: Expr::base("R"),
+                        target: Expr::base("U"),
+                    }]),
+                )
+                .unwrap();
+            repo.record("op", vec![s], m).unwrap();
+            assert_eq!(repo.durable_seq(), Some(3));
+        } // "crash": drop without checkpoint
+        let reopened =
+            Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        assert_eq!(reopened.schema_versions("S"), 1);
+        assert_eq!(reopened.mapping_versions("m"), 1);
+        assert_eq!(reopened.lineage().len(), 1);
+        assert_eq!(reopened.durable_seq(), Some(3));
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_does_not_double_apply() {
+        let mem = MemStorage::new();
+        let repo = Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        repo.store_schema("S", sample_schema("S")).unwrap();
+        repo.store_schema("S", sample_schema("S")).unwrap();
+        repo.checkpoint().unwrap();
+        assert_eq!(mem.len_of(WAL_FILE), None); // log reset
+        repo.store_schema("T", sample_schema("T")).unwrap();
+        drop(repo);
+        let reopened =
+            Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        assert_eq!(reopened.schema_versions("S"), 2); // exactly, not 4
+        assert_eq!(reopened.schema_versions("T"), 1);
+    }
+
+    #[test]
+    fn transaction_commit_is_one_frame_and_rollback_restores() {
+        let mem = MemStorage::new();
+        let repo = Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        repo.store_schema("base", sample_schema("base")).unwrap();
+        let before = repo.state_bytes();
+
+        repo.begin().unwrap();
+        repo.store_schema("a", sample_schema("a")).unwrap();
+        repo.store_schema("b", sample_schema("b")).unwrap();
+        assert!(repo.in_transaction());
+        repo.rollback().unwrap();
+        assert_eq!(repo.state_bytes(), before);
+        // nothing from the rolled-back tx reached the log
+        let reopened =
+            Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        assert_eq!(reopened.state_bytes(), before);
+
+        repo.begin().unwrap();
+        repo.store_schema("a", sample_schema("a")).unwrap();
+        repo.store_schema("b", sample_schema("b")).unwrap();
+        let seq_before = repo.durable_seq().unwrap();
+        repo.commit().unwrap();
+        assert_eq!(repo.durable_seq().unwrap(), seq_before + 1); // one frame
+        let reopened =
+            Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        assert_eq!(reopened.state_bytes(), repo.state_bytes());
+    }
+
+    #[test]
+    fn nested_begin_and_stray_commit_are_typed_errors() {
+        let repo = Repository::new();
+        assert!(matches!(repo.commit(), Err(RepositoryError::NoTransaction)));
+        assert!(matches!(repo.rollback(), Err(RepositoryError::NoTransaction)));
+        repo.begin().unwrap();
+        assert!(matches!(repo.begin(), Err(RepositoryError::TransactionActive)));
+        repo.rollback().unwrap();
+        assert!(matches!(repo.checkpoint(), Err(RepositoryError::NotDurable)));
+    }
+
+    #[test]
+    fn autocheckpoint_resets_wal_periodically() {
+        let mem = MemStorage::new();
+        let repo = Repository::open_durable(
+            mem.clone(),
+            DurableOptions { checkpoint_every: Some(2) },
+        )
+        .unwrap();
+        repo.store_schema("A", sample_schema("A")).unwrap();
+        assert!(mem.len_of(WAL_FILE).is_some());
+        repo.store_schema("B", sample_schema("B")).unwrap(); // triggers
+        assert_eq!(mem.len_of(WAL_FILE), None);
+        assert!(mem.len_of(SNAPSHOT_FILE).is_some());
+        assert!(repo.take_checkpoint_error().is_none());
+        drop(repo);
+        let reopened =
+            Repository::open_durable(mem.clone(), DurableOptions::default()).unwrap();
+        assert_eq!(reopened.schema_versions("A"), 1);
+        assert_eq!(reopened.schema_versions("B"), 1);
     }
 }

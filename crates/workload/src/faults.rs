@@ -122,6 +122,130 @@ pub fn cancel_after(polls: u64) -> CancelToken {
     token
 }
 
+// --- byte-level corruption (storage fault injection) ---------------------
+
+/// Flip one bit: bit `bit % 8` of byte `offset % len`. No-op on empty
+/// input.
+pub fn bit_flip(bytes: &[u8], offset: usize, bit: u32) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if !out.is_empty() {
+        let i = offset % out.len();
+        out[i] ^= 1u8 << (bit % 8);
+    }
+    out
+}
+
+/// Truncate to the first `len` bytes — a torn write / partial flush.
+pub fn truncate_at(bytes: &[u8], len: usize) -> Vec<u8> {
+    bytes[..len.min(bytes.len())].to_vec()
+}
+
+/// Splice `insert` into the buffer at `offset % (len + 1)` — simulates a
+/// misdirected write or cross-file contamination.
+pub fn splice(bytes: &[u8], offset: usize, insert: &[u8]) -> Vec<u8> {
+    let at = offset % (bytes.len() + 1);
+    let mut out = Vec::with_capacity(bytes.len() + insert.len());
+    out.extend_from_slice(&bytes[..at]);
+    out.extend_from_slice(insert);
+    out.extend_from_slice(&bytes[at..]);
+    out
+}
+
+/// Seeded compound mutator: applies 1–4 random bit-flip / truncate /
+/// splice / byte-overwrite passes. Deterministic per seed, so a failing
+/// corruption reproduces from its seed alone. Decoders must survive any
+/// output of this with a typed error — never a panic, never an
+/// oversized allocation.
+pub fn mutate_bytes(bytes: &[u8], seed: u64) -> Vec<u8> {
+    use rand::prelude::*;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = bytes.to_vec();
+    let passes = rng.gen_range(1usize..5);
+    for _ in 0..passes {
+        if out.is_empty() {
+            out = vec![rng.gen_range(0u64..256) as u8];
+            continue;
+        }
+        match rng.gen_range(0u32..4) {
+            0 => out = bit_flip(&out, rng.gen_range(0usize..out.len()), rng.gen_range(0u32..8)),
+            1 => out = truncate_at(&out, rng.gen_range(0usize..out.len() + 1)),
+            2 => {
+                let garbage: Vec<u8> = (0..rng.gen_range(1usize..9))
+                    .map(|_| rng.gen_range(0u64..256) as u8)
+                    .collect();
+                out = splice(&out, rng.gen_range(0usize..out.len() + 1), &garbage);
+            }
+            _ => {
+                // overwrite a byte with an adversarial length-prefix-ish
+                // value (0xFF bytes maximize u32 length fields)
+                let i = rng.gen_range(0usize..out.len());
+                out[i] = if rng.gen_bool(0.5) { 0xFF } else { 0x00 };
+            }
+        }
+    }
+    out
+}
+
+// --- repository workloads (crash-recovery property suite) ----------------
+
+/// One repository mutation in a generated workload. Artifacts are
+/// addressed by *index into the ops issued so far* rather than by
+/// `ArtifactId`, so the generator stays independent of the repository
+/// crate; the crash suite materializes ids as it applies ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoOp {
+    /// Store a fresh version of schema `S{n}` (n in a small namespace,
+    /// so versions accumulate).
+    StoreSchema { n: usize },
+    /// Store a fresh version of a tgd mapping `m{n}`.
+    StoreMapping { n: usize },
+    /// Record a lineage edge from the artifacts produced by earlier ops
+    /// at `input_ops` (indices into the op list) to the one at
+    /// `output_op`. The generator only emits indices of store ops that
+    /// precede this op.
+    RecordLineage { input_ops: Vec<usize>, output_op: usize },
+}
+
+/// A seeded workload of `len` repository ops over a namespace of
+/// `names` distinct artifact names. Lineage edges always reference
+/// earlier store ops, so applying a *prefix* of the workload never
+/// dangles — the invariant the crash-recovery suite asserts survives
+/// recovery.
+pub fn repo_ops(seed: u64, len: usize, names: usize) -> Vec<RepoOp> {
+    use rand::prelude::*;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let names = names.max(1);
+    let mut ops: Vec<RepoOp> = Vec::with_capacity(len);
+    let mut store_ops: Vec<usize> = Vec::new();
+    for i in 0..len {
+        let op = if store_ops.len() >= 2 && rng.gen_bool(0.25) {
+            let output_op = store_ops[rng.gen_range(0usize..store_ops.len())];
+            let k = rng.gen_range(1usize..3.min(store_ops.len()) + 1);
+            let mut input_ops = Vec::with_capacity(k);
+            for _ in 0..k {
+                let cand = store_ops[rng.gen_range(0usize..store_ops.len())];
+                if cand != output_op && !input_ops.contains(&cand) {
+                    input_ops.push(cand);
+                }
+            }
+            if input_ops.is_empty() {
+                RepoOp::StoreSchema { n: rng.gen_range(0usize..names) }
+            } else {
+                RepoOp::RecordLineage { input_ops, output_op }
+            }
+        } else if rng.gen_bool(0.5) {
+            RepoOp::StoreSchema { n: rng.gen_range(0usize..names) }
+        } else {
+            RepoOp::StoreMapping { n: rng.gen_range(0usize..names) }
+        };
+        if matches!(op, RepoOp::StoreSchema { .. } | RepoOp::StoreMapping { .. }) {
+            store_ops.push(i);
+        }
+        ops.push(op);
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +283,37 @@ mod tests {
     fn oversized_instance_has_requested_rows() {
         let (_, db) = oversized_instance(100);
         assert_eq!(db.relation("R0").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn byte_mutators_are_deterministic_and_bounded() {
+        let input: Vec<u8> = (0..64u8).collect();
+        assert_eq!(mutate_bytes(&input, 7), mutate_bytes(&input, 7));
+        assert_ne!(mutate_bytes(&input, 7), mutate_bytes(&input, 8));
+        assert_eq!(bit_flip(&input, 3, 0)[3], input[3] ^ 1);
+        assert_eq!(truncate_at(&input, 10).len(), 10);
+        assert_eq!(truncate_at(&input, 1000).len(), 64);
+        assert_eq!(splice(&input, 5, &[0xAA, 0xBB]).len(), 66);
+        assert!(!mutate_bytes(&[], 3).is_empty()); // grows from empty
+    }
+
+    #[test]
+    fn repo_ops_lineage_only_references_earlier_store_ops() {
+        for seed in 0..20 {
+            let ops = repo_ops(seed, 40, 4);
+            assert_eq!(ops.len(), 40);
+            for (i, op) in ops.iter().enumerate() {
+                if let RepoOp::RecordLineage { input_ops, output_op } = op {
+                    for &r in input_ops.iter().chain([output_op]) {
+                        assert!(r < i, "op {i} references op {r}");
+                        assert!(matches!(
+                            ops[r],
+                            RepoOp::StoreSchema { .. } | RepoOp::StoreMapping { .. }
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

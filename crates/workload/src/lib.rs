@@ -21,8 +21,9 @@ pub mod tgds;
 pub use data::{populate_er, populate_relational};
 pub use evolution::{evolution_chain, EvolutionStep};
 pub use faults::{
-    cancel_after, divergent_tgds, exponential_compose, oversized_instance, quadratic_join,
-    terminating_chain, unbound_variable_sotgd,
+    bit_flip, cancel_after, divergent_tgds, exponential_compose, mutate_bytes,
+    oversized_instance, quadratic_join, repo_ops, splice, terminating_chain, truncate_at,
+    unbound_variable_sotgd, RepoOp,
 };
 pub use perturb::{perturb_schema, GroundTruth};
 pub use schemas::{er_hierarchy, relational_schema, snowflake_schema};

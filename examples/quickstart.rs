@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .key("Person", &["Id"])
         .build()?;
     println!("== ER schema ==\n{er}\n");
-    engine.add_schema(er.clone());
+    engine.add_schema(er.clone())?;
 
     // 2. ModelGen: derive a relational schema plus mapping constraints.
     let gen = engine.modelgen_er_to_relational("ER", InheritanceStrategy::Vertical)?;
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .relation("staff", &[("staff_key", DataType::Int), ("name", DataType::Text), ("dept", DataType::Text)])
         .relation("client", &[("client_key", DataType::Int), ("name", DataType::Text), ("credit_score", DataType::Int)])
         .build()?;
-    engine.add_schema(legacy);
+    engine.add_schema(legacy)?;
     let (correspondences, _) = engine.match_schemas("ER", "Legacy", &MatchConfig::default())?;
     println!("== Top correspondences ER ~ Legacy ==");
     for c in correspondences.top_k(1).correspondences.iter().take(8) {
@@ -79,8 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(Expr::base("Person"), &[("Id", "Id")])
             .project(&["Id", "Name", "Dept"]),
     ));
-    engine.add_viewset("modelgen.views", gen.views.clone());
-    engine.add_viewset("report.views", report);
+    engine.add_viewset("modelgen.views", gen.views.clone())?;
+    engine.add_viewset("report.views", report)?;
     let collapsed = engine.compose("modelgen.views", "report.views", "report.direct")?;
     println!("\n== Report view composed down to the ER schema ==");
     println!("{}", collapsed.view("Staff").expect("staff view"));

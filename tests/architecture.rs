@@ -20,7 +20,7 @@ fn paper_er() -> Schema {
 #[test]
 fn full_operator_tour_with_lineage() {
     let engine = Engine::new();
-    engine.add_schema(paper_er());
+    engine.add_schema(paper_er()).unwrap();
 
     // ModelGen
     let gen = engine
@@ -38,17 +38,17 @@ fn full_operator_tour_with_lineage() {
         .relation("staff", &[("id", DataType::Int), ("name", DataType::Text)])
         .build()
         .expect("legacy schema");
-    engine.add_schema(legacy);
+    engine.add_schema(legacy).unwrap();
     let (cs, _) = engine
         .match_schemas("ER", "Legacy", &MatchConfig::default())
         .expect("match");
     assert!(!cs.is_empty());
 
     // Compose stored view sets
-    engine.add_viewset("fwd", gen.views.clone());
+    engine.add_viewset("fwd", gen.views.clone()).unwrap();
     let mut top = ViewSet::new("ER_rel", "Top");
     top.push(ViewDef::new("People", Expr::base("Person").project(&["Id", "Name"])));
-    engine.add_viewset("top", top);
+    engine.add_viewset("top", top).unwrap();
     let collapsed = engine.compose("fwd", "top", "collapsed").expect("compose");
     // the collapsed view reads the ER entity sets directly
     let bases = mm_expr::analyze::base_relations(&collapsed.view("People").expect("view").expr);
@@ -67,11 +67,11 @@ fn full_operator_tour_with_lineage() {
         .relation("Mgr", &[("e", DataType::Text), ("m", DataType::Text)])
         .build()
         .expect("tgt");
-    engine.add_schema(s.clone());
-    engine.add_schema(t);
+    engine.add_schema(s.clone()).unwrap();
+    engine.add_schema(t).unwrap();
     let mut m = Mapping::new("Src", "Tgt");
     m.push_tgd(Tgd::new(vec![Atom::vars("Emp", &["e"])], vec![Atom::vars("Mgr", &["e", "m"])]));
-    engine.add_mapping("exch", m);
+    engine.add_mapping("exch", m).unwrap();
     let mut db = Database::empty_of(&s);
     db.insert("Emp", Tuple::from([Value::text("ann")]));
     let (universal, stats) = engine.exchange("exch", "Tgt", &db).expect("exchange");
@@ -110,7 +110,7 @@ fn engine_surfaces_operator_errors() {
         .relation("T", &[("a", DataType::Int)])
         .build()
         .expect("flat schema");
-    engine.add_schema(s);
+    engine.add_schema(s).unwrap();
     assert!(matches!(
         engine.modelgen_er_to_relational("Flat", InheritanceStrategy::Flat),
         Err(EngineError::ModelGen(_))

@@ -1,0 +1,322 @@
+//! Tier-1 crash-recovery property suite (DESIGN.md §9).
+//!
+//! For generated repository workloads (`mm_workload::faults::repo_ops`),
+//! simulate a crash at **every WAL byte offset** and at every step of
+//! the snapshot-swap protocol, recover by reopening over the surviving
+//! bytes, and assert the recovered repository equals a *committed
+//! prefix* of the original history: no partial artifacts, no dangling
+//! lineage edges, no double-applied frames. Plus: script transactions
+//! roll back completely on failure, and decoders never panic on
+//! arbitrarily corrupted bytes.
+
+use mm_repository::{
+    ArtifactId, ArtifactKind, DurableOptions, FaultOp, FaultPlan, FaultStorage, MemStorage,
+    Repository, Storage, Wal, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,
+};
+use mm_workload::faults::{mutate_bytes, repo_ops, RepoOp};
+use model_management::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn sample_schema(name: &str) -> Schema {
+    SchemaBuilder::new(name)
+        .relation("R", &[("a", DataType::Int), ("b", DataType::Text)])
+        .build()
+        .expect("static test schema")
+}
+
+fn sample_mapping() -> Mapping {
+    let mut m = Mapping::new("S", "T");
+    m.push_tgd(Tgd::new(
+        vec![Atom::vars("R", &["x", "y"])],
+        vec![Atom::vars("U", &["x", "y"])],
+    ));
+    m
+}
+
+/// Apply one workload op, tracking op-index → stored ArtifactId so
+/// lineage ops can reference earlier stores. Returns Err on the first
+/// storage failure (the simulated crash).
+fn apply_op(
+    repo: &Repository,
+    op: &RepoOp,
+    i: usize,
+    ids: &mut HashMap<usize, ArtifactId>,
+) -> Result<(), RepositoryError> {
+    match op {
+        RepoOp::StoreSchema { n } => {
+            let name = format!("S{n}");
+            let id = repo.store_schema(name.clone(), sample_schema(&name))?;
+            ids.insert(i, id);
+        }
+        RepoOp::StoreMapping { n } => {
+            let id = repo.store_mapping(format!("m{n}"), sample_mapping())?;
+            ids.insert(i, id);
+        }
+        RepoOp::RecordLineage { input_ops, output_op } => {
+            let inputs: Vec<ArtifactId> =
+                input_ops.iter().map(|o| ids[o].clone()).collect();
+            repo.record("op", inputs, ids[output_op].clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// Every lineage edge must reference artifacts the repository actually
+/// holds — a recovered repository may lose a suffix of history, but an
+/// edge whose endpoint is missing means recovery tore a batch apart.
+fn assert_no_dangling(repo: &Repository) {
+    for edge in repo.lineage() {
+        for id in edge.inputs.iter().chain(std::iter::once(&edge.output)) {
+            let versions = match id.kind {
+                ArtifactKind::Schema => repo.schema_versions(&id.name.name),
+                ArtifactKind::Mapping => repo.mapping_versions(&id.name.name),
+                ArtifactKind::ViewSet => repo.viewset_versions(&id.name.name),
+                ArtifactKind::Correspondences => {
+                    repo.correspondences_versions(&id.name.name)
+                }
+            };
+            assert!(versions > id.name.version, "dangling lineage reference {id}");
+        }
+    }
+}
+
+/// Golden run: apply the whole workload on reliable storage, recording
+/// after each op the WAL length and the state fingerprint. Returns
+/// `(bytes_after, state_after)` where index `i` describes the prefix of
+/// `i` committed ops (index 0 = empty repository).
+fn golden_run(ops: &[RepoOp]) -> (Vec<usize>, Vec<bytes::Bytes>) {
+    let mem = MemStorage::new();
+    let repo = Repository::open_durable(mem.clone(), DurableOptions::default())
+        .expect("golden open");
+    let mut ids = HashMap::new();
+    let mut bytes_after = vec![0usize];
+    let mut state_after = vec![repo.state_bytes()];
+    for (i, op) in ops.iter().enumerate() {
+        apply_op(&repo, op, i, &mut ids).expect("golden apply");
+        bytes_after.push(mem.len_of(WAL_FILE).unwrap_or(0));
+        state_after.push(repo.state_bytes());
+    }
+    (bytes_after, state_after)
+}
+
+/// The headline property: crash after every WAL byte offset, recover,
+/// and the result is exactly the longest committed prefix that fits in
+/// the surviving bytes.
+#[test]
+fn crash_at_every_wal_byte_recovers_a_committed_prefix() {
+    for seed in [1u64, 2, 3] {
+        let ops = repo_ops(seed, 24, 3);
+        let (bytes_after, state_after) = golden_run(&ops);
+        let total = *bytes_after.last().expect("nonempty");
+
+        for crash_at in 0..=total {
+            // run the workload against storage that tears at `crash_at`
+            // persisted bytes, then dies
+            let mem = MemStorage::new();
+            let faulty =
+                FaultStorage::new(mem.clone(), FaultPlan::crash_after_bytes(crash_at as u64));
+            let repo = Repository::open_durable(faulty, DurableOptions::default())
+                .expect("open on healthy prefix");
+            let mut ids = HashMap::new();
+            for (i, op) in ops.iter().enumerate() {
+                if apply_op(&repo, op, i, &mut ids).is_err() {
+                    break; // crashed — the disk image is frozen in `mem`
+                }
+            }
+            drop(repo);
+
+            // recover over the surviving bytes
+            let recovered =
+                Repository::open_durable(MemStorage::from_files(mem.dump()), DurableOptions::default())
+                    .expect("recovery must succeed at any crash offset");
+
+            // expected: the longest committed prefix whose WAL fits
+            let expect =
+                (0..bytes_after.len()).rev().find(|&i| bytes_after[i] <= crash_at).expect("i=0");
+            assert_eq!(
+                recovered.state_bytes(),
+                state_after[expect],
+                "seed {seed}, crash at byte {crash_at}: expected prefix of {expect} ops"
+            );
+            assert_no_dangling(&recovered);
+        }
+    }
+}
+
+/// Crash inside the snapshot-swap protocol at every step: while writing
+/// `snapshot.tmp` (at every byte), at the atomic rename, and at the
+/// post-swap log reset. Recovery must always yield the full
+/// pre-checkpoint state — the swap is all-or-nothing.
+#[test]
+fn crash_inside_snapshot_swap_never_loses_committed_state() {
+    let ops = repo_ops(7, 16, 3);
+    let (bytes_after, state_after) = golden_run(&ops);
+    let wal_total = *bytes_after.last().expect("nonempty");
+    let full_state = state_after.last().expect("nonempty").clone();
+
+    // how big is the snapshot? run one clean checkpoint to measure
+    let snapshot_len = {
+        let mem = MemStorage::new();
+        let repo =
+            Repository::open_durable(mem.clone(), DurableOptions::default()).expect("open");
+        let mut ids = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply_op(&repo, op, i, &mut ids).expect("apply");
+        }
+        repo.checkpoint().expect("clean checkpoint");
+        assert_eq!(mem.len_of(WAL_FILE), None, "checkpoint must reset the log");
+        mem.len_of(SNAPSHOT_FILE).expect("snapshot written")
+    };
+
+    let run_to_checkpoint = |storage: Arc<dyn Storage>| {
+        let repo = Repository::open_durable(storage, DurableOptions::default()).expect("open");
+        let mut ids = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply_op(&repo, op, i, &mut ids).expect("apply");
+        }
+        repo.checkpoint() // may fail — that's the point
+    };
+
+    // (a) tear the snapshot.tmp write at every byte offset
+    for cut in 0..snapshot_len {
+        let mem = MemStorage::new();
+        let budget = (wal_total + cut) as u64;
+        let faulty = FaultStorage::new(mem.clone(), FaultPlan::crash_after_bytes(budget));
+        assert!(run_to_checkpoint(faulty).is_err(), "cut {cut} must fail the checkpoint");
+        let image = mem.dump();
+        assert!(image.contains_key(WAL_FILE), "WAL must still be intact");
+        let recovered =
+            Repository::open_durable(MemStorage::from_files(image), DurableOptions::default())
+                .expect("recovery after torn snapshot write");
+        assert_eq!(recovered.state_bytes(), full_state, "cut {cut}");
+        assert_no_dangling(&recovered);
+    }
+
+    // (b) crash at the rename: tmp exists, snapshot not swapped
+    {
+        let mem = MemStorage::new();
+        let faulty = FaultStorage::new(mem.clone(), FaultPlan::crash_at(FaultOp::Rename, 0));
+        assert!(run_to_checkpoint(faulty).is_err());
+        let image = mem.dump();
+        assert!(image.contains_key(SNAPSHOT_TMP_FILE), "tmp written before rename");
+        assert!(!image.contains_key(SNAPSHOT_FILE), "swap never happened");
+        let recovered =
+            Repository::open_durable(MemStorage::from_files(image), DurableOptions::default())
+                .expect("recovery after failed rename");
+        assert_eq!(recovered.state_bytes(), full_state);
+    }
+
+    // (c) crash at the log reset: snapshot swapped, stale WAL remains —
+    // recovery must skip the already-snapshotted frames (no double
+    // apply). Delete #0 is open_durable's tmp cleanup; #1 is the reset.
+    {
+        let mem = MemStorage::new();
+        let faulty = FaultStorage::new(mem.clone(), FaultPlan::crash_at(FaultOp::Delete, 1));
+        assert!(run_to_checkpoint(faulty).is_err());
+        let image = mem.dump();
+        assert!(image.contains_key(SNAPSHOT_FILE), "swap completed");
+        assert!(image.contains_key(WAL_FILE), "stale log survived the crash");
+        let recovered =
+            Repository::open_durable(MemStorage::from_files(image), DurableOptions::default())
+                .expect("recovery with snapshot + stale log");
+        assert_eq!(recovered.state_bytes(), full_state, "stale frames double-applied");
+        assert_no_dangling(&recovered);
+    }
+}
+
+/// A script that dies because the *commit itself* hits a storage fault
+/// must leave memory at the pre-script state — memory and log never
+/// diverge.
+#[test]
+fn script_commit_failure_rolls_back_memory() {
+    let mem = MemStorage::new();
+    // enough budget for the first script, not for the second's commit
+    let first_script = "schema Base {\n  table T(a: int)\n}";
+    let probe = MemStorage::new();
+    let e = Engine::open_durable(probe.clone(), DurableOptions::default()).expect("probe");
+    run_script(&e, first_script).expect("probe script");
+    let first_cost = probe.len_of(WAL_FILE).expect("probe wal") as u64;
+
+    let faulty = FaultStorage::new(mem.clone(), FaultPlan::crash_after_bytes(first_cost + 8));
+    let engine = Engine::open_durable(faulty, DurableOptions::default()).expect("open");
+    run_script(&engine, first_script).expect("first script fits its budget");
+    let committed = engine.repo.state_bytes();
+
+    let err = run_script(&engine, "schema X {\n  table U(a: int)\n}").unwrap_err();
+    assert!(err.message.contains("commit transaction"), "{err}");
+    assert_eq!(engine.repo.state_bytes(), committed, "commit failure must roll back");
+    assert!(!engine.repo.in_transaction());
+
+    // and the on-disk image recovers to the same state
+    let recovered = Repository::open_durable(
+        MemStorage::from_files(mem.dump()),
+        DurableOptions::default(),
+    )
+    .expect("recovery");
+    assert_eq!(recovered.state_bytes(), committed);
+}
+
+// --- decoders never panic on corrupted bytes (satellite 3) ---------------
+
+fn pristine_snapshot() -> Vec<u8> {
+    let repo = Repository::new();
+    let mut ids = HashMap::new();
+    for (i, op) in repo_ops(11, 12, 3).iter().enumerate() {
+        apply_op(&repo, op, i, &mut ids).expect("ephemeral apply");
+    }
+    repo.snapshot().to_vec()
+}
+
+fn pristine_wal() -> Vec<u8> {
+    let mem = MemStorage::new();
+    let repo =
+        Repository::open_durable(mem.clone(), DurableOptions::default()).expect("open");
+    let mut ids = HashMap::new();
+    for (i, op) in repo_ops(13, 12, 3).iter().enumerate() {
+        apply_op(&repo, op, i, &mut ids).expect("durable apply");
+    }
+    mem.dump().remove(WAL_FILE).expect("wal bytes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Repository::restore` on arbitrarily mutated snapshot bytes
+    /// returns Ok or a typed error — never panics, never OOMs on an
+    /// adversarial length prefix.
+    #[test]
+    fn restore_never_panics_on_mutated_snapshots(seed in any::<u64>()) {
+        let corrupt = mutate_bytes(&pristine_snapshot(), seed);
+        let _ = Repository::restore(bytes::Bytes::from(corrupt));
+    }
+
+    /// WAL replay on arbitrarily mutated log bytes yields a valid
+    /// prefix (possibly empty) — never panics.
+    #[test]
+    fn wal_replay_never_panics_on_mutated_logs(seed in any::<u64>()) {
+        let corrupt = mutate_bytes(&pristine_wal(), seed);
+        let mut files = std::collections::BTreeMap::new();
+        files.insert(WAL_FILE.to_string(), corrupt);
+        let wal = Wal::new(MemStorage::from_files(files), WAL_FILE);
+        let replay = wal.replay().expect("MemStorage read cannot fail");
+        prop_assert!(replay.valid_len <= replay.total_len);
+    }
+
+    /// Full recovery over a mutated disk image (snapshot + WAL both
+    /// corrupted) either succeeds with a consistent repository or fails
+    /// with a typed error.
+    #[test]
+    fn recovery_never_panics_on_mutated_disk_images(seed in any::<u64>()) {
+        let mut files = std::collections::BTreeMap::new();
+        files.insert(SNAPSHOT_FILE.to_string(), mutate_bytes(&pristine_snapshot(), seed));
+        files.insert(WAL_FILE.to_string(), mutate_bytes(&pristine_wal(), seed ^ 0x9E37_79B9));
+        if let Ok(repo) = Repository::open_durable(
+            MemStorage::from_files(files),
+            DurableOptions::default(),
+        ) {
+            assert_no_dangling(&repo);
+        }
+    }
+}

@@ -116,7 +116,7 @@ proptest! {
 // --- (b) semi-naive chase == naive reference fixpoint -----------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     /// The semi-naive general chase of the terminating copy chain reaches
     /// the reference fixpoint bit-identically: same tuples, same rounds,

@@ -119,8 +119,8 @@ fn ef5_migration_preserves_the_view() {
 #[test]
 fn ef5_composition_through_the_engine_with_lineage() {
     let engine = Engine::new();
-    engine.add_viewset("old_over_new", old_over_new());
-    engine.add_viewset("students", students_view());
+    engine.add_viewset("old_over_new", old_over_new()).unwrap();
+    engine.add_viewset("students", students_view()).unwrap();
     let repaired = engine
         .compose("old_over_new", "students", "students_repaired")
         .expect("compose");

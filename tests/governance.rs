@@ -11,7 +11,7 @@ fn store_tgd_mapping(engine: &Engine, name: &str, source: &str, target: &str, tg
     for t in tgds {
         m.push_tgd(t);
     }
-    engine.add_mapping(name, m);
+    engine.add_mapping(name, m).unwrap();
 }
 
 /// The divergent tgd set trips `Diverged` at the configured round cap
@@ -19,8 +19,8 @@ fn store_tgd_mapping(engine: &Engine, name: &str, source: &str, target: &str, tg
 #[test]
 fn divergent_chase_trips_diverged() {
     let (schema, db, tgds) = faults::divergent_tgds();
-    let engine = Engine::with_config(EngineConfig { chase_max_rounds: 16, ..Default::default() });
-    engine.add_schema(schema);
+    let engine = Engine::with_config(EngineConfig { chase_max_rounds: 16, ..Default::default() }).unwrap();
+    engine.add_schema(schema).unwrap();
     store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
     let err = engine.chase_general("loop", "Loop", &db).unwrap_err();
     match err {
@@ -38,8 +38,9 @@ fn divergent_chase_respects_wall_clock() {
         chase_max_rounds: u64::MAX,
         budget: ExecBudget::unbounded().with_wall(std::time::Duration::from_millis(50)),
         ..Default::default()
-    });
-    engine.add_schema(schema);
+    })
+    .unwrap();
+    engine.add_schema(schema).unwrap();
     store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
     let started = std::time::Instant::now();
     let err = engine.chase_general("loop", "Loop", &db).unwrap_err();
@@ -56,7 +57,7 @@ fn divergent_chase_respects_wall_clock() {
 fn terminating_chain_completes_under_budget() {
     let (schema, db, tgds) = faults::terminating_chain(5);
     let engine = Engine::new();
-    engine.add_schema(schema);
+    engine.add_schema(schema).unwrap();
     store_tgd_mapping(&engine, "chain", "Chain", "Chain", tgds);
     let (out, outcome) = engine.chase_general("chain", "Chain", &db).unwrap();
     assert!(matches!(outcome, ChaseOutcome::Done(_)));
@@ -73,8 +74,9 @@ fn cancellation_stops_divergent_chase() {
         chase_max_rounds: u64::MAX,
         budget: ExecBudget::unbounded().with_cancel(token),
         ..Default::default()
-    });
-    engine.add_schema(schema);
+    })
+    .unwrap();
+    engine.add_schema(schema).unwrap();
     store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
     let err = engine.chase_general("loop", "Loop", &db).unwrap_err();
     assert!(matches!(err, EngineError::Exec(ExecError::Cancelled { .. })), "{err:?}");
@@ -93,9 +95,10 @@ fn exchange_respects_row_budget() {
     let engine = Engine::with_config(EngineConfig {
         budget: ExecBudget::unbounded().with_rows(100),
         ..Default::default()
-    });
-    engine.add_schema(src);
-    engine.add_schema(tgt);
+    })
+    .unwrap();
+    engine.add_schema(src).unwrap();
+    engine.add_schema(tgt).unwrap();
     store_tgd_mapping(&engine, "copy", "Big", "TgtBig", tgds);
     let err = engine.exchange("copy", "TgtBig", &Database::new("Big")).map(|_| ()).err();
     // empty source: fine. Now the oversized one must trip.
@@ -121,8 +124,8 @@ fn governed_exchange_matches_legacy_chase() {
         vec![Atom::vars("T0", &["x", "y"])],
     )];
     let engine = Engine::new();
-    engine.add_schema(src);
-    engine.add_schema(tgt.clone());
+    engine.add_schema(src).unwrap();
+    engine.add_schema(tgt.clone()).unwrap();
     store_tgd_mapping(&engine, "copy", "Big", "TgtBig", tgds.clone());
     let (governed, stats) = engine.exchange("copy", "TgtBig", &db).unwrap();
     let (legacy, legacy_stats) = chase_st(&tgt, &tgds, &db);
@@ -138,7 +141,8 @@ fn exponential_compose_trips_clause_bound() {
     let engine = Engine::with_config(EngineConfig {
         compose_clause_bound: 32, // < 4^4 = 256
         ..Default::default()
-    });
+    })
+    .unwrap();
     store_tgd_mapping(&engine, "m12", "S1", "S2", m12);
     store_tgd_mapping(&engine, "m23", "S2", "S3", m23);
     let err = engine.compose_tgd_mappings("m12", "m23", "m13").unwrap_err();
@@ -153,7 +157,8 @@ fn exponential_compose_trips_clause_budget() {
     let engine = Engine::with_config(EngineConfig {
         budget: ExecBudget::unbounded().with_clauses(32),
         ..Default::default()
-    });
+    })
+    .unwrap();
     store_tgd_mapping(&engine, "m12", "S1", "S2", m12);
     store_tgd_mapping(&engine, "m23", "S2", "S3", m23);
     let err = engine.compose_tgd_mappings("m12", "m23", "m13").unwrap_err();
@@ -299,7 +304,8 @@ fn engine_operator_surface_is_total() {
             .with_clauses(64)
             .with_wall(std::time::Duration::from_secs(30)),
         ..Default::default()
-    });
+    })
+    .unwrap();
 
     // missing artifacts: typed repository errors
     assert!(matches!(engine.exchange("nope", "nope", &Database::new("x")),
@@ -317,13 +323,14 @@ fn engine_operator_surface_is_total() {
             source: Expr::base("X"),
             target: Expr::base("Y"),
         }]),
-    );
+    )
+    .unwrap();
     assert!(matches!(engine.compose_tgd_mappings("views-only", "views-only", "out"),
         Err(EngineError::TransGen(_))));
 
     // adversarial workloads under the capped config: each is Ok or typed
     let (schema, db, tgds) = faults::divergent_tgds();
-    engine.add_schema(schema);
+    engine.add_schema(schema).unwrap();
     store_tgd_mapping(&engine, "loop", "Loop", "Loop", tgds);
     assert!(matches!(engine.chase_general("loop", "Loop", &db),
         Err(EngineError::Exec(_))));

@@ -346,7 +346,7 @@ proptest! {
         let (_, mut db, tgds) = faults::terminating_chain(hops);
         let budget = ExecBudget::unbounded().with_rounds(64).with_steps(1_000_000);
         let out = chase_general_governed(&mut db, &tgds, &[], &budget).expect("terminates");
-        prop_assert!(matches!(out, ChaseOutcome::Done(st) if st.fired as usize == hops - 1));
+        prop_assert!(matches!(out, ChaseOutcome::Done(st) if st.fired == hops - 1));
         prop_assert_eq!(db.relation(&format!("R{}", hops - 1)).expect("last hop").len(), 1);
     }
 
