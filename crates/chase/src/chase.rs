@@ -10,12 +10,14 @@
 //! as [`chase_st_reference`]/[`chase_general_reference`] for
 //! differential testing and benchmarking.
 
+use crate::explain::{ChaseExplain, RoundExplain};
 use crate::plan::ChaseProgram;
 use mm_eval::plan::{CqPlan, ExecOptions, VarTable};
 use mm_expr::{Atom, Tgd};
-use mm_guard::{ExecBudget, ExecError, Governor};
+use mm_guard::{Consumption, ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
 use mm_metamodel::Schema;
+use mm_telemetry::{Counter, Span, Telemetry, Timer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -174,7 +176,38 @@ pub fn chase_st_prepared(
     source_db: &Database,
     budget: &ExecBudget,
 ) -> Result<(Database, ChaseStats), ChaseFailure> {
-    chase_st_impl(target_schema, program, source_db, budget, true)
+    chase_st_prepared_traced(target_schema, program, source_db, budget, &Telemetry::disabled())
+}
+
+/// [`chase_st_prepared`] with telemetry: wraps the run in a `chase.st`
+/// span (with final [`Consumption`] fields on success), feeds the chase
+/// counters and timer. With disabled telemetry this is the plain call.
+pub fn chase_st_prepared_traced(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    budget: &ExecBudget,
+    tel: &Telemetry,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
+    run_st(target_schema, program, source_db, budget, true, tel, None)
+        .map(|(db, stats, _)| (db, stats))
+}
+
+/// [`chase_st_prepared`] plus a full [`ChaseExplain`] report: per-tgd
+/// join orders (explained against `source_db` cardinalities) and the
+/// single round's deltas. Telemetry is optional and orthogonal.
+pub fn chase_st_explained(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    budget: &ExecBudget,
+    tel: &Telemetry,
+) -> Result<(Database, ChaseStats, ChaseExplain), ChaseFailure> {
+    let tgds = program.explain(source_db);
+    let mut rounds = Vec::new();
+    let (db, stats, _) =
+        run_st(target_schema, program, source_db, budget, true, tel, Some(&mut rounds))?;
+    Ok((db, stats, ChaseExplain { mode: "st", stats, tgds, rounds }))
 }
 
 /// Reference (naive) source-to-target chase: identical structure but
@@ -188,7 +221,55 @@ pub fn chase_st_reference(
     budget: &ExecBudget,
 ) -> Result<(Database, ChaseStats), ChaseFailure> {
     let program = ChaseProgram::compile(tgds, source_db);
-    chase_st_impl(target_schema, &program, source_db, budget, false)
+    chase_st_impl(target_schema, &program, source_db, budget, false, None)
+        .map(|(db, stats, _)| (db, stats))
+}
+
+/// Telemetry shell around [`chase_st_impl`]: one branch when disabled.
+fn run_st(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    budget: &ExecBudget,
+    use_indexes: bool,
+    tel: &Telemetry,
+    trace: Option<&mut Vec<RoundExplain>>,
+) -> Result<(Database, ChaseStats, Consumption), ChaseFailure> {
+    if !tel.is_enabled() {
+        return chase_st_impl(target_schema, program, source_db, budget, use_indexes, trace);
+    }
+    let started = mm_telemetry::clock::now();
+    let mut span = Span::enter(tel, "chase.st", source_db.name.as_str());
+    let result = chase_st_impl(target_schema, program, source_db, budget, use_indexes, trace);
+    let stats = match &result {
+        Ok((_, s, _)) => *s,
+        Err(f) => f.stats,
+    };
+    if let Some(m) = tel.metrics() {
+        m.add(Counter::ChaseRounds, stats.rounds as u64);
+        m.add(Counter::ChaseFirings, stats.fired as u64);
+        m.add(Counter::ChaseNullsMinted, stats.nulls as u64);
+        if let Ok((db, _, _)) = &result {
+            m.add(Counter::ChaseDeltaTuples, db.total_tuples() as u64);
+        }
+        m.observe_us(Timer::Chase, mm_telemetry::clock::elapsed_us(started));
+    }
+    span.field("tgds", program.len());
+    span.field("rounds", stats.rounds);
+    span.field("fired", stats.fired);
+    span.field("nulls", stats.nulls);
+    match &result {
+        Ok((_, _, c)) => {
+            tel.count(Counter::BudgetStepsConsumed, c.steps);
+            tel.count(Counter::BudgetRowsConsumed, c.rows);
+            span.field("steps", c.steps);
+            span.field("rows", c.rows);
+            span.field("wall_us", c.wall_us);
+        }
+        Err(f) => span.field("error", f.error.to_string()),
+    }
+    span.finish();
+    result
 }
 
 fn chase_st_impl(
@@ -197,7 +278,8 @@ fn chase_st_impl(
     source_db: &Database,
     budget: &ExecBudget,
     use_indexes: bool,
-) -> Result<(Database, ChaseStats), ChaseFailure> {
+    trace: Option<&mut Vec<RoundExplain>>,
+) -> Result<(Database, ChaseStats, Consumption), ChaseFailure> {
     let mut gov = Governor::new(budget);
     let mut target = Database::empty_of(target_schema);
     target.set_label_watermark(source_db.label_watermark());
@@ -216,7 +298,15 @@ fn chase_st_impl(
         };
         run(&mut stats).map_err(|error| ChaseFailure { error, stats })?;
     }
-    Ok((target, stats))
+    if let Some(t) = trace {
+        t.push(RoundExplain {
+            round: 1,
+            fired: stats.fired,
+            nulls: stats.nulls,
+            new_tuples: target.total_tuples(),
+        });
+    }
+    Ok((target, stats, gov.consumption()))
 }
 
 /// The bounded restricted chase for **general** tgds and egds over a
@@ -275,7 +365,41 @@ pub fn chase_general_prepared(
     egds: &[Egd],
     budget: &ExecBudget,
 ) -> Result<ChaseOutcome, ChaseFailure> {
-    chase_general_impl(db, program, egds, budget, true, true)
+    chase_general_prepared_traced(db, program, egds, budget, &Telemetry::disabled())
+}
+
+/// [`chase_general_prepared`] with telemetry: a `chase.general` span
+/// (with final [`Consumption`] fields on success), chase counters, and
+/// the chase timer. With disabled telemetry this is the plain call.
+pub fn chase_general_prepared_traced(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    tel: &Telemetry,
+) -> Result<ChaseOutcome, ChaseFailure> {
+    run_general(db, program, egds, budget, true, true, tel, None).map(|(o, _)| o)
+}
+
+/// [`chase_general_prepared`] plus a full [`ChaseExplain`]: per-tgd join
+/// orders (explained against the *pre-chase* database, so two identical
+/// runs report identically) and per-round deltas.
+pub fn chase_general_explained(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    tel: &Telemetry,
+) -> Result<(ChaseOutcome, ChaseExplain), ChaseFailure> {
+    let tgds = program.explain(db);
+    let mut rounds = Vec::new();
+    let (outcome, _) =
+        run_general(db, program, egds, budget, true, true, tel, Some(&mut rounds))?;
+    let stats = match &outcome {
+        ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s) => *s,
+        ChaseOutcome::Failed { .. } => ChaseStats::default(),
+    };
+    Ok((outcome, ChaseExplain { mode: "general", stats, tgds, rounds }))
 }
 
 /// Reference (naive) general chase: every round re-evaluates every tgd
@@ -289,7 +413,60 @@ pub fn chase_general_reference(
     budget: &ExecBudget,
 ) -> Result<ChaseOutcome, ChaseFailure> {
     let program = ChaseProgram::compile(tgds, db);
-    chase_general_impl(db, &program, egds, budget, false, false)
+    chase_general_impl(db, &program, egds, budget, false, false, None).map(|(o, _)| o)
+}
+
+/// Telemetry shell around [`chase_general_impl`].
+#[allow(clippy::too_many_arguments)] // internal: the public wrappers curry
+fn run_general(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    semi_naive: bool,
+    use_indexes: bool,
+    tel: &Telemetry,
+    trace: Option<&mut Vec<RoundExplain>>,
+) -> Result<(ChaseOutcome, Consumption), ChaseFailure> {
+    if !tel.is_enabled() {
+        return chase_general_impl(db, program, egds, budget, semi_naive, use_indexes, trace);
+    }
+    let started = mm_telemetry::clock::now();
+    let tuples_before = db.total_tuples();
+    let mut span = Span::enter(tel, "chase.general", db.name.as_str());
+    let result = chase_general_impl(db, program, egds, budget, semi_naive, use_indexes, trace);
+    let stats = match &result {
+        Ok((ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s), _)) => *s,
+        Ok((ChaseOutcome::Failed { .. }, _)) => ChaseStats::default(),
+        Err(f) => f.stats,
+    };
+    if let Some(m) = tel.metrics() {
+        m.add(Counter::ChaseRounds, stats.rounds as u64);
+        m.add(Counter::ChaseFirings, stats.fired as u64);
+        m.add(Counter::ChaseNullsMinted, stats.nulls as u64);
+        m.add(
+            Counter::ChaseDeltaTuples,
+            db.total_tuples().saturating_sub(tuples_before) as u64,
+        );
+        m.observe_us(Timer::Chase, mm_telemetry::clock::elapsed_us(started));
+    }
+    span.field("tgds", program.len());
+    span.field("egds", egds.len());
+    span.field("rounds", stats.rounds);
+    span.field("fired", stats.fired);
+    span.field("nulls", stats.nulls);
+    match &result {
+        Ok((_, c)) => {
+            tel.count(Counter::BudgetStepsConsumed, c.steps);
+            tel.count(Counter::BudgetRowsConsumed, c.rows);
+            span.field("steps", c.steps);
+            span.field("rows", c.rows);
+            span.field("wall_us", c.wall_us);
+        }
+        Err(f) => span.field("error", f.error.to_string()),
+    }
+    span.finish();
+    result
 }
 
 #[allow(clippy::type_complexity)] // watermark alias would hide, not help
@@ -300,7 +477,8 @@ fn chase_general_impl(
     budget: &ExecBudget,
     semi_naive: bool,
     use_indexes: bool,
-) -> Result<ChaseOutcome, ChaseFailure> {
+    mut trace: Option<&mut Vec<RoundExplain>>,
+) -> Result<(ChaseOutcome, Consumption), ChaseFailure> {
     let mut gov = Governor::new(budget);
     let mut stats = ChaseStats::default();
     // per-tgd semi-naive watermarks: body-relation name → relation length
@@ -318,6 +496,7 @@ fn chase_general_impl(
         }
         gov.check_now().map_err(|error| ChaseFailure { error, stats })?;
         stats.rounds += 1;
+        let round_before = (stats.fired, stats.nulls, db.total_tuples());
         let mut changed = false;
         let mut round = |db: &mut Database,
                          stats: &mut ChaseStats,
@@ -375,13 +554,23 @@ fn chase_general_impl(
             }
             Ok(None)
         };
-        match round(db, &mut stats, &mut changed, &mut watermarks) {
-            Ok(Some(failed)) => return Ok(failed),
-            Ok(None) => {}
+        let outcome = match round(db, &mut stats, &mut changed, &mut watermarks) {
+            Ok(o) => o,
             Err(error) => return Err(ChaseFailure { error, stats }),
+        };
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(RoundExplain {
+                round: stats.rounds,
+                fired: stats.fired - round_before.0,
+                nulls: stats.nulls - round_before.1,
+                new_tuples: db.total_tuples().saturating_sub(round_before.2),
+            });
+        }
+        if let Some(failed) = outcome {
+            return Ok((failed, gov.consumption()));
         }
         if !changed {
-            return Ok(ChaseOutcome::Done(stats));
+            return Ok((ChaseOutcome::Done(stats), gov.consumption()));
         }
     }
 }

@@ -122,6 +122,18 @@ impl TgdPlan {
         &self.body_rels
     }
 
+    /// The compiled body plan (join order, probe columns) — what
+    /// [`crate::explain`] reports.
+    pub fn body_plan(&self) -> &CqPlan {
+        &self.body
+    }
+
+    /// Whether every head term is a constant or a body-bound slot (the
+    /// hash-containment satisfaction fast path applies).
+    pub fn head_is_ground(&self) -> bool {
+        self.head_ground
+    }
+
     /// Slot count of the shared variable table; every binding passed back
     /// into [`TgdPlan::head_satisfied`]/[`TgdPlan::fire`] has this length.
     pub fn num_slots(&self) -> usize {

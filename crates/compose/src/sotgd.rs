@@ -12,6 +12,7 @@ use mm_expr::{Atom, Lit, SoClause, SoTgd, Term, Tgd};
 use mm_guard::{ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
 use mm_metamodel::Schema;
+use mm_telemetry::{Counter, Span, Telemetry, Timer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -75,6 +76,55 @@ pub fn compose_st_tgds_governed(
     budget: &ExecBudget,
 ) -> Result<SoTgd, ComposeError> {
     let mut gov = Governor::new(budget);
+    compose_impl(m12, m23, clause_bound, &mut gov)
+}
+
+/// [`compose_st_tgds_governed`] with telemetry: a `compose.splice` span
+/// carrying input sizes, emitted-clause count, and the governor's final
+/// consumption; feeds [`Counter::ComposeClausesEmitted`] and the compose
+/// timer. With disabled telemetry this is the plain governed call.
+pub fn compose_st_tgds_traced(
+    m12: &[Tgd],
+    m23: &[Tgd],
+    clause_bound: usize,
+    budget: &ExecBudget,
+    tel: &Telemetry,
+) -> Result<SoTgd, ComposeError> {
+    let mut gov = Governor::new(budget);
+    if !tel.is_enabled() {
+        return compose_impl(m12, m23, clause_bound, &mut gov);
+    }
+    let started = mm_telemetry::clock::now();
+    let mut span = Span::enter(tel, "compose.splice", "");
+    let result = compose_impl(m12, m23, clause_bound, &mut gov);
+    span.field("m12_tgds", m12.len());
+    span.field("m23_tgds", m23.len());
+    match &result {
+        Ok(so) => {
+            if let Some(m) = tel.metrics() {
+                m.add(Counter::ComposeClausesEmitted, so.clauses.len() as u64);
+            }
+            let c = gov.consumption();
+            tel.count(Counter::BudgetStepsConsumed, c.steps);
+            span.field("clauses", so.clauses.len());
+            span.field("steps", c.steps);
+            span.field("wall_us", c.wall_us);
+        }
+        Err(e) => span.field("error", e.to_string()),
+    }
+    if let Some(m) = tel.metrics() {
+        m.observe_us(Timer::Compose, mm_telemetry::clock::elapsed_us(started));
+    }
+    span.finish();
+    result
+}
+
+fn compose_impl(
+    m12: &[Tgd],
+    m23: &[Tgd],
+    clause_bound: usize,
+    gov: &mut Governor,
+) -> Result<SoTgd, ComposeError> {
     for t in m12.iter().chain(m23) {
         t.validate().map_err(|e| ComposeError::InvalidTgd(e.to_string()))?;
     }

@@ -1,6 +1,6 @@
 //! The engine: repository-backed operator invocations.
 
-use mm_chase::ChaseProgram;
+use mm_chase::{ChaseExplain, ChaseProgram};
 use mm_expr::{CorrespondenceSet, Mapping, SoTgd, Tgd, ViewSet};
 use mm_guard::{ExecBudget, Governor};
 use mm_instance::Database;
@@ -8,6 +8,7 @@ use mm_match::MatchConfig;
 use mm_metamodel::Schema;
 use mm_modelgen::InheritanceStrategy;
 use mm_repository::{ArtifactId, DurableOptions, Repository, RepositoryError, Storage};
+use mm_telemetry::{Counter, Span, Telemetry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -73,6 +74,12 @@ pub struct EngineConfig {
     pub cache_plans: bool,
     /// Repository durability mode. Defaults to [`Durability::Ephemeral`].
     pub durability: Durability,
+    /// Telemetry handle threaded through every operator and the
+    /// repository: operator spans, engine metrics, and degradation
+    /// events all flow through it. Defaults to
+    /// [`Telemetry::disabled`], which costs one branch per
+    /// instrumentation site.
+    pub telemetry: Telemetry,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +90,7 @@ impl Default for EngineConfig {
             budget: ExecBudget::unbounded(),
             cache_plans: true,
             durability: Durability::Ephemeral,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -168,12 +176,25 @@ impl Engine {
     /// crash recovery.
     pub fn with_config(config: EngineConfig) -> Result<Self, EngineError> {
         let repo = match &config.durability {
-            Durability::Ephemeral => Repository::new(),
-            Durability::Durable { storage, options } => {
-                Repository::open_durable(Arc::clone(storage), options.clone())?
+            Durability::Ephemeral => {
+                let mut repo = Repository::new();
+                repo.set_telemetry(config.telemetry.clone());
+                repo
             }
+            Durability::Durable { storage, options } => Repository::open_durable_with_telemetry(
+                Arc::clone(storage),
+                options.clone(),
+                config.telemetry.clone(),
+            )?,
         };
         Ok(Engine { repo, config, chase_plans: Mutex::default() })
+    }
+
+    /// The engine's telemetry handle — disabled unless
+    /// [`EngineConfig::telemetry`] was set. Inspect metrics via
+    /// `engine.telemetry().metrics()`.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.telemetry
     }
 
     /// Open (or recover) a durable engine over `storage` with otherwise
@@ -194,15 +215,20 @@ impl Engine {
     /// first use. `db` only supplies join-order selectivity hints for
     /// that first compile; plan order never affects result sets.
     fn chase_program(&self, id: &ArtifactId, tgds: &[Tgd], db: &Database) -> Arc<ChaseProgram> {
+        let tel = &self.config.telemetry;
         if !self.config.cache_plans {
+            tel.count(Counter::PlanCacheMisses, 1);
             return Arc::new(ChaseProgram::compile(tgds, db));
         }
         let mut cache = self.chase_plans.lock();
-        Arc::clone(
-            cache
-                .entry(id.clone())
-                .or_insert_with(|| Arc::new(ChaseProgram::compile(tgds, db))),
-        )
+        if let Some(program) = cache.get(id) {
+            tel.count(Counter::PlanCacheHits, 1);
+            return Arc::clone(program);
+        }
+        tel.count(Counter::PlanCacheMisses, 1);
+        let program = Arc::new(ChaseProgram::compile(tgds, db));
+        cache.insert(id.clone(), Arc::clone(&program));
+        program
     }
 
     /// How many compiled chase programs the engine currently holds —
@@ -397,12 +423,24 @@ impl Engine {
         let (m23, bid) = self.repo.latest_mapping(second)?;
         let t12 = Self::tgds_of(&m12)?;
         let t23 = Self::tgds_of(&m23)?;
-        let so = mm_compose::compose_st_tgds_governed(
+        let tel = &self.config.telemetry;
+        let mut span = Span::enter(tel, "engine.compose.tgd", format!("{aid} * {bid}"));
+        let so = match mm_compose::compose_st_tgds_traced(
             &t12,
             &t23,
             self.config.compose_clause_bound,
             &self.config.budget,
-        )?;
+            tel,
+        ) {
+            Ok(so) => {
+                span.field("clauses", so.clauses.len());
+                so
+            }
+            Err(e) => {
+                span.field("error", e.to_string());
+                return Err(e.into());
+            }
+        };
         let mut gov = Governor::new(&self.config.budget);
         let folded = match mm_compose::try_deskolemize_governed(&so, &mut gov)? {
             Some(tgds) => {
@@ -416,6 +454,8 @@ impl Engine {
             }
             None => None,
         };
+        span.field("folded", folded.is_some());
+        span.finish();
         Ok((so, folded))
     }
 
@@ -490,9 +530,45 @@ impl Engine {
         let (m, mid) = self.repo.latest_mapping(mapping)?;
         let (t, _) = self.schema(target_schema)?;
         let tgds = Self::tgds_of(&m)?;
+        let tel = &self.config.telemetry;
+        let mut span = Span::enter(tel, "engine.exchange", mid.to_string());
         let program = self.chase_program(&mid, &tgds, source_db);
-        mm_chase::chase_st_prepared(&t, &program, source_db, &self.config.budget)
-            .map_err(|f| EngineError::Exec(f.into()))
+        let result = mm_chase::chase_st_prepared_traced(&t, &program, source_db, &self.config.budget, tel)
+            .map_err(|f| EngineError::Exec(f.into()));
+        match &result {
+            Ok((db, stats)) => {
+                span.field("fired", stats.fired);
+                span.field("target_tuples", db.total_tuples());
+            }
+            Err(e) => span.field("error", e.to_string()),
+        }
+        span.finish();
+        result
+    }
+
+    /// [`Self::exchange`] with an EXPLAIN report: alongside the universal
+    /// instance, a [`ChaseExplain`] carrying the compiled join order and
+    /// per-atom selectivities of every tgd body plus the per-round chase
+    /// deltas. The report is computed against the *source* instance, so
+    /// two identical invocations render byte-identical text.
+    pub fn explain_exchange(
+        &self,
+        mapping: &str,
+        target_schema: &str,
+        source_db: &Database,
+    ) -> Result<(Database, mm_chase::ChaseStats, ChaseExplain), EngineError> {
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
+        let (t, _) = self.schema(target_schema)?;
+        let tgds = Self::tgds_of(&m)?;
+        let program = self.chase_program(&mid, &tgds, source_db);
+        mm_chase::chase_st_explained(
+            &t,
+            &program,
+            source_db,
+            &self.config.budget,
+            &self.config.telemetry,
+        )
+        .map_err(|f| EngineError::Exec(f.into()))
     }
 
     /// Run the bounded general chase of `source_db` with a stored tgd
@@ -512,11 +588,50 @@ impl Engine {
         let tgds = Self::tgds_of(&m)?;
         let egds = mm_chase::egds_from_keys(&s);
         let mut db = source_db.clone();
+        let tel = &self.config.telemetry;
+        let mut span = Span::enter(tel, "engine.chase_general", mid.to_string());
         let program = self.chase_program(&mid, &tgds, &db);
-        let outcome =
-            mm_chase::chase_general_prepared(&mut db, &program, &egds, &self.chase_budget())
-                .map_err(|f| EngineError::Exec(f.into()))?;
-        Ok((db, outcome))
+        let result = mm_chase::chase_general_prepared_traced(
+            &mut db,
+            &program,
+            &egds,
+            &self.chase_budget(),
+            tel,
+        )
+        .map_err(|f| EngineError::Exec(f.into()));
+        match &result {
+            Ok(outcome) => span.field("outcome", outcome.to_string()),
+            Err(e) => span.field("error", e.to_string()),
+        }
+        span.finish();
+        Ok((db, result?))
+    }
+
+    /// [`Self::chase_general`] with an EXPLAIN report: per-round deltas
+    /// of the general-chase fixpoint plus the compiled body plans, with
+    /// selectivities computed against the *pre-chase* instance so two
+    /// identical invocations render byte-identical text.
+    pub fn explain_chase_general(
+        &self,
+        mapping: &str,
+        schema: &str,
+        source_db: &Database,
+    ) -> Result<(Database, mm_chase::ChaseOutcome, ChaseExplain), EngineError> {
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
+        let (s, _) = self.schema(schema)?;
+        let tgds = Self::tgds_of(&m)?;
+        let egds = mm_chase::egds_from_keys(&s);
+        let mut db = source_db.clone();
+        let program = self.chase_program(&mid, &tgds, &db);
+        let (outcome, explain) = mm_chase::chase_general_explained(
+            &mut db,
+            &program,
+            &egds,
+            &self.chase_budget(),
+            &self.config.telemetry,
+        )
+        .map_err(|f| EngineError::Exec(f.into()))?;
+        Ok((db, outcome, explain))
     }
 }
 

@@ -25,23 +25,31 @@ pub mod prelude {
     pub use crate::engine::{Durability, Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
     pub use crate::script::{run_script, ScriptError};
     pub use mm_chase::{
-        certain_answers, chase_general, chase_general_governed, chase_general_prepared,
-        chase_general_reference, chase_st, chase_st_governed, chase_st_prepared,
-        chase_st_reference, core_of, egds_from_keys, exists_hom, hom_equivalent, ChaseFailure,
-        ChaseOutcome, ChaseProgram, ChaseStats, Egd,
+        certain_answers, chase_general, chase_general_explained, chase_general_governed,
+        chase_general_prepared, chase_general_prepared_traced, chase_general_reference, chase_st,
+        chase_st_explained, chase_st_governed, chase_st_prepared, chase_st_prepared_traced,
+        chase_st_reference, core_of, egds_from_keys, exists_hom, hom_equivalent, ChaseExplain,
+        ChaseFailure, ChaseOutcome, ChaseProgram, ChaseStats, Egd, RoundExplain, TgdExplain,
     };
     pub use mm_compose::{
         apply_sotgd, apply_sotgd_governed, compose_expr_mappings, compose_st_tgds,
-        compose_st_tgds_governed, compose_views, transport_via, try_deskolemize,
-        try_deskolemize_governed, ComposeError, DEFAULT_CLAUSE_BOUND,
+        compose_st_tgds_governed, compose_st_tgds_traced, compose_views, transport_via,
+        try_deskolemize, try_deskolemize_governed, ComposeError, DEFAULT_CLAUSE_BOUND,
     };
     pub use mm_eval::{
         eval, eval_governed, find_homomorphisms, find_homomorphisms_governed,
-        find_homomorphisms_naive, materialize_views, materialize_views_governed, unfold_query,
-        CqPlan, EvalError, VarTable,
+        find_homomorphisms_naive, find_homomorphisms_traced, materialize_views,
+        materialize_views_governed, unfold_query, AtomExplain, CqPlan, EvalError, PlanExplain,
+        VarTable,
     };
     pub use mm_guard::{
-        CancelToken, Degradation, DegradationKind, ExecBudget, ExecError, Governor, Resource,
+        CancelToken, Consumption, Degradation, DegradationKind, ExecBudget, ExecError, Governor,
+        Resource,
+    };
+    pub use mm_telemetry::{
+        Cause, Collector, Counter, DegradationSite, EngineMetrics, Event, EventKind, ExplainNode,
+        Field, FieldValue, JsonLinesCollector, LineSink, MetricsSnapshot, RingCollector, Span,
+        Telemetry, Timer,
     };
     pub use mm_evolution::{
         diff, evolve_view, extract, invert_views, merge, verify_inverse, EvolutionOutcome,
@@ -66,17 +74,18 @@ pub mod prelude {
     };
     pub use mm_repository::{
         ArtifactId, ArtifactKind, DurableOptions, FaultOp, FaultPlan, FaultStorage, LineageEdge,
-        MemStorage, Repository, RepositoryError, Storage, StorageError, SNAPSHOT_FILE,
-        SNAPSHOT_TMP_FILE, WAL_FILE,
+        MemStorage, Repository, RepositoryError, Storage, StorageError, StorageLineSink,
+        SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,
     };
     pub use mm_runtime::{
         advise_indexes, batch_load, batch_load_governed, check_query, compile_policy,
-        compile_triggers, explain, fire_triggers, maintain_insertions,
-        maintain_insertions_governed, maintain_insertions_with_plan, propagate, run_sync, trace,
-        translate_rules, translate_violations, view_insert_delta, view_insert_delta_governed,
-        AccessPolicy, AccessRule, AccessViolation, Delta, Firing, IndexRecommendation, IndexUse,
-        MaintenancePlan, MaintenanceReport, MaintenanceStrategy, MediationMode, MediationPlan,
-        MediationResult, Mediator, SyncRule, SyncStats, Trace, TraceStep, Trigger, Witness,
+        compile_triggers, explain, explain_traced, fire_triggers, maintain_insertions,
+        maintain_insertions_governed, maintain_insertions_traced, maintain_insertions_with_plan,
+        propagate, run_sync, trace, translate_rules, translate_violations, view_insert_delta,
+        view_insert_delta_governed, AccessPolicy, AccessRule, AccessViolation, Delta, Firing,
+        IndexRecommendation, IndexUse, MaintenancePlan, MaintenanceReport, MaintenanceStrategy,
+        MediationExplain, MediationMode, MediationPlan, MediationResult, Mediator, SyncRule,
+        SyncStats, Trace, TraceStep, Trigger, Witness,
     };
     pub use mm_transgen::{
         check_coverage, check_implication, correspondences_to_views, parse_fragments,

@@ -140,6 +140,45 @@ pub fn find_homomorphisms_governed(
         .collect())
 }
 
+/// [`find_homomorphisms_governed`] with telemetry: wraps the search in
+/// an `eval.homomorphisms` span and feeds the found/pruned counters
+/// (probes that bound a full match vs. probes the join rejected). With
+/// disabled telemetry this is exactly the governed call — one branch.
+pub fn find_homomorphisms_traced(
+    atoms: &[Atom],
+    db: &Database,
+    seed: &Binding,
+    gov: &mut Governor,
+    tel: &mm_telemetry::Telemetry,
+) -> Result<Vec<Binding>, ExecError> {
+    if !tel.is_enabled() {
+        return find_homomorphisms_governed(atoms, db, seed, gov);
+    }
+    let mut span = mm_telemetry::Span::enter(tel, "eval.homomorphisms", "");
+    let steps_before = gov.steps_consumed();
+    let result = find_homomorphisms_governed(atoms, db, seed, gov);
+    let probes = gov.steps_consumed() - steps_before;
+    match &result {
+        Ok(out) => {
+            let found = out.len() as u64;
+            let pruned = probes.saturating_sub(found);
+            if let Some(m) = tel.metrics() {
+                m.add(mm_telemetry::Counter::HomFound, found);
+                m.add(mm_telemetry::Counter::HomPruned, pruned);
+            }
+            span.field("atoms", atoms.len() as u64);
+            span.field("found", found);
+            span.field("pruned", pruned);
+        }
+        Err(e) => {
+            span.field("atoms", atoms.len() as u64);
+            span.field("error", e.to_string());
+        }
+    }
+    span.finish();
+    result
+}
+
 /// The naive nested-loop evaluator: scans every relation per atom and
 /// clones a string-keyed binding per probe. Kept as the reference oracle
 /// the compiled-plan path is property-tested against (and as the scan

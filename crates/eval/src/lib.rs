@@ -16,8 +16,11 @@ pub mod plan;
 pub mod view;
 
 pub use cq::{
-    find_homomorphisms, find_homomorphisms_governed, find_homomorphisms_naive, Binding,
+    find_homomorphisms, find_homomorphisms_governed, find_homomorphisms_naive,
+    find_homomorphisms_traced, Binding,
 };
-pub use plan::{AtomRange, CqPlan, ExecOptions, PlanMatch, SlotTerm, VarTable};
+pub use plan::{
+    AtomExplain, AtomRange, CqPlan, ExecOptions, PlanExplain, PlanMatch, SlotTerm, VarTable,
+};
 pub use engine::{eval, eval_governed, EvalError};
 pub use view::{materialize_views, materialize_views_governed, unfold_query};

@@ -255,6 +255,49 @@ impl CqPlan {
         &self.source
     }
 
+    /// Describe this plan against `db`: the chosen join order, and per
+    /// plan atom the probe columns, relation cardinality, and how many
+    /// tuples the (optional) per-atom [`AtomRange`]s admit. Purely
+    /// observational — compiles nothing, executes nothing.
+    pub fn explain(&self, db: &Database, ranges: Option<&[AtomRange]>) -> PlanExplain {
+        let atoms = self
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let rows_total = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
+                let range = ranges.and_then(|rs| rs.get(i).copied()).unwrap_or(AtomRange::Full);
+                let rows_admitted = match range {
+                    AtomRange::Full => rows_total,
+                    AtomRange::Below(w) => rows_total.min(w as usize),
+                    AtomRange::AtOrAbove(w) => rows_total.saturating_sub(w as usize),
+                };
+                let terms = a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        SlotTerm::Var(s) => format!("${s}"),
+                        SlotTerm::Const(v) => v.to_string(),
+                    })
+                    .collect();
+                AtomExplain {
+                    relation: a.relation.clone(),
+                    source_index: self.source[i],
+                    terms,
+                    probe_cols: a.probe_cols.clone(),
+                    rows_total,
+                    rows_admitted,
+                }
+            })
+            .collect();
+        PlanExplain {
+            join_order: self.atoms.iter().map(|a| a.relation.clone()).collect(),
+            atoms,
+            num_slots: self.num_slots,
+            unsat: self.unsat,
+        }
+    }
+
     /// Execute over `db`. `scratch` carries the seed (pre-bound slots as
     /// `Some`) and is restored to exactly that seed state on return.
     /// Every candidate tuple examined is metered as one governor step;
@@ -405,6 +448,79 @@ impl Walk<'_, '_, '_, '_> {
             scratch[s] = None;
         }
         Ok(stop)
+    }
+}
+
+/// One plan atom, described: what [`CqPlan::explain`] reports per join
+/// position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomExplain {
+    pub relation: String,
+    /// Index of the originating atom in the caller's source list.
+    pub source_index: usize,
+    /// Terms in column order: `$n` for slot `n`, constants displayed.
+    pub terms: Vec<String>,
+    /// Columns bound (by constants or earlier atoms) when execution
+    /// reaches this atom — the index-probe key.
+    pub probe_cols: Vec<usize>,
+    /// Relation cardinality in the database explained against.
+    pub rows_total: usize,
+    /// Tuples the per-atom [`AtomRange`] admits (equals `rows_total`
+    /// without a range restriction).
+    pub rows_admitted: usize,
+}
+
+impl AtomExplain {
+    /// Fraction of the relation the range restriction admits, in
+    /// `[0, 1]`; `1.0` for an empty relation (nothing is excluded).
+    pub fn selectivity(&self) -> f64 {
+        if self.rows_total == 0 {
+            1.0
+        } else {
+            self.rows_admitted as f64 / self.rows_total as f64
+        }
+    }
+}
+
+/// Structured description of a compiled plan: [`CqPlan::explain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanExplain {
+    /// Relation names in chosen join order.
+    pub join_order: Vec<String>,
+    pub atoms: Vec<AtomExplain>,
+    pub num_slots: usize,
+    /// The conjunction contained a function term and matches nothing.
+    pub unsat: bool,
+}
+
+impl PlanExplain {
+    /// Render as a telemetry explain tree (stable field order).
+    pub fn to_node(&self) -> mm_telemetry::ExplainNode {
+        let mut node = mm_telemetry::ExplainNode::new("plan")
+            .field("join_order", self.join_order.join(","))
+            .field("num_slots", self.num_slots.to_string());
+        if self.unsat {
+            node.push_field("unsat", "true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            node.push_child(
+                mm_telemetry::ExplainNode::new(format!("atom#{i}"))
+                    .field("relation", a.relation.clone())
+                    .field("source", a.source_index.to_string())
+                    .field("terms", a.terms.join(","))
+                    .field(
+                        "probe_cols",
+                        a.probe_cols
+                            .iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    )
+                    .field("rows", a.rows_total.to_string())
+                    .field("admitted", a.rows_admitted.to_string()),
+            );
+        }
+        node
     }
 }
 

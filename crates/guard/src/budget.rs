@@ -58,9 +58,11 @@ impl ExecBudget {
         self
     }
 
-    /// Cap wall-clock time, measured from *now*.
+    /// Cap wall-clock time, measured from *now* on the shared monotonic
+    /// clock ([`mm_telemetry::clock`]) — the same clock spans read, so
+    /// budgets and telemetry agree on elapsed time.
     pub fn with_wall(mut self, d: Duration) -> Self {
-        self.deadline = Some(Instant::now() + d);
+        self.deadline = Some(mm_telemetry::clock::now() + d);
         self
     }
 

@@ -92,6 +92,25 @@ impl ExecError {
             ExecError::BudgetExhausted { .. } | ExecError::Cancelled { .. } | ExecError::Diverged { .. }
         )
     }
+
+    /// The telemetry cause bucket this error belongs to — how
+    /// degradation counters attribute the fallback
+    /// ([`mm_telemetry::EngineMetrics::degradation`]).
+    pub fn telemetry_cause(&self) -> mm_telemetry::Cause {
+        use mm_telemetry::Cause;
+        match self {
+            ExecError::BudgetExhausted { resource, .. } => match resource {
+                Resource::Steps => Cause::Steps,
+                Resource::Rows => Cause::Rows,
+                Resource::Rounds => Cause::Rounds,
+                Resource::Clauses => Cause::Clauses,
+                Resource::WallClock => Cause::WallClock,
+            },
+            ExecError::Cancelled { .. } => Cause::Cancelled,
+            ExecError::Diverged { .. } => Cause::Rounds,
+            _ => Cause::Other,
+        }
+    }
 }
 
 impl fmt::Display for ExecError {

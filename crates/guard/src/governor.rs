@@ -21,6 +21,8 @@ pub struct Governor {
     budget: ExecBudget,
     steps: u64,
     rows: u64,
+    rounds: u64,
+    clauses: u64,
     started: Instant,
 }
 
@@ -30,7 +32,9 @@ impl Governor {
             budget: budget.clone(),
             steps: 0,
             rows: 0,
-            started: Instant::now(),
+            rounds: 0,
+            clauses: 0,
+            started: mm_telemetry::clock::now(),
         }
     }
 
@@ -93,6 +97,7 @@ impl Governor {
     /// also forces a cancellation/deadline check, since a round
     /// boundary is a natural safepoint.
     pub fn round(&mut self, completed_rounds: u64) -> Result<(), ExecError> {
+        self.rounds = self.rounds.max(completed_rounds);
         if let Some(limit) = self.budget.max_rounds {
             if completed_rounds > limit {
                 return Err(ExecError::BudgetExhausted {
@@ -107,6 +112,7 @@ impl Governor {
 
     /// Check a produced-clause count against the clause cap.
     pub fn clauses(&mut self, count: u64) -> Result<(), ExecError> {
+        self.clauses = self.clauses.max(count);
         if let Some(limit) = self.budget.max_clauses {
             if count > limit {
                 return Err(ExecError::BudgetExhausted {
@@ -127,7 +133,7 @@ impl Governor {
             return Err(ExecError::Cancelled { after_steps: self.steps });
         }
         if let Some(deadline) = self.budget.deadline {
-            let now = Instant::now();
+            let now = mm_telemetry::clock::now();
             if now > deadline {
                 return Err(ExecError::BudgetExhausted {
                     resource: Resource::WallClock,
@@ -147,8 +153,48 @@ impl Governor {
         self.rows
     }
 
+    /// Everything this meter has consumed so far — steps, rows, the
+    /// highest round and clause counts checked, and wall time since
+    /// construction. Until PR 4 consumption was visible only inside
+    /// `ExecError::BudgetExhausted`; this exports it on the success path
+    /// too (telemetry records it as span fields on completed operators).
+    pub fn consumption(&self) -> Consumption {
+        Consumption {
+            steps: self.steps,
+            rows: self.rows,
+            rounds: self.rounds,
+            clauses: self.clauses,
+            wall_us: mm_telemetry::clock::elapsed_us(self.started),
+        }
+    }
+
     pub fn budget(&self) -> &ExecBudget {
         &self.budget
+    }
+}
+
+/// A snapshot of a [`Governor`]'s consumed resources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Consumption {
+    /// Logical work units metered ([`Governor::step`]).
+    pub steps: u64,
+    /// Materialized tuples metered ([`Governor::row`]).
+    pub rows: u64,
+    /// Highest completed-round count checked ([`Governor::round`]).
+    pub rounds: u64,
+    /// Highest produced-clause count checked ([`Governor::clauses`]).
+    pub clauses: u64,
+    /// Wall-clock time since the governor started, in microseconds.
+    pub wall_us: u64,
+}
+
+impl std::fmt::Display for Consumption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps={} rows={} rounds={} clauses={} wall_us={}",
+            self.steps, self.rows, self.rounds, self.clauses, self.wall_us
+        )
     }
 }
 

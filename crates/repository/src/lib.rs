@@ -23,7 +23,9 @@ pub mod storage;
 pub mod store;
 pub mod wal;
 
-pub use storage::{FaultOp, FaultPlan, FaultStorage, MemStorage, Storage, StorageError};
+pub use storage::{
+    FaultOp, FaultPlan, FaultStorage, MemStorage, Storage, StorageError, StorageLineSink,
+};
 pub use store::{
     ArtifactId, ArtifactKind, DurableOptions, LineageEdge, Repository, RepositoryError,
     VersionedName, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,

@@ -333,6 +333,35 @@ impl Storage for FaultStorage {
     }
 }
 
+/// A [`mm_telemetry::LineSink`] over a [`Storage`] file: the adapter
+/// that lets a `JsonLinesCollector` persist telemetry events through
+/// the same storage abstraction (and fault injection) the repository's
+/// WAL uses. Each line is appended with a trailing newline.
+pub struct StorageLineSink {
+    storage: Arc<dyn Storage>,
+    file: String,
+}
+
+impl StorageLineSink {
+    pub fn new(storage: Arc<dyn Storage>, file: impl Into<String>) -> Arc<Self> {
+        Arc::new(StorageLineSink { storage, file: file.into() })
+    }
+
+    /// The file events append to.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+}
+
+impl mm_telemetry::LineSink for StorageLineSink {
+    fn append_line(&self, line: &str) -> Result<(), String> {
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        self.storage.append(&self.file, &bytes).map_err(|e| e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

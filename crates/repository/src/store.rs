@@ -22,6 +22,7 @@ use crate::wal::{Wal, WalRecord};
 use bytes::Bytes;
 use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
 use mm_metamodel::Schema;
+use mm_telemetry::{Counter, Telemetry, Timer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -177,12 +178,15 @@ struct DurableCore {
 
 impl DurableCore {
     /// Append one committed batch, advancing the sequence counter only
-    /// after the frame is fully persisted.
-    fn append_now(&self, records: &[WalRecord]) -> Result<(), StorageError> {
+    /// after the frame is fully persisted. Frame count and size feed the
+    /// WAL telemetry counters.
+    fn append_now(&self, records: &[WalRecord], tel: &Telemetry) -> Result<(), StorageError> {
         let mut st = self.state.lock();
-        self.wal.append_batch(st.next_seq, records)?;
+        let frame_bytes = self.wal.append_batch(st.next_seq, records)?;
         st.next_seq += 1;
         st.batches_since_checkpoint += 1;
+        tel.count(Counter::WalFramesAppended, 1);
+        tel.count(Counter::WalBytesAppended, frame_bytes as u64);
         Ok(())
     }
 }
@@ -196,6 +200,7 @@ pub struct Repository {
     inner: RwLock<Store>,
     tx: Mutex<Option<TxState>>,
     durable: Option<DurableCore>,
+    telemetry: Telemetry,
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x4D4D5232; // "MMR2"
@@ -235,7 +240,7 @@ macro_rules! accessors {
                     d.append_now(&[WalRecord::$rec {
                         name: name.clone(),
                         value: value.clone(),
-                    }])?;
+                    }], &self.telemetry)?;
                 }
                 let versions = store.$field.entry(name.clone()).or_default();
                 versions.push(value);
@@ -309,6 +314,19 @@ impl Repository {
         storage: Arc<dyn Storage>,
         opts: DurableOptions,
     ) -> Result<Self, RepositoryError> {
+        Self::open_durable_with_telemetry(storage, opts, Telemetry::disabled())
+    }
+
+    /// [`Repository::open_durable`] with a telemetry handle attached:
+    /// the recovery pass is timed and counted, and the opened repository
+    /// keeps the handle for WAL/checkpoint metering (equivalent to
+    /// [`Repository::set_telemetry`] after a plain open).
+    pub fn open_durable_with_telemetry(
+        storage: Arc<dyn Storage>,
+        opts: DurableOptions,
+        tel: Telemetry,
+    ) -> Result<Self, RepositoryError> {
+        let started = mm_telemetry::clock::now();
         storage.delete(SNAPSHOT_TMP_FILE)?;
         let (mut store, base_seq) = match storage.read(SNAPSHOT_FILE)? {
             Some(bytes) => decode_snapshot(bytes)?,
@@ -318,6 +336,7 @@ impl Repository {
         let replay = wal.replay()?;
         let truncated = replay.truncated();
         let valid_len = replay.valid_len;
+        let batch_count = replay.batches.len();
         let mut last_seq = base_seq;
         for (seq, records) in replay.batches {
             if seq <= base_seq {
@@ -330,6 +349,21 @@ impl Repository {
         }
         if truncated {
             wal.truncate(valid_len)?;
+        }
+        if tel.is_enabled() {
+            tel.count(Counter::Recoveries, 1);
+            if let Some(m) = tel.metrics() {
+                m.observe_us(Timer::Recovery, mm_telemetry::clock::elapsed_us(started));
+            }
+            tel.event(
+                "repository.recovered",
+                "",
+                vec![
+                    mm_telemetry::Field { key: "snapshot_seq", value: base_seq.into() },
+                    mm_telemetry::Field { key: "wal_batches", value: batch_count.into() },
+                    mm_telemetry::Field { key: "wal_truncated", value: truncated.into() },
+                ],
+            );
         }
         Ok(Repository {
             inner: RwLock::new(store),
@@ -344,7 +378,14 @@ impl Repository {
                 }),
                 opts,
             }),
+            telemetry: tel,
         })
+    }
+
+    /// Attach (or replace) the telemetry handle metering WAL appends and
+    /// checkpoints on this repository.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = tel;
     }
 
     /// Is this repository journaling through a WAL?
@@ -411,7 +452,7 @@ impl Repository {
             if let Some(tx) = tx.as_mut() {
                 tx.buffer.push(WalRecord::Lineage(edge.clone()));
             } else if let Some(d) = &self.durable {
-                d.append_now(&[WalRecord::Lineage(edge.clone())])?;
+                d.append_now(&[WalRecord::Lineage(edge.clone())], &self.telemetry)?;
             }
             store.lineage.push(edge);
         }
@@ -492,7 +533,7 @@ impl Repository {
             };
             if let Some(d) = &self.durable {
                 if !state.buffer.is_empty() {
-                    if let Err(e) = d.append_now(&state.buffer) {
+                    if let Err(e) = d.append_now(&state.buffer, &self.telemetry) {
                         *self.inner.write() = state.savepoint;
                         return Err(RepositoryError::Storage(e));
                     }
@@ -529,6 +570,7 @@ impl Repository {
         let Some(d) = &self.durable else {
             return Err(RepositoryError::NotDurable);
         };
+        let started = mm_telemetry::clock::now();
         // hold the tx lock throughout: writers queue behind it, so the
         // snapshot is a consistent cut, and no uncommitted transaction
         // state can leak into it
@@ -546,6 +588,10 @@ impl Repository {
         // best-effort (stale frames are skipped by sequence on recovery)
         d.wal.reset()?;
         st.batches_since_checkpoint = 0;
+        self.telemetry.count(Counter::Checkpoints, 1);
+        if let Some(m) = self.telemetry.metrics() {
+            m.observe_us(Timer::Checkpoint, mm_telemetry::clock::elapsed_us(started));
+        }
         Ok(())
     }
 
@@ -591,6 +637,7 @@ impl Repository {
             inner: RwLock::new(store),
             tx: Mutex::new(None),
             durable: None,
+            telemetry: Telemetry::disabled(),
         })
     }
 }

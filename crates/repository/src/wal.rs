@@ -125,11 +125,13 @@ impl Wal {
         &self.file
     }
 
-    /// Append one committed batch as a single frame. The frame only
-    /// becomes visible to [`Wal::replay`] once every byte (including the
-    /// trailing record bytes the CRC covers) is persisted — a torn
-    /// append is indistinguishable from no append after recovery.
-    pub fn append_batch(&self, seq: u64, records: &[WalRecord]) -> Result<(), StorageError> {
+    /// Append one committed batch as a single frame, returning the frame
+    /// size in bytes (header + payload — what telemetry meters as WAL
+    /// bytes appended). The frame only becomes visible to [`Wal::replay`]
+    /// once every byte (including the trailing record bytes the CRC
+    /// covers) is persisted — a torn append is indistinguishable from no
+    /// append after recovery.
+    pub fn append_batch(&self, seq: u64, records: &[WalRecord]) -> Result<usize, StorageError> {
         let mut body = Writer::new();
         body.u64(seq);
         body.u32(records.len() as u32);
@@ -142,7 +144,8 @@ impl Wal {
         frame.u32(crc32(&payload));
         let mut bytes = frame.finish().to_vec();
         bytes.extend_from_slice(&payload);
-        self.storage.append(&self.file, &bytes)
+        self.storage.append(&self.file, &bytes)?;
+        Ok(bytes.len())
     }
 
     /// Scan the log, decoding the longest valid prefix of frames. Frames

@@ -531,6 +531,69 @@ pub fn maintain_insertions_with_plan(
     Ok(reports)
 }
 
+/// [`maintain_insertions_with_plan`] with telemetry: the pass runs under
+/// an `ivm.maintain` span, and every [`MaintenanceReport`] that carries a
+/// [`Degradation`] is mirrored as exactly one `ivm.degraded` event (and
+/// counted by cause at the IVM site). With disabled telemetry this is
+/// the plain planned call.
+pub fn maintain_insertions_traced(
+    plan: &MaintenancePlan,
+    base_schema: &Schema,
+    base_db: &Database,
+    delta: &Delta,
+    materialized: &mut Database,
+    budget: &ExecBudget,
+    tel: &mm_telemetry::Telemetry,
+) -> Result<Vec<MaintenanceReport>, EvalError> {
+    if !tel.is_enabled() {
+        return maintain_insertions_with_plan(
+            plan,
+            base_schema,
+            base_db,
+            delta,
+            materialized,
+            budget,
+        );
+    }
+    let mut span = mm_telemetry::Span::enter(tel, "ivm.maintain", base_db.name.as_str());
+    let result =
+        maintain_insertions_with_plan(plan, base_schema, base_db, delta, materialized, budget);
+    match &result {
+        Ok(reports) => {
+            let mut incremental = 0u64;
+            let mut recomputed = 0u64;
+            for r in reports {
+                match r.strategy {
+                    MaintenanceStrategy::Incremental => incremental += 1,
+                    MaintenanceStrategy::Recompute => recomputed += 1,
+                }
+                let Some(d) = &r.degradation else { continue };
+                if let Some(m) = tel.metrics() {
+                    m.degradation(
+                        mm_telemetry::DegradationSite::Ivm,
+                        d.cause.telemetry_cause(),
+                    );
+                }
+                tel.event(
+                    "ivm.degraded",
+                    r.view.as_str(),
+                    vec![
+                        mm_telemetry::Field { key: "kind", value: d.kind.to_string().into() },
+                        mm_telemetry::Field { key: "cause", value: d.cause.to_string().into() },
+                    ],
+                );
+            }
+            span.field("views", reports.len());
+            span.field("incremental", incremental);
+            span.field("recomputed", recomputed);
+            span.field("delta_tuples", delta.len());
+        }
+        Err(e) => span.field("error", e.to_string()),
+    }
+    span.finish();
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,12 +40,14 @@ pub use indexing::{advise_indexes, IndexRecommendation, IndexUse};
 pub use errors::{translate_violations, TargetError};
 pub use debugger::{trace, Trace, TraceStep};
 pub use ivm::{
-    maintain_insertions, maintain_insertions_governed, maintain_insertions_with_plan,
-    view_insert_delta, view_insert_delta_governed, Delta, MaintenancePlan, MaintenanceReport,
-    MaintenanceStrategy,
+    maintain_insertions, maintain_insertions_governed, maintain_insertions_traced,
+    maintain_insertions_with_plan, view_insert_delta, view_insert_delta_governed, Delta,
+    MaintenancePlan, MaintenanceReport, MaintenanceStrategy,
 };
-pub use mediator::{MediationMode, MediationPlan, MediationResult, Mediator};
-pub use provenance::{explain, Witness};
+pub use mediator::{
+    MediationExplain, MediationMode, MediationPlan, MediationResult, Mediator,
+};
+pub use provenance::{explain, explain_traced, Witness};
 pub use sync::{run_sync, translate_rules, SyncRule, SyncStats, TranslatedRule};
 pub use triggers::{compile_triggers, fire_triggers, CompiledTrigger, Firing, Trigger};
 pub use updates::{propagate, UpdateError};

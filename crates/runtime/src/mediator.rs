@@ -13,6 +13,8 @@ use mm_expr::{Expr, ViewSet};
 use mm_guard::{Degradation, DegradationKind, ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Relation};
 use mm_metamodel::Schema;
+use mm_telemetry::{DegradationSite, ExplainNode, Telemetry};
+use std::fmt;
 
 /// Which mediation strategy produced an answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +81,44 @@ impl MediationPlan {
     }
 }
 
+/// Why a [`MediationPlan`] answers the way it does: the path chosen
+/// (collapsed vs chained) and, when the fast path was abandoned, the
+/// typed cause. Returned by [`Mediator::explain_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediationExplain {
+    pub mode: MediationMode,
+    /// Chain length the mediator planned over.
+    pub hops: usize,
+    /// Human-readable reason the mode was chosen.
+    pub why: String,
+    /// Display of the [`ExecError`] that forced a degradation, if any.
+    pub cause: Option<String>,
+}
+
+impl MediationExplain {
+    /// Render as a telemetry explain tree (stable field order).
+    pub fn to_node(&self) -> ExplainNode {
+        let mode = match self.mode {
+            MediationMode::Collapsed => "collapsed",
+            MediationMode::Chained => "chained",
+        };
+        let mut node = ExplainNode::new("mediation")
+            .field("mode", mode)
+            .field("hops", self.hops)
+            .field("why", &self.why);
+        if let Some(c) = &self.cause {
+            node.push_field("cause", c);
+        }
+        node
+    }
+}
+
+impl fmt::Display for MediationExplain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_node().fmt(f)
+    }
+}
+
 /// A mediator over a chain of view-defined mappings.
 ///
 /// `chain[0]` defines the first virtual schema over the base; `chain[i]`
@@ -86,11 +126,36 @@ impl MediationPlan {
 pub struct Mediator<'a> {
     pub base_schema: &'a Schema,
     pub chain: Vec<&'a ViewSet>,
+    tel: Telemetry,
 }
 
 impl<'a> Mediator<'a> {
     pub fn new(base_schema: &'a Schema, chain: Vec<&'a ViewSet>) -> Self {
-        Mediator { base_schema, chain }
+        Mediator { base_schema, chain, tel: Telemetry::disabled() }
+    }
+
+    /// Attach a telemetry handle: planning degradations are mirrored as
+    /// `mediator.degraded` events and counted by cause.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Explain what answers produced from `plan` will do and why.
+    pub fn explain_plan(&self, plan: &MediationPlan) -> MediationExplain {
+        let (why, cause) = match (&plan.strategy, &plan.degradation) {
+            (Strategy::Collapsed(_), _) => {
+                ("chain pre-composed into a direct mapping within budget".to_string(), None)
+            }
+            (Strategy::Chained, Some(d)) => (
+                "composing the chain tripped the budget; unfolding hop by hop".to_string(),
+                Some(d.cause.to_string()),
+            ),
+            (Strategy::Chained, None) => {
+                ("empty chain: queries already address the base".to_string(), None)
+            }
+        };
+        MediationExplain { mode: plan.mode(), hops: self.chain.len(), why, cause }
     }
 
     /// Answer a top-level query by unfolding it hop by hop down the chain
@@ -174,13 +239,33 @@ impl<'a> Mediator<'a> {
             }
             // Empty chain: queries already address the base.
             Ok(None) => Ok(MediationPlan { strategy: Strategy::Chained, degradation: None }),
-            Err(cause @ ExecError::BudgetExhausted { .. }) => Ok(MediationPlan {
-                strategy: Strategy::Chained,
-                degradation: Some(Degradation {
-                    kind: DegradationKind::CollapsedToChained,
-                    cause,
-                }),
-            }),
+            Err(cause @ ExecError::BudgetExhausted { .. }) => {
+                if self.tel.is_enabled() {
+                    if let Some(m) = self.tel.metrics() {
+                        m.degradation(DegradationSite::Mediator, cause.telemetry_cause());
+                    }
+                    self.tel.event(
+                        "mediator.degraded",
+                        "",
+                        vec![
+                            mm_telemetry::Field {
+                                key: "kind",
+                                value: DegradationKind::CollapsedToChained.to_string().into(),
+                            },
+                            mm_telemetry::Field { key: "cause", value: cause.to_string().into() },
+                            mm_telemetry::Field { key: "hops", value: self.chain.len().into() },
+                        ],
+                    );
+
+                }
+                Ok(MediationPlan {
+                    strategy: Strategy::Chained,
+                    degradation: Some(Degradation {
+                        kind: DegradationKind::CollapsedToChained,
+                        cause,
+                    }),
+                })
+            }
             Err(e) => Err(e),
         }
     }

@@ -300,6 +300,28 @@ pub fn explain(
     Ok(out)
 }
 
+/// [`explain`] wrapped in a `provenance.explain` span recording witness
+/// count. With disabled telemetry this is the plain call.
+pub fn explain_traced(
+    expr: &Expr,
+    schema: &Schema,
+    db: &Database,
+    target: &Tuple,
+    tel: &mm_telemetry::Telemetry,
+) -> Result<Vec<Witness>, EvalError> {
+    if !tel.is_enabled() {
+        return explain(expr, schema, db, target);
+    }
+    let mut span = mm_telemetry::Span::enter(tel, "provenance.explain", db.name.as_str());
+    let result = explain(expr, schema, db, target);
+    match &result {
+        Ok(witnesses) => span.field("witnesses", witnesses.len()),
+        Err(e) => span.field("error", e.to_string()),
+    }
+    span.finish();
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,212 @@
+//! Pluggable event sinks.
+//!
+//! The [`Collector`] trait is the only extension point spans know about.
+//! Two implementations ship here: [`RingCollector`] (bounded in-memory
+//! capture, the test and debugging workhorse) and [`JsonLinesCollector`]
+//! (streams one JSON object per event through a [`LineSink`]).
+//! `mm-repository` adapts its `Storage` trait to `LineSink`, so the
+//! JSON-lines stream can land on the same backend as the WAL without a
+//! dependency cycle (telemetry sits below the repository crate).
+
+use crate::span::Event;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An event sink. Implementations must be cheap and non-blocking-ish:
+/// collectors run inline on the instrumented thread.
+pub trait Collector: Send + Sync {
+    fn record(&self, event: Event);
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // a panicking recorder thread must not wedge telemetry for everyone
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A bounded in-memory ring of the most recent events.
+pub struct RingCollector {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingCollector {
+    /// A ring keeping the last `cap` events (older ones are dropped and
+    /// counted).
+    pub fn with_capacity(cap: usize) -> Arc<RingCollector> {
+        Arc::new(RingCollector {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The retained events, oldest first (clones).
+    pub fn events(&self) -> Vec<Event> {
+        lock_ignoring_poison(&self.buf).iter().cloned().collect()
+    }
+
+    /// Retained events whose `op` matches.
+    pub fn events_for(&self, op: &str) -> Vec<Event> {
+        lock_ignoring_poison(&self.buf)
+            .iter()
+            .filter(|e| e.op == op)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        lock_ignoring_poison(&self.buf).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Take everything, leaving the ring empty.
+    pub fn drain(&self) -> Vec<Event> {
+        lock_ignoring_poison(&self.buf).drain(..).collect()
+    }
+}
+
+impl Collector for RingCollector {
+    fn record(&self, event: Event) {
+        let mut buf = lock_ignoring_poison(&self.buf);
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+}
+
+/// Where [`JsonLinesCollector`] writes. One call per event; the line has
+/// no trailing newline (the sink appends its own framing). Errors are
+/// reported back so the collector can count them — telemetry must never
+/// turn an observability failure into an engine failure.
+pub trait LineSink: Send + Sync {
+    fn append_line(&self, line: &str) -> Result<(), String>;
+}
+
+/// A `LineSink` buffering lines in memory — for tests and for dumping a
+/// bounded capture without a storage backend.
+#[derive(Default)]
+pub struct VecSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl VecSink {
+    pub fn new() -> Arc<VecSink> {
+        Arc::new(VecSink::default())
+    }
+
+    pub fn lines(&self) -> Vec<String> {
+        lock_ignoring_poison(&self.lines).clone()
+    }
+}
+
+impl LineSink for VecSink {
+    fn append_line(&self, line: &str) -> Result<(), String> {
+        lock_ignoring_poison(&self.lines).push(line.to_string());
+        Ok(())
+    }
+}
+
+/// Streams every event as one JSON object per line through a
+/// [`LineSink`]. Write failures are swallowed and counted
+/// ([`JsonLinesCollector::write_errors`]); the instrumented operation
+/// never observes them.
+pub struct JsonLinesCollector {
+    sink: Arc<dyn LineSink>,
+    write_errors: AtomicU64,
+}
+
+impl JsonLinesCollector {
+    pub fn new(sink: Arc<dyn LineSink>) -> Arc<JsonLinesCollector> {
+        Arc::new(JsonLinesCollector { sink, write_errors: AtomicU64::new(0) })
+    }
+
+    /// Lines lost to sink failures so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+}
+
+impl Collector for JsonLinesCollector {
+    fn record(&self, event: Event) {
+        if self.sink.append_line(&event.to_json()).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::span::{EventKind, Field};
+
+    fn point(op: &'static str, n: u64) -> Event {
+        Event {
+            kind: EventKind::Point,
+            op,
+            artifact: String::new(),
+            span_id: 0,
+            parent_id: None,
+            elapsed_us: None,
+            fields: vec![Field { key: "n", value: n.into() }],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let ring = RingCollector::with_capacity(2);
+        ring.record(point("a", 1));
+        ring.record(point("b", 2));
+        ring.record(point("c", 3));
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].op, "b");
+        assert_eq!(events[1].op, "c");
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.drain().len(), 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn json_lines_go_through_the_sink() {
+        let sink = VecSink::new();
+        let col = JsonLinesCollector::new(sink.clone());
+        col.record(point("x", 9));
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"op\":\"x\""));
+        assert_eq!(col.write_errors(), 0);
+    }
+
+    #[test]
+    fn sink_failures_are_counted_not_raised() {
+        struct Failing;
+        impl LineSink for Failing {
+            fn append_line(&self, _line: &str) -> Result<(), String> {
+                Err("disk on fire".into())
+            }
+        }
+        let col = JsonLinesCollector::new(Arc::new(Failing));
+        col.record(point("x", 1));
+        col.record(point("x", 2));
+        assert_eq!(col.write_errors(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! The explain report tree.
+//!
+//! Every `Engine::explain_*` variant returns typed, operator-specific
+//! structs (join orders, per-round deltas, mediation strategy) that also
+//! render into this generic [`ExplainNode`] tree. The tree's `Display`
+//! is deterministic — fields print in insertion order, children in
+//! order, indentation is two spaces per level — so two identical runs
+//! produce byte-identical reports, which the integration tests assert.
+
+use std::fmt;
+
+/// One node of an explain report: a title, ordered key/value fields, and
+/// ordered children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainNode {
+    pub title: String,
+    pub fields: Vec<(String, String)>,
+    pub children: Vec<ExplainNode>,
+}
+
+impl ExplainNode {
+    pub fn new(title: impl Into<String>) -> ExplainNode {
+        ExplainNode { title: title.into(), fields: Vec::new(), children: Vec::new() }
+    }
+
+    /// Append a field (builder style).
+    pub fn field(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.push_field(key, value);
+        self
+    }
+
+    /// Append a field in place.
+    pub fn push_field(&mut self, key: impl Into<String>, value: impl fmt::Display) {
+        self.fields.push((key.into(), value.to_string()));
+    }
+
+    /// Append a child (builder style).
+    pub fn child(mut self, node: ExplainNode) -> Self {
+        self.children.push(node);
+        self
+    }
+
+    /// Append a child in place.
+    pub fn push_child(&mut self, node: ExplainNode) {
+        self.children.push(node);
+    }
+
+    /// The value of a field on this node.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Depth-first search for the first descendant (or self) with this
+    /// title.
+    pub fn find(&self, title: &str) -> Option<&ExplainNode> {
+        if self.title == title {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(title))
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        write!(f, "{pad}{}", self.title)?;
+        if !self.fields.is_empty() {
+            let rendered: Vec<String> =
+                self.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            write!(f, " [{}]", rendered.join(" "))?;
+        }
+        writeln!(f)?;
+        for c in &self.children {
+            c.fmt_indented(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ExplainNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExplainNode {
+        ExplainNode::new("chase")
+            .field("rounds", 2)
+            .child(
+                ExplainNode::new("tgd#0")
+                    .field("join_order", "E,T")
+                    .field("head_ground", false),
+            )
+            .child(ExplainNode::new("round#1").field("new_tuples", 3))
+    }
+
+    #[test]
+    fn display_is_deterministic_and_indented() {
+        let a = sample().to_string();
+        let b = sample().to_string();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "chase [rounds=2]\n  tgd#0 [join_order=E,T head_ground=false]\n  round#1 [new_tuples=3]\n"
+        );
+    }
+
+    #[test]
+    fn find_and_get_navigate_the_tree() {
+        let n = sample();
+        assert_eq!(n.find("round#1").and_then(|r| r.get("new_tuples")), Some("3"));
+        assert_eq!(n.get("rounds"), Some("2"));
+        assert!(n.find("absent").is_none());
+    }
+}

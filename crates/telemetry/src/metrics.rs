@@ -1,0 +1,348 @@
+//! The engine metrics registry: atomically-updated counters and
+//! duration statistics, shared by every instrumented crate through the
+//! [`crate::Telemetry`] handle.
+//!
+//! The inventory is a closed enum rather than string keys: updating a
+//! counter is one relaxed atomic add with no hashing or allocation, so
+//! metering is safe to leave on inside the chase round loop. Snapshots
+//! render to a `BTreeMap` with stable snake-case names, which is what
+//! the JSON-lines dump and the tests key on.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters the engine exports. Names in snapshots are the
+/// lowercase snake-case of the variant (see [`Counter::name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Fixpoint rounds executed by the chase (st chase counts 1).
+    ChaseRounds,
+    /// Tgd activations: firings that inserted at least one tuple.
+    ChaseFirings,
+    /// Labeled nulls minted by chase firings.
+    ChaseNullsMinted,
+    /// Tuples inserted by the chase (delta size summed over rounds).
+    ChaseDeltaTuples,
+    /// Homomorphisms found by conjunctive-query evaluation.
+    HomFound,
+    /// Join candidates metered but pruned before becoming homomorphisms.
+    HomPruned,
+    /// Engine chase-plan cache hits.
+    PlanCacheHits,
+    /// Engine chase-plan cache misses (compiles).
+    PlanCacheMisses,
+    /// SO-tgd clauses emitted by composition splicing.
+    ComposeClausesEmitted,
+    /// WAL batch frames appended.
+    WalFramesAppended,
+    /// WAL bytes appended (frame headers included).
+    WalBytesAppended,
+    /// Checkpoints completed.
+    Checkpoints,
+    /// Durable recoveries completed (`open_durable`).
+    Recoveries,
+    /// Budget steps consumed by completed governed operations.
+    BudgetStepsConsumed,
+    /// Budget rows consumed by completed governed operations.
+    BudgetRowsConsumed,
+}
+
+const COUNTERS: usize = Counter::BudgetRowsConsumed as usize + 1;
+
+impl Counter {
+    /// Stable snapshot key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ChaseRounds => "chase_rounds",
+            Counter::ChaseFirings => "chase_firings",
+            Counter::ChaseNullsMinted => "chase_nulls_minted",
+            Counter::ChaseDeltaTuples => "chase_delta_tuples",
+            Counter::HomFound => "hom_found",
+            Counter::HomPruned => "hom_pruned",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::ComposeClausesEmitted => "compose_clauses_emitted",
+            Counter::WalFramesAppended => "wal_frames_appended",
+            Counter::WalBytesAppended => "wal_bytes_appended",
+            Counter::Checkpoints => "checkpoints",
+            Counter::Recoveries => "recoveries",
+            Counter::BudgetStepsConsumed => "budget_steps_consumed",
+            Counter::BudgetRowsConsumed => "budget_rows_consumed",
+        }
+    }
+
+    fn all() -> [Counter; COUNTERS] {
+        [
+            Counter::ChaseRounds,
+            Counter::ChaseFirings,
+            Counter::ChaseNullsMinted,
+            Counter::ChaseDeltaTuples,
+            Counter::HomFound,
+            Counter::HomPruned,
+            Counter::PlanCacheHits,
+            Counter::PlanCacheMisses,
+            Counter::ComposeClausesEmitted,
+            Counter::WalFramesAppended,
+            Counter::WalBytesAppended,
+            Counter::Checkpoints,
+            Counter::Recoveries,
+            Counter::BudgetStepsConsumed,
+            Counter::BudgetRowsConsumed,
+        ]
+    }
+}
+
+/// Duration statistics (count / total / max, in microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Timer {
+    /// `Repository::checkpoint` wall time.
+    Checkpoint,
+    /// `Repository::open_durable` recovery wall time.
+    Recovery,
+    /// Whole chase invocations (st and general).
+    Chase,
+    /// SO-tgd composition invocations.
+    Compose,
+}
+
+const TIMERS: usize = Timer::Compose as usize + 1;
+
+impl Timer {
+    /// Stable snapshot key prefix.
+    pub fn name(self) -> &'static str {
+        match self {
+            Timer::Checkpoint => "checkpoint",
+            Timer::Recovery => "recovery",
+            Timer::Chase => "chase",
+            Timer::Compose => "compose",
+        }
+    }
+
+    fn all() -> [Timer; TIMERS] {
+        [Timer::Checkpoint, Timer::Recovery, Timer::Chase, Timer::Compose]
+    }
+}
+
+/// Which fallback path recorded a degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum DegradationSite {
+    /// Mediator: collapsed chain degraded to hop-by-hop unfolding.
+    Mediator,
+    /// IVM: incremental delta rules degraded to a full recompute.
+    Ivm,
+}
+
+const SITES: usize = DegradationSite::Ivm as usize + 1;
+
+impl DegradationSite {
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationSite::Mediator => "mediator",
+            DegradationSite::Ivm => "ivm",
+        }
+    }
+}
+
+/// The budget resource (or cancellation) that caused a degradation.
+/// Mirrors `mm_guard::Resource` without depending on it — guard sits
+/// *above* telemetry in the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Cause {
+    Steps,
+    Rows,
+    Rounds,
+    Clauses,
+    WallClock,
+    Cancelled,
+    Other,
+}
+
+const CAUSES: usize = Cause::Other as usize + 1;
+
+impl Cause {
+    pub fn name(self) -> &'static str {
+        match self {
+            Cause::Steps => "steps",
+            Cause::Rows => "rows",
+            Cause::Rounds => "rounds",
+            Cause::Clauses => "clauses",
+            Cause::WallClock => "wall_clock",
+            Cause::Cancelled => "cancelled",
+            Cause::Other => "other",
+        }
+    }
+
+    fn all() -> [Cause; CAUSES] {
+        [
+            Cause::Steps,
+            Cause::Rows,
+            Cause::Rounds,
+            Cause::Clauses,
+            Cause::WallClock,
+            Cause::Cancelled,
+            Cause::Other,
+        ]
+    }
+}
+
+#[derive(Default)]
+struct DurationStat {
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl DurationStat {
+    fn observe(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+}
+
+/// The registry. One instance lives inside each enabled
+/// [`crate::Telemetry`] handle; all clones of the handle share it.
+#[derive(Default)]
+pub struct EngineMetrics {
+    counters: [AtomicU64; COUNTERS],
+    timers: [DurationStat; TIMERS],
+    degradations: [[AtomicU64; CAUSES]; SITES],
+}
+
+impl EngineMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter (relaxed; totals only).
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record one duration observation, in microseconds.
+    #[inline]
+    pub fn observe_us(&self, t: Timer, us: u64) {
+        self.timers[t as usize].observe(us);
+    }
+
+    /// Record one degradation at `site` attributed to `cause`.
+    #[inline]
+    pub fn degradation(&self, site: DegradationSite, cause: Cause) {
+        self.degradations[site as usize][cause as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total degradations recorded at `site`, across causes.
+    pub fn degradations_at(&self, site: DegradationSite) -> u64 {
+        self.degradations[site as usize]
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Degradations recorded at `site` for one specific `cause`.
+    pub fn degradations_by(&self, site: DegradationSite, cause: Cause) -> u64 {
+        self.degradations[site as usize][cause as usize].load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every metric under stable names:
+    /// counters as-is, timers as `<name>_{count,total_us,max_us}`,
+    /// degradations as `degradations_<site>_<cause>` (zero rows elided).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut values = BTreeMap::new();
+        for c in Counter::all() {
+            values.insert(c.name().to_string(), self.get(c));
+        }
+        for t in Timer::all() {
+            let s = &self.timers[t as usize];
+            values.insert(format!("{}_count", t.name()), s.count.load(Ordering::Relaxed));
+            values.insert(format!("{}_total_us", t.name()), s.total_us.load(Ordering::Relaxed));
+            values.insert(format!("{}_max_us", t.name()), s.max_us.load(Ordering::Relaxed));
+        }
+        for site in [DegradationSite::Mediator, DegradationSite::Ivm] {
+            for cause in Cause::all() {
+                let v = self.degradations_by(site, cause);
+                if v != 0 {
+                    values.insert(
+                        format!("degradations_{}_{}", site.name(), cause.name()),
+                        v,
+                    );
+                }
+            }
+        }
+        MetricsSnapshot { values }
+    }
+}
+
+/// A point-in-time metric dump with stable, sorted keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub values: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Value under a stable key, defaulting to 0 for unknown keys.
+    pub fn value(&self, key: &str) -> u64 {
+        self.values.get(key).copied().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = EngineMetrics::new();
+        m.add(Counter::ChaseRounds, 3);
+        m.add(Counter::ChaseRounds, 2);
+        m.add(Counter::PlanCacheHits, 1);
+        assert_eq!(m.get(Counter::ChaseRounds), 5);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("chase_rounds"), 5);
+        assert_eq!(snap.value("plan_cache_hits"), 1);
+        assert_eq!(snap.value("plan_cache_misses"), 0);
+    }
+
+    #[test]
+    fn timers_track_count_total_max() {
+        let m = EngineMetrics::new();
+        m.observe_us(Timer::Checkpoint, 100);
+        m.observe_us(Timer::Checkpoint, 50);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("checkpoint_count"), 2);
+        assert_eq!(snap.value("checkpoint_total_us"), 150);
+        assert_eq!(snap.value("checkpoint_max_us"), 100);
+    }
+
+    #[test]
+    fn degradations_bucket_by_site_and_cause() {
+        let m = EngineMetrics::new();
+        m.degradation(DegradationSite::Mediator, Cause::Clauses);
+        m.degradation(DegradationSite::Mediator, Cause::Clauses);
+        m.degradation(DegradationSite::Ivm, Cause::Steps);
+        assert_eq!(m.degradations_at(DegradationSite::Mediator), 2);
+        assert_eq!(m.degradations_by(DegradationSite::Ivm, Cause::Steps), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("degradations_mediator_clauses"), 2);
+        assert_eq!(snap.value("degradations_ivm_steps"), 1);
+    }
+}

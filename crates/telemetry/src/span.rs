@@ -1,0 +1,475 @@
+//! Spans, events, and the [`Telemetry`] handle that gates them.
+//!
+//! A [`Telemetry`] handle is either *disabled* (the default — every call
+//! reduces to one branch on an `Option`, no allocation, no clock read)
+//! or *enabled* around a shared [`Collector`] plus an
+//! [`crate::EngineMetrics`] registry. Handles are cheap to clone and
+//! share: all clones feed the same collector and registry.
+//!
+//! Spans nest through a thread-local stack of live span ids, so an
+//! engine-level operator span becomes the parent of the chase span it
+//! runs — no plumbing of parent ids through call signatures.
+
+use crate::clock;
+use crate::collector::Collector;
+use crate::metrics::{Counter, EngineMetrics, Timer};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A typed span/event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// One typed key/value pair on a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub key: &'static str,
+    pub value: FieldValue,
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: `elapsed_us` is its duration.
+    SpanEnd,
+    /// A point-in-time event (e.g. a recorded degradation).
+    Point,
+}
+
+impl EventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SpanEnd => "span",
+            EventKind::Point => "event",
+        }
+    }
+}
+
+/// The unit collectors receive: a finished span or a point event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Operation name, dotted (`"engine.exchange"`, `"chase.general"`).
+    pub op: &'static str,
+    /// Artifact the operation acted on (`"mapping:m@v0"`), or empty.
+    pub artifact: String,
+    /// Id of the span this event belongs to (0 for detached points).
+    pub span_id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent_id: Option<u64>,
+    /// Span duration in microseconds (span-end events only).
+    pub elapsed_us: Option<u64>,
+    pub fields: Vec<Field>,
+}
+
+impl Event {
+    /// Render as one stable JSON object (hand-rolled: the workspace has
+    /// no real serde). Key order is fixed; strings are escaped per RFC
+    /// 8259 (quotes, backslashes, control characters).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"kind\":\"");
+        s.push_str(self.kind.name());
+        s.push_str("\",\"op\":\"");
+        json_escape_into(&mut s, self.op);
+        s.push_str("\",\"artifact\":\"");
+        json_escape_into(&mut s, &self.artifact);
+        s.push('"');
+        let _ = write!(s, ",\"span\":{}", self.span_id);
+        if let Some(p) = self.parent_id {
+            let _ = write!(s, ",\"parent\":{p}");
+        }
+        if let Some(us) = self.elapsed_us {
+            let _ = write!(s, ",\"elapsed_us\":{us}");
+        }
+        s.push_str(",\"fields\":{");
+        for (i, f) in self.fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            json_escape_into(&mut s, f.key);
+            s.push_str("\":");
+            match &f.value {
+                FieldValue::Str(v) => {
+                    s.push('"');
+                    json_escape_into(&mut s, v);
+                    s.push('"');
+                }
+                FieldValue::F64(v) if !v.is_finite() => {
+                    // JSON has no NaN/Inf; stringify to stay parseable
+                    let _ = write!(s, "\"{v}\"");
+                }
+                other => {
+                    let _ = write!(s, "{other}");
+                }
+            }
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// The value of a named field, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|f| f.key == key).map(|f| &f.value)
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+struct Inner {
+    collector: Arc<dyn Collector>,
+    metrics: EngineMetrics,
+    next_span: AtomicU64,
+}
+
+thread_local! {
+    /// Live span ids on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The cloneable telemetry handle. `Telemetry::default()` is disabled:
+/// every instrumentation call is a single `Option` branch, which is what
+/// keeps the no-op overhead of an instrumented hot path inside noise.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The disabled handle (same as `Default`).
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle feeding `collector`, with a fresh metrics
+    /// registry.
+    pub fn new(collector: Arc<dyn Collector>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                collector,
+                metrics: EngineMetrics::new(),
+                next_span: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shared metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&EngineMetrics> {
+        self.inner.as_deref().map(|i| &i.metrics)
+    }
+
+    /// Add `n` to `c` (no-op when disabled).
+    #[inline]
+    pub fn count(&self, c: Counter, n: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.add(c, n);
+        }
+    }
+
+    /// Record one duration observation (no-op when disabled).
+    #[inline]
+    pub fn observe_us(&self, t: Timer, us: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.observe_us(t, us);
+        }
+    }
+
+    /// Emit a point event, parented to the innermost live span on this
+    /// thread (no-op when disabled).
+    pub fn event(&self, op: &'static str, artifact: impl Into<String>, fields: Vec<Field>) {
+        let Some(i) = &self.inner else { return };
+        let parent_id = SPAN_STACK.with(|s| s.borrow().last().copied());
+        i.collector.record(Event {
+            kind: EventKind::Point,
+            op,
+            artifact: artifact.into(),
+            span_id: 0,
+            parent_id,
+            elapsed_us: None,
+            fields,
+        });
+    }
+}
+
+/// An in-flight span. Created by [`Span::enter`]; records a
+/// [`EventKind::SpanEnd`] event with its duration when finished (or
+/// dropped). Disabled telemetry yields an inert span: no id, no clock
+/// read, fields discarded.
+pub struct Span {
+    tel: Option<Arc<Inner>>,
+    op: &'static str,
+    artifact: String,
+    id: u64,
+    parent: Option<u64>,
+    start: Option<Instant>,
+    fields: Vec<Field>,
+    finished: bool,
+}
+
+impl Span {
+    /// Open a span for `op` on `artifact`. Nesting is automatic: the
+    /// innermost live span on this thread becomes the parent.
+    pub fn enter(tel: &Telemetry, op: &'static str, artifact: impl Into<String>) -> Span {
+        match &tel.inner {
+            None => Span {
+                tel: None,
+                op,
+                artifact: String::new(),
+                id: 0,
+                parent: None,
+                start: None,
+                fields: Vec::new(),
+                finished: true, // nothing to emit on drop
+            },
+            Some(inner) => {
+                let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+                let parent = SPAN_STACK.with(|s| {
+                    let mut s = s.borrow_mut();
+                    let parent = s.last().copied();
+                    s.push(id);
+                    parent
+                });
+                Span {
+                    tel: Some(Arc::clone(inner)),
+                    op,
+                    artifact: artifact.into(),
+                    id,
+                    parent,
+                    start: Some(clock::now()),
+                    fields: Vec::new(),
+                    finished: false,
+                }
+            }
+        }
+    }
+
+    /// Is this span actually recording?
+    pub fn is_enabled(&self) -> bool {
+        self.tel.is_some()
+    }
+
+    /// This span's id (0 when disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach a typed field (no-op when disabled).
+    #[inline]
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.tel.is_some() {
+            self.fields.push(Field { key, value: value.into() });
+        }
+    }
+
+    /// Close the span now, emitting its end event. Equivalent to drop,
+    /// but lets callers sequence the emission explicitly.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let Some(inner) = self.tel.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // pop through to our id: robust even if an inner span leaked
+            while let Some(top) = s.pop() {
+                if top == self.id {
+                    break;
+                }
+            }
+        });
+        let elapsed = self.start.map(clock::elapsed_us);
+        inner.collector.record(Event {
+            kind: EventKind::SpanEnd,
+            op: self.op,
+            artifact: std::mem::take(&mut self.artifact),
+            span_id: self.id,
+            parent_id: self.parent,
+            elapsed_us: elapsed,
+            fields: std::mem::take(&mut self.fields),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use crate::collector::RingCollector;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        let mut span = Span::enter(&tel, "noop", "a");
+        span.field("k", 1u64);
+        span.finish();
+        tel.event("e", "", vec![]);
+        tel.count(Counter::ChaseRounds, 5);
+        assert!(tel.metrics().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_emit_in_completion_order() {
+        let ring = RingCollector::with_capacity(16);
+        let tel = Telemetry::new(ring.clone());
+        let outer = Span::enter(&tel, "outer", "art");
+        let mut inner = Span::enter(&tel, "inner", "");
+        inner.field("n", 7u64);
+        inner.finish();
+        outer.finish();
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].op, "inner");
+        assert_eq!(events[0].parent_id, Some(events[1].span_id));
+        assert_eq!(events[0].field("n"), Some(&FieldValue::U64(7)));
+        assert_eq!(events[1].op, "outer");
+        assert_eq!(events[1].artifact, "art");
+        assert_eq!(events[1].parent_id, None);
+        assert!(events.iter().all(|e| e.elapsed_us.is_some()));
+    }
+
+    #[test]
+    fn point_events_parent_to_live_span() {
+        let ring = RingCollector::with_capacity(16);
+        let tel = Telemetry::new(ring.clone());
+        let span = Span::enter(&tel, "op", "");
+        tel.event("degraded", "view:v", vec![Field { key: "cause", value: "steps".into() }]);
+        span.finish();
+        let events = ring.events();
+        assert_eq!(events[0].kind, EventKind::Point);
+        assert_eq!(events[0].parent_id, Some(events[1].span_id));
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let e = Event {
+            kind: EventKind::Point,
+            op: "test",
+            artifact: "a\"b\\c\nd".into(),
+            span_id: 0,
+            parent_id: None,
+            elapsed_us: None,
+            fields: vec![
+                Field { key: "s", value: "x\ty".into() },
+                Field { key: "n", value: 3u64.into() },
+                Field { key: "b", value: true.into() },
+            ],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"kind\":\"event\",\"op\":\"test\",\"artifact\":\"a\\\"b\\\\c\\nd\",\
+             \"span\":0,\"fields\":{\"s\":\"x\\ty\",\"n\":3,\"b\":true}}"
+        );
+    }
+
+    #[test]
+    fn dropping_a_span_emits_its_end() {
+        let ring = RingCollector::with_capacity(4);
+        let tel = Telemetry::new(ring.clone());
+        {
+            let _span = Span::enter(&tel, "scoped", "");
+        }
+        assert_eq!(ring.events().len(), 1);
+    }
+}
