@@ -1,0 +1,253 @@
+//! Parallel execution core (PR 5): thread-scaling curves for the
+//! work-stealing chase, parallel CQ evaluation, and batch mediation.
+//!
+//! Besides the criterion groups, `main` re-measures every (workload,
+//! threads) point once with `mm_bench::timed`, asserts the parallel
+//! result is **bit-identical** to the sequential oracle, and writes the
+//! `BENCH_parallel.json` baseline at the workspace root. The baseline
+//! records `host_cpus` alongside the curves: parallelism here is a pure
+//! scheduling choice, so on a single-core host the honest expectation is
+//! flat curves (all threads contend for one core) — the ≥2.5×-at-4
+//! scaling gate only arms when the host actually has ≥ 4 cores.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mm_bench::timed;
+use mm_engine::prelude::*;
+use mm_workload::faults;
+use std::io::Write as _;
+
+const THREAD_CURVE: [usize; 4] = [1, 2, 4, 8];
+/// Scaling demanded at 4 threads — asserted only on hosts with ≥ 4 cores.
+const MIN_SPEEDUP_AT_4: f64 = 2.5;
+const BATCH_QUERIES: usize = 64;
+
+/// The s-t chase workload: the quadratic self-join over a dense graph,
+/// big enough that body matching dominates and chunks across workers.
+fn chase_setup() -> (Schema, Database, ChaseProgram) {
+    let (_, tgt, db, tgds) = faults::quadratic_join(600);
+    let program = ChaseProgram::compile(&tgds, &db);
+    (tgt, db, program)
+}
+
+/// The CQ workload: the two-atom self-join body of the same graph.
+fn cq_setup() -> (Database, Vec<Atom>) {
+    let (_, _, db, tgds) = faults::quadratic_join(1_500);
+    (db, tgds[0].body.clone())
+}
+
+/// The mediation workload: a two-hop view chain over a wide base, with
+/// `BATCH_QUERIES` projections of the top view to answer as one batch.
+fn mediation_setup() -> (Schema, Database, ViewSet, ViewSet, Vec<Expr>) {
+    let s = SchemaBuilder::new("Base")
+        .relation("People", &[
+            ("id", DataType::Int),
+            ("name", DataType::Text),
+            ("age", DataType::Int),
+            ("city", DataType::Text),
+        ])
+        .build()
+        .expect("static schema");
+    let mut db = Database::empty_of(&s);
+    for i in 0..4_000i64 {
+        db.insert(
+            "People",
+            Tuple::from([
+                Value::Int(i),
+                Value::text(format!("p{i}")),
+                Value::Int(20 + (i % 50)),
+                Value::text(if i % 2 == 0 { "rome" } else { "oslo" }),
+            ]),
+        );
+    }
+    let mut l1 = ViewSet::new("Base", "L1");
+    l1.push(ViewDef::new(
+        "Adults",
+        Expr::base("People").select(Predicate::Cmp {
+            op: CmpOp::Ge,
+            left: Scalar::col("age"),
+            right: Scalar::lit(18i64),
+        }),
+    ));
+    let mut l2 = ViewSet::new("L1", "L2");
+    l2.push(ViewDef::new(
+        "RomanAdults",
+        Expr::base("Adults").select(Predicate::col_eq_lit("city", "rome")).project(&["id", "name"]),
+    ));
+    let projections: [&[&str]; 4] = [&["id", "name"], &["id"], &["name"], &["name", "id"]];
+    let queries: Vec<Expr> = (0..BATCH_QUERIES)
+        .map(|i| Expr::base("RomanAdults").project(projections[i % projections.len()]))
+        .collect();
+    (s, db, l1, l2, queries)
+}
+
+fn bench_parallel_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_chase_st");
+    group.sample_size(10);
+    let (tgt, db, program) = chase_setup();
+    let budget = ExecBudget::unbounded();
+    for threads in THREAD_CURVE {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &(), |b, _| {
+            b.iter(|| {
+                chase_st_parallel(&tgt, &program, &db, &budget, threads).expect("unbounded")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_cq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_cq_self_join");
+    group.sample_size(10);
+    let (db, body) = cq_setup();
+    let budget = ExecBudget::unbounded();
+    let seed = std::collections::HashMap::new();
+    for threads in THREAD_CURVE {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &(), |b, _| {
+            b.iter(|| {
+                find_homomorphisms_parallel(
+                    &body,
+                    &db,
+                    &seed,
+                    threads,
+                    &mut Governor::new(&budget),
+                )
+                .expect("unbounded")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_mediation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_batch_mediation");
+    group.sample_size(10);
+    let (s, db, l1, l2, queries) = mediation_setup();
+    let m = Mediator::new(&s, vec![&l1, &l2]);
+    let budget = ExecBudget::unbounded();
+    let plan = m.plan(&budget).expect("unbounded");
+    for threads in THREAD_CURVE {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &(), |b, _| {
+            b.iter(|| m.answer_batch(&plan, &queries, &db, &budget, threads))
+        });
+    }
+    group.finish();
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One-shot measurements for the committed baseline: per workload, the
+/// sequential (threads = 1) run is the oracle; every other thread count
+/// must reproduce it bit-identically while its wall time lands on the
+/// scaling curve.
+fn emit_baseline() {
+    let host_cpus = mm_parallel::available_parallelism();
+    let budget = ExecBudget::unbounded();
+    let mut points: Vec<String> = Vec::new();
+    // (workload, speedup at 4 threads) for the conditional scaling gate
+    let mut at_4: Vec<(&str, f64)> = Vec::new();
+
+    {
+        let (tgt, db, program) = chase_setup();
+        let (oracle, base_t) =
+            timed(|| chase_st_parallel(&tgt, &program, &db, &budget, 1).expect("unbounded"));
+        points.push(point_json("chase_st", 1, ms(base_t), 1.0));
+        for threads in &THREAD_CURVE[1..] {
+            let (par, t) = timed(|| {
+                chase_st_parallel(&tgt, &program, &db, &budget, *threads).expect("unbounded")
+            });
+            assert_eq!(par, oracle, "parallel chase diverged at threads={threads}");
+            let speedup = ms(base_t) / ms(t).max(1e-6);
+            points.push(point_json("chase_st", *threads, ms(t), speedup));
+            if *threads == 4 {
+                at_4.push(("chase_st", speedup));
+            }
+        }
+    }
+
+    {
+        let (db, body) = cq_setup();
+        let seed = std::collections::HashMap::new();
+        let (oracle, base_t) = timed(|| {
+            find_homomorphisms_parallel(&body, &db, &seed, 1, &mut Governor::new(&budget))
+                .expect("unbounded")
+                .0
+        });
+        points.push(point_json("cq_self_join", 1, ms(base_t), 1.0));
+        for threads in &THREAD_CURVE[1..] {
+            let (par, t) = timed(|| {
+                find_homomorphisms_parallel(&body, &db, &seed, *threads, &mut Governor::new(&budget))
+                    .expect("unbounded")
+                    .0
+            });
+            assert_eq!(par, oracle, "parallel CQ eval diverged at threads={threads}");
+            let speedup = ms(base_t) / ms(t).max(1e-6);
+            points.push(point_json("cq_self_join", *threads, ms(t), speedup));
+            if *threads == 4 {
+                at_4.push(("cq_self_join", speedup));
+            }
+        }
+    }
+
+    {
+        let (s, db, l1, l2, queries) = mediation_setup();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let plan = m.plan(&budget).expect("unbounded");
+        let unwrap_rows = |batch: Vec<Result<MediationResult, EvalError>>| -> Vec<Relation> {
+            batch.into_iter().map(|r| r.expect("unbounded").rows).collect()
+        };
+        let (oracle, base_t) =
+            timed(|| unwrap_rows(m.answer_batch(&plan, &queries, &db, &budget, 1)));
+        points.push(point_json("batch_mediation_64q", 1, ms(base_t), 1.0));
+        for threads in &THREAD_CURVE[1..] {
+            let (par, t) =
+                timed(|| unwrap_rows(m.answer_batch(&plan, &queries, &db, &budget, *threads)));
+            assert_eq!(par, oracle, "batch mediation diverged at threads={threads}");
+            let speedup = ms(base_t) / ms(t).max(1e-6);
+            points.push(point_json("batch_mediation_64q", *threads, ms(t), speedup));
+            if *threads == 4 {
+                at_4.push(("batch_mediation_64q", speedup));
+            }
+        }
+    }
+
+    if host_cpus >= 4 {
+        for (workload, speedup) in &at_4 {
+            assert!(
+                *speedup >= MIN_SPEEDUP_AT_4,
+                "{workload}: {speedup:.2}x at 4 threads on a {host_cpus}-cpu host \
+                 (need >= {MIN_SPEEDUP_AT_4}x)"
+            );
+        }
+    } else {
+        println!(
+            "\nhost has {host_cpus} cpu(s): scaling gate (>= {MIN_SPEEDUP_AT_4}x at 4 threads) \
+             skipped; bit-identity still asserted at every point"
+        );
+    }
+
+    let body = format!(
+        "{{\n  \"experiment\": \"parallel_core\",\n  \"description\": \"thread-scaling of the work-stealing chase, parallel CQ evaluation, and 64-query batch mediation (bit-identical to the sequential oracle asserted per point; speedups are wall-clock and depend on host_cpus — on a 1-cpu host flat curves are the honest expectation)\",\n  \"command\": \"cargo bench -p mm-bench --bench parallel\",\n  \"host_cpus\": {host_cpus},\n  \"scaling_gate\": {{\"min_speedup_at_4_threads\": {MIN_SPEEDUP_AT_4}, \"armed\": {}}},\n  \"points\": [\n{}\n  ]\n}}\n",
+        host_cpus >= 4,
+        points.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_parallel.json");
+    f.write_all(body.as_bytes()).expect("write BENCH_parallel.json");
+    println!("\nwrote {path}");
+}
+
+fn point_json(workload: &str, threads: usize, ms: f64, speedup: f64) -> String {
+    println!("{workload:<22} threads {threads}: {ms:>9.3} ms ({speedup:>5.2}x vs 1 thread)");
+    format!(
+        "    {{\"workload\": \"{workload}\", \"threads\": {threads}, \"ms\": {ms:.3}, \"speedup_vs_1\": {speedup:.2}}}"
+    )
+}
+
+criterion_group!(benches, bench_parallel_chase, bench_parallel_cq, bench_batch_mediation);
+
+fn main() {
+    benches();
+    emit_baseline();
+}

@@ -189,25 +189,91 @@ pub fn chase_st_prepared_traced(
     budget: &ExecBudget,
     tel: &Telemetry,
 ) -> Result<(Database, ChaseStats), ChaseFailure> {
-    run_st(target_schema, program, source_db, budget, true, tel, None)
-        .map(|(db, stats, _)| (db, stats))
+    let mut gov = Governor::new(budget);
+    run_st(target_schema, program, source_db, &mut gov, true, 1, tel, None)
+}
+
+/// [`chase_st_prepared`] with the body-matching phase of every tgd
+/// fanned across up to `threads` workers. **Bit-identical** to the
+/// sequential path — same tuples, same labeled-null ids, same
+/// [`ChaseStats`]: workers probe copy-on-write index snapshots
+/// read-only, their per-chunk match lists merge back in the sequential
+/// enumeration order, and head-satisfaction checks plus firing (where
+/// nulls are minted) stay sequential in that order. `threads <= 1` is
+/// exactly [`chase_st_prepared`].
+pub fn chase_st_parallel(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    budget: &ExecBudget,
+    threads: usize,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
+    chase_st_parallel_traced(
+        target_schema,
+        program,
+        source_db,
+        budget,
+        threads,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`chase_st_parallel`] with telemetry: the `chase.st` span
+/// additionally carries `parallel.workers` / `parallel.steals` /
+/// `parallel.tasks` fields and feeds the parallel counters.
+pub fn chase_st_parallel_traced(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    budget: &ExecBudget,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
+    let mut gov = Governor::new(budget);
+    run_st(target_schema, program, source_db, &mut gov, true, threads, tel, None)
+}
+
+/// Source-to-target chase metering against a caller-supplied
+/// [`Governor`] — the batch-serving entry point: `Engine::exchange_batch`
+/// forks one shared-meter governor per request so a budget spans the
+/// whole batch and cancellation reaches every worker.
+pub fn chase_st_prepared_governed(
+    target_schema: &Schema,
+    program: &ChaseProgram,
+    source_db: &Database,
+    gov: &mut Governor,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<(Database, ChaseStats), ChaseFailure> {
+    run_st(target_schema, program, source_db, gov, true, threads, tel, None)
 }
 
 /// [`chase_st_prepared`] plus a full [`ChaseExplain`] report: per-tgd
-/// join orders (explained against `source_db` cardinalities) and the
-/// single round's deltas. Telemetry is optional and orthogonal.
+/// join orders (explained against `source_db` cardinalities), the
+/// single round's deltas, and the degree of parallelism the chase was
+/// asked to run with. Telemetry is optional and orthogonal.
 pub fn chase_st_explained(
     target_schema: &Schema,
     program: &ChaseProgram,
     source_db: &Database,
     budget: &ExecBudget,
+    threads: usize,
     tel: &Telemetry,
 ) -> Result<(Database, ChaseStats, ChaseExplain), ChaseFailure> {
     let tgds = program.explain(source_db);
     let mut rounds = Vec::new();
-    let (db, stats, _) =
-        run_st(target_schema, program, source_db, budget, true, tel, Some(&mut rounds))?;
-    Ok((db, stats, ChaseExplain { mode: "st", stats, tgds, rounds }))
+    let mut gov = Governor::new(budget);
+    let (db, stats) = run_st(
+        target_schema,
+        program,
+        source_db,
+        &mut gov,
+        true,
+        threads,
+        tel,
+        Some(&mut rounds),
+    )?;
+    Ok((db, stats, ChaseExplain { mode: "st", stats, tgds, rounds, threads: threads.max(1) }))
 }
 
 /// Reference (naive) source-to-target chase: identical structure but
@@ -221,26 +287,33 @@ pub fn chase_st_reference(
     budget: &ExecBudget,
 ) -> Result<(Database, ChaseStats), ChaseFailure> {
     let program = ChaseProgram::compile(tgds, source_db);
-    chase_st_impl(target_schema, &program, source_db, budget, false, None)
+    let mut gov = Governor::new(budget);
+    chase_st_impl(target_schema, &program, source_db, &mut gov, false, 1, None)
         .map(|(db, stats, _)| (db, stats))
 }
 
 /// Telemetry shell around [`chase_st_impl`]: one branch when disabled.
+#[allow(clippy::too_many_arguments)] // internal: the public wrappers curry
 fn run_st(
     target_schema: &Schema,
     program: &ChaseProgram,
     source_db: &Database,
-    budget: &ExecBudget,
+    gov: &mut Governor,
     use_indexes: bool,
+    threads: usize,
     tel: &Telemetry,
     trace: Option<&mut Vec<RoundExplain>>,
-) -> Result<(Database, ChaseStats, Consumption), ChaseFailure> {
+) -> Result<(Database, ChaseStats), ChaseFailure> {
     if !tel.is_enabled() {
-        return chase_st_impl(target_schema, program, source_db, budget, use_indexes, trace);
+        return chase_st_impl(target_schema, program, source_db, gov, use_indexes, threads, trace)
+            .map(|(db, stats, _)| (db, stats));
     }
     let started = mm_telemetry::clock::now();
+    let steps_before = gov.steps_consumed();
+    let rows_before = gov.rows_consumed();
     let mut span = Span::enter(tel, "chase.st", source_db.name.as_str());
-    let result = chase_st_impl(target_schema, program, source_db, budget, use_indexes, trace);
+    let result =
+        chase_st_impl(target_schema, program, source_db, gov, use_indexes, threads, trace);
     let stats = match &result {
         Ok((_, s, _)) => *s,
         Err(f) => f.stats,
@@ -258,45 +331,85 @@ fn run_st(
     span.field("rounds", stats.rounds);
     span.field("fired", stats.fired);
     span.field("nulls", stats.nulls);
+    if let Ok((_, _, par)) = &result {
+        record_parallel(tel, &mut span, threads, par);
+    }
     match &result {
-        Ok((_, _, c)) => {
-            tel.count(Counter::BudgetStepsConsumed, c.steps);
-            tel.count(Counter::BudgetRowsConsumed, c.rows);
-            span.field("steps", c.steps);
-            span.field("rows", c.rows);
-            span.field("wall_us", c.wall_us);
+        Ok(_) => {
+            let steps = gov.steps_consumed() - steps_before;
+            let rows = gov.rows_consumed() - rows_before;
+            tel.count(Counter::BudgetStepsConsumed, steps);
+            tel.count(Counter::BudgetRowsConsumed, rows);
+            span.field("steps", steps);
+            span.field("rows", rows);
+            span.field("wall_us", mm_telemetry::clock::elapsed_us(started));
         }
         Err(f) => span.field("error", f.error.to_string()),
     }
     span.finish();
-    result
+    result.map(|(db, stats, _)| (db, stats))
+}
+
+/// Feed a finished parallel region's pool statistics into the span and
+/// the engine counters. Only emitted when parallelism was requested, so
+/// sequential spans keep their pre-PR-5 field set byte-for-byte.
+fn record_parallel(
+    tel: &Telemetry,
+    span: &mut Span,
+    threads: usize,
+    par: &mm_parallel::PoolRun,
+) {
+    if threads <= 1 {
+        return;
+    }
+    span.field("parallel.workers", par.workers);
+    span.field("parallel.steals", par.steals);
+    span.field("parallel.tasks", par.tasks);
+    if let Some(m) = tel.metrics() {
+        m.add(Counter::ParallelWorkers, par.workers as u64);
+        m.add(Counter::ParallelSteals, par.steals);
+        m.add(Counter::ParallelTasks, par.tasks);
+    }
 }
 
 fn chase_st_impl(
     target_schema: &Schema,
     program: &ChaseProgram,
     source_db: &Database,
-    budget: &ExecBudget,
+    gov: &mut Governor,
     use_indexes: bool,
+    threads: usize,
     trace: Option<&mut Vec<RoundExplain>>,
-) -> Result<(Database, ChaseStats, Consumption), ChaseFailure> {
-    let mut gov = Governor::new(budget);
+) -> Result<(Database, ChaseStats, mm_parallel::PoolRun), ChaseFailure> {
     let mut target = Database::empty_of(target_schema);
     target.set_label_watermark(source_db.label_watermark());
     let mut stats = ChaseStats { rounds: 1, ..Default::default() };
+    let mut par = mm_parallel::PoolRun::default();
     for plan in program.plans() {
-        let mut run = |stats: &mut ChaseStats| -> Result<(), ExecError> {
+        let mut run = |stats: &mut ChaseStats,
+                       par: &mut mm_parallel::PoolRun|
+         -> Result<(), ExecError> {
             let mut matches = Vec::new();
-            plan.body_matches(source_db, use_indexes, &mut gov, &mut matches)?;
+            if threads > 1 {
+                par.absorb(plan.body_matches_parallel(
+                    source_db,
+                    use_indexes,
+                    threads,
+                    gov,
+                    &mut matches,
+                )?);
+            } else {
+                plan.body_matches(source_db, use_indexes, gov, &mut matches)?;
+            }
             for m in matches {
-                if plan.head_satisfied(&m.binding, &target, use_indexes, &mut gov)? {
+                if plan.head_satisfied(&m.binding, &target, use_indexes, gov)? {
                     continue;
                 }
-                plan.fire(&m.binding, &mut target, stats, &mut gov)?;
+                plan.fire(&m.binding, &mut target, stats, gov)?;
             }
             Ok(())
         };
-        run(&mut stats).map_err(|error| ChaseFailure { error, stats })?;
+        run(&mut stats, &mut par).map_err(|error| ChaseFailure { error, stats })?;
     }
     if let Some(t) = trace {
         t.push(RoundExplain {
@@ -306,7 +419,7 @@ fn chase_st_impl(
             new_tuples: target.total_tuples(),
         });
     }
-    Ok((target, stats, gov.consumption()))
+    Ok((target, stats, par))
 }
 
 /// The bounded restricted chase for **general** tgds and egds over a
@@ -378,7 +491,38 @@ pub fn chase_general_prepared_traced(
     budget: &ExecBudget,
     tel: &Telemetry,
 ) -> Result<ChaseOutcome, ChaseFailure> {
-    run_general(db, program, egds, budget, true, true, tel, None).map(|(o, _)| o)
+    run_general(db, program, egds, budget, true, true, 1, tel, None).map(|(o, _)| o)
+}
+
+/// [`chase_general_prepared`] with each round's body-matching fanned
+/// across up to `threads` workers. **Bit-identical** to the sequential
+/// path — same tuples, same labeled-null ids, same [`ChaseStats`]:
+/// within a round, workers enumerate delta chunks against read-only
+/// index snapshots, the per-chunk match lists merge back in the
+/// sequential enumeration order, and firing plus the egd pass stay
+/// sequential. `threads <= 1` is exactly [`chase_general_prepared`].
+pub fn chase_general_parallel(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    threads: usize,
+) -> Result<ChaseOutcome, ChaseFailure> {
+    chase_general_parallel_traced(db, program, egds, budget, threads, &Telemetry::disabled())
+}
+
+/// [`chase_general_parallel`] with telemetry: the `chase.general` span
+/// additionally carries `parallel.workers` / `parallel.steals` /
+/// `parallel.tasks` fields and feeds the parallel counters.
+pub fn chase_general_parallel_traced(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<ChaseOutcome, ChaseFailure> {
+    run_general(db, program, egds, budget, true, true, threads, tel, None).map(|(o, _)| o)
 }
 
 /// [`chase_general_prepared`] plus a full [`ChaseExplain`]: per-tgd join
@@ -389,17 +533,21 @@ pub fn chase_general_explained(
     program: &ChaseProgram,
     egds: &[Egd],
     budget: &ExecBudget,
+    threads: usize,
     tel: &Telemetry,
 ) -> Result<(ChaseOutcome, ChaseExplain), ChaseFailure> {
     let tgds = program.explain(db);
     let mut rounds = Vec::new();
     let (outcome, _) =
-        run_general(db, program, egds, budget, true, true, tel, Some(&mut rounds))?;
+        run_general(db, program, egds, budget, true, true, threads, tel, Some(&mut rounds))?;
     let stats = match &outcome {
         ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s) => *s,
         ChaseOutcome::Failed { .. } => ChaseStats::default(),
     };
-    Ok((outcome, ChaseExplain { mode: "general", stats, tgds, rounds }))
+    Ok((
+        outcome,
+        ChaseExplain { mode: "general", stats, tgds, rounds, threads: threads.max(1) },
+    ))
 }
 
 /// Reference (naive) general chase: every round re-evaluates every tgd
@@ -413,7 +561,7 @@ pub fn chase_general_reference(
     budget: &ExecBudget,
 ) -> Result<ChaseOutcome, ChaseFailure> {
     let program = ChaseProgram::compile(tgds, db);
-    chase_general_impl(db, &program, egds, budget, false, false, None).map(|(o, _)| o)
+    chase_general_impl(db, &program, egds, budget, false, false, 1, None).map(|(o, _, _)| o)
 }
 
 /// Telemetry shell around [`chase_general_impl`].
@@ -425,19 +573,24 @@ fn run_general(
     budget: &ExecBudget,
     semi_naive: bool,
     use_indexes: bool,
+    threads: usize,
     tel: &Telemetry,
     trace: Option<&mut Vec<RoundExplain>>,
 ) -> Result<(ChaseOutcome, Consumption), ChaseFailure> {
     if !tel.is_enabled() {
-        return chase_general_impl(db, program, egds, budget, semi_naive, use_indexes, trace);
+        return chase_general_impl(
+            db, program, egds, budget, semi_naive, use_indexes, threads, trace,
+        )
+        .map(|(o, c, _)| (o, c));
     }
     let started = mm_telemetry::clock::now();
     let tuples_before = db.total_tuples();
     let mut span = Span::enter(tel, "chase.general", db.name.as_str());
-    let result = chase_general_impl(db, program, egds, budget, semi_naive, use_indexes, trace);
+    let result =
+        chase_general_impl(db, program, egds, budget, semi_naive, use_indexes, threads, trace);
     let stats = match &result {
-        Ok((ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s), _)) => *s,
-        Ok((ChaseOutcome::Failed { .. }, _)) => ChaseStats::default(),
+        Ok((ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s), _, _)) => *s,
+        Ok((ChaseOutcome::Failed { .. }, _, _)) => ChaseStats::default(),
         Err(f) => f.stats,
     };
     if let Some(m) = tel.metrics() {
@@ -455,8 +608,11 @@ fn run_general(
     span.field("rounds", stats.rounds);
     span.field("fired", stats.fired);
     span.field("nulls", stats.nulls);
+    if let Ok((_, _, par)) = &result {
+        record_parallel(tel, &mut span, threads, par);
+    }
     match &result {
-        Ok((_, c)) => {
+        Ok((_, c, _)) => {
             tel.count(Counter::BudgetStepsConsumed, c.steps);
             tel.count(Counter::BudgetRowsConsumed, c.rows);
             span.field("steps", c.steps);
@@ -466,10 +622,11 @@ fn run_general(
         Err(f) => span.field("error", f.error.to_string()),
     }
     span.finish();
-    result
+    result.map(|(o, c, _)| (o, c))
 }
 
 #[allow(clippy::type_complexity)] // watermark alias would hide, not help
+#[allow(clippy::too_many_arguments)] // internal: run_general is the only caller
 fn chase_general_impl(
     db: &mut Database,
     program: &ChaseProgram,
@@ -477,10 +634,12 @@ fn chase_general_impl(
     budget: &ExecBudget,
     semi_naive: bool,
     use_indexes: bool,
+    threads: usize,
     mut trace: Option<&mut Vec<RoundExplain>>,
-) -> Result<(ChaseOutcome, Consumption), ChaseFailure> {
+) -> Result<(ChaseOutcome, Consumption, mm_parallel::PoolRun), ChaseFailure> {
     let mut gov = Governor::new(budget);
     let mut stats = ChaseStats::default();
+    let mut par = mm_parallel::PoolRun::default();
     // per-tgd semi-naive watermarks: body-relation name → relation length
     // at this tgd's previous body evaluation. `None` = evaluate in full
     // (first round, or after an egd rewrite shifted insertion positions).
@@ -519,9 +678,32 @@ fn chase_general_impl(
                             // fired) at this tgd's previous evaluation
                             continue;
                         }
-                        plan.body_matches_delta(db, wm, use_indexes, &mut gov, &mut matches)?;
+                        if threads > 1 {
+                            par.absorb(plan.body_matches_delta_parallel(
+                                db,
+                                wm,
+                                use_indexes,
+                                threads,
+                                &mut gov,
+                                &mut matches,
+                            )?);
+                        } else {
+                            plan.body_matches_delta(db, wm, use_indexes, &mut gov, &mut matches)?;
+                        }
                     }
-                    None => plan.body_matches(db, use_indexes, &mut gov, &mut matches)?,
+                    None => {
+                        if threads > 1 {
+                            par.absorb(plan.body_matches_parallel(
+                                db,
+                                use_indexes,
+                                threads,
+                                &mut gov,
+                                &mut matches,
+                            )?);
+                        } else {
+                            plan.body_matches(db, use_indexes, &mut gov, &mut matches)?;
+                        }
+                    }
                 }
                 // record the watermark before firing, so this tgd's own
                 // insertions count as next round's delta
@@ -567,10 +749,10 @@ fn chase_general_impl(
             });
         }
         if let Some(failed) = outcome {
-            return Ok((failed, gov.consumption()));
+            return Ok((failed, gov.consumption(), par));
         }
         if !changed {
-            return Ok((ChaseOutcome::Done(stats), gov.consumption()));
+            return Ok((ChaseOutcome::Done(stats), gov.consumption(), par));
         }
     }
 }
@@ -939,5 +1121,126 @@ mod tests {
         let out = chase_general(&mut both, &[tgd], &[], 10);
         assert!(matches!(out, ChaseOutcome::Done(st) if st.fired == 0));
         assert_eq!(both.total_tuples(), before);
+    }
+
+    #[test]
+    fn parallel_st_chase_is_bit_identical_to_sequential() {
+        // 300-edge chain with a 2-atom join body and an existential head:
+        // large enough that the parallel CQ path actually splits the
+        // driver atom, existential so null-id minting order is exercised
+        let src_s = SchemaBuilder::new("Src")
+            .relation("E", &[("a", DataType::Int), ("b", DataType::Int)])
+            .build()
+            .unwrap();
+        let tgt_s = SchemaBuilder::new("Tgt")
+            .relation("M", &[("a", DataType::Int), ("b", DataType::Int), ("w", DataType::Any)])
+            .build()
+            .unwrap();
+        let mut src = Database::empty_of(&src_s);
+        for i in 0..300 {
+            src.insert("E", Tuple::from([Value::Int(i), Value::Int(i + 1)]));
+        }
+        let tgd = Tgd::new(
+            vec![Atom::vars("E", &["x", "y"]), Atom::vars("E", &["y", "z"])],
+            vec![Atom::vars("M", &["x", "z", "w"])],
+        );
+        let program = ChaseProgram::compile(std::slice::from_ref(&tgd), &src);
+        let budget = ExecBudget::unbounded();
+        let (seq, seq_stats) = chase_st_prepared(&tgt_s, &program, &src, &budget).unwrap();
+        assert_eq!(seq_stats.nulls, 299, "every join match mints a null");
+        for threads in [2, 4, 8] {
+            let (par, par_stats) =
+                chase_st_parallel(&tgt_s, &program, &src, &budget, threads).unwrap();
+            assert_eq!(par_stats, seq_stats, "stats must match at threads={threads}");
+            assert_eq!(par, seq, "instances must match at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_general_chase_is_bit_identical_to_sequential() {
+        // copy + transitive closure + existential invention over a
+        // 128-edge chain: several semi-naive rounds with real deltas,
+        // each round's body matching fanned across workers
+        let s = SchemaBuilder::new("S")
+            .relation("E", &[("a", DataType::Int), ("b", DataType::Int)])
+            .relation("T", &[("a", DataType::Int), ("b", DataType::Int)])
+            .relation("W", &[("a", DataType::Int), ("w", DataType::Any)])
+            .build()
+            .unwrap();
+        let mut db = Database::empty_of(&s);
+        for i in 0..128 {
+            db.insert("E", Tuple::from([Value::Int(i), Value::Int(i + 1)]));
+        }
+        let tgds = [
+            Tgd::new(vec![Atom::vars("E", &["x", "y"])], vec![Atom::vars("T", &["x", "y"])]),
+            Tgd::new(
+                vec![Atom::vars("T", &["x", "y"]), Atom::vars("T", &["y", "z"])],
+                vec![Atom::vars("T", &["x", "z"])],
+            ),
+            Tgd::new(vec![Atom::vars("T", &["x", "y"])], vec![Atom::vars("W", &["y", "w"])]),
+        ];
+        let program = ChaseProgram::compile(&tgds, &db);
+        let budget = ExecBudget::unbounded().with_rounds(64);
+        let mut seq = db.clone();
+        let seq_out = chase_general_prepared(&mut seq, &program, &[], &budget).unwrap();
+        for threads in [2, 4, 8] {
+            let mut par = db.clone();
+            let par_out =
+                chase_general_parallel(&mut par, &program, &[], &budget, threads).unwrap();
+            assert_eq!(par_out, seq_out, "outcome must match at threads={threads}");
+            assert_eq!(par, seq, "instances must match at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn governed_st_chase_shares_a_batch_budget() {
+        // two exchanges forked off one shared meter: together they trip a
+        // step cap that either alone stays well under. The source is
+        // sized so each exchange crosses several governor safepoints
+        // (every 1024 steps) and publishes its consumption.
+        let tgd = Tgd::new(
+            vec![Atom::vars("Emp", &["e"])],
+            vec![Atom::vars("Mgr", &["e", "m"]), Atom::vars("Person", &["m"])],
+        );
+        let s = src_schema();
+        let mut src = Database::empty_of(&s);
+        for i in 0..4000 {
+            src.insert("Emp", Tuple::from([Value::text(format!("e{i}"))]));
+        }
+        let program = ChaseProgram::compile(std::slice::from_ref(&tgd), &src);
+        let solo_steps = {
+            let budget = ExecBudget::unbounded();
+            let mut gov = Governor::new(&budget);
+            chase_st_prepared_governed(
+                &tgt_schema(),
+                &program,
+                &src,
+                &mut gov,
+                1,
+                &Telemetry::disabled(),
+            )
+            .unwrap();
+            gov.steps_consumed()
+        };
+        assert!(solo_steps > 4096, "workload must span several safepoints: {solo_steps}");
+        let budget = ExecBudget::unbounded().with_steps(solo_steps + solo_steps / 2);
+        let mut lead = Governor::new(&budget);
+        let (_, mut govs) = lead.fork_shared(2);
+        let mut trips = 0;
+        for g in govs.iter_mut() {
+            let r = chase_st_prepared_governed(
+                &tgt_schema(),
+                &program,
+                &src,
+                g,
+                1,
+                &Telemetry::disabled(),
+            );
+            if let Err(f) = r {
+                assert!(matches!(f.error, ExecError::BudgetExhausted { .. }), "{f}");
+                trips += 1;
+            }
+        }
+        assert!(trips >= 1, "a 1.5x-solo cap must trip across two exchanges");
     }
 }

@@ -52,6 +52,11 @@ pub struct ChaseExplain {
     pub stats: ChaseStats,
     pub tgds: Vec<TgdExplain>,
     pub rounds: Vec<RoundExplain>,
+    /// Degree of parallelism the chase was asked to run with (1 =
+    /// sequential). The *request*, not the achieved worker count: small
+    /// inputs degrade to sequential without changing this field, so the
+    /// report stays byte-identical across machines.
+    pub threads: usize,
 }
 
 impl ChaseExplain {
@@ -59,6 +64,7 @@ impl ChaseExplain {
     pub fn to_node(&self) -> ExplainNode {
         let mut node = ExplainNode::new("chase")
             .field("mode", self.mode)
+            .field("threads", self.threads)
             .field("rounds", self.stats.rounds)
             .field("fired", self.stats.fired)
             .field("nulls", self.stats.nulls);

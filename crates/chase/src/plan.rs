@@ -153,6 +153,23 @@ impl TgdPlan {
         self.body.execute_governed(db, &mut scratch, &opts, gov, out)
     }
 
+    /// [`TgdPlan::body_matches`] with the driver atom's range fanned
+    /// across up to `threads` workers. Same bindings, same order, same
+    /// metered step totals ([`CqPlan::execute_parallel`]'s contract);
+    /// degrades to the sequential path for small driver relations.
+    pub fn body_matches_parallel(
+        &self,
+        db: &Database,
+        use_indexes: bool,
+        threads: usize,
+        gov: &mut Governor,
+        out: &mut Vec<PlanMatch>,
+    ) -> Result<mm_parallel::PoolRun, ExecError> {
+        let mut scratch = vec![None; self.table.len()];
+        let opts = ExecOptions { use_indexes, ..Default::default() };
+        self.body.execute_parallel(db, &mut scratch, &opts, threads, gov, out)
+    }
+
     /// Semi-naive body evaluation: only bindings that touch at least one
     /// tuple inserted at or after its relation's watermark, in the exact
     /// order a full evaluation would have enumerated them.
@@ -193,6 +210,50 @@ impl TgdPlan {
         acc.sort_by(|a, b| a.positions.cmp(&b.positions));
         out.append(&mut acc);
         Ok(())
+    }
+
+    /// [`TgdPlan::body_matches_delta`] with each delta split's driver
+    /// range fanned across up to `threads` workers. The final
+    /// position-vector sort is what already restores the naive
+    /// enumeration order for the sequential path, so chunked splits
+    /// merge to the identical binding sequence.
+    pub fn body_matches_delta_parallel(
+        &self,
+        db: &Database,
+        watermarks: &HashMap<String, u32>,
+        use_indexes: bool,
+        threads: usize,
+        gov: &mut Governor,
+        out: &mut Vec<PlanMatch>,
+    ) -> Result<mm_parallel::PoolRun, ExecError> {
+        let n = self.body.atoms().len();
+        let wm_of = |relation: &str| watermarks.get(relation).copied().unwrap_or(0);
+        let len_of =
+            |relation: &str| db.relation(relation).map_or(0, |r| r.tuples().len() as u32);
+        let mut scratch = vec![None; self.table.len()];
+        let mut acc: Vec<PlanMatch> = Vec::new();
+        let mut run = mm_parallel::PoolRun::default();
+        for d in 0..n {
+            let d_rel = &self.body.atoms()[d].relation;
+            if len_of(d_rel) <= wm_of(d_rel) {
+                continue; // this split's delta is empty
+            }
+            let ranges: Vec<AtomRange> = (0..n)
+                .map(|i| {
+                    let wm = wm_of(&self.body.atoms()[i].relation);
+                    match i.cmp(&d) {
+                        std::cmp::Ordering::Less => AtomRange::Below(wm),
+                        std::cmp::Ordering::Equal => AtomRange::AtOrAbove(wm),
+                        std::cmp::Ordering::Greater => AtomRange::Full,
+                    }
+                })
+                .collect();
+            let opts = ExecOptions { ranges: Some(&ranges), use_indexes, limit: None };
+            run.absorb(self.body.execute_parallel(db, &mut scratch, &opts, threads, gov, &mut acc)?);
+        }
+        acc.sort_by(|a, b| a.positions.cmp(&b.positions));
+        out.append(&mut acc);
+        Ok(run)
     }
 
     /// Whether the head is already satisfied in `db` under `binding`:

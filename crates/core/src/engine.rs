@@ -10,9 +10,10 @@ use mm_modelgen::InheritanceStrategy;
 use mm_repository::{ArtifactId, DurableOptions, Repository, RepositoryError, Storage};
 use mm_telemetry::{Counter, Span, Telemetry};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+
+use crate::plan_cache::{PlanCache, PLAN_CACHE_SHARDS};
 
 /// Default round cap for the general chase. The general chase may not
 /// terminate (composition of non-s-t tgds is undecidable, §6.1), so the
@@ -66,12 +67,22 @@ pub struct EngineConfig {
     /// Baseline execution budget (steps, rows, wall clock, cancellation)
     /// applied to every governed operator. Defaults to unbounded.
     pub budget: ExecBudget,
-    /// Reuse compiled [`ChaseProgram`]s across calls, keyed by the
-    /// mapping's [`ArtifactId`]. Versioned ids make staleness impossible:
-    /// storing a new mapping version yields a new id and therefore a
-    /// fresh compile. Defaults to `true`; disable to force per-call
-    /// compilation (e.g. when benchmarking compile cost).
+    /// Reuse compiled [`ChaseProgram`]s across calls. The cache is
+    /// sharded ([`PLAN_CACHE_SHARDS`] lock stripes) and keyed by mapping
+    /// *name*, with each entry remembering the [`ArtifactId`] it was
+    /// compiled from: storing a new version under the same name evicts
+    /// the stale plan on the next lookup, so a replaced mapping can
+    /// never serve its predecessor's plan. Defaults to `true`; disable
+    /// to force per-call compilation (e.g. when benchmarking compile
+    /// cost).
     pub cache_plans: bool,
+    /// Degree of parallelism for chase and batch operators: the worker
+    /// count for [`Engine::exchange_batch`] and for the within-round
+    /// body-matching fan-out of `exchange` / `chase_general`. `1` runs
+    /// everything sequentially (the reference oracle — parallel runs
+    /// are bit-identical to it). Defaults to the machine's available
+    /// parallelism.
+    pub threads: usize,
     /// Repository durability mode. Defaults to [`Durability::Ephemeral`].
     pub durability: Durability,
     /// Telemetry handle threaded through every operator and the
@@ -89,6 +100,7 @@ impl Default for EngineConfig {
             compose_clause_bound: mm_compose::DEFAULT_CLAUSE_BOUND,
             budget: ExecBudget::unbounded(),
             cache_plans: true,
+            threads: mm_parallel::available_parallelism(),
             durability: Durability::Ephemeral,
             telemetry: Telemetry::disabled(),
         }
@@ -156,9 +168,10 @@ from_err!(Exec, mm_guard::ExecError);
 pub struct Engine {
     pub repo: Repository,
     pub config: EngineConfig,
-    /// Compiled chase programs, keyed by mapping artifact. Interior
-    /// mutability because every operator takes `&self`.
-    chase_plans: Mutex<HashMap<ArtifactId, Arc<ChaseProgram>>>,
+    /// Compiled chase programs: a sharded, lock-striped cache keyed by
+    /// mapping name (see [`PlanCache`]). Interior mutability because
+    /// every operator takes `&self`.
+    chase_plans: PlanCache,
 }
 
 impl Engine {
@@ -166,7 +179,7 @@ impl Engine {
         Engine {
             repo: Repository::new(),
             config: EngineConfig::default(),
-            chase_plans: Mutex::default(),
+            chase_plans: PlanCache::default(),
         }
     }
 
@@ -187,7 +200,7 @@ impl Engine {
                 config.telemetry.clone(),
             )?,
         };
-        Ok(Engine { repo, config, chase_plans: Mutex::default() })
+        Ok(Engine { repo, config, chase_plans: PlanCache::default() })
     }
 
     /// The engine's telemetry handle — disabled unless
@@ -210,31 +223,45 @@ impl Engine {
         })
     }
 
-    /// The compiled chase program for mapping artifact `id`, compiling
-    /// (and caching, unless [`EngineConfig::cache_plans`] is off) on
-    /// first use. `db` only supplies join-order selectivity hints for
-    /// that first compile; plan order never affects result sets.
-    fn chase_program(&self, id: &ArtifactId, tgds: &[Tgd], db: &Database) -> Arc<ChaseProgram> {
+    /// The compiled chase program for mapping `name` at version `id`,
+    /// compiling (and caching, unless [`EngineConfig::cache_plans`] is
+    /// off) on first use. A cached plan compiled from an *older* version
+    /// of the same name is treated as a miss and replaced. `db` only
+    /// supplies join-order selectivity hints for the compile; plan order
+    /// never affects result sets.
+    fn chase_program(
+        &self,
+        name: &str,
+        id: &ArtifactId,
+        tgds: &[Tgd],
+        db: &Database,
+    ) -> Arc<ChaseProgram> {
         let tel = &self.config.telemetry;
         if !self.config.cache_plans {
             tel.count(Counter::PlanCacheMisses, 1);
             return Arc::new(ChaseProgram::compile(tgds, db));
         }
-        let mut cache = self.chase_plans.lock();
-        if let Some(program) = cache.get(id) {
+        if let Some(program) = self.chase_plans.get(name, id) {
             tel.count(Counter::PlanCacheHits, 1);
-            return Arc::clone(program);
+            return program;
         }
         tel.count(Counter::PlanCacheMisses, 1);
         let program = Arc::new(ChaseProgram::compile(tgds, db));
-        cache.insert(id.clone(), Arc::clone(&program));
+        self.chase_plans.insert(name, id.clone(), Arc::clone(&program));
         program
     }
 
     /// How many compiled chase programs the engine currently holds —
     /// observability for tests and tools.
     pub fn cached_chase_plans(&self) -> usize {
-        self.chase_plans.lock().len()
+        self.chase_plans.len()
+    }
+
+    /// Per-shard plan counts of the sharded cache, in stripe order
+    /// (length [`PLAN_CACHE_SHARDS`]). Sums to
+    /// [`Self::cached_chase_plans`].
+    pub fn cached_chase_plan_shards(&self) -> [usize; PLAN_CACHE_SHARDS] {
+        self.chase_plans.shard_sizes()
     }
 
     /// The budget chase-based operators run under: the configured
@@ -532,9 +559,16 @@ impl Engine {
         let tgds = Self::tgds_of(&m)?;
         let tel = &self.config.telemetry;
         let mut span = Span::enter(tel, "engine.exchange", mid.to_string());
-        let program = self.chase_program(&mid, &tgds, source_db);
-        let result = mm_chase::chase_st_prepared_traced(&t, &program, source_db, &self.config.budget, tel)
-            .map_err(|f| EngineError::Exec(f.into()));
+        let program = self.chase_program(mapping, &mid, &tgds, source_db);
+        let result = mm_chase::chase_st_parallel_traced(
+            &t,
+            &program,
+            source_db,
+            &self.config.budget,
+            self.config.threads,
+            tel,
+        )
+        .map_err(|f| EngineError::Exec(f.into()));
         match &result {
             Ok((db, stats)) => {
                 span.field("fired", stats.fired);
@@ -560,12 +594,13 @@ impl Engine {
         let (m, mid) = self.repo.latest_mapping(mapping)?;
         let (t, _) = self.schema(target_schema)?;
         let tgds = Self::tgds_of(&m)?;
-        let program = self.chase_program(&mid, &tgds, source_db);
+        let program = self.chase_program(mapping, &mid, &tgds, source_db);
         mm_chase::chase_st_explained(
             &t,
             &program,
             source_db,
             &self.config.budget,
+            self.config.threads,
             &self.config.telemetry,
         )
         .map_err(|f| EngineError::Exec(f.into()))
@@ -590,12 +625,13 @@ impl Engine {
         let mut db = source_db.clone();
         let tel = &self.config.telemetry;
         let mut span = Span::enter(tel, "engine.chase_general", mid.to_string());
-        let program = self.chase_program(&mid, &tgds, &db);
-        let result = mm_chase::chase_general_prepared_traced(
+        let program = self.chase_program(mapping, &mid, &tgds, &db);
+        let result = mm_chase::chase_general_parallel_traced(
             &mut db,
             &program,
             &egds,
             &self.chase_budget(),
+            self.config.threads,
             tel,
         )
         .map_err(|f| EngineError::Exec(f.into()));
@@ -622,17 +658,119 @@ impl Engine {
         let tgds = Self::tgds_of(&m)?;
         let egds = mm_chase::egds_from_keys(&s);
         let mut db = source_db.clone();
-        let program = self.chase_program(&mid, &tgds, &db);
+        let program = self.chase_program(mapping, &mid, &tgds, &db);
         let (outcome, explain) = mm_chase::chase_general_explained(
             &mut db,
             &program,
             &egds,
             &self.chase_budget(),
+            self.config.threads,
             &self.config.telemetry,
         )
         .map_err(|f| EngineError::Exec(f.into()))?;
         Ok((db, outcome, explain))
     }
+
+    /// Serve a batch of data-exchange requests, fanning the chases
+    /// across up to [`EngineConfig::threads`] workers.
+    ///
+    /// Semantics, request by request, are identical to calling
+    /// [`Self::exchange`] sequentially with `threads = 1` — same
+    /// universal instances, same labeled-null ids, same stats, results
+    /// in input order — except that the whole batch is metered against
+    /// **one** budget: every worker's governor is forked off a shared
+    /// meter, so the configured step/row caps bound the batch's *total*
+    /// work and a wall-clock deadline or [`mm_guard::CancelToken`] trip
+    /// stops all workers. One request's failure (unresolvable name,
+    /// budget trip) does not abort the others; each slot carries its own
+    /// result.
+    pub fn exchange_batch(
+        &self,
+        requests: &[ExchangeRequest<'_>],
+    ) -> Vec<Result<(Database, mm_chase::ChaseStats), EngineError>> {
+        let tel = &self.config.telemetry;
+        let mut span = Span::enter(tel, "engine.exchange_batch", requests.len().to_string());
+        // Resolve names and compile/fetch plans up front on the calling
+        // thread: repository and plan-cache access stays out of the
+        // workers, which then run pure chases over shared-`Arc` plans.
+        let resolved: Vec<Result<(Schema, Arc<ChaseProgram>), EngineError>> = requests
+            .iter()
+            .map(|r| {
+                let (m, mid) = self.repo.latest_mapping(r.mapping)?;
+                let (t, _) = self.schema(r.target_schema)?;
+                let tgds = Self::tgds_of(&m)?;
+                let program = self.chase_program(r.mapping, &mid, &tgds, r.source_db);
+                Ok((t, program))
+            })
+            .collect();
+        let lead = Governor::new(&self.config.budget);
+        let (_, govs) = lead.fork_shared(requests.len());
+        let govs: Vec<Mutex<Governor>> = govs.into_iter().map(Mutex::new).collect();
+        let (pooled, run) = mm_parallel::map_indexed(
+            self.config.threads,
+            requests.len(),
+            |i, _ctx| -> Result<_, std::convert::Infallible> {
+                let Ok((schema, program)) = &resolved[i] else {
+                    // resolve error: the slot is filled from `resolved`
+                    // after the pool joins
+                    return Ok(None);
+                };
+                let mut gov = govs[i].lock();
+                Ok(Some(
+                    mm_chase::chase_st_prepared_governed(
+                        schema,
+                        program,
+                        requests[i].source_db,
+                        &mut gov,
+                        1,
+                        tel,
+                    )
+                    .map_err(|f| EngineError::Exec(f.into())),
+                ))
+            },
+        );
+        span.field("threads", self.config.threads);
+        span.field("parallel.workers", run.workers);
+        span.field("parallel.steals", run.steals);
+        span.field("parallel.tasks", run.tasks);
+        if let Some(m) = tel.metrics() {
+            m.add(Counter::ParallelWorkers, run.workers as u64);
+            m.add(Counter::ParallelSteals, run.steals);
+            m.add(Counter::ParallelTasks, run.tasks);
+        }
+        span.finish();
+        let pooled = match pooled {
+            Ok(v) => v,
+            Err(never) => match never {},
+        };
+        pooled
+            .into_iter()
+            .zip(resolved)
+            .map(|(slot, res)| match (slot, res) {
+                (Some(outcome), Ok(_)) => outcome,
+                (None, Err(e)) => Err(e),
+                // a resolved request always produces Some, and a failed
+                // resolve always produces None — unreachable by
+                // construction, surfaced as an internal error not a panic
+                (Some(_), Err(e)) => Err(e),
+                (None, Ok(_)) => Err(EngineError::Exec(mm_guard::ExecError::internal(
+                    "exchange_batch worker produced no result for a resolved request",
+                ))),
+            })
+            .collect()
+    }
+}
+
+/// One request in an [`Engine::exchange_batch`] call: the same triple
+/// [`Engine::exchange`] takes.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeRequest<'a> {
+    /// Stored mapping name (latest version is used).
+    pub mapping: &'a str,
+    /// Stored target-schema name.
+    pub target_schema: &'a str,
+    /// Source instance to chase.
+    pub source_db: &'a Database,
 }
 
 #[cfg(test)]
@@ -787,10 +925,11 @@ mod tests {
         assert_eq!(engine.cached_chase_plans(), 1); // reused, not recompiled
         assert_eq!(out1, out2);
 
-        // a new stored version gets a new ArtifactId, hence a new plan
+        // a new stored version under the same name *replaces* the cached
+        // plan (stale-entry eviction), it does not accumulate
         engine.add_mapping("m", copy_mapping()).unwrap();
         engine.exchange("m", "T", &db).unwrap();
-        assert_eq!(engine.cached_chase_plans(), 2);
+        assert_eq!(engine.cached_chase_plans(), 1);
 
         // the general chase shares the same cache keyspace (it chases
         // in place, so its db carries both source and target relations)
@@ -802,7 +941,11 @@ mod tests {
         let mut gdb = Database::empty_of(&both);
         gdb.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
         engine.chase_general("m", "T", &gdb).unwrap();
-        assert_eq!(engine.cached_chase_plans(), 2);
+        assert_eq!(engine.cached_chase_plans(), 1);
+        assert_eq!(
+            engine.cached_chase_plan_shards().iter().sum::<usize>(),
+            engine.cached_chase_plans()
+        );
 
         // and the knob disables caching entirely
         let uncached =
@@ -815,6 +958,137 @@ mod tests {
         let (out3, _) = uncached.exchange("m", "T", &db).unwrap();
         assert_eq!(uncached.cached_chase_plans(), 0);
         assert_eq!(out1, out3);
+    }
+
+    #[test]
+    fn replacing_a_mapping_never_serves_the_stale_plan() {
+        // v1 copies R into U; v2 copies R into V. After the replacement
+        // an exchange must produce v2's output — a stale cached plan for
+        // the name "m" would silently keep filling U.
+        let engine = Engine::new();
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        let t = SchemaBuilder::new("T")
+            .relation("U", &[("a", DataType::Int)])
+            .relation("V", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        engine.add_schema(s.clone()).unwrap();
+        engine.add_schema(t).unwrap();
+        let mapping_to = |rel: &str| {
+            let mut m = Mapping::new("S", "T");
+            m.push_tgd(mm_expr::Tgd::new(
+                vec![mm_expr::Atom::vars("R", &["x"])],
+                vec![mm_expr::Atom::vars(rel, &["x"])],
+            ));
+            m
+        };
+        let mut db = Database::empty_of(&s);
+        db.insert("R", mm_instance::Tuple::from([Value::Int(7)]));
+
+        engine.add_mapping("m", mapping_to("U")).unwrap();
+        let (out1, _) = engine.exchange("m", "T", &db).unwrap();
+        assert_eq!(out1.relation("U").unwrap().len(), 1);
+
+        engine.add_mapping("m", mapping_to("V")).unwrap();
+        let (out2, _) = engine.exchange("m", "T", &db).unwrap();
+        assert_eq!(out2.relation("U").unwrap().len(), 0, "stale v1 plan served");
+        assert_eq!(out2.relation("V").unwrap().len(), 1);
+        assert_eq!(engine.cached_chase_plans(), 1);
+    }
+
+    #[test]
+    fn exchange_batch_matches_sequential_exchange() {
+        let engine = Engine::new();
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        let t = SchemaBuilder::new("T")
+            .relation("U", &[("a", DataType::Int), ("w", DataType::Any)])
+            .build()
+            .unwrap();
+        engine.add_schema(s.clone()).unwrap();
+        engine.add_schema(t).unwrap();
+        let mut m = Mapping::new("S", "T");
+        // existential head: null ids must match the sequential runs too
+        m.push_tgd(mm_expr::Tgd::new(
+            vec![mm_expr::Atom::vars("R", &["x"])],
+            vec![mm_expr::Atom::vars("U", &["x", "w"])],
+        ));
+        engine.add_mapping("m", m).unwrap();
+        let dbs: Vec<Database> = (0..6)
+            .map(|k| {
+                let mut db = Database::empty_of(&s);
+                for i in 0..=k {
+                    db.insert("R", mm_instance::Tuple::from([Value::Int(i as i64)]));
+                }
+                db
+            })
+            .collect();
+        let sequential: Vec<_> =
+            dbs.iter().map(|db| engine.exchange("m", "T", db).unwrap()).collect();
+        for threads in [1, 2, 4, 8] {
+            let batch_engine = Engine::with_config(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            })
+            .unwrap();
+            batch_engine.add_schema(s.clone()).unwrap();
+            batch_engine
+                .add_schema(engine.repo.latest_schema("T").unwrap().0)
+                .unwrap();
+            let mut m = Mapping::new("S", "T");
+            m.push_tgd(mm_expr::Tgd::new(
+                vec![mm_expr::Atom::vars("R", &["x"])],
+                vec![mm_expr::Atom::vars("U", &["x", "w"])],
+            ));
+            batch_engine.add_mapping("m", m).unwrap();
+            let requests: Vec<ExchangeRequest<'_>> = dbs
+                .iter()
+                .map(|db| ExchangeRequest { mapping: "m", target_schema: "T", source_db: db })
+                .collect();
+            let results = batch_engine.exchange_batch(&requests);
+            assert_eq!(results.len(), sequential.len());
+            for (i, (got, want)) in results.into_iter().zip(&sequential).enumerate() {
+                let got = got.unwrap();
+                assert_eq!(&got, want, "request {i} at threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_batch_reports_per_request_errors() {
+        let engine = Engine::new();
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        let t = SchemaBuilder::new("T")
+            .relation("U", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        engine.add_schema(s.clone()).unwrap();
+        engine.add_schema(t).unwrap();
+        let mut m = Mapping::new("S", "T");
+        m.push_tgd(mm_expr::Tgd::new(
+            vec![mm_expr::Atom::vars("R", &["x"])],
+            vec![mm_expr::Atom::vars("U", &["x"])],
+        ));
+        engine.add_mapping("m", m).unwrap();
+        let mut db = Database::empty_of(&s);
+        db.insert("R", mm_instance::Tuple::from([Value::Int(1)]));
+        let requests = [
+            ExchangeRequest { mapping: "m", target_schema: "T", source_db: &db },
+            ExchangeRequest { mapping: "no_such_mapping", target_schema: "T", source_db: &db },
+            ExchangeRequest { mapping: "m", target_schema: "T", source_db: &db },
+        ];
+        let results = engine.exchange_batch(&requests);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(EngineError::Repository(_))), "{:?}", results[1]);
+        assert!(results[2].is_ok(), "one bad request must not poison the rest");
     }
 
     #[test]

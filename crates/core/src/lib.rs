@@ -15,21 +15,30 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod engine;
+pub mod plan_cache;
 pub mod script;
 
-pub use engine::{Durability, Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
+pub use engine::{
+    Durability, Engine, EngineConfig, EngineError, ExchangeRequest, DEFAULT_CHASE_ROUNDS,
+};
+pub use plan_cache::{PlanCache, PLAN_CACHE_SHARDS};
 pub use script::{run_script, ScriptError};
 
 /// One-stop imports for applications embedding the engine.
 pub mod prelude {
-    pub use crate::engine::{Durability, Engine, EngineConfig, EngineError, DEFAULT_CHASE_ROUNDS};
+    pub use crate::engine::{
+        Durability, Engine, EngineConfig, EngineError, ExchangeRequest, DEFAULT_CHASE_ROUNDS,
+    };
+    pub use crate::plan_cache::{PlanCache, PLAN_CACHE_SHARDS};
     pub use crate::script::{run_script, ScriptError};
     pub use mm_chase::{
         certain_answers, chase_general, chase_general_explained, chase_general_governed,
-        chase_general_prepared, chase_general_prepared_traced, chase_general_reference, chase_st,
-        chase_st_explained, chase_st_governed, chase_st_prepared, chase_st_prepared_traced,
-        chase_st_reference, core_of, egds_from_keys, exists_hom, hom_equivalent, ChaseExplain,
-        ChaseFailure, ChaseOutcome, ChaseProgram, ChaseStats, Egd, RoundExplain, TgdExplain,
+        chase_general_parallel, chase_general_parallel_traced, chase_general_prepared,
+        chase_general_prepared_traced, chase_general_reference, chase_st, chase_st_explained,
+        chase_st_governed, chase_st_parallel, chase_st_parallel_traced, chase_st_prepared,
+        chase_st_prepared_governed, chase_st_prepared_traced, chase_st_reference, core_of,
+        egds_from_keys, exists_hom, hom_equivalent, ChaseExplain, ChaseFailure, ChaseOutcome,
+        ChaseProgram, ChaseStats, Egd, RoundExplain, TgdExplain,
     };
     pub use mm_compose::{
         apply_sotgd, apply_sotgd_governed, compose_expr_mappings, compose_st_tgds,
@@ -38,7 +47,8 @@ pub mod prelude {
     };
     pub use mm_eval::{
         eval, eval_governed, find_homomorphisms, find_homomorphisms_governed,
-        find_homomorphisms_naive, find_homomorphisms_traced, materialize_views,
+        find_homomorphisms_naive, find_homomorphisms_parallel, find_homomorphisms_traced,
+        materialize_views,
         materialize_views_governed, unfold_query, AtomExplain, CqPlan, EvalError, PlanExplain,
         VarTable,
     };

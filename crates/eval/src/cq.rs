@@ -48,23 +48,28 @@ fn match_atom(atom: &Atom, tuple: &Tuple, binding: &Binding) -> Option<Binding> 
 /// of the naive CQ evaluator, and the heuristic [`CqPlan`] replicates so
 /// both paths enumerate identically. Deterministic for reproducibility.
 fn order_atoms<'a>(atoms: &'a [Atom], db: &Database) -> Vec<&'a Atom> {
-    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut remaining: Vec<(usize, &Atom)> = atoms.iter().enumerate().collect();
     let mut ordered: Vec<&Atom> = Vec::with_capacity(atoms.len());
     let mut bound: std::collections::HashSet<&str> = std::collections::HashSet::new();
     // pick the atom with the most bound variables; tie-break on the
-    // smallest relation, then on position (determinism); the loop ends
-    // when `remaining` is drained and `min_by_key` has nothing to yield
+    // smallest relation, then on the *original* atom index — the same
+    // key [`CqPlan::compile`] uses, so the naive oracle and the compiled
+    // plan provably pick identical orders (tie-breaking on the position
+    // inside the shrinking `remaining` list happened to agree, but only
+    // because removals preserve relative order; keying on the original
+    // index makes the equivalence unconditional). The loop ends when
+    // `remaining` is drained and `min_by_key` has nothing to yield.
     while let Some((idx, _)) = remaining
         .iter()
         .enumerate()
-        .map(|(i, a)| {
+        .map(|(i, (ai, a))| {
             let bound_vars = a.variables().iter().filter(|v| bound.contains(**v)).count();
             let size = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
-            (i, (std::cmp::Reverse(bound_vars), size, i))
+            (i, (std::cmp::Reverse(bound_vars), size, *ai))
         })
         .min_by_key(|(_, k)| *k)
     {
-        let atom = remaining.remove(idx);
+        let (_, atom) = remaining.remove(idx);
         for v in atom.variables() {
             bound.insert(v);
         }
@@ -138,6 +143,51 @@ pub fn find_homomorphisms_governed(
                 .collect()
         })
         .collect())
+}
+
+/// [`find_homomorphisms_governed`] with the driver atom's tuple range
+/// split across up to `threads` workers
+/// ([`CqPlan::execute_parallel`]). Results — including their order —
+/// are identical to the sequential path; `threads <= 1` or a small
+/// driver relation degrade to it outright. Returns the bindings plus
+/// the pool statistics (workers, steals, tasks) for telemetry.
+pub fn find_homomorphisms_parallel(
+    atoms: &[Atom],
+    db: &Database,
+    seed: &Binding,
+    threads: usize,
+    gov: &mut Governor,
+) -> Result<(Vec<Binding>, mm_parallel::PoolRun), ExecError> {
+    gov.check_now()?;
+    let mut table = VarTable::new();
+    let seed_slots: Vec<(usize, Value)> =
+        seed.iter().map(|(k, v)| (table.intern(k), v.clone())).collect();
+    let prebound: Vec<usize> = seed_slots.iter().map(|(s, _)| *s).collect();
+    let plan = CqPlan::compile(atoms, &mut table, db, &prebound);
+    let mut scratch = vec![None; table.len()];
+    for (s, v) in &seed_slots {
+        scratch[*s] = Some(v.clone());
+    }
+    let mut matches = Vec::new();
+    let run = plan.execute_parallel(
+        db,
+        &mut scratch,
+        &ExecOptions::default(),
+        threads,
+        gov,
+        &mut matches,
+    )?;
+    let bindings = matches
+        .into_iter()
+        .map(|m| {
+            m.binding
+                .into_iter()
+                .enumerate()
+                .filter_map(|(s, v)| Some((table.name(s)?.to_string(), v?)))
+                .collect()
+        })
+        .collect();
+    Ok((bindings, run))
 }
 
 /// [`find_homomorphisms_governed`] with telemetry: wraps the search in

@@ -17,7 +17,7 @@ pub mod view;
 
 pub use cq::{
     find_homomorphisms, find_homomorphisms_governed, find_homomorphisms_naive,
-    find_homomorphisms_traced, Binding,
+    find_homomorphisms_parallel, find_homomorphisms_traced, Binding,
 };
 pub use plan::{
     AtomExplain, AtomRange, CqPlan, ExecOptions, PlanExplain, PlanMatch, SlotTerm, VarTable,

@@ -110,6 +110,11 @@ pub enum AtomRange {
     Below(u32),
     /// Only tuples at or after the watermark (the delta).
     AtOrAbove(u32),
+    /// Only tuples in `[lo, hi)` — a chunk of another range, used by
+    /// parallel execution to split a driver atom's interval across
+    /// workers. Every other variant denotes a contiguous position
+    /// interval, so chunks compose with any of them.
+    Between(u32, u32),
 }
 
 impl AtomRange {
@@ -118,6 +123,21 @@ impl AtomRange {
             AtomRange::Full => true,
             AtomRange::Below(w) => pos < w,
             AtomRange::AtOrAbove(w) => pos >= w,
+            AtomRange::Between(lo, hi) => pos >= lo && pos < hi,
+        }
+    }
+
+    /// The contiguous `[start, end)` interval of insertion positions
+    /// this range admits in a relation of `len` tuples.
+    pub fn interval(self, len: usize) -> (usize, usize) {
+        match self {
+            AtomRange::Full => (0, len),
+            AtomRange::Below(w) => (0, (w as usize).min(len)),
+            AtomRange::AtOrAbove(w) => ((w as usize).min(len), len),
+            AtomRange::Between(lo, hi) => {
+                let lo = (lo as usize).min(len);
+                (lo, (hi as usize).min(len).max(lo))
+            }
         }
     }
 }
@@ -267,10 +287,9 @@ impl CqPlan {
             .map(|(i, a)| {
                 let rows_total = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
                 let range = ranges.and_then(|rs| rs.get(i).copied()).unwrap_or(AtomRange::Full);
-                let rows_admitted = match range {
-                    AtomRange::Full => rows_total,
-                    AtomRange::Below(w) => rows_total.min(w as usize),
-                    AtomRange::AtOrAbove(w) => rows_total.saturating_sub(w as usize),
+                let rows_admitted = {
+                    let (start, end) = range.interval(rows_total);
+                    end - start
                 };
                 let terms = a
                     .terms
@@ -319,6 +338,160 @@ impl CqPlan {
         let mut walk = Walk { plan: self, ctx: &ctx, opts, out };
         let result = walk.step(0, scratch, &mut pos_acc, gov);
         result.map(|_| ())
+    }
+
+    /// Execute over `db` with the driver (first) atom's range split into
+    /// chunks fanned across up to `threads` workers.
+    ///
+    /// Bit-identical to [`CqPlan::execute_governed`]: every range variant
+    /// admits one contiguous interval of the driver atom's insertion
+    /// positions, chunks partition that interval in order, and within a
+    /// chunk the walk enumerates exactly as the sequential walk would —
+    /// so concatenating chunk outputs in chunk order *is* the sequential
+    /// enumeration order, and the metered step count is identical too
+    /// (range filtering happens before metering on both paths).
+    ///
+    /// A `limit` is honoured exactly: each chunk stops at `limit`
+    /// locally, a shared counter of matches found in the *completed
+    /// prefix* of chunks lets later chunks skip entirely once the prefix
+    /// alone satisfies the limit (their matches could never displace
+    /// prefix matches), and the merged output is truncated to the first
+    /// `limit` matches — the same ones the sequential walk returns.
+    ///
+    /// Degrades to the sequential path (still via `gov`) when `threads
+    /// <= 1`, the driver interval is too small to be worth splitting, or
+    /// the plan has no drivable atom. `scratch` carries the seed exactly
+    /// as in the sequential path and is never mutated here (workers copy
+    /// it).
+    pub fn execute_parallel(
+        &self,
+        db: &Database,
+        scratch: &mut [Option<Value>],
+        opts: &ExecOptions<'_>,
+        threads: usize,
+        gov: &mut Governor,
+        out: &mut Vec<PlanMatch>,
+    ) -> Result<mm_parallel::PoolRun, ExecError> {
+        let driver_span = (threads > 1 && !self.unsat && !self.atoms.is_empty())
+            .then(|| {
+                let range = opts.ranges.map_or(AtomRange::Full, |r| r[0]);
+                let len =
+                    db.relation(&self.atoms[0].relation).map(|r| r.len()).unwrap_or(0);
+                range.interval(len)
+            })
+            .filter(|(start, end)| end - start >= threads * MIN_DRIVER_ROWS_PER_WORKER);
+        let Some((start, end)) = driver_span else {
+            self.execute_governed(db, scratch, opts, gov, out)?;
+            return Ok(mm_parallel::PoolRun { workers: 1, steals: 0, tasks: 1 });
+        };
+
+        // Pre-build every index snapshot on this thread so workers don't
+        // race to construct the same index behind the relation's lock.
+        let _prewarm = ExecCtx::prepare(self, db, opts);
+
+        let span = end - start;
+        let chunks = (threads * CHUNKS_PER_WORKER).min(span);
+        let base_ranges: Vec<AtomRange> = match opts.ranges {
+            Some(rs) => rs.to_vec(),
+            None => vec![AtomRange::Full; self.atoms.len()],
+        };
+        let (_meter, govs) = gov.fork_shared(chunks);
+        let govs: Vec<std::sync::Mutex<Governor>> =
+            govs.into_iter().map(std::sync::Mutex::new).collect();
+        let prefix = PrefixCount::new(chunks);
+        let seed: Vec<Option<Value>> = scratch.to_vec();
+
+        let (merged, run) = mm_parallel::map_indexed::<Vec<PlanMatch>, ExecError, _>(
+            threads,
+            chunks,
+            |c, _ctx| {
+                if opts.limit.is_some_and(|l| prefix.confirmed() >= l) {
+                    return Ok(Vec::new());
+                }
+                let lo = (start + c * span / chunks) as u32;
+                let hi = (start + (c + 1) * span / chunks) as u32;
+                let mut ranges = base_ranges.clone();
+                ranges[0] = AtomRange::Between(lo, hi);
+                let chunk_opts = ExecOptions { ranges: Some(&ranges), ..*opts };
+                let mut local_scratch = seed.clone();
+                let mut local_out = Vec::new();
+                let mut wg = match govs[c].lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                self.execute_governed(db, &mut local_scratch, &chunk_opts, &mut wg, &mut local_out)?;
+                prefix.complete(c, local_out.len());
+                Ok(local_out)
+            },
+        );
+        for g in govs {
+            let wg = match g.into_inner() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            gov.absorb(&wg.consumption())?;
+        }
+        let mut per_chunk = merged?;
+        for chunk_out in &mut per_chunk {
+            out.append(chunk_out);
+        }
+        if let Some(l) = opts.limit {
+            out.truncate(l);
+        }
+        Ok(run)
+    }
+}
+
+/// Driver intervals smaller than this per requested worker run
+/// sequentially — the spawn/merge overhead would dominate.
+const MIN_DRIVER_ROWS_PER_WORKER: usize = 8;
+/// Chunks per worker: oversubscription so work stealing can smooth out
+/// skewed chunks (one hot driver tuple fanning into a huge sub-join).
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Shared limit early-exit state: counts matches found in the completed
+/// *prefix* of chunks. Once the prefix alone reaches the limit, chunks
+/// after it can only produce matches that sort later than the limit-th
+/// match, so workers skip them wholesale.
+struct PrefixCount {
+    inner: std::sync::Mutex<PrefixInner>,
+    confirmed: std::sync::atomic::AtomicUsize,
+}
+
+struct PrefixInner {
+    counts: Vec<Option<usize>>,
+    next: usize,
+    total: usize,
+}
+
+impl PrefixCount {
+    fn new(chunks: usize) -> Self {
+        PrefixCount {
+            inner: std::sync::Mutex::new(PrefixInner {
+                counts: vec![None; chunks],
+                next: 0,
+                total: 0,
+            }),
+            confirmed: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn confirmed(&self) -> usize {
+        self.confirmed.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn complete(&self, chunk: usize, matches: usize) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.counts[chunk] = Some(matches);
+        while inner.next < inner.counts.len() {
+            let Some(n) = inner.counts[inner.next] else { break };
+            inner.total += n;
+            inner.next += 1;
+        }
+        self.confirmed.store(inner.total, std::sync::atomic::Ordering::Release);
     }
 }
 
@@ -398,11 +571,7 @@ impl Walk<'_, '_, '_, '_> {
             }
         } else {
             let tuples = rel.tuples();
-            let (start, end) = match range {
-                AtomRange::Full => (0, tuples.len()),
-                AtomRange::Below(w) => (0, (w as usize).min(tuples.len())),
-                AtomRange::AtOrAbove(w) => ((w as usize).min(tuples.len()), tuples.len()),
-            };
+            let (start, end) = range.interval(tuples.len());
             for (i, tuple) in tuples[start..end].iter().enumerate() {
                 gov.step()?;
                 let pos = (start + i) as u32;
@@ -658,6 +827,60 @@ mod tests {
         // only the probed bucket was metered, not the whole relation
         assert_eq!(gov.steps_consumed(), 1);
         assert_eq!(scratch[x], Some(Value::Int(2)), "seed preserved");
+    }
+
+    fn chain_db(n: i64) -> Database {
+        let mut db = Database::new("D");
+        let mut r = mm_instance::Relation::new(RelSchema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+        ]));
+        for i in 0..n {
+            r.insert(Tuple::from([Value::Int(i), Value::Int(i + 1)]));
+        }
+        db.insert_relation("E", r);
+        db
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_sequential() {
+        let db = chain_db(256);
+        let atoms = [Atom::vars("E", &["x", "y"]), Atom::vars("E", &["y", "z"])];
+        let mut table = VarTable::new();
+        let plan = CqPlan::compile(&atoms, &mut table, &db, &[]);
+        for limit in [None, Some(1), Some(7), Some(10_000)] {
+            let opts = ExecOptions { limit, ..Default::default() };
+            let seq = run(&plan, &table, &db, &opts);
+            for threads in [2, 4, 8] {
+                let mut gov = Governor::new(&ExecBudget::unbounded());
+                let mut scratch = vec![None; table.len()];
+                let mut par = Vec::new();
+                plan.execute_parallel(&db, &mut scratch, &opts, threads, &mut gov, &mut par)
+                    .unwrap();
+                assert_eq!(par.len(), seq.len(), "threads={threads} limit={limit:?}");
+                for (a, b) in par.iter().zip(&seq) {
+                    assert_eq!(a.binding, b.binding);
+                    assert_eq!(a.positions, b.positions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_step_totals_match_sequential_without_limit() {
+        let db = chain_db(256);
+        let atoms = [Atom::vars("E", &["x", "y"]), Atom::vars("E", &["y", "z"])];
+        let mut table = VarTable::new();
+        let plan = CqPlan::compile(&atoms, &mut table, &db, &[]);
+        let opts = ExecOptions::default();
+        let mut seq_gov = Governor::new(&ExecBudget::unbounded());
+        let mut scratch = vec![None; table.len()];
+        let mut seq = Vec::new();
+        plan.execute_governed(&db, &mut scratch, &opts, &mut seq_gov, &mut seq).unwrap();
+        let mut par_gov = Governor::new(&ExecBudget::unbounded());
+        let mut par = Vec::new();
+        plan.execute_parallel(&db, &mut scratch, &opts, 4, &mut par_gov, &mut par).unwrap();
+        assert_eq!(par_gov.steps_consumed(), seq_gov.steps_consumed());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The runtime meter operators thread through their hot loops.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::{ExecBudget, ExecError, Resource};
@@ -24,6 +26,17 @@ pub struct Governor {
     rounds: u64,
     clauses: u64,
     started: Instant,
+    /// Cross-worker meter this governor publishes into (parallel
+    /// regions only; `None` on the ordinary sequential path).
+    shared: Option<Arc<SharedMeter>>,
+    /// Own steps/rows already published to `shared`.
+    flushed_steps: u64,
+    flushed_rows: u64,
+    /// Last observed consumption by *other* governors on the same
+    /// meter (refreshed at every [`Governor::check_now`] safepoint, so
+    /// at most `CHECK_INTERVAL` steps stale per worker).
+    foreign_steps: u64,
+    foreign_rows: u64,
 }
 
 impl Governor {
@@ -35,49 +48,55 @@ impl Governor {
             rounds: 0,
             clauses: 0,
             started: mm_telemetry::clock::now(),
+            shared: None,
+            flushed_steps: 0,
+            flushed_rows: 0,
+            foreign_steps: 0,
+            foreign_rows: 0,
         }
     }
 
     /// Meter one logical unit of work.
     #[inline]
     pub fn step(&mut self) -> Result<(), ExecError> {
-        self.steps += 1;
-        if let Some(limit) = self.budget.max_steps {
-            if self.steps > limit {
-                return Err(ExecError::BudgetExhausted {
-                    resource: Resource::Steps,
-                    consumed: self.steps,
-                    limit,
-                });
-            }
-        }
-        if self.steps.is_multiple_of(CHECK_INTERVAL) {
-            self.check_now()?;
-        }
-        Ok(())
+        self.advance(1)
     }
 
     /// Meter `n` units at once (bulk operations).
     #[inline]
     pub fn steps_n(&mut self, n: u64) -> Result<(), ExecError> {
-        self.steps += n.saturating_sub(1);
-        self.step()
+        self.advance(n.max(1))
+    }
+
+    /// Advance the step counter by `n` (≥ 1), checking the cap and
+    /// hitting the periodic safepoint. A bulk advance can jump clean
+    /// over a multiple of [`CHECK_INTERVAL`], so the safepoint fires on
+    /// *crossing* an interval boundary rather than landing exactly on
+    /// one — otherwise bulk-metered work would never poll cancellation
+    /// or publish to a shared meter.
+    #[inline]
+    fn advance(&mut self, n: u64) -> Result<(), ExecError> {
+        let before = self.steps;
+        self.steps += n;
+        if let Some(limit) = self.budget.max_steps {
+            if self.steps + self.foreign_steps > limit {
+                return Err(ExecError::BudgetExhausted {
+                    resource: Resource::Steps,
+                    consumed: self.steps + self.foreign_steps,
+                    limit,
+                });
+            }
+        }
+        if self.steps / CHECK_INTERVAL != before / CHECK_INTERVAL {
+            self.check_now()?;
+        }
+        Ok(())
     }
 
     /// Meter one materialized tuple.
     #[inline]
     pub fn row(&mut self) -> Result<(), ExecError> {
-        self.rows += 1;
-        if let Some(limit) = self.budget.max_rows {
-            if self.rows > limit {
-                return Err(ExecError::BudgetExhausted {
-                    resource: Resource::Rows,
-                    consumed: self.rows,
-                    limit,
-                });
-            }
-        }
-        self.step()
+        self.rows_n(1)
     }
 
     /// Meter `n` materialized tuples at once (bulk operations). Lets a
@@ -88,9 +107,17 @@ impl Governor {
         if n == 0 {
             return self.check_now();
         }
-        self.rows += n - 1;
-        self.steps += n - 1;
-        self.row()
+        self.rows += n;
+        if let Some(limit) = self.budget.max_rows {
+            if self.rows + self.foreign_rows > limit {
+                return Err(ExecError::BudgetExhausted {
+                    resource: Resource::Rows,
+                    consumed: self.rows + self.foreign_rows,
+                    limit,
+                });
+            }
+        }
+        self.advance(n)
     }
 
     /// Check a fixpoint round count (1-based) against the round cap;
@@ -132,6 +159,9 @@ impl Governor {
         if self.budget.cancel.poll() {
             return Err(ExecError::Cancelled { after_steps: self.steps });
         }
+        if self.shared.is_some() {
+            self.sync_shared()?;
+        }
         if let Some(deadline) = self.budget.deadline {
             let now = mm_telemetry::clock::now();
             if now > deadline {
@@ -143,6 +173,108 @@ impl Governor {
             }
         }
         Ok(())
+    }
+
+    /// Publish this governor's unflushed steps/rows into the shared
+    /// meter, refresh the view of other workers' consumption, and
+    /// re-check the global caps. No-op for governors without a meter.
+    fn sync_shared(&mut self) -> Result<(), ExecError> {
+        let Some(meter) = self.shared.clone() else {
+            return Ok(());
+        };
+        meter.add(
+            self.steps - self.flushed_steps,
+            self.rows - self.flushed_rows,
+        );
+        self.flushed_steps = self.steps;
+        self.flushed_rows = self.rows;
+        // The meter now holds every worker's flushed total including
+        // all of our own, so the difference is foreign consumption.
+        self.foreign_steps = meter.steps().saturating_sub(self.steps);
+        self.foreign_rows = meter.rows().saturating_sub(self.rows);
+        if let Some(limit) = self.budget.max_steps {
+            let total = self.steps + self.foreign_steps;
+            if total > limit {
+                return Err(ExecError::BudgetExhausted {
+                    resource: Resource::Steps,
+                    consumed: total,
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.max_rows {
+            let total = self.rows + self.foreign_rows;
+            if total > limit {
+                return Err(ExecError::BudgetExhausted {
+                    resource: Resource::Rows,
+                    consumed: total,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Split this governor for a parallel region: returns a
+    /// [`SharedMeter`] pre-charged with everything consumed so far plus
+    /// `workers` governors that meter against it. Worker governors
+    /// share the caller's budget (and therefore its [`crate::CancelToken`]
+    /// and wall deadline), publish their consumption into the meter at
+    /// every safepoint, and see each other's flushed consumption as
+    /// `foreign` work counted against the caps — so a global step/row
+    /// limit trips across the whole region with at most
+    /// [`CHECK_INTERVAL`] steps of per-worker lag. After the region
+    /// joins, fold each worker's [`Governor::consumption`] back with
+    /// [`Governor::absorb`].
+    pub fn fork_shared(&self, workers: usize) -> (Arc<SharedMeter>, Vec<Governor>) {
+        let meter = Arc::new(SharedMeter::default());
+        meter.add(self.steps, self.rows);
+        let govs = (0..workers)
+            .map(|_| Governor {
+                budget: self.budget.clone(),
+                steps: 0,
+                rows: 0,
+                rounds: 0,
+                clauses: 0,
+                started: self.started,
+                shared: Some(Arc::clone(&meter)),
+                flushed_steps: 0,
+                flushed_rows: 0,
+                foreign_steps: self.steps,
+                foreign_rows: self.rows,
+            })
+            .collect();
+        (meter, govs)
+    }
+
+    /// Fold a joined worker's consumption into this governor and
+    /// re-check the caps. On the success path the sum over all workers
+    /// equals what the sequential oracle would have metered, so this
+    /// cannot trip unless the sequential run would have tripped too.
+    pub fn absorb(&mut self, c: &Consumption) -> Result<(), ExecError> {
+        self.steps += c.steps;
+        self.rows += c.rows;
+        if let Some(limit) = self.budget.max_steps {
+            let total = self.steps + self.foreign_steps;
+            if total > limit {
+                return Err(ExecError::BudgetExhausted {
+                    resource: Resource::Steps,
+                    consumed: total,
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.max_rows {
+            let total = self.rows + self.foreign_rows;
+            if total > limit {
+                return Err(ExecError::BudgetExhausted {
+                    resource: Resource::Rows,
+                    consumed: total,
+                    limit,
+                });
+            }
+        }
+        self.check_now()
     }
 
     pub fn steps_consumed(&self) -> u64 {
@@ -170,6 +302,40 @@ impl Governor {
 
     pub fn budget(&self) -> &ExecBudget {
         &self.budget
+    }
+}
+
+/// A cross-worker consumption meter for parallel regions.
+///
+/// Workers [`Governor::fork_shared`]-ed off one caller publish their
+/// steps/rows here at every safepoint; each worker counts the others'
+/// published consumption against the budget caps, so a global limit
+/// trips across the whole region rather than per worker. Purely
+/// additive atomics — never read on the per-step fast path.
+#[derive(Debug, Default)]
+pub struct SharedMeter {
+    steps: AtomicU64,
+    rows: AtomicU64,
+}
+
+impl SharedMeter {
+    fn add(&self, steps: u64, rows: u64) {
+        if steps > 0 {
+            self.steps.fetch_add(steps, Ordering::Relaxed);
+        }
+        if rows > 0 {
+            self.rows.fetch_add(rows, Ordering::Relaxed);
+        }
+    }
+
+    /// Total steps published by every attached governor so far.
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Total rows published by every attached governor so far.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
     }
 }
 
@@ -267,6 +433,57 @@ mod tests {
             g.clauses(101),
             Err(ExecError::BudgetExhausted { resource: Resource::Clauses, .. })
         ));
+    }
+
+    #[test]
+    fn forked_workers_trip_a_global_step_cap_together() {
+        // Cap of 3 * CHECK_INTERVAL; four workers each try to run
+        // 2 * CHECK_INTERVAL steps. Individually each is under the cap,
+        // but the flushed global total must trip at a safepoint.
+        let limit = 3 * CHECK_INTERVAL;
+        let lead = Governor::new(&ExecBudget::unbounded().with_steps(limit));
+        let (_meter, workers) = lead.fork_shared(4);
+        let mut tripped = 0;
+        for mut g in workers {
+            for _ in 0..2 * CHECK_INTERVAL {
+                if g.step().is_err() {
+                    tripped += 1;
+                    break;
+                }
+            }
+        }
+        assert!(tripped >= 1, "global cap never observed across workers");
+    }
+
+    #[test]
+    fn absorb_restores_exact_sequential_totals() {
+        let budget = ExecBudget::unbounded().with_steps(10_000);
+        let mut lead = Governor::new(&budget);
+        lead.steps_n(5).expect("prefix");
+        let (_meter, mut workers) = lead.fork_shared(2);
+        for (i, g) in workers.iter_mut().enumerate() {
+            for _ in 0..(i + 1) * 3 {
+                g.step().expect("worker step");
+            }
+            g.row().expect("worker row");
+        }
+        for g in &workers {
+            lead.absorb(&g.consumption()).expect("under budget");
+        }
+        // 5 + (3 + 1) + (6 + 1) steps, 2 rows (row() also steps).
+        assert_eq!(lead.steps_consumed(), 16);
+        assert_eq!(lead.rows_consumed(), 2);
+    }
+
+    #[test]
+    fn forked_workers_share_the_cancel_token() {
+        let token = CancelToken::new();
+        let lead = Governor::new(&ExecBudget::unbounded().with_cancel(token.clone()));
+        let (_meter, mut workers) = lead.fork_shared(3);
+        token.cancel();
+        for g in &mut workers {
+            assert!(matches!(g.check_now(), Err(ExecError::Cancelled { .. })));
+        }
     }
 
     #[test]

@@ -22,4 +22,4 @@ mod governor;
 pub use budget::ExecBudget;
 pub use cancel::CancelToken;
 pub use error::{Degradation, DegradationKind, ExecError, Resource};
-pub use governor::{Consumption, Governor};
+pub use governor::{Consumption, Governor, SharedMeter};

@@ -315,6 +315,61 @@ impl<'a> Mediator<'a> {
         }
         self.answer_with_plan(&plan, query, base_db, &mut gov)
     }
+
+    /// Answer a batch of queries through one prepared plan, fanning the
+    /// evaluations across up to `threads` workers.
+    ///
+    /// Per query, results are identical to calling
+    /// [`Self::answer_with_plan`] in a sequential loop — same rows, same
+    /// order, results in input order — except the whole batch meters
+    /// against **one** budget: worker governors fork off a shared meter,
+    /// so the step/row caps bound the batch's total work and a deadline
+    /// or cancellation stops every worker. One query's failure does not
+    /// abort the others. The plan-time degradation (if any) was recorded
+    /// once by [`Self::plan_governed`]; workers copy it into their
+    /// results without re-recording telemetry.
+    pub fn answer_batch(
+        &self,
+        plan: &MediationPlan,
+        queries: &[Expr],
+        base_db: &Database,
+        budget: &ExecBudget,
+        threads: usize,
+    ) -> Vec<Result<MediationResult, EvalError>> {
+        let lead = Governor::new(budget);
+        let (_, govs) = lead.fork_shared(queries.len());
+        let govs: Vec<parking_lot::Mutex<Governor>> =
+            govs.into_iter().map(parking_lot::Mutex::new).collect();
+        let (pooled, run) = mm_parallel::map_indexed(
+            threads,
+            queries.len(),
+            |i, _ctx| -> Result<_, std::convert::Infallible> {
+                let mut gov = govs[i].lock();
+                Ok(self.answer_with_plan(plan, &queries[i], base_db, &mut gov))
+            },
+        );
+        if self.tel.is_enabled() {
+            let mut span = mm_telemetry::Span::enter(
+                &self.tel,
+                "mediator.answer_batch",
+                queries.len().to_string(),
+            );
+            span.field("threads", threads);
+            span.field("parallel.workers", run.workers);
+            span.field("parallel.steals", run.steals);
+            span.field("parallel.tasks", run.tasks);
+            span.finish();
+            if let Some(m) = self.tel.metrics() {
+                m.add(mm_telemetry::Counter::ParallelWorkers, run.workers as u64);
+                m.add(mm_telemetry::Counter::ParallelSteals, run.steals);
+                m.add(mm_telemetry::Counter::ParallelTasks, run.tasks);
+            }
+        }
+        match pooled {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
 }
 
 #[cfg(test)]
@@ -499,6 +554,75 @@ mod tests {
         ));
         let oracle = m.answer_chained(&q, &db).unwrap();
         assert!(r.rows.set_eq(&oracle));
+    }
+
+    #[test]
+    fn answer_batch_matches_sequential_answers() {
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let budget = ExecBudget::unbounded();
+        let plan = m.plan(&budget).unwrap();
+        let queries: Vec<Expr> = vec![
+            Expr::base("RomanAdults").project(&["name"]),
+            Expr::base("RomanAdults"),
+            Expr::base("RomanAdults").project(&["id"]),
+            Expr::base("RomanAdults").project(&["id", "name"]),
+        ];
+        let sequential: Vec<Relation> = queries
+            .iter()
+            .map(|q| m.answer_with_plan(&plan, q, &db, &mut Governor::new(&budget)).unwrap().rows)
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let batch = m.answer_batch(&plan, &queries, &db, &budget, threads);
+            assert_eq!(batch.len(), queries.len());
+            for (i, (got, want)) in batch.into_iter().zip(&sequential).enumerate() {
+                let got = got.unwrap();
+                assert_eq!(got.mode, MediationMode::Collapsed);
+                assert_eq!(&got.rows, want, "query {i} at threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn answer_batch_shares_one_budget_across_queries() {
+        // Each query must cross at least one governor safepoint (every
+        // 1024 steps) for its consumption to reach the shared meter, so
+        // the base holds a few thousand rows rather than three.
+        let (s, _) = base();
+        let mut db = Database::empty_of(&s);
+        for i in 0..3000i64 {
+            db.insert(
+                "People",
+                Tuple::from([
+                    Value::Int(i),
+                    Value::text(format!("p{i}")),
+                    Value::Int(20 + (i % 50)),
+                    Value::text(if i % 2 == 0 { "rome" } else { "oslo" }),
+                ]),
+            );
+        }
+        let (l1, l2) = chain();
+        let m = Mediator::new(&s, vec![&l1, &l2]);
+        let plan = m.plan(&ExecBudget::unbounded()).unwrap();
+        let solo_steps = {
+            let mut gov = Governor::new(&ExecBudget::unbounded());
+            m.answer_with_plan(&plan, &Expr::base("RomanAdults"), &db, &mut gov).unwrap();
+            gov.steps_consumed()
+        };
+        assert!(solo_steps > 2048, "query must span several safepoints: {solo_steps}");
+        // a cap at 6x the per-query cost must trip somewhere in an
+        // 8-query batch, even with up to one safepoint of per-worker lag
+        let budget = ExecBudget::unbounded().with_steps(solo_steps * 6);
+        let queries: Vec<Expr> = (0..8).map(|_| Expr::base("RomanAdults")).collect();
+        let batch = m.answer_batch(&plan, &queries, &db, &budget, 1);
+        let trips = batch
+            .iter()
+            .filter(|r| matches!(r, Err(EvalError::Exec(ExecError::BudgetExhausted { .. }))))
+            .count();
+        assert!(trips >= 1, "shared step cap must trip");
+        let oks = batch.iter().filter(|r| r.is_ok()).count();
+        assert!(oks >= 1, "early queries should finish under the cap");
     }
 
     #[test]

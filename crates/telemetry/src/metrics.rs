@@ -46,9 +46,16 @@ pub enum Counter {
     BudgetStepsConsumed,
     /// Budget rows consumed by completed governed operations.
     BudgetRowsConsumed,
+    /// Workers that participated in parallel pool runs (summed per run;
+    /// a run that degraded to sequential contributes 1).
+    ParallelWorkers,
+    /// Successful work steals across all parallel pool runs.
+    ParallelSteals,
+    /// Tasks executed by parallel pool runs (chunks, not tuples).
+    ParallelTasks,
 }
 
-const COUNTERS: usize = Counter::BudgetRowsConsumed as usize + 1;
+const COUNTERS: usize = Counter::ParallelTasks as usize + 1;
 
 impl Counter {
     /// Stable snapshot key.
@@ -69,6 +76,9 @@ impl Counter {
             Counter::Recoveries => "recoveries",
             Counter::BudgetStepsConsumed => "budget_steps_consumed",
             Counter::BudgetRowsConsumed => "budget_rows_consumed",
+            Counter::ParallelWorkers => "parallel_workers",
+            Counter::ParallelSteals => "parallel_steals",
+            Counter::ParallelTasks => "parallel_tasks",
         }
     }
 
@@ -89,6 +99,9 @@ impl Counter {
             Counter::Recoveries,
             Counter::BudgetStepsConsumed,
             Counter::BudgetRowsConsumed,
+            Counter::ParallelWorkers,
+            Counter::ParallelSteals,
+            Counter::ParallelTasks,
         ]
     }
 }

@@ -1,0 +1,339 @@
+//! Property tests for the parallel execution core (PR 5): every parallel
+//! entry point must be **bit-identical** to its sequential counterpart —
+//! same tuples, same labeled-null identities, same binding order, same
+//! stats — at every thread count, because parallelism here is a pure
+//! scheduling choice, never a semantic one.
+//!
+//! * parallel CQ evaluation enumerates exactly the sequential binding
+//!   sequence on random databases and random conjunctive queries;
+//! * the parallel s-t and general chases reach the sequential fixpoint
+//!   bit-identically on the adversarial `workload::faults` inputs;
+//! * `Engine::exchange_batch` equals a sequential `exchange` loop slot
+//!   by slot, in input order;
+//! * cancellation and step-budget trips surface as their typed errors
+//!   from inside a parallel region instead of wedging the pool;
+//! * a batch of mediated queries over one degraded plan records the
+//!   plan-time degradation exactly once, not once per query.
+
+use mm_eval::Binding;
+use mm_workload::faults;
+use model_management::prelude::*;
+use proptest::prelude::*;
+
+/// Thread counts every parallel path is checked at. All of them must
+/// agree with `threads = 1`; 8 oversubscribes the container on purpose.
+const THREADS: [usize; 3] = [2, 4, 8];
+
+// --- generators -------------------------------------------------------------
+
+/// The fixed schema random databases and queries range over: two binary
+/// relations and a unary one, all over small ints so joins actually hit.
+fn cq_schema() -> Schema {
+    SchemaBuilder::new("P")
+        .relation("R", &[("a", DataType::Int), ("b", DataType::Int)])
+        .relation("S", &[("a", DataType::Int), ("b", DataType::Int)])
+        .relation("U", &[("a", DataType::Int)])
+        .build()
+        .expect("static schema")
+}
+
+/// Random database: up to ~80 tuples over `R`/`S`/`U`, values in 0..6,
+/// enough rows that the driver atom actually gets chunked across workers.
+fn arb_db() -> impl Strategy<Value = Database> {
+    let tuple = (0usize..3, 0i64..6, 0i64..6);
+    proptest::collection::vec(tuple, 0..80).prop_map(|rows| {
+        let mut db = Database::empty_of(&cq_schema());
+        for (rel, a, b) in rows {
+            match rel {
+                0 => db.insert("R", Tuple::from([Value::Int(a), Value::Int(b)])),
+                1 => db.insert("S", Tuple::from([Value::Int(a), Value::Int(b)])),
+                _ => db.insert("U", Tuple::from([Value::Int(a)])),
+            };
+        }
+        db
+    })
+}
+
+/// A term over a small shared variable pool (so atoms join) or a small
+/// constant (so selections sometimes hit, sometimes miss).
+fn arb_cq_term() -> impl Strategy<Value = mm_expr::Term> {
+    prop_oneof![
+        prop_oneof![Just("x"), Just("y"), Just("z"), Just("w")]
+            .prop_map(|v| mm_expr::Term::Var(v.to_string())),
+        (0i64..6).prop_map(|c| mm_expr::Term::Const(Lit::Int(c))),
+    ]
+}
+
+/// A conjunctive query of 1..=4 atoms over the fixed schema.
+fn arb_cq() -> impl Strategy<Value = Vec<Atom>> {
+    let atom = (0usize..3, arb_cq_term(), arb_cq_term()).prop_map(|(rel, t1, t2)| match rel {
+        0 => Atom { relation: "R".into(), terms: vec![t1, t2] },
+        1 => Atom { relation: "S".into(), terms: vec![t1, t2] },
+        _ => Atom { relation: "U".into(), terms: vec![t1] },
+    });
+    proptest::collection::vec(atom, 1..5)
+}
+
+// --- (a) parallel CQ evaluation == sequential -------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// Chunking the driver atom across workers and merging in chunk
+    /// order reproduces the sequential binding sequence exactly — same
+    /// bindings, same order — at every thread count.
+    #[test]
+    fn parallel_cq_matches_sequential_bindings(db in arb_db(), atoms in arb_cq()) {
+        let budget = ExecBudget::unbounded();
+        let seed = Binding::new();
+        let seq = find_homomorphisms_governed(&atoms, &db, &seed, &mut Governor::new(&budget))
+            .expect("unbounded");
+        for threads in THREADS {
+            let (par, _run) = find_homomorphisms_parallel(
+                &atoms, &db, &seed, threads, &mut Governor::new(&budget),
+            )
+            .expect("unbounded");
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+        }
+    }
+}
+
+// --- (b) parallel chase == sequential fixpoint ------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32 })]
+
+    /// The parallel s-t chase of the quadratic self-join workload is
+    /// bit-identical to the sequential prepared chase — including
+    /// labeled-null identities, which are sensitive to firing order, so
+    /// this fails if the merge ever reorders worker results.
+    #[test]
+    fn parallel_st_chase_matches_sequential(rows in 3usize..20) {
+        let (_, tgt, db, tgds) = faults::quadratic_join(rows);
+        let program = ChaseProgram::compile(&tgds, &db);
+        let budget = ExecBudget::unbounded();
+        let (seq_db, seq_stats) =
+            chase_st_prepared(&tgt, &program, &db, &budget).expect("unbounded");
+        for threads in THREADS {
+            let (par_db, par_stats) = chase_st_parallel(&tgt, &program, &db, &budget, threads)
+                .expect("unbounded");
+            prop_assert_eq!(&par_stats, &seq_stats, "threads={}", threads);
+            prop_assert_eq!(&par_db, &seq_db, "threads={}", threads);
+        }
+    }
+
+    /// The parallel general chase (multi-round, semi-naive deltas)
+    /// reaches the sequential fixpoint bit-identically: same tuples,
+    /// same outcome, same per-round stats.
+    #[test]
+    fn parallel_general_chase_matches_sequential(n in 2usize..10) {
+        let (_, db, tgds) = faults::terminating_chain(n);
+        let program = ChaseProgram::compile(&tgds, &db);
+        let budget = ExecBudget::unbounded().with_rounds(64);
+        let mut seq_db = db.clone();
+        let seq = chase_general_prepared(&mut seq_db, &program, &[], &budget).expect("terminates");
+        for threads in THREADS {
+            let mut par_db = db.clone();
+            let par = chase_general_parallel(&mut par_db, &program, &[], &budget, threads)
+                .expect("terminates");
+            prop_assert_eq!(&par, &seq, "threads={}", threads);
+            prop_assert_eq!(&par_db, &seq_db, "threads={}", threads);
+        }
+    }
+}
+
+// --- (c) batch serving == sequential loop -----------------------------------
+
+/// An engine storing `R(a,b) → ∃w. U(a,w)` — an existential head, so
+/// batch/sequential agreement covers null minting, not just copying.
+fn exchange_engine(threads: usize) -> Engine {
+    let src = SchemaBuilder::new("Src")
+        .relation("R", &[("a", DataType::Int), ("b", DataType::Int)])
+        .build()
+        .expect("static schema");
+    let tgt = SchemaBuilder::new("Tgt")
+        .relation("U", &[("a", DataType::Int), ("w", DataType::Int)])
+        .build()
+        .expect("static schema");
+    let mut m = Mapping::new("Src", "Tgt");
+    m.push_tgd(Tgd::new(vec![Atom::vars("R", &["x", "y"])], vec![Atom::vars("U", &["x", "w"])]));
+    let engine =
+        Engine::with_config(EngineConfig { threads, ..Default::default() }).expect("ephemeral");
+    engine.add_schema(src).expect("store src");
+    engine.add_schema(tgt).expect("store tgt");
+    engine.add_mapping("m", m).expect("store m");
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16 })]
+
+    /// `exchange_batch` over random batches equals a sequential
+    /// `exchange` loop slot by slot — same universal instances, same
+    /// null ids, same stats, results in input order.
+    #[test]
+    fn exchange_batch_matches_sequential_loop(sizes in proptest::collection::vec(0usize..40, 1..7)) {
+        let src = SchemaBuilder::new("Src")
+            .relation("R", &[("a", DataType::Int), ("b", DataType::Int)])
+            .build()
+            .expect("static schema");
+        let dbs: Vec<Database> = sizes
+            .iter()
+            .map(|&n| {
+                let mut db = Database::empty_of(&src);
+                for i in 0..n as i64 {
+                    db.insert("R", Tuple::from([Value::Int(i), Value::Int(i + 1)]));
+                }
+                db
+            })
+            .collect();
+        let seq_engine = exchange_engine(1);
+        let expected: Vec<(Database, ChaseStats)> = dbs
+            .iter()
+            .map(|db| seq_engine.exchange("m", "Tgt", db).expect("unbounded"))
+            .collect();
+        for threads in THREADS {
+            let engine = exchange_engine(threads);
+            let requests: Vec<ExchangeRequest<'_>> = dbs
+                .iter()
+                .map(|db| ExchangeRequest { mapping: "m", target_schema: "Tgt", source_db: db })
+                .collect();
+            let got = engine.exchange_batch(&requests);
+            prop_assert_eq!(got.len(), expected.len());
+            for (i, (g, e)) in got.into_iter().zip(&expected).enumerate() {
+                prop_assert_eq!(&g.expect("unbounded"), e, "slot {} threads={}", i, threads);
+            }
+        }
+    }
+}
+
+// --- (d) faults inside a parallel region ------------------------------------
+
+/// Cancellation tripped mid-run surfaces as [`ExecError::Cancelled`]
+/// from the parallel chase at every thread count: the pool joins, the
+/// error propagates, nothing wedges or panics.
+#[test]
+fn cancellation_mid_parallel_chase_surfaces_cleanly() {
+    let (_, tgt, db, tgds) = faults::quadratic_join(220);
+    let program = ChaseProgram::compile(&tgds, &db);
+    for threads in [1, 2, 4, 8] {
+        let budget = ExecBudget::unbounded().with_cancel(faults::cancel_after(2));
+        let failure = match chase_st_parallel(&tgt, &program, &db, &budget, threads) {
+            Err(f) => f,
+            Ok(_) => panic!("cancel_after(2) must trip at threads={threads}"),
+        };
+        assert!(
+            matches!(failure.error, ExecError::Cancelled { .. }),
+            "threads={threads}: {:?}",
+            failure.error
+        );
+    }
+}
+
+/// A step cap below the sequential cost trips [`ExecError::BudgetExhausted`]
+/// at every thread count: forked worker governors publish their steps to
+/// the shared meter, so the *global* cap binds no matter how the work is
+/// scheduled.
+#[test]
+fn step_budget_trips_inside_the_parallel_chase() {
+    let (_, tgt, db, tgds) = faults::quadratic_join(220);
+    let program = ChaseProgram::compile(&tgds, &db);
+    let solo_steps = {
+        let mut gov = Governor::new(&ExecBudget::unbounded());
+        chase_st_prepared_governed(&tgt, &program, &db, &mut gov, 1, &Telemetry::disabled())
+            .expect("unbounded");
+        gov.steps_consumed()
+    };
+    assert!(solo_steps > 2048, "workload must span safepoints: {solo_steps}");
+    for threads in [1, 2, 4, 8] {
+        let budget = ExecBudget::unbounded().with_steps(solo_steps / 2);
+        let failure = match chase_st_parallel(&tgt, &program, &db, &budget, threads) {
+            Err(f) => f,
+            Ok(_) => panic!("half the sequential step cost must trip at threads={threads}"),
+        };
+        assert!(
+            matches!(
+                failure.error,
+                ExecError::BudgetExhausted { resource: Resource::Steps, .. }
+            ),
+            "threads={threads}: {:?}",
+            failure.error
+        );
+    }
+}
+
+// --- (e) batch mediation records a plan degradation once --------------------
+
+/// Planning under a tight clause budget degrades collapsed→chained and
+/// records that once; a parallel batch of answers over the degraded plan
+/// copies the degradation into every result **without** re-recording it
+/// — the mediator metric stays at exactly 1 after an 8-query batch.
+#[test]
+fn batch_mediation_records_plan_degradation_exactly_once() {
+    let s = SchemaBuilder::new("Base")
+        .relation("People", &[
+            ("id", DataType::Int),
+            ("name", DataType::Text),
+            ("age", DataType::Int),
+            ("city", DataType::Text),
+        ])
+        .build()
+        .expect("static schema");
+    let mut db = Database::empty_of(&s);
+    for (id, name, age, city) in
+        [(1, "ann", 31, "rome"), (2, "bob", 17, "oslo"), (3, "cyd", 45, "rome")]
+    {
+        db.insert(
+            "People",
+            Tuple::from([
+                Value::Int(id),
+                Value::text(name),
+                Value::Int(age),
+                Value::text(city),
+            ]),
+        );
+    }
+    let mut l1 = ViewSet::new("Base", "L1");
+    l1.push(ViewDef::new(
+        "Adults",
+        Expr::base("People").select(Predicate::Cmp {
+            op: CmpOp::Ge,
+            left: Scalar::col("age"),
+            right: Scalar::lit(18i64),
+        }),
+    ));
+    let mut l2 = ViewSet::new("L1", "L2");
+    l2.push(ViewDef::new(
+        "RomanAdults",
+        Expr::base("Adults").select(Predicate::col_eq_lit("city", "rome")).project(&["id", "name"]),
+    ));
+    let ring = RingCollector::with_capacity(256);
+    let tel = Telemetry::new(ring);
+    let m = Mediator::new(&s, vec![&l1, &l2]).with_telemetry(tel.clone());
+    let plan = m.plan(&ExecBudget::unbounded().with_clauses(1)).expect("degrades, not fails");
+    assert_eq!(plan.mode(), MediationMode::Chained);
+    assert!(plan.degradation().is_some());
+    let queries: Vec<Expr> = (0..8).map(|_| Expr::base("RomanAdults")).collect();
+    let batch = m.answer_batch(&plan, &queries, &db, &ExecBudget::unbounded(), 4);
+    let oracle = m
+        .answer_with_plan(
+            &plan,
+            &Expr::base("RomanAdults"),
+            &db,
+            &mut Governor::new(&ExecBudget::unbounded()),
+        )
+        .expect("unbounded");
+    assert_eq!(batch.len(), 8);
+    for r in batch {
+        let r = r.expect("unbounded");
+        assert_eq!(r.mode, MediationMode::Chained);
+        assert!(r.degradation.is_some(), "every result carries the plan degradation");
+        assert_eq!(r.rows, oracle.rows);
+    }
+    let metrics = tel.metrics().expect("ring telemetry has metrics");
+    assert_eq!(
+        metrics.degradations_at(DegradationSite::Mediator),
+        1,
+        "the plan-time degradation is recorded once, not once per query"
+    );
+}

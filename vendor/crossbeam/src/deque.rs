@@ -1,0 +1,160 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Mirrors the `Worker`/`Stealer`/`Steal` API of the real crate on top
+//! of a mutex-guarded `VecDeque`. The owner pops from the front (FIFO
+//! discipline, matching `Worker::new_fifo`) while stealers take from
+//! the back, so an owner and its thieves contend on opposite ends. Far
+//! less scalable than the lock-free original, but API-compatible and
+//! correct, which is what the workspace's no-new-deps rule calls for.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An owned work queue. Only the owning worker pushes and pops;
+/// [`Stealer`] handles clone cheaply and take from the opposite end.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A handle that steals tasks from the back of a [`Worker`]'s queue.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Worker<T> {
+    /// A FIFO queue: the owner pops the oldest task first.
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        match self.inner.lock() {
+            Ok(mut q) => q.push_back(task),
+            Err(poisoned) => poisoned.into_inner().push_back(task),
+        }
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        match self.inner.lock() {
+            Ok(mut q) => q.pop_front(),
+            Err(poisoned) => poisoned.into_inner().pop_front(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self.inner.lock() {
+            Ok(q) => q.is_empty(),
+            Err(poisoned) => poisoned.into_inner().is_empty(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(q) => q.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the back of the queue. Never reports
+    /// [`Steal::Retry`] here (the mutex serializes contenders), but the
+    /// variant exists so caller retry loops compile unchanged.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock() {
+            Ok(mut q) => match q.pop_back() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            },
+            Err(poisoned) => match poisoned.into_inner().pop_back() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_front_stealer_takes_back() {
+        let w: Worker<u32> = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(s.steal(), Steal::Success(3));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert!(s.steal().is_empty());
+        assert!(w.pop().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stealers_share_across_threads() {
+        let w: Worker<usize> = Worker::new_fifo();
+        for i in 0..64 {
+            w.push(i);
+        }
+        let stolen: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    scope.spawn(move || {
+                        let mut n = 0;
+                        while let Steal::Success(_) = s.steal() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(stolen + w.len(), 64);
+    }
+}

@@ -5,6 +5,8 @@
 //! `.expect("crossbeam scope")` and handle `.join()` calls compile
 //! unchanged.
 
+pub mod deque;
+
 use std::any::Any;
 use std::thread;
 
