@@ -1,0 +1,234 @@
+//! Wire front-end (PR 6): sustained round-trip throughput of the
+//! `mm-server` protocol, plus the overload shed path — the latency of a
+//! *typed rejection* while the worker pool is saturated, which is the
+//! bound graceful shedding promises.
+//!
+//! Besides the criterion groups, `main` re-measures each point once and
+//! writes the `BENCH_server.json` baseline at the workspace root. Like
+//! `BENCH_parallel.json`, the baseline records `host_cpus` and an
+//! `attested` flag: throughput measured with client and server threads
+//! contending for fewer than 4 cpus is shape-only evidence, so the flag
+//! is false on such hosts.
+
+use criterion::{criterion_group, Criterion};
+use mm_bench::timed;
+use mm_engine::prelude::*;
+use mm_server::{protocol, Client, Server, ServerConfig, ServerHandle};
+use mm_workload::{faults, tgds};
+use std::io::Write as _;
+use std::time::Duration;
+
+const PING_REQUESTS: usize = 2_000;
+const EXCHANGE_REQUESTS: usize = 300;
+const SHED_SAMPLES: usize = 400;
+/// Rows for the saturating exchange in the shed experiment — sized so
+/// two of them keep a single release-mode worker busy well past the
+/// rejection-latency measurement window.
+const SATURATE_ROWS: usize = 60_000;
+
+/// An engine with the copy mapping `copy: Src -> Dst` (2 relations) and
+/// the quadratic self-join `quad: QSrc -> QTgt` for saturating requests.
+fn wire_engine() -> Engine {
+    let engine = Engine::new();
+    engine.add_schema(tgds::binary_schema("Src", "A", 2)).expect("src");
+    engine.add_schema(tgds::binary_schema("Dst", "B", 2)).expect("dst");
+    let mut copy = Mapping::new("Src", "Dst");
+    for t in tgds::copy_tgds("A", "B", 2) {
+        copy.push_tgd(t);
+    }
+    engine.add_mapping("copy", copy).expect("copy");
+    let (qsrc, qtgt, _, qtgds) = faults::quadratic_join(4);
+    engine.add_schema(qsrc).expect("qsrc");
+    engine.add_schema(qtgt).expect("qtgt");
+    let mut quad = Mapping::new("QSrc", "QTgt");
+    for t in qtgds {
+        quad.push_tgd(t);
+    }
+    engine.add_mapping("quad", quad).expect("quad");
+    engine
+}
+
+fn small_source() -> Database {
+    let mut db = Database::new("S");
+    let mut rel = Relation::new(RelSchema::of(&[("a", DataType::Int), ("b", DataType::Int)]));
+    for i in 0..8i64 {
+        rel.insert(Tuple::from([Value::Int(i), Value::Int(i + 1)]));
+    }
+    db.insert_relation("A0", rel.clone());
+    db.insert_relation("A1", rel);
+    db
+}
+
+fn boot(cfg: ServerConfig) -> (ServerHandle, Client) {
+    let handle = Server::start(wire_engine(), cfg).expect("start server");
+    let client = Client::connect(handle.addr()).expect("connect");
+    (handle, client)
+}
+
+fn bench_wire_ping(c: &mut Criterion) {
+    let (handle, mut client) = boot(ServerConfig::default());
+    let mut group = c.benchmark_group("server_wire");
+    group.bench_function("ping_round_trip", |b| {
+        b.iter(|| client.ping().expect("ping"))
+    });
+    group.finish();
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+fn bench_wire_exchange(c: &mut Criterion) {
+    let (handle, mut client) = boot(ServerConfig::default());
+    let src = small_source();
+    let mut group = c.benchmark_group("server_wire");
+    group.sample_size(30);
+    group.bench_function("exchange_small_round_trip", |b| {
+        b.iter(|| client.exchange("copy", "Dst", &src).expect("exchange"))
+    });
+    group.finish();
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Measure `n` round trips of `call`, returning (qps, p50_us, p99_us).
+fn measure(n: usize, mut call: impl FnMut()) -> (f64, f64, f64) {
+    let mut lat: Vec<f64> = Vec::with_capacity(n);
+    let (_, total) = timed(|| {
+        for _ in 0..n {
+            let ((), d) = timed(&mut call);
+            lat.push(us(d));
+        }
+    });
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (n as f64 / total.as_secs_f64(), percentile(&lat, 0.50), percentile(&lat, 0.99))
+}
+
+fn emit_baseline() {
+    let host_cpus = mm_parallel::available_parallelism();
+    let mut points: Vec<String> = Vec::new();
+
+    // Sustained single-client round trips: the protocol floor (ping)
+    // and a small end-to-end exchange.
+    {
+        let (handle, mut client) = boot(ServerConfig::default());
+        for _ in 0..50 {
+            client.ping().expect("warmup");
+        }
+        let (qps, p50, p99) = measure(PING_REQUESTS, || client.ping().expect("ping"));
+        points.push(point_json("ping", PING_REQUESTS, qps, p50, p99));
+        let src = small_source();
+        let (qps, p50, p99) = measure(EXCHANGE_REQUESTS, || {
+            client.exchange("copy", "Dst", &src).expect("exchange");
+        });
+        points.push(point_json("exchange_small", EXCHANGE_REQUESTS, qps, p50, p99));
+        drop(client);
+        handle.shutdown().expect("shutdown");
+    }
+
+    // Typed rejection latency under overload: saturate a single worker
+    // with two slow exchanges, then time how fast a second session's
+    // requests are shed from the 13-byte prelude. Admission never
+    // parses the body, so rejections must stay orders of magnitude
+    // below request latency even while the engine is pinned.
+    {
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 2,
+            high_water: 2,
+            low_water: 0,
+            ..ServerConfig::default()
+        };
+        let handle = Server::start(wire_engine(), cfg).expect("start server");
+        let mut saturator = Client::connect(handle.addr()).expect("connect");
+        let (_, _, slow_db, _) = faults::quadratic_join(SATURATE_ROWS);
+        let payload = protocol::encode_request(1, 0, &protocol::Request::Exchange {
+            mapping: "quad".into(),
+            target_schema: "QTgt".into(),
+            source_db: slow_db,
+        });
+        // Pipeline both saturating requests without waiting for replies
+        // (one executing, one queued -> inflight hits the high-water).
+        protocol::write_frame(saturator.stream_mut(), &payload).expect("saturate 1");
+        protocol::write_frame(saturator.stream_mut(), &payload).expect("saturate 2");
+
+        // Wait for both saturating requests to go inflight: the next
+        // admitted request crosses the high-water mark and is shed.
+        let admitted = std::time::Instant::now();
+        while handle.inflight() < 2 {
+            assert!(
+                admitted.elapsed() < Duration::from_secs(10),
+                "saturating requests never went inflight"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut probe = Client::connect(handle.addr()).expect("connect probe");
+        let mut lat: Vec<f64> = Vec::with_capacity(SHED_SAMPLES);
+        for _ in 0..SHED_SAMPLES {
+            let (outcome, d) = timed(|| probe.ping());
+            match outcome {
+                Err(e) if e.is_overloaded() => lat.push(us(d)),
+                // window closed early: report what we actually sampled
+                Ok(()) => break,
+                Err(e) => panic!("unexpected probe failure: {e}"),
+            }
+        }
+        let samples = lat.len();
+        if samples < SHED_SAMPLES {
+            println!("shed window closed after {samples}/{SHED_SAMPLES} samples");
+        }
+        let total_s: f64 = lat.iter().sum::<f64>() / 1e6;
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        points.push(point_json(
+            "shed_reject",
+            samples,
+            samples as f64 / total_s.max(1e-9),
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.99),
+        ));
+        // Drain the saturating replies so shutdown is a clean drain,
+        // not a drain-timeout.
+        for _ in 0..2 {
+            let frame = protocol::read_frame(saturator.stream_mut(), protocol::DEFAULT_MAX_FRAME_LEN)
+                .expect("saturator reply");
+            assert!(frame.crc_ok());
+        }
+        drop(saturator);
+        drop(probe);
+        handle.shutdown().expect("shutdown");
+    }
+
+    let body = format!(
+        "{{\n  \"experiment\": \"server_wire\",\n  \"description\": \"sustained single-client round-trip throughput of the mm-server wire protocol (ping floor and a small end-to-end exchange), plus the typed-rejection latency of admission-control shedding while a single worker is saturated — rejections are issued from the 13-byte request prelude without parsing the body\",\n  \"command\": \"cargo bench -p mm-bench --bench server\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": {attested},\n  \"points\": [\n{}\n  ]\n}}\n",
+        points.join(",\n"),
+        attested = host_cpus >= 4,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_server.json");
+    f.write_all(body.as_bytes()).expect("write BENCH_server.json");
+    println!("\nwrote {path}");
+}
+
+fn point_json(op: &str, requests: usize, qps: f64, p50_us: f64, p99_us: f64) -> String {
+    println!("{op:<16} n={requests:<5} {qps:>10.0} req/s  p50 {p50_us:>8.1} us  p99 {p99_us:>8.1} us");
+    format!(
+        "    {{\"op\": \"{op}\", \"requests\": {requests}, \"qps\": {qps:.0}, \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}}}"
+    )
+}
+
+criterion_group!(benches, bench_wire_ping, bench_wire_exchange);
+
+fn main() {
+    benches();
+    emit_baseline();
+}

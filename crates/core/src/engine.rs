@@ -1,7 +1,7 @@
 //! The engine: repository-backed operator invocations.
 
 use mm_chase::{ChaseExplain, ChaseProgram};
-use mm_expr::{CorrespondenceSet, Mapping, SoTgd, Tgd, ViewSet};
+use mm_expr::{CorrespondenceSet, Expr, Mapping, SoTgd, Tgd, ViewSet};
 use mm_guard::{ExecBudget, Governor};
 use mm_instance::Database;
 use mm_match::MatchConfig;
@@ -578,6 +578,78 @@ impl Engine {
         }
         span.finish();
         result
+    }
+
+    /// [`Self::exchange`] metered through a caller-supplied [`Governor`]
+    /// instead of the engine's configured budget. This is the server's
+    /// entry point: the governor carries the request's hard deadline and
+    /// publishes into the session's shared meter, so one tenant's
+    /// requests are bounded collectively while the engine itself stays
+    /// budget-agnostic. Plan caching, telemetry spans, and results are
+    /// identical to [`Self::exchange`].
+    pub fn exchange_governed(
+        &self,
+        mapping: &str,
+        target_schema: &str,
+        source_db: &Database,
+        gov: &mut Governor,
+    ) -> Result<(Database, mm_chase::ChaseStats), EngineError> {
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
+        let (t, _) = self.schema(target_schema)?;
+        let tgds = Self::tgds_of(&m)?;
+        let tel = &self.config.telemetry;
+        let mut span = Span::enter(tel, "engine.exchange", mid.to_string());
+        let program = self.chase_program(mapping, &mid, &tgds, source_db);
+        let result =
+            mm_chase::chase_st_prepared_governed(&t, &program, source_db, gov, 1, tel)
+                .map_err(|f| EngineError::Exec(f.into()));
+        match &result {
+            Ok((db, stats)) => {
+                span.field("fired", stats.fired);
+                span.field("target_tuples", db.total_tuples());
+            }
+            Err(e) => span.field("error", e.to_string()),
+        }
+        span.finish();
+        result
+    }
+
+    /// Answer a conjunctive query against a stored base schema through a
+    /// chain of stored view sets, metered through a caller-supplied
+    /// [`Governor`] (the same server-facing contract as
+    /// [`Self::exchange_governed`]). Builds the mediator over the chain,
+    /// plans under the governor (degrading to chained unfolding on a
+    /// budget trip, never on a deadline), and evaluates the query.
+    pub fn mediate_governed(
+        &self,
+        base_schema: &str,
+        chain: &[String],
+        query: &Expr,
+        base_db: &Database,
+        gov: &mut Governor,
+    ) -> Result<mm_runtime::MediationResult, EngineError> {
+        let (base, _) = self.schema(base_schema)?;
+        let viewsets: Vec<ViewSet> = chain
+            .iter()
+            .map(|name| Ok(self.repo.latest_viewset(name)?.0))
+            .collect::<Result<_, EngineError>>()?;
+        let mediator = mm_runtime::Mediator::new(&base, viewsets.iter().collect())
+            .with_telemetry(self.config.telemetry.clone());
+        let plan = mediator.plan_governed(gov).map_err(EngineError::Exec)?;
+        mediator
+            .answer_with_plan(&plan, query, base_db, gov)
+            .map_err(EngineError::from)
+    }
+
+    /// Checkpoint the repository if it is durable (no-op otherwise) —
+    /// the server's drain hook: called after inflight work completes so
+    /// a restart recovers from the snapshot instead of replaying the
+    /// session's whole WAL.
+    pub fn checkpoint(&self) -> Result<(), EngineError> {
+        if self.repo.is_durable() {
+            self.repo.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// [`Self::exchange`] with an EXPLAIN report: alongside the universal

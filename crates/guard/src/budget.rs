@@ -18,7 +18,19 @@ pub struct ExecBudget {
     pub(crate) max_rounds: Option<u64>,
     pub(crate) max_clauses: Option<u64>,
     pub(crate) deadline: Option<Instant>,
+    /// Absolute cutoff imposed from outside (a request timeout). Trips
+    /// as [`crate::ExecError::DeadlineExceeded`], unlike `deadline`
+    /// which trips as a `WallClock` budget exhaustion.
+    pub(crate) hard_deadline: Option<Instant>,
     pub(crate) cancel: CancelToken,
+}
+
+/// An absolute deadline `d` from now on the shared monotonic clock
+/// ([`mm_telemetry::clock`]) — the clock [`ExecBudget::with_deadline_at`]
+/// and the telemetry spans read, so a deadline computed here and the
+/// governor that enforces it agree on elapsed time.
+pub fn deadline_in(d: Duration) -> Instant {
+    mm_telemetry::clock::now() + d
 }
 
 impl ExecBudget {
@@ -30,6 +42,7 @@ impl ExecBudget {
             max_rounds: None,
             max_clauses: None,
             deadline: None,
+            hard_deadline: None,
             cancel: CancelToken::new(),
         }
     }
@@ -64,6 +77,21 @@ impl ExecBudget {
     pub fn with_wall(mut self, d: Duration) -> Self {
         self.deadline = Some(mm_telemetry::clock::now() + d);
         self
+    }
+
+    /// Impose an absolute hard deadline (see [`deadline_in`]). Unlike
+    /// [`ExecBudget::with_wall`], which anchors at construction and
+    /// reports `BudgetExhausted { WallClock }`, a hard deadline is an
+    /// instant fixed by the caller (e.g. a server request timeout) and
+    /// trips as [`crate::ExecError::DeadlineExceeded`]. Both may be set;
+    /// whichever passes first wins.
+    pub fn with_deadline_at(mut self, at: Instant) -> Self {
+        self.hard_deadline = Some(at);
+        self
+    }
+
+    pub fn hard_deadline(&self) -> Option<Instant> {
+        self.hard_deadline
     }
 
     /// Attach an externally held cancellation token.

@@ -65,6 +65,16 @@ pub enum ExecError {
     /// snapshot swap). Not a resource error: retrying without fixing
     /// the underlying device won't help.
     Io { what: String },
+    /// A hard deadline passed ([`crate::ExecBudget::with_deadline_at`]).
+    /// Distinct from a `WallClock` [`ExecError::BudgetExhausted`]: a
+    /// wall cap bounds *this operation's* elapsed time from its own
+    /// start, while a deadline is an absolute instant imposed from
+    /// outside (a server request timeout) — the work was doomed no
+    /// matter how fast the operator itself ran.
+    DeadlineExceeded {
+        /// How far past the deadline the check fired, in milliseconds.
+        late_ms: u64,
+    },
 }
 
 impl ExecError {
@@ -89,7 +99,10 @@ impl ExecError {
     pub fn is_resource(&self) -> bool {
         matches!(
             self,
-            ExecError::BudgetExhausted { .. } | ExecError::Cancelled { .. } | ExecError::Diverged { .. }
+            ExecError::BudgetExhausted { .. }
+                | ExecError::Cancelled { .. }
+                | ExecError::Diverged { .. }
+                | ExecError::DeadlineExceeded { .. }
         )
     }
 
@@ -108,6 +121,7 @@ impl ExecError {
             },
             ExecError::Cancelled { .. } => Cause::Cancelled,
             ExecError::Diverged { .. } => Cause::Rounds,
+            ExecError::DeadlineExceeded { .. } => Cause::WallClock,
             _ => Cause::Other,
         }
     }
@@ -129,6 +143,9 @@ impl fmt::Display for ExecError {
             ExecError::Malformed { what } => write!(f, "malformed input: {what}"),
             ExecError::Internal { what } => write!(f, "internal error: {what}"),
             ExecError::Io { what } => write!(f, "i/o error: {what}"),
+            ExecError::DeadlineExceeded { late_ms } => {
+                write!(f, "deadline exceeded ({late_ms} ms past the deadline)")
+            }
         }
     }
 }

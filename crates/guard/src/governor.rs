@@ -162,14 +162,23 @@ impl Governor {
         if self.shared.is_some() {
             self.sync_shared()?;
         }
-        if let Some(deadline) = self.budget.deadline {
+        if self.budget.deadline.is_some() || self.budget.hard_deadline.is_some() {
             let now = mm_telemetry::clock::now();
-            if now > deadline {
-                return Err(ExecError::BudgetExhausted {
-                    resource: Resource::WallClock,
-                    consumed: now.duration_since(self.started).as_millis() as u64,
-                    limit: deadline.duration_since(self.started).as_millis() as u64,
-                });
+            if let Some(hard) = self.budget.hard_deadline {
+                if now > hard {
+                    return Err(ExecError::DeadlineExceeded {
+                        late_ms: now.duration_since(hard).as_millis() as u64,
+                    });
+                }
+            }
+            if let Some(deadline) = self.budget.deadline {
+                if now > deadline {
+                    return Err(ExecError::BudgetExhausted {
+                        resource: Resource::WallClock,
+                        consumed: now.duration_since(self.started).as_millis() as u64,
+                        limit: deadline.duration_since(self.started).as_millis() as u64,
+                    });
+                }
             }
         }
         Ok(())
@@ -247,6 +256,39 @@ impl Governor {
         (meter, govs)
     }
 
+    /// Attach a fresh governor to an existing [`SharedMeter`] under its
+    /// own budget. Where [`Governor::fork_shared`] clones the lead's
+    /// budget into every worker (one operation split across threads),
+    /// this lets *independent* operations meter against one shared pool
+    /// while each keeps its own caps, deadline, and cancel token — the
+    /// server uses it to charge every request of a session against the
+    /// session budget while the request carries its own hard deadline.
+    /// Caps in `budget` apply to the *combined* meter total; call
+    /// [`Governor::publish`] when the operation finishes so the final
+    /// partial interval reaches the meter.
+    pub fn attach_shared(budget: &ExecBudget, meter: &Arc<SharedMeter>) -> Self {
+        let mut g = Governor::new(budget);
+        g.foreign_steps = meter.steps();
+        g.foreign_rows = meter.rows();
+        g.shared = Some(Arc::clone(meter));
+        g
+    }
+
+    /// Flush any unpublished steps/rows to the attached shared meter
+    /// (no-op without one). Unlike the periodic safepoint flush this
+    /// never fails: it is for the end of an operation, where the work
+    /// is already done and only the accounting remains.
+    pub fn publish(&mut self) {
+        if let Some(meter) = self.shared.clone() {
+            meter.add(
+                self.steps - self.flushed_steps,
+                self.rows - self.flushed_rows,
+            );
+            self.flushed_steps = self.steps;
+            self.flushed_rows = self.rows;
+        }
+    }
+
     /// Fold a joined worker's consumption into this governor and
     /// re-check the caps. On the success path the sum over all workers
     /// equals what the sequential oracle would have metered, so this
@@ -319,6 +361,11 @@ pub struct SharedMeter {
 }
 
 impl SharedMeter {
+    /// An empty meter for [`Governor::attach_shared`] sessions.
+    pub fn new() -> Self {
+        SharedMeter::default()
+    }
+
     fn add(&self, steps: u64, rows: u64) {
         if steps > 0 {
             self.steps.fetch_add(steps, Ordering::Relaxed);
@@ -484,6 +531,63 @@ mod tests {
         for g in &mut workers {
             assert!(matches!(g.check_now(), Err(ExecError::Cancelled { .. })));
         }
+    }
+
+    #[test]
+    fn hard_deadline_trips_as_deadline_exceeded() {
+        let at = crate::deadline_in(std::time::Duration::ZERO);
+        let mut g = Governor::new(&ExecBudget::unbounded().with_deadline_at(at));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(g.check_now(), Err(ExecError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn hard_deadline_is_distinct_from_wall_cap() {
+        // A generous wall cap plus an already-passed hard deadline must
+        // report DeadlineExceeded, not WallClock exhaustion.
+        let at = crate::deadline_in(std::time::Duration::ZERO);
+        let budget = ExecBudget::unbounded()
+            .with_wall(std::time::Duration::from_secs(3600))
+            .with_deadline_at(at);
+        let mut g = Governor::new(&budget);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(matches!(g.check_now(), Err(ExecError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn attach_shared_meters_against_a_session_pool() {
+        // Two sequential "requests" share a session meter with a
+        // combined step cap; each request alone is under the cap.
+        let meter = Arc::new(SharedMeter::new());
+        let session = ExecBudget::unbounded().with_steps(10);
+        let mut r1 = Governor::attach_shared(&session, &meter);
+        r1.steps_n(6).expect("request 1 under the session cap");
+        r1.publish();
+        assert_eq!(meter.steps(), 6);
+
+        let mut r2 = Governor::attach_shared(&session, &meter);
+        assert!(
+            matches!(
+                r2.steps_n(6),
+                Err(ExecError::BudgetExhausted { resource: Resource::Steps, .. })
+            ),
+            "request 2 must see request 1's published consumption"
+        );
+    }
+
+    #[test]
+    fn attached_governor_keeps_its_own_deadline() {
+        let meter = Arc::new(SharedMeter::new());
+        let session = ExecBudget::unbounded();
+        let expired = session
+            .clone()
+            .with_deadline_at(crate::deadline_in(std::time::Duration::ZERO));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let mut doomed = Governor::attach_shared(&expired, &meter);
+        assert!(matches!(doomed.check_now(), Err(ExecError::DeadlineExceeded { .. })));
+        // A sibling request without the deadline is unaffected.
+        let mut fine = Governor::attach_shared(&session, &meter);
+        fine.check_now().expect("no deadline on this request");
     }
 
     #[test]

@@ -19,7 +19,7 @@ mod cancel;
 mod error;
 mod governor;
 
-pub use budget::ExecBudget;
+pub use budget::{deadline_in, ExecBudget};
 pub use cancel::CancelToken;
 pub use error::{Degradation, DegradationKind, ExecError, Resource};
 pub use governor::{Consumption, Governor, SharedMeter};

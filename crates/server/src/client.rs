@@ -1,0 +1,223 @@
+//! A minimal blocking client for the wire protocol — the reference
+//! peer the README quickstart, the verify smoke, and the fault tests
+//! drive. One request at a time (no pipelining); the server itself
+//! accepts pipelined requests from clients that interleave.
+
+use crate::protocol::{
+    self, decode_response, encode_request, read_frame, write_frame, OkBody, Request, WireStats,
+};
+use mm_expr::Expr;
+use mm_instance::{Database, Relation};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+pub use crate::protocol::{ERR_OVERLOADED, ERR_QUEUE_FULL, ERR_SHUTTING_DOWN};
+
+/// Client-side failure: transport, protocol, or a typed server
+/// rejection carrying its stable wire code.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(io::Error),
+    /// The stream desynchronized or a frame failed to decode.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Rejected { code: u32, message: String },
+}
+
+impl ClientError {
+    pub fn code(&self) -> Option<u32> {
+        match self {
+            ClientError::Rejected { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    pub fn is_overloaded(&self) -> bool {
+        self.code() == Some(ERR_OVERLOADED)
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.code() == Some(ERR_SHUTTING_DOWN)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "server rejected (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result of a mediation query.
+#[derive(Debug, Clone)]
+pub struct MediateReply {
+    pub rows: Relation,
+    /// True when the mediator answered hop-by-hop through the chain.
+    pub chained: bool,
+    /// True when the collapsed plan degraded under budget pressure.
+    pub degraded: bool,
+}
+
+/// The blocking client.
+pub struct Client {
+    stream: TcpStream,
+    next_req: u64,
+    max_frame_len: u32,
+    /// Deadline request (milliseconds) stamped on every call; 0 asks
+    /// for the server default.
+    deadline_ms: u32,
+}
+
+impl Client {
+    /// Connect with a 30-second read timeout (a hung server must not
+    /// hang the client forever).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream,
+            next_req: 1,
+            max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
+            deadline_ms: 0,
+        })
+    }
+
+    /// Request this per-call deadline (milliseconds, clamped by the
+    /// server's `max_deadline`) on subsequent calls; 0 restores the
+    /// server default.
+    pub fn set_deadline_ms(&mut self, ms: u32) {
+        self.deadline_ms = ms;
+    }
+
+    /// The underlying stream — escape hatch for fault-injection tests
+    /// that write hostile bytes directly.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn call(&mut self, req: &Request) -> Result<OkBody, ClientError> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        let payload = encode_request(req_id, self.deadline_ms, req);
+        write_frame(&mut self.stream, &payload)?;
+        let frame = read_frame(&mut self.stream, self.max_frame_len)
+            .map_err(|e| match e {
+                protocol::FrameError::Io(io) => ClientError::Io(io),
+                other => ClientError::Protocol(other.to_string()),
+            })?;
+        if !frame.crc_ok() {
+            return Err(ClientError::Protocol("response checksum mismatch".to_string()));
+        }
+        let (id, body) =
+            decode_response(frame.payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if id != req_id {
+            return Err(ClientError::Protocol(format!(
+                "response for request {id}, expected {req_id}"
+            )));
+        }
+        body.map_err(|(code, message)| ClientError::Rejected { code, message })
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            OkBody::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Data exchange: chase `source_db` through stored `mapping` into
+    /// stored `target_schema`.
+    pub fn exchange(
+        &mut self,
+        mapping: &str,
+        target_schema: &str,
+        source_db: &Database,
+    ) -> Result<(Database, WireStats), ClientError> {
+        let req = Request::Exchange {
+            mapping: mapping.to_string(),
+            target_schema: target_schema.to_string(),
+            source_db: source_db.clone(),
+        };
+        match self.call(&req)? {
+            OkBody::Exchange { db, stats } => Ok((db, stats)),
+            other => Err(ClientError::Protocol(format!("expected exchange body, got {other:?}"))),
+        }
+    }
+
+    /// Batch exchange; slots answer independently.
+    #[allow(clippy::type_complexity)]
+    pub fn exchange_batch(
+        &mut self,
+        items: &[(String, String, Database)],
+    ) -> Result<Vec<Result<(Database, WireStats), (u32, String)>>, ClientError> {
+        let req = Request::ExchangeBatch { items: items.to_vec() };
+        match self.call(&req)? {
+            OkBody::Batch { slots } => Ok(slots),
+            other => Err(ClientError::Protocol(format!("expected batch body, got {other:?}"))),
+        }
+    }
+
+    /// Mediation query through a chain of stored view sets.
+    pub fn mediate(
+        &mut self,
+        base_schema: &str,
+        chain: &[String],
+        query: &Expr,
+        base_db: &Database,
+    ) -> Result<MediateReply, ClientError> {
+        let req = Request::Mediate {
+            base_schema: base_schema.to_string(),
+            chain: chain.to_vec(),
+            query: query.clone(),
+            base_db: base_db.clone(),
+        };
+        match self.call(&req)? {
+            OkBody::Mediate { rows, chained, degraded } => {
+                Ok(MediateReply { rows, chained, degraded })
+            }
+            other => Err(ClientError::Protocol(format!("expected mediate body, got {other:?}"))),
+        }
+    }
+
+    /// Exchange with the EXPLAIN report rendered server-side.
+    pub fn explain_exchange(
+        &mut self,
+        mapping: &str,
+        target_schema: &str,
+        source_db: &Database,
+    ) -> Result<(Database, WireStats, String), ClientError> {
+        let req = Request::ExplainExchange {
+            mapping: mapping.to_string(),
+            target_schema: target_schema.to_string(),
+            source_db: source_db.clone(),
+        };
+        match self.call(&req)? {
+            OkBody::Explain { db, stats, text } => Ok((db, stats, text)),
+            other => Err(ClientError::Protocol(format!("expected explain body, got {other:?}"))),
+        }
+    }
+
+    /// Run a transactional operator script; returns its output lines.
+    pub fn script(&mut self, text: &str) -> Result<Vec<String>, ClientError> {
+        match self.call(&Request::Script { text: text.to_string() })? {
+            OkBody::Script { outputs } => Ok(outputs),
+            other => Err(ClientError::Protocol(format!("expected script body, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! The wire protocol: length-prefixed, CRC32-framed request/response
+//! messages over a byte stream.
+//!
+//! The framing reuses the WAL codec discipline from `mm-repository`
+//! (little-endian [`Writer`]/[`Reader`], [`crc32`] over the payload,
+//! allocation bounded by the declared length): a frame is
+//!
+//! ```text
+//! magic u32 | len u32 | crc u32 | payload[len]
+//! ```
+//!
+//! and a request payload opens with a fixed 13-byte prelude —
+//!
+//! ```text
+//! req_id u64 | deadline_ms u32 | op u8 | body…
+//! ```
+//!
+//! — so admission control can identify and reject a request from the
+//! prelude alone, without checksumming or decoding the body. Response
+//! payloads are `req_id u64 | status u8 | …` where status 0 carries an
+//! op-tagged result body and status 1 carries `code u32 | message str`.
+//!
+//! Every error a client can receive has a stable numeric code; the
+//! [`exec_error_code`]/[`engine_error_code`] maps are exhaustive
+//! `match`es with no wildcard arm, so adding an error variant anywhere
+//! in the engine fails to compile until the protocol assigns it a code.
+
+use bytes::Bytes;
+use mm_engine::EngineError;
+use mm_expr::Expr;
+use mm_guard::ExecError;
+use mm_instance::{Database, Relation, RelSchema, Tuple, Value};
+use mm_metamodel::Attribute;
+use mm_repository::codec::{crc32, Decode, DecodeError, DecodeResult, Encode, Reader, Writer};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Frame magic: `"MM20"` little-endian — Model Management 2.0.
+pub const MAGIC: u32 = 0x3032_4D4D;
+
+/// Frame header length: magic, payload length, payload CRC32.
+pub const HEADER_LEN: usize = 12;
+
+/// Request prelude length: req_id, deadline_ms, op.
+pub const PRELUDE_LEN: usize = 13;
+
+/// Default cap on a single frame's payload (16 MiB).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// Stable wire error codes.
+// ---------------------------------------------------------------------
+
+pub const ERR_BUDGET_EXHAUSTED: u32 = 1;
+pub const ERR_CANCELLED: u32 = 2;
+pub const ERR_DIVERGED: u32 = 3;
+pub const ERR_UNSUPPORTED: u32 = 4;
+pub const ERR_MALFORMED: u32 = 5;
+pub const ERR_INTERNAL: u32 = 6;
+pub const ERR_IO: u32 = 7;
+pub const ERR_DEADLINE_EXCEEDED: u32 = 8;
+
+pub const ERR_REPOSITORY: u32 = 20;
+pub const ERR_MODELGEN: u32 = 21;
+pub const ERR_TRANSGEN: u32 = 22;
+pub const ERR_COMPOSE: u32 = 23;
+pub const ERR_EVAL: u32 = 24;
+pub const ERR_CORR: u32 = 25;
+pub const ERR_INVERSE: u32 = 26;
+
+pub const ERR_SCRIPT: u32 = 30;
+
+pub const ERR_BAD_MAGIC: u32 = 40;
+pub const ERR_BAD_CRC: u32 = 41;
+pub const ERR_FRAME_TOO_LARGE: u32 = 42;
+pub const ERR_DECODE: u32 = 43;
+pub const ERR_UNKNOWN_OP: u32 = 44;
+
+pub const ERR_OVERLOADED: u32 = 50;
+pub const ERR_QUEUE_FULL: u32 = 51;
+pub const ERR_SHUTTING_DOWN: u32 = 52;
+
+/// The wire code for a governance error. Exhaustive on purpose: a new
+/// [`ExecError`] variant is a compile error here until it gets a code.
+pub fn exec_error_code(e: &ExecError) -> u32 {
+    match e {
+        ExecError::BudgetExhausted { .. } => ERR_BUDGET_EXHAUSTED,
+        ExecError::Cancelled { .. } => ERR_CANCELLED,
+        ExecError::Diverged { .. } => ERR_DIVERGED,
+        ExecError::Unsupported { .. } => ERR_UNSUPPORTED,
+        ExecError::Malformed { .. } => ERR_MALFORMED,
+        ExecError::Internal { .. } => ERR_INTERNAL,
+        ExecError::Io { .. } => ERR_IO,
+        ExecError::DeadlineExceeded { .. } => ERR_DEADLINE_EXCEEDED,
+    }
+}
+
+/// The wire code for an engine error. Execution errors keep their
+/// [`exec_error_code`] so a client sees the same code whether a budget
+/// tripped inside `exchange` or a bare governed operator.
+pub fn engine_error_code(e: &EngineError) -> u32 {
+    match e {
+        EngineError::Repository(_) => ERR_REPOSITORY,
+        EngineError::ModelGen(_) => ERR_MODELGEN,
+        EngineError::TransGen(_) => ERR_TRANSGEN,
+        EngineError::Compose(_) => ERR_COMPOSE,
+        EngineError::Eval(mm_engine::prelude::EvalError::Exec(exec)) => exec_error_code(exec),
+        EngineError::Eval(_) => ERR_EVAL,
+        EngineError::Corr(_) => ERR_CORR,
+        EngineError::Inverse(_) => ERR_INVERSE,
+        EngineError::Exec(exec) => exec_error_code(exec),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// A received frame: the raw payload plus its declared CRC. The CRC is
+/// *not* verified on receipt — admission control sheds load from the
+/// prelude alone, and only requests that reach a worker pay for the
+/// checksum ([`RawFrame::crc_ok`]) and body decode.
+#[derive(Debug, Clone)]
+pub struct RawFrame {
+    pub payload: Bytes,
+    pub crc: u32,
+}
+
+impl RawFrame {
+    pub fn crc_ok(&self) -> bool {
+        crc32(&self.payload) == self.crc
+    }
+}
+
+/// Why a frame could not be read off the stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying read failed or timed out (torn frame, slow
+    /// writer, disconnect). The stream is unusable.
+    Io(std::io::Error),
+    /// The magic word did not match: the stream is out of sync (or the
+    /// peer speaks another protocol). Unrecoverable for this stream.
+    BadMagic(u32),
+    /// The declared payload length exceeds the negotiated cap; reading
+    /// it would be an unbounded allocation, so the stream is dropped.
+    TooLarge { len: u32, max: u32 },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one frame: header then payload, flushed.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let mut head = [0u8; HEADER_LEN];
+    head[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    head[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Allocation is bounded by `max_len` *before* any
+/// payload byte is read, so an adversarial length prefix cannot balloon
+/// memory (the same discipline as `Reader::seq_len`).
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<RawFrame, FrameError> {
+    let mut head = [0u8; HEADER_LEN];
+    r.read_exact(&mut head).map_err(FrameError::Io)?;
+    let magic = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if len > max_len {
+        return Err(FrameError::TooLarge { len, max: max_len });
+    }
+    let crc = u32::from_le_bytes([head[8], head[9], head[10], head[11]]);
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(RawFrame { payload: Bytes::from(payload), crc })
+}
+
+// ---------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------
+
+/// Operation selectors (the prelude's `op` byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    Ping = 1,
+    Exchange = 2,
+    ExchangeBatch = 3,
+    Mediate = 4,
+    ExplainExchange = 5,
+    Script = 6,
+}
+
+/// The parsed 13-byte request prelude. `deadline_ms` is the client's
+/// requested deadline relative to admission (0 = server default).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestHead {
+    pub req_id: u64,
+    pub deadline_ms: u32,
+    pub op: u8,
+}
+
+/// Parse the prelude without touching the body (or the CRC). `None` if
+/// the payload is shorter than the prelude.
+pub fn parse_head(payload: &[u8]) -> Option<RequestHead> {
+    if payload.len() < PRELUDE_LEN {
+        return None;
+    }
+    let req_id = u64::from_le_bytes([
+        payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
+        payload[7],
+    ]);
+    let deadline_ms = u32::from_le_bytes([payload[8], payload[9], payload[10], payload[11]]);
+    Some(RequestHead { req_id, deadline_ms, op: payload[12] })
+}
+
+/// A fully decoded request body.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Ping,
+    Exchange { mapping: String, target_schema: String, source_db: Database },
+    ExchangeBatch { items: Vec<(String, String, Database)> },
+    Mediate { base_schema: String, chain: Vec<String>, query: Expr, base_db: Database },
+    ExplainExchange { mapping: String, target_schema: String, source_db: Database },
+    Script { text: String },
+}
+
+/// Why a request body failed to decode (after the frame itself was
+/// sound). Both map to typed error responses; the session stays usable.
+#[derive(Debug)]
+pub enum BodyError {
+    UnknownOp(u8),
+    Decode(DecodeError),
+}
+
+impl BodyError {
+    pub fn code(&self) -> u32 {
+        match self {
+            BodyError::UnknownOp(_) => ERR_UNKNOWN_OP,
+            BodyError::Decode(_) => ERR_DECODE,
+        }
+    }
+}
+
+impl fmt::Display for BodyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyError::UnknownOp(op) => write!(f, "unknown op {op}"),
+            BodyError::Decode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+fn decode_exchange_triple(r: &mut Reader) -> DecodeResult<(String, String, Database)> {
+    let mapping = r.str()?;
+    let target = r.str()?;
+    let db = decode_database(r)?;
+    Ok((mapping, target, db))
+}
+
+/// Decode a request body for `op` (the bytes after the prelude).
+pub fn decode_request(op: u8, r: &mut Reader) -> Result<Request, BodyError> {
+    let decoded = match op {
+        x if x == Op::Ping as u8 => Ok(Request::Ping),
+        x if x == Op::Exchange as u8 => decode_exchange_triple(r).map(
+            |(mapping, target_schema, source_db)| Request::Exchange {
+                mapping,
+                target_schema,
+                source_db,
+            },
+        ),
+        x if x == Op::ExchangeBatch as u8 => r
+            .seq(decode_exchange_triple)
+            .map(|items| Request::ExchangeBatch { items }),
+        x if x == Op::Mediate as u8 => (|| {
+            let base_schema = r.str()?;
+            let chain = r.seq(|r| r.str())?;
+            let query = Expr::decode(r)?;
+            let base_db = decode_database(r)?;
+            Ok(Request::Mediate { base_schema, chain, query, base_db })
+        })(),
+        x if x == Op::ExplainExchange as u8 => decode_exchange_triple(r).map(
+            |(mapping, target_schema, source_db)| Request::ExplainExchange {
+                mapping,
+                target_schema,
+                source_db,
+            },
+        ),
+        x if x == Op::Script as u8 => r.str().map(|text| Request::Script { text }),
+        other => return Err(BodyError::UnknownOp(other)),
+    };
+    decoded.map_err(BodyError::Decode)
+}
+
+/// Encode a request payload (prelude + body) ready for [`write_frame`].
+pub fn encode_request(req_id: u64, deadline_ms: u32, req: &Request) -> Bytes {
+    let mut w = Writer::new();
+    w.u64(req_id);
+    w.u32(deadline_ms);
+    match req {
+        Request::Ping => w.u8(Op::Ping as u8),
+        Request::Exchange { mapping, target_schema, source_db } => {
+            w.u8(Op::Exchange as u8);
+            w.str(mapping);
+            w.str(target_schema);
+            encode_database(&mut w, source_db);
+        }
+        Request::ExchangeBatch { items } => {
+            w.u8(Op::ExchangeBatch as u8);
+            w.seq(items, |w, (mapping, target, db)| {
+                w.str(mapping);
+                w.str(target);
+                encode_database(w, db);
+            });
+        }
+        Request::Mediate { base_schema, chain, query, base_db } => {
+            w.u8(Op::Mediate as u8);
+            w.str(base_schema);
+            w.seq(chain, |w, name| w.str(name));
+            query.encode(&mut w);
+            encode_database(&mut w, base_db);
+        }
+        Request::ExplainExchange { mapping, target_schema, source_db } => {
+            w.u8(Op::ExplainExchange as u8);
+            w.str(mapping);
+            w.str(target_schema);
+            encode_database(&mut w, source_db);
+        }
+        Request::Script { text } => {
+            w.u8(Op::Script as u8);
+            w.str(text);
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------
+
+/// Chase statistics on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    pub fired: u64,
+    pub rounds: u64,
+    pub nulls: u64,
+}
+
+impl From<mm_chase::ChaseStats> for WireStats {
+    fn from(s: mm_chase::ChaseStats) -> Self {
+        WireStats { fired: s.fired as u64, rounds: s.rounds as u64, nulls: s.nulls as u64 }
+    }
+}
+
+/// A successful response body, tagged with its op byte on the wire so
+/// responses are self-describing.
+#[derive(Debug, Clone)]
+pub enum OkBody {
+    Pong,
+    Exchange { db: Database, stats: WireStats },
+    Batch { slots: Vec<Result<(Database, WireStats), (u32, String)>> },
+    Mediate { rows: Relation, chained: bool, degraded: bool },
+    Explain { db: Database, stats: WireStats, text: String },
+    Script { outputs: Vec<String> },
+}
+
+fn encode_exchange_ok(w: &mut Writer, db: &Database, stats: &WireStats) {
+    encode_database(w, db);
+    w.u64(stats.fired);
+    w.u64(stats.rounds);
+    w.u64(stats.nulls);
+}
+
+fn decode_exchange_ok(r: &mut Reader) -> DecodeResult<(Database, WireStats)> {
+    let db = decode_database(r)?;
+    let fired = r.u64()?;
+    let rounds = r.u64()?;
+    let nulls = r.u64()?;
+    Ok((db, WireStats { fired, rounds, nulls }))
+}
+
+/// Encode a success response payload.
+pub fn encode_ok(req_id: u64, body: &OkBody) -> Bytes {
+    let mut w = Writer::new();
+    w.u64(req_id);
+    w.u8(0);
+    match body {
+        OkBody::Pong => w.u8(Op::Ping as u8),
+        OkBody::Exchange { db, stats } => {
+            w.u8(Op::Exchange as u8);
+            encode_exchange_ok(&mut w, db, stats);
+        }
+        OkBody::Batch { slots } => {
+            w.u8(Op::ExchangeBatch as u8);
+            w.seq(slots, |w, slot| match slot {
+                Ok((db, stats)) => {
+                    w.u8(0);
+                    encode_exchange_ok(w, db, stats);
+                }
+                Err((code, message)) => {
+                    w.u8(1);
+                    w.u32(*code);
+                    w.str(message);
+                }
+            });
+        }
+        OkBody::Mediate { rows, chained, degraded } => {
+            w.u8(Op::Mediate as u8);
+            encode_relation(&mut w, rows);
+            w.bool(*chained);
+            w.bool(*degraded);
+        }
+        OkBody::Explain { db, stats, text } => {
+            w.u8(Op::ExplainExchange as u8);
+            encode_exchange_ok(&mut w, db, stats);
+            w.str(text);
+        }
+        OkBody::Script { outputs } => {
+            w.u8(Op::Script as u8);
+            w.seq(outputs, |w, line| w.str(line));
+        }
+    }
+    w.finish()
+}
+
+/// Encode an error response payload.
+pub fn encode_err(req_id: u64, code: u32, message: &str) -> Bytes {
+    let mut w = Writer::new();
+    w.u64(req_id);
+    w.u8(1);
+    w.u32(code);
+    w.str(message);
+    w.finish()
+}
+
+/// A decoded response: the request id it answers and either a result
+/// body or a typed `(code, message)` rejection.
+pub type DecodedResponse = (u64, Result<OkBody, (u32, String)>);
+
+/// Decode a response payload (the client side of [`encode_ok`]/
+/// [`encode_err`]).
+pub fn decode_response(payload: Bytes) -> DecodeResult<DecodedResponse> {
+    let mut r = Reader::new(payload);
+    let req_id = r.u64()?;
+    let status = r.u8()?;
+    if status == 1 {
+        let code = r.u32()?;
+        let message = r.str()?;
+        return Ok((req_id, Err((code, message))));
+    }
+    let op = r.u8()?;
+    let body = match op {
+        x if x == Op::Ping as u8 => OkBody::Pong,
+        x if x == Op::Exchange as u8 => {
+            let (db, stats) = decode_exchange_ok(&mut r)?;
+            OkBody::Exchange { db, stats }
+        }
+        x if x == Op::ExchangeBatch as u8 => {
+            let slots = r.seq(|r| {
+                if r.u8()? == 0 {
+                    decode_exchange_ok(r).map(Ok)
+                } else {
+                    let code = r.u32()?;
+                    let message = r.str()?;
+                    Ok(Err((code, message)))
+                }
+            })?;
+            OkBody::Batch { slots }
+        }
+        x if x == Op::Mediate as u8 => {
+            let rows = decode_relation(&mut r)?;
+            let chained = r.bool()?;
+            let degraded = r.bool()?;
+            OkBody::Mediate { rows, chained, degraded }
+        }
+        x if x == Op::ExplainExchange as u8 => {
+            let (db, stats) = decode_exchange_ok(&mut r)?;
+            let text = r.str()?;
+            OkBody::Explain { db, stats, text }
+        }
+        x if x == Op::Script as u8 => OkBody::Script { outputs: r.seq(|r| r.str())? },
+        other => return Err(DecodeError(format!("unknown response op tag {other}"))),
+    };
+    Ok((req_id, Ok(body)))
+}
+
+// ---------------------------------------------------------------------
+// Instance codec.
+//
+// The repository codec covers metadata artifacts (schemas, mappings,
+// view sets) but not instances — snapshots never carry data. The wire
+// does, so the instance encoders live here, as free functions over the
+// same Writer/Reader (the `Encode` trait is foreign to both crates).
+// ---------------------------------------------------------------------
+
+fn encode_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            w.u8(0);
+            w.i64(*i);
+        }
+        Value::Double(d) => {
+            w.u8(1);
+            w.f64(*d);
+        }
+        Value::Bool(b) => {
+            w.u8(2);
+            w.bool(*b);
+        }
+        Value::Text(s) => {
+            w.u8(3);
+            w.str(s);
+        }
+        Value::Date(d) => {
+            w.u8(4);
+            w.i32(*d);
+        }
+        Value::Null => w.u8(5),
+        Value::Labeled(id) => {
+            w.u8(6);
+            w.u64(*id);
+        }
+    }
+}
+
+fn decode_value(r: &mut Reader) -> DecodeResult<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Int(r.i64()?),
+        1 => Value::Double(r.f64()?),
+        2 => Value::Bool(r.bool()?),
+        3 => Value::Text(r.str()?),
+        4 => Value::Date(r.i32()?),
+        5 => Value::Null,
+        6 => Value::Labeled(r.u64()?),
+        tag => return Err(DecodeError(format!("unknown value tag {tag}"))),
+    })
+}
+
+/// Encode a relation: attribute list then tuple list.
+pub fn encode_relation(w: &mut Writer, rel: &Relation) {
+    w.seq(&rel.schema.attributes, |w, a| a.encode(w));
+    w.seq(rel.tuples(), |w, t| {
+        w.seq(t.values(), encode_value);
+    });
+}
+
+/// Decode a relation (tuples are deduplicated on insert, the same
+/// set semantics [`Relation::insert`] maintains).
+pub fn decode_relation(r: &mut Reader) -> DecodeResult<Relation> {
+    let attributes = r.seq(Attribute::decode)?;
+    let tuples = r.seq(|r| Ok(Tuple::new(r.seq(decode_value)?)))?;
+    Ok(Relation::with_tuples(RelSchema::new(attributes), tuples))
+}
+
+/// Encode a database: name, labeled-null watermark, relations.
+pub fn encode_database(w: &mut Writer, db: &Database) {
+    w.str(&db.name);
+    w.u64(db.label_watermark());
+    let rels: Vec<(&str, &Relation)> = db.relations().collect();
+    w.seq(&rels, |w, (name, rel)| {
+        w.str(name);
+        encode_relation(w, rel);
+    });
+}
+
+/// Decode a database.
+pub fn decode_database(r: &mut Reader) -> DecodeResult<Database> {
+    let name = r.str()?;
+    let watermark = r.u64()?;
+    let mut db = Database::new(name);
+    let n = r.seq_len()?;
+    for _ in 0..n {
+        let rel_name = r.str()?;
+        let rel = decode_relation(r)?;
+        db.insert_relation(rel_name, rel);
+    }
+    db.set_label_watermark(watermark);
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+    use mm_metamodel::DataType;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("S");
+        let mut rel = Relation::new(RelSchema::of(&[
+            ("Id", DataType::Int),
+            ("Name", DataType::Text),
+            ("Score", DataType::Double),
+        ]));
+        rel.insert(Tuple::new(vec![
+            Value::Int(1),
+            Value::text("ada"),
+            Value::Double(0.5),
+        ]));
+        rel.insert(Tuple::new(vec![Value::Int(2), Value::Null, Value::Labeled(7)]));
+        db.insert_relation("Person", rel);
+        db.set_label_watermark(8);
+        db
+    }
+
+    #[test]
+    fn database_round_trips() {
+        let db = sample_db();
+        let mut w = Writer::new();
+        encode_database(&mut w, &db);
+        let mut r = Reader::new(w.finish());
+        let back = decode_database(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.name, db.name);
+        assert_eq!(back.label_watermark(), 8);
+        assert!(back.relation("Person").unwrap().set_eq(db.relation("Person").unwrap()));
+    }
+
+    #[test]
+    fn frame_round_trips_and_crc_detects_flips() {
+        let payload = encode_request(
+            9,
+            250,
+            &Request::Exchange {
+                mapping: "M".into(),
+                target_schema: "T".into(),
+                source_db: sample_db(),
+            },
+        );
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(frame.crc_ok());
+        let head = parse_head(&frame.payload).unwrap();
+        assert_eq!((head.req_id, head.deadline_ms, head.op), (9, 250, Op::Exchange as u8));
+
+        // Flip one payload bit (header intact): CRC must catch it.
+        let mut torn = buf.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 0x10;
+        let frame = read_frame(&mut torn.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(!frame.crc_ok());
+    }
+
+    #[test]
+    fn oversized_and_desynced_frames_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![0u8; 64]).unwrap();
+        assert!(matches!(
+            read_frame(&mut buf.as_slice(), 16),
+            Err(FrameError::TooLarge { len: 64, max: 16 })
+        ));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = encode_ok(
+            4,
+            &OkBody::Exchange { db: sample_db(), stats: WireStats { fired: 3, rounds: 1, nulls: 2 } },
+        );
+        let (id, body) = decode_response(ok).unwrap();
+        assert_eq!(id, 4);
+        match body.unwrap() {
+            OkBody::Exchange { stats, .. } => {
+                assert_eq!(stats, WireStats { fired: 3, rounds: 1, nulls: 2 });
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let err = encode_err(5, ERR_OVERLOADED, "shed");
+        let (id, body) = decode_response(err).unwrap();
+        assert_eq!(id, 5);
+        assert_eq!(body.unwrap_err(), (ERR_OVERLOADED, "shed".to_string()));
+    }
+}

@@ -35,5 +35,7 @@ pub mod span;
 
 pub use collector::{Collector, JsonLinesCollector, LineSink, RingCollector, VecSink};
 pub use explain::ExplainNode;
-pub use metrics::{Cause, Counter, DegradationSite, EngineMetrics, MetricsSnapshot, Timer};
+pub use metrics::{
+    Cause, Counter, DegradationSite, EngineMetrics, MetricsSnapshot, ServerCounter, Timer,
+};
 pub use span::{Event, EventKind, Field, FieldValue, Span, Telemetry};

@@ -106,6 +106,66 @@ impl Counter {
     }
 }
 
+/// Counters for the wire front-end (`mm-server`). Kept as a separate
+/// closed enum so the server can meter without widening [`Counter`]'s
+/// array on engine-only deployments; snapshots render them under
+/// dotted `server.*` keys with zero values elided (same discipline as
+/// degradations — a snapshot from a process that never served traffic
+/// carries no server rows at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ServerCounter {
+    /// Connections accepted into a session slot.
+    Accepted,
+    /// Connections refused at accept time (session table full).
+    Rejected,
+    /// Requests shed by admission control before body decode.
+    Shed,
+    /// Requests rejected because the executor queue was full.
+    QueueFull,
+    /// Requests that tripped their deadline (wall cap or hard deadline).
+    TimedOut,
+    /// Sessions that ended with the client gone mid-request or
+    /// mid-response (read/write error or EOF before a clean close).
+    Disconnects,
+    /// Requests that reached a worker and produced a response frame
+    /// (success or typed error).
+    Completed,
+    /// Requests refused with `ShuttingDown` during drain.
+    ShedShutdown,
+}
+
+const SERVER_COUNTERS: usize = ServerCounter::ShedShutdown as usize + 1;
+
+impl ServerCounter {
+    /// Stable snapshot key (dotted, sorts into one `server.*` block).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerCounter::Accepted => "server.accepted",
+            ServerCounter::Rejected => "server.rejected",
+            ServerCounter::Shed => "server.shed",
+            ServerCounter::QueueFull => "server.queue_full",
+            ServerCounter::TimedOut => "server.timed_out",
+            ServerCounter::Disconnects => "server.disconnects",
+            ServerCounter::Completed => "server.completed",
+            ServerCounter::ShedShutdown => "server.shed_shutdown",
+        }
+    }
+
+    fn all() -> [ServerCounter; SERVER_COUNTERS] {
+        [
+            ServerCounter::Accepted,
+            ServerCounter::Rejected,
+            ServerCounter::Shed,
+            ServerCounter::QueueFull,
+            ServerCounter::TimedOut,
+            ServerCounter::Disconnects,
+            ServerCounter::Completed,
+            ServerCounter::ShedShutdown,
+        ]
+    }
+}
+
 /// Duration statistics (count / total / max, in microseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -222,6 +282,7 @@ impl DurationStat {
 #[derive(Default)]
 pub struct EngineMetrics {
     counters: [AtomicU64; COUNTERS],
+    server_counters: [AtomicU64; SERVER_COUNTERS],
     timers: [DurationStat; TIMERS],
     degradations: [[AtomicU64; CAUSES]; SITES],
 }
@@ -240,6 +301,17 @@ impl EngineMetrics {
     /// Current value of a counter.
     pub fn get(&self, c: Counter) -> u64 {
         self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Add `n` to a server counter (relaxed; totals only).
+    #[inline]
+    pub fn add_server(&self, c: ServerCounter, n: u64) {
+        self.server_counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a server counter.
+    pub fn get_server(&self, c: ServerCounter) -> u64 {
+        self.server_counters[c as usize].load(Ordering::Relaxed)
     }
 
     /// Record one duration observation, in microseconds.
@@ -280,6 +352,12 @@ impl EngineMetrics {
             values.insert(format!("{}_count", t.name()), s.count.load(Ordering::Relaxed));
             values.insert(format!("{}_total_us", t.name()), s.total_us.load(Ordering::Relaxed));
             values.insert(format!("{}_max_us", t.name()), s.max_us.load(Ordering::Relaxed));
+        }
+        for c in ServerCounter::all() {
+            let v = self.get_server(c);
+            if v != 0 {
+                values.insert(c.name().to_string(), v);
+            }
         }
         for site in [DegradationSite::Mediator, DegradationSite::Ivm] {
             for cause in Cause::all() {
@@ -344,6 +422,26 @@ mod tests {
         assert_eq!(snap.value("checkpoint_count"), 2);
         assert_eq!(snap.value("checkpoint_total_us"), 150);
         assert_eq!(snap.value("checkpoint_max_us"), 100);
+    }
+
+    #[test]
+    fn server_counters_are_zero_elided_and_sorted() {
+        let m = EngineMetrics::new();
+        assert!(
+            !m.snapshot().values.keys().any(|k| k.starts_with("server.")),
+            "a process that never served traffic must carry no server rows"
+        );
+        m.add_server(ServerCounter::Shed, 3);
+        m.add_server(ServerCounter::Accepted, 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("server.shed"), 3);
+        assert_eq!(snap.value("server.accepted"), 1);
+        assert!(!snap.values.contains_key("server.timed_out"), "zero elided");
+        let server_keys: Vec<&String> =
+            snap.values.keys().filter(|k| k.starts_with("server.")).collect();
+        let mut sorted = server_keys.clone();
+        sorted.sort();
+        assert_eq!(server_keys, sorted, "BTreeMap keeps server.* keys sorted");
     }
 
     #[test]

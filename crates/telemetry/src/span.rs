@@ -255,6 +255,14 @@ impl Telemetry {
         }
     }
 
+    /// Add `n` to a server counter (no-op when disabled).
+    #[inline]
+    pub fn count_server(&self, c: crate::ServerCounter, n: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.add_server(c, n);
+        }
+    }
+
     /// Record one duration observation (no-op when disabled).
     #[inline]
     pub fn observe_us(&self, t: Timer, us: u64) {

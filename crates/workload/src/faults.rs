@@ -186,6 +186,35 @@ pub fn mutate_bytes(bytes: &[u8], seed: u64) -> Vec<u8> {
     out
 }
 
+// --- client faults (wire-server robustness suite) ------------------------
+
+/// A seeded stream of garbage bytes — what a confused peer (or a port
+/// scanner) writes to a wire server. Deterministic per seed. Servers
+/// must answer with a typed protocol error or close the connection;
+/// never panic, hang, or leak the session slot.
+pub fn garbage_bytes(seed: u64, len: usize) -> Vec<u8> {
+    use rand::prelude::*;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0u64..256) as u8).collect()
+}
+
+/// A slow-writer schedule: split `len` bytes into `chunks` contiguous
+/// `(offset, end)` spans covering the whole buffer in order. A client
+/// fault driver writes one span at a time with a pause in between,
+/// exercising the server's per-IO timeouts on half-delivered frames.
+pub fn chunk_plan(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.clamp(1, len.max(1));
+    let base = len / chunks;
+    let mut spans = Vec::with_capacity(chunks);
+    let mut off = 0;
+    for i in 0..chunks {
+        let end = if i + 1 == chunks { len } else { off + base };
+        spans.push((off, end));
+        off = end;
+    }
+    spans
+}
+
 // --- repository workloads (crash-recovery property suite) ----------------
 
 /// One repository mutation in a generated workload. Artifacts are
