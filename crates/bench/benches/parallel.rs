@@ -74,8 +74,19 @@ fn mediation_setup() -> (Schema, Database, ViewSet, ViewSet, Vec<Expr>) {
         Expr::base("Adults").select(Predicate::col_eq_lit("city", "rome")).project(&["id", "name"]),
     ));
     let projections: [&[&str]; 4] = [&["id", "name"], &["id"], &["name"], &["name", "id"]];
+    // every query is structurally distinct (a per-query id threshold):
+    // the batch must exercise the parallel fan-out, not the mediator's
+    // multi-query sharing, which would collapse repeated queries
     let queries: Vec<Expr> = (0..BATCH_QUERIES)
-        .map(|i| Expr::base("RomanAdults").project(projections[i % projections.len()]))
+        .map(|i| {
+            Expr::base("RomanAdults")
+                .select(Predicate::Cmp {
+                    op: CmpOp::Ge,
+                    left: Scalar::col("id"),
+                    right: Scalar::lit(i as i64),
+                })
+                .project(projections[i % projections.len()])
+        })
         .collect();
     (s, db, l1, l2, queries)
 }

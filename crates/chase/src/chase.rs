@@ -11,7 +11,7 @@
 //! differential testing and benchmarking.
 
 use crate::explain::{ChaseExplain, RoundExplain};
-use crate::plan::ChaseProgram;
+use crate::plan::{ChaseProgram, TgdPlan};
 use mm_eval::plan::{CqPlan, ExecOptions, VarTable};
 use mm_expr::{Atom, Tgd};
 use mm_guard::{Consumption, ExecBudget, ExecError, Governor};
@@ -273,7 +273,11 @@ pub fn chase_st_explained(
         tel,
         Some(&mut rounds),
     )?;
-    Ok((db, stats, ChaseExplain { mode: "st", stats, tgds, rounds, threads: threads.max(1) }))
+    Ok((
+        db,
+        stats,
+        ChaseExplain { mode: "st", stats, tgds, rounds, threads: threads.max(1), replans: 0 },
+    ))
 }
 
 /// Reference (naive) source-to-target chase: identical structure but
@@ -491,7 +495,7 @@ pub fn chase_general_prepared_traced(
     budget: &ExecBudget,
     tel: &Telemetry,
 ) -> Result<ChaseOutcome, ChaseFailure> {
-    run_general(db, program, egds, budget, true, true, 1, tel, None).map(|(o, _)| o)
+    run_general(db, program, egds, budget, true, true, 1, None, tel, None).map(|(o, ..)| o)
 }
 
 /// [`chase_general_prepared`] with each round's body-matching fanned
@@ -522,7 +526,31 @@ pub fn chase_general_parallel_traced(
     threads: usize,
     tel: &Telemetry,
 ) -> Result<ChaseOutcome, ChaseFailure> {
-    run_general(db, program, egds, budget, true, true, threads, tel, None).map(|(o, _)| o)
+    run_general(db, program, egds, budget, true, true, threads, None, tel, None).map(|(o, ..)| o)
+}
+
+/// [`chase_general_parallel_traced`] with **adaptive re-optimization**:
+/// at each round boundary (a governor safepoint) every cost-compiled tgd
+/// plan is checked against current relation statistics, and a plan whose
+/// compile-time body cardinalities have drifted beyond `replan_ratio`
+/// (in either direction, ratio-of-ratios with +1 smoothing) is
+/// recompiled from the live statistics. Re-planning keeps the plan's
+/// frozen canonical enumeration order, so results stay bit-identical to
+/// the naive reference; only the walk order (and thus the work) changes.
+/// Returns the number of re-plans performed alongside the outcome.
+/// Greedy-compiled programs never re-plan: the check only fires for
+/// [`ChaseProgram::compile_costed`] plans.
+pub fn chase_general_adaptive(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    threads: usize,
+    tel: &Telemetry,
+    replan_ratio: f64,
+) -> Result<(ChaseOutcome, u32), ChaseFailure> {
+    run_general(db, program, egds, budget, true, true, threads, Some(replan_ratio), tel, None)
+        .map(|(o, _, r)| (o, r))
 }
 
 /// [`chase_general_prepared`] plus a full [`ChaseExplain`]: per-tgd join
@@ -536,17 +564,44 @@ pub fn chase_general_explained(
     threads: usize,
     tel: &Telemetry,
 ) -> Result<(ChaseOutcome, ChaseExplain), ChaseFailure> {
+    general_explained(db, program, egds, budget, threads, tel, None)
+}
+
+/// [`chase_general_adaptive`] plus a full [`ChaseExplain`]: the report's
+/// `replans` field records how many mid-run re-optimizations fired, and
+/// renders only when non-zero so non-adaptive reports stay byte-stable.
+pub fn chase_general_adaptive_explained(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    threads: usize,
+    tel: &Telemetry,
+    replan_ratio: f64,
+) -> Result<(ChaseOutcome, ChaseExplain), ChaseFailure> {
+    general_explained(db, program, egds, budget, threads, tel, Some(replan_ratio))
+}
+
+fn general_explained(
+    db: &mut Database,
+    program: &ChaseProgram,
+    egds: &[Egd],
+    budget: &ExecBudget,
+    threads: usize,
+    tel: &Telemetry,
+    adapt: Option<f64>,
+) -> Result<(ChaseOutcome, ChaseExplain), ChaseFailure> {
     let tgds = program.explain(db);
     let mut rounds = Vec::new();
-    let (outcome, _) =
-        run_general(db, program, egds, budget, true, true, threads, tel, Some(&mut rounds))?;
+    let (outcome, _, replans) =
+        run_general(db, program, egds, budget, true, true, threads, adapt, tel, Some(&mut rounds))?;
     let stats = match &outcome {
         ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s) => *s,
         ChaseOutcome::Failed { .. } => ChaseStats::default(),
     };
     Ok((
         outcome,
-        ChaseExplain { mode: "general", stats, tgds, rounds, threads: threads.max(1) },
+        ChaseExplain { mode: "general", stats, tgds, rounds, threads: threads.max(1), replans },
     ))
 }
 
@@ -561,7 +616,7 @@ pub fn chase_general_reference(
     budget: &ExecBudget,
 ) -> Result<ChaseOutcome, ChaseFailure> {
     let program = ChaseProgram::compile(tgds, db);
-    chase_general_impl(db, &program, egds, budget, false, false, 1, None).map(|(o, _, _)| o)
+    chase_general_impl(db, &program, egds, budget, false, false, 1, None, None).map(|(o, ..)| o)
 }
 
 /// Telemetry shell around [`chase_general_impl`].
@@ -574,23 +629,25 @@ fn run_general(
     semi_naive: bool,
     use_indexes: bool,
     threads: usize,
+    adapt: Option<f64>,
     tel: &Telemetry,
     trace: Option<&mut Vec<RoundExplain>>,
-) -> Result<(ChaseOutcome, Consumption), ChaseFailure> {
+) -> Result<(ChaseOutcome, Consumption, u32), ChaseFailure> {
     if !tel.is_enabled() {
         return chase_general_impl(
-            db, program, egds, budget, semi_naive, use_indexes, threads, trace,
+            db, program, egds, budget, semi_naive, use_indexes, threads, adapt, trace,
         )
-        .map(|(o, c, _)| (o, c));
+        .map(|(o, c, _, r)| (o, c, r));
     }
     let started = mm_telemetry::clock::now();
     let tuples_before = db.total_tuples();
     let mut span = Span::enter(tel, "chase.general", db.name.as_str());
-    let result =
-        chase_general_impl(db, program, egds, budget, semi_naive, use_indexes, threads, trace);
+    let result = chase_general_impl(
+        db, program, egds, budget, semi_naive, use_indexes, threads, adapt, trace,
+    );
     let stats = match &result {
-        Ok((ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s), _, _)) => *s,
-        Ok((ChaseOutcome::Failed { .. }, _, _)) => ChaseStats::default(),
+        Ok((ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s), ..)) => *s,
+        Ok((ChaseOutcome::Failed { .. }, ..)) => ChaseStats::default(),
         Err(f) => f.stats,
     };
     if let Some(m) = tel.metrics() {
@@ -608,11 +665,18 @@ fn run_general(
     span.field("rounds", stats.rounds);
     span.field("fired", stats.fired);
     span.field("nulls", stats.nulls);
-    if let Ok((_, _, par)) = &result {
+    if let Ok((_, _, par, replans)) = &result {
         record_parallel(tel, &mut span, threads, par);
+        if *replans > 0 {
+            // only emitted when adaptive re-optimization fired, so
+            // non-adaptive spans keep their field set byte-for-byte
+            span.field("replans", *replans);
+            tel.count(Counter::PlanMisestimates, *replans as u64);
+            tel.count(Counter::PlanReplans, *replans as u64);
+        }
     }
     match &result {
-        Ok((_, c, _)) => {
+        Ok((_, c, _, _)) => {
             tel.count(Counter::BudgetStepsConsumed, c.steps);
             tel.count(Counter::BudgetRowsConsumed, c.rows);
             span.field("steps", c.steps);
@@ -622,7 +686,7 @@ fn run_general(
         Err(f) => span.field("error", f.error.to_string()),
     }
     span.finish();
-    result.map(|(o, c, _)| (o, c))
+    result.map(|(o, c, _, r)| (o, c, r))
 }
 
 #[allow(clippy::type_complexity)] // watermark alias would hide, not help
@@ -635,8 +699,9 @@ fn chase_general_impl(
     semi_naive: bool,
     use_indexes: bool,
     threads: usize,
+    adapt: Option<f64>,
     mut trace: Option<&mut Vec<RoundExplain>>,
-) -> Result<(ChaseOutcome, Consumption, mm_parallel::PoolRun), ChaseFailure> {
+) -> Result<(ChaseOutcome, Consumption, mm_parallel::PoolRun, u32), ChaseFailure> {
     let mut gov = Governor::new(budget);
     let mut stats = ChaseStats::default();
     let mut par = mm_parallel::PoolRun::default();
@@ -644,6 +709,11 @@ fn chase_general_impl(
     // at this tgd's previous body evaluation. `None` = evaluate in full
     // (first round, or after an egd rewrite shifted insertion positions).
     let mut watermarks: Vec<Option<HashMap<String, u32>>> = vec![None; program.len()];
+    // adaptive re-optimization: a re-costed plan shadows the program's
+    // compiled plan for the rest of this run. Watermarks are keyed by
+    // relation name, not plan state, so they survive the swap.
+    let mut overrides: Vec<Option<TgdPlan>> = vec![None; program.len()];
+    let mut replans = 0u32;
     loop {
         if let Some(limit) = budget.max_rounds() {
             if stats.rounds as u64 >= limit {
@@ -654,6 +724,22 @@ fn chase_general_impl(
             }
         }
         gov.check_now().map_err(|error| ChaseFailure { error, stats })?;
+        if let Some(ratio) = adapt {
+            // round boundaries are governor safepoints: compare each
+            // costed plan's compile-time body cardinalities with the
+            // live statistics; past the drift ratio, re-plan. recost()
+            // keeps the frozen canonical enumeration order, so the swap
+            // changes the walk (the work), never the results.
+            for (slot, compiled) in overrides.iter_mut().zip(program.plans()) {
+                let current = slot.as_ref().unwrap_or(compiled);
+                if current.is_costed() && current.misestimated(db, ratio) {
+                    if let Some(fresh) = current.recost(db) {
+                        *slot = Some(fresh);
+                        replans += 1;
+                    }
+                }
+            }
+        }
         stats.rounds += 1;
         let round_before = (stats.fired, stats.nulls, db.total_tuples());
         let mut changed = false;
@@ -662,7 +748,8 @@ fn chase_general_impl(
                          changed: &mut bool,
                          watermarks: &mut Vec<Option<HashMap<String, u32>>>|
          -> Result<Option<ChaseOutcome>, ExecError> {
-            for (ti, plan) in program.plans().iter().enumerate() {
+            for (ti, compiled) in program.plans().iter().enumerate() {
+                let plan = overrides[ti].as_ref().unwrap_or(compiled);
                 let rel_len =
                     |db: &Database, r: &str| db.relation(r).map_or(0, |rel| rel.tuples().len() as u32);
                 let mut matches = Vec::new();
@@ -749,10 +836,10 @@ fn chase_general_impl(
             });
         }
         if let Some(failed) = outcome {
-            return Ok((failed, gov.consumption(), par));
+            return Ok((failed, gov.consumption(), par, replans));
         }
         if !changed {
-            return Ok((ChaseOutcome::Done(stats), gov.consumption(), par));
+            return Ok((ChaseOutcome::Done(stats), gov.consumption(), par, replans));
         }
     }
 }

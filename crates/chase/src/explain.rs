@@ -57,6 +57,11 @@ pub struct ChaseExplain {
     /// inputs degrade to sequential without changing this field, so the
     /// report stays byte-identical across machines.
     pub threads: usize,
+    /// Mid-run adaptive re-optimizations performed (see
+    /// [`crate::chase_general_adaptive`]). Zero for non-adaptive runs and
+    /// rendered only when non-zero, keeping pre-existing reports
+    /// byte-identical.
+    pub replans: u32,
 }
 
 impl ChaseExplain {
@@ -68,6 +73,9 @@ impl ChaseExplain {
             .field("rounds", self.stats.rounds)
             .field("fired", self.stats.fired)
             .field("nulls", self.stats.nulls);
+        if self.replans > 0 {
+            node = node.field("replans", self.replans);
+        }
         for t in &self.tgds {
             node.push_child(
                 ExplainNode::new(format!("tgd#{}", t.index))

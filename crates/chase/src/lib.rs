@@ -29,7 +29,8 @@ pub mod plan;
 pub use crate::core::core_of;
 pub use certain::certain_answers;
 pub use chase::{
-    chase_general, chase_general_explained, chase_general_governed, chase_general_parallel,
+    chase_general, chase_general_adaptive, chase_general_adaptive_explained,
+    chase_general_explained, chase_general_governed, chase_general_parallel,
     chase_general_parallel_traced, chase_general_prepared, chase_general_prepared_traced,
     chase_general_reference, chase_st, chase_st_explained, chase_st_governed, chase_st_parallel,
     chase_st_parallel_traced, chase_st_prepared, chase_st_prepared_governed,

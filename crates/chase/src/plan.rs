@@ -56,13 +56,58 @@ pub struct TgdPlan {
     head_ground: bool,
     /// Distinct body relation names (watermark domain).
     body_rels: Vec<String>,
+    /// Per body relation, the cardinality observed at compile time — the
+    /// statistics this plan's cost estimates were derived from. Adaptive
+    /// re-optimization compares these against current cardinalities to
+    /// detect stale plans.
+    compile_rows: Vec<(String, u32)>,
+    /// The source tgd, retained for costed plans so mid-run
+    /// re-optimization can recompile ([`TgdPlan::recost`]).
+    src: Option<Tgd>,
 }
 
 impl TgdPlan {
     /// Compile `tgd`, using `db` only for join-order selectivity hints.
     pub fn compile(tgd: &Tgd, db: &Database) -> TgdPlan {
+        TgdPlan::compile_inner(tgd, db, false, None)
+    }
+
+    /// Compile `tgd` with a cost-based body join order
+    /// ([`CqPlan::compile_costed`]): the body walk runs in the
+    /// selectivity-estimated cheapest order while emitted matches still
+    /// sort back into the canonical naive enumeration (so firing order
+    /// and labeled-null identities are unchanged). The head keeps the
+    /// greedy order — it only ever runs as a limit-1 existence probe.
+    pub fn compile_costed(tgd: &Tgd, db: &Database) -> TgdPlan {
+        TgdPlan::compile_inner(tgd, db, true, None)
+    }
+
+    /// Re-plan a costed tgd against `db`'s *current* statistics: a fresh
+    /// cost-based walk order, fresh estimates, fresh compile-time
+    /// cardinalities — but the canonical enumeration order stays frozen
+    /// at this plan's, so a chase that swaps plans mid-run keeps firing
+    /// in exactly the reference sequence. Returns `None` for plans not
+    /// compiled by the cost-based planner.
+    pub fn recost(&self, db: &Database) -> Option<TgdPlan> {
+        let tgd = self.src.as_ref()?;
+        let canon = self.body.canonical_source_order();
+        Some(TgdPlan::compile_inner(tgd, db, true, Some(&canon)))
+    }
+
+    fn compile_inner(
+        tgd: &Tgd,
+        db: &Database,
+        costed: bool,
+        canon: Option<&[usize]>,
+    ) -> TgdPlan {
         let mut table = VarTable::new();
-        let body = CqPlan::compile(&tgd.body, &mut table, db, &[]);
+        let body = match (costed, canon) {
+            (true, Some(c)) => {
+                CqPlan::compile_costed_with_canon(&tgd.body, &mut table, db, &[], c)
+            }
+            (true, None) => CqPlan::compile_costed(&tgd.body, &mut table, db, &[]),
+            (false, _) => CqPlan::compile(&tgd.body, &mut table, db, &[]),
+        };
         let body_slots: HashSet<usize> = body
             .atoms()
             .iter()
@@ -113,7 +158,21 @@ impl TgdPlan {
                 body_rels.push(a.relation.clone());
             }
         }
-        TgdPlan { table, body, head, head_seed_slots, head_inst, head_ground, body_rels }
+        let compile_rows = body_rels
+            .iter()
+            .map(|r| (r.clone(), db.relation(r).map_or(0, |rel| rel.len() as u32)))
+            .collect();
+        TgdPlan {
+            table,
+            body,
+            head,
+            head_seed_slots,
+            head_inst,
+            head_ground,
+            body_rels,
+            compile_rows,
+            src: costed.then(|| tgd.clone()),
+        }
     }
 
     /// Distinct body relation names — the domain of this tgd's
@@ -140,6 +199,36 @@ impl TgdPlan {
         self.table.len()
     }
 
+    /// Whether the body was compiled by the cost-based planner (carries
+    /// cardinality estimates).
+    pub fn is_costed(&self) -> bool {
+        self.body.is_costed()
+    }
+
+    /// Planner estimate of the body's total match count, when costed.
+    pub fn estimated_matches(&self) -> Option<f64> {
+        self.body.estimated_matches()
+    }
+
+    /// Per body relation, the cardinality the plan was compiled (and its
+    /// cost estimates derived) against.
+    pub fn compile_rows(&self) -> &[(String, u32)] {
+        &self.compile_rows
+    }
+
+    /// Whether any body relation's current cardinality in `db` has
+    /// drifted from the compile-time cardinality by more than `ratio` in
+    /// either direction (with +1 smoothing so empty relations compare
+    /// sanely). A drifted plan's cost estimates — and hence its join
+    /// order — may be arbitrarily wrong; the engine re-plans it.
+    pub fn misestimated(&self, db: &Database, ratio: f64) -> bool {
+        self.compile_rows.iter().any(|(rel, was)| {
+            let now = db.relation(rel).map_or(0, |r| r.len() as u32);
+            let (lo, hi) = if *was <= now { (*was, now) } else { (now, *was) };
+            f64::from(hi + 1) / f64::from(lo + 1) > ratio
+        })
+    }
+
     /// Full body evaluation (every binding, naive-identical order).
     pub fn body_matches(
         &self,
@@ -150,7 +239,14 @@ impl TgdPlan {
     ) -> Result<(), ExecError> {
         let mut scratch = vec![None; self.table.len()];
         let opts = ExecOptions { use_indexes, ..Default::default() };
-        self.body.execute_governed(db, &mut scratch, &opts, gov, out)
+        let before = out.len();
+        self.body.execute_governed(db, &mut scratch, &opts, gov, out)?;
+        if self.body.is_costed() {
+            // a costed walk may enumerate out of canonical order; the
+            // emitted positions sort it back into the naive sequence
+            out[before..].sort_by(|a, b| a.positions.cmp(&b.positions));
+        }
+        Ok(())
     }
 
     /// [`TgdPlan::body_matches`] with the driver atom's range fanned
@@ -167,7 +263,12 @@ impl TgdPlan {
     ) -> Result<mm_parallel::PoolRun, ExecError> {
         let mut scratch = vec![None; self.table.len()];
         let opts = ExecOptions { use_indexes, ..Default::default() };
-        self.body.execute_parallel(db, &mut scratch, &opts, threads, gov, out)
+        let before = out.len();
+        let run = self.body.execute_parallel(db, &mut scratch, &opts, threads, gov, out)?;
+        if self.body.is_costed() {
+            out[before..].sort_by(|a, b| a.positions.cmp(&b.positions));
+        }
+        Ok(run)
     }
 
     /// Semi-naive body evaluation: only bindings that touch at least one
@@ -357,6 +458,21 @@ impl ChaseProgram {
     /// affects performance and enumeration order, never the result set).
     pub fn compile(tgds: &[Tgd], db: &Database) -> ChaseProgram {
         ChaseProgram { plans: tgds.iter().map(|t| TgdPlan::compile(t, db)).collect() }
+    }
+
+    /// Compile every tgd through the cost-based planner
+    /// ([`TgdPlan::compile_costed`]): join orders are chosen from `db`'s
+    /// cardinality statistics and the compiled plans carry their
+    /// estimates for EXPLAIN and runtime misestimate detection. Results
+    /// remain bit-identical to [`ChaseProgram::compile`]'s.
+    pub fn compile_costed(tgds: &[Tgd], db: &Database) -> ChaseProgram {
+        ChaseProgram { plans: tgds.iter().map(|t| TgdPlan::compile_costed(t, db)).collect() }
+    }
+
+    /// Whether any tgd plan's compile-time statistics have drifted from
+    /// `db` beyond `ratio` ([`TgdPlan::misestimated`]).
+    pub fn misestimated(&self, db: &Database, ratio: f64) -> bool {
+        self.plans.iter().any(|p| p.misestimated(db, ratio))
     }
 
     pub fn plans(&self) -> &[TgdPlan] {

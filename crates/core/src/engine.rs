@@ -76,6 +76,23 @@ pub struct EngineConfig {
     /// to force per-call compilation (e.g. when benchmarking compile
     /// cost).
     pub cache_plans: bool,
+    /// Compile chase programs with the cost-based planner
+    /// ([`mm_chase::ChaseProgram::compile_costed`]): tgd-body join orders
+    /// are chosen by cardinality/selectivity estimates from per-relation
+    /// statistics instead of the greedy size heuristic, and cached plans
+    /// whose compile-time statistics have drifted beyond
+    /// [`EngineConfig::replan_ratio`] are invalidated and recompiled on
+    /// their next use. Results are bit-identical either way — cost-based
+    /// plans re-emit matches in the canonical enumeration order — so this
+    /// only changes how much work a chase does. Defaults to `true`.
+    pub cost_based_plans: bool,
+    /// Drift threshold for adaptive re-optimization, as a ratio between a
+    /// plan's compile-time body-relation cardinalities and the live ones
+    /// (either direction, +1 smoothed). A cached or mid-run plan past the
+    /// threshold is re-planned against current statistics. Defaults to
+    /// `8.0`; only consulted when [`EngineConfig::cost_based_plans`] is
+    /// on.
+    pub replan_ratio: f64,
     /// Degree of parallelism for chase and batch operators: the worker
     /// count for [`Engine::exchange_batch`] and for the within-round
     /// body-matching fan-out of `exchange` / `chase_general`. `1` runs
@@ -100,6 +117,8 @@ impl Default for EngineConfig {
             compose_clause_bound: mm_compose::DEFAULT_CLAUSE_BOUND,
             budget: ExecBudget::unbounded(),
             cache_plans: true,
+            cost_based_plans: true,
+            replan_ratio: 8.0,
             threads: mm_parallel::available_parallelism(),
             durability: Durability::Ephemeral,
             telemetry: Telemetry::disabled(),
@@ -226,9 +245,13 @@ impl Engine {
     /// The compiled chase program for mapping `name` at version `id`,
     /// compiling (and caching, unless [`EngineConfig::cache_plans`] is
     /// off) on first use. A cached plan compiled from an *older* version
-    /// of the same name is treated as a miss and replaced. `db` only
-    /// supplies join-order selectivity hints for the compile; plan order
-    /// never affects result sets.
+    /// of the same name is treated as a miss and replaced, and — under
+    /// [`EngineConfig::cost_based_plans`] — a cached plan whose
+    /// compile-time statistics have drifted from `db` beyond
+    /// [`EngineConfig::replan_ratio`] is invalidated and recompiled
+    /// against current cardinalities (counted as a plan misestimate plus
+    /// a re-plan). `db` only supplies cardinality statistics for the
+    /// compile; plan order never affects result sets.
     fn chase_program(
         &self,
         name: &str,
@@ -237,16 +260,33 @@ impl Engine {
         db: &Database,
     ) -> Arc<ChaseProgram> {
         let tel = &self.config.telemetry;
+        let compile = |tgds: &[Tgd], db: &Database| {
+            if self.config.cost_based_plans {
+                Arc::new(ChaseProgram::compile_costed(tgds, db))
+            } else {
+                Arc::new(ChaseProgram::compile(tgds, db))
+            }
+        };
         if !self.config.cache_plans {
             tel.count(Counter::PlanCacheMisses, 1);
-            return Arc::new(ChaseProgram::compile(tgds, db));
+            return compile(tgds, db);
         }
         if let Some(program) = self.chase_plans.get(name, id) {
+            if self.config.cost_based_plans
+                && program.misestimated(db, self.config.replan_ratio)
+            {
+                tel.count(Counter::PlanMisestimates, 1);
+                self.chase_plans.invalidate(name);
+                let fresh = compile(tgds, db);
+                self.chase_plans.insert(name, id.clone(), Arc::clone(&fresh));
+                tel.count(Counter::PlanReplans, 1);
+                return fresh;
+            }
             tel.count(Counter::PlanCacheHits, 1);
             return program;
         }
         tel.count(Counter::PlanCacheMisses, 1);
-        let program = Arc::new(ChaseProgram::compile(tgds, db));
+        let program = compile(tgds, db);
         self.chase_plans.insert(name, id.clone(), Arc::clone(&program));
         program
     }
@@ -698,14 +738,29 @@ impl Engine {
         let tel = &self.config.telemetry;
         let mut span = Span::enter(tel, "engine.chase_general", mid.to_string());
         let program = self.chase_program(mapping, &mid, &tgds, &db);
-        let result = mm_chase::chase_general_parallel_traced(
-            &mut db,
-            &program,
-            &egds,
-            &self.chase_budget(),
-            self.config.threads,
-            tel,
-        )
+        let result = if self.config.cost_based_plans {
+            // adaptive: at each round boundary, plans whose statistics
+            // drifted past the configured ratio are re-planned mid-run
+            mm_chase::chase_general_adaptive(
+                &mut db,
+                &program,
+                &egds,
+                &self.chase_budget(),
+                self.config.threads,
+                tel,
+                self.config.replan_ratio,
+            )
+            .map(|(o, _)| o)
+        } else {
+            mm_chase::chase_general_parallel_traced(
+                &mut db,
+                &program,
+                &egds,
+                &self.chase_budget(),
+                self.config.threads,
+                tel,
+            )
+        }
         .map_err(|f| EngineError::Exec(f.into()));
         match &result {
             Ok(outcome) => span.field("outcome", outcome.to_string()),
@@ -731,14 +786,26 @@ impl Engine {
         let egds = mm_chase::egds_from_keys(&s);
         let mut db = source_db.clone();
         let program = self.chase_program(mapping, &mid, &tgds, &db);
-        let (outcome, explain) = mm_chase::chase_general_explained(
-            &mut db,
-            &program,
-            &egds,
-            &self.chase_budget(),
-            self.config.threads,
-            &self.config.telemetry,
-        )
+        let (outcome, explain) = if self.config.cost_based_plans {
+            mm_chase::chase_general_adaptive_explained(
+                &mut db,
+                &program,
+                &egds,
+                &self.chase_budget(),
+                self.config.threads,
+                &self.config.telemetry,
+                self.config.replan_ratio,
+            )
+        } else {
+            mm_chase::chase_general_explained(
+                &mut db,
+                &program,
+                &egds,
+                &self.chase_budget(),
+                self.config.threads,
+                &self.config.telemetry,
+            )
+        }
         .map_err(|f| EngineError::Exec(f.into()))?;
         Ok((db, outcome, explain))
     }
@@ -756,12 +823,40 @@ impl Engine {
     /// stops all workers. One request's failure (unresolvable name,
     /// budget trip) does not abort the others; each slot carries its own
     /// result.
+    ///
+    /// **Multi-query sharing**: requests that are *identical* — same
+    /// mapping name, same target schema, same source instance (by
+    /// identity) — are chased once; duplicate slots receive a clone of
+    /// the representative's universal instance. The chase is
+    /// deterministic, so the clone is bit-identical (same tuples, same
+    /// labeled-null ids, same stats) to re-running it; the only
+    /// observable difference is that shared slots do not re-consume the
+    /// batch budget. Shared slots are counted in the
+    /// `mqo_shared_plans` metric and the batch span's `mqo_shared`
+    /// field.
     pub fn exchange_batch(
         &self,
         requests: &[ExchangeRequest<'_>],
     ) -> Vec<Result<(Database, mm_chase::ChaseStats), EngineError>> {
         let tel = &self.config.telemetry;
         let mut span = Span::enter(tel, "engine.exchange_batch", requests.len().to_string());
+        // multi-query sharing: map every request to the first identical
+        // one (itself when unique). Source instances compare by identity
+        // — a pointer, not a deep compare — so the dedup scan is O(n).
+        let rep: Vec<usize> = {
+            let mut seen: std::collections::HashMap<(usize, &str, &str), usize> =
+                std::collections::HashMap::new();
+            requests
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let key =
+                        (r.source_db as *const Database as usize, r.mapping, r.target_schema);
+                    *seen.entry(key).or_insert(i)
+                })
+                .collect()
+        };
+        let shared = rep.iter().enumerate().filter(|&(i, &r)| r != i).count() as u64;
         // Resolve names and compile/fetch plans up front on the calling
         // thread: repository and plan-cache access stays out of the
         // workers, which then run pure chases over shared-`Arc` plans.
@@ -782,6 +877,11 @@ impl Engine {
             self.config.threads,
             requests.len(),
             |i, _ctx| -> Result<_, std::convert::Infallible> {
+                if rep[i] != i {
+                    // duplicate of an earlier identical request: its slot
+                    // is filled by sharing after the pool joins
+                    return Ok(None);
+                }
                 let Ok((schema, program)) = &resolved[i] else {
                     // resolve error: the slot is filled from `resolved`
                     // after the pool joins
@@ -802,6 +902,10 @@ impl Engine {
             },
         );
         span.field("threads", self.config.threads);
+        if shared > 0 {
+            span.field("mqo_shared", shared);
+            tel.count(Counter::MqoSharedPlans, shared);
+        }
         span.field("parallel.workers", run.workers);
         span.field("parallel.steals", run.steals);
         span.field("parallel.tasks", run.tasks);
@@ -815,10 +919,28 @@ impl Engine {
             Ok(v) => v,
             Err(never) => match never {},
         };
-        pooled
-            .into_iter()
-            .zip(resolved)
-            .map(|(slot, res)| match (slot, res) {
+        let mut out: Vec<Result<(Database, mm_chase::ChaseStats), EngineError>> =
+            Vec::with_capacity(requests.len());
+        for (i, (slot, res)) in pooled.into_iter().zip(resolved).enumerate() {
+            if rep[i] != i {
+                // shared slot: resolve errors stay the slot's own; a
+                // resolved duplicate clones its representative's result
+                // (chase failures are Exec and clone; the representative
+                // cannot have failed resolution when the duplicate — the
+                // same inputs — resolved)
+                out.push(match res {
+                    Err(e) => Err(e),
+                    Ok(_) => match &out[rep[i]] {
+                        Ok((db, stats)) => Ok((db.clone(), *stats)),
+                        Err(EngineError::Exec(e)) => Err(EngineError::Exec(e.clone())),
+                        Err(_) => Err(EngineError::Exec(mm_guard::ExecError::internal(
+                            "exchange_batch shared slot lost its representative's result",
+                        ))),
+                    },
+                });
+                continue;
+            }
+            out.push(match (slot, res) {
                 (Some(outcome), Ok(_)) => outcome,
                 (None, Err(e)) => Err(e),
                 // a resolved request always produces Some, and a failed
@@ -828,8 +950,9 @@ impl Engine {
                 (None, Ok(_)) => Err(EngineError::Exec(mm_guard::ExecError::internal(
                     "exchange_batch worker produced no result for a resolved request",
                 ))),
-            })
-            .collect()
+            });
+        }
+        out
     }
 }
 
@@ -1033,6 +1156,95 @@ mod tests {
     }
 
     #[test]
+    fn stale_statistics_invalidate_and_replan_the_cached_plan() {
+        // A plan compiled while Tiny was tiny and Big was big must be
+        // detected as misestimated once the instance drifts the other
+        // way: the cached entry is invalidated, recompiled against live
+        // statistics (counted as one misestimate + one re-plan), and the
+        // corrected join order shows up in EXPLAIN — with results
+        // bit-identical throughout.
+        let tel = Telemetry::new(mm_telemetry::RingCollector::with_capacity(256));
+        let engine = Engine::with_config(EngineConfig {
+            telemetry: tel.clone(),
+            threads: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let s = SchemaBuilder::new("S")
+            .relation("Big", &[("a", DataType::Int), ("b", DataType::Int)])
+            .relation("Tiny", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        let t = SchemaBuilder::new("T")
+            .relation("U", &[("a", DataType::Int), ("b", DataType::Int)])
+            .build()
+            .unwrap();
+        engine.add_schema(s.clone()).unwrap();
+        engine.add_schema(t).unwrap();
+        let mut m = Mapping::new("S", "T");
+        m.push_tgd(mm_expr::Tgd::new(
+            vec![mm_expr::Atom::vars("Big", &["x", "y"]), mm_expr::Atom::vars("Tiny", &["x"])],
+            vec![mm_expr::Atom::vars("U", &["x", "y"])],
+        ));
+        engine.add_mapping("m", m).unwrap();
+
+        let mut db1 = Database::empty_of(&s);
+        for i in 0..40 {
+            db1.insert("Big", mm_instance::Tuple::from([Value::Int(i), Value::Int(i)]));
+        }
+        for i in 0..2 {
+            db1.insert("Tiny", mm_instance::Tuple::from([Value::Int(i)]));
+        }
+        engine.exchange("m", "T", &db1).unwrap();
+        assert_eq!(engine.cached_chase_plans(), 1);
+        let (_, _, ex1) = engine.explain_exchange("m", "T", &db1).unwrap();
+        assert_eq!(ex1.tgds[0].body.join_order, ["Tiny", "Big"]);
+        assert_eq!(tel.metrics().unwrap().snapshot().value("plan_replans"), 0);
+
+        // drifted instance: Big shrank, Tiny grew — both past the ratio
+        let mut db2 = Database::empty_of(&s);
+        for i in 0..2 {
+            db2.insert("Big", mm_instance::Tuple::from([Value::Int(i), Value::Int(i)]));
+        }
+        for i in 0..100 {
+            db2.insert("Tiny", mm_instance::Tuple::from([Value::Int(i)]));
+        }
+        let (out, _) = engine.exchange("m", "T", &db2).unwrap();
+        let snap = tel.metrics().unwrap().snapshot();
+        assert_eq!(snap.value("plan_misestimates"), 1);
+        assert_eq!(snap.value("plan_replans"), 1);
+        assert_eq!(engine.cached_chase_plans(), 1, "invalidate then reinsert, no growth");
+        let (_, _, ex2) = engine.explain_exchange("m", "T", &db2).unwrap();
+        assert_eq!(ex2.tgds[0].body.join_order, ["Big", "Tiny"], "order corrected");
+        // the corrected plan fits current statistics: no further re-plan
+        assert_eq!(tel.metrics().unwrap().snapshot().value("plan_replans"), 1);
+
+        // bit-identity against a greedy (non-cost-based) engine
+        let greedy = Engine::with_config(EngineConfig {
+            cost_based_plans: false,
+            threads: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        greedy.add_schema(s).unwrap();
+        greedy.add_schema(
+            SchemaBuilder::new("T")
+                .relation("U", &[("a", DataType::Int), ("b", DataType::Int)])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut m2 = Mapping::new("S", "T");
+        m2.push_tgd(mm_expr::Tgd::new(
+            vec![mm_expr::Atom::vars("Big", &["x", "y"]), mm_expr::Atom::vars("Tiny", &["x"])],
+            vec![mm_expr::Atom::vars("U", &["x", "y"])],
+        ));
+        greedy.add_mapping("m", m2).unwrap();
+        let (ref_out, _) = greedy.exchange("m", "T", &db2).unwrap();
+        assert_eq!(out, ref_out);
+    }
+
+    #[test]
     fn replacing_a_mapping_never_serves_the_stale_plan() {
         // v1 copies R into U; v2 copies R into V. After the replacement
         // an exchange must produce v2's output — a stale cached plan for
@@ -1069,6 +1281,54 @@ mod tests {
         assert_eq!(out2.relation("U").unwrap().len(), 0, "stale v1 plan served");
         assert_eq!(out2.relation("V").unwrap().len(), 1);
         assert_eq!(engine.cached_chase_plans(), 1);
+    }
+
+    #[test]
+    fn exchange_batch_shares_identical_requests_bit_identically() {
+        // three identical requests plus one distinct: the identical ones
+        // chase once (two shared slots counted), and every slot still
+        // matches its sequential exchange — tuples and labeled-null ids.
+        let tel = Telemetry::new(mm_telemetry::RingCollector::with_capacity(256));
+        let engine = Engine::with_config(EngineConfig {
+            telemetry: tel.clone(),
+            ..Default::default()
+        })
+        .unwrap();
+        let s = SchemaBuilder::new("S")
+            .relation("R", &[("a", DataType::Int)])
+            .build()
+            .unwrap();
+        let t = SchemaBuilder::new("T")
+            .relation("U", &[("a", DataType::Int), ("w", DataType::Any)])
+            .build()
+            .unwrap();
+        engine.add_schema(s.clone()).unwrap();
+        engine.add_schema(t).unwrap();
+        let mut m = Mapping::new("S", "T");
+        // existential head: shared slots must reproduce null ids exactly
+        m.push_tgd(mm_expr::Tgd::new(
+            vec![mm_expr::Atom::vars("R", &["x"])],
+            vec![mm_expr::Atom::vars("U", &["x", "w"])],
+        ));
+        engine.add_mapping("m", m).unwrap();
+        let mut db_a = Database::empty_of(&s);
+        let mut db_b = Database::empty_of(&s);
+        for i in 0..5 {
+            db_a.insert("R", mm_instance::Tuple::from([Value::Int(i)]));
+            db_b.insert("R", mm_instance::Tuple::from([Value::Int(100 + i)]));
+        }
+        let req = |db| ExchangeRequest { mapping: "m", target_schema: "T", source_db: db };
+        let results =
+            engine.exchange_batch(&[req(&db_a), req(&db_a), req(&db_b), req(&db_a)]);
+        assert_eq!(tel.metrics().unwrap().snapshot().value("mqo_shared_plans"), 2);
+        let (seq_a, stats_a) = engine.exchange("m", "T", &db_a).unwrap();
+        let (seq_b, stats_b) = engine.exchange("m", "T", &db_b).unwrap();
+        let expect = [(&seq_a, stats_a), (&seq_a, stats_a), (&seq_b, stats_b), (&seq_a, stats_a)];
+        for (got, (db, stats)) in results.iter().zip(expect) {
+            let (gdb, gstats) = got.as_ref().unwrap();
+            assert_eq!(gdb, db);
+            assert_eq!(*gstats, stats);
+        }
     }
 
     #[test]

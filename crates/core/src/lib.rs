@@ -32,7 +32,8 @@ pub mod prelude {
     pub use crate::plan_cache::{PlanCache, PLAN_CACHE_SHARDS};
     pub use crate::script::{run_script, ScriptError};
     pub use mm_chase::{
-        certain_answers, chase_general, chase_general_explained, chase_general_governed,
+        certain_answers, chase_general, chase_general_adaptive, chase_general_adaptive_explained,
+        chase_general_explained, chase_general_governed,
         chase_general_parallel, chase_general_parallel_traced, chase_general_prepared,
         chase_general_prepared_traced, chase_general_reference, chase_st, chase_st_explained,
         chase_st_governed, chase_st_parallel, chase_st_parallel_traced, chase_st_prepared,
@@ -46,7 +47,8 @@ pub mod prelude {
         try_deskolemize, try_deskolemize_governed, ComposeError, DEFAULT_CLAUSE_BOUND,
     };
     pub use mm_eval::{
-        eval, eval_governed, find_homomorphisms, find_homomorphisms_governed,
+        eval, eval_governed, find_homomorphisms, find_homomorphisms_costed,
+        find_homomorphisms_governed,
         find_homomorphisms_naive, find_homomorphisms_parallel, find_homomorphisms_traced,
         materialize_views,
         materialize_views_governed, unfold_query, AtomExplain, CqPlan, EvalError, PlanExplain,

@@ -54,6 +54,15 @@ impl PlanCache {
         self.shard(name).lock().insert(name.to_owned(), CachedPlan { id, program });
     }
 
+    /// Drop the entry for `name` (any version). Returns whether an entry
+    /// was present. This is the adaptive re-optimization hook: when the
+    /// engine detects that a cached plan's compile-time statistics have
+    /// drifted from the live instance, it invalidates here and recompiles
+    /// against current cardinalities.
+    pub fn invalidate(&self, name: &str) -> bool {
+        self.shard(name).lock().remove(name).is_some()
+    }
+
     /// Total cached plans across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()

@@ -145,6 +145,49 @@ pub fn find_homomorphisms_governed(
         .collect())
 }
 
+/// [`find_homomorphisms_governed`] through the cost-based planner:
+/// compiles with [`CqPlan::compile_costed`] (selectivity-estimated join
+/// order from relation statistics) instead of the greedy heuristic, then
+/// sorts the matches by their canonical position vectors so results —
+/// including their order — are still identical to
+/// [`find_homomorphisms_naive`]. This is the planner's differential
+/// entry point: same contract, different (hopefully cheaper) walk.
+pub fn find_homomorphisms_costed(
+    atoms: &[Atom],
+    db: &Database,
+    seed: &Binding,
+    gov: &mut Governor,
+) -> Result<Vec<Binding>, ExecError> {
+    gov.check_now()?;
+    let mut table = VarTable::new();
+    let seed_slots: Vec<(usize, Value)> =
+        seed.iter().map(|(k, v)| (table.intern(k), v.clone())).collect();
+    let prebound: Vec<usize> = seed_slots.iter().map(|(s, _)| *s).collect();
+    let plan = CqPlan::compile_costed(atoms, &mut table, db, &prebound);
+    let mut scratch = vec![None; table.len()];
+    for (s, v) in &seed_slots {
+        scratch[*s] = Some(v.clone());
+    }
+    let mut matches = Vec::new();
+    plan.execute_governed(db, &mut scratch, &ExecOptions::default(), gov, &mut matches)?;
+    // positions are emitted in canonical order; sorting recovers the
+    // naive enumeration sequence under any walk order (skipped when the
+    // chosen order already is the canonical one)
+    if plan.is_reordered() {
+        matches.sort_by(|a, b| a.positions.cmp(&b.positions));
+    }
+    Ok(matches
+        .into_iter()
+        .map(|m| {
+            m.binding
+                .into_iter()
+                .enumerate()
+                .filter_map(|(s, v)| Some((table.name(s)?.to_string(), v?)))
+                .collect()
+        })
+        .collect())
+}
+
 /// [`find_homomorphisms_governed`] with the driver atom's tuple range
 /// split across up to `threads` workers
 /// ([`CqPlan::execute_parallel`]). Results — including their order —

@@ -16,11 +16,12 @@ pub mod plan;
 pub mod view;
 
 pub use cq::{
-    find_homomorphisms, find_homomorphisms_governed, find_homomorphisms_naive,
-    find_homomorphisms_parallel, find_homomorphisms_traced, Binding,
+    find_homomorphisms, find_homomorphisms_costed, find_homomorphisms_governed,
+    find_homomorphisms_naive, find_homomorphisms_parallel, find_homomorphisms_traced, Binding,
 };
 pub use plan::{
     AtomExplain, AtomRange, CqPlan, ExecOptions, PlanExplain, PlanMatch, SlotTerm, VarTable,
+    DP_MAX_ATOMS,
 };
 pub use engine::{eval, eval_governed, EvalError};
 pub use view::{materialize_views, materialize_views_governed, unfold_query};

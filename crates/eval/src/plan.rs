@@ -14,6 +14,14 @@
 //! compiled path enumerates matches in exactly the order the naive scan
 //! would. Consumers that must be bit-identical to the naive path (the
 //! chase, whose labeled-null ids depend on firing order) rely on this.
+//!
+//! [`CqPlan::compile_costed`] relaxes the *walk* order without giving up
+//! that contract: it picks a selectivity-estimated join order from
+//! [`mm_instance::RelStats`] cardinality sketches (exhaustive DP over
+//! small atom sets, greedy-with-costs above `DP_MAX_ATOMS`), and emits
+//! every [`PlanMatch`]'s position vector permuted into the *canonical*
+//! greedy order — so sorting matches by positions recovers the exact
+//! naive enumeration sequence no matter which order the walk ran in.
 
 use mm_expr::{Atom, Lit, Term};
 use mm_guard::{ExecError, Governor};
@@ -143,11 +151,13 @@ impl AtomRange {
 }
 
 /// One match of a plan: the slot values, plus the insertion position of
-/// the tuple matched at each plan atom (in plan order). The position
-/// vector orders matches exactly as the naive nested-loop enumeration
-/// would (lexicographic comparison), which is what lets the semi-naive
-/// chase recover the naive firing order after evaluating delta splits
-/// out of order.
+/// the tuple matched at each atom — in *canonical* (greedy) atom order,
+/// which coincides with plan order except for cost-based plans, whose
+/// walk order may differ. The position vector orders matches exactly as
+/// the naive nested-loop enumeration would (lexicographic comparison),
+/// which is what lets the semi-naive chase recover the naive firing
+/// order after evaluating delta splits (or a reordered costed walk) out
+/// of order.
 #[derive(Debug, Clone)]
 pub struct PlanMatch {
     pub binding: Vec<Option<Value>>,
@@ -183,6 +193,13 @@ pub struct CqPlan {
     /// (function terms only occur in SO-tgd heads, which are not chased
     /// directly — same semantics as the naive matcher).
     unsat: bool,
+    /// Canonical-rank → plan-position permutation applied to emitted
+    /// position vectors, present only when the walk order differs from
+    /// the canonical greedy order (cost-based plans). `None` ⇒ identity.
+    canon: Option<Vec<usize>>,
+    /// Estimated cumulative match cardinality after each plan atom (plan
+    /// order); empty unless compiled by [`CqPlan::compile_costed`].
+    estimates: Vec<f64>,
 }
 
 impl CqPlan {
@@ -202,62 +219,98 @@ impl CqPlan {
         db: &Database,
         prebound: &[usize],
     ) -> CqPlan {
-        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
-        let mut source = Vec::with_capacity(atoms.len());
-        let mut bound_names: HashSet<&str> = HashSet::new();
-        while let Some((pick, _)) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, &ai)| {
-                let a = &atoms[ai];
-                let bound_vars =
-                    a.variables().iter().filter(|v| bound_names.contains(**v)).count();
-                let size = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
-                (i, (std::cmp::Reverse(bound_vars), size, ai))
-            })
-            .min_by_key(|(_, k)| *k)
-        {
-            let ai = remaining.remove(pick);
-            for v in atoms[ai].variables() {
-                bound_names.insert(v);
-            }
-            source.push(ai);
+        let source = greedy_order(atoms, db);
+        let (plans, unsat) = build_atom_plans(atoms, &source, table, prebound);
+        CqPlan {
+            atoms: plans,
+            source,
+            num_slots: table.len(),
+            unsat,
+            canon: None,
+            estimates: Vec::new(),
         }
+    }
 
-        let mut unsat = false;
-        let prebound: HashSet<usize> = prebound.iter().copied().collect();
-        let mut bound_slots: HashSet<usize> = HashSet::new();
-        let mut plans = Vec::with_capacity(source.len());
-        for &ai in &source {
-            let atom = &atoms[ai];
-            let mut terms = Vec::with_capacity(atom.terms.len());
-            for t in &atom.terms {
-                terms.push(match t {
-                    Term::Var(v) => SlotTerm::Var(table.intern(v)),
-                    Term::Const(l) => SlotTerm::Const(lit_to_value(l)),
-                    Term::Func(..) => {
-                        unsat = true;
-                        SlotTerm::Const(Value::Null)
-                    }
-                });
-            }
-            let probe_cols: Vec<usize> = terms
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| match t {
-                    SlotTerm::Const(_) => true,
-                    SlotTerm::Var(s) => bound_slots.contains(s) || prebound.contains(s),
-                })
-                .map(|(c, _)| c)
-                .collect();
-            for t in &terms {
-                if let SlotTerm::Var(s) = t {
-                    bound_slots.insert(*s);
-                }
-            }
-            plans.push(AtomPlan { relation: atom.relation.clone(), terms, probe_cols });
+    /// Compile `atoms` with a cost-based join order: per-step work is
+    /// estimated from [`mm_instance::RelStats`] sketches (exact
+    /// constant-equality counts, `1/distinct` join selectivity), the
+    /// order minimizing total estimated work is found by exhaustive DP
+    /// over subsets up to [`DP_MAX_ATOMS`] atoms and by greedy
+    /// cheapest-next-atom above that, and the per-atom cumulative
+    /// cardinality estimates are carried on the plan for EXPLAIN and for
+    /// runtime misestimate detection.
+    ///
+    /// The result set is identical to [`CqPlan::compile`]'s, and emitted
+    /// [`PlanMatch::positions`] are permuted into the canonical greedy
+    /// order — sorting matches lexicographically by positions yields the
+    /// exact naive enumeration sequence, preserving the chase's
+    /// bit-identity contract under the reordered walk.
+    pub fn compile_costed(
+        atoms: &[Atom],
+        table: &mut VarTable,
+        db: &Database,
+        prebound: &[usize],
+    ) -> CqPlan {
+        let canon_source = greedy_order(atoms, db);
+        CqPlan::compile_costed_with_canon(atoms, table, db, prebound, &canon_source)
+    }
+
+    /// [`CqPlan::compile_costed`] with an explicit canonical source-atom
+    /// order instead of deriving it from `db`'s current greedy order.
+    /// Mid-run re-optimization uses this: the enumeration order a chase
+    /// must reproduce is frozen when its reference plan is first
+    /// compiled, so a re-planned body picks a *new* walk order from
+    /// current statistics while emitting positions in the *old* canonical
+    /// order.
+    pub fn compile_costed_with_canon(
+        atoms: &[Atom],
+        table: &mut VarTable,
+        db: &Database,
+        prebound: &[usize],
+        canon_source: &[usize],
+    ) -> CqPlan {
+        let prebound_names: HashSet<&str> = prebound
+            .iter()
+            .filter_map(|&s| table.name(s))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        let (source, estimates) = cost_order(atoms, db, &prebound_names);
+        let (plans, unsat) = build_atom_plans(atoms, &source, table, prebound);
+        // canonical rank k is held by source atom canon_source[k]; find
+        // where the cost order placed it
+        let canon: Vec<usize> = canon_source
+            .iter()
+            .map(|ai| source.iter().position(|s| s == ai).unwrap_or(0))
+            .collect();
+        let identity = canon.iter().enumerate().all(|(k, &p)| k == p);
+        CqPlan {
+            atoms: plans,
+            source,
+            num_slots: table.len(),
+            unsat,
+            canon: (!identity).then_some(canon),
+            estimates,
         }
-        CqPlan { atoms: plans, source, num_slots: table.len(), unsat }
+    }
+
+    /// Source-atom indexes in canonical (greedy-at-first-compile) rank
+    /// order — the enumeration order emitted position vectors are
+    /// expressed in. Equals [`CqPlan::source_order`] for greedy plans.
+    pub fn canonical_source_order(&self) -> Vec<usize> {
+        match &self.canon {
+            Some(perm) => perm.iter().map(|&p| self.source[p]).collect(),
+            None => self.source.clone(),
+        }
+    }
+
+    /// Whether this plan walks atoms in a different order than the
+    /// canonical enumeration — i.e. whether emitted position vectors
+    /// need a sort to recover the naive sequence. Greedy plans and
+    /// costed plans whose chosen order coincides with the canonical one
+    /// emit in canonical order already.
+    pub fn is_reordered(&self) -> bool {
+        self.canon.is_some()
     }
 
     /// Number of slots the compiling table had seen when this plan was
@@ -273,6 +326,26 @@ impl CqPlan {
     /// Plan position → source-atom index.
     pub fn source_order(&self) -> &[usize] {
         &self.source
+    }
+
+    /// Estimated cumulative match cardinality after each plan atom (plan
+    /// order). Empty unless this plan was compiled by
+    /// [`CqPlan::compile_costed`].
+    pub fn estimates(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    /// Whether this plan was compiled by [`CqPlan::compile_costed`]
+    /// (carries cardinality estimates; positions are emitted in
+    /// canonical order).
+    pub fn is_costed(&self) -> bool {
+        !self.estimates.is_empty()
+    }
+
+    /// Estimated total number of matches this plan produces (the last
+    /// cumulative estimate), if compiled with cost estimates.
+    pub fn estimated_matches(&self) -> Option<f64> {
+        self.estimates.last().copied()
     }
 
     /// Describe this plan against `db`: the chosen join order, and per
@@ -306,6 +379,7 @@ impl CqPlan {
                     probe_cols: a.probe_cols.clone(),
                     rows_total,
                     rows_admitted,
+                    est_rows: self.estimates.get(i).map(|e| e.round() as u64),
                 }
             })
             .collect();
@@ -442,6 +516,228 @@ impl CqPlan {
     }
 }
 
+/// The greedy join order of the naive evaluator: most already-bound
+/// variables first, ties broken by smallest relation, then source
+/// position. This is the *canonical* order: the naive nested-loop scan
+/// enumerates matches lexicographically in these atoms' tuple insertion
+/// positions, and every plan — greedy or cost-based — expresses its
+/// emitted [`PlanMatch::positions`] in it.
+fn greedy_order(atoms: &[Atom], db: &Database) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    let mut source = Vec::with_capacity(atoms.len());
+    let mut bound_names: HashSet<&str> = HashSet::new();
+    while let Some((pick, _)) = remaining
+        .iter()
+        .enumerate()
+        .map(|(i, &ai)| {
+            let a = &atoms[ai];
+            let bound_vars =
+                a.variables().iter().filter(|v| bound_names.contains(**v)).count();
+            let size = db.relation(&a.relation).map(|r| r.len()).unwrap_or(0);
+            (i, (std::cmp::Reverse(bound_vars), size, ai))
+        })
+        .min_by_key(|(_, k)| *k)
+    {
+        let ai = remaining.remove(pick);
+        for v in atoms[ai].variables() {
+            bound_names.insert(v);
+        }
+        source.push(ai);
+    }
+    source
+}
+
+/// Build the per-atom plans for `atoms` taken in `order`, interning
+/// variables into `table` and computing index-probe patterns from the
+/// bound-slot frontier. Returns the plans and whether a function term
+/// made the conjunction unsatisfiable.
+fn build_atom_plans(
+    atoms: &[Atom],
+    order: &[usize],
+    table: &mut VarTable,
+    prebound: &[usize],
+) -> (Vec<AtomPlan>, bool) {
+    let mut unsat = false;
+    let prebound: HashSet<usize> = prebound.iter().copied().collect();
+    let mut bound_slots: HashSet<usize> = HashSet::new();
+    let mut plans = Vec::with_capacity(order.len());
+    for &ai in order {
+        let atom = &atoms[ai];
+        let mut terms = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            terms.push(match t {
+                Term::Var(v) => SlotTerm::Var(table.intern(v)),
+                Term::Const(l) => SlotTerm::Const(lit_to_value(l)),
+                Term::Func(..) => {
+                    unsat = true;
+                    SlotTerm::Const(Value::Null)
+                }
+            });
+        }
+        let probe_cols: Vec<usize> = terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                SlotTerm::Const(_) => true,
+                SlotTerm::Var(s) => bound_slots.contains(s) || prebound.contains(s),
+            })
+            .map(|(c, _)| c)
+            .collect();
+        for t in &terms {
+            if let SlotTerm::Var(s) = t {
+                bound_slots.insert(*s);
+            }
+        }
+        plans.push(AtomPlan { relation: atom.relation.clone(), terms, probe_cols });
+    }
+    (plans, unsat)
+}
+
+/// Exhaustive DP plan search is bounded to this many atoms (2^n subset
+/// states); larger conjunctions fall back to greedy cheapest-next-atom.
+pub const DP_MAX_ATOMS: usize = 10;
+
+/// Per-step cost estimate for appending `atom` to a join prefix with
+/// `bound` variable names: `(out_mult, work)` where `out_mult` is the
+/// estimated matches produced per input binding and `work` the estimated
+/// tuples examined per input binding (bucket size under an index probe,
+/// full cardinality under a scan).
+fn estimate_step(atom: &Atom, db: &Database, bound: &HashSet<&str>) -> (f64, f64) {
+    let Some(rel) = db.relation(&atom.relation) else {
+        return (0.0, 0.0);
+    };
+    let stats = rel.stats();
+    let rows = f64::from(stats.rows());
+    let mut sel = 1.0f64;
+    let mut probe = false;
+    let mut local: HashSet<&str> = HashSet::new();
+    for (c, t) in atom.terms.iter().enumerate() {
+        match t {
+            Term::Const(l) => {
+                sel *= stats.eq_selectivity(c, &lit_to_value(l));
+                probe = true;
+            }
+            Term::Var(v) => {
+                if bound.contains(v.as_str()) || local.contains(v.as_str()) {
+                    sel *= stats.join_selectivity(c);
+                    probe = true;
+                } else {
+                    local.insert(v);
+                }
+            }
+            Term::Func(..) => return (0.0, 0.0),
+        }
+    }
+    let out = rows * sel;
+    let work = if probe { out.max(1.0) } else { rows.max(1.0) };
+    (out, work)
+}
+
+/// Pick a cost-minimizing join order for `atoms` and return it together
+/// with the cumulative cardinality estimate after each chosen atom.
+/// Exhaustive subset DP up to [`DP_MAX_ATOMS`] atoms, greedy
+/// cheapest-next-atom beyond; both are deterministic (ties keep the
+/// earliest candidate).
+fn cost_order(
+    atoms: &[Atom],
+    db: &Database,
+    prebound: &HashSet<&str>,
+) -> (Vec<usize>, Vec<f64>) {
+    let n = atoms.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let order = if n <= DP_MAX_ATOMS { dp_order(atoms, db, prebound) } else {
+        greedy_cost_order(atoms, db, prebound)
+    };
+    // replay the chosen order to record cumulative cardinality estimates
+    let mut bound: HashSet<&str> = prebound.clone();
+    let mut card = 1.0f64;
+    let mut estimates = Vec::with_capacity(n);
+    for &ai in &order {
+        let (out, _) = estimate_step(&atoms[ai], db, &bound);
+        card *= out;
+        estimates.push(card);
+        for v in atoms[ai].variables() {
+            bound.insert(v);
+        }
+    }
+    (order, estimates)
+}
+
+fn dp_order(atoms: &[Atom], db: &Database, prebound: &HashSet<&str>) -> Vec<usize> {
+    let n = atoms.len();
+    let full = (1usize << n) - 1;
+    // per-subset: best (cost, cardinality, last atom, previous subset)
+    let mut best: Vec<Option<(f64, f64, usize, usize)>> = vec![None; full + 1];
+    best[0] = Some((0.0, 1.0, usize::MAX, 0));
+    for mask in 0..=full {
+        let Some((cost, card, ..)) = best[mask] else { continue };
+        let mut bound: HashSet<&str> = prebound.clone();
+        for (ai, atom) in atoms.iter().enumerate() {
+            if mask & (1 << ai) != 0 {
+                for v in atom.variables() {
+                    bound.insert(v);
+                }
+            }
+        }
+        for (ai, atom) in atoms.iter().enumerate() {
+            if mask & (1 << ai) != 0 {
+                continue;
+            }
+            let (out, work) = estimate_step(atom, db, &bound);
+            let next = mask | (1 << ai);
+            let next_cost = cost + card.max(1.0) * work;
+            let next_card = card * out;
+            if best[next].is_none_or(|(c, ..)| next_cost < c) {
+                best[next] = Some((next_cost, next_card, ai, mask));
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut mask = full;
+    while mask != 0 {
+        let Some((_, _, last, prev)) = best[mask] else { break };
+        order.push(last);
+        mask = prev;
+    }
+    order.reverse();
+    if order.len() != n {
+        // unreachable in practice; fall back to source order defensively
+        return (0..n).collect();
+    }
+    order
+}
+
+fn greedy_cost_order(atoms: &[Atom], db: &Database, prebound: &HashSet<&str>) -> Vec<usize> {
+    let n = atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound: HashSet<&str> = prebound.clone();
+    let mut card = 1.0f64;
+    while !remaining.is_empty() {
+        let mut pick = 0;
+        let mut pick_cost = f64::INFINITY;
+        let mut pick_out = 0.0;
+        for (i, &ai) in remaining.iter().enumerate() {
+            let (out, work) = estimate_step(&atoms[ai], db, &bound);
+            let cost = card.max(1.0) * work;
+            if cost < pick_cost {
+                pick = i;
+                pick_cost = cost;
+                pick_out = out;
+            }
+        }
+        let ai = remaining.remove(pick);
+        card *= pick_out;
+        for v in atoms[ai].variables() {
+            bound.insert(v);
+        }
+        order.push(ai);
+    }
+    order
+}
+
 /// Driver intervals smaller than this per requested worker run
 /// sequentially — the spawn/merge overhead would dominate.
 const MIN_DRIVER_ROWS_PER_WORKER: usize = 8;
@@ -538,7 +834,11 @@ impl Walk<'_, '_, '_, '_> {
         gov: &mut Governor,
     ) -> Result<bool, ExecError> {
         if depth == self.plan.atoms.len() {
-            self.out.push(PlanMatch { binding: scratch.to_vec(), positions: pos_acc.clone() });
+            let positions = match &self.plan.canon {
+                Some(perm) => perm.iter().map(|&p| pos_acc[p]).collect(),
+                None => pos_acc.clone(),
+            };
+            self.out.push(PlanMatch { binding: scratch.to_vec(), positions });
             return Ok(self.opts.limit.is_some_and(|l| self.out.len() >= l));
         }
         let ap = &self.plan.atoms[depth];
@@ -637,6 +937,10 @@ pub struct AtomExplain {
     /// Tuples the per-atom [`AtomRange`] admits (equals `rows_total`
     /// without a range restriction).
     pub rows_admitted: usize,
+    /// Planner estimate of the cumulative match cardinality after this
+    /// atom — present only for cost-based plans. Comparing it against
+    /// the observed cardinality is what drives adaptive re-optimization.
+    pub est_rows: Option<u64>,
 }
 
 impl AtomExplain {
@@ -672,7 +976,7 @@ impl PlanExplain {
             node.push_field("unsat", "true");
         }
         for (i, a) in self.atoms.iter().enumerate() {
-            node.push_child(
+            let mut child =
                 mm_telemetry::ExplainNode::new(format!("atom#{i}"))
                     .field("relation", a.relation.clone())
                     .field("source", a.source_index.to_string())
@@ -686,8 +990,13 @@ impl PlanExplain {
                             .join(","),
                     )
                     .field("rows", a.rows_total.to_string())
-                    .field("admitted", a.rows_admitted.to_string()),
-            );
+                    .field("admitted", a.rows_admitted.to_string());
+            // appended only when present so plans without estimates
+            // render byte-identically to the pre-planner text
+            if let Some(est) = a.est_rows {
+                child.push_field("est_rows", est.to_string());
+            }
+            node.push_child(child);
         }
         node
     }
@@ -881,6 +1190,55 @@ mod tests {
         let mut par = Vec::new();
         plan.execute_parallel(&db, &mut scratch, &opts, 4, &mut par_gov, &mut par).unwrap();
         assert_eq!(par_gov.steps_consumed(), seq_gov.steps_consumed());
+    }
+
+    #[test]
+    fn costed_plan_reorders_yet_matches_canonical_enumeration() {
+        // Hub(h, x): h is a fat hub (one value covers most rows); Pick(h)
+        // with a selective constant. Greedy (size-ordered) starts at Pick
+        // only by luck of size — make Pick the *largest* so greedy starts
+        // at Hub, while the cost model starts at the selective constant.
+        let mut db = Database::new("D");
+        let mut hub = mm_instance::Relation::new(RelSchema::of(&[
+            ("h", DataType::Int),
+            ("x", DataType::Int),
+        ]));
+        for i in 0..40 {
+            hub.insert(Tuple::from([Value::Int(i % 2), Value::Int(i)]));
+        }
+        let mut pick = mm_instance::Relation::new(RelSchema::of(&[
+            ("h", DataType::Int),
+            ("k", DataType::Int),
+        ]));
+        for i in 0..50 {
+            pick.insert(Tuple::from([Value::Int(i + 10), Value::Int(i)]));
+        }
+        pick.insert(Tuple::from([Value::Int(0), Value::Int(7)]));
+        db.insert_relation("Hub", hub);
+        db.insert_relation("Pick", pick);
+        let atoms = [
+            Atom::vars("Hub", &["h", "x"]),
+            Atom::new("Pick", vec![Term::var("h"), Term::Const(Lit::Int(7))]),
+        ];
+        let mut gt = VarTable::new();
+        let greedy = CqPlan::compile(&atoms, &mut gt, &db, &[]);
+        let mut ct = VarTable::new();
+        let costed = CqPlan::compile_costed(&atoms, &mut ct, &db, &[]);
+        assert!(costed.is_costed());
+        assert_eq!(greedy.source_order(), &[0, 1], "greedy starts at the smaller Hub");
+        assert_eq!(costed.source_order(), &[1, 0], "cost model starts at the selective Pick");
+        let base = run(&greedy, &gt, &db, &ExecOptions::default());
+        let mut fast = run(&costed, &ct, &db, &ExecOptions::default());
+        fast.sort_by(|a, b| a.positions.cmp(&b.positions));
+        assert_eq!(base.len(), fast.len());
+        // same var names intern to the same slots in both tables (atom
+        // scan order differs but h/x cover both), so bindings compare
+        for (a, b) in base.iter().zip(&fast) {
+            assert_eq!(a.positions, b.positions);
+            for v in ["h", "x"] {
+                assert_eq!(a.binding[gt.slot(v).unwrap()], b.binding[ct.slot(v).unwrap()]);
+            }
+        }
     }
 
     #[test]

@@ -12,10 +12,12 @@
 
 pub mod database;
 pub mod relation;
+pub mod stats;
 pub mod validate;
 pub mod value;
 
 pub use database::Database;
 pub use relation::{RelIndex, RelSchema, Relation, Tuple};
+pub use stats::{ColSketch, RelStats};
 pub use validate::{validate, InstanceViolation};
 pub use value::Value;

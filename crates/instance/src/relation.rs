@@ -1,5 +1,6 @@
 //! Tuples and set-semantics relations.
 
+use crate::stats::{RelStats, StatsSlot};
 use crate::value::Value;
 use mm_metamodel::{Attribute, DataType};
 use parking_lot::RwLock;
@@ -189,16 +190,19 @@ pub struct Relation {
     seen: HashSet<Tuple>,
     #[serde(skip)]
     indexes: RwLock<HashMap<Vec<usize>, Arc<RelIndex>>>,
+    #[serde(skip)]
+    stats: RwLock<StatsSlot>,
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
-        // index caches are rebuilt lazily on the clone's first probe
+        // index and stats caches are rebuilt lazily on the clone's first use
         Relation {
             schema: self.schema.clone(),
             tuples: self.tuples.clone(),
             seen: self.seen.clone(),
             indexes: RwLock::default(),
+            stats: RwLock::default(),
         }
     }
 }
@@ -210,6 +214,7 @@ impl Relation {
             tuples: Vec::new(),
             seen: HashSet::new(),
             indexes: RwLock::default(),
+            stats: RwLock::default(),
         }
     }
 
@@ -241,6 +246,9 @@ impl Relation {
             for idx in self.indexes.get_mut().values_mut() {
                 Arc::make_mut(idx).add(pos, &tuple);
             }
+            if let Some(stats) = self.stats.get_mut().as_mut() {
+                Arc::make_mut(stats).note(&tuple);
+            }
             self.tuples.push(tuple);
             true
         } else {
@@ -260,8 +268,9 @@ impl Relation {
                 self.tuples.remove(pos);
             }
             // removal shifts insertion positions; drop the whole cache
-            // rather than patching every bucket
+            // rather than patching every bucket (same for the stats sketch)
             self.indexes.get_mut().clear();
+            *self.stats.get_mut() = None;
             true
         } else {
             false
@@ -305,6 +314,23 @@ impl Relation {
         )
     }
 
+    /// Cardinality statistics for this relation: tuple count plus
+    /// per-column distinct-count and most-common-value sketches, built on
+    /// first request and cached; subsequent inserts maintain the sketch
+    /// incrementally, removals invalidate it. Like [`Relation::index`],
+    /// the returned handle is a consistent snapshot even if the relation
+    /// changes afterwards.
+    pub fn stats(&self) -> Arc<RelStats> {
+        if let Some(s) = self.stats.read().as_ref() {
+            return Arc::clone(s);
+        }
+        let mut slot = self.stats.write();
+        // re-check under the write lock: another thread may have built it
+        Arc::clone(slot.get_or_insert_with(|| {
+            Arc::new(RelStats::build(self.schema.arity(), &self.tuples))
+        }))
+    }
+
     /// Sorted copy of the tuples — canonical form for equality checks in
     /// tests and roundtripping verification.
     pub fn sorted_tuples(&self) -> Vec<Tuple> {
@@ -324,6 +350,7 @@ impl Relation {
     pub fn rebuild_index(&mut self) {
         self.seen = self.tuples.iter().cloned().collect();
         self.indexes.get_mut().clear();
+        *self.stats.get_mut() = None;
     }
 }
 
@@ -481,6 +508,27 @@ mod tests {
         let fresh = r.index(&[0, 1]);
         assert_eq!(fresh.probe(&[Value::Int(1), Value::text("y")]).len(), 1);
         assert_eq!(fresh.positions(), &[0, 1]);
+    }
+
+    #[test]
+    fn stats_are_maintained_incrementally_and_snapshot() {
+        let mut r = r2("a", "b");
+        r.insert(t(1, "x"));
+        r.insert(t(1, "y"));
+        let snap = r.stats(); // build the sketch, then insert more
+        assert_eq!(snap.rows(), 2);
+        assert_eq!(snap.col(0).unwrap().distinct(), 1);
+        r.insert(t(2, "z"));
+        // the old handle is a snapshot; a fresh one sees the new tuple
+        assert_eq!(snap.rows(), 2);
+        let fresh = r.stats();
+        assert_eq!(fresh.rows(), 3);
+        assert_eq!(fresh.col(0).unwrap().distinct(), 2);
+        assert_eq!(fresh.col(0).unwrap().mcv(), Some((&Value::Int(1), 2)));
+        // removal invalidates; the rebuilt sketch reflects the new state
+        r.remove(&t(1, "x"));
+        assert_eq!(r.stats().rows(), 2);
+        assert_eq!(r.stats().col(0).unwrap().count(&Value::Int(1)), 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub enum MediationMode {
 
 /// Result of a governed mediation: the rows plus a record of which
 /// strategy ran and whether the mediator had to degrade to produce them.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MediationResult {
     pub rows: Relation,
     pub mode: MediationMode,
@@ -328,6 +328,14 @@ impl<'a> Mediator<'a> {
     /// abort the others. The plan-time degradation (if any) was recorded
     /// once by [`Self::plan_governed`]; workers copy it into their
     /// results without re-recording telemetry.
+    ///
+    /// **Multi-query sharing**: structurally identical queries in the
+    /// batch are evaluated once; duplicate slots receive a clone of the
+    /// representative's result. Evaluation is deterministic, so the
+    /// clone matches a re-run row for row — the only observable
+    /// difference is that shared slots do not re-consume the batch
+    /// budget. Shared slots are counted in the `mqo_shared_plans`
+    /// metric and the batch span's `mqo_shared` field.
     pub fn answer_batch(
         &self,
         plan: &MediationPlan,
@@ -336,6 +344,14 @@ impl<'a> Mediator<'a> {
         budget: &ExecBudget,
         threads: usize,
     ) -> Vec<Result<MediationResult, EvalError>> {
+        // map every query to the first structurally equal one (itself
+        // when unique); batches are small, so the quadratic scan is fine
+        let rep: Vec<usize> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| queries[..i].iter().position(|p| p == q).unwrap_or(i))
+            .collect();
+        let shared = rep.iter().enumerate().filter(|&(i, &r)| r != i).count() as u64;
         let lead = Governor::new(budget);
         let (_, govs) = lead.fork_shared(queries.len());
         let govs: Vec<parking_lot::Mutex<Governor>> =
@@ -344,8 +360,13 @@ impl<'a> Mediator<'a> {
             threads,
             queries.len(),
             |i, _ctx| -> Result<_, std::convert::Infallible> {
+                if rep[i] != i {
+                    // duplicate of an earlier identical query: its slot
+                    // is filled by sharing after the pool joins
+                    return Ok(None);
+                }
                 let mut gov = govs[i].lock();
-                Ok(self.answer_with_plan(plan, &queries[i], base_db, &mut gov))
+                Ok(Some(self.answer_with_plan(plan, &queries[i], base_db, &mut gov)))
             },
         );
         if self.tel.is_enabled() {
@@ -355,27 +376,44 @@ impl<'a> Mediator<'a> {
                 queries.len().to_string(),
             );
             span.field("threads", threads);
+            if shared > 0 {
+                span.field("mqo_shared", shared);
+            }
             span.field("parallel.workers", run.workers);
             span.field("parallel.steals", run.steals);
             span.field("parallel.tasks", run.tasks);
             span.finish();
             if let Some(m) = self.tel.metrics() {
+                if shared > 0 {
+                    m.add(mm_telemetry::Counter::MqoSharedPlans, shared);
+                }
                 m.add(mm_telemetry::Counter::ParallelWorkers, run.workers as u64);
                 m.add(mm_telemetry::Counter::ParallelSteals, run.steals);
                 m.add(mm_telemetry::Counter::ParallelTasks, run.tasks);
             }
         }
-        match pooled {
+        let pooled = match pooled {
             Ok(v) => v,
             Err(never) => match never {},
+        };
+        let mut out: Vec<Result<MediationResult, EvalError>> =
+            Vec::with_capacity(queries.len());
+        for (i, slot) in pooled.into_iter().enumerate() {
+            match slot {
+                Some(r) => out.push(r),
+                // rep[i] < i by construction, so the representative's
+                // slot is already in `out`
+                None => out.push(out[rep[i]].clone()),
+            }
         }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mm_expr::{Predicate, ViewDef};
+    use mm_expr::{CmpOp, Predicate, Scalar, ViewDef};
     use mm_instance::{Tuple, Value};
     use mm_metamodel::{DataType, SchemaBuilder};
 
@@ -612,9 +650,19 @@ mod tests {
         };
         assert!(solo_steps > 2048, "query must span several safepoints: {solo_steps}");
         // a cap at 6x the per-query cost must trip somewhere in an
-        // 8-query batch, even with up to one safepoint of per-worker lag
+        // 8-query batch, even with up to one safepoint of per-worker lag.
+        // Queries are structurally distinct (identical ones would be
+        // answered once by multi-query sharing and never trip the cap).
         let budget = ExecBudget::unbounded().with_steps(solo_steps * 6);
-        let queries: Vec<Expr> = (0..8).map(|_| Expr::base("RomanAdults")).collect();
+        let queries: Vec<Expr> = (0..8)
+            .map(|i| {
+                Expr::base("RomanAdults").select(Predicate::Cmp {
+                    op: CmpOp::Ge,
+                    left: Scalar::col("id"),
+                    right: Scalar::lit(i as i64),
+                })
+            })
+            .collect();
         let batch = m.answer_batch(&plan, &queries, &db, &budget, 1);
         let trips = batch
             .iter()
@@ -623,6 +671,32 @@ mod tests {
         assert!(trips >= 1, "shared step cap must trip");
         let oks = batch.iter().filter(|r| r.is_ok()).count();
         assert!(oks >= 1, "early queries should finish under the cap");
+    }
+
+    #[test]
+    fn answer_batch_shares_identical_queries_bit_identically() {
+        // four slots, two distinct queries: the two duplicates are
+        // shared (counted in mqo_shared_plans) and still match their
+        // sequential answers row for row.
+        let (s, db) = base();
+        let (l1, l2) = chain();
+        let ring = mm_telemetry::RingCollector::with_capacity(64);
+        let tel = mm_telemetry::Telemetry::new(ring);
+        let m = Mediator::new(&s, vec![&l1, &l2]).with_telemetry(tel.clone());
+        let budget = ExecBudget::unbounded();
+        let plan = m.plan(&budget).unwrap();
+        let q1 = Expr::base("RomanAdults");
+        let q2 = Expr::base("RomanAdults").project(&["name"]);
+        let queries = vec![q1.clone(), q2.clone(), q1.clone(), q2.clone()];
+        let batch = m.answer_batch(&plan, &queries, &db, &budget, 2);
+        assert_eq!(tel.metrics().unwrap().snapshot().value("mqo_shared_plans"), 2);
+        let sequential: Vec<Relation> = queries
+            .iter()
+            .map(|q| m.answer_with_plan(&plan, q, &db, &mut Governor::new(&budget)).unwrap().rows)
+            .collect();
+        for (got, want) in batch.into_iter().zip(&sequential) {
+            assert_eq!(&got.unwrap().rows, want);
+        }
     }
 
     #[test]

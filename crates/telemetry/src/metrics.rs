@@ -53,9 +53,18 @@ pub enum Counter {
     ParallelSteals,
     /// Tasks executed by parallel pool runs (chunks, not tuples).
     ParallelTasks,
+    /// Cached/compiled plans whose statistics drifted beyond the
+    /// configured re-plan ratio (detected misestimates).
+    PlanMisestimates,
+    /// Plans recompiled by adaptive re-optimization (cache invalidation
+    /// + costed recompile, or a mid-chase plan swap).
+    PlanReplans,
+    /// Duplicate batch entries served from a shared evaluation by
+    /// multi-query optimization instead of re-running.
+    MqoSharedPlans,
 }
 
-const COUNTERS: usize = Counter::ParallelTasks as usize + 1;
+const COUNTERS: usize = Counter::MqoSharedPlans as usize + 1;
 
 impl Counter {
     /// Stable snapshot key.
@@ -79,6 +88,9 @@ impl Counter {
             Counter::ParallelWorkers => "parallel_workers",
             Counter::ParallelSteals => "parallel_steals",
             Counter::ParallelTasks => "parallel_tasks",
+            Counter::PlanMisestimates => "plan_misestimates",
+            Counter::PlanReplans => "plan_replans",
+            Counter::MqoSharedPlans => "mqo_shared_plans",
         }
     }
 
@@ -102,6 +114,9 @@ impl Counter {
             Counter::ParallelWorkers,
             Counter::ParallelSteals,
             Counter::ParallelTasks,
+            Counter::PlanMisestimates,
+            Counter::PlanReplans,
+            Counter::MqoSharedPlans,
         ]
     }
 }

@@ -16,6 +16,7 @@ pub mod evolution;
 pub mod faults;
 pub mod perturb;
 pub mod schemas;
+pub mod skew;
 pub mod tgds;
 
 pub use data::{populate_er, populate_relational};
@@ -27,4 +28,5 @@ pub use faults::{
 };
 pub use perturb::{perturb_schema, GroundTruth};
 pub use schemas::{er_hierarchy, relational_schema, snowflake_schema};
+pub use skew::{correlated_join, fat_hub_join, zipf_join};
 pub use tgds::{binary_schema, composition_chain, copy_tgds};

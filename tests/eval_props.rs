@@ -8,18 +8,25 @@
 //! * the semi-naive, index-probing chase reaches a bit-identical fixpoint
 //!   (same tuples, same labeled-null identities, same [`ChaseStats`]) as
 //!   the full-reevaluation scanning reference on the adversarial
-//!   `workload::faults` inputs.
+//!   `workload::faults` inputs;
+//! * (PR 7) the cost-based planner — statistics-driven join orders, the
+//!   skewed `workload::skew` instances built to mislead the greedy
+//!   heuristic, and the adaptive mid-chase re-planner — changes *how*
+//!   bodies are walked but never *what* they enumerate: bindings, firing
+//!   order, and labeled-null identities all stay bit-identical to the
+//!   naive reference.
 
 use mm_chase::{
-    chase_general_governed, chase_general_reference, chase_st_governed, chase_st_reference,
-    egds_from_keys, ChaseOutcome,
+    chase_general_adaptive, chase_general_governed, chase_general_reference, chase_st_governed,
+    chase_st_prepared, chase_st_reference, egds_from_keys, ChaseOutcome, ChaseProgram,
 };
-use mm_eval::{find_homomorphisms_governed, find_homomorphisms_naive, Binding};
+use mm_eval::{find_homomorphisms_costed, find_homomorphisms_governed, find_homomorphisms_naive, Binding};
 use mm_expr::{Atom, Lit, Term, Tgd};
 use mm_guard::{ExecBudget, Governor};
 use mm_instance::{Database, Tuple, Value};
 use mm_metamodel::{DataType, Schema, SchemaBuilder};
-use mm_workload::faults;
+use mm_telemetry::Telemetry;
+use mm_workload::{faults, skew};
 use proptest::prelude::*;
 
 // --- generators -------------------------------------------------------------
@@ -203,6 +210,120 @@ proptest! {
         let mut ref_db = db;
         let reference = chase_general_reference(&mut ref_db, &tgds, &egds, &budget).unwrap();
         prop_assert!(matches!(fast, ChaseOutcome::Done(_)), "{fast:?}");
+        prop_assert_eq!(fast, reference);
+        prop_assert_eq!(fast_db, ref_db);
+    }
+}
+
+// --- (c) cost-based planning == naive reference (PR 7) ----------------------
+
+proptest! {
+    /// The statistics-driven planner may walk atoms in any order it
+    /// likes, but the canonical-order remap at the leaves must recover
+    /// exactly the naive nested-loop binding sequence on random
+    /// databases and queries.
+    #[test]
+    fn costed_cq_matches_naive_scan(db in arb_db(), atoms in arb_cq()) {
+        let budget = unbounded();
+        let seed = Binding::new();
+        let costed = find_homomorphisms_costed(&atoms, &db, &seed, &mut Governor::new(&budget));
+        let naive = find_homomorphisms_naive(&atoms, &db, &seed, &mut Governor::new(&budget));
+        prop_assert_eq!(costed.unwrap(), naive.unwrap());
+    }
+
+    /// Same equivalence with a pre-bound seed variable, which changes
+    /// the planner's selectivity arithmetic (seeded slots are free
+    /// probe columns) but must not change the enumeration.
+    #[test]
+    fn costed_seeded_cq_matches_naive_scan(
+        db in arb_db(),
+        atoms in arb_cq(),
+        seed_val in 0i64..6,
+    ) {
+        let budget = unbounded();
+        let mut seed = Binding::new();
+        seed.insert("x".to_string(), Value::Int(seed_val));
+        let costed = find_homomorphisms_costed(&atoms, &db, &seed, &mut Governor::new(&budget));
+        let naive = find_homomorphisms_naive(&atoms, &db, &seed, &mut Governor::new(&budget));
+        prop_assert_eq!(costed.unwrap(), naive.unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// On the skewed instances built to make the greedy order
+    /// catastrophic (fat hub, Zipfian hub, correlated selection), the
+    /// costed planner picks a genuinely different walk — and still
+    /// enumerates the naive binding sequence bit-identically.
+    #[test]
+    fn costed_cq_matches_naive_on_skewed_data(
+        rows in 40usize..140,
+        seed in 0u64..64,
+        shape in 0usize..3,
+    ) {
+        let (_, db, atoms) = match shape {
+            0 => skew::fat_hub_join(rows),
+            1 => skew::zipf_join(rows, seed),
+            _ => skew::correlated_join(rows, seed),
+        };
+        let budget = unbounded();
+        let empty = Binding::new();
+        let costed = find_homomorphisms_costed(&atoms, &db, &empty, &mut Governor::new(&budget));
+        let naive = find_homomorphisms_naive(&atoms, &db, &empty, &mut Governor::new(&budget));
+        prop_assert_eq!(costed.unwrap(), naive.unwrap());
+    }
+
+    /// An s-t chase whose tgd body is the skewed three-way join: the
+    /// costed program must reproduce the reference universal instance
+    /// bit-identically — firing order decides labeled-null identities,
+    /// so any planner reordering that leaked through the canonical
+    /// remap would show up here.
+    #[test]
+    fn costed_st_chase_matches_reference_on_skewed_data(
+        rows in 40usize..140,
+        seed in 0u64..64,
+    ) {
+        let (_, db, atoms) = skew::zipf_join(rows, seed);
+        let tgt = SchemaBuilder::new("SkewT")
+            .relation("Out", &[("x", DataType::Int), ("y", DataType::Int), ("tag", DataType::Int)])
+            .build()
+            .unwrap();
+        // existential head: one fresh null per firing, so null ids trace
+        // the firing order exactly
+        let tgds = vec![Tgd::new(atoms, vec![Atom::vars("Out", &["x", "y", "u"])])];
+        let budget = unbounded();
+        let program = ChaseProgram::compile_costed(&tgds, &db);
+        let (fast_db, fast_stats) = chase_st_prepared(&tgt, &program, &db, &budget).unwrap();
+        let (ref_db, ref_stats) = chase_st_reference(&tgt, &tgds, &db, &budget).unwrap();
+        prop_assert_eq!(fast_stats, ref_stats);
+        prop_assert_eq!(fast_db, ref_db);
+    }
+
+    /// The adaptive general chase on the growing copy chain: plans are
+    /// costed against the *initial* instance (every relation past `R0`
+    /// empty), so cardinalities drift as the chain fills and the
+    /// re-planner must fire mid-run — and the re-planned run must still
+    /// be bit-identical to the naive full-reevaluation reference.
+    #[test]
+    fn adaptive_chase_replans_and_matches_reference(n in 3usize..10) {
+        let (_, db, tgds) = faults::terminating_chain(n);
+        let budget = unbounded().with_rounds(64);
+        let mut fast_db = db.clone();
+        let program = ChaseProgram::compile_costed(&tgds, &fast_db);
+        let (fast, replans) = chase_general_adaptive(
+            &mut fast_db,
+            &program,
+            &[],
+            &budget,
+            1,
+            &Telemetry::disabled(),
+            1.5,
+        )
+        .unwrap();
+        let mut ref_db = db;
+        let reference = chase_general_reference(&mut ref_db, &tgds, &[], &budget).unwrap();
+        prop_assert!(replans > 0, "chain growth from empty must trigger a re-plan");
         prop_assert_eq!(fast, reference);
         prop_assert_eq!(fast_db, ref_db);
     }

@@ -522,15 +522,31 @@ fn shutdown_drains_inflight_refuses_new_and_checkpoints() {
     let drain = std::thread::spawn(move || handle.shutdown());
 
     // While draining, new requests on the same session get the typed
-    // ShuttingDown frame, and the inflight request still completes.
-    conn.send(2, 0, &Request::Ping);
+    // ShuttingDown frame, and the inflight request still completes. The
+    // drain thread races our first ping, so pings sent before it set
+    // the draining flag may still succeed — keep pinging until one is
+    // refused, bounded well below the inflight request's runtime.
     let mut outcomes = std::collections::HashMap::new();
-    for _ in 0..2 {
+    let mut refused_ping = None;
+    for ping_id in 2u64..200 {
+        conn.send(ping_id, 0, &Request::Ping);
+        let (id, outcome) = conn.read_reply();
+        outcomes.insert(id, outcome);
+        // replies interleave with request 1's, so scan every ping seen
+        if let Some((&id, _)) =
+            outcomes.iter().find(|&(&id, &o)| id >= 2 && o == Err(ERR_SHUTTING_DOWN))
+        {
+            refused_ping = Some(id);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(refused_ping.is_some(), "drain must refuse new work");
+    while !outcomes.contains_key(&1) {
         let (id, outcome) = conn.read_reply();
         outcomes.insert(id, outcome);
     }
     assert_eq!(outcomes[&1], Ok(()), "inflight request must drain, not be dropped");
-    assert_eq!(outcomes[&2], Err(ERR_SHUTTING_DOWN), "drain must refuse new work");
 
     drain.join().expect("drain thread").expect("shutdown");
 
