@@ -171,8 +171,9 @@ fn emit_baseline() {
         ));
     }
 
+    let host_cpus = mm_parallel::available_parallelism();
     let body = format!(
-        "{{\n  \"experiment\": \"repo_durability\",\n  \"description\": \"WAL append overhead and recovery latency (log replay vs snapshot load); every recovery asserted bit-identical to the source repository\",\n  \"command\": \"cargo bench -p mm-bench --bench repo\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"repo_durability\",\n  \"description\": \"WAL append overhead and recovery latency (log replay vs snapshot load); every recovery asserted bit-identical to the source repository (attested = those per-point assertions passed on the emitting host)\",\n  \"command\": \"cargo bench -p mm-bench --bench repo\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
         rows_json.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repo.json");

@@ -200,8 +200,9 @@ fn emit_baseline() {
         points.push(point_json("cq_self_join", rows, base_t, noop_t, full_t));
     }
 
+    let host_cpus = mm_parallel::available_parallelism();
     let body = format!(
-        "{{\n  \"experiment\": \"telemetry_overhead\",\n  \"description\": \"instrumented hot paths: un-instrumented baseline vs disabled Telemetry handle (no-op, target <=3%) vs enabled ring collector + metrics; bit-identical results asserted per point\",\n  \"command\": \"cargo bench -p mm-bench --bench telemetry\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"telemetry_overhead\",\n  \"description\": \"instrumented hot paths: un-instrumented baseline vs disabled Telemetry handle (no-op, target <=3%) vs enabled ring collector + metrics; bit-identical results asserted per point (attested = those assertions passed on the emitting host)\",\n  \"command\": \"cargo bench -p mm-bench --bench telemetry\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
         points.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");

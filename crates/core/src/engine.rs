@@ -3,11 +3,15 @@
 use mm_chase::{ChaseExplain, ChaseProgram};
 use mm_expr::{CorrespondenceSet, Expr, Mapping, SoTgd, Tgd, ViewSet};
 use mm_guard::{ExecBudget, Governor};
-use mm_instance::Database;
+use mm_instance::{Database, Tuple};
 use mm_match::MatchConfig;
 use mm_metamodel::Schema;
 use mm_modelgen::InheritanceStrategy;
-use mm_repository::{ArtifactId, DurableOptions, Repository, RepositoryError, Storage};
+use mm_propagate::{PollResponse, PropagateConfig, PropagateError, Propagator, SubscriberStatus};
+use mm_repository::{
+    ArtifactId, DurableOptions, Repository, RepositoryError, Storage, Subscription,
+};
+use mm_runtime::Delta;
 use mm_telemetry::{Counter, Span, Telemetry};
 use parking_lot::Mutex;
 use std::fmt;
@@ -102,6 +106,9 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Repository durability mode. Defaults to [`Durability::Ephemeral`].
     pub durability: Durability,
+    /// Update-propagation knobs: subscriber queue bounds, feed
+    /// retention, and the per-event delta budget (DESIGN.md §14).
+    pub propagate: PropagateConfig,
     /// Telemetry handle threaded through every operator and the
     /// repository: operator spans, engine metrics, and degradation
     /// events all flow through it. Defaults to
@@ -121,6 +128,7 @@ impl Default for EngineConfig {
             replan_ratio: 8.0,
             threads: mm_parallel::available_parallelism(),
             durability: Durability::Ephemeral,
+            propagate: PropagateConfig::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -140,6 +148,9 @@ pub enum EngineError {
     /// Resource governance: budget exhaustion, cancellation, divergence,
     /// or malformed caller-supplied data caught by a governed operator.
     Exec(mm_guard::ExecError),
+    /// Update propagation: unknown subscriber/instance or a failed
+    /// resync recompute.
+    Propagate(PropagateError),
 }
 
 impl fmt::Display for EngineError {
@@ -153,6 +164,7 @@ impl fmt::Display for EngineError {
             EngineError::Corr(e) => write!(f, "correspondence: {e}"),
             EngineError::Inverse(e) => write!(f, "inverse: {e}"),
             EngineError::Exec(e) => write!(f, "execution: {e}"),
+            EngineError::Propagate(e) => write!(f, "propagation: {e}"),
         }
     }
 }
@@ -177,13 +189,13 @@ from_err!(Eval, mm_eval::EvalError);
 from_err!(Corr, mm_transgen::CorrError);
 from_err!(Inverse, mm_evolution::InverseError);
 from_err!(Exec, mm_guard::ExecError);
+from_err!(Propagate, PropagateError);
 
 /// The model management engine: operators over a metadata repository.
 ///
 /// Every operator method loads its inputs from the repository by name,
 /// stores its outputs, and records a lineage edge — the Rondo-style
 /// scripting surface: a "script" is simply a sequence of engine calls.
-#[derive(Default)]
 pub struct Engine {
     pub repo: Repository,
     pub config: EngineConfig,
@@ -191,14 +203,31 @@ pub struct Engine {
     /// mapping name (see [`PlanCache`]). Interior mutability because
     /// every operator takes `&self`.
     chase_plans: PlanCache,
+    /// The update-propagation hub (DESIGN.md §14): change feed,
+    /// subscriber queues, resync machinery.
+    propagator: Propagator,
+    /// Orders the (repository write → feed publish) pair across
+    /// concurrent writers: without it two commits could publish out of
+    /// sequence and the feed would refuse the stale one. Data-path
+    /// writes only — metadata operators never take it.
+    feed_order: Mutex<()>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
 }
 
 impl Engine {
     pub fn new() -> Self {
+        let config = EngineConfig::default();
         Engine {
             repo: Repository::new(),
-            config: EngineConfig::default(),
+            propagator: Propagator::new(config.propagate.clone(), config.telemetry.clone()),
+            config,
             chase_plans: PlanCache::default(),
+            feed_order: Mutex::new(()),
         }
     }
 
@@ -219,7 +248,36 @@ impl Engine {
                 config.telemetry.clone(),
             )?,
         };
-        Ok(Engine { repo, config, chase_plans: PlanCache::default() })
+        let propagator = Propagator::new(config.propagate.clone(), config.telemetry.clone());
+        // Re-attach recovered propagation state: every tracked instance
+        // becomes a replica at its own last feed-event sequence (not the
+        // global WAL sequence — registry writes don't count against a
+        // subscriber), and every registered subscription comes back
+        // streaming-from-now. A client that resumes with a cursor behind
+        // real events is degraded to a resync at `resume` time, never
+        // silently skipped ahead; a fully caught-up client keeps
+        // streaming.
+        for name in repo.instance_names() {
+            if let Some(db) = repo.instance(&name) {
+                let seq = repo.instance_seq(&name);
+                propagator.track_instance(name, db, seq);
+            }
+        }
+        for sub in repo.subscriptions() {
+            if let Ok((schema, _)) = repo.latest_schema(&sub.views.base_schema) {
+                // A subscription whose base schema is gone cannot be
+                // served; leave it in the registry for inspection but
+                // do not attach it.
+                let _ = propagator.attach_recovered(sub, schema);
+            }
+        }
+        Ok(Engine {
+            repo,
+            config,
+            chase_plans: PlanCache::default(),
+            propagator,
+            feed_order: Mutex::new(()),
+        })
     }
 
     /// The engine's telemetry handle — disabled unless
@@ -690,6 +748,113 @@ impl Engine {
             self.repo.checkpoint()?;
         }
         Ok(())
+    }
+
+    // --- update propagation (DESIGN.md §14) --------------------------------
+
+    /// Create or replace a tracked instance wholesale — the bulk-load
+    /// path. However many tuples `value` carries, the write is one
+    /// amortized WAL frame and one coalesced feed event; streaming
+    /// subscribers on the instance flip to a (non-degradation) load
+    /// resync. Returns the commit sequence.
+    pub fn put_instance(&self, name: &str, value: Database) -> Result<u64, EngineError> {
+        let _order = self.feed_order.lock();
+        let seq = self.repo.put_instance(name, value.clone())?;
+        self.propagator.publish_load(seq, name, value);
+        Ok(seq)
+    }
+
+    /// Apply an insert-only batch to a tracked instance: validated and
+    /// journaled as a single WAL record by the repository, then
+    /// published as one coalesced feed event — subscribers see one
+    /// notification per batch, not per tuple. Returns the commit
+    /// sequence.
+    pub fn insert_batch(
+        &self,
+        instance: &str,
+        inserts: Vec<(String, Vec<Tuple>)>,
+    ) -> Result<u64, EngineError> {
+        let _order = self.feed_order.lock();
+        let seq = self.repo.apply_instance_delta(instance, inserts.clone())?;
+        let mut delta = Delta::new();
+        for (rel, tuples) in inserts {
+            for t in tuples {
+                delta.insert(rel.clone(), t);
+            }
+        }
+        self.propagator.publish_delta(seq, instance, &delta)?;
+        Ok(seq)
+    }
+
+    /// A clone of a tracked instance's current committed state.
+    pub fn instance(&self, name: &str) -> Option<Database> {
+        self.repo.instance(name)
+    }
+
+    /// Register a continuous query over a tracked instance: the
+    /// subscription is journaled WAL-first (it survives a crash), then
+    /// attached to the propagator. The subscriber's first poll delivers
+    /// the bootstrap snapshot. Returns the subscription id.
+    pub fn subscribe(&self, instance: &str, views: ViewSet) -> Result<u64, EngineError> {
+        if self.repo.instance(instance).is_none() {
+            return Err(EngineError::Repository(RepositoryError::NotFound(format!(
+                "instance `{instance}`"
+            ))));
+        }
+        let (schema, _) = self.repo.latest_schema(&views.base_schema)?;
+        let _order = self.feed_order.lock();
+        let id = self
+            .repo
+            .subscriptions()
+            .iter()
+            .map(|s| s.id)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let sub = Subscription { id, instance: instance.to_string(), views, cursor: 0 };
+        self.repo.register_subscription(sub.clone())?;
+        self.propagator.subscribe(sub, schema)?;
+        Ok(id)
+    }
+
+    /// Drain up to `max` pending notifications for subscriber `id` —
+    /// incremental view deltas, or a single resync snapshot when the
+    /// subscriber was degraded (or just subscribed/resumed off the
+    /// feed).
+    pub fn poll(&self, id: u64, max: usize) -> Result<PollResponse, EngineError> {
+        Ok(self.propagator.poll(id, max)?)
+    }
+
+    /// Durably acknowledge everything up to `cursor` for subscriber
+    /// `id`: the cursor advance is journaled (monotone), so a
+    /// reconnecting client resumes from it after a crash.
+    pub fn ack(&self, id: u64, cursor: u64) -> Result<(), EngineError> {
+        self.repo.advance_cursor(id, cursor)?;
+        self.propagator.ack(id, cursor)?;
+        Ok(())
+    }
+
+    /// A client reconnected claiming it has applied everything up to
+    /// `cursor` (normally its last durable ack). Streaming continues if
+    /// the subscriber's queue still covers everything past the cursor;
+    /// otherwise the next poll delivers a cursor-lost resync.
+    pub fn resume(&self, id: u64, cursor: u64) -> Result<(), EngineError> {
+        self.repo.advance_cursor(id, cursor)?;
+        self.propagator.resume(id, cursor)?;
+        Ok(())
+    }
+
+    /// Drop subscription `id` from the durable registry and the
+    /// propagator.
+    pub fn unsubscribe(&self, id: u64) -> Result<(), EngineError> {
+        self.repo.drop_subscription(id)?;
+        self.propagator.unsubscribe(id);
+        Ok(())
+    }
+
+    /// Introspect one subscriber (queue depth, cursor, pending resync).
+    pub fn subscriber_status(&self, id: u64) -> Result<SubscriberStatus, EngineError> {
+        Ok(self.propagator.status(id)?)
     }
 
     /// [`Self::exchange`] with an EXPLAIN report: alongside the universal

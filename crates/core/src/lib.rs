@@ -84,10 +84,14 @@ pub mod prelude {
         er_to_relational, nest_relational, relational_to_er, shred_nested, three_copy_translate,
         InheritanceStrategy, ModelGenError, ModelGenResult,
     };
+    pub use mm_propagate::{
+        ChangeFeed, ChangeKind, FeedEvent, Notification, PollResponse, PropagateConfig,
+        PropagateError, Propagator, ResyncCause, SubscriberStatus,
+    };
     pub use mm_repository::{
         ArtifactId, ArtifactKind, DurableOptions, FaultOp, FaultPlan, FaultStorage, LineageEdge,
         MemStorage, Repository, RepositoryError, Storage, StorageError, StorageLineSink,
-        SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,
+        Subscription, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,
     };
     pub use mm_runtime::{
         advise_indexes, batch_load, batch_load_governed, check_query, compile_policy,

@@ -161,6 +161,10 @@ pub enum DegradationKind {
     /// IVM: delta-rule maintenance tripped its budget; fell back to a
     /// full recompute of the affected view.
     IncrementalToRecompute,
+    /// Propagation: incremental push to a subscriber was abandoned
+    /// (queue overflow, lost cursor, or delta budget); the subscriber
+    /// is handed a full recompute-and-resync snapshot instead.
+    PushToResync,
 }
 
 impl fmt::Display for DegradationKind {
@@ -168,6 +172,7 @@ impl fmt::Display for DegradationKind {
         let name = match self {
             DegradationKind::CollapsedToChained => "collapsed mediation -> chained unfolding",
             DegradationKind::IncrementalToRecompute => "incremental maintenance -> full recompute",
+            DegradationKind::PushToResync => "incremental push -> recompute-and-resync",
         };
         f.write_str(name)
     }

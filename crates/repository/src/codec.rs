@@ -11,6 +11,7 @@ use mm_expr::{
     MappingConstraint, PathRef, Predicate, Scalar, SoClause, SoTgd, Term, Tgd, ViewDef,
     ViewSet,
 };
+use mm_instance::{Database, RelSchema, Relation, Tuple, Value};
 use mm_metamodel::{
     Attribute, Cardinality, Constraint, DataType, Element, ElementKind, ForeignKey,
     InclusionDependency, Key, Schema,
@@ -1079,6 +1080,114 @@ impl Decode for ViewSet {
     }
 }
 
+// --- instances ---------------------------------------------------------------
+//
+// The instance codec lives here (rather than in the wire protocol) so the
+// WAL can journal data deltas; `mm-server` reuses these impls for its
+// frames, keeping the two byte formats identical by construction.
+
+impl Encode for Value {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Int(i) => {
+                w.u8(0);
+                w.i64(*i);
+            }
+            Value::Double(d) => {
+                w.u8(1);
+                w.f64(*d);
+            }
+            Value::Bool(b) => {
+                w.u8(2);
+                w.bool(*b);
+            }
+            Value::Text(s) => {
+                w.u8(3);
+                w.str(s);
+            }
+            Value::Date(d) => {
+                w.u8(4);
+                w.i32(*d);
+            }
+            Value::Null => w.u8(5),
+            Value::Labeled(id) => {
+                w.u8(6);
+                w.u64(*id);
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(match r.u8()? {
+            0 => Value::Int(r.i64()?),
+            1 => Value::Double(r.f64()?),
+            2 => Value::Bool(r.bool()?),
+            3 => Value::Text(r.str()?),
+            4 => Value::Date(r.i32()?),
+            5 => Value::Null,
+            6 => Value::Labeled(r.u64()?),
+            t => return Err(bad_tag("Value", t)),
+        })
+    }
+}
+
+impl Encode for Tuple {
+    fn encode(&self, w: &mut Writer) {
+        w.seq(self.values(), |w, v| v.encode(w));
+    }
+}
+
+impl Decode for Tuple {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        Ok(Tuple::new(r.seq(Value::decode)?))
+    }
+}
+
+impl Encode for Relation {
+    fn encode(&self, w: &mut Writer) {
+        w.seq(&self.schema.attributes, |w, a| a.encode(w));
+        w.seq(self.tuples(), |w, t| t.encode(w));
+    }
+}
+
+impl Decode for Relation {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        let attributes = r.seq(Attribute::decode)?;
+        let tuples = r.seq(Tuple::decode)?;
+        Ok(Relation::with_tuples(RelSchema::new(attributes), tuples))
+    }
+}
+
+impl Encode for Database {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.name);
+        w.u64(self.label_watermark());
+        let rels: Vec<(&str, &Relation)> = self.relations().collect();
+        w.seq(&rels, |w, (name, rel)| {
+            w.str(name);
+            rel.encode(w);
+        });
+    }
+}
+
+impl Decode for Database {
+    fn decode(r: &mut Reader) -> DecodeResult<Self> {
+        let name = r.str()?;
+        let watermark = r.u64()?;
+        let mut db = Database::new(name);
+        let n = r.seq_len()?;
+        for _ in 0..n {
+            let rel_name = r.str()?;
+            let rel = Relation::decode(r)?;
+            db.insert_relation(rel_name, rel);
+        }
+        db.set_label_watermark(watermark);
+        Ok(db)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1179,6 +1288,31 @@ mod tests {
         w.u8(99);
         let mut r = Reader::new(w.finish());
         assert!(Expr::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn database_roundtrips_bit_identically() {
+        let mut db = Database::new("S");
+        let mut rel = Relation::new(RelSchema::of(&[
+            ("Id", DataType::Int),
+            ("Name", DataType::Text),
+        ]));
+        rel.insert(Tuple::new(vec![Value::Int(1), Value::text("ada")]));
+        rel.insert(Tuple::new(vec![Value::Int(2), Value::Labeled(7)]));
+        db.insert_relation("Person", rel);
+        db.insert_relation("Empty", Relation::new(RelSchema::of(&[("x", DataType::Any)])));
+        db.set_label_watermark(8);
+        let mut w = Writer::new();
+        db.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = Reader::new(bytes.clone());
+        let back = Database::decode(&mut r).expect("decode");
+        assert!(r.is_empty());
+        assert_eq!(back.name, db.name);
+        assert_eq!(back.label_watermark(), db.label_watermark());
+        let mut w2 = Writer::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.finish(), bytes, "re-encode is bit-identical");
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub use storage::{
 };
 pub use store::{
     ArtifactId, ArtifactKind, DurableOptions, LineageEdge, Repository, RepositoryError,
-    VersionedName, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,
+    Subscription, VersionedName, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE, WAL_FILE,
 };
 pub use wal::{Wal, WalRecord, WalReplay};

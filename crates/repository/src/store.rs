@@ -21,11 +21,13 @@ use crate::storage::{Storage, StorageError};
 use crate::wal::{Wal, WalRecord};
 use bytes::Bytes;
 use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
+use mm_instance::{Database, Tuple};
 use mm_metamodel::Schema;
 use mm_telemetry::{Counter, Telemetry, Timer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What kind of artifact an id refers to.
@@ -83,6 +85,45 @@ pub struct LineageEdge {
     pub output: ArtifactId,
 }
 
+/// A registered change-feed subscription: a set of continuous queries
+/// (a [`ViewSet`]) over one tracked instance, plus the durable resume
+/// cursor — the commit sequence of the last feed event the subscriber
+/// acknowledged. Persisted WAL-first like every artifact, so recovery
+/// restores the registry and a reconnecting client resumes from its
+/// cursor instead of resubscribing from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// Registry key, assigned by the caller (the engine allocates these
+    /// monotonically).
+    pub id: u64,
+    /// Name of the tracked instance the queries read.
+    pub instance: String,
+    /// The continuous queries maintained for this subscriber.
+    pub views: ViewSet,
+    /// Commit sequence of the last acknowledged feed event.
+    pub cursor: u64,
+}
+
+impl Encode for Subscription {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.id);
+        w.str(&self.instance);
+        self.views.encode(w);
+        w.u64(self.cursor);
+    }
+}
+
+impl Decode for Subscription {
+    fn decode(r: &mut Reader) -> Result<Self, DecodeError> {
+        Ok(Subscription {
+            id: r.u64()?,
+            instance: r.str()?,
+            views: ViewSet::decode(r)?,
+            cursor: r.u64()?,
+        })
+    }
+}
+
 /// Repository errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RepositoryError {
@@ -101,6 +142,9 @@ pub enum RepositoryError {
     NoTransaction,
     /// A durable-only operation (`checkpoint`) on an ephemeral repository.
     NotDurable,
+    /// A data-path write was structurally invalid (unknown relation,
+    /// arity mismatch) and was refused before journaling.
+    InvalidWrite { detail: String },
 }
 
 impl fmt::Display for RepositoryError {
@@ -116,6 +160,9 @@ impl fmt::Display for RepositoryError {
             RepositoryError::NoTransaction => f.write_str("no active repository transaction"),
             RepositoryError::NotDurable => {
                 f.write_str("operation requires a durable repository")
+            }
+            RepositoryError::InvalidWrite { detail } => {
+                write!(f, "invalid write: {detail}")
             }
         }
     }
@@ -142,6 +189,13 @@ struct Store {
     viewsets: BTreeMap<String, Vec<ViewSet>>,
     correspondences: BTreeMap<String, Vec<CorrespondenceSet>>,
     lineage: Vec<LineageEdge>,
+    subscriptions: BTreeMap<u64, Subscription>,
+    instances: BTreeMap<String, Database>,
+    /// Commit sequence of the last feed event (load or delta) per
+    /// tracked instance. Registry writes and artifact stores bump the
+    /// global sequence without touching this, so a resuming subscriber
+    /// is judged against the events that actually concern it.
+    instance_seqs: BTreeMap<String, u64>,
 }
 
 /// An open transaction: the pre-transaction state to roll back to, plus
@@ -201,12 +255,17 @@ pub struct Repository {
     tx: Mutex<Option<TxState>>,
     durable: Option<DurableCore>,
     telemetry: Telemetry,
+    /// Commit counter for ephemeral repositories, so the change feed
+    /// has a cursor space in both modes (durable mode reads the WAL
+    /// sequence instead).
+    ephemeral_seq: AtomicU64,
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x4D4D5232; // "MMR2"
 /// Snapshot format version. v2 added the version byte, the last-applied
-/// WAL sequence number, and the CRC32 body checksum.
-const SNAPSHOT_VERSION: u8 = 2;
+/// WAL sequence number, and the CRC32 body checksum; v3 added the
+/// subscription registry and tracked instances.
+const SNAPSHOT_VERSION: u8 = 3;
 /// Snapshot header: magic (4) + version (1) + seq (8) + crc (4).
 const SNAPSHOT_HEADER_LEN: usize = 17;
 
@@ -343,7 +402,7 @@ impl Repository {
                 continue; // already folded into the snapshot
             }
             for rec in records {
-                apply_record(&mut store, rec);
+                apply_record(&mut store, rec, seq);
             }
             last_seq = seq;
         }
@@ -379,6 +438,7 @@ impl Repository {
                 opts,
             }),
             telemetry: tel,
+            ephemeral_seq: AtomicU64::new(0),
         })
     }
 
@@ -433,6 +493,180 @@ impl Repository {
     /// Names of all stored correspondence sets.
     pub fn correspondence_names(&self) -> Vec<String> {
         self.inner.read().correspondences.keys().cloned().collect()
+    }
+
+    /// The sequence number of the last committed batch: the WAL
+    /// sequence in durable mode, an in-memory commit counter otherwise.
+    /// This is the cursor space of the change feed.
+    pub fn last_seq(&self) -> u64 {
+        match &self.durable {
+            Some(d) => d.state.lock().next_seq - 1,
+            None => self.ephemeral_seq.load(Ordering::Acquire),
+        }
+    }
+
+    /// Journal one record and apply it, returning the commit sequence
+    /// the write carries (the apply closure receives the same sequence,
+    /// so state derived from it — e.g. per-instance event sequences —
+    /// stays consistent between the live path and WAL replay). Inside
+    /// an open transaction the record joins the transaction's batch and
+    /// the returned sequence is the one the commit frame will carry
+    /// (writes queue behind the tx lock, so no other frame can claim it
+    /// first).
+    fn journal_apply(
+        &self,
+        rec: WalRecord,
+        apply: impl FnOnce(&mut Store, u64),
+    ) -> Result<u64, RepositoryError> {
+        let seq = {
+            let mut tx = self.tx.lock();
+            let mut store = self.inner.write();
+            if let Some(tx) = tx.as_mut() {
+                tx.buffer.push(rec);
+                let seq = match &self.durable {
+                    Some(d) => d.state.lock().next_seq,
+                    None => self.ephemeral_seq.load(Ordering::Acquire) + 1,
+                };
+                apply(&mut store, seq);
+                seq
+            } else if let Some(d) = &self.durable {
+                d.append_now(std::slice::from_ref(&rec), &self.telemetry)?;
+                let seq = d.state.lock().next_seq - 1;
+                apply(&mut store, seq);
+                seq
+            } else {
+                let seq = self.ephemeral_seq.fetch_add(1, Ordering::AcqRel) + 1;
+                apply(&mut store, seq);
+                seq
+            }
+        };
+        self.maybe_autocheckpoint();
+        Ok(seq)
+    }
+
+    // --- tracked instances (the data the change feed propagates) ----------
+
+    /// Create or replace a tracked instance wholesale — the bulk-load
+    /// path. However many tuples `value` carries, it is journaled as one
+    /// amortized WAL record inside one frame. Returns the commit
+    /// sequence (the feed event for the load).
+    pub fn put_instance(
+        &self,
+        name: impl Into<String>,
+        value: Database,
+    ) -> Result<u64, RepositoryError> {
+        let name = name.into();
+        self.journal_apply(
+            WalRecord::InstancePut { name: name.clone(), value: value.clone() },
+            move |store, seq| {
+                store.instance_seqs.insert(name.clone(), seq);
+                store.instances.insert(name, value);
+            },
+        )
+    }
+
+    /// A clone of a tracked instance.
+    pub fn instance(&self, name: &str) -> Option<Database> {
+        self.inner.read().instances.get(name).cloned()
+    }
+
+    /// Names of all tracked instances.
+    pub fn instance_names(&self) -> Vec<String> {
+        self.inner.read().instances.keys().cloned().collect()
+    }
+
+    /// Commit sequence of the last feed event (load or delta) that
+    /// touched instance `name` — 0 if never written. Unlike
+    /// [`Repository::last_seq`], registry and artifact writes do not
+    /// advance this, so it is the correct resume horizon for a
+    /// recovered subscriber.
+    pub fn instance_seq(&self, name: &str) -> u64 {
+        self.inner.read().instance_seqs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Apply an insert-only delta (per-relation tuple batches) to a
+    /// tracked instance, journaled as a single WAL record. The write is
+    /// validated (instance and relations must exist, arities must
+    /// match) *before* journaling, so the log never carries a record
+    /// that cannot replay. Returns the commit sequence.
+    pub fn apply_instance_delta(
+        &self,
+        name: &str,
+        inserts: Vec<(String, Vec<Tuple>)>,
+    ) -> Result<u64, RepositoryError> {
+        {
+            let store = self.inner.read();
+            let Some(db) = store.instances.get(name) else {
+                return Err(RepositoryError::NotFound(format!("instance `{name}`")));
+            };
+            for (rel_name, tuples) in &inserts {
+                let Some(rel) = db.relation(rel_name) else {
+                    return Err(RepositoryError::InvalidWrite {
+                        detail: format!("no relation `{rel_name}` in instance `{name}`"),
+                    });
+                };
+                let arity = rel.schema.arity();
+                if let Some(t) = tuples.iter().find(|t| t.arity() != arity) {
+                    return Err(RepositoryError::InvalidWrite {
+                        detail: format!(
+                            "arity mismatch inserting into `{rel_name}`: got {}, want {arity}",
+                            t.arity()
+                        ),
+                    });
+                }
+            }
+        }
+        let owned = name.to_string();
+        self.journal_apply(
+            WalRecord::InstanceDelta { name: owned.clone(), inserts: inserts.clone() },
+            move |store, seq| {
+                store.instance_seqs.insert(owned.clone(), seq);
+                apply_instance_delta_to(store, &owned, &inserts);
+            },
+        )
+    }
+
+    // --- the subscription registry -----------------------------------------
+
+    /// Register (or replace) a change-feed subscription, WAL-first.
+    /// Returns the commit sequence of the registration.
+    pub fn register_subscription(&self, sub: Subscription) -> Result<u64, RepositoryError> {
+        self.journal_apply(WalRecord::Subscription(sub.clone()), move |store, _seq| {
+            store.subscriptions.insert(sub.id, sub);
+        })
+    }
+
+    /// Drop a subscription from the registry.
+    pub fn drop_subscription(&self, id: u64) -> Result<u64, RepositoryError> {
+        if !self.inner.read().subscriptions.contains_key(&id) {
+            return Err(RepositoryError::NotFound(format!("subscription #{id}")));
+        }
+        self.journal_apply(WalRecord::SubscriptionDrop { id }, move |store, _seq| {
+            store.subscriptions.remove(&id);
+        })
+    }
+
+    /// Durably advance a subscriber's resume cursor (monotone: a replay
+    /// or a late ack can never move it backwards).
+    pub fn advance_cursor(&self, id: u64, cursor: u64) -> Result<u64, RepositoryError> {
+        if !self.inner.read().subscriptions.contains_key(&id) {
+            return Err(RepositoryError::NotFound(format!("subscription #{id}")));
+        }
+        self.journal_apply(WalRecord::SubscriptionCursor { id, cursor }, move |store, _seq| {
+            if let Some(sub) = store.subscriptions.get_mut(&id) {
+                sub.cursor = sub.cursor.max(cursor);
+            }
+        })
+    }
+
+    /// A clone of one registered subscription.
+    pub fn subscription(&self, id: u64) -> Option<Subscription> {
+        self.inner.read().subscriptions.get(&id).cloned()
+    }
+
+    /// All registered subscriptions, in id order.
+    pub fn subscriptions(&self) -> Vec<Subscription> {
+        self.inner.read().subscriptions.values().cloned().collect()
     }
 
     /// Record an operator invocation. Journaled like a store: callers
@@ -538,6 +772,9 @@ impl Repository {
                         return Err(RepositoryError::Storage(e));
                     }
                 }
+            } else if !state.buffer.is_empty() {
+                // ephemeral commits advance the feed cursor space too
+                self.ephemeral_seq.fetch_add(1, Ordering::AcqRel);
             }
         }
         self.maybe_autocheckpoint();
@@ -638,11 +875,12 @@ impl Repository {
             tx: Mutex::new(None),
             durable: None,
             telemetry: Telemetry::disabled(),
+            ephemeral_seq: AtomicU64::new(0),
         })
     }
 }
 
-fn apply_record(store: &mut Store, rec: WalRecord) {
+fn apply_record(store: &mut Store, rec: WalRecord, seq: u64) {
     match rec {
         WalRecord::Schema { name, value } => {
             store.schemas.entry(name).or_default().push(value)
@@ -657,6 +895,40 @@ fn apply_record(store: &mut Store, rec: WalRecord) {
             store.correspondences.entry(name).or_default().push(value)
         }
         WalRecord::Lineage(edge) => store.lineage.push(edge),
+        WalRecord::Subscription(sub) => {
+            store.subscriptions.insert(sub.id, sub);
+        }
+        WalRecord::SubscriptionDrop { id } => {
+            store.subscriptions.remove(&id);
+        }
+        WalRecord::SubscriptionCursor { id, cursor } => {
+            if let Some(sub) = store.subscriptions.get_mut(&id) {
+                sub.cursor = sub.cursor.max(cursor);
+            }
+        }
+        WalRecord::InstancePut { name, value } => {
+            store.instance_seqs.insert(name.clone(), seq);
+            store.instances.insert(name, value);
+        }
+        WalRecord::InstanceDelta { name, inserts } => {
+            store.instance_seqs.insert(name.clone(), seq);
+            apply_instance_delta_to(store, &name, &inserts);
+        }
+    }
+}
+
+/// Apply an insert-only delta to a tracked instance. Relations that do
+/// not exist are skipped — the public write path validated the delta
+/// before journaling, so this only arises for records hand-crafted
+/// outside it, and replay must stay total (never panic on a log).
+fn apply_instance_delta_to(store: &mut Store, name: &str, inserts: &[(String, Vec<Tuple>)]) {
+    let Some(db) = store.instances.get_mut(name) else { return };
+    for (rel_name, tuples) in inserts {
+        if let Some(rel) = db.relation_mut(rel_name) {
+            for t in tuples {
+                rel.insert(t.clone());
+            }
+        }
     }
 }
 
@@ -669,6 +941,16 @@ fn encode_store(store: &Store) -> Bytes {
     w.u32(store.lineage.len() as u32);
     for e in &store.lineage {
         e.encode(&mut w);
+    }
+    w.u32(store.subscriptions.len() as u32);
+    for sub in store.subscriptions.values() {
+        sub.encode(&mut w);
+    }
+    w.u32(store.instances.len() as u32);
+    for (name, db) in &store.instances {
+        w.str(name);
+        w.u64(store.instance_seqs.get(name).copied().unwrap_or(0));
+        db.encode(&mut w);
     }
     w.finish()
 }
@@ -730,7 +1012,36 @@ fn decode_snapshot(bytes: Bytes) -> Result<(Store, u64), RepositoryError> {
     for _ in 0..n {
         lineage.push(LineageEdge::decode(&mut r)?);
     }
-    Ok((Store { schemas, mappings, viewsets, correspondences, lineage }, seq))
+    let n = r.seq_len()?;
+    let mut subscriptions = BTreeMap::new();
+    for _ in 0..n {
+        let sub = Subscription::decode(&mut r)?;
+        subscriptions.insert(sub.id, sub);
+    }
+    let n = r.seq_len()?;
+    let mut instances = BTreeMap::new();
+    let mut instance_seqs = BTreeMap::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let event_seq = r.u64()?;
+        if event_seq != 0 {
+            instance_seqs.insert(name.clone(), event_seq);
+        }
+        instances.insert(name, Database::decode(&mut r)?);
+    }
+    Ok((
+        Store {
+            schemas,
+            mappings,
+            viewsets,
+            correspondences,
+            lineage,
+            subscriptions,
+            instances,
+            instance_seqs,
+        },
+        seq,
+    ))
 }
 
 fn encode_versions<T: Encode>(w: &mut Writer, map: &BTreeMap<String, Vec<T>>) {

@@ -24,9 +24,10 @@
 
 use crate::codec::{crc32, Decode, DecodeResult, Encode, Reader, Writer};
 use crate::storage::{Storage, StorageError};
-use crate::store::LineageEdge;
+use crate::store::{LineageEdge, Subscription};
 use bytes::Bytes;
 use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
+use mm_instance::{Database, Tuple};
 use mm_metamodel::Schema;
 use std::sync::Arc;
 
@@ -38,6 +39,21 @@ pub enum WalRecord {
     ViewSet { name: String, value: ViewSet },
     Correspondences { name: String, value: CorrespondenceSet },
     Lineage(LineageEdge),
+    /// Register (or replace) a change-feed subscription. Journaled
+    /// WAL-first like every artifact write, so a torn registration
+    /// recovers to "no subscriber" — never a half-registered one.
+    Subscription(Subscription),
+    /// Drop a subscription from the registry.
+    SubscriptionDrop { id: u64 },
+    /// Durably advance a subscriber's resume cursor to a feed sequence
+    /// it has acknowledged.
+    SubscriptionCursor { id: u64, cursor: u64 },
+    /// Create or replace a tracked base instance (bulk load writes one
+    /// of these — a single amortized frame no matter the tuple count).
+    InstancePut { name: String, value: Database },
+    /// Insert-only delta against a tracked instance: per-relation tuple
+    /// batches, one frame per committed batch.
+    InstanceDelta { name: String, inserts: Vec<(String, Vec<Tuple>)> },
 }
 
 impl Encode for WalRecord {
@@ -67,6 +83,33 @@ impl Encode for WalRecord {
                 w.u8(4);
                 edge.encode(w);
             }
+            WalRecord::Subscription(sub) => {
+                w.u8(5);
+                sub.encode(w);
+            }
+            WalRecord::SubscriptionDrop { id } => {
+                w.u8(6);
+                w.u64(*id);
+            }
+            WalRecord::SubscriptionCursor { id, cursor } => {
+                w.u8(7);
+                w.u64(*id);
+                w.u64(*cursor);
+            }
+            WalRecord::InstancePut { name, value } => {
+                w.u8(8);
+                w.str(name);
+                value.encode(w);
+            }
+            WalRecord::InstanceDelta { name, inserts } => {
+                w.u8(9);
+                w.str(name);
+                w.u32(inserts.len() as u32);
+                for (rel, tuples) in inserts {
+                    w.str(rel);
+                    w.seq(tuples, |w, t| t.encode(w));
+                }
+            }
         }
     }
 }
@@ -82,6 +125,20 @@ impl Decode for WalRecord {
                 value: CorrespondenceSet::decode(r)?,
             },
             4 => WalRecord::Lineage(LineageEdge::decode(r)?),
+            5 => WalRecord::Subscription(Subscription::decode(r)?),
+            6 => WalRecord::SubscriptionDrop { id: r.u64()? },
+            7 => WalRecord::SubscriptionCursor { id: r.u64()?, cursor: r.u64()? },
+            8 => WalRecord::InstancePut { name: r.str()?, value: Database::decode(r)? },
+            9 => {
+                let name = r.str()?;
+                let n = r.seq_len()?;
+                let mut inserts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let rel = r.str()?;
+                    inserts.push((rel, r.seq(Tuple::decode)?));
+                }
+                WalRecord::InstanceDelta { name, inserts }
+            }
             t => {
                 return Err(crate::codec::DecodeError(format!("unknown WalRecord tag {t}")))
             }

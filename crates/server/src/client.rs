@@ -6,8 +6,9 @@
 use crate::protocol::{
     self, decode_response, encode_request, read_frame, write_frame, OkBody, Request, WireStats,
 };
-use mm_expr::Expr;
-use mm_instance::{Database, Relation};
+use mm_expr::{Expr, ViewSet};
+use mm_instance::{Database, Relation, Tuple};
+use mm_propagate::Notification;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -40,6 +41,50 @@ impl ClientError {
     pub fn is_shutting_down(&self) -> bool {
         self.code() == Some(ERR_SHUTTING_DOWN)
     }
+
+    /// `retry_after`-style triage for a failed call, given how many
+    /// retries have already happened (`attempt`, 0-based).
+    ///
+    /// Transient overload — the admission rejections `Overloaded` (50)
+    /// and `QueueFull` (51) — earns a capped, jittered exponential
+    /// backoff: the server shed this request to protect itself, and
+    /// the same request is expected to succeed once pressure drops.
+    /// `ShuttingDown` (52) fails fast: the server is draining for good
+    /// and retrying against it only delays failover. Every other error
+    /// (typed engine errors, protocol faults, I/O) also fails fast —
+    /// retrying a malformed request or a desynchronized stream cannot
+    /// help.
+    pub fn retry_advice(&self, attempt: u32) -> RetryAdvice {
+        match self.code() {
+            Some(ERR_OVERLOADED) | Some(ERR_QUEUE_FULL) => {
+                RetryAdvice::After(backoff_delay(attempt))
+            }
+            _ => RetryAdvice::FailFast,
+        }
+    }
+}
+
+/// What [`ClientError::retry_advice`] tells the caller's retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryAdvice {
+    /// Transient overload: wait this long, then retry.
+    After(Duration),
+    /// Drain or a non-admission error: do not retry.
+    FailFast,
+}
+
+/// Backoff for retry `attempt` (0-based): exponential from 10 ms,
+/// capped at 1 s, with deterministic multiplicative-hash jitter in the
+/// upper half of the window so a fleet of clients rejected together
+/// does not retry in lockstep. No RNG dependency — the jitter is a
+/// pure function of the attempt number, which keeps retry schedules
+/// reproducible in tests.
+pub fn backoff_delay(attempt: u32) -> Duration {
+    let base_ms = 10u64.saturating_mul(1u64 << attempt.min(7)).min(1_000);
+    let jitter = (u64::from(attempt) + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        % (base_ms / 2 + 1);
+    Duration::from_millis(base_ms / 2 + jitter)
 }
 
 impl std::fmt::Display for ClientError {
@@ -218,6 +263,110 @@ impl Client {
         match self.call(&Request::Script { text: text.to_string() })? {
             OkBody::Script { outputs } => Ok(outputs),
             other => Err(ClientError::Protocol(format!("expected script body, got {other:?}"))),
+        }
+    }
+
+    // --- update propagation ------------------------------------------------
+
+    /// Create or replace a tracked instance wholesale (bulk load): one
+    /// WAL frame and one coalesced feed event server-side, however
+    /// many tuples `db` carries. Returns the commit sequence.
+    pub fn put_instance(&mut self, name: &str, db: &Database) -> Result<u64, ClientError> {
+        let req = Request::PutInstance { name: name.to_string(), db: db.clone() };
+        match self.call(&req)? {
+            OkBody::Committed { seq } => Ok(seq),
+            other => Err(ClientError::Protocol(format!("expected committed body, got {other:?}"))),
+        }
+    }
+
+    /// Insert-only batch against a tracked instance; subscribers see
+    /// one coalesced notification. Returns the commit sequence.
+    pub fn insert_batch(
+        &mut self,
+        instance: &str,
+        inserts: &[(String, Vec<Tuple>)],
+    ) -> Result<u64, ClientError> {
+        let req = Request::InsertBatch {
+            instance: instance.to_string(),
+            inserts: inserts.to_vec(),
+        };
+        match self.call(&req)? {
+            OkBody::Committed { seq } => Ok(seq),
+            other => Err(ClientError::Protocol(format!("expected committed body, got {other:?}"))),
+        }
+    }
+
+    /// Register a continuous query over a tracked instance. The first
+    /// poll delivers the bootstrap snapshot. Returns the subscription
+    /// id — keep it (with the last acked cursor) to resume after a
+    /// disconnect.
+    pub fn subscribe(&mut self, instance: &str, views: &ViewSet) -> Result<u64, ClientError> {
+        let req = Request::Subscribe { instance: instance.to_string(), views: views.clone() };
+        match self.call(&req)? {
+            OkBody::Subscribed { id } => Ok(id),
+            other => Err(ClientError::Protocol(format!("expected subscribed body, got {other:?}"))),
+        }
+    }
+
+    /// Drain up to `max` pending notifications. The `bool` is the
+    /// lagging flag: true while the subscriber's server-side queue sits
+    /// above the high-water mark — poll harder or expect a resync.
+    pub fn poll(&mut self, id: u64, max: u32) -> Result<(Vec<Notification>, bool), ClientError> {
+        match self.call(&Request::Poll { id, max })? {
+            OkBody::Notifications { notifications, lagging } => Ok((notifications, lagging)),
+            other => Err(ClientError::Protocol(format!("expected notifications, got {other:?}"))),
+        }
+    }
+
+    /// Durably acknowledge everything up to `cursor`: the server
+    /// journals the cursor advance, so it survives a crash on either
+    /// side.
+    pub fn ack(&mut self, id: u64, cursor: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Ack { id, cursor })? {
+            OkBody::Done => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected done body, got {other:?}"))),
+        }
+    }
+
+    /// After reconnecting, resume subscription `id` from the last
+    /// durably acked `cursor`. Streaming continues if the server still
+    /// covers everything past the cursor; otherwise the next poll
+    /// delivers a cursor-lost resync snapshot.
+    pub fn resume(&mut self, id: u64, cursor: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Resume { id, cursor })? {
+            OkBody::Done => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected done body, got {other:?}"))),
+        }
+    }
+
+    /// Drop subscription `id`.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<(), ClientError> {
+        match self.call(&Request::Unsubscribe { id })? {
+            OkBody::Done => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected done body, got {other:?}"))),
+        }
+    }
+
+    /// Run `op` under [`ClientError::retry_advice`]: transient overload
+    /// rejections (50/51) back off and retry up to `max_attempts` total
+    /// tries; drain (52) and every other error return immediately.
+    pub fn retrying<T>(
+        &mut self,
+        max_attempts: u32,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0;
+        loop {
+            match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) => match e.retry_advice(attempt) {
+                    RetryAdvice::After(delay) if attempt + 1 < max_attempts => {
+                        std::thread::sleep(delay);
+                        attempt += 1;
+                    }
+                    _ => return Err(e),
+                },
+            }
         }
     }
 }

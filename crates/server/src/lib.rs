@@ -25,8 +25,10 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, MediateReply};
+pub use client::{backoff_delay, Client, ClientError, MediateReply, RetryAdvice};
 pub use protocol::{
-    engine_error_code, exec_error_code, Op, Request, WireStats, DEFAULT_MAX_FRAME_LEN,
+    decode_notification, encode_notification, engine_error_code, exec_error_code,
+    propagate_error_code, Op, Request, WireStats, DEFAULT_MAX_FRAME_LEN, ERR_UNKNOWN_INSTANCE,
+    ERR_UNKNOWN_SUBSCRIBER,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -27,10 +27,10 @@
 
 use bytes::Bytes;
 use mm_engine::EngineError;
-use mm_expr::Expr;
+use mm_expr::{Expr, ViewSet};
 use mm_guard::ExecError;
-use mm_instance::{Database, Relation, RelSchema, Tuple, Value};
-use mm_metamodel::Attribute;
+use mm_instance::{Database, Relation, Tuple};
+use mm_propagate::{Notification, PropagateError, ResyncCause};
 use mm_repository::codec::{crc32, Decode, DecodeError, DecodeResult, Encode, Reader, Writer};
 use std::fmt;
 use std::io::{Read, Write};
@@ -80,6 +80,10 @@ pub const ERR_OVERLOADED: u32 = 50;
 pub const ERR_QUEUE_FULL: u32 = 51;
 pub const ERR_SHUTTING_DOWN: u32 = 52;
 
+pub const ERR_UNKNOWN_SUBSCRIBER: u32 = 60;
+pub const ERR_UNKNOWN_INSTANCE: u32 = 61;
+pub const ERR_RESYNC_FAILED: u32 = 62;
+
 /// The wire code for a governance error. Exhaustive on purpose: a new
 /// [`ExecError`] variant is a compile error here until it gets a code.
 pub fn exec_error_code(e: &ExecError) -> u32 {
@@ -92,6 +96,16 @@ pub fn exec_error_code(e: &ExecError) -> u32 {
         ExecError::Internal { .. } => ERR_INTERNAL,
         ExecError::Io { .. } => ERR_IO,
         ExecError::DeadlineExceeded { .. } => ERR_DEADLINE_EXCEEDED,
+    }
+}
+
+/// The wire code for a propagation error. Exhaustive on purpose, like
+/// [`exec_error_code`].
+pub fn propagate_error_code(e: &PropagateError) -> u32 {
+    match e {
+        PropagateError::UnknownSubscriber(_) => ERR_UNKNOWN_SUBSCRIBER,
+        PropagateError::UnknownInstance(_) => ERR_UNKNOWN_INSTANCE,
+        PropagateError::Resync(_) => ERR_RESYNC_FAILED,
     }
 }
 
@@ -109,6 +123,7 @@ pub fn engine_error_code(e: &EngineError) -> u32 {
         EngineError::Corr(_) => ERR_CORR,
         EngineError::Inverse(_) => ERR_INVERSE,
         EngineError::Exec(exec) => exec_error_code(exec),
+        EngineError::Propagate(e) => propagate_error_code(e),
     }
 }
 
@@ -205,6 +220,14 @@ pub enum Op {
     Mediate = 4,
     ExplainExchange = 5,
     Script = 6,
+    // Update propagation (DESIGN.md §14).
+    PutInstance = 7,
+    InsertBatch = 8,
+    Subscribe = 9,
+    Poll = 10,
+    Ack = 11,
+    Resume = 12,
+    Unsubscribe = 13,
 }
 
 /// The parsed 13-byte request prelude. `deadline_ms` is the client's
@@ -239,6 +262,21 @@ pub enum Request {
     Mediate { base_schema: String, chain: Vec<String>, query: Expr, base_db: Database },
     ExplainExchange { mapping: String, target_schema: String, source_db: Database },
     Script { text: String },
+    /// Create or replace a tracked instance wholesale (bulk load).
+    PutInstance { name: String, db: Database },
+    /// Insert-only batch against a tracked instance: one WAL frame, one
+    /// coalesced feed event.
+    InsertBatch { instance: String, inserts: Vec<(String, Vec<Tuple>)> },
+    /// Register a continuous query over a tracked instance.
+    Subscribe { instance: String, views: ViewSet },
+    /// Drain up to `max` pending notifications for a subscription.
+    Poll { id: u64, max: u32 },
+    /// Durably acknowledge everything up to `cursor`.
+    Ack { id: u64, cursor: u64 },
+    /// Reconnect claiming everything up to `cursor` is applied.
+    Resume { id: u64, cursor: u64 },
+    /// Drop a subscription.
+    Unsubscribe { id: u64 },
 }
 
 /// Why a request body failed to decode (after the frame itself was
@@ -303,6 +341,41 @@ pub fn decode_request(op: u8, r: &mut Reader) -> Result<Request, BodyError> {
             },
         ),
         x if x == Op::Script as u8 => r.str().map(|text| Request::Script { text }),
+        x if x == Op::PutInstance as u8 => (|| {
+            let name = r.str()?;
+            let db = decode_database(r)?;
+            Ok(Request::PutInstance { name, db })
+        })(),
+        x if x == Op::InsertBatch as u8 => (|| {
+            let instance = r.str()?;
+            let inserts = r.seq(|r| {
+                let rel = r.str()?;
+                let tuples = r.seq(Tuple::decode)?;
+                Ok((rel, tuples))
+            })?;
+            Ok(Request::InsertBatch { instance, inserts })
+        })(),
+        x if x == Op::Subscribe as u8 => (|| {
+            let instance = r.str()?;
+            let views = ViewSet::decode(r)?;
+            Ok(Request::Subscribe { instance, views })
+        })(),
+        x if x == Op::Poll as u8 => (|| {
+            let id = r.u64()?;
+            let max = r.u32()?;
+            Ok(Request::Poll { id, max })
+        })(),
+        x if x == Op::Ack as u8 => (|| {
+            let id = r.u64()?;
+            let cursor = r.u64()?;
+            Ok(Request::Ack { id, cursor })
+        })(),
+        x if x == Op::Resume as u8 => (|| {
+            let id = r.u64()?;
+            let cursor = r.u64()?;
+            Ok(Request::Resume { id, cursor })
+        })(),
+        x if x == Op::Unsubscribe as u8 => r.u64().map(|id| Request::Unsubscribe { id }),
         other => return Err(BodyError::UnknownOp(other)),
     };
     decoded.map_err(BodyError::Decode)
@@ -346,6 +419,43 @@ pub fn encode_request(req_id: u64, deadline_ms: u32, req: &Request) -> Bytes {
             w.u8(Op::Script as u8);
             w.str(text);
         }
+        Request::PutInstance { name, db } => {
+            w.u8(Op::PutInstance as u8);
+            w.str(name);
+            encode_database(&mut w, db);
+        }
+        Request::InsertBatch { instance, inserts } => {
+            w.u8(Op::InsertBatch as u8);
+            w.str(instance);
+            w.seq(inserts, |w, (rel, tuples)| {
+                w.str(rel);
+                w.seq(tuples, |w, t| t.encode(w));
+            });
+        }
+        Request::Subscribe { instance, views } => {
+            w.u8(Op::Subscribe as u8);
+            w.str(instance);
+            views.encode(&mut w);
+        }
+        Request::Poll { id, max } => {
+            w.u8(Op::Poll as u8);
+            w.u64(*id);
+            w.u32(*max);
+        }
+        Request::Ack { id, cursor } => {
+            w.u8(Op::Ack as u8);
+            w.u64(*id);
+            w.u64(*cursor);
+        }
+        Request::Resume { id, cursor } => {
+            w.u8(Op::Resume as u8);
+            w.u64(*id);
+            w.u64(*cursor);
+        }
+        Request::Unsubscribe { id } => {
+            w.u8(Op::Unsubscribe as u8);
+            w.u64(*id);
+        }
     }
     w.finish()
 }
@@ -378,6 +488,82 @@ pub enum OkBody {
     Mediate { rows: Relation, chained: bool, degraded: bool },
     Explain { db: Database, stats: WireStats, text: String },
     Script { outputs: Vec<String> },
+    /// A committed data-path write (`PutInstance`/`InsertBatch`): the
+    /// commit sequence, which is also the feed event's position.
+    Committed { seq: u64 },
+    /// A registered subscription id.
+    Subscribed { id: u64 },
+    /// Drained notifications plus the lagging flag.
+    Notifications { notifications: Vec<Notification>, lagging: bool },
+    /// Acknowledged (`Ack`/`Resume`/`Unsubscribe`).
+    Done,
+}
+
+/// Wire tag for a [`ResyncCause`] (stable: clients key retry/alert
+/// logic on it).
+fn resync_cause_code(c: ResyncCause) -> u8 {
+    match c {
+        ResyncCause::Initial => 0,
+        ResyncCause::Overflow => 1,
+        ResyncCause::CursorLost => 2,
+        ResyncCause::Budget => 3,
+        ResyncCause::Load => 4,
+        ResyncCause::Error => 5,
+    }
+}
+
+fn decode_resync_cause(tag: u8) -> DecodeResult<ResyncCause> {
+    Ok(match tag {
+        0 => ResyncCause::Initial,
+        1 => ResyncCause::Overflow,
+        2 => ResyncCause::CursorLost,
+        3 => ResyncCause::Budget,
+        4 => ResyncCause::Load,
+        5 => ResyncCause::Error,
+        other => return Err(DecodeError(format!("unknown resync cause tag {other}"))),
+    })
+}
+
+/// Encode one notification (the typed push frame's body).
+pub fn encode_notification(w: &mut Writer, n: &Notification) {
+    match n {
+        Notification::Delta { seq, view_inserts } => {
+            w.u8(0);
+            w.u64(*seq);
+            w.seq(view_inserts, |w, (view, tuples)| {
+                w.str(view);
+                w.seq(tuples, |w, t| t.encode(w));
+            });
+        }
+        Notification::Resync { seq, cause, views } => {
+            w.u8(1);
+            w.u64(*seq);
+            w.u8(resync_cause_code(*cause));
+            encode_database(w, views);
+        }
+    }
+}
+
+/// Decode one notification.
+pub fn decode_notification(r: &mut Reader) -> DecodeResult<Notification> {
+    Ok(match r.u8()? {
+        0 => {
+            let seq = r.u64()?;
+            let view_inserts = r.seq(|r| {
+                let view = r.str()?;
+                let tuples = r.seq(Tuple::decode)?;
+                Ok((view, tuples))
+            })?;
+            Notification::Delta { seq, view_inserts }
+        }
+        1 => {
+            let seq = r.u64()?;
+            let cause = decode_resync_cause(r.u8()?)?;
+            let views = decode_database(r)?;
+            Notification::Resync { seq, cause, views }
+        }
+        other => return Err(DecodeError(format!("unknown notification tag {other}"))),
+    })
 }
 
 fn encode_exchange_ok(w: &mut Writer, db: &Database, stats: &WireStats) {
@@ -435,6 +621,20 @@ pub fn encode_ok(req_id: u64, body: &OkBody) -> Bytes {
             w.u8(Op::Script as u8);
             w.seq(outputs, |w, line| w.str(line));
         }
+        OkBody::Committed { seq } => {
+            w.u8(Op::PutInstance as u8);
+            w.u64(*seq);
+        }
+        OkBody::Subscribed { id } => {
+            w.u8(Op::Subscribe as u8);
+            w.u64(*id);
+        }
+        OkBody::Notifications { notifications, lagging } => {
+            w.u8(Op::Poll as u8);
+            w.seq(notifications, encode_notification);
+            w.bool(*lagging);
+        }
+        OkBody::Done => w.u8(Op::Ack as u8),
     }
     w.finish()
 }
@@ -495,6 +695,14 @@ pub fn decode_response(payload: Bytes) -> DecodeResult<DecodedResponse> {
             OkBody::Explain { db, stats, text }
         }
         x if x == Op::Script as u8 => OkBody::Script { outputs: r.seq(|r| r.str())? },
+        x if x == Op::PutInstance as u8 => OkBody::Committed { seq: r.u64()? },
+        x if x == Op::Subscribe as u8 => OkBody::Subscribed { id: r.u64()? },
+        x if x == Op::Poll as u8 => {
+            let notifications = r.seq(decode_notification)?;
+            let lagging = r.bool()?;
+            OkBody::Notifications { notifications, lagging }
+        }
+        x if x == Op::Ack as u8 => OkBody::Done,
         other => return Err(DecodeError(format!("unknown response op tag {other}"))),
     };
     Ok((req_id, Ok(body)))
@@ -503,95 +711,33 @@ pub fn decode_response(payload: Bytes) -> DecodeResult<DecodedResponse> {
 // ---------------------------------------------------------------------
 // Instance codec.
 //
-// The repository codec covers metadata artifacts (schemas, mappings,
-// view sets) but not instances — snapshots never carry data. The wire
-// does, so the instance encoders live here, as free functions over the
-// same Writer/Reader (the `Encode` trait is foreign to both crates).
+// Since the repository journals tracked instances (v3 snapshots and
+// the `InstancePut`/`InstanceDelta` WAL records), the `Value`/`Tuple`/
+// `Relation`/`Database` codecs live in `mm_repository::codec`; the
+// wire delegates to them, so a database is byte-identical on the wire
+// and in the WAL. These wrappers survive as the protocol's public
+// names for them.
 // ---------------------------------------------------------------------
-
-fn encode_value(w: &mut Writer, v: &Value) {
-    match v {
-        Value::Int(i) => {
-            w.u8(0);
-            w.i64(*i);
-        }
-        Value::Double(d) => {
-            w.u8(1);
-            w.f64(*d);
-        }
-        Value::Bool(b) => {
-            w.u8(2);
-            w.bool(*b);
-        }
-        Value::Text(s) => {
-            w.u8(3);
-            w.str(s);
-        }
-        Value::Date(d) => {
-            w.u8(4);
-            w.i32(*d);
-        }
-        Value::Null => w.u8(5),
-        Value::Labeled(id) => {
-            w.u8(6);
-            w.u64(*id);
-        }
-    }
-}
-
-fn decode_value(r: &mut Reader) -> DecodeResult<Value> {
-    Ok(match r.u8()? {
-        0 => Value::Int(r.i64()?),
-        1 => Value::Double(r.f64()?),
-        2 => Value::Bool(r.bool()?),
-        3 => Value::Text(r.str()?),
-        4 => Value::Date(r.i32()?),
-        5 => Value::Null,
-        6 => Value::Labeled(r.u64()?),
-        tag => return Err(DecodeError(format!("unknown value tag {tag}"))),
-    })
-}
 
 /// Encode a relation: attribute list then tuple list.
 pub fn encode_relation(w: &mut Writer, rel: &Relation) {
-    w.seq(&rel.schema.attributes, |w, a| a.encode(w));
-    w.seq(rel.tuples(), |w, t| {
-        w.seq(t.values(), encode_value);
-    });
+    rel.encode(w);
 }
 
 /// Decode a relation (tuples are deduplicated on insert, the same
 /// set semantics [`Relation::insert`] maintains).
 pub fn decode_relation(r: &mut Reader) -> DecodeResult<Relation> {
-    let attributes = r.seq(Attribute::decode)?;
-    let tuples = r.seq(|r| Ok(Tuple::new(r.seq(decode_value)?)))?;
-    Ok(Relation::with_tuples(RelSchema::new(attributes), tuples))
+    Relation::decode(r)
 }
 
 /// Encode a database: name, labeled-null watermark, relations.
 pub fn encode_database(w: &mut Writer, db: &Database) {
-    w.str(&db.name);
-    w.u64(db.label_watermark());
-    let rels: Vec<(&str, &Relation)> = db.relations().collect();
-    w.seq(&rels, |w, (name, rel)| {
-        w.str(name);
-        encode_relation(w, rel);
-    });
+    db.encode(w);
 }
 
 /// Decode a database.
 pub fn decode_database(r: &mut Reader) -> DecodeResult<Database> {
-    let name = r.str()?;
-    let watermark = r.u64()?;
-    let mut db = Database::new(name);
-    let n = r.seq_len()?;
-    for _ in 0..n {
-        let rel_name = r.str()?;
-        let rel = decode_relation(r)?;
-        db.insert_relation(rel_name, rel);
-    }
-    db.set_label_watermark(watermark);
-    Ok(db)
+    Database::decode(r)
 }
 
 #[cfg(test)]
@@ -599,6 +745,7 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used)]
 
     use super::*;
+    use mm_instance::{RelSchema, Value};
     use mm_metamodel::DataType;
 
     fn sample_db() -> Database {
@@ -674,6 +821,81 @@ mod tests {
             read_frame(&mut buf.as_slice(), 16),
             Err(FrameError::TooLarge { len: 64, max: 16 })
         ));
+    }
+
+    #[test]
+    fn propagation_frames_round_trip() {
+        // Requests.
+        let mut views = ViewSet::new("S", "V");
+        views.push(mm_expr::ViewDef::new("All", Expr::base("Person")));
+        let reqs = vec![
+            Request::PutInstance { name: "I".into(), db: sample_db() },
+            Request::InsertBatch {
+                instance: "I".into(),
+                inserts: vec![("Person".into(), vec![Tuple::new(vec![Value::Int(3)])])],
+            },
+            Request::Subscribe { instance: "I".into(), views },
+            Request::Poll { id: 7, max: 16 },
+            Request::Ack { id: 7, cursor: 42 },
+            Request::Resume { id: 7, cursor: 42 },
+            Request::Unsubscribe { id: 7 },
+        ];
+        for req in &reqs {
+            let payload = encode_request(1, 0, req);
+            let head = parse_head(&payload).unwrap();
+            let body = payload.slice(PRELUDE_LEN..payload.len());
+            let back = decode_request(head.op, &mut Reader::new(body)).unwrap();
+            // Decode-then-re-encode must be bit-identical (Debug output
+            // is unstable for hash-backed dedup state).
+            assert_eq!(encode_request(1, 0, &back), payload);
+        }
+
+        // Responses: a delta and a resync notification.
+        let ok = encode_ok(
+            2,
+            &OkBody::Notifications {
+                notifications: vec![
+                    Notification::Delta {
+                        seq: 5,
+                        view_inserts: vec![(
+                            "All".into(),
+                            vec![Tuple::new(vec![Value::Int(1)])],
+                        )],
+                    },
+                    Notification::Resync {
+                        seq: 6,
+                        cause: ResyncCause::Overflow,
+                        views: sample_db(),
+                    },
+                ],
+                lagging: true,
+            },
+        );
+        let (id, body) = decode_response(ok).unwrap();
+        assert_eq!(id, 2);
+        match body.unwrap() {
+            OkBody::Notifications { notifications, lagging } => {
+                assert!(lagging);
+                assert_eq!(notifications.len(), 2);
+                assert_eq!(notifications[0].seq(), 5);
+                match &notifications[1] {
+                    Notification::Resync { cause, views, .. } => {
+                        assert_eq!(*cause, ResyncCause::Overflow);
+                        assert!(views
+                            .relation("Person")
+                            .unwrap()
+                            .set_eq(sample_db().relation("Person").unwrap()));
+                    }
+                    other => panic!("expected resync, got {other:?}"),
+                }
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let (_, committed) = decode_response(encode_ok(3, &OkBody::Committed { seq: 9 })).unwrap();
+        assert!(matches!(committed.unwrap(), OkBody::Committed { seq: 9 }));
+        let (_, done) = decode_response(encode_ok(4, &OkBody::Done)).unwrap();
+        assert!(matches!(done.unwrap(), OkBody::Done));
     }
 
     #[test]

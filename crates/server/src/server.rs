@@ -668,5 +668,39 @@ fn execute(
         Request::Script { text } => run_script(engine, &text)
             .map(|outputs| OkBody::Script { outputs })
             .map_err(|e| (ERR_SCRIPT, e.to_string())),
+        // Update propagation (DESIGN.md §14). Writes are amortized (one
+        // WAL frame, one coalesced feed event per request); polls run
+        // at the consumer's pace, including any resync recompute.
+        Request::PutInstance { name, db } => {
+            let seq = engine.put_instance(&name, db).map_err(engine_err)?;
+            Ok(OkBody::Committed { seq })
+        }
+        Request::InsertBatch { instance, inserts } => {
+            let seq = engine.insert_batch(&instance, inserts).map_err(engine_err)?;
+            Ok(OkBody::Committed { seq })
+        }
+        Request::Subscribe { instance, views } => {
+            let id = engine.subscribe(&instance, views).map_err(engine_err)?;
+            Ok(OkBody::Subscribed { id })
+        }
+        Request::Poll { id, max } => {
+            let response = engine.poll(id, max as usize).map_err(engine_err)?;
+            Ok(OkBody::Notifications {
+                notifications: response.notifications,
+                lagging: response.lagging,
+            })
+        }
+        Request::Ack { id, cursor } => {
+            engine.ack(id, cursor).map_err(engine_err)?;
+            Ok(OkBody::Done)
+        }
+        Request::Resume { id, cursor } => {
+            engine.resume(id, cursor).map_err(engine_err)?;
+            Ok(OkBody::Done)
+        }
+        Request::Unsubscribe { id } => {
+            engine.unsubscribe(id).map_err(engine_err)?;
+            Ok(OkBody::Done)
+        }
     }
 }

@@ -36,6 +36,7 @@ pub mod span;
 pub use collector::{Collector, JsonLinesCollector, LineSink, RingCollector, VecSink};
 pub use explain::ExplainNode;
 pub use metrics::{
-    Cause, Counter, DegradationSite, EngineMetrics, MetricsSnapshot, ServerCounter, Timer,
+    Cause, Counter, DegradationSite, EngineMetrics, MetricsSnapshot, PropagateCounter,
+    ServerCounter, Timer,
 };
 pub use span::{Event, EventKind, Field, FieldValue, Span, Telemetry};

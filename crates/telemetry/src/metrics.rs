@@ -181,6 +181,62 @@ impl ServerCounter {
     }
 }
 
+/// Counters for the update-propagation pipeline (`mm-propagate`).
+/// Same discipline as [`ServerCounter`]: a separate closed enum with
+/// dotted `propagate.*` snapshot keys and zero values elided, so a
+/// process with no subscribers carries no propagation rows at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum PropagateCounter {
+    /// Change-feed events published (one per committed data batch; a
+    /// bulk load publishes a single coalesced event).
+    EventsPublished,
+    /// Incremental delta notifications enqueued for subscribers.
+    DeltasPushed,
+    /// High-water mark of any subscriber queue depth (monotone max).
+    QueueHighWater,
+    /// Subscribers flipped to recompute-and-resync because their queue
+    /// overflowed its bound (lag past the high-water bound).
+    ResyncsOverflow,
+    /// Subscribers flipped to recompute-and-resync because their cursor
+    /// fell off the retained feed (too old to replay incrementally).
+    ResyncsCursorLost,
+    /// Subscribers flipped to recompute-and-resync because delta
+    /// computation tripped its budget.
+    ResyncsBudget,
+    /// Resync snapshots actually delivered to subscribers.
+    ResyncsDelivered,
+}
+
+const PROPAGATE_COUNTERS: usize = PropagateCounter::ResyncsDelivered as usize + 1;
+
+impl PropagateCounter {
+    /// Stable snapshot key (dotted, sorts into one `propagate.*` block).
+    pub fn name(self) -> &'static str {
+        match self {
+            PropagateCounter::EventsPublished => "propagate.events_published",
+            PropagateCounter::DeltasPushed => "propagate.deltas_pushed",
+            PropagateCounter::QueueHighWater => "propagate.queue_high_water",
+            PropagateCounter::ResyncsOverflow => "propagate.resyncs_overflow",
+            PropagateCounter::ResyncsCursorLost => "propagate.resyncs_cursor_lost",
+            PropagateCounter::ResyncsBudget => "propagate.resyncs_budget",
+            PropagateCounter::ResyncsDelivered => "propagate.resyncs_delivered",
+        }
+    }
+
+    fn all() -> [PropagateCounter; PROPAGATE_COUNTERS] {
+        [
+            PropagateCounter::EventsPublished,
+            PropagateCounter::DeltasPushed,
+            PropagateCounter::QueueHighWater,
+            PropagateCounter::ResyncsOverflow,
+            PropagateCounter::ResyncsCursorLost,
+            PropagateCounter::ResyncsBudget,
+            PropagateCounter::ResyncsDelivered,
+        ]
+    }
+}
+
 /// Duration statistics (count / total / max, in microseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -221,16 +277,23 @@ pub enum DegradationSite {
     Mediator,
     /// IVM: incremental delta rules degraded to a full recompute.
     Ivm,
+    /// Propagation: incremental push degraded to recompute-and-resync.
+    Propagate,
 }
 
-const SITES: usize = DegradationSite::Ivm as usize + 1;
+const SITES: usize = DegradationSite::Propagate as usize + 1;
 
 impl DegradationSite {
     pub fn name(self) -> &'static str {
         match self {
             DegradationSite::Mediator => "mediator",
             DegradationSite::Ivm => "ivm",
+            DegradationSite::Propagate => "propagate",
         }
+    }
+
+    fn all() -> [DegradationSite; SITES] {
+        [DegradationSite::Mediator, DegradationSite::Ivm, DegradationSite::Propagate]
     }
 }
 
@@ -298,6 +361,7 @@ impl DurationStat {
 pub struct EngineMetrics {
     counters: [AtomicU64; COUNTERS],
     server_counters: [AtomicU64; SERVER_COUNTERS],
+    propagate_counters: [AtomicU64; PROPAGATE_COUNTERS],
     timers: [DurationStat; TIMERS],
     degradations: [[AtomicU64; CAUSES]; SITES],
 }
@@ -327,6 +391,24 @@ impl EngineMetrics {
     /// Current value of a server counter.
     pub fn get_server(&self, c: ServerCounter) -> u64 {
         self.server_counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Add `n` to a propagation counter (relaxed; totals only).
+    #[inline]
+    pub fn add_propagate(&self, c: PropagateCounter, n: u64) {
+        self.propagate_counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise a propagation counter to at least `v` (monotone max; used
+    /// for queue-depth high-water marks).
+    #[inline]
+    pub fn raise_propagate(&self, c: PropagateCounter, v: u64) {
+        self.propagate_counters[c as usize].fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value of a propagation counter.
+    pub fn get_propagate(&self, c: PropagateCounter) -> u64 {
+        self.propagate_counters[c as usize].load(Ordering::Relaxed)
     }
 
     /// Record one duration observation, in microseconds.
@@ -374,7 +456,13 @@ impl EngineMetrics {
                 values.insert(c.name().to_string(), v);
             }
         }
-        for site in [DegradationSite::Mediator, DegradationSite::Ivm] {
+        for c in PropagateCounter::all() {
+            let v = self.get_propagate(c);
+            if v != 0 {
+                values.insert(c.name().to_string(), v);
+            }
+        }
+        for site in DegradationSite::all() {
             for cause in Cause::all() {
                 let v = self.degradations_by(site, cause);
                 if v != 0 {
@@ -457,6 +545,22 @@ mod tests {
         let mut sorted = server_keys.clone();
         sorted.sort();
         assert_eq!(server_keys, sorted, "BTreeMap keeps server.* keys sorted");
+    }
+
+    #[test]
+    fn propagate_counters_are_zero_elided_and_high_water_is_monotone() {
+        let m = EngineMetrics::new();
+        assert!(
+            !m.snapshot().values.keys().any(|k| k.starts_with("propagate.")),
+            "a process with no subscribers must carry no propagate rows"
+        );
+        m.add_propagate(PropagateCounter::EventsPublished, 2);
+        m.raise_propagate(PropagateCounter::QueueHighWater, 7);
+        m.raise_propagate(PropagateCounter::QueueHighWater, 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("propagate.events_published"), 2);
+        assert_eq!(snap.value("propagate.queue_high_water"), 7, "max, not sum");
+        assert!(!snap.values.contains_key("propagate.deltas_pushed"), "zero elided");
     }
 
     #[test]

@@ -233,21 +233,42 @@ pub enum RepoOp {
     /// `output_op`. The generator only emits indices of store ops that
     /// precede this op.
     RecordLineage { input_ops: Vec<usize>, output_op: usize },
+    /// Bulk-load (create or replace) tracked instance `I{n}` with
+    /// `rows` tuples — journaled as one amortized `InstancePut` frame.
+    PutInstance { n: usize, rows: usize },
+    /// Apply an insert-only delta of `rows` tuples to instance `I{n}`.
+    /// Only generated after a `PutInstance` for `n`.
+    InsertRows { n: usize, rows: usize },
+    /// Register change-feed subscription `id` over instance `I{n}`.
+    /// Only generated after a `PutInstance` for `n`.
+    RegisterSubscription { id: u64, n: usize },
+    /// Durably advance subscription `id`'s resume cursor. Only
+    /// generated while `id` is registered.
+    AdvanceCursor { id: u64, cursor: u64 },
+    /// Drop subscription `id` from the registry. Only generated while
+    /// `id` is registered.
+    DropSubscription { id: u64 },
 }
 
 /// A seeded workload of `len` repository ops over a namespace of
-/// `names` distinct artifact names. Lineage edges always reference
-/// earlier store ops, so applying a *prefix* of the workload never
-/// dangles — the invariant the crash-recovery suite asserts survives
-/// recovery.
+/// `names` distinct artifact names. Every op is valid at the point it
+/// is issued: lineage edges reference earlier store ops, instance
+/// deltas and subscriptions reference instances already loaded, and
+/// cursor/drop ops reference live subscription ids — so applying a
+/// *prefix* of the workload never fails and never dangles, the
+/// invariant the crash-recovery suite asserts survives recovery.
 pub fn repo_ops(seed: u64, len: usize, names: usize) -> Vec<RepoOp> {
     use rand::prelude::*;
     let mut rng = SmallRng::seed_from_u64(seed);
     let names = names.max(1);
     let mut ops: Vec<RepoOp> = Vec::with_capacity(len);
     let mut store_ops: Vec<usize> = Vec::new();
+    let mut instances: Vec<usize> = Vec::new();
+    let mut live_subs: Vec<u64> = Vec::new();
+    let mut next_sub: u64 = 1;
     for i in 0..len {
-        let op = if store_ops.len() >= 2 && rng.gen_bool(0.25) {
+        let roll = rng.gen_range(0u32..100);
+        let op = if roll < 20 && store_ops.len() >= 2 {
             let output_op = store_ops[rng.gen_range(0usize..store_ops.len())];
             let k = rng.gen_range(1usize..3.min(store_ops.len()) + 1);
             let mut input_ops = Vec::with_capacity(k);
@@ -262,13 +283,48 @@ pub fn repo_ops(seed: u64, len: usize, names: usize) -> Vec<RepoOp> {
             } else {
                 RepoOp::RecordLineage { input_ops, output_op }
             }
-        } else if rng.gen_bool(0.5) {
+        } else if roll < 35 {
             RepoOp::StoreSchema { n: rng.gen_range(0usize..names) }
-        } else {
+        } else if roll < 50 {
             RepoOp::StoreMapping { n: rng.gen_range(0usize..names) }
+        } else if roll < 65 || instances.is_empty() {
+            RepoOp::PutInstance {
+                n: rng.gen_range(0usize..names),
+                rows: rng.gen_range(1usize..4),
+            }
+        } else if roll < 80 {
+            RepoOp::InsertRows {
+                n: instances[rng.gen_range(0usize..instances.len())],
+                rows: rng.gen_range(1usize..4),
+            }
+        } else if roll < 88 {
+            let id = next_sub;
+            next_sub += 1;
+            RepoOp::RegisterSubscription {
+                id,
+                n: instances[rng.gen_range(0usize..instances.len())],
+            }
+        } else if roll < 95 && !live_subs.is_empty() {
+            RepoOp::AdvanceCursor {
+                id: live_subs[rng.gen_range(0usize..live_subs.len())],
+                cursor: rng.gen_range(0u64..64),
+            }
+        } else if !live_subs.is_empty() {
+            RepoOp::DropSubscription {
+                id: live_subs[rng.gen_range(0usize..live_subs.len())],
+            }
+        } else {
+            RepoOp::InsertRows {
+                n: instances[rng.gen_range(0usize..instances.len())],
+                rows: rng.gen_range(1usize..4),
+            }
         };
-        if matches!(op, RepoOp::StoreSchema { .. } | RepoOp::StoreMapping { .. }) {
-            store_ops.push(i);
+        match &op {
+            RepoOp::StoreSchema { .. } | RepoOp::StoreMapping { .. } => store_ops.push(i),
+            RepoOp::PutInstance { n, .. } if !instances.contains(n) => instances.push(*n),
+            RepoOp::RegisterSubscription { id, .. } => live_subs.push(*id),
+            RepoOp::DropSubscription { id } => live_subs.retain(|s| s != id),
+            _ => {}
         }
         ops.push(op);
     }
@@ -327,21 +383,53 @@ mod tests {
     }
 
     #[test]
-    fn repo_ops_lineage_only_references_earlier_store_ops() {
+    fn repo_ops_every_prefix_is_valid() {
         for seed in 0..20 {
             let ops = repo_ops(seed, 40, 4);
             assert_eq!(ops.len(), 40);
+            let mut instances: Vec<usize> = Vec::new();
+            let mut live_subs: Vec<u64> = Vec::new();
             for (i, op) in ops.iter().enumerate() {
-                if let RepoOp::RecordLineage { input_ops, output_op } = op {
-                    for &r in input_ops.iter().chain([output_op]) {
-                        assert!(r < i, "op {i} references op {r}");
-                        assert!(matches!(
-                            ops[r],
-                            RepoOp::StoreSchema { .. } | RepoOp::StoreMapping { .. }
-                        ));
+                match op {
+                    RepoOp::RecordLineage { input_ops, output_op } => {
+                        for &r in input_ops.iter().chain([output_op]) {
+                            assert!(r < i, "op {i} references op {r}");
+                            assert!(matches!(
+                                ops[r],
+                                RepoOp::StoreSchema { .. } | RepoOp::StoreMapping { .. }
+                            ));
+                        }
                     }
+                    RepoOp::PutInstance { n, rows } => {
+                        assert!(*rows > 0);
+                        if !instances.contains(n) {
+                            instances.push(*n);
+                        }
+                    }
+                    RepoOp::InsertRows { n, rows } => {
+                        assert!(*rows > 0);
+                        assert!(instances.contains(n), "op {i} delta on unloaded I{n}");
+                    }
+                    RepoOp::RegisterSubscription { id, n } => {
+                        assert!(instances.contains(n), "op {i} subscribes to unloaded I{n}");
+                        live_subs.push(*id);
+                    }
+                    RepoOp::AdvanceCursor { id, .. } => {
+                        assert!(live_subs.contains(id), "op {i} advances dead sub #{id}");
+                    }
+                    RepoOp::DropSubscription { id } => {
+                        assert!(live_subs.contains(id), "op {i} drops dead sub #{id}");
+                        live_subs.retain(|s| s != id);
+                    }
+                    _ => {}
                 }
             }
+            // the generator mixes in propagation ops, so the torn-frame
+            // suite exercises every WAL record kind
+            assert!(
+                ops.iter().any(|o| matches!(o, RepoOp::PutInstance { .. })),
+                "seed {seed} generated no instance loads"
+            );
         }
     }
 

@@ -1,0 +1,89 @@
+//! Subscribe/notify quickstart: boot the wire front-end, register a
+//! continuous query over a tracked instance, and watch committed
+//! writes arrive as pushed view deltas — then force a
+//! recompute-and-resync and resume from the durable cursor.
+//!
+//! ```sh
+//! cargo run --example subscribe_quickstart
+//! ```
+
+use mm_server::{Client, Server, ServerConfig};
+use model_management::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An engine with one base schema and a tracked instance.
+    let engine = Engine::new();
+    let base = SchemaBuilder::new("Base")
+        .relation("Orders", &[("id", DataType::Int), ("total", DataType::Int)])
+        .build()?;
+    engine.add_schema(base.clone())?;
+
+    let handle = Server::start(engine, ServerConfig::default())?;
+    println!("serving on {}", handle.addr());
+    let mut client = Client::connect(handle.addr())?;
+
+    // Bulk-load the instance: one amortized WAL frame, one feed event.
+    let mut db = Database::empty_of(&base);
+    db.insert("Orders", Tuple::from([Value::Int(1), Value::Int(120)]));
+    let seq = client.put_instance("orders", &db)?;
+    println!("loaded `orders` at commit seq {seq}");
+
+    // A continuous query: big orders only.
+    let mut views = ViewSet::new("Base", "V");
+    views.push(ViewDef::new(
+        "BigOrders",
+        Expr::base("Orders").select(Predicate::Cmp {
+            op: CmpOp::Gt,
+            left: Scalar::col("total"),
+            right: Scalar::lit(100i64),
+        }),
+    ));
+    let id = client.subscribe("orders", &views)?;
+
+    // First poll bootstraps: one resync snapshot of the current state.
+    let (notifications, _) = client.poll(id, 16)?;
+    let mut cursor = 0;
+    for n in &notifications {
+        if let Notification::Resync { seq, cause, views } = n {
+            println!(
+                "bootstrap snapshot at seq {seq} ({cause}): {} big orders",
+                views.relation("BigOrders").map(|r| r.len()).unwrap_or(0)
+            );
+            cursor = *seq;
+        }
+    }
+
+    // Committed batches arrive as incremental view deltas.
+    client.insert_batch(
+        "orders",
+        &[(
+            "Orders".to_string(),
+            vec![
+                Tuple::from([Value::Int(2), Value::Int(90)]),  // filtered out
+                Tuple::from([Value::Int(3), Value::Int(250)]), // pushed
+            ],
+        )],
+    )?;
+    let (notifications, lagging) = client.poll(id, 16)?;
+    for n in &notifications {
+        if let Notification::Delta { seq, view_inserts } = n {
+            for (view, rows) in view_inserts {
+                println!("delta at seq {seq}: +{} rows into {view}", rows.len());
+            }
+            cursor = *seq;
+        }
+    }
+    println!("lagging: {lagging}");
+
+    // Durably acknowledge — after a crash or reconnect, `resume`
+    // continues from this cursor (or degrades to a resync if the
+    // feed no longer covers it; never silently skips ahead).
+    client.ack(id, cursor)?;
+    client.resume(id, cursor)?;
+    println!("acked + resumed at cursor {cursor}");
+
+    client.unsubscribe(id)?;
+    handle.shutdown()?;
+    println!("drained and stopped");
+    Ok(())
+}

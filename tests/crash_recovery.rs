@@ -35,6 +35,28 @@ fn sample_mapping() -> Mapping {
     m
 }
 
+/// A deterministic tracked instance for `I{n}`: one relation `R(a, b)`
+/// with `rows` tuples keyed off the op index so re-loads differ.
+fn sample_instance(n: usize, rows: usize, salt: usize) -> Database {
+    let mut db = Database::empty_of(&sample_schema(&format!("I{n}")));
+    for r in 0..rows {
+        db.insert(
+            "R",
+            Tuple::new(vec![
+                Value::Int((salt * 100 + r) as i64),
+                Value::Text(format!("t{n}-{salt}-{r}")),
+            ]),
+        );
+    }
+    db
+}
+
+fn sample_views() -> ViewSet {
+    let mut vs = ViewSet::new("Base", "V");
+    vs.push(ViewDef::new("VR", Expr::base("R")));
+    vs
+}
+
 /// Apply one workload op, tracking op-index → stored ArtifactId so
 /// lineage ops can reference earlier stores. Returns Err on the first
 /// storage failure (the simulated crash).
@@ -58,6 +80,34 @@ fn apply_op(
             let inputs: Vec<ArtifactId> =
                 input_ops.iter().map(|o| ids[o].clone()).collect();
             repo.record("op", inputs, ids[output_op].clone())?;
+        }
+        RepoOp::PutInstance { n, rows } => {
+            repo.put_instance(format!("I{n}"), sample_instance(*n, *rows, i))?;
+        }
+        RepoOp::InsertRows { n, rows } => {
+            let tuples: Vec<Tuple> = (0..*rows)
+                .map(|r| {
+                    Tuple::new(vec![
+                        Value::Int((i * 1000 + r) as i64),
+                        Value::Text(format!("d{n}-{i}-{r}")),
+                    ])
+                })
+                .collect();
+            repo.apply_instance_delta(&format!("I{n}"), vec![("R".to_string(), tuples)])?;
+        }
+        RepoOp::RegisterSubscription { id, n } => {
+            repo.register_subscription(Subscription {
+                id: *id,
+                instance: format!("I{n}"),
+                views: sample_views(),
+                cursor: 0,
+            })?;
+        }
+        RepoOp::AdvanceCursor { id, cursor } => {
+            repo.advance_cursor(*id, *cursor)?;
+        }
+        RepoOp::DropSubscription { id } => {
+            repo.drop_subscription(*id)?;
         }
     }
     Ok(())
