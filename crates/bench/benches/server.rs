@@ -9,6 +9,11 @@
 //! `attested` flag: throughput measured with client and server threads
 //! contending for fewer than 4 cpus is shape-only evidence, so the flag
 //! is false on such hosts.
+//!
+//! The sustained-throughput server runs with telemetry enabled, and the
+//! baseline additionally reports the server's own latency histograms —
+//! service time and queue wait, p50/p99 — read back over the wire via
+//! the `Metrics` introspection op (DESIGN.md §15).
 
 use criterion::{criterion_group, Criterion};
 use mm_bench::timed;
@@ -28,8 +33,9 @@ const SATURATE_ROWS: usize = 60_000;
 
 /// An engine with the copy mapping `copy: Src -> Dst` (2 relations) and
 /// the quadratic self-join `quad: QSrc -> QTgt` for saturating requests.
-fn wire_engine() -> Engine {
-    let engine = Engine::new();
+fn wire_engine(telemetry: Telemetry) -> Engine {
+    let engine = Engine::with_config(EngineConfig { telemetry, ..EngineConfig::default() })
+        .expect("engine");
     engine.add_schema(tgds::binary_schema("Src", "A", 2)).expect("src");
     engine.add_schema(tgds::binary_schema("Dst", "B", 2)).expect("dst");
     let mut copy = Mapping::new("Src", "Dst");
@@ -60,7 +66,7 @@ fn small_source() -> Database {
 }
 
 fn boot(cfg: ServerConfig) -> (ServerHandle, Client) {
-    let handle = Server::start(wire_engine(), cfg).expect("start server");
+    let handle = Server::start(wire_engine(Telemetry::disabled()), cfg).expect("start server");
     let client = Client::connect(handle.addr()).expect("connect");
     (handle, client)
 }
@@ -119,9 +125,15 @@ fn emit_baseline() {
     let mut points: Vec<String> = Vec::new();
 
     // Sustained single-client round trips: the protocol floor (ping)
-    // and a small end-to-end exchange.
+    // and a small end-to-end exchange. Telemetry is on so the server's
+    // own histograms fill; afterwards the metrics introspection op
+    // reads back service-time and queue-wait percentiles — the
+    // server-side view of the same traffic the client timed.
     {
-        let (handle, mut client) = boot(ServerConfig::default());
+        let tel = Telemetry::new(RingCollector::with_capacity(4_096));
+        let handle =
+            Server::start(wire_engine(tel), ServerConfig::default()).expect("start server");
+        let mut client = Client::connect(handle.addr()).expect("connect");
         for _ in 0..50 {
             client.ping().expect("warmup");
         }
@@ -132,13 +144,29 @@ fn emit_baseline() {
             client.exchange("copy", "Dst", &src).expect("exchange");
         });
         points.push(point_json("exchange_small", EXCHANGE_REQUESTS, qps, p50, p99));
+        let entries = client.metrics().expect("metrics snapshot");
+        let read = |key: &str| {
+            entries.iter().find(|(k, _)| k == key).map_or(0, |(_, v)| *v)
+        };
+        points.push(hist_point_json(
+            "service_us_hist",
+            read("server.service_us_count") as usize,
+            read("server.service_us_p50") as f64,
+            read("server.service_us_p99") as f64,
+        ));
+        points.push(hist_point_json(
+            "queue_wait_us_hist",
+            read("server.queue_wait_us_count") as usize,
+            read("server.queue_wait_us_p50") as f64,
+            read("server.queue_wait_us_p99") as f64,
+        ));
         drop(client);
         handle.shutdown().expect("shutdown");
     }
 
     // Typed rejection latency under overload: saturate a single worker
     // with two slow exchanges, then time how fast a second session's
-    // requests are shed from the 13-byte prelude. Admission never
+    // requests are shed from the 22-byte prelude. Admission never
     // parses the body, so rejections must stay orders of magnitude
     // below request latency even while the engine is pinned.
     {
@@ -149,10 +177,11 @@ fn emit_baseline() {
             low_water: 0,
             ..ServerConfig::default()
         };
-        let handle = Server::start(wire_engine(), cfg).expect("start server");
+        let handle =
+            Server::start(wire_engine(Telemetry::disabled()), cfg).expect("start server");
         let mut saturator = Client::connect(handle.addr()).expect("connect");
         let (_, _, slow_db, _) = faults::quadratic_join(SATURATE_ROWS);
-        let payload = protocol::encode_request(1, 0, &protocol::Request::Exchange {
+        let payload = protocol::encode_request(1, 0, 0, &protocol::Request::Exchange {
             mapping: "quad".into(),
             target_schema: "QTgt".into(),
             source_db: slow_db,
@@ -209,7 +238,7 @@ fn emit_baseline() {
     }
 
     let body = format!(
-        "{{\n  \"experiment\": \"server_wire\",\n  \"description\": \"sustained single-client round-trip throughput of the mm-server wire protocol (ping floor and a small end-to-end exchange), plus the typed-rejection latency of admission-control shedding while a single worker is saturated — rejections are issued from the 13-byte request prelude without parsing the body\",\n  \"command\": \"cargo bench -p mm-bench --bench server\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": {attested},\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"server_wire\",\n  \"description\": \"sustained single-client round-trip throughput of the mm-server wire protocol (ping floor and a small end-to-end exchange) with telemetry enabled, the server's own service-time and queue-wait histogram percentiles read back via the Metrics introspection op, plus the typed-rejection latency of admission-control shedding while a single worker is saturated — rejections are issued from the 22-byte request prelude without parsing the body\",\n  \"command\": \"cargo bench -p mm-bench --bench server\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": {attested},\n  \"points\": [\n{}\n  ]\n}}\n",
         points.join(",\n"),
         attested = host_cpus >= 4,
     );
@@ -223,6 +252,17 @@ fn point_json(op: &str, requests: usize, qps: f64, p50_us: f64, p99_us: f64) -> 
     println!("{op:<16} n={requests:<5} {qps:>10.0} req/s  p50 {p50_us:>8.1} us  p99 {p99_us:>8.1} us");
     format!(
         "    {{\"op\": \"{op}\", \"requests\": {requests}, \"qps\": {qps:.0}, \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}}}"
+    )
+}
+
+/// A point derived from one of the server's own latency histograms
+/// (log-bucketed: percentiles are bucket upper bounds, ~2x relative
+/// error) rather than a client-side measurement — no qps, the
+/// companion round-trip point already carries it.
+fn hist_point_json(op: &str, count: usize, p50_us: f64, p99_us: f64) -> String {
+    println!("{op:<16} n={count:<5} {:>10}  p50 {p50_us:>8.1} us  p99 {p99_us:>8.1} us", "server-side");
+    format!(
+        "    {{\"op\": \"{op}\", \"requests\": {count}, \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}}}"
     )
 }
 

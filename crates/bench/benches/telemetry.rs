@@ -175,6 +175,35 @@ fn emit_baseline() {
         points.push(point_json("chase_exchange_4rel", rows, base_t, noop_t, full_t));
     }
 
+    // PR 9 point: the same chase workload wrapped the way `mm-server`
+    // wraps a request — a capturing trace scope around the call plus a
+    // service-time histogram observation after it. The no-op gate
+    // (<=3%) now also covers the histogram observe and the inert scope
+    // on a disabled handle; the enabled column is the full price of
+    // per-request tracing + live histograms.
+    {
+        let rows = 1_000;
+        let (tgt, program, db) = exchange_setup(rows);
+        let off = Telemetry::disabled();
+        let on = enabled_handle();
+        let wrapped = |tel: &Telemetry| {
+            let mut scope = tel.trace_scope(0x517E_D00D, true);
+            let (out, d) = mm_bench::timed(|| {
+                chase_st_prepared_traced(&tgt, &program, &db, &budget, tel).expect("ok")
+            });
+            tel.observe_hist(Hist::ServerServiceUs, d.as_micros().min(u128::from(u64::MAX)) as u64);
+            let _ = scope.take_captured();
+            out
+        };
+        let (base_t, noop_t, full_t) = interleaved(
+            40,
+            || chase_st_prepared(&tgt, &program, &db, &budget).expect("ok"),
+            || wrapped(&off),
+            || wrapped(&on),
+        );
+        points.push(point_json("chase_exchange_hist_trace", rows, base_t, noop_t, full_t));
+    }
+
     for rows in CQ_SIZES {
         let (_, _, db, tgds) = faults::quadratic_join(rows);
         let body = tgds[0].body.clone();
@@ -202,7 +231,7 @@ fn emit_baseline() {
 
     let host_cpus = mm_parallel::available_parallelism();
     let body = format!(
-        "{{\n  \"experiment\": \"telemetry_overhead\",\n  \"description\": \"instrumented hot paths: un-instrumented baseline vs disabled Telemetry handle (no-op, target <=3%) vs enabled ring collector + metrics; bit-identical results asserted per point (attested = those assertions passed on the emitting host)\",\n  \"command\": \"cargo bench -p mm-bench --bench telemetry\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"telemetry_overhead\",\n  \"description\": \"instrumented hot paths: un-instrumented baseline vs disabled Telemetry handle (no-op, target <=3%) vs enabled ring collector + metrics; the hist_trace point additionally wraps each call in a capturing trace scope plus a service-time histogram observation, the per-request shape mm-server uses; bit-identical results asserted per point (attested = those assertions passed on the emitting host)\",\n  \"command\": \"cargo bench -p mm-bench --bench telemetry\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
         points.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");

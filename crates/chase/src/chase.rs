@@ -17,7 +17,7 @@ use mm_expr::{Atom, Tgd};
 use mm_guard::{Consumption, ExecBudget, ExecError, Governor};
 use mm_instance::{Database, Tuple, Value};
 use mm_metamodel::Schema;
-use mm_telemetry::{Counter, Span, Telemetry, Timer};
+use mm_telemetry::{Counter, Hist, Span, Telemetry, Timer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -329,7 +329,10 @@ fn run_st(
         if let Ok((db, _, _)) = &result {
             m.add(Counter::ChaseDeltaTuples, db.total_tuples() as u64);
         }
-        m.observe_us(Timer::Chase, mm_telemetry::clock::elapsed_us(started));
+        let elapsed = mm_telemetry::clock::elapsed_us(started);
+        m.observe_us(Timer::Chase, elapsed);
+        // the st chase is its single pass, so the run is the round
+        m.observe_hist(Hist::ChaseRoundUs, elapsed);
     }
     span.field("tgds", program.len());
     span.field("rounds", stats.rounds);
@@ -616,7 +619,8 @@ pub fn chase_general_reference(
     budget: &ExecBudget,
 ) -> Result<ChaseOutcome, ChaseFailure> {
     let program = ChaseProgram::compile(tgds, db);
-    chase_general_impl(db, &program, egds, budget, false, false, 1, None, None).map(|(o, ..)| o)
+    chase_general_impl(db, &program, egds, budget, false, false, 1, None, &Telemetry::disabled(), None)
+        .map(|(o, ..)| o)
 }
 
 /// Telemetry shell around [`chase_general_impl`].
@@ -635,7 +639,7 @@ fn run_general(
 ) -> Result<(ChaseOutcome, Consumption, u32), ChaseFailure> {
     if !tel.is_enabled() {
         return chase_general_impl(
-            db, program, egds, budget, semi_naive, use_indexes, threads, adapt, trace,
+            db, program, egds, budget, semi_naive, use_indexes, threads, adapt, tel, trace,
         )
         .map(|(o, c, _, r)| (o, c, r));
     }
@@ -643,7 +647,7 @@ fn run_general(
     let tuples_before = db.total_tuples();
     let mut span = Span::enter(tel, "chase.general", db.name.as_str());
     let result = chase_general_impl(
-        db, program, egds, budget, semi_naive, use_indexes, threads, adapt, trace,
+        db, program, egds, budget, semi_naive, use_indexes, threads, adapt, tel, trace,
     );
     let stats = match &result {
         Ok((ChaseOutcome::Done(s) | ChaseOutcome::BoundExceeded(s), ..)) => *s,
@@ -700,6 +704,7 @@ fn chase_general_impl(
     use_indexes: bool,
     threads: usize,
     adapt: Option<f64>,
+    tel: &Telemetry,
     mut trace: Option<&mut Vec<RoundExplain>>,
 ) -> Result<(ChaseOutcome, Consumption, mm_parallel::PoolRun, u32), ChaseFailure> {
     let mut gov = Governor::new(budget);
@@ -741,6 +746,9 @@ fn chase_general_impl(
             }
         }
         stats.rounds += 1;
+        // per-round latency: one clock read per round when enabled, and
+        // clock reads never touch results, so bit-identity is preserved
+        let round_started = tel.is_enabled().then(mm_telemetry::clock::now);
         let round_before = (stats.fired, stats.nulls, db.total_tuples());
         let mut changed = false;
         let mut round = |db: &mut Database,
@@ -834,6 +842,9 @@ fn chase_general_impl(
                 nulls: stats.nulls - round_before.1,
                 new_tuples: db.total_tuples().saturating_sub(round_before.2),
             });
+        }
+        if let (Some(started), Some(m)) = (round_started, tel.metrics()) {
+            m.observe_hist(Hist::ChaseRoundUs, mm_telemetry::clock::elapsed_us(started));
         }
         if let Some(failed) = outcome {
             return Ok((failed, gov.consumption(), par, replans));
@@ -1311,7 +1322,7 @@ mod tests {
         };
         assert!(solo_steps > 4096, "workload must span several safepoints: {solo_steps}");
         let budget = ExecBudget::unbounded().with_steps(solo_steps + solo_steps / 2);
-        let mut lead = Governor::new(&budget);
+        let lead = Governor::new(&budget);
         let (_, mut govs) = lead.fork_shared(2);
         let mut trips = 0;
         for g in govs.iter_mut() {

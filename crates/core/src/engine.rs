@@ -883,6 +883,29 @@ impl Engine {
         .map_err(|f| EngineError::Exec(f.into()))
     }
 
+    /// A plan-only EXPLAIN of the exchange `mapping` would run over
+    /// `source_db`: the compiled (cached) join orders and per-atom
+    /// cardinalities of every tgd body, with no rounds — nothing
+    /// executes, so this stays cheap even when the exchange itself was
+    /// pathological. The server's slow-query log attaches this to
+    /// exchange-shaped requests after the fact (DESIGN.md §15);
+    /// `mode=plan` distinguishes it from the executed `st`/`general`
+    /// reports.
+    pub fn plan_explain(&self, mapping: &str, source_db: &Database) -> Result<String, EngineError> {
+        let (m, mid) = self.repo.latest_mapping(mapping)?;
+        let tgds = Self::tgds_of(&m)?;
+        let program = self.chase_program(mapping, &mid, &tgds, source_db);
+        let explain = ChaseExplain {
+            mode: "plan",
+            stats: mm_chase::ChaseStats::default(),
+            tgds: program.explain(source_db),
+            rounds: Vec::new(),
+            threads: self.config.threads.max(1),
+            replans: 0,
+        };
+        Ok(explain.to_string())
+    }
+
     /// Run the bounded general chase of `source_db` with a stored tgd
     /// mapping's constraints plus the key egds of `schema`. The chase may
     /// diverge, so it runs under the configured round cap

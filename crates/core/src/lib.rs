@@ -60,8 +60,8 @@ pub mod prelude {
     };
     pub use mm_telemetry::{
         Cause, Collector, Counter, DegradationSite, EngineMetrics, Event, EventKind, ExplainNode,
-        Field, FieldValue, JsonLinesCollector, LineSink, MetricsSnapshot, RingCollector, Span,
-        Telemetry, Timer,
+        Field, FieldValue, Hist, Histogram, HistogramSummary, JsonLinesCollector, LineSink,
+        MetricsSnapshot, RingCollector, ServerOp, Span, Telemetry, Timer, TraceScope,
     };
     pub use mm_evolution::{
         diff, evolve_view, extract, invert_views, merge, verify_inverse, EvolutionOutcome,

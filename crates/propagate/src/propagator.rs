@@ -13,7 +13,7 @@ use mm_instance::{Database, Tuple};
 use mm_metamodel::Schema;
 use mm_repository::Subscription;
 use mm_runtime::{Delta, MaintenancePlan};
-use mm_telemetry::{DegradationSite, Field, PropagateCounter, Telemetry};
+use mm_telemetry::{DegradationSite, Field, Hist, PropagateCounter, Telemetry};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -331,8 +331,10 @@ impl Propagator {
                 self.degrade(*id, sub, resync, cause);
                 continue;
             }
+            let delta_rows: usize = view_inserts.iter().map(|(_, t)| t.len()).sum();
             sub.queue.push_back(Notification::Delta { seq, view_inserts });
             self.count(PropagateCounter::DeltasPushed, 1);
+            self.observe(Hist::PropagateDeltaRows, delta_rows as u64);
             self.raise(PropagateCounter::QueueHighWater, sub.queue.len() as u64);
             if sub.queue.len() >= self.cfg.high_water {
                 sub.lagging = true;
@@ -485,6 +487,7 @@ impl Propagator {
             sub.lagging = false;
             sub.drained_through = seq;
             self.count(PropagateCounter::ResyncsDelivered, 1);
+            self.observe(Hist::PropagatePollBatch, 1);
             return Ok(PollResponse {
                 notifications: vec![Notification::Resync { seq, cause, views }],
                 lagging: false,
@@ -498,6 +501,7 @@ impl Propagator {
         if sub.queue.len() <= self.cfg.low_water {
             sub.lagging = false;
         }
+        self.observe(Hist::PropagatePollBatch, notifications.len() as u64);
         Ok(PollResponse { notifications, lagging: sub.lagging })
     }
 
@@ -567,6 +571,12 @@ impl Propagator {
     fn raise(&self, c: PropagateCounter, v: u64) {
         if let Some(m) = self.tel.metrics() {
             m.raise_propagate(c, v);
+        }
+    }
+
+    fn observe(&self, h: Hist, v: u64) {
+        if let Some(m) = self.tel.metrics() {
+            m.observe_hist(h, v);
         }
     }
 }

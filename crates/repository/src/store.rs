@@ -23,7 +23,7 @@ use bytes::Bytes;
 use mm_expr::{CorrespondenceSet, Mapping, ViewSet};
 use mm_instance::{Database, Tuple};
 use mm_metamodel::Schema;
-use mm_telemetry::{Counter, Telemetry, Timer};
+use mm_telemetry::{Counter, Hist, Telemetry, Timer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -236,11 +236,15 @@ impl DurableCore {
     /// WAL telemetry counters.
     fn append_now(&self, records: &[WalRecord], tel: &Telemetry) -> Result<(), StorageError> {
         let mut st = self.state.lock();
+        let started = tel.is_enabled().then(mm_telemetry::clock::now);
         let frame_bytes = self.wal.append_batch(st.next_seq, records)?;
         st.next_seq += 1;
         st.batches_since_checkpoint += 1;
         tel.count(Counter::WalFramesAppended, 1);
         tel.count(Counter::WalBytesAppended, frame_bytes as u64);
+        if let (Some(t0), Some(m)) = (started, tel.metrics()) {
+            m.observe_hist(Hist::WalAppendUs, mm_telemetry::clock::elapsed_us(t0));
+        }
         Ok(())
     }
 }
@@ -827,7 +831,9 @@ impl Repository {
         st.batches_since_checkpoint = 0;
         self.telemetry.count(Counter::Checkpoints, 1);
         if let Some(m) = self.telemetry.metrics() {
-            m.observe_us(Timer::Checkpoint, mm_telemetry::clock::elapsed_us(started));
+            let elapsed = mm_telemetry::clock::elapsed_us(started);
+            m.observe_us(Timer::Checkpoint, elapsed);
+            m.observe_hist(Hist::WalCheckpointUs, elapsed);
         }
         Ok(())
     }

@@ -4,7 +4,8 @@
 //! accepts pipelined requests from clients that interleave.
 
 use crate::protocol::{
-    self, decode_response, encode_request, read_frame, write_frame, OkBody, Request, WireStats,
+    self, decode_response, encode_request, read_frame, write_frame, HealthReport, OkBody,
+    Request, WireStats,
 };
 use mm_expr::{Expr, ViewSet};
 use mm_instance::{Database, Relation, Tuple};
@@ -22,6 +23,11 @@ pub enum ClientError {
     Io(io::Error),
     /// The stream desynchronized or a frame failed to decode.
     Protocol(String),
+    /// A well-formed response answered the wrong request — on this
+    /// strictly request/response client that means the stream skewed
+    /// (e.g. a stale response from before a timeout). Typed so callers
+    /// can tell skew (reconnect) from garbage (give up).
+    ReqIdMismatch { got: u64, expected: u64 },
     /// The server answered with a typed error frame.
     Rejected { code: u32, message: String },
 }
@@ -87,11 +93,24 @@ pub fn backoff_delay(attempt: u32) -> Duration {
     Duration::from_millis(base_ms / 2 + jitter)
 }
 
+/// SplitMix64 finalizer: the trace-id generator. A pure bijective
+/// mixer — deterministic per (connection, request) pair, well spread,
+/// and dependency-free.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "client i/o: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::ReqIdMismatch { got, expected } => {
+                write!(f, "response for request {got}, expected {expected}")
+            }
             ClientError::Rejected { code, message } => {
                 write!(f, "server rejected (code {code}): {message}")
             }
@@ -125,6 +144,13 @@ pub struct Client {
     /// Deadline request (milliseconds) stamped on every call; 0 asks
     /// for the server default.
     deadline_ms: u32,
+    /// Per-connection trace seed; each call derives its trace id from
+    /// this and the request counter.
+    trace_seed: u64,
+    /// The trace id stamped on the most recent call (0 before any).
+    last_trace_id: u64,
+    /// When false, calls go out untraced (trace id 0).
+    tracing: bool,
 }
 
 impl Client {
@@ -134,11 +160,20 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        // Process-unique connection counter -> splitmix-style seed: no
+        // RNG dependency, no clock, and distinct across the clients of
+        // one process (trace ids only need to avoid colliding within a
+        // server's bounded flight-recorder window).
+        static CONN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let conn = CONN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(Client {
             stream,
             next_req: 1,
             max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
             deadline_ms: 0,
+            trace_seed: mix64(conn ^ 0x6D6D_5F74_7261_6365), // "mm_trace"
+            last_trace_id: 0,
+            tracing: true,
         })
     }
 
@@ -147,6 +182,20 @@ impl Client {
     /// server default.
     pub fn set_deadline_ms(&mut self, ms: u32) {
         self.deadline_ms = ms;
+    }
+
+    /// Turn trace-id stamping on or off (on by default). Untraced calls
+    /// carry trace id 0: the server serves them identically but records
+    /// no span tree for them.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The trace id stamped on the most recent call (0 before the first
+    /// call or with tracing off) — pass it to [`Client::trace`] to pull
+    /// the server-side record of that request.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     /// The underlying stream — escape hatch for fault-injection tests
@@ -158,7 +207,14 @@ impl Client {
     fn call(&mut self, req: &Request) -> Result<OkBody, ClientError> {
         let req_id = self.next_req;
         self.next_req += 1;
-        let payload = encode_request(req_id, self.deadline_ms, req);
+        let trace_id = if self.tracing {
+            // Guaranteed non-zero: 0 is the untraced sentinel.
+            mix64(self.trace_seed.wrapping_add(req_id)) | 1
+        } else {
+            0
+        };
+        self.last_trace_id = trace_id;
+        let payload = encode_request(req_id, self.deadline_ms, trace_id, req);
         write_frame(&mut self.stream, &payload)?;
         let frame = read_frame(&mut self.stream, self.max_frame_len)
             .map_err(|e| match e {
@@ -171,9 +227,7 @@ impl Client {
         let (id, body) =
             decode_response(frame.payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
         if id != req_id {
-            return Err(ClientError::Protocol(format!(
-                "response for request {id}, expected {req_id}"
-            )));
+            return Err(ClientError::ReqIdMismatch { got: id, expected: req_id });
         }
         body.map_err(|(code, message)| ClientError::Rejected { code, message })
     }
@@ -344,6 +398,48 @@ impl Client {
         match self.call(&Request::Unsubscribe { id })? {
             OkBody::Done => Ok(()),
             other => Err(ClientError::Protocol(format!("expected done body, got {other:?}"))),
+        }
+    }
+
+    // --- introspection (DESIGN.md §15) -------------------------------------
+
+    /// A point-in-time metrics snapshot: stable sorted `(key, value)`
+    /// rows (empty when the server runs without telemetry). Answered
+    /// inline by the server even while it sheds or drains.
+    pub fn metrics(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.call(&Request::Metrics)? {
+            OkBody::Metrics { entries } => Ok(entries),
+            other => Err(ClientError::Protocol(format!("expected metrics body, got {other:?}"))),
+        }
+    }
+
+    /// Liveness, queue depth, and shed/drain state — enough to drive a
+    /// scrape/alert loop without parsing metrics. Answered inline even
+    /// while the server sheds or drains.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.call(&Request::Health)? {
+            OkBody::Health(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!("expected health body, got {other:?}"))),
+        }
+    }
+
+    /// Up to `max` slow-query log entries (0 = everything retained) as
+    /// stable JSON lines, oldest first: summary fields plus the
+    /// captured span tree and, for exchange-shaped ops, a plan EXPLAIN.
+    pub fn slow_log(&mut self, max: u32) -> Result<Vec<String>, ClientError> {
+        match self.call(&Request::SlowLog { max })? {
+            OkBody::SlowLog { lines } => Ok(lines),
+            other => Err(ClientError::Protocol(format!("expected slow-log body, got {other:?}"))),
+        }
+    }
+
+    /// Everything the server's flight recorder holds for `trace_id`
+    /// (see [`Client::last_trace_id`]), as stable JSON lines. Empty for
+    /// id 0, unknown ids, and requests already evicted from the rings.
+    pub fn trace(&mut self, trace_id: u64) -> Result<Vec<String>, ClientError> {
+        match self.call(&Request::TraceGet { trace_id })? {
+            OkBody::Trace { lines } => Ok(lines),
+            other => Err(ClientError::Protocol(format!("expected trace body, got {other:?}"))),
         }
     }
 

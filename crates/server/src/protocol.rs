@@ -9,14 +9,18 @@
 //! magic u32 | len u32 | crc u32 | payload[len]
 //! ```
 //!
-//! and a request payload opens with a fixed 13-byte prelude —
+//! and a request payload opens with a fixed 22-byte versioned prelude —
 //!
 //! ```text
-//! req_id u64 | deadline_ms u32 | op u8 | body…
+//! version u8 | req_id u64 | trace_id u64 | deadline_ms u32 | op u8 | body…
 //! ```
 //!
 //! — so admission control can identify and reject a request from the
-//! prelude alone, without checksumming or decoding the body. Response
+//! prelude alone, without checksumming or decoding the body.
+//! `trace_id` is the client-generated distributed trace id stamped on
+//! every span the request produces (0 = untraced); `version` is checked
+//! against [`WireVersion`] with an exhaustive `match`, so bumping the
+//! protocol is a compile-time event, not a runtime surprise. Response
 //! payloads are `req_id u64 | status u8 | …` where status 0 carries an
 //! op-tagged result body and status 1 carries `code u32 | message str`.
 //!
@@ -41,8 +45,23 @@ pub const MAGIC: u32 = 0x3032_4D4D;
 /// Frame header length: magic, payload length, payload CRC32.
 pub const HEADER_LEN: usize = 12;
 
-/// Request prelude length: req_id, deadline_ms, op.
-pub const PRELUDE_LEN: usize = 13;
+/// Request prelude length: version, req_id, trace_id, deadline_ms, op.
+pub const PRELUDE_LEN: usize = 22;
+
+/// Wire protocol versions this build knows. The prelude's leading byte
+/// names one; every site that touches the prelude matches exhaustively
+/// on [`CURRENT_VERSION`], so adding a variant here refuses to compile
+/// until encoder, parser, and client all handle it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireVersion {
+    /// The first versioned prelude (PR 9): adds the version byte itself
+    /// and the 8-byte trace id to the original 13-byte layout.
+    V2 = 2,
+}
+
+/// The version this build speaks (and emits).
+pub const CURRENT_VERSION: WireVersion = WireVersion::V2;
 
 /// Default cap on a single frame's payload (16 MiB).
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
@@ -75,6 +94,7 @@ pub const ERR_BAD_CRC: u32 = 41;
 pub const ERR_FRAME_TOO_LARGE: u32 = 42;
 pub const ERR_DECODE: u32 = 43;
 pub const ERR_UNKNOWN_OP: u32 = 44;
+pub const ERR_BAD_VERSION: u32 = 45;
 
 pub const ERR_OVERLOADED: u32 = 50;
 pub const ERR_QUEUE_FULL: u32 = 51;
@@ -228,29 +248,73 @@ pub enum Op {
     Ack = 11,
     Resume = 12,
     Unsubscribe = 13,
+    // Read-only introspection (DESIGN.md §15). Answered inline on the
+    // session thread, bypassing admission control: they must stay
+    // answerable while the server sheds or drains.
+    Metrics = 14,
+    Health = 15,
+    SlowLog = 16,
+    TraceGet = 17,
 }
 
-/// The parsed 13-byte request prelude. `deadline_ms` is the client's
-/// requested deadline relative to admission (0 = server default).
-#[derive(Debug, Clone, Copy)]
+/// Is `op` one of the read-only introspection selectors the server
+/// answers inline, even while shedding or draining?
+pub fn is_introspection_op(op: u8) -> bool {
+    op == Op::Metrics as u8
+        || op == Op::Health as u8
+        || op == Op::SlowLog as u8
+        || op == Op::TraceGet as u8
+}
+
+/// The parsed request prelude. `deadline_ms` is the client's requested
+/// deadline relative to admission (0 = server default); `trace_id` is
+/// the client-generated trace id (0 = untraced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestHead {
     pub req_id: u64,
+    pub trace_id: u64,
     pub deadline_ms: u32,
     pub op: u8,
 }
 
-/// Parse the prelude without touching the body (or the CRC). `None` if
-/// the payload is shorter than the prelude.
-pub fn parse_head(payload: &[u8]) -> Option<RequestHead> {
+/// Why a prelude failed to parse. Both are answerable with the frame
+/// already consumed, so the session survives: `Runt` under req_id 0
+/// (there is no id to echo), `Version` under the client's own req_id —
+/// that field sits at a fixed offset in every version, so the server
+/// can send a typed [`ERR_BAD_VERSION`] even for versions it does not
+/// speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreludeError {
+    /// Payload shorter than the prelude.
+    Runt,
+    /// Unknown leading version byte.
+    Version { got: u8, req_id: u64 },
+}
+
+/// Parse the prelude without touching the body (or the CRC).
+pub fn parse_head(payload: &[u8]) -> Result<RequestHead, PreludeError> {
     if payload.len() < PRELUDE_LEN {
-        return None;
+        return Err(PreludeError::Runt);
     }
     let req_id = u64::from_le_bytes([
-        payload[0], payload[1], payload[2], payload[3], payload[4], payload[5], payload[6],
-        payload[7],
+        payload[1], payload[2], payload[3], payload[4], payload[5], payload[6], payload[7],
+        payload[8],
     ]);
-    let deadline_ms = u32::from_le_bytes([payload[8], payload[9], payload[10], payload[11]]);
-    Some(RequestHead { req_id, deadline_ms, op: payload[12] })
+    // Exhaustive over the enum: a new WireVersion variant is a compile
+    // error here until the parser decides how to accept it.
+    let supported = match CURRENT_VERSION {
+        WireVersion::V2 => payload[0] == WireVersion::V2 as u8,
+    };
+    if !supported {
+        return Err(PreludeError::Version { got: payload[0], req_id });
+    }
+    let trace_id = u64::from_le_bytes([
+        payload[9], payload[10], payload[11], payload[12], payload[13], payload[14],
+        payload[15], payload[16],
+    ]);
+    let deadline_ms =
+        u32::from_le_bytes([payload[17], payload[18], payload[19], payload[20]]);
+    Ok(RequestHead { req_id, trace_id, deadline_ms, op: payload[21] })
 }
 
 /// A fully decoded request body.
@@ -277,6 +341,15 @@ pub enum Request {
     Resume { id: u64, cursor: u64 },
     /// Drop a subscription.
     Unsubscribe { id: u64 },
+    /// Read-only: a point-in-time metrics snapshot (empty when the
+    /// server runs without telemetry).
+    Metrics,
+    /// Read-only: liveness, queue depth, shed/drain state.
+    Health,
+    /// Read-only: up to `max` slow-query log entries, newest last.
+    SlowLog { max: u32 },
+    /// Read-only: everything the flight recorder holds for a trace id.
+    TraceGet { trace_id: u64 },
 }
 
 /// Why a request body failed to decode (after the frame itself was
@@ -376,15 +449,26 @@ pub fn decode_request(op: u8, r: &mut Reader) -> Result<Request, BodyError> {
             Ok(Request::Resume { id, cursor })
         })(),
         x if x == Op::Unsubscribe as u8 => r.u64().map(|id| Request::Unsubscribe { id }),
+        x if x == Op::Metrics as u8 => Ok(Request::Metrics),
+        x if x == Op::Health as u8 => Ok(Request::Health),
+        x if x == Op::SlowLog as u8 => r.u32().map(|max| Request::SlowLog { max }),
+        x if x == Op::TraceGet as u8 => r.u64().map(|trace_id| Request::TraceGet { trace_id }),
         other => return Err(BodyError::UnknownOp(other)),
     };
     decoded.map_err(BodyError::Decode)
 }
 
-/// Encode a request payload (prelude + body) ready for [`write_frame`].
-pub fn encode_request(req_id: u64, deadline_ms: u32, req: &Request) -> Bytes {
+/// Encode a request payload (versioned prelude + body) ready for
+/// [`write_frame`].
+pub fn encode_request(req_id: u64, deadline_ms: u32, trace_id: u64, req: &Request) -> Bytes {
     let mut w = Writer::new();
+    // Exhaustive on purpose: bumping CURRENT_VERSION forces this site
+    // to decide what the new prelude looks like.
+    match CURRENT_VERSION {
+        WireVersion::V2 => w.u8(WireVersion::V2 as u8),
+    }
     w.u64(req_id);
+    w.u64(trace_id);
     w.u32(deadline_ms);
     match req {
         Request::Ping => w.u8(Op::Ping as u8),
@@ -456,6 +540,16 @@ pub fn encode_request(req_id: u64, deadline_ms: u32, req: &Request) -> Bytes {
             w.u8(Op::Unsubscribe as u8);
             w.u64(*id);
         }
+        Request::Metrics => w.u8(Op::Metrics as u8),
+        Request::Health => w.u8(Op::Health as u8),
+        Request::SlowLog { max } => {
+            w.u8(Op::SlowLog as u8);
+            w.u32(*max);
+        }
+        Request::TraceGet { trace_id } => {
+            w.u8(Op::TraceGet as u8);
+            w.u64(*trace_id);
+        }
     }
     w.finish()
 }
@@ -497,6 +591,70 @@ pub enum OkBody {
     Notifications { notifications: Vec<Notification>, lagging: bool },
     /// Acknowledged (`Ack`/`Resume`/`Unsubscribe`).
     Done,
+    /// A metrics snapshot: stable sorted `(key, value)` rows.
+    Metrics { entries: Vec<(String, u64)> },
+    /// A health report.
+    Health(HealthReport),
+    /// Slow-query log entries as stable JSON lines, oldest first.
+    SlowLog { lines: Vec<String> },
+    /// Flight-recorder data for one trace id as stable JSON lines:
+    /// the request summary, then its captured span tree if the request
+    /// was slow enough to keep one.
+    Trace { lines: Vec<String> },
+}
+
+/// What the health op reports: enough to drive a scrape/alert loop
+/// without parsing metrics. All point-in-time reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Drain in progress: new work is refused with code 52.
+    pub draining: bool,
+    /// Hysteresis shed latch is on: new work is refused with code 50.
+    pub shedding: bool,
+    /// Requests admitted but not yet completed.
+    pub inflight: u64,
+    /// Jobs waiting in the executor queue.
+    pub queue_depth: u64,
+    /// The executor queue's capacity.
+    pub queue_capacity: u64,
+    /// Live sessions.
+    pub sessions: u64,
+    /// Requests completed since boot (0 without telemetry).
+    pub completed: u64,
+    /// Requests shed since boot, all causes (0 without telemetry).
+    pub shed: u64,
+    /// Telemetry events lost to ring eviction or sink failures.
+    pub events_dropped: u64,
+    /// Entries currently held by the slow-query log.
+    pub slow_entries: u64,
+}
+
+fn encode_health(w: &mut Writer, h: &HealthReport) {
+    w.bool(h.draining);
+    w.bool(h.shedding);
+    w.u64(h.inflight);
+    w.u64(h.queue_depth);
+    w.u64(h.queue_capacity);
+    w.u64(h.sessions);
+    w.u64(h.completed);
+    w.u64(h.shed);
+    w.u64(h.events_dropped);
+    w.u64(h.slow_entries);
+}
+
+fn decode_health(r: &mut Reader) -> DecodeResult<HealthReport> {
+    Ok(HealthReport {
+        draining: r.bool()?,
+        shedding: r.bool()?,
+        inflight: r.u64()?,
+        queue_depth: r.u64()?,
+        queue_capacity: r.u64()?,
+        sessions: r.u64()?,
+        completed: r.u64()?,
+        shed: r.u64()?,
+        events_dropped: r.u64()?,
+        slow_entries: r.u64()?,
+    })
 }
 
 /// Wire tag for a [`ResyncCause`] (stable: clients key retry/alert
@@ -635,6 +793,25 @@ pub fn encode_ok(req_id: u64, body: &OkBody) -> Bytes {
             w.bool(*lagging);
         }
         OkBody::Done => w.u8(Op::Ack as u8),
+        OkBody::Metrics { entries } => {
+            w.u8(Op::Metrics as u8);
+            w.seq(entries, |w, (k, v)| {
+                w.str(k);
+                w.u64(*v);
+            });
+        }
+        OkBody::Health(h) => {
+            w.u8(Op::Health as u8);
+            encode_health(&mut w, h);
+        }
+        OkBody::SlowLog { lines } => {
+            w.u8(Op::SlowLog as u8);
+            w.seq(lines, |w, line| w.str(line));
+        }
+        OkBody::Trace { lines } => {
+            w.u8(Op::TraceGet as u8);
+            w.seq(lines, |w, line| w.str(line));
+        }
     }
     w.finish()
 }
@@ -703,6 +880,17 @@ pub fn decode_response(payload: Bytes) -> DecodeResult<DecodedResponse> {
             OkBody::Notifications { notifications, lagging }
         }
         x if x == Op::Ack as u8 => OkBody::Done,
+        x if x == Op::Metrics as u8 => {
+            let entries = r.seq(|r| {
+                let k = r.str()?;
+                let v = r.u64()?;
+                Ok((k, v))
+            })?;
+            OkBody::Metrics { entries }
+        }
+        x if x == Op::Health as u8 => OkBody::Health(decode_health(&mut r)?),
+        x if x == Op::SlowLog as u8 => OkBody::SlowLog { lines: r.seq(|r| r.str())? },
+        x if x == Op::TraceGet as u8 => OkBody::Trace { lines: r.seq(|r| r.str())? },
         other => return Err(DecodeError(format!("unknown response op tag {other}"))),
     };
     Ok((req_id, Ok(body)))
@@ -784,6 +972,7 @@ mod tests {
         let payload = encode_request(
             9,
             250,
+            0xDEAD_BEEF,
             &Request::Exchange {
                 mapping: "M".into(),
                 target_schema: "T".into(),
@@ -795,7 +984,10 @@ mod tests {
         let frame = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap();
         assert!(frame.crc_ok());
         let head = parse_head(&frame.payload).unwrap();
-        assert_eq!((head.req_id, head.deadline_ms, head.op), (9, 250, Op::Exchange as u8));
+        assert_eq!(
+            (head.req_id, head.trace_id, head.deadline_ms, head.op),
+            (9, 0xDEAD_BEEF, 250, Op::Exchange as u8)
+        );
 
         // Flip one payload bit (header intact): CRC must catch it.
         let mut torn = buf.clone();
@@ -841,13 +1033,13 @@ mod tests {
             Request::Unsubscribe { id: 7 },
         ];
         for req in &reqs {
-            let payload = encode_request(1, 0, req);
+            let payload = encode_request(1, 0, 7, req);
             let head = parse_head(&payload).unwrap();
             let body = payload.slice(PRELUDE_LEN..payload.len());
             let back = decode_request(head.op, &mut Reader::new(body)).unwrap();
             // Decode-then-re-encode must be bit-identical (Debug output
             // is unstable for hash-backed dedup state).
-            assert_eq!(encode_request(1, 0, &back), payload);
+            assert_eq!(encode_request(1, 0, 7, &back), payload);
         }
 
         // Responses: a delta and a resync notification.
@@ -896,6 +1088,76 @@ mod tests {
         assert!(matches!(committed.unwrap(), OkBody::Committed { seq: 9 }));
         let (_, done) = decode_response(encode_ok(4, &OkBody::Done)).unwrap();
         assert!(matches!(done.unwrap(), OkBody::Done));
+    }
+
+    #[test]
+    fn unknown_prelude_version_is_typed_and_keeps_the_req_id() {
+        let mut payload = encode_request(77, 0, 0, &Request::Ping).to_vec();
+        payload[0] = 99;
+        match parse_head(&payload) {
+            Err(PreludeError::Version { got: 99, req_id: 77 }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        assert_eq!(parse_head(&payload[..PRELUDE_LEN - 1]), Err(PreludeError::Runt));
+    }
+
+    #[test]
+    fn introspection_frames_round_trip() {
+        let reqs = vec![
+            Request::Metrics,
+            Request::Health,
+            Request::SlowLog { max: 32 },
+            Request::TraceGet { trace_id: 0xFEED },
+        ];
+        for req in &reqs {
+            let payload = encode_request(1, 0, 0, req);
+            let head = parse_head(&payload).unwrap();
+            assert!(is_introspection_op(head.op));
+            let body = payload.slice(PRELUDE_LEN..payload.len());
+            let back = decode_request(head.op, &mut Reader::new(body)).unwrap();
+            assert_eq!(encode_request(1, 0, 0, &back), payload);
+        }
+        assert!(!is_introspection_op(Op::Exchange as u8));
+
+        let entries = vec![("chase_rounds".to_string(), 4u64), ("server.completed".into(), 9)];
+        let (_, body) =
+            decode_response(encode_ok(6, &OkBody::Metrics { entries: entries.clone() })).unwrap();
+        match body.unwrap() {
+            OkBody::Metrics { entries: back } => assert_eq!(back, entries),
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let health = HealthReport {
+            draining: false,
+            shedding: true,
+            inflight: 2,
+            queue_depth: 4,
+            queue_capacity: 64,
+            sessions: 3,
+            completed: 100,
+            shed: 5,
+            events_dropped: 1,
+            slow_entries: 2,
+        };
+        let (_, body) = decode_response(encode_ok(7, &OkBody::Health(health))).unwrap();
+        match body.unwrap() {
+            OkBody::Health(back) => assert_eq!(back, health),
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let lines = vec!["{\"seq\":1}".to_string(), "{\"seq\":2}".to_string()];
+        let (_, body) =
+            decode_response(encode_ok(8, &OkBody::SlowLog { lines: lines.clone() })).unwrap();
+        match body.unwrap() {
+            OkBody::SlowLog { lines: back } => assert_eq!(back, lines),
+            other => panic!("wrong body: {other:?}"),
+        }
+        let (_, body) =
+            decode_response(encode_ok(9, &OkBody::Trace { lines: lines.clone() })).unwrap();
+        match body.unwrap() {
+            OkBody::Trace { lines: back } => assert_eq!(back, lines),
+            other => panic!("wrong body: {other:?}"),
+        }
     }
 
     #[test]

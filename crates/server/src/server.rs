@@ -11,7 +11,7 @@
 //!   ([`ServerConfig::max_frame_len`]) before any allocation.
 //! * **Shed before decode.** When inflight requests cross
 //!   [`ServerConfig::high_water`] the server enters shedding and
-//!   rejects from the 13-byte prelude alone — no CRC, no body decode —
+//!   rejects from the 22-byte prelude alone — no CRC, no body decode —
 //!   until inflight falls back to [`ServerConfig::low_water`]
 //!   (hysteresis, so admission does not flap at the boundary).
 //! * **Deadlines are enforced in the engine.** Every admitted request
@@ -33,14 +33,17 @@
 //!   requests, then checkpoints a durable repository so restart
 //!   recovers from the snapshot.
 
+use crate::flight::{FlightRecorder, Outcome, RequestSummary};
 use crate::protocol::{
-    self, encode_err, encode_ok, parse_head, read_frame, write_frame, OkBody,
-    RawFrame, Request, WireStats, ERR_BAD_CRC, ERR_BAD_MAGIC, ERR_DEADLINE_EXCEEDED,
-    ERR_FRAME_TOO_LARGE, ERR_OVERLOADED, ERR_QUEUE_FULL, ERR_SCRIPT, ERR_SHUTTING_DOWN,
+    self, encode_err, encode_ok, parse_head, read_frame, write_frame, HealthReport, OkBody,
+    PreludeError, RawFrame, Request, RequestHead, WireStats, ERR_BAD_CRC, ERR_BAD_MAGIC,
+    ERR_BAD_VERSION, ERR_DEADLINE_EXCEEDED, ERR_FRAME_TOO_LARGE, ERR_OVERLOADED,
+    ERR_QUEUE_FULL, ERR_SCRIPT, ERR_SHUTTING_DOWN,
 };
 use mm_engine::{run_script, Engine, EngineError};
 use mm_guard::{ExecBudget, ExecError, Governor, SharedMeter};
-use mm_telemetry::{clock, Field, ServerCounter, Span, Telemetry};
+use mm_instance::Database;
+use mm_telemetry::{clock, Field, Hist, ServerCounter, ServerOp, Span, Telemetry};
 use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -84,6 +87,13 @@ pub struct ServerConfig {
     pub session_budget: ExecBudget,
     /// How long [`ServerHandle::shutdown`] waits for inflight work.
     pub drain_timeout: Duration,
+    /// Service time past which a finished request keeps a full
+    /// slow-log entry (span tree + EXPLAIN) in the flight recorder.
+    pub slow_threshold: Duration,
+    /// Flight-recorder recent ring capacity (per-request summaries).
+    pub flight_recent: usize,
+    /// Slow-query log capacity (full entries).
+    pub flight_slow: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +111,9 @@ impl Default for ServerConfig {
             max_deadline: Duration::from_secs(60),
             session_budget: ExecBudget::unbounded(),
             drain_timeout: Duration::from_secs(5),
+            slow_threshold: Duration::from_millis(250),
+            flight_recent: 256,
+            flight_slow: 64,
         }
     }
 }
@@ -249,8 +262,13 @@ struct Job {
     session: Arc<Session>,
     req_id: u64,
     op: u8,
+    /// Client trace id from the prelude (0 = untraced).
+    trace_id: u64,
     frame: RawFrame,
     deadline: Instant,
+    /// When admission queued the job — the worker's pop time minus this
+    /// is the queue-wait the latency histograms report.
+    enqueued: Instant,
     _inflight: InflightGuard,
 }
 
@@ -273,6 +291,8 @@ struct Shared {
     stopped: AtomicBool,
     /// Live session count (the slot gauge).
     sessions: AtomicUsize,
+    /// Per-request summaries and the slow-query log (DESIGN.md §15).
+    flight: FlightRecorder,
 }
 
 /// The server: start with [`Server::start`], stop with
@@ -289,6 +309,11 @@ impl Server {
         let addr = listener.local_addr()?;
         let tel = engine.telemetry().clone();
         let workers = cfg.workers.max(1);
+        let flight = FlightRecorder::new(
+            cfg.flight_recent,
+            cfg.flight_slow,
+            cfg.slow_threshold.as_micros().min(u128::from(u64::MAX)) as u64,
+        );
         let shared = Arc::new(Shared {
             engine,
             queue: JobQueue::new(cfg.queue_depth),
@@ -299,6 +324,7 @@ impl Server {
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             sessions: AtomicUsize::new(0),
+            flight,
         });
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -338,6 +364,12 @@ impl ServerHandle {
     /// The telemetry handle the server meters into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.shared.tel
+    }
+
+    /// The flight recorder: recent-request summaries and the slow-query
+    /// log, also reachable over the wire via the introspection ops.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
     }
 
     /// Graceful shutdown: refuse new requests with `ShuttingDown`,
@@ -478,12 +510,32 @@ fn session_loop(shared: &Arc<Shared>, stream: TcpStream) {
                 break;
             }
         };
-        let Some(head) = parse_head(&frame.payload) else {
-            // Runt payload; framing is intact, so the session survives.
-            session.send(shared, &encode_err(0, protocol::ERR_DECODE, "payload shorter than request prelude"));
-            continue;
+        let head = match parse_head(&frame.payload) {
+            Ok(head) => head,
+            Err(PreludeError::Runt) => {
+                // Runt payload; framing is intact, so the session survives.
+                session.send(shared, &encode_err(0, protocol::ERR_DECODE, "payload shorter than request prelude"));
+                continue;
+            }
+            Err(PreludeError::Version { got, req_id }) => {
+                // The req_id field sits at a fixed offset in every
+                // version, so even a version mismatch gets a typed reply
+                // under the client's own id and the session survives.
+                session.send(
+                    shared,
+                    &encode_err(
+                        req_id,
+                        ERR_BAD_VERSION,
+                        &format!(
+                            "unsupported protocol version {got} (this server speaks {})",
+                            protocol::CURRENT_VERSION as u8
+                        ),
+                    ),
+                );
+                continue;
+            }
         };
-        admit(shared, &session, head.req_id, head.deadline_ms, head.op, frame);
+        admit(shared, &session, head, frame);
     }
     session.alive.store(false, Ordering::Release);
 }
@@ -494,20 +546,20 @@ fn disconnect(shared: &Shared, session: &Session) {
     }
 }
 
-/// Admission control: runs on the session thread against the 13-byte
-/// prelude only. Order matters — drain refusal, then the shedding
-/// hysteresis, then the bounded queue.
-fn admit(
-    shared: &Arc<Shared>,
-    session: &Arc<Session>,
-    req_id: u64,
-    deadline_ms: u32,
-    op: u8,
-    frame: RawFrame,
-) {
+/// Admission control: runs on the session thread against the 22-byte
+/// prelude only. Order matters — the introspection bypass first (the
+/// observability plane must answer precisely when the data plane is
+/// refusing work), then drain refusal, the shedding hysteresis, and
+/// the bounded queue. Every rejection leaves a flight-recorder summary
+/// so shed storms are visible after the fact.
+fn admit(shared: &Arc<Shared>, session: &Arc<Session>, head: RequestHead, frame: RawFrame) {
+    if protocol::is_introspection_op(head.op) {
+        answer_introspection(shared, session, &head, &frame);
+        return;
+    }
     if shared.draining.load(Ordering::Acquire) {
         shared.tel.count_server(ServerCounter::ShedShutdown, 1);
-        session.send(shared, &encode_err(req_id, ERR_SHUTTING_DOWN, "server is draining"));
+        reject(shared, session, &head, ERR_SHUTTING_DOWN, "server is draining");
         return;
     }
     let inflight = shared.inflight.load(Ordering::Acquire);
@@ -521,30 +573,161 @@ fn admit(
         shared.tel.count_server(ServerCounter::Shed, 1);
         shared.tel.event(
             "server.shed",
-            req_id.to_string(),
+            head.req_id.to_string(),
             vec![Field { key: "inflight", value: (inflight as u64).into() }],
         );
-        session.send(shared, &encode_err(req_id, ERR_OVERLOADED, "overloaded: shedding load"));
+        reject(shared, session, &head, ERR_OVERLOADED, "overloaded: shedding load");
         return;
     }
-    let requested = if deadline_ms == 0 {
+    let requested = if head.deadline_ms == 0 {
         shared.cfg.default_deadline
     } else {
-        Duration::from_millis(u64::from(deadline_ms))
+        Duration::from_millis(u64::from(head.deadline_ms))
     };
     let deadline = mm_guard::deadline_in(requested.min(shared.cfg.max_deadline));
     let job = Job {
         session: Arc::clone(session),
-        req_id,
-        op,
+        req_id: head.req_id,
+        op: head.op,
+        trace_id: head.trace_id,
         frame,
         deadline,
+        enqueued: clock::now(),
         _inflight: InflightGuard::new(shared, session),
     };
     if let Err(job) = shared.queue.try_push(job) {
         drop(job); // releases the inflight slot
         shared.tel.count_server(ServerCounter::QueueFull, 1);
-        session.send(shared, &encode_err(req_id, ERR_QUEUE_FULL, "request queue full"));
+        reject(shared, session, &head, ERR_QUEUE_FULL, "request queue full");
+    }
+}
+
+/// Send a typed admission rejection and leave its trail in the flight
+/// recorder (latency 0 — rejections never start service; rejected
+/// outcomes always qualify for the slow log, so the postmortem of a
+/// shed storm is one `SlowLog` op away).
+fn reject(shared: &Shared, session: &Session, head: &RequestHead, code: u32, message: &str) {
+    session.send(shared, &encode_err(head.req_id, code, message));
+    shared.flight.record(
+        RequestSummary {
+            seq: 0,
+            op: op_name(head.op),
+            req_id: head.req_id,
+            trace_id: head.trace_id,
+            latency_us: 0,
+            queue_wait_us: 0,
+            steps: 0,
+            rows: 0,
+            code,
+            degraded: false,
+            outcome: Outcome::Rejected,
+        },
+        None,
+    );
+}
+
+/// The metrics/flight identity of a wire op byte; `None` for bytes this
+/// build does not know (they answer `ERR_UNKNOWN_OP` downstream).
+fn op_kind(op: u8) -> Option<ServerOp> {
+    use protocol::Op;
+    Some(match op {
+        x if x == Op::Ping as u8 => ServerOp::Ping,
+        x if x == Op::Exchange as u8 => ServerOp::Exchange,
+        x if x == Op::ExchangeBatch as u8 => ServerOp::ExchangeBatch,
+        x if x == Op::Mediate as u8 => ServerOp::Mediate,
+        x if x == Op::ExplainExchange as u8 => ServerOp::ExplainExchange,
+        x if x == Op::Script as u8 => ServerOp::Script,
+        x if x == Op::PutInstance as u8 => ServerOp::PutInstance,
+        x if x == Op::InsertBatch as u8 => ServerOp::InsertBatch,
+        x if x == Op::Subscribe as u8 => ServerOp::Subscribe,
+        x if x == Op::Poll as u8 => ServerOp::Poll,
+        x if x == Op::Ack as u8 => ServerOp::Ack,
+        x if x == Op::Resume as u8 => ServerOp::Resume,
+        x if x == Op::Unsubscribe as u8 => ServerOp::Unsubscribe,
+        x if x == Op::Metrics as u8 => ServerOp::Metrics,
+        x if x == Op::Health as u8 => ServerOp::Health,
+        x if x == Op::SlowLog as u8 => ServerOp::SlowLog,
+        x if x == Op::TraceGet as u8 => ServerOp::TraceGet,
+        _ => return None,
+    })
+}
+
+/// Stable flight-recorder name for an op byte.
+fn op_name(op: u8) -> &'static str {
+    op_kind(op).map_or("unknown", ServerOp::name)
+}
+
+/// Answer a read-only introspection request inline on the session
+/// thread, bypassing admission control entirely: no queue slot, no
+/// inflight charge, no engine work — just point-in-time reads of
+/// state the server already holds. That is what keeps metrics, health,
+/// and the slow log reachable while the server sheds load or drains,
+/// which is exactly when an operator needs them.
+fn answer_introspection(
+    shared: &Arc<Shared>,
+    session: &Arc<Session>,
+    head: &RequestHead,
+    frame: &RawFrame,
+) {
+    let started = clock::now();
+    let payload = if !frame.crc_ok() {
+        encode_err(head.req_id, ERR_BAD_CRC, "payload checksum mismatch")
+    } else {
+        let body = frame.payload.slice(protocol::PRELUDE_LEN..frame.payload.len());
+        match protocol::decode_request(head.op, &mut mm_repository::codec::Reader::new(body)) {
+            Err(fault) => encode_err(head.req_id, fault.code(), &fault.to_string()),
+            Ok(request) => encode_ok(head.req_id, &introspect(shared, &request)),
+        }
+    };
+    session.send(shared, &payload);
+    // Introspection keeps its service-time histogram but stays out of
+    // the flight ring and the Completed counter: the observer should
+    // not scroll the observed data or pad the data-plane throughput.
+    if let Some(op) = op_kind(head.op) {
+        shared.tel.observe_op_service_us(op, clock::elapsed_us(started));
+    }
+}
+
+/// Evaluate one introspection request against the server's own state.
+fn introspect(shared: &Shared, request: &Request) -> OkBody {
+    match request {
+        Request::Metrics => {
+            let entries = shared
+                .tel
+                .metrics()
+                .map_or_else(Vec::new, |m| m.snapshot().values.into_iter().collect());
+            OkBody::Metrics { entries }
+        }
+        Request::Health => OkBody::Health(health_report(shared)),
+        Request::SlowLog { max } => {
+            OkBody::SlowLog { lines: shared.flight.slow_lines(*max as usize) }
+        }
+        Request::TraceGet { trace_id } => {
+            OkBody::Trace { lines: shared.flight.trace_lines(*trace_id) }
+        }
+        // decode_request is keyed on the op byte, and only the four
+        // introspection ops reach this function.
+        _ => OkBody::Done,
+    }
+}
+
+/// A point-in-time health read: gauges from the server's own atomics,
+/// lifetime counters from telemetry (0 when the server runs without).
+fn health_report(shared: &Shared) -> HealthReport {
+    let get = |c| shared.tel.metrics().map_or(0, |m| m.get_server(c));
+    HealthReport {
+        draining: shared.draining.load(Ordering::Acquire),
+        shedding: shared.shedding.load(Ordering::Acquire),
+        inflight: shared.inflight.load(Ordering::Acquire) as u64,
+        queue_depth: shared.queue.len() as u64,
+        queue_capacity: shared.cfg.queue_depth as u64,
+        sessions: shared.sessions.load(Ordering::Acquire) as u64,
+        completed: get(ServerCounter::Completed),
+        shed: get(ServerCounter::Shed)
+            + get(ServerCounter::QueueFull)
+            + get(ServerCounter::ShedShutdown),
+        events_dropped: shared.tel.events_dropped(),
+        slow_entries: shared.flight.slow_len(),
     }
 }
 
@@ -569,34 +752,84 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// What a slow request needs for a post-hoc plan EXPLAIN: the mapping
+/// name and source instance, *moved* (never cloned) out of
+/// exchange-shaped requests after execution borrowed them. The plan
+/// explain runs only for requests that actually keep a slow-log entry,
+/// after the reply bytes are on the wire — the fast path pays nothing.
+struct ExplainCtx {
+    mapping: String,
+    source_db: Database,
+}
+
+/// Did the success body record a degradation the flight recorder should
+/// flag (mediator fallback, propagation resync)?
+fn body_degraded(body: &OkBody) -> bool {
+    match body {
+        OkBody::Mediate { degraded, .. } => *degraded,
+        OkBody::Notifications { notifications, .. } => notifications
+            .iter()
+            .any(|n| matches!(n, mm_propagate::Notification::Resync { .. })),
+        _ => false,
+    }
+}
+
 /// Execute one admitted request end to end: deadline check, CRC
-/// verification, body decode, governed execution, response.
+/// verification, body decode, governed execution, response — then the
+/// observability epilogue: latency histograms, the flight-recorder
+/// summary, and (for requests that qualify) the captured span tree
+/// plus a plan EXPLAIN.
 fn process(shared: &Arc<Shared>, job: &Job) {
     let tel = &shared.tel;
+    let queue_wait_us = clock::elapsed_us(job.enqueued);
+    tel.observe_hist(Hist::ServerQueueWaitUs, queue_wait_us);
+    // Stamp the client's trace id on every span/event this request
+    // produces, and keep a bounded copy for the slow log. The scope is
+    // inert for untraced requests (they still get latency histograms
+    // and an EXPLAIN, just no span tree).
+    let mut scope = tel.trace_scope(job.trace_id, true);
+    let started = clock::now();
     let mut span = Span::enter(tel, "server.request", job.req_id.to_string());
     span.field("op", u64::from(job.op));
+    let mut code = 0u32;
+    let mut degraded = false;
+    let mut steps = 0u64;
+    let mut rows = 0u64;
+    let mut explain_ctx: Option<ExplainCtx> = None;
     let payload = if clock::now() > job.deadline {
         tel.count_server(ServerCounter::TimedOut, 1);
+        code = ERR_DEADLINE_EXCEEDED;
         encode_err(job.req_id, ERR_DEADLINE_EXCEEDED, "deadline exceeded before execution")
     } else if !job.frame.crc_ok() {
+        code = ERR_BAD_CRC;
         encode_err(job.req_id, ERR_BAD_CRC, "payload checksum mismatch")
     } else {
         let body = job.frame.payload.slice(protocol::PRELUDE_LEN..job.frame.payload.len());
         match protocol::decode_request(job.op, &mut mm_repository::codec::Reader::new(body)) {
-            Err(fault) => encode_err(job.req_id, fault.code(), &fault.to_string()),
+            Err(fault) => {
+                code = fault.code();
+                encode_err(job.req_id, code, &fault.to_string())
+            }
             Ok(request) => {
                 let budget =
                     shared.cfg.session_budget.clone().with_deadline_at(job.deadline);
                 let mut gov = Governor::attach_shared(&budget, &job.session.meter);
-                let outcome = execute(shared, request, &mut gov);
+                let (outcome, ctx) = execute(shared, request, &mut gov);
+                explain_ctx = ctx;
                 gov.publish();
+                steps = gov.steps_consumed();
+                rows = gov.rows_consumed();
                 match outcome {
-                    Ok(body) => encode_ok(job.req_id, &body),
-                    Err((code, message)) => {
-                        if code == ERR_DEADLINE_EXCEEDED {
+                    Ok(body) => {
+                        degraded = body_degraded(&body);
+                        encode_ok(job.req_id, &body)
+                    }
+                    Err((c, message)) => {
+                        if c == ERR_DEADLINE_EXCEEDED {
                             tel.count_server(ServerCounter::TimedOut, 1);
                         }
-                        encode_err(job.req_id, code, &message)
+                        code = c;
+                        encode_err(job.req_id, c, &message)
                     }
                 }
             }
@@ -605,30 +838,64 @@ fn process(shared: &Arc<Shared>, job: &Job) {
     job.session.send(shared, &payload);
     tel.count_server(ServerCounter::Completed, 1);
     span.finish();
+    let latency_us = clock::elapsed_us(started);
+    tel.observe_hist(Hist::ServerServiceUs, latency_us);
+    if let Some(op) = op_kind(job.op) {
+        tel.observe_op_service_us(op, latency_us);
+    }
+    let summary = RequestSummary {
+        seq: 0,
+        op: op_name(job.op),
+        req_id: job.req_id,
+        trace_id: job.trace_id,
+        latency_us,
+        queue_wait_us,
+        steps,
+        rows,
+        code,
+        degraded,
+        outcome: if code == 0 { Outcome::Ok } else { Outcome::Error },
+    };
+    // The span drain and plan EXPLAIN run only for requests that keep a
+    // slow entry, after the reply is already on the wire.
+    let detail = shared.flight.qualifies(&summary).then(|| {
+        let events = scope.take_captured();
+        let explain = explain_ctx
+            .and_then(|ctx| shared.engine.plan_explain(&ctx.mapping, &ctx.source_db).ok());
+        (events, explain)
+    });
+    shared.flight.record(summary, detail);
 }
 
 fn engine_err(e: EngineError) -> (u32, String) {
     (protocol::engine_error_code(&e), e.to_string())
 }
 
+/// Run the decoded request. Besides the outcome, exchange-shaped
+/// requests hand back an [`ExplainCtx`] (their mapping and source
+/// instance, moved out after the borrowing calls return) so the flight
+/// recorder can attach a plan EXPLAIN to slow entries without cloning
+/// anything on the fast path.
 fn execute(
     shared: &Shared,
     request: Request,
     gov: &mut Governor,
-) -> Result<OkBody, (u32, String)> {
+) -> (Result<OkBody, (u32, String)>, Option<ExplainCtx>) {
     let engine = &shared.engine;
     match request {
         Request::Ping => {
-            gov.check_now().map_err(|e: ExecError| {
-                (protocol::exec_error_code(&e), e.to_string())
-            })?;
-            Ok(OkBody::Pong)
+            let r = gov
+                .check_now()
+                .map(|()| OkBody::Pong)
+                .map_err(|e: ExecError| (protocol::exec_error_code(&e), e.to_string()));
+            (r, None)
         }
         Request::Exchange { mapping, target_schema, source_db } => {
-            let (db, stats) = engine
+            let r = engine
                 .exchange_governed(&mapping, &target_schema, &source_db, gov)
-                .map_err(engine_err)?;
-            Ok(OkBody::Exchange { db, stats: WireStats::from(stats) })
+                .map(|(db, stats)| OkBody::Exchange { db, stats: WireStats::from(stats) })
+                .map_err(engine_err);
+            (r, Some(ExplainCtx { mapping, source_db }))
         }
         Request::ExchangeBatch { items } => {
             let slots = items
@@ -640,67 +907,96 @@ fn execute(
                         .map_err(engine_err)
                 })
                 .collect();
-            Ok(OkBody::Batch { slots })
+            // The batch's first slot stands in for the EXPLAIN — one
+            // plan per entry would defeat the cheap-epilogue rule.
+            let ctx = items
+                .into_iter()
+                .next()
+                .map(|(mapping, _, source_db)| ExplainCtx { mapping, source_db });
+            (Ok(OkBody::Batch { slots }), ctx)
         }
         Request::Mediate { base_schema, chain, query, base_db } => {
-            let result = engine
+            let r = engine
                 .mediate_governed(&base_schema, &chain, &query, &base_db, gov)
-                .map_err(engine_err)?;
-            Ok(OkBody::Mediate {
-                rows: result.rows,
-                chained: matches!(result.mode, mm_runtime::MediationMode::Chained),
-                degraded: result.degradation.is_some(),
-            })
+                .map(|result| OkBody::Mediate {
+                    rows: result.rows,
+                    chained: matches!(result.mode, mm_runtime::MediationMode::Chained),
+                    degraded: result.degradation.is_some(),
+                })
+                .map_err(engine_err);
+            (r, None)
         }
         Request::ExplainExchange { mapping, target_schema, source_db } => {
             // The explain path runs under the engine's configured budget
             // (reports are for operators, not tenants); the deadline is
             // still honored at the boundary by the pre-execution check.
-            let (db, stats, explain) = engine
+            let r = engine
                 .explain_exchange(&mapping, &target_schema, &source_db)
-                .map_err(engine_err)?;
-            Ok(OkBody::Explain {
-                db,
-                stats: WireStats::from(stats),
-                text: explain.to_string(),
-            })
+                .map(|(db, stats, explain)| OkBody::Explain {
+                    db,
+                    stats: WireStats::from(stats),
+                    text: explain.to_string(),
+                })
+                .map_err(engine_err);
+            (r, Some(ExplainCtx { mapping, source_db }))
         }
-        Request::Script { text } => run_script(engine, &text)
-            .map(|outputs| OkBody::Script { outputs })
-            .map_err(|e| (ERR_SCRIPT, e.to_string())),
+        Request::Script { text } => {
+            let r = run_script(engine, &text)
+                .map(|outputs| OkBody::Script { outputs })
+                .map_err(|e| (ERR_SCRIPT, e.to_string()));
+            (r, None)
+        }
         // Update propagation (DESIGN.md §14). Writes are amortized (one
         // WAL frame, one coalesced feed event per request); polls run
         // at the consumer's pace, including any resync recompute.
         Request::PutInstance { name, db } => {
-            let seq = engine.put_instance(&name, db).map_err(engine_err)?;
-            Ok(OkBody::Committed { seq })
+            let r = engine
+                .put_instance(&name, db)
+                .map(|seq| OkBody::Committed { seq })
+                .map_err(engine_err);
+            (r, None)
         }
         Request::InsertBatch { instance, inserts } => {
-            let seq = engine.insert_batch(&instance, inserts).map_err(engine_err)?;
-            Ok(OkBody::Committed { seq })
+            let r = engine
+                .insert_batch(&instance, inserts)
+                .map(|seq| OkBody::Committed { seq })
+                .map_err(engine_err);
+            (r, None)
         }
         Request::Subscribe { instance, views } => {
-            let id = engine.subscribe(&instance, views).map_err(engine_err)?;
-            Ok(OkBody::Subscribed { id })
+            let r = engine
+                .subscribe(&instance, views)
+                .map(|id| OkBody::Subscribed { id })
+                .map_err(engine_err);
+            (r, None)
         }
         Request::Poll { id, max } => {
-            let response = engine.poll(id, max as usize).map_err(engine_err)?;
-            Ok(OkBody::Notifications {
-                notifications: response.notifications,
-                lagging: response.lagging,
-            })
+            let r = engine
+                .poll(id, max as usize)
+                .map(|response| OkBody::Notifications {
+                    notifications: response.notifications,
+                    lagging: response.lagging,
+                })
+                .map_err(engine_err);
+            (r, None)
         }
         Request::Ack { id, cursor } => {
-            engine.ack(id, cursor).map_err(engine_err)?;
-            Ok(OkBody::Done)
+            let r = engine.ack(id, cursor).map(|()| OkBody::Done).map_err(engine_err);
+            (r, None)
         }
         Request::Resume { id, cursor } => {
-            engine.resume(id, cursor).map_err(engine_err)?;
-            Ok(OkBody::Done)
+            let r = engine.resume(id, cursor).map(|()| OkBody::Done).map_err(engine_err);
+            (r, None)
         }
         Request::Unsubscribe { id } => {
-            engine.unsubscribe(id).map_err(engine_err)?;
-            Ok(OkBody::Done)
+            let r = engine.unsubscribe(id).map(|()| OkBody::Done).map_err(engine_err);
+            (r, None)
         }
+        // Introspection ops are answered inline at admission; a worker
+        // never sees them.
+        req @ (Request::Metrics
+        | Request::Health
+        | Request::SlowLog { .. }
+        | Request::TraceGet { .. }) => (Ok(introspect(shared, &req)), None),
     }
 }

@@ -17,6 +17,13 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// collectors run inline on the instrumented thread.
 pub trait Collector: Send + Sync {
     fn record(&self, event: Event);
+
+    /// Events this collector has lost (ring eviction, sink write
+    /// failures). Surfaced in health reports so event loss is visible
+    /// without holding the concrete collector handle.
+    fn events_dropped(&self) -> u64 {
+        0
+    }
 }
 
 fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -88,6 +95,10 @@ impl Collector for RingCollector {
         }
         buf.push_back(event);
     }
+
+    fn events_dropped(&self) -> u64 {
+        self.dropped()
+    }
 }
 
 /// Where [`JsonLinesCollector`] writes. One call per event; the line has
@@ -148,6 +159,10 @@ impl Collector for JsonLinesCollector {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn events_dropped(&self) -> u64 {
+        self.write_errors()
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +179,7 @@ mod tests {
             artifact: String::new(),
             span_id: 0,
             parent_id: None,
+            trace_id: 0,
             elapsed_us: None,
             fields: vec![Field { key: "n", value: n.into() }],
         }

@@ -1,0 +1,187 @@
+//! Lock-free log-bucketed latency/size histogram.
+//!
+//! A [`Histogram`] is 65 relaxed atomic buckets indexed by the bit
+//! length of the observed value (0 gets its own bucket), plus an exact
+//! count and an exact maximum. `observe` is two-three relaxed atomic
+//! RMWs with no locking, hashing, or allocation — the same discipline
+//! as [`crate::metrics::EngineMetrics`] counters, safe to leave on
+//! inside the chase round loop and the server hot path.
+//!
+//! Quantiles are read by rank-walking the cumulative bucket counts: a
+//! percentile reports the upper bound of the bucket its rank lands in,
+//! clamped to the exact observed maximum. Power-of-two buckets bound the
+//! relative error at 2× — coarse, but honest, stable across platforms,
+//! and monotone by construction: `p50 <= p90 <= p99 <= max` always
+//! holds, because ranks are non-decreasing in the quantile and the
+//! clamp is order-preserving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket 0 holds exact zeros; bucket `b >= 1` holds values whose bit
+/// length is `b`, i.e. the range `[2^(b-1), 2^b - 1]`.
+const BUCKETS: usize = 65;
+
+/// A concurrent histogram of `u64` observations (microseconds, rows,
+/// batch sizes — unitless by design; the registry names carry units).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// `value -> bucket index`: 0 -> 0, otherwise the bit length (1..=64).
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, for quantile reporting.
+fn bucket_upper(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation. Never panics, never blocks; wraps only
+    /// after 2^64 observations.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0.0, 1.0]`: the upper bound of the
+    /// bucket holding the rank-`ceil(q * count)` observation, clamped to
+    /// the exact maximum. Returns 0 on an empty histogram. Concurrent
+    /// `observe` calls may skew the answer by the in-flight observations
+    /// — reads are a snapshot, not a barrier.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil without going through floats near u64::MAX; rank >= 1.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(slot.load(Ordering::Relaxed));
+            if seen >= rank {
+                return bucket_upper(b).min(self.max());
+            }
+        }
+        // Racing observers bumped `count` before their bucket: report
+        // the maximum, the only bound we know holds.
+        self.max()
+    }
+
+    /// The `(p50, p90, p99, max, count)` tuple snapshots render.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time read of one histogram's reported statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!((s.p50, s.p90, s.p99, s.max, s.count), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn buckets_are_bit_length_indexed() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_and_order_simple_series() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1_000, 5_000] {
+            h.observe(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, 5_000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // p99 rank = ceil(0.99*7) = 7 -> last bucket, clamped to max.
+        assert_eq!(s.p99, 5_000);
+        // p50 rank = ceil(0.5*7) = 4 -> the bucket of 10, upper bound 15.
+        assert_eq!(s.p50, 15);
+    }
+
+    #[test]
+    fn single_value_collapses_all_quantiles_to_it() {
+        let h = Histogram::new();
+        h.observe(42);
+        let s = h.summary();
+        assert_eq!((s.p50, s.p90, s.p99, s.max, s.count), (42, 42, 42, 42, 1));
+    }
+
+    #[test]
+    fn extremes_do_not_panic() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, u64::MAX);
+    }
+}

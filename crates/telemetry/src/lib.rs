@@ -30,13 +30,15 @@
 pub mod clock;
 pub mod collector;
 pub mod explain;
+pub mod histogram;
 pub mod metrics;
 pub mod span;
 
 pub use collector::{Collector, JsonLinesCollector, LineSink, RingCollector, VecSink};
 pub use explain::ExplainNode;
+pub use histogram::{Histogram, HistogramSummary};
 pub use metrics::{
-    Cause, Counter, DegradationSite, EngineMetrics, MetricsSnapshot, PropagateCounter,
-    ServerCounter, Timer,
+    Cause, Counter, DegradationSite, EngineMetrics, Hist, MetricsSnapshot, PropagateCounter,
+    ServerCounter, ServerOp, Timer,
 };
-pub use span::{Event, EventKind, Field, FieldValue, Span, Telemetry};
+pub use span::{Event, EventKind, Field, FieldValue, Span, Telemetry, TraceScope};

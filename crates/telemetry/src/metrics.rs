@@ -11,6 +11,8 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::histogram::Histogram;
+
 /// Monotonic counters the engine exports. Names in snapshots are the
 /// lowercase snake-case of the variant (see [`Counter::name`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +239,135 @@ impl PropagateCounter {
     }
 }
 
+/// Latency/size distributions the engine exports as log-bucketed
+/// [`Histogram`]s. Snapshots render each as five
+/// `<name>_{p50,p90,p99,max,count}` keys, with never-observed
+/// histograms elided entirely (same discipline as `server.*` rows — a
+/// fresh snapshot is byte-identical to the pre-histogram era).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Wire request service time (decode through response write), µs.
+    ServerServiceUs,
+    /// Time a request spent queued before a worker picked it up, µs.
+    ServerQueueWaitUs,
+    /// Duration of one chase fixpoint round (st chase counts its single
+    /// pass as one round), µs.
+    ChaseRoundUs,
+    /// `append_batch` WAL write latency, µs.
+    WalAppendUs,
+    /// Checkpoint (write-new-then-swap) latency, µs.
+    WalCheckpointUs,
+    /// Rows carried by one pushed delta notification.
+    PropagateDeltaRows,
+    /// Notifications drained by one `poll` call.
+    PropagatePollBatch,
+}
+
+const HISTS: usize = Hist::PropagatePollBatch as usize + 1;
+
+impl Hist {
+    /// Stable snapshot key prefix (dotted, sorts beside its subsystem).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::ServerServiceUs => "server.service_us",
+            Hist::ServerQueueWaitUs => "server.queue_wait_us",
+            Hist::ChaseRoundUs => "chase.round_us",
+            Hist::WalAppendUs => "wal.append_us",
+            Hist::WalCheckpointUs => "wal.checkpoint_us",
+            Hist::PropagateDeltaRows => "propagate.delta_rows",
+            Hist::PropagatePollBatch => "propagate.poll_batch",
+        }
+    }
+
+    fn all() -> [Hist; HISTS] {
+        [
+            Hist::ServerServiceUs,
+            Hist::ServerQueueWaitUs,
+            Hist::ChaseRoundUs,
+            Hist::WalAppendUs,
+            Hist::WalCheckpointUs,
+            Hist::PropagateDeltaRows,
+            Hist::PropagatePollBatch,
+        ]
+    }
+}
+
+/// The wire operations `mm-server` breaks service time down by.
+/// Mirrors the server's `Op` enum without depending on it — the server
+/// sits *above* telemetry in the dependency graph (same pattern as
+/// [`Cause`] mirroring `mm_guard::Resource`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ServerOp {
+    Ping,
+    Exchange,
+    ExchangeBatch,
+    Mediate,
+    ExplainExchange,
+    Script,
+    PutInstance,
+    InsertBatch,
+    Subscribe,
+    Poll,
+    Ack,
+    Resume,
+    Unsubscribe,
+    Metrics,
+    Health,
+    SlowLog,
+    TraceGet,
+}
+
+const SERVER_OPS: usize = ServerOp::TraceGet as usize + 1;
+
+impl ServerOp {
+    /// Stable snapshot key segment (`server.op.<name>.service_us_*`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerOp::Ping => "ping",
+            ServerOp::Exchange => "exchange",
+            ServerOp::ExchangeBatch => "exchange_batch",
+            ServerOp::Mediate => "mediate",
+            ServerOp::ExplainExchange => "explain_exchange",
+            ServerOp::Script => "script",
+            ServerOp::PutInstance => "put_instance",
+            ServerOp::InsertBatch => "insert_batch",
+            ServerOp::Subscribe => "subscribe",
+            ServerOp::Poll => "poll",
+            ServerOp::Ack => "ack",
+            ServerOp::Resume => "resume",
+            ServerOp::Unsubscribe => "unsubscribe",
+            ServerOp::Metrics => "metrics",
+            ServerOp::Health => "health",
+            ServerOp::SlowLog => "slow_log",
+            ServerOp::TraceGet => "trace_get",
+        }
+    }
+
+    fn all() -> [ServerOp; SERVER_OPS] {
+        [
+            ServerOp::Ping,
+            ServerOp::Exchange,
+            ServerOp::ExchangeBatch,
+            ServerOp::Mediate,
+            ServerOp::ExplainExchange,
+            ServerOp::Script,
+            ServerOp::PutInstance,
+            ServerOp::InsertBatch,
+            ServerOp::Subscribe,
+            ServerOp::Poll,
+            ServerOp::Ack,
+            ServerOp::Resume,
+            ServerOp::Unsubscribe,
+            ServerOp::Metrics,
+            ServerOp::Health,
+            ServerOp::SlowLog,
+            ServerOp::TraceGet,
+        ]
+    }
+}
+
 /// Duration statistics (count / total / max, in microseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -363,6 +494,8 @@ pub struct EngineMetrics {
     server_counters: [AtomicU64; SERVER_COUNTERS],
     propagate_counters: [AtomicU64; PROPAGATE_COUNTERS],
     timers: [DurationStat; TIMERS],
+    hists: [Histogram; HISTS],
+    op_service: [Histogram; SERVER_OPS],
     degradations: [[AtomicU64; CAUSES]; SITES],
 }
 
@@ -417,6 +550,28 @@ impl EngineMetrics {
         self.timers[t as usize].observe(us);
     }
 
+    /// Record one observation into a registered histogram.
+    #[inline]
+    pub fn observe_hist(&self, h: Hist, value: u64) {
+        self.hists[h as usize].observe(value);
+    }
+
+    /// The live [`Histogram`] behind `h`, for direct quantile reads.
+    pub fn hist(&self, h: Hist) -> &Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// Record one per-op service-time observation (µs).
+    #[inline]
+    pub fn observe_op_service_us(&self, op: ServerOp, us: u64) {
+        self.op_service[op as usize].observe(us);
+    }
+
+    /// The per-op service-time [`Histogram`] for `op`.
+    pub fn op_service(&self, op: ServerOp) -> &Histogram {
+        &self.op_service[op as usize]
+    }
+
     /// Record one degradation at `site` attributed to `cause`.
     #[inline]
     pub fn degradation(&self, site: DegradationSite, cause: Cause) {
@@ -462,6 +617,13 @@ impl EngineMetrics {
                 values.insert(c.name().to_string(), v);
             }
         }
+        for h in Hist::all() {
+            snapshot_hist(&mut values, h.name(), &self.hists[h as usize]);
+        }
+        for op in ServerOp::all() {
+            let name = format!("server.op.{}.service_us", op.name());
+            snapshot_hist(&mut values, &name, &self.op_service[op as usize]);
+        }
         for site in DegradationSite::all() {
             for cause in Cause::all() {
                 let v = self.degradations_by(site, cause);
@@ -475,6 +637,20 @@ impl EngineMetrics {
         }
         MetricsSnapshot { values }
     }
+}
+
+/// Render one histogram as its five stable keys, eliding it entirely
+/// when nothing was ever observed so fresh snapshots stay byte-stable.
+fn snapshot_hist(values: &mut BTreeMap<String, u64>, name: &str, h: &Histogram) {
+    let s = h.summary();
+    if s.count == 0 {
+        return;
+    }
+    values.insert(format!("{name}_p50"), s.p50);
+    values.insert(format!("{name}_p90"), s.p90);
+    values.insert(format!("{name}_p99"), s.p99);
+    values.insert(format!("{name}_max"), s.max);
+    values.insert(format!("{name}_count"), s.count);
 }
 
 /// A point-in-time metric dump with stable, sorted keys.
@@ -561,6 +737,30 @@ mod tests {
         assert_eq!(snap.value("propagate.events_published"), 2);
         assert_eq!(snap.value("propagate.queue_high_water"), 7, "max, not sum");
         assert!(!snap.values.contains_key("propagate.deltas_pushed"), "zero elided");
+    }
+
+    #[test]
+    fn histograms_are_zero_elided_and_render_five_keys() {
+        let m = EngineMetrics::new();
+        assert!(
+            !m.snapshot().values.keys().any(|k| k.contains("service_us")
+                || k.contains("queue_wait")
+                || k.contains("round_us")),
+            "never-observed histograms must be elided entirely"
+        );
+        m.observe_hist(Hist::ServerQueueWaitUs, 10);
+        m.observe_hist(Hist::ServerQueueWaitUs, 500);
+        m.observe_op_service_us(ServerOp::Ping, 7);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("server.queue_wait_us_count"), 2);
+        assert_eq!(snap.value("server.queue_wait_us_max"), 500);
+        assert!(snap.value("server.queue_wait_us_p50") <= snap.value("server.queue_wait_us_p99"));
+        assert_eq!(snap.value("server.op.ping.service_us_count"), 1);
+        assert_eq!(snap.value("server.op.ping.service_us_p99"), 7);
+        assert!(
+            !snap.values.contains_key("server.op.exchange.service_us_count"),
+            "untouched per-op banks stay elided"
+        );
     }
 
     #[test]

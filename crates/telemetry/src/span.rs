@@ -119,6 +119,10 @@ pub struct Event {
     pub span_id: u64,
     /// Id of the enclosing span, if any.
     pub parent_id: Option<u64>,
+    /// Distributed trace id stitching this event to the request that
+    /// caused it (0 = no trace; rendered only when non-zero, so
+    /// pre-tracing JSON stays byte-identical).
+    pub trace_id: u64,
     /// Span duration in microseconds (span-end events only).
     pub elapsed_us: Option<u64>,
     pub fields: Vec<Field>,
@@ -140,6 +144,9 @@ impl Event {
         let _ = write!(s, ",\"span\":{}", self.span_id);
         if let Some(p) = self.parent_id {
             let _ = write!(s, ",\"parent\":{p}");
+        }
+        if self.trace_id != 0 {
+            let _ = write!(s, ",\"trace\":{}", self.trace_id);
         }
         if let Some(us) = self.elapsed_us {
             let _ = write!(s, ",\"elapsed_us\":{us}");
@@ -202,6 +209,70 @@ struct Inner {
 thread_local! {
     /// Live span ids on this thread, innermost last.
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// The trace id of the request this thread is currently serving
+    /// (0 = none). Set by [`Telemetry::trace_scope`]; read by every
+    /// span/event so one id stitches the whole request tree. Threads
+    /// spawned mid-request (the parallel pool) start at 0 — the pool is
+    /// a scheduling detail, and its spans are already stitched through
+    /// parent ids on the spawning thread.
+    static TRACE_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    /// When a trace scope asked for capture, the events recorded on
+    /// this thread while it is live (bounded at [`CAPTURE_CAP`]); the
+    /// flight recorder drains this into slow-log entries.
+    static CAPTURE: RefCell<Option<Vec<Event>>> = const { RefCell::new(None) };
+}
+
+/// Upper bound on events a capturing trace scope retains — a runaway
+/// request keeps its first `CAPTURE_CAP` events and drops the rest
+/// (the collector still sees everything).
+pub const CAPTURE_CAP: usize = 512;
+
+/// The trace id live on this thread right now (0 = none).
+fn current_trace() -> u64 {
+    TRACE_ID.with(|t| t.get())
+}
+
+/// Tee a just-recorded event into the live capture buffer, if any.
+fn capture_event(event: &Event) {
+    CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            if buf.len() < CAPTURE_CAP {
+                buf.push(event.clone());
+            }
+        }
+    });
+}
+
+/// RAII guard installing a trace id (and optionally an event-capture
+/// buffer) on the current thread; restores the previous state on drop,
+/// so scopes nest. Created by [`Telemetry::trace_scope`].
+pub struct TraceScope {
+    active: bool,
+    prev_id: u64,
+    prev_capture: Option<Vec<Event>>,
+}
+
+impl TraceScope {
+    /// Take the events captured so far, ending capture for the rest of
+    /// the scope. Returns an empty vec for inert or non-capturing
+    /// scopes.
+    pub fn take_captured(&mut self) -> Vec<Event> {
+        if !self.active {
+            return Vec::new();
+        }
+        CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default()
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        TRACE_ID.with(|t| t.set(self.prev_id));
+        let prev = self.prev_capture.take();
+        CAPTURE.with(|c| *c.borrow_mut() = prev);
+    }
 }
 
 /// The cloneable telemetry handle. `Telemetry::default()` is disabled:
@@ -271,20 +342,63 @@ impl Telemetry {
         }
     }
 
+    /// Record one histogram observation (no-op when disabled).
+    #[inline]
+    pub fn observe_hist(&self, h: crate::Hist, value: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.observe_hist(h, value);
+        }
+    }
+
+    /// Record one per-op service-time observation (no-op when disabled).
+    #[inline]
+    pub fn observe_op_service_us(&self, op: crate::ServerOp, us: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.observe_op_service_us(op, us);
+        }
+    }
+
+    /// Events the collector behind this handle has dropped (ring
+    /// overflow or sink write failures); 0 when disabled.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.as_deref().map_or(0, |i| i.collector.events_dropped())
+    }
+
+    /// Install `trace_id` on the current thread for the lifetime of the
+    /// returned guard: every span and point event recorded on this
+    /// thread carries it, stitching the request tree across crate
+    /// boundaries without threading an id through call signatures. With
+    /// `capture`, the guard also retains a bounded copy of those events
+    /// ([`CAPTURE_CAP`]) for the flight recorder — see
+    /// [`TraceScope::take_captured`]. Inert (and free) when the handle
+    /// is disabled or `trace_id` is 0.
+    pub fn trace_scope(&self, trace_id: u64, capture: bool) -> TraceScope {
+        if self.inner.is_none() || trace_id == 0 {
+            return TraceScope { active: false, prev_id: 0, prev_capture: None };
+        }
+        let prev_id = TRACE_ID.with(|t| t.replace(trace_id));
+        let new_buf = if capture { Some(Vec::new()) } else { None };
+        let prev_capture = CAPTURE.with(|c| std::mem::replace(&mut *c.borrow_mut(), new_buf));
+        TraceScope { active: true, prev_id, prev_capture }
+    }
+
     /// Emit a point event, parented to the innermost live span on this
     /// thread (no-op when disabled).
     pub fn event(&self, op: &'static str, artifact: impl Into<String>, fields: Vec<Field>) {
         let Some(i) = &self.inner else { return };
         let parent_id = SPAN_STACK.with(|s| s.borrow().last().copied());
-        i.collector.record(Event {
+        let event = Event {
             kind: EventKind::Point,
             op,
             artifact: artifact.into(),
             span_id: 0,
             parent_id,
+            trace_id: current_trace(),
             elapsed_us: None,
             fields,
-        });
+        };
+        capture_event(&event);
+        i.collector.record(event);
     }
 }
 
@@ -298,6 +412,7 @@ pub struct Span {
     artifact: String,
     id: u64,
     parent: Option<u64>,
+    trace: u64,
     start: Option<Instant>,
     fields: Vec<Field>,
     finished: bool,
@@ -314,6 +429,7 @@ impl Span {
                 artifact: String::new(),
                 id: 0,
                 parent: None,
+                trace: 0,
                 start: None,
                 fields: Vec::new(),
                 finished: true, // nothing to emit on drop
@@ -332,6 +448,7 @@ impl Span {
                     artifact: artifact.into(),
                     id,
                     parent,
+                    trace: current_trace(),
                     start: Some(clock::now()),
                     fields: Vec::new(),
                     finished: false,
@@ -380,15 +497,18 @@ impl Span {
             }
         });
         let elapsed = self.start.map(clock::elapsed_us);
-        inner.collector.record(Event {
+        let event = Event {
             kind: EventKind::SpanEnd,
             op: self.op,
             artifact: std::mem::take(&mut self.artifact),
             span_id: self.id,
             parent_id: self.parent,
+            trace_id: self.trace,
             elapsed_us: elapsed,
             fields: std::mem::take(&mut self.fields),
-        });
+        };
+        capture_event(&event);
+        inner.collector.record(event);
     }
 }
 
@@ -457,6 +577,7 @@ mod tests {
             artifact: "a\"b\\c\nd".into(),
             span_id: 0,
             parent_id: None,
+            trace_id: 0,
             elapsed_us: None,
             fields: vec![
                 Field { key: "s", value: "x\ty".into() },
@@ -469,6 +590,44 @@ mod tests {
             "{\"kind\":\"event\",\"op\":\"test\",\"artifact\":\"a\\\"b\\\\c\\nd\",\
              \"span\":0,\"fields\":{\"s\":\"x\\ty\",\"n\":3,\"b\":true}}"
         );
+    }
+
+    #[test]
+    fn trace_scope_stamps_spans_and_captures_events() {
+        let ring = RingCollector::with_capacity(16);
+        let tel = Telemetry::new(ring.clone());
+        let captured = {
+            let mut scope = tel.trace_scope(0xABCD, true);
+            let inner = Span::enter(&tel, "traced", "");
+            tel.event("pt", "", vec![]);
+            inner.finish();
+            scope.take_captured()
+        };
+        // outside the scope: no trace id
+        Span::enter(&tel, "untraced", "").finish();
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].trace_id, 0xABCD, "point event stamped");
+        assert_eq!(events[1].trace_id, 0xABCD, "span end stamped");
+        assert_eq!(events[2].trace_id, 0, "scope restored on drop");
+        assert_eq!(captured.len(), 2, "capture tees the scoped events");
+        assert!(captured.iter().all(|e| e.trace_id == 0xABCD));
+        // JSON carries the trace only when set
+        assert!(events[0].to_json().contains(",\"trace\":43981"));
+        assert!(!events[2].to_json().contains("\"trace\":"));
+    }
+
+    #[test]
+    fn trace_scope_is_inert_when_disabled_or_zero() {
+        let tel = Telemetry::disabled();
+        let mut scope = tel.trace_scope(7, true);
+        assert!(scope.take_captured().is_empty());
+        drop(scope);
+        let ring = RingCollector::with_capacity(4);
+        let tel = Telemetry::new(ring.clone());
+        let _scope = tel.trace_scope(0, true);
+        Span::enter(&tel, "x", "").finish();
+        assert_eq!(ring.events()[0].trace_id, 0, "trace 0 means no trace");
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Live introspection quickstart: boot a telemetry-enabled server,
+//! push traffic through it, and watch it from the outside — a
+//! `top`-style loop over the wire-level introspection ops (DESIGN.md
+//! §15): `Health` for the gauges, `Metrics` for the latency
+//! histograms, `SlowLog` and `TraceGet` for per-request postmortems.
+//! Everything below reads server state over TCP; nothing touches the
+//! `ServerHandle` except boot and shutdown.
+//!
+//! ```sh
+//! cargo run --example inspect
+//! ```
+
+use mm_server::{Client, Server, ServerConfig};
+use model_management::prelude::*;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A telemetry-enabled engine with one copy mapping. The ring
+    // collector retains recent spans; the metrics registry feeds the
+    // `Metrics` op.
+    let telemetry = Telemetry::new(RingCollector::with_capacity(4_096));
+    let engine = Engine::with_config(EngineConfig {
+        telemetry: telemetry.clone(),
+        ..EngineConfig::default()
+    })?;
+    let src = SchemaBuilder::new("Src").relation("A", &[("id", DataType::Int)]).build()?;
+    let dst = SchemaBuilder::new("Dst").relation("B", &[("id", DataType::Int)]).build()?;
+    engine.add_schema(src.clone())?;
+    engine.add_schema(dst)?;
+    let mut mapping = Mapping::new("Src", "Dst");
+    mapping.push_tgd(Tgd::new(vec![Atom::vars("A", &["x"])], vec![Atom::vars("B", &["x"])]));
+    engine.add_mapping("copy", mapping)?;
+
+    // Slow threshold 0: every request keeps a full slow-log entry, so
+    // the example has something to show without a genuinely slow
+    // workload.
+    let cfg = ServerConfig { slow_threshold: Duration::from_micros(0), ..ServerConfig::default() };
+    let handle = Server::start(engine, cfg)?;
+    println!("serving on {}\n", handle.addr());
+
+    // One client generates traffic (traced by default), another one
+    // observes. Observers connect and introspect even while the data
+    // plane sheds or drains — that is the §15 guarantee.
+    let mut traffic = Client::connect(handle.addr())?;
+    let mut observer = Client::connect(handle.addr())?;
+
+    let mut db = Database::empty_of(&src);
+    for i in 0..64i64 {
+        db.insert("A", Tuple::from([Value::Int(i)]));
+    }
+
+    let mut last_trace = 0;
+    for frame in 1..=3 {
+        // A burst of traffic between frames.
+        for _ in 0..10 {
+            traffic.ping()?;
+        }
+        for _ in 0..5 {
+            traffic.exchange("copy", "Dst", &db)?;
+        }
+        last_trace = traffic.last_trace_id();
+
+        // --- one top-style frame, entirely over the wire ---
+        let health = observer.health()?;
+        println!("── frame {frame} ──────────────────────────────────────────");
+        println!(
+            "health    sessions {}  inflight {}  queue {}/{}  shedding {}  draining {}",
+            health.sessions,
+            health.inflight,
+            health.queue_depth,
+            health.queue_capacity,
+            health.shedding,
+            health.draining,
+        );
+        println!(
+            "lifetime  completed {}  shed {}  events_dropped {}  slow_entries {}",
+            health.completed, health.shed, health.events_dropped, health.slow_entries,
+        );
+        let metrics = observer.metrics()?;
+        let read = |key: &str| metrics.iter().find(|(k, _)| k == key).map_or(0, |(_, v)| *v);
+        println!(
+            "service   p50 {:>6}us  p99 {:>6}us  max {:>6}us  (n={})",
+            read("server.service_us_p50"),
+            read("server.service_us_p99"),
+            read("server.service_us_max"),
+            read("server.service_us_count"),
+        );
+        println!(
+            "queueing  p50 {:>6}us  p99 {:>6}us  max {:>6}us  (n={})",
+            read("server.queue_wait_us_p50"),
+            read("server.queue_wait_us_p99"),
+            read("server.queue_wait_us_max"),
+            read("server.queue_wait_us_count"),
+        );
+        for op in ["ping", "exchange"] {
+            println!(
+                "op {op:<9}p50 {:>6}us  p99 {:>6}us  (n={})",
+                read(&format!("server.op.{op}.service_us_p50")),
+                read(&format!("server.op.{op}.service_us_p99")),
+                read(&format!("server.op.{op}.service_us_count")),
+            );
+        }
+        println!();
+    }
+
+    // Per-request postmortems: the slow log, then everything the
+    // flight recorder holds for the last traced exchange — its
+    // summary, captured span tree, and the plan EXPLAIN.
+    let slow = observer.slow_log(3)?;
+    println!("── slow log (last {} of the retained entries) ────────────", slow.len());
+    for line in &slow {
+        let shown = if line.len() > 120 { &line[..120] } else { line };
+        println!("{shown}…");
+    }
+    println!();
+    let trace = observer.trace(last_trace)?;
+    println!("── trace {last_trace:#018x} ──────────────────────────");
+    for line in &trace {
+        println!("{line}");
+    }
+
+    handle.shutdown()?;
+    println!("\ndrained and stopped");
+    Ok(())
+}

@@ -184,7 +184,7 @@ impl RawConn {
     }
 
     fn send(&mut self, req_id: u64, deadline_ms: u32, req: &Request) {
-        let payload = encode_request(req_id, deadline_ms, req);
+        let payload = encode_request(req_id, deadline_ms, 0, req);
         write_frame(&mut self.stream, &payload).expect("send frame");
     }
 
@@ -286,6 +286,91 @@ fn full_queue_rejects_with_queue_full() {
 }
 
 // ---------------------------------------------------------------------
+// Introspection under duress (DESIGN.md §15): the observability plane
+// answers inline, bypassing admission control, precisely when the data
+// plane is refusing work.
+// ---------------------------------------------------------------------
+
+#[test]
+fn introspection_answers_while_shedding_and_draining() {
+    let tel = Telemetry::new(RingCollector::with_capacity(4096));
+    let engine = test_engine(EngineConfig { telemetry: tel, ..Default::default() });
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        high_water: 2,
+        low_water: 0,
+        // Threshold 0: every finished request keeps a slow-log entry.
+        slow_threshold: Duration::from_micros(0),
+        ..fast_config()
+    };
+    let handle = Server::start(engine, cfg).expect("start");
+    let mut conn = RawConn::connect(handle.addr());
+
+    // Saturate the single worker: one slow request executing, one
+    // queued — inflight sits at the high-water mark and the shed latch
+    // closes the data plane for everything after.
+    conn.send(1, 0, &slow_exchange_request(600));
+    conn.send(2, 0, &slow_exchange_request(600));
+    wait_for("saturation", Duration::from_secs(10), || handle.inflight() >= 2);
+
+    // A second session: data-plane traffic is shed with code 50...
+    let mut probe = Client::connect(handle.addr()).expect("probe");
+    let err = probe.ping().expect_err("ping must be shed while saturated");
+    assert_eq!(err.code(), Some(ERR_OVERLOADED));
+    let shed_trace = probe.last_trace_id();
+
+    // ...while all four introspection ops on the same shedding server
+    // answer inline, with state that reflects the overload.
+    let health = probe.health().expect("health must answer under overload");
+    assert!(health.shedding, "health must report the shed latch");
+    assert!(health.inflight >= 2);
+    assert!(health.shed >= 1, "the shed ping must be counted");
+    assert_eq!(health.queue_capacity, 4);
+    let metrics = probe.metrics().expect("metrics must answer under overload");
+    let read = |key: &str| {
+        metrics.iter().find(|(k, _)| k == key).map_or(0, |(_, v)| *v)
+    };
+    assert!(read("server.shed") >= 1, "snapshot must carry the shed counter");
+    let slow = probe.slow_log(0).expect("slow log must answer under overload");
+    assert!(
+        slow.iter().any(|l| l.contains("\"code\":50") && l.contains("\"outcome\":\"rejected\"")),
+        "the shed ping must be on the slow log: {slow:?}"
+    );
+    let trace = probe.trace(shed_trace).expect("trace must answer under overload");
+    assert!(
+        trace.iter().any(|l| l.contains("\"outcome\":\"rejected\"")),
+        "the shed ping's trace id must resolve to its rejection: {trace:?}"
+    );
+
+    // Graceful shutdown on another thread: drain starts immediately,
+    // and the saturating requests keep it open while we probe.
+    let stopper = std::thread::spawn(move || handle.shutdown());
+    wait_for("drain visible over the wire", Duration::from_secs(10), || {
+        probe.health().map(|h| h.draining).unwrap_or(false)
+    });
+    let err = probe.ping().expect_err("data plane must refuse during drain");
+    assert_eq!(err.code(), Some(ERR_SHUTTING_DOWN));
+    let health = probe.health().expect("health must answer during drain");
+    assert!(health.draining);
+    let slow = probe.slow_log(0).expect("slow log must answer during drain");
+    assert!(
+        slow.iter().any(|l| l.contains("\"code\":52")),
+        "the drain rejection must be on the slow log: {slow:?}"
+    );
+
+    // Drain means drain: the saturating requests still complete.
+    let mut outcomes = std::collections::HashMap::new();
+    for _ in 0..2 {
+        let (id, outcome) = conn.read_reply();
+        outcomes.insert(id, outcome);
+    }
+    assert_eq!(outcomes[&1], Ok(()), "inflight request must finish during drain");
+    assert_eq!(outcomes[&2], Ok(()), "queued request must finish during drain");
+    stopper.join().expect("stopper thread").expect("shutdown");
+}
+
+// ---------------------------------------------------------------------
 // Hostile bytes and client faults.
 // ---------------------------------------------------------------------
 
@@ -295,14 +380,21 @@ fn payload_corruption_yields_typed_error_and_live_session() {
     let handle = Server::start(engine, fast_config()).expect("start");
     let mut conn = RawConn::connect(handle.addr());
 
-    let payload = encode_request(7, 0, &slow_exchange_request(8));
+    let payload = encode_request(7, 0, 0, &slow_exchange_request(8));
     let mut framed = Vec::new();
     write_frame(&mut framed, &payload).expect("frame");
 
-    // Flip one bit in the payload region (frame header intact): the
-    // worker's CRC check must answer with a typed error and the same
-    // session must stay usable.
-    for bit_offset in [0usize, 5, 12, 40] {
+    // Flip one bit in the payload region (frame header intact): a
+    // typed error comes back and the same session stays usable. Byte 0
+    // is the version byte — corrupting it answers `ERR_BAD_VERSION`
+    // from the prelude (version dispatch runs before the CRC check);
+    // everything past it is caught by the worker's CRC verification.
+    for (bit_offset, expected) in [
+        (0usize, protocol::ERR_BAD_VERSION),
+        (5, ERR_BAD_CRC),
+        (12, ERR_BAD_CRC),
+        (40, ERR_BAD_CRC),
+    ] {
         let corrupted = faults::bit_flip(
             &framed[protocol::HEADER_LEN..],
             bit_offset,
@@ -312,7 +404,7 @@ fn payload_corruption_yields_typed_error_and_live_session() {
         conn.stream.write_all(&corrupted).expect("payload");
         conn.stream.flush().expect("flush");
         let (_, outcome) = conn.read_reply();
-        assert_eq!(outcome, Err(ERR_BAD_CRC), "bit {bit_offset}");
+        assert_eq!(outcome, Err(expected), "bit {bit_offset}");
     }
 
     // Same connection, valid request: the session survived.
@@ -327,7 +419,7 @@ fn mutated_frames_never_kill_the_server() {
     let handle = Server::start(engine, fast_config()).expect("start");
     let addr = handle.addr();
 
-    let payload = encode_request(1, 0, &Request::Exchange {
+    let payload = encode_request(1, 0, 0, &Request::Exchange {
         mapping: "copy".into(),
         target_schema: "Dst".into(),
         source_db: small_source(),
@@ -371,7 +463,7 @@ fn slow_writer_is_disconnected_not_waited_on() {
     let cfg = ServerConfig { io_timeout: Duration::from_millis(100), ..fast_config() };
     let handle = Server::start(engine, cfg).expect("start");
 
-    let payload = encode_request(1, 0, &Request::Ping);
+    let payload = encode_request(1, 0, 0, &Request::Ping);
     let mut framed = Vec::new();
     write_frame(&mut framed, &payload).expect("frame");
 
@@ -604,7 +696,7 @@ mod codec_props {
 
     /// A pristine framed exchange request to corrupt.
     fn pristine_frame() -> Vec<u8> {
-        let payload = encode_request(42, 250, &Request::Exchange {
+        let payload = encode_request(42, 250, 7, &Request::Exchange {
             mapping: "copy".into(),
             target_schema: "Dst".into(),
             source_db: small_source(),
@@ -626,7 +718,7 @@ mod codec_props {
             let mut cursor = &corrupt[..];
             if let Ok(frame) = read_frame(&mut cursor, protocol::DEFAULT_MAX_FRAME_LEN) {
                 if frame.crc_ok() {
-                    if let Some(head) = protocol::parse_head(&frame.payload) {
+                    if let Ok(head) = protocol::parse_head(&frame.payload) {
                         let body = frame.payload.slice(protocol::PRELUDE_LEN..frame.payload.len());
                         let mut r = mm_repository::codec::Reader::new(body);
                         let _ = protocol::decode_request(head.op, &mut r);

@@ -512,6 +512,105 @@ mod json {
     }
 }
 
+/// Satellite: histogram rows render under stable zero-elided keys — a
+/// fresh registry snapshot carries no `_p50/_p90/_p99` keys at all (so
+/// it is byte-identical to the pre-histogram era), touched histograms
+/// materialize exactly their five keys, and rendering twice is
+/// byte-identical.
+#[test]
+fn metrics_snapshot_elides_empty_histograms_and_is_byte_stable() {
+    let m = EngineMetrics::new();
+    let fresh = m.snapshot();
+    for suffix in ["_p50", "_p90", "_p99"] {
+        assert!(
+            fresh.values.keys().all(|k| !k.ends_with(suffix)),
+            "fresh snapshot must elide all histograms, found a {suffix} key"
+        );
+    }
+    assert_eq!(fresh.to_string(), m.snapshot().to_string());
+
+    m.observe_hist(Hist::ServerServiceUs, 700);
+    m.observe_hist(Hist::ServerServiceUs, 90);
+    m.observe_op_service_us(ServerOp::Ping, 12);
+    let snap = m.snapshot();
+    for key in [
+        "server.service_us_p50",
+        "server.service_us_p90",
+        "server.service_us_p99",
+        "server.service_us_max",
+        "server.service_us_count",
+        "server.op.ping.service_us_count",
+    ] {
+        assert!(snap.values.contains_key(key), "missing histogram key {key}");
+    }
+    // untouched histograms stay elided even once others are live
+    assert!(!snap.values.contains_key("wal.append_us_count"));
+    assert!(!snap.values.contains_key("server.op.exchange.service_us_count"));
+    assert_eq!(snap.value("server.service_us_count"), 2);
+    assert_eq!(snap.value("server.service_us_max"), 700);
+    // two renders of the same state are byte-identical
+    assert_eq!(snap.to_string(), m.snapshot().to_string());
+}
+
+/// Satellite: the log-bucketed histogram never panics, reports count
+/// and max exactly, and its quantiles are monotone upper bounds on the
+/// true order statistics within the promised 2x relative error.
+mod histogram_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn observes_anything_with_exact_count_and_max(
+            values in proptest::collection::vec(any::<u64>(), 0..256),
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.observe(v);
+            }
+            let s = h.summary();
+            prop_assert_eq!(s.count, values.len() as u64);
+            prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+        }
+
+        #[test]
+        fn quantiles_are_monotone_bounded_upper_estimates(
+            values in proptest::collection::vec(any::<u64>(), 1..256),
+            qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.observe(v);
+            }
+            let s = h.summary();
+            prop_assert!(s.p50 <= s.p90);
+            prop_assert!(s.p90 <= s.p99);
+            prop_assert!(s.p99 <= s.max);
+
+            let mut sorted_q = qs;
+            sorted_q.sort_by(|a, b| a.partial_cmp(b).expect("qs are finite"));
+            let reported: Vec<u64> = sorted_q.iter().map(|&q| h.quantile(q)).collect();
+            for w in reported.windows(2) {
+                prop_assert!(w[0] <= w[1], "quantile not monotone: {w:?}");
+            }
+
+            // Each reported quantile is an upper bound on the true
+            // order statistic, within 2x (power-of-two buckets), and
+            // never exceeds the exact maximum.
+            let mut sorted_v = values;
+            sorted_v.sort_unstable();
+            for (&q, &r) in sorted_q.iter().zip(&reported) {
+                let rank = ((q * sorted_v.len() as f64).ceil() as usize)
+                    .clamp(1, sorted_v.len());
+                let truth = sorted_v[rank - 1];
+                prop_assert!(r >= truth, "q={q}: reported {r} < true {truth}");
+                prop_assert!(r >> 1 <= truth, "q={q}: reported {r} >2x true {truth}");
+                prop_assert!(r <= s.max);
+            }
+        }
+    }
+}
+
 /// The JSON-lines collector streams through `StorageLineSink` onto a
 /// `MemStorage` backend; every line parses and carries the fixed keys.
 #[test]
