@@ -70,7 +70,7 @@ fn mediation_setup(hops: usize, rows: usize) -> (Schema, Vec<ViewSet>, Database)
             "People",
             Tuple::from([
                 Value::Int(i as i64),
-                Value::Text(format!("p{i}")),
+                Value::text(format!("p{i}")),
                 Value::Int((i % 90) as i64),
             ]),
         );

@@ -38,10 +38,10 @@ fn bench_provenance(c: &mut Criterion) {
         .expect("schema");
     let mut db = Database::empty_of(&schema);
     for i in 0..2_000i64 {
-        db.insert("Names", Tuple::from([Value::Int(i), Value::Text(format!("n{i}"))]));
+        db.insert("Names", Tuple::from([Value::Int(i), Value::text(format!("n{i}"))]));
         db.insert(
             "Addresses",
-            Tuple::from([Value::Int(i), Value::Text(format!("c{}", i % 10))]),
+            Tuple::from([Value::Int(i), Value::text(format!("c{}", i % 10))]),
         );
     }
     let view = Expr::base("Names")

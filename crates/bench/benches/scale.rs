@@ -1,0 +1,431 @@
+//! Compact data plane (PR 10): the million-tuple soak harness.
+//!
+//! Measures the chase and CQ hot paths over the `mm_workload::scale`
+//! scenario families (snowflake / inheritance / evolution) at three
+//! tiers (10^4, 10^5, 10^6 source tuples), each point run twice — once
+//! under the compact plane (interned strings, inline tuples, cached
+//! hashes; the default) and once with
+//! `mm_instance::intern::with_compact(false, ..)`, the in-tree
+//! pre-interning baseline (owned strings, spilled tuples, no cached
+//! hashes). Every point asserts **bit-identity**: the canonical codec
+//! bytes of the two results are equal, so the speedup is pure
+//! representation, never semantics.
+//!
+//! Beyond the paired timings, the mid tier crosses scale with the
+//! operational dimensions from earlier PRs — threads (1 vs host),
+//! budgets (unbounded vs a tripping cap), durability
+//! (put/exchange/checkpoint/recover round-trip incl. the v4 snapshot
+//! pool section), faults (torn WAL tail recovery), and a live wire
+//! cell scraping the server's own p99 and queue depth through the
+//! introspection ops (DESIGN.md §15).
+//!
+//! `main` writes `BENCH_scale.json` at the workspace root. The
+//! throughput gate — geomean speedup >= 1.5x over the baseline across
+//! chase + CQ points at the top tier — arms only when the full
+//! million-tuple tier ran (not under `SCALE_SMOKE=1`, the CI smoke
+//! profile, which runs the 10^4 tier alone). `attested` follows the
+//! PR 6 convention: timings from a host with < 4 cpus are recorded but
+//! flagged as shape-only evidence.
+
+use criterion::{criterion_group, Criterion};
+use mm_bench::timed;
+use mm_engine::prelude::*;
+use mm_instance::intern::with_compact;
+use mm_repository::codec::{Encode, Writer};
+use mm_server::{Client, Server, ServerConfig};
+use mm_workload::scale::{snowflake_scale, ScaleScenario};
+use std::io::Write as _;
+
+const FULL_TIERS: [usize; 3] = [10_000, 100_000, 1_000_000];
+const SMOKE_TIERS: [usize; 1] = [10_000];
+const SEED: u64 = 42;
+/// Geomean speedup demanded of the compact plane over the baseline
+/// across chase + CQ points at the top tier.
+const MIN_GEOMEAN_SPEEDUP: f64 = 1.5;
+
+fn tiers() -> &'static [usize] {
+    if std::env::var("SCALE_SMOKE").is_ok_and(|v| v == "1") {
+        &SMOKE_TIERS
+    } else {
+        &FULL_TIERS
+    }
+}
+
+/// Canonical codec bytes of a database — the bit-identity witness.
+/// Interned and owned text encode identically by construction.
+fn db_bytes(db: &Database) -> bytes::Bytes {
+    let mut w = Writer::new();
+    db.encode(&mut w);
+    w.finish()
+}
+
+/// Canonical bytes of a CQ result: bindings in result order, each
+/// binding's entries sorted by variable name.
+fn homs_bytes(homs: &[std::collections::HashMap<String, Value>]) -> bytes::Bytes {
+    let mut w = Writer::new();
+    w.u64(homs.len() as u64);
+    for h in homs {
+        let mut entries: Vec<(&String, &Value)> = h.iter().collect();
+        entries.sort_by_key(|(k, _)| k.as_str());
+        w.u64(entries.len() as u64);
+        for (k, v) in entries {
+            w.str(k);
+            v.encode(&mut w);
+        }
+    }
+    w.finish()
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One hot-path leg: generate the scenario and run the path under one
+/// representation, returning (result bytes, wall ms). The scenario is
+/// rebuilt inside the leg so the *data itself* carries the layout under
+/// test — generation cost is excluded from the timing, and nothing from
+/// the other leg's representation survives into this one.
+fn run_leg(
+    scenario: fn(usize, u64) -> ScaleScenario,
+    tier: usize,
+    path: &str,
+    compact: bool,
+) -> (bytes::Bytes, f64) {
+    let body = || -> (bytes::Bytes, f64) {
+        let sc = scenario(tier, SEED);
+        match path {
+            "chase" => {
+                let ((out, _), t) = timed(|| chase_st(&sc.target, &sc.tgds, &sc.db));
+                (db_bytes(&out), ms(t))
+            }
+            "cq" => {
+                let (homs, t) = timed(|| find_homomorphisms(&sc.query, &sc.db));
+                (homs_bytes(&homs), ms(t))
+            }
+            other => unreachable!("unknown path {other}"),
+        }
+    };
+    if compact { body() } else { with_compact(false, body) }
+}
+
+fn scenario_fns() -> [(&'static str, fn(usize, u64) -> ScaleScenario); 3] {
+    [
+        ("snowflake", mm_workload::scale::snowflake_scale as fn(usize, u64) -> ScaleScenario),
+        ("inheritance", mm_workload::scale::inheritance_scale),
+        ("evolution", mm_workload::scale::evolution_scale),
+    ]
+}
+
+// --- criterion groups (smoke tier only: the soak matrix lives in main) ----
+
+fn bench_scale_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_chase_10k");
+    group.sample_size(10);
+    for (name, f) in scenario_fns() {
+        let sc = f(10_000, SEED);
+        group.bench_function(format!("{name}/compact"), |b| {
+            b.iter(|| chase_st(&sc.target, &sc.tgds, &sc.db))
+        });
+        let base = with_compact(false, || f(10_000, SEED));
+        group.bench_function(format!("{name}/baseline"), |b| {
+            b.iter(|| with_compact(false, || chase_st(&base.target, &base.tgds, &base.db)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale_cq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_cq_10k");
+    group.sample_size(10);
+    for (name, f) in scenario_fns() {
+        let sc = f(10_000, SEED);
+        group.bench_function(format!("{name}/compact"), |b| {
+            b.iter(|| find_homomorphisms(&sc.query, &sc.db))
+        });
+    }
+    group.finish();
+}
+
+// --- the soak matrix ------------------------------------------------------
+
+struct Point {
+    json: String,
+}
+
+fn hot_path_points(points: &mut Vec<Point>, speedups_top: &mut Vec<f64>) {
+    let top = *tiers().last().expect("nonempty tiers");
+    let mut flip = false;
+    for &tier in tiers() {
+        for (name, f) in scenario_fns() {
+            for path in ["chase", "cq"] {
+                // flip-ordered: alternate which representation runs
+                // first so cache warmth and allocator state do not
+                // systematically favor one leg
+                let (fast, slow) = if flip {
+                    let fast = run_leg(f, tier, path, true);
+                    let slow = run_leg(f, tier, path, false);
+                    (fast, slow)
+                } else {
+                    let slow = run_leg(f, tier, path, false);
+                    let fast = run_leg(f, tier, path, true);
+                    (fast, slow)
+                };
+                flip = !flip;
+                assert_eq!(
+                    fast.0, slow.0,
+                    "{name}/{path} at {tier}: compact result diverged from baseline"
+                );
+                let speedup = slow.1 / fast.1.max(1e-6);
+                if tier == top {
+                    speedups_top.push(speedup);
+                }
+                println!(
+                    "{name:<12} {path:<6} tier {tier:>9}: baseline {:>10.1} ms  compact {:>10.1} ms  ({speedup:>5.2}x)",
+                    slow.1, fast.1
+                );
+                points.push(Point {
+                    json: format!(
+                        "    {{\"cell\": \"hot_path\", \"scenario\": \"{name}\", \"path\": \"{path}\", \"tuples\": {tier}, \"baseline_ms\": {:.1}, \"compact_ms\": {:.1}, \"speedup\": {speedup:.2}, \"bit_identical\": true}}",
+                        slow.1, fast.1
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Mid tier for the operational matrix: the middle of whatever tiers
+/// ran (the only tier under smoke).
+fn mid_tier() -> usize {
+    let t = tiers();
+    t[t.len() / 2]
+}
+
+fn thread_cell(points: &mut Vec<Point>) {
+    let sc = snowflake_scale(mid_tier(), SEED);
+    let program = ChaseProgram::compile(&sc.tgds, &sc.db);
+    let budget = ExecBudget::unbounded();
+    let (seq, t1) = timed(|| {
+        chase_st_parallel(&sc.target, &program, &sc.db, &budget, 1).expect("unbounded")
+    });
+    let host = mm_parallel::available_parallelism();
+    let (par, tn) = timed(|| {
+        chase_st_parallel(&sc.target, &program, &sc.db, &budget, host).expect("unbounded")
+    });
+    assert_eq!(db_bytes(&seq.0), db_bytes(&par.0), "parallel chase diverged at scale");
+    println!(
+        "matrix threads      tier {:>9}: 1 thread {:>10.1} ms  {host} threads {:>10.1} ms",
+        mid_tier(), ms(t1), ms(tn)
+    );
+    points.push(Point {
+        json: format!(
+            "    {{\"cell\": \"threads\", \"scenario\": \"snowflake\", \"tuples\": {}, \"threads_1_ms\": {:.1}, \"threads_host_ms\": {:.1}, \"host_threads\": {host}, \"bit_identical\": true}}",
+            mid_tier(), ms(t1), ms(tn)
+        ),
+    });
+}
+
+fn budget_cell(points: &mut Vec<Point>) {
+    let sc = snowflake_scale(mid_tier(), SEED);
+    // generous: completes identically to the unbudgeted run
+    let generous = ExecBudget::unbounded().with_steps(u64::MAX / 2);
+    let (full, t_ok) = timed(|| {
+        chase_st_governed(&sc.target, &sc.tgds, &sc.db, &generous).expect("generous budget")
+    });
+    let (plain, _) = chase_st(&sc.target, &sc.tgds, &sc.db);
+    assert_eq!(db_bytes(&full.0), db_bytes(&plain), "budgeted chase diverged");
+    // tight: trips with a typed error, never a panic or partial commit
+    let tight = ExecBudget::unbounded().with_steps(1_000);
+    let (tripped, t_trip) =
+        timed(|| chase_st_governed(&sc.target, &sc.tgds, &sc.db, &tight));
+    assert!(tripped.is_err(), "a 1k-step budget must trip at the mid tier");
+    println!(
+        "matrix budgets      tier {:>9}: generous {:>10.1} ms  tight trips in {:>7.1} ms",
+        mid_tier(), ms(t_ok), ms(t_trip)
+    );
+    points.push(Point {
+        json: format!(
+            "    {{\"cell\": \"budgets\", \"scenario\": \"snowflake\", \"tuples\": {}, \"generous_ms\": {:.1}, \"tight_trip_ms\": {:.1}, \"typed_trip\": true, \"bit_identical\": true}}",
+            mid_tier(), ms(t_ok), ms(t_trip)
+        ),
+    });
+}
+
+fn durability_cell(points: &mut Vec<Point>) {
+    let sc = snowflake_scale(mid_tier(), SEED);
+    let storage = MemStorage::new();
+    let engine =
+        Engine::open_durable(storage.clone(), DurableOptions::default()).expect("open durable");
+    engine.add_schema(sc.source.clone()).expect("schema");
+    engine.add_schema(sc.target.clone()).expect("schema");
+    let mut mapping = Mapping::new(sc.source.name.clone(), sc.target.name.clone());
+    for t in sc.tgds.clone() {
+        mapping.push_tgd(t);
+    }
+    engine.add_mapping("soak", mapping).expect("mapping");
+    let (_, t_put) = timed(|| engine.put_instance("src", sc.db.clone()).expect("put"));
+    let ((out, _), t_ex) =
+        timed(|| engine.exchange("soak", &sc.target.name, &sc.db).expect("exchange"));
+    let (_, t_ckpt) = timed(|| engine.checkpoint().expect("checkpoint"));
+    let before = db_bytes(&engine.instance("src").expect("tracked instance"));
+    drop(engine);
+    // recovery loads the v4 snapshot (intern-pool section included)
+    let (reopened, t_rec) = timed(|| {
+        Engine::open_durable(MemStorage::from_files(storage.dump()), DurableOptions::default())
+            .expect("recover")
+    });
+    let after = db_bytes(&reopened.instance("src").expect("recovered instance"));
+    assert_eq!(before, after, "durable round-trip diverged at scale");
+    let _ = out;
+    println!(
+        "matrix durability   tier {:>9}: put {:>7.1} ms  exchange {:>9.1} ms  checkpoint {:>7.1} ms  recover {:>7.1} ms",
+        mid_tier(), ms(t_put), ms(t_ex), ms(t_ckpt), ms(t_rec)
+    );
+    points.push(Point {
+        json: format!(
+            "    {{\"cell\": \"durability\", \"scenario\": \"snowflake\", \"tuples\": {}, \"put_ms\": {:.1}, \"exchange_ms\": {:.1}, \"checkpoint_ms\": {:.1}, \"recover_ms\": {:.1}, \"bit_identical\": true}}",
+            mid_tier(), ms(t_put), ms(t_ex), ms(t_ckpt), ms(t_rec)
+        ),
+    });
+}
+
+fn fault_cell(points: &mut Vec<Point>) {
+    let sc = snowflake_scale(mid_tier(), SEED);
+    let storage = MemStorage::new();
+    let engine =
+        Engine::open_durable(storage.clone(), DurableOptions::default()).expect("open durable");
+    engine.put_instance("src", sc.db.clone()).expect("put");
+    engine.checkpoint().expect("checkpoint");
+    let committed = db_bytes(&engine.instance("src").expect("tracked"));
+    // post-checkpoint writes land in the WAL; tear its tail mid-frame
+    engine
+        .insert_batch("src", vec![(
+            "fact".to_string(),
+            vec![Tuple::from([
+                Value::Int(-1),
+                Value::Int(0),
+                Value::Int(0),
+                Value::text("channel-0-direct-to-consumer"),
+            ])],
+        )])
+        .expect("post-checkpoint batch");
+    drop(engine);
+    let mut files = storage.dump();
+    let torn = files
+        .get_mut(WAL_FILE)
+        .expect("post-checkpoint batch must leave a WAL");
+    let keep = torn.len() / 2;
+    torn.truncate(keep);
+    let (recovered, t_rec) = timed(|| {
+        Engine::open_durable(MemStorage::from_files(files.clone()), DurableOptions::default())
+            .expect("torn-tail recovery must succeed")
+    });
+    let after = db_bytes(&recovered.instance("src").expect("instance survives the tear"));
+    assert_eq!(committed, after, "torn WAL tail must recover the committed prefix");
+    println!(
+        "matrix faults       tier {:>9}: torn WAL tail ({keep} bytes kept) recovered in {:>7.1} ms",
+        mid_tier(), ms(t_rec)
+    );
+    points.push(Point {
+        json: format!(
+            "    {{\"cell\": \"faults\", \"scenario\": \"snowflake\", \"tuples\": {}, \"fault\": \"torn_wal_tail\", \"recover_ms\": {:.1}, \"committed_prefix_recovered\": true}}",
+            mid_tier(), ms(t_rec)
+        ),
+    });
+}
+
+/// Live introspection scrape: serve mid-tier exchanges over the wire,
+/// then read the server's own p99 and queue depth back through the
+/// Metrics/Health ops — the soak evidence that the compact plane's
+/// speedup survives the full request path.
+fn server_cell(points: &mut Vec<Point>) {
+    // a wire-sized slice of the scenario: frames round-trip the full
+    // codec, so the payload exercises symbol encode/decode end to end
+    let sc = snowflake_scale(mid_tier().min(20_000), SEED);
+    let tel = Telemetry::new(RingCollector::with_capacity(4_096));
+    let engine = Engine::with_config(EngineConfig { telemetry: tel, ..EngineConfig::default() })
+        .expect("engine");
+    engine.add_schema(sc.source.clone()).expect("schema");
+    engine.add_schema(sc.target.clone()).expect("schema");
+    let mut mapping = Mapping::new(sc.source.name.clone(), sc.target.name.clone());
+    for t in sc.tgds.clone() {
+        mapping.push_tgd(t);
+    }
+    engine.add_mapping("soak", mapping).expect("mapping");
+    let handle = Server::start(engine, ServerConfig::default()).expect("start server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    const REQUESTS: usize = 8;
+    let (_, t_all) = timed(|| {
+        for _ in 0..REQUESTS {
+            client.exchange("soak", &sc.target.name, &sc.db).expect("wire exchange");
+        }
+    });
+    let entries = client.metrics().expect("metrics scrape");
+    let read = |key: &str| entries.iter().find(|(k, _)| k == key).map_or(0, |(_, v)| *v);
+    let p99 = read("server.service_us_p99");
+    let alloc_tuples = read("alloc.tuples");
+    let alloc_interned = read("alloc.interned");
+    let health = client.health().expect("health scrape");
+    println!(
+        "matrix server       tier {:>9}: {REQUESTS} exchanges in {:>8.1} ms  service p99 {p99} us  queue depth {}  alloc.tuples {alloc_tuples}  alloc.interned {alloc_interned}",
+        sc.tuples(), ms(t_all), health.queue_depth
+    );
+    assert!(p99 > 0, "served traffic must fill the service-time histogram");
+    assert!(alloc_interned > 0, "scale exchanges must populate the alloc.interned gauge");
+    points.push(Point {
+        json: format!(
+            "    {{\"cell\": \"server_scrape\", \"scenario\": \"snowflake\", \"tuples\": {}, \"requests\": {REQUESTS}, \"total_ms\": {:.1}, \"service_p99_us\": {p99}, \"queue_depth\": {}, \"alloc_tuples\": {alloc_tuples}, \"alloc_interned\": {alloc_interned}}}",
+            sc.tuples(), ms(t_all), health.queue_depth
+        ),
+    });
+    drop(client);
+    handle.shutdown().expect("shutdown");
+}
+
+fn emit_baseline() {
+    let host_cpus = mm_parallel::available_parallelism();
+    let smoke = tiers().len() == 1;
+    let mut points: Vec<Point> = Vec::new();
+    let mut speedups_top: Vec<f64> = Vec::new();
+
+    hot_path_points(&mut points, &mut speedups_top);
+    thread_cell(&mut points);
+    budget_cell(&mut points);
+    durability_cell(&mut points);
+    fault_cell(&mut points);
+    server_cell(&mut points);
+
+    let geomean = (speedups_top.iter().map(|s| s.ln()).sum::<f64>()
+        / speedups_top.len().max(1) as f64)
+        .exp();
+    let gate_armed = !smoke;
+    println!(
+        "\ngeomean speedup at top tier ({} points): {geomean:.2}x (gate {} at >= {MIN_GEOMEAN_SPEEDUP}x)",
+        speedups_top.len(),
+        if gate_armed { "armed" } else { "off (smoke)" },
+    );
+    if gate_armed {
+        assert!(
+            geomean >= MIN_GEOMEAN_SPEEDUP,
+            "compact plane geomean speedup {geomean:.2}x at the million-tuple tier \
+             (need >= {MIN_GEOMEAN_SPEEDUP}x over the pre-interning baseline)"
+        );
+    }
+
+    let body = format!(
+        "{{\n  \"experiment\": \"scale_soak\",\n  \"description\": \"compact data plane soak: chase and CQ hot paths over snowflake/inheritance/evolution scenarios at 10^4..10^6 source tuples, compact (interned strings, inline tuples, cached hashes) vs the in-tree pre-interning baseline (owned strings, spilled tuples, uncached hashes), canonical-codec-bytes bit-identity asserted per point; the mid tier crosses scale with threads, budgets, durability (v4 snapshot with intern-pool section), torn-WAL faults, and a live server scrape via the Metrics/Health introspection ops; speedups are single-thread wall-clock\",\n  \"command\": \"cargo bench -p mm-bench --bench scale\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": {attested},\n  \"smoke\": {smoke},\n  \"gate\": {{\"min_geomean_speedup_top_tier\": {MIN_GEOMEAN_SPEEDUP}, \"armed\": {gate_armed}, \"geomean\": {geomean:.2}}},\n  \"points\": [\n{}\n  ]\n}}\n",
+        points.iter().map(|p| p.json.as_str()).collect::<Vec<_>>().join(",\n"),
+        attested = host_cpus >= 4,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_scale.json");
+    f.write_all(body.as_bytes()).expect("write BENCH_scale.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_scale_chase, bench_scale_cq);
+
+fn main() {
+    benches();
+    emit_baseline();
+}

@@ -229,15 +229,94 @@ fn emit_baseline() {
         points.push(point_json("cq_self_join", rows, base_t, noop_t, full_t));
     }
 
+    let (alloc_tuples, alloc_interned) = alloc_gauges();
+
     let host_cpus = mm_parallel::available_parallelism();
     let body = format!(
-        "{{\n  \"experiment\": \"telemetry_overhead\",\n  \"description\": \"instrumented hot paths: un-instrumented baseline vs disabled Telemetry handle (no-op, target <=3%) vs enabled ring collector + metrics; the hist_trace point additionally wraps each call in a capturing trace scope plus a service-time histogram observation, the per-request shape mm-server uses; bit-identical results asserted per point (attested = those assertions passed on the emitting host)\",\n  \"command\": \"cargo bench -p mm-bench --bench telemetry\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"telemetry_overhead\",\n  \"description\": \"instrumented hot paths: un-instrumented baseline vs disabled Telemetry handle (no-op, target <=3%) vs enabled ring collector + metrics; the hist_trace point additionally wraps each call in a capturing trace scope plus a service-time histogram observation, the per-request shape mm-server uses; bit-identical results asserted per point (attested = those assertions passed on the emitting host); alloc holds the compact-data-plane gauges (PR 10) sampled off a text-heavy Engine exchange — process-wide monotone counts of tuple spills (arity > 4) and intern-pool entries, zero-elided on fresh registries\",\n  \"command\": \"cargo bench -p mm-bench --bench telemetry\",\n  \"host_cpus\": {host_cpus},\n  \"attested\": true,\n  \"alloc\": {{\"alloc.tuples\": {alloc_tuples}, \"alloc.interned\": {alloc_interned}}},\n  \"points\": [\n{}\n  ]\n}}\n",
         points.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
     let mut f = std::fs::File::create(path).expect("create BENCH_telemetry.json");
     f.write_all(body.as_bytes()).expect("write BENCH_telemetry.json");
     println!("\nwrote {path}");
+}
+
+/// The PR 10 allocation gauges, read back through the metrics registry
+/// the way a soak driver would: run a text-heavy exchange (arity-5
+/// tuples spill past the inline layout; repeated city names hit the
+/// intern pool) on an enabled engine, then snapshot `alloc.*`. The
+/// gauges are process-wide monotone counts sampled at op boundaries,
+/// and they are zero-elided: a fresh registry must not render them.
+fn alloc_gauges() -> (u64, u64) {
+    let tel = enabled_handle();
+    let src = SchemaBuilder::new("AllocSrc")
+        .relation(
+            "Wide",
+            &[
+                ("a", DataType::Text),
+                ("b", DataType::Text),
+                ("c", DataType::Int),
+                ("d", DataType::Int),
+                ("e", DataType::Int),
+            ],
+        )
+        .build()
+        .expect("static schema");
+    let tgt = SchemaBuilder::new("AllocTgt")
+        .relation(
+            "WideCopy",
+            &[
+                ("a", DataType::Text),
+                ("b", DataType::Text),
+                ("c", DataType::Int),
+                ("d", DataType::Int),
+                ("e", DataType::Int),
+            ],
+        )
+        .build()
+        .expect("static schema");
+    let mut m = Mapping::new("AllocSrc", "AllocTgt");
+    m.push_tgd(Tgd::new(
+        vec![Atom::vars("Wide", &["a", "b", "c", "d", "e"])],
+        vec![Atom::vars("WideCopy", &["a", "b", "c", "d", "e"])],
+    ));
+    let engine = Engine::with_config(EngineConfig {
+        telemetry: tel.clone(),
+        ..Default::default()
+    })
+    .expect("engine");
+    engine.add_schema(src.clone()).expect("src");
+    engine.add_schema(tgt).expect("tgt");
+    engine.add_mapping("alloc", m).expect("mapping");
+    let mut db = Database::empty_of(&src);
+    for i in 0..512i64 {
+        db.insert(
+            "Wide",
+            Tuple::new(vec![
+                Value::text(format!("alloc-city-{:02}", i % 16)),
+                Value::text(format!("alloc-name-{i:05}")),
+                Value::Int(i),
+                Value::Int(i + 1),
+                Value::Int(i + 2),
+            ]),
+        );
+    }
+    engine.exchange("alloc", "AllocTgt", &db).expect("exchange");
+
+    let snap = tel.metrics().expect("enabled handle").snapshot();
+    let tuples = snap.value("alloc.tuples");
+    let interned = snap.value("alloc.interned");
+    assert!(tuples > 0, "arity-5 workload must spill tuples");
+    assert!(interned > 0, "text workload must intern symbols");
+    let fresh = EngineMetrics::new().snapshot();
+    assert!(
+        !fresh.values.contains_key("alloc.tuples")
+            && !fresh.values.contains_key("alloc.interned"),
+        "alloc gauges must be zero-elided on fresh registries"
+    );
+    println!("alloc gauges: alloc.tuples {tuples}  alloc.interned {interned}");
+    (tuples, interned)
 }
 
 fn point_json(

@@ -214,7 +214,7 @@ fn eq5_setup(base_rows: usize) -> (Schema, Database, ViewSet) {
     for c in 0..customers {
         db.insert(
             "Customers",
-            Tuple::from([Value::Int(c as i64), Value::Text(format!("c{c}"))]),
+            Tuple::from([Value::Int(c as i64), Value::text(format!("c{c}"))]),
         );
     }
     for o in 0..base_rows {
@@ -308,7 +308,7 @@ pub fn eq6_mediation_point(hops: usize, rows: usize) -> Eq6Row {
             "People",
             Tuple::from([
                 Value::Int(i as i64),
-                Value::Text(format!("p{i}")),
+                Value::text(format!("p{i}")),
                 Value::Int((i % 90) as i64),
             ]),
         );
@@ -450,9 +450,9 @@ pub fn eq9_optimizer_point(rows: usize) -> Eq9Row {
             "Empl",
             Tuple::from([
                 Value::Int(i as i64),
-                Value::Text(format!("n{i}")),
-                Value::Text(format!("t{i}")),
-                Value::Text(format!("long biography text {i}")),
+                Value::text(format!("n{i}")),
+                Value::text(format!("t{i}")),
+                Value::text(format!("long biography text {i}")),
                 Value::Int((i % (rows / 2).max(1)) as i64),
             ]),
         );
@@ -462,9 +462,9 @@ pub fn eq9_optimizer_point(rows: usize) -> Eq9Row {
             "Addr",
             Tuple::from([
                 Value::Int(a as i64),
-                Value::Text(format!("city{}", a % cities)),
-                Value::Text(format!("z{a}")),
-                Value::Text(format!("free-form notes {a}")),
+                Value::text(format!("city{}", a % cities)),
+                Value::text(format!("z{a}")),
+                Value::text(format!("free-form notes {a}")),
             ]),
         );
     }

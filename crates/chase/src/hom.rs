@@ -16,6 +16,7 @@ fn value_to_term(v: &Value) -> Term {
         Value::Double(d) => Term::Const(Lit::Double(*d)),
         Value::Bool(b) => Term::Const(Lit::Bool(*b)),
         Value::Text(s) => Term::Const(Lit::Text(s.clone())),
+        Value::Sym(s) => Term::Const(Lit::Text(s.as_str().to_string())),
         Value::Date(d) => Term::Const(Lit::Date(*d)),
         Value::Null => Term::Const(Lit::Null),
         // nulls become variables: free to map anywhere, consistently

@@ -369,11 +369,14 @@ impl TgdPlan {
         gov: &mut Governor,
     ) -> Result<bool, ExecError> {
         if use_indexes && self.head_ground {
-            // No existentials: satisfaction is per-atom tuple containment.
+            // No existentials: satisfaction is per-atom tuple containment,
+            // checked against one reusable value buffer — no tuple (or
+            // tuple buffer) is allocated per candidate firing.
+            let mut values: Vec<Value> = Vec::new();
             for (relation, terms) in &self.head_inst {
                 gov.step()?;
                 let Some(rel) = db.relation(relation) else { return Ok(false) };
-                let mut values = Vec::with_capacity(terms.len());
+                values.clear();
                 for t in terms {
                     match t {
                         HeadTerm::Const(v) => values.push(v.clone()),
@@ -385,7 +388,7 @@ impl TgdPlan {
                         HeadTerm::Func(_) => return Ok(false),
                     }
                 }
-                if !rel.contains(&Tuple::new(values)) {
+                if !rel.contains_values(&values) {
                     return Ok(false);
                 }
             }
@@ -414,9 +417,12 @@ impl TgdPlan {
     ) -> Result<(), ExecError> {
         let mut memo: Vec<Option<Value>> = vec![None; self.table.len()];
         let mut minted = 0usize;
+        // one firing buffer across head atoms: tuples are built from the
+        // slice (inline small-tuple layout, hash cached at construction)
+        let mut values: Vec<Value> = Vec::new();
         for (relation, terms) in &self.head_inst {
             gov.row()?;
-            let mut values = Vec::with_capacity(terms.len());
+            values.clear();
             for t in terms {
                 values.push(match t {
                     HeadTerm::Const(v) => v.clone(),
@@ -437,7 +443,7 @@ impl TgdPlan {
                     },
                 });
             }
-            db.insert(relation, Tuple::new(values));
+            db.insert(relation, Tuple::from_slice(&values));
         }
         stats.nulls += minted;
         stats.fired += 1;

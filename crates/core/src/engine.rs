@@ -362,6 +362,16 @@ impl Engine {
         self.chase_plans.shard_sizes()
     }
 
+    /// Sample the instance layer's process-wide allocation totals into
+    /// the `alloc.*` telemetry gauges. Called at operation boundaries so
+    /// `BENCH_telemetry.json` (and live `metrics` requests) expose
+    /// tuple-spill and intern-pool pressure without the hot path paying
+    /// for more than two relaxed atomic reads per op.
+    fn sample_alloc(&self) {
+        let (tuples, interned) = mm_instance::intern::alloc_counts();
+        self.config.telemetry.sample_alloc(tuples, interned);
+    }
+
     /// The budget chase-based operators run under: the configured
     /// baseline, with the configured round cap filled in when the
     /// baseline does not set one.
@@ -674,6 +684,7 @@ impl Engine {
             }
             Err(e) => span.field("error", e.to_string()),
         }
+        self.sample_alloc();
         span.finish();
         result
     }
@@ -708,6 +719,7 @@ impl Engine {
             }
             Err(e) => span.field("error", e.to_string()),
         }
+        self.sample_alloc();
         span.finish();
         result
     }
@@ -734,9 +746,11 @@ impl Engine {
         let mediator = mm_runtime::Mediator::new(&base, viewsets.iter().collect())
             .with_telemetry(self.config.telemetry.clone());
         let plan = mediator.plan_governed(gov).map_err(EngineError::Exec)?;
-        mediator
+        let result = mediator
             .answer_with_plan(&plan, query, base_db, gov)
-            .map_err(EngineError::from)
+            .map_err(EngineError::from);
+        self.sample_alloc();
+        result
     }
 
     /// Checkpoint the repository if it is durable (no-op otherwise) —
@@ -954,6 +968,7 @@ impl Engine {
             Ok(outcome) => span.field("outcome", outcome.to_string()),
             Err(e) => span.field("error", e.to_string()),
         }
+        self.sample_alloc();
         span.finish();
         Ok((db, result?))
     }
@@ -1102,6 +1117,7 @@ impl Engine {
             m.add(Counter::ParallelSteals, run.steals);
             m.add(Counter::ParallelTasks, run.tasks);
         }
+        self.sample_alloc();
         span.finish();
         let pooled = match pooled {
             Ok(v) => v,

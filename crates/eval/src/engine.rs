@@ -59,7 +59,7 @@ fn lit_to_value(l: &Lit) -> Value {
         Lit::Int(v) => Value::Int(*v),
         Lit::Double(v) => Value::Double(*v),
         Lit::Bool(v) => Value::Bool(*v),
-        Lit::Text(v) => Value::Text(v.clone()),
+        Lit::Text(v) => Value::text(v.as_str()),
         Lit::Date(v) => Value::Date(*v),
         Lit::Null => Value::Null,
     }
@@ -101,12 +101,12 @@ fn eval_func(f: Func, vals: &[Value]) -> Value {
             }
             let mut s = String::new();
             for v in vals {
-                match v {
-                    Value::Text(t) => s.push_str(t),
-                    other => s.push_str(&other.to_string()),
+                match v.as_text() {
+                    Some(t) => s.push_str(t),
+                    None => s.push_str(&v.to_string()),
                 }
             }
-            Value::Text(s)
+            Value::text(s)
         }
         Func::Add | Func::Sub | Func::Mul => {
             let op: fn(f64, f64) -> f64 = match f {
@@ -135,13 +135,15 @@ fn eval_func(f: Func, vals: &[Value]) -> Value {
             .cloned()
             .unwrap_or(Value::Null),
         Func::Upper | Func::Lower => match vals.first() {
-            Some(Value::Text(t)) => Value::Text(if f == Func::Upper {
-                t.to_uppercase()
-            } else {
-                t.to_lowercase()
-            }),
             Some(Value::Null) | None => Value::Null,
-            Some(other) => other.clone(),
+            Some(v) => match v.as_text() {
+                Some(t) => Value::text(if f == Func::Upper {
+                    t.to_uppercase()
+                } else {
+                    t.to_lowercase()
+                }),
+                None => v.clone(),
+            },
         },
     }
 }
@@ -185,15 +187,15 @@ fn eval_predicate(p: &Predicate, row: &Row<'_>, schema: &Schema) -> bool {
         Predicate::IsNull(s) => eval_scalar(s, row, schema).is_null(),
         Predicate::IsOf { ty, only } => {
             let Some(&i) = row.positions.get(TYPE_ATTR) else { return false };
-            match &row.tuple.values()[i] {
-                Value::Text(actual) => {
+            match row.tuple.values()[i].as_text() {
+                Some(actual) => {
                     if *only {
                         actual == ty
                     } else {
                         schema.is_subtype(actual, ty)
                     }
                 }
-                _ => false,
+                None => false,
             }
         }
         Predicate::True => true,

@@ -36,7 +36,7 @@ pub fn lit_to_value(l: &Lit) -> Value {
         Lit::Int(v) => Value::Int(*v),
         Lit::Double(v) => Value::Double(*v),
         Lit::Bool(v) => Value::Bool(*v),
-        Lit::Text(v) => Value::Text(v.clone()),
+        Lit::Text(v) => Value::text(v.as_str()),
         Lit::Date(v) => Value::Date(*v),
         Lit::Null => Value::Null,
     }
@@ -409,7 +409,7 @@ impl CqPlan {
         debug_assert!(scratch.len() >= self.num_slots, "scratch shorter than plan slots");
         let ctx = ExecCtx::prepare(self, db, opts);
         let mut pos_acc = vec![0u32; self.atoms.len()];
-        let mut walk = Walk { plan: self, ctx: &ctx, opts, out };
+        let mut walk = Walk { plan: self, ctx: &ctx, opts, out, key: Vec::new() };
         let result = walk.step(0, scratch, &mut pos_acc, gov);
         result.map(|_| ())
     }
@@ -822,6 +822,11 @@ struct Walk<'p, 'c, 'o, 'r> {
     ctx: &'c ExecCtx<'c>,
     opts: &'o ExecOptions<'r>,
     out: &'o mut Vec<PlanMatch>,
+    /// Reusable probe-key buffer: each depth clears and refills it right
+    /// before its index probe (probes return positions borrowed from the
+    /// index snapshot, so deeper recursion is free to reuse the buffer) —
+    /// zero key allocations per candidate binding.
+    key: Vec<Value>,
 }
 
 impl Walk<'_, '_, '_, '_> {
@@ -846,25 +851,38 @@ impl Walk<'_, '_, '_, '_> {
             return Ok(false);
         };
         let range = self.opts.ranges.map_or(AtomRange::Full, |r| r[depth]);
-        let key = self.ctx.indexes[depth].as_ref().and_then(|_| {
-            let mut k = Vec::with_capacity(ap.probe_cols.len());
+        let idx = self.ctx.indexes[depth].as_ref();
+        let mut have_key = idx.is_some();
+        if have_key {
+            self.key.clear();
             for &c in &ap.probe_cols {
                 match &ap.terms[c] {
-                    SlotTerm::Const(v) => k.push(v.clone()),
-                    SlotTerm::Var(s) => k.push(scratch[*s].clone()?),
+                    SlotTerm::Const(v) => self.key.push(v.clone()),
+                    SlotTerm::Var(s) => match &scratch[*s] {
+                        Some(v) => self.key.push(v.clone()),
+                        None => {
+                            have_key = false;
+                            break;
+                        }
+                    },
                 }
             }
-            Some(k)
-        });
+        }
         let mut trail: Vec<usize> = Vec::new();
-        if let (Some(key), Some(idx)) = (key, self.ctx.indexes[depth].as_ref()) {
-            for (pos, tuple) in idx.probe(&key) {
-                if !range.admits(*pos) {
+        if let (true, Some(idx)) = (have_key, idx) {
+            // positions-only probe against cached key hashes; tuples are
+            // resolved through the backing relation's insertion-order slice
+            let tuples = rel.tuples();
+            for &pos in idx.probe(&self.key) {
+                if !range.admits(pos) {
                     continue;
                 }
                 gov.step()?;
+                let Some(tuple) = tuples.get(pos as usize) else {
+                    continue;
+                };
                 let stop =
-                    self.admit(ap, tuple, *pos, depth, scratch, pos_acc, &mut trail, gov)?;
+                    self.admit(ap, tuple, pos, depth, scratch, pos_acc, &mut trail, gov)?;
                 if stop {
                     return Ok(true);
                 }

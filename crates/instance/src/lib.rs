@@ -11,13 +11,15 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod database;
+pub mod intern;
 pub mod relation;
 pub mod stats;
 pub mod validate;
 pub mod value;
 
 pub use database::Database;
-pub use relation::{RelIndex, RelSchema, Relation, Tuple};
+pub use intern::{FxHasher, Symbol};
+pub use relation::{hash_values, RelIndex, RelSchema, Relation, Tuple, INLINE_ARITY};
 pub use stats::{ColSketch, RelStats};
 pub use validate::{validate, InstanceViolation};
 pub use value::Value;

@@ -1,34 +1,122 @@
 //! Tuples and set-semantics relations.
+//!
+//! The tuple layout is the engine's hot-path memory format (DESIGN.md
+//! §16): small tuples store their values **inline** (no heap indirection),
+//! wider ones spill to a shared `Arc<[Value]>` buffer, and every tuple
+//! built under the compact data plane carries its hash, computed once at
+//! construction and reused by every dedup check, index probe, and map
+//! insertion afterwards. With compact mode off (the benchmarking
+//! baseline, see [`crate::intern::set_compact`]) tuples always spill and
+//! hash on demand — the pre-interning layout, bit-identical in results.
 
+use crate::intern::{self, FxHasher};
 use crate::stats::{RelStats, StatsSlot};
 use crate::value::Value;
 use mm_metamodel::{Attribute, DataType};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::sync::atomic::Ordering as AtomicOrdering;
 
-/// A tuple: a fixed-arity row of values. Cheap to clone (Arc'd payload),
-/// since evaluation and the chase pass tuples around heavily.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Tuple(Arc<Vec<Value>>);
+/// Widest arity stored inline in a [`Tuple`]; wider tuples spill to a
+/// shared heap buffer.
+pub const INLINE_ARITY: usize = 4;
+
+/// The canonical 64-bit hash of a value sequence: exactly what a
+/// [`Tuple`] over the same values caches at construction, so slice-keyed
+/// probes ([`RelIndex::probe`], [`Relation::contains_values`]) land in
+/// the same buckets as stored tuples without building a tuple. Never 0
+/// (0 is the "uncached" sentinel).
+pub fn hash_values(values: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.write_usize(values.len());
+    let out = h.finish();
+    if out == 0 { 1 } else { out }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Repr {
+    /// Up to [`INLINE_ARITY`] values stored in place; slots past `len`
+    /// are `Value::Null` padding and never observed.
+    Inline { len: u8, vals: [Value; INLINE_ARITY] },
+    /// Shared heap buffer for wider tuples (and for all tuples when
+    /// compact mode is off — the baseline layout).
+    Spilled(Arc<[Value]>),
+}
+
+/// A tuple: a fixed-arity row of values, hash-cached and inline up to
+/// arity [`INLINE_ARITY`]. Cheap to clone (inline values memcpy; spilled
+/// payloads bump an `Arc`), since evaluation and the chase pass tuples
+/// around heavily.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Cached [`hash_values`] of the payload; 0 means "not cached,
+    /// compute on demand" (the baseline mode).
+    hash: u64,
+    repr: Repr,
+}
+
+const NULL_PAD: Value = Value::Null;
 
 impl Tuple {
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple(Arc::new(values))
+        if intern::compact_enabled() && values.len() <= INLINE_ARITY {
+            let len = values.len() as u8;
+            let mut it = values.into_iter();
+            let vals = std::array::from_fn(|_| it.next().unwrap_or(NULL_PAD));
+            let mut t = Tuple { hash: 0, repr: Repr::Inline { len, vals } };
+            t.hash = hash_values(t.values());
+            t
+        } else {
+            Tuple::spill(values.into())
+        }
+    }
+
+    /// Build a tuple by cloning a value slice — the reusable-buffer entry
+    /// point for the chase's firing scratch and eval's key buffers: the
+    /// caller keeps refilling one `Vec` and never hands over ownership.
+    pub fn from_slice(values: &[Value]) -> Self {
+        if intern::compact_enabled() && values.len() <= INLINE_ARITY {
+            let len = values.len() as u8;
+            let vals = std::array::from_fn(|i| values.get(i).cloned().unwrap_or(NULL_PAD));
+            Tuple { hash: hash_values(values), repr: Repr::Inline { len, vals } }
+        } else {
+            Tuple::spill(values.into())
+        }
+    }
+
+    fn spill(buf: Arc<[Value]>) -> Self {
+        intern::ALLOC_TUPLES.fetch_add(1, AtomicOrdering::Relaxed);
+        let hash = if intern::compact_enabled() { hash_values(&buf) } else { 0 };
+        Tuple { hash, repr: Repr::Spilled(buf) }
     }
 
     pub fn values(&self) -> &[Value] {
-        &self.0
+        match &self.repr {
+            Repr::Inline { len, vals } => &vals[..*len as usize],
+            Repr::Spilled(buf) => buf,
+        }
+    }
+
+    /// The cached hash, or a fresh [`hash_values`] pass when this tuple
+    /// was built without caching. Equal tuples always agree on this
+    /// (both forms hash the same way).
+    pub fn hash64(&self) -> u64 {
+        if self.hash != 0 { self.hash } else { hash_values(self.values()) }
     }
 
     pub fn get(&self, i: usize) -> Option<&Value> {
-        self.0.get(i)
+        self.values().get(i)
     }
 
     pub fn arity(&self) -> usize {
-        self.0.len()
+        self.values().len()
     }
 
     /// Project onto the given positions. Out-of-range positions yield
@@ -38,34 +126,89 @@ impl Tuple {
     /// aborting. Use [`Tuple::try_project`] where out-of-range positions
     /// must be detected instead of absorbed.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(
-            positions
-                .iter()
-                .map(|&i| self.0.get(i).cloned().unwrap_or(Value::Null))
-                .collect(),
-        )
+        if intern::compact_enabled() && positions.len() <= INLINE_ARITY {
+            let len = positions.len() as u8;
+            let vals = std::array::from_fn(|i| {
+                positions
+                    .get(i)
+                    .and_then(|&p| self.get(p).cloned())
+                    .unwrap_or(NULL_PAD)
+            });
+            let mut t = Tuple { hash: 0, repr: Repr::Inline { len, vals } };
+            t.hash = hash_values(t.values());
+            t
+        } else {
+            Tuple::spill(
+                positions
+                    .iter()
+                    .map(|&i| self.get(i).cloned().unwrap_or(Value::Null))
+                    .collect(),
+            )
+        }
     }
 
     /// Strict projection: `None` if any position is out of range.
     pub fn try_project(&self, positions: &[usize]) -> Option<Tuple> {
-        positions
-            .iter()
-            .map(|&i| self.0.get(i).cloned())
-            .collect::<Option<Vec<Value>>>()
-            .map(Tuple::new)
+        if positions.iter().any(|&i| i >= self.arity()) {
+            return None;
+        }
+        Some(self.project(positions))
     }
 
     /// Concatenate with another tuple.
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut v = Vec::with_capacity(self.arity() + other.arity());
-        v.extend_from_slice(&self.0);
-        v.extend_from_slice(&other.0);
-        Tuple::new(v)
+        let (a, b) = (self.values(), other.values());
+        if intern::compact_enabled() && a.len() + b.len() <= INLINE_ARITY {
+            let len = (a.len() + b.len()) as u8;
+            let vals = std::array::from_fn(|i| {
+                if i < a.len() {
+                    a[i].clone()
+                } else {
+                    b.get(i - a.len()).cloned().unwrap_or(NULL_PAD)
+                }
+            });
+            let mut t = Tuple { hash: 0, repr: Repr::Inline { len, vals } };
+            t.hash = hash_values(t.values());
+            t
+        } else {
+            Tuple::spill(a.iter().chain(b).cloned().collect())
+        }
     }
 
     /// Whether every value is a constant (no NULLs, no labeled nulls).
     pub fn is_ground(&self) -> bool {
-        self.0.iter().all(Value::is_constant)
+        self.values().iter().all(Value::is_constant)
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        // cached hashes disagree => payloads disagree (same hash fn);
+        // an uncached side falls through to the value comparison
+        if self.hash != 0 && other.hash != 0 && self.hash != other.hash {
+            return false;
+        }
+        self.values() == other.values()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash64());
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.values().cmp(other.values())
     }
 }
 
@@ -78,7 +221,7 @@ impl<const N: usize> From<[Value; N]> for Tuple {
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
@@ -127,19 +270,29 @@ impl RelSchema {
     }
 }
 
+/// One distinct key of a [`RelIndex`]: the projected key tuple (hash
+/// cached like any tuple) plus the insertion positions of every tuple
+/// carrying it, in insertion order.
+#[derive(Debug, Clone)]
+struct Bucket {
+    key: Tuple,
+    rows: Vec<u32>,
+}
+
 /// A hash index over one bound-position pattern of a relation.
 ///
-/// Buckets map the projected key values at `positions` to the tuples
-/// carrying them, each paired with its insertion position in the backing
-/// relation. Bucket entries preserve relation insertion order, so an
-/// index probe enumerates exactly the subsequence a full scan with a
-/// filter would — evaluation results are order-identical either way, and
-/// the positions let semi-naive consumers restrict a probe to delta
+/// Buckets are keyed by the **cached hash** of the projected key values
+/// and store insertion positions only — probing hashes the key slice once
+/// (no allocation, no tuple construction) and resolves rows through
+/// [`Relation::tuples`]. Bucket rows preserve relation insertion order,
+/// so an index probe enumerates exactly the subsequence a full scan with
+/// a filter would — evaluation results are order-identical either way,
+/// and the positions let semi-naive consumers restrict a probe to delta
 /// tuples (`pos >= watermark`) without touching the rest of the bucket.
 #[derive(Debug, Clone, Default)]
 pub struct RelIndex {
     positions: Vec<usize>,
-    buckets: HashMap<Vec<Value>, Vec<(u32, Tuple)>>,
+    buckets: HashMap<u64, Vec<Bucket>>,
 }
 
 impl RelIndex {
@@ -152,8 +305,12 @@ impl RelIndex {
     }
 
     fn add(&mut self, pos: u32, tuple: &Tuple) {
-        let key = tuple.project(&self.positions).values().to_vec();
-        self.buckets.entry(key).or_default().push((pos, tuple.clone()));
+        let key = tuple.project(&self.positions);
+        let group = self.buckets.entry(key.hash64()).or_default();
+        match group.iter_mut().find(|b| b.key == key) {
+            Some(b) => b.rows.push(pos),
+            None => group.push(Bucket { key, rows: vec![pos] }),
+        }
     }
 
     /// The bound-position pattern this index covers.
@@ -161,11 +318,16 @@ impl RelIndex {
         &self.positions
     }
 
-    /// All `(insertion position, tuple)` pairs whose projection onto the
-    /// index pattern equals `key`, in insertion order. Empty slice when no
-    /// tuple matches.
-    pub fn probe(&self, key: &[Value]) -> &[(u32, Tuple)] {
-        self.buckets.get(key).map_or(&[], Vec::as_slice)
+    /// Insertion positions of every tuple whose projection onto the index
+    /// pattern equals `key`, in insertion order; empty when none match.
+    /// Allocation-free: the key slice is hashed once ([`hash_values`],
+    /// matching the cached tuple hashes in the buckets) and compared only
+    /// within its hash group.
+    pub fn probe(&self, key: &[Value]) -> &[u32] {
+        self.buckets
+            .get(&hash_values(key))
+            .and_then(|group| group.iter().find(|b| b.key.values() == key))
+            .map_or(&[], |b| b.rows.as_slice())
     }
 }
 
@@ -182,12 +344,17 @@ impl RelIndex {
 /// insert (removal invalidates the cache — deletions are rare relative to
 /// probes in this engine). The cache lives behind a lock so probing works
 /// through `&Relation`; it is never serialized or compared.
+///
+/// Dedup reuses the cached tuple hashes: `seen` maps each tuple hash to
+/// the insertion positions carrying it, so membership checks compare
+/// against stored tuples in place instead of keeping a second cloned copy
+/// of every tuple in a `HashSet`.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct Relation {
     pub schema: RelSchema,
     tuples: Vec<Tuple>,
     #[serde(skip)]
-    seen: HashSet<Tuple>,
+    seen: HashMap<u64, Vec<u32>>,
     #[serde(skip)]
     indexes: RwLock<HashMap<Vec<usize>, Arc<RelIndex>>>,
     #[serde(skip)]
@@ -212,7 +379,7 @@ impl Relation {
         Relation {
             schema,
             tuples: Vec::new(),
-            seen: HashSet::new(),
+            seen: HashMap::new(),
             indexes: RwLock::default(),
             stats: RwLock::default(),
         }
@@ -241,39 +408,64 @@ impl Relation {
     /// Insert without the arity debug-check. Only for tests that exercise
     /// the instance validator's handling of malformed data.
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
-        if self.seen.insert(tuple.clone()) {
-            let pos = self.tuples.len() as u32;
-            for idx in self.indexes.get_mut().values_mut() {
-                Arc::make_mut(idx).add(pos, &tuple);
-            }
-            if let Some(stats) = self.stats.get_mut().as_mut() {
-                Arc::make_mut(stats).note(&tuple);
-            }
-            self.tuples.push(tuple);
-            true
-        } else {
-            false
+        let h = tuple.hash64();
+        let group = self.seen.entry(h).or_default();
+        if group.iter().any(|&p| self.tuples[p as usize] == tuple) {
+            return false;
         }
+        let pos = self.tuples.len() as u32;
+        group.push(pos);
+        for idx in self.indexes.get_mut().values_mut() {
+            Arc::make_mut(idx).add(pos, &tuple);
+        }
+        if let Some(stats) = self.stats.get_mut().as_mut() {
+            Arc::make_mut(stats).note(&tuple);
+        }
+        self.tuples.push(tuple);
+        true
     }
 
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.seen.contains(tuple)
+        self.seen
+            .get(&tuple.hash64())
+            .is_some_and(|g| g.iter().any(|&p| self.tuples[p as usize] == *tuple))
+    }
+
+    /// Membership check against a value slice without building a tuple —
+    /// the chase's head-satisfaction fast path fills one reusable buffer
+    /// per candidate firing and asks this instead of allocating.
+    pub fn contains_values(&self, values: &[Value]) -> bool {
+        self.seen
+            .get(&hash_values(values))
+            .is_some_and(|g| g.iter().any(|&p| self.tuples[p as usize].values() == values))
     }
 
     /// Remove a tuple; returns `true` if it was present.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        if self.seen.remove(tuple) {
-            // O(n); deletions are rare relative to scans in this engine
-            if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
-                self.tuples.remove(pos);
-            }
-            // removal shifts insertion positions; drop the whole cache
-            // rather than patching every bucket (same for the stats sketch)
-            self.indexes.get_mut().clear();
-            *self.stats.get_mut() = None;
-            true
-        } else {
-            false
+        let h = tuple.hash64();
+        let present = self
+            .seen
+            .get(&h)
+            .is_some_and(|g| g.iter().any(|&p| self.tuples[p as usize] == *tuple));
+        if !present {
+            return false;
+        }
+        // O(n); deletions are rare relative to scans in this engine
+        if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
+            self.tuples.remove(pos);
+        }
+        // removal shifts insertion positions: rebuild the dedup map and
+        // drop the index/stats caches rather than patching every bucket
+        self.rebuild_seen();
+        self.indexes.get_mut().clear();
+        *self.stats.get_mut() = None;
+        true
+    }
+
+    fn rebuild_seen(&mut self) {
+        self.seen.clear();
+        for (i, t) in self.tuples.iter().enumerate() {
+            self.seen.entry(t.hash64()).or_default().push(i as u32);
         }
     }
 
@@ -346,9 +538,9 @@ impl Relation {
     }
 
     /// Rebuild the dedup index (needed after deserialization, where the
-    /// `seen` set is skipped) and drop any stale hash-index cache.
+    /// `seen` map is skipped) and drop any stale hash-index cache.
     pub fn rebuild_index(&mut self) {
-        self.seen = self.tuples.iter().cloned().collect();
+        self.rebuild_seen();
         self.indexes.get_mut().clear();
         *self.stats.get_mut() = None;
     }
@@ -390,6 +582,31 @@ mod tests {
         assert!(!r.insert(t(1, "x")));
         assert!(r.insert(t(2, "y")));
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn compact_and_baseline_tuples_are_interchangeable() {
+        let compact = intern::with_compact(true, || t(1, "x"));
+        let baseline = intern::with_compact(false, || t(1, "x"));
+        assert_eq!(compact, baseline);
+        assert_eq!(compact.hash64(), baseline.hash64());
+        assert_eq!(compact.cmp(&baseline), std::cmp::Ordering::Equal);
+        assert_eq!(compact.to_string(), baseline.to_string());
+        let mut r = r2("a", "b");
+        assert!(r.insert(compact));
+        assert!(!r.insert(baseline)); // dedup sees through the layouts
+        assert!(r.contains(&intern::with_compact(false, || t(1, "x"))));
+    }
+
+    #[test]
+    fn wide_tuples_spill_and_still_roundtrip() {
+        let wide = Tuple::new((0..7).map(Value::Int).collect());
+        assert_eq!(wide.arity(), 7);
+        assert_eq!(wide.get(6), Some(&Value::Int(6)));
+        assert_eq!(wide, Tuple::from_slice(wide.values()));
+        let narrow = Tuple::from_slice(&[Value::Int(0)]);
+        assert_eq!(narrow.arity(), 1);
+        assert_ne!(wide, narrow);
     }
 
     #[test]
@@ -441,6 +658,10 @@ mod tests {
             tp.concat(&q),
             Tuple::new(vec![Value::Int(1), Value::text("x"), Value::Bool(true), Value::Int(9)])
         );
+        // concat across the inline/spill boundary
+        let wide = tp.concat(&tp);
+        assert_eq!(wide.arity(), 6);
+        assert_eq!(wide.get(4), Some(&Value::text("x")));
     }
 
     #[test]
@@ -455,16 +676,34 @@ mod tests {
     }
 
     #[test]
+    fn hash_values_matches_cached_tuple_hash() {
+        let vals = [Value::Int(7), Value::text("k")];
+        let tp = Tuple::from_slice(&vals);
+        assert_eq!(tp.hash64(), hash_values(&vals));
+        let uncached = intern::with_compact(false, || Tuple::from_slice(&vals));
+        assert_eq!(uncached.hash64(), hash_values(&vals));
+    }
+
+    #[test]
+    fn contains_values_matches_contains() {
+        let mut r = r2("a", "b");
+        r.insert(t(1, "x"));
+        assert!(r.contains_values(&[Value::Int(1), Value::text("x")]));
+        assert!(r.contains_values(&[Value::Int(1), Value::Text("x".into())]));
+        assert!(!r.contains_values(&[Value::Int(2), Value::text("x")]));
+        assert!(!r.contains_values(&[Value::Int(1)]));
+    }
+
+    #[test]
     fn index_probe_matches_filtered_scan_in_order() {
         let mut r = r2("a", "b");
         r.insert(t(1, "x"));
         r.insert(t(2, "y"));
         r.insert(t(1, "z"));
         let idx = r.index(&[0]);
-        let hits = idx.probe(&[Value::Int(1)]);
-        assert_eq!(hits.len(), 2);
-        assert_eq!(hits[0], (0, t(1, "x")));
-        assert_eq!(hits[1], (2, t(1, "z")));
+        assert_eq!(idx.probe(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(r.tuples()[0], t(1, "x"));
+        assert_eq!(r.tuples()[2], t(1, "z"));
         assert!(idx.probe(&[Value::Int(9)]).is_empty());
     }
 
@@ -476,11 +715,8 @@ mod tests {
         r.insert(t(1, "y"));
         r.insert(t(2, "z"));
         let idx = r.index(&[0]);
-        assert_eq!(
-            idx.probe(&[Value::Int(1)]),
-            &[(0, t(1, "x")), (1, t(1, "y"))]
-        );
-        assert_eq!(idx.probe(&[Value::Int(2)]), &[(2, t(2, "z"))]);
+        assert_eq!(idx.probe(&[Value::Int(1)]), &[0, 1]);
+        assert_eq!(idx.probe(&[Value::Int(2)]), &[2]);
     }
 
     #[test]
@@ -493,8 +729,8 @@ mod tests {
         r.remove(&t(1, "x"));
         let idx = r.index(&[0]);
         // positions reflect the post-removal layout
-        assert_eq!(idx.probe(&[Value::Int(1)]), &[(1, t(1, "z"))]);
-        assert_eq!(idx.probe(&[Value::Int(2)]), &[(0, t(2, "y"))]);
+        assert_eq!(idx.probe(&[Value::Int(1)]), &[1]);
+        assert_eq!(idx.probe(&[Value::Int(2)]), &[0]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! see a half-updated sketch), invalidated wholesale on removal, and
 //! never serialized or compared.
 
+use crate::intern;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,6 +16,11 @@ use std::sync::Arc;
 /// Per-column sketch: exact value counts (the relation already holds the
 /// values; the map costs O(distinct) extra), the derived distinct count,
 /// and an incrementally tracked most-common value.
+///
+/// Text keys are stored as interned symbols (4-byte ids, no `String`
+/// clone per distinct value) when the compact data plane is on; lookups
+/// with either text form still hit, since `Value`'s `Eq`/`Hash` see
+/// through the representation.
 #[derive(Debug, Clone, Default)]
 pub struct ColSketch {
     counts: HashMap<Value, u32>,
@@ -22,13 +28,24 @@ pub struct ColSketch {
 }
 
 impl ColSketch {
+    /// The map-key form of `v`: owned text becomes a symbol instead of a
+    /// cloned `String` (when compact mode is on and the pool takes it).
+    fn key_of(v: &Value) -> Value {
+        match v {
+            Value::Text(s) if intern::compact_enabled() => {
+                intern::intern(s).map_or_else(|| v.clone(), Value::Sym)
+            }
+            _ => v.clone(),
+        }
+    }
+
     fn note(&mut self, v: &Value) {
-        let c = self.counts.entry(v.clone()).or_insert(0);
+        let c = self.counts.entry(Self::key_of(v)).or_insert(0);
         *c += 1;
         let c = *c;
         match &self.mcv {
             Some((_, best)) if *best >= c => {}
-            _ => self.mcv = Some((v.clone(), c)),
+            _ => self.mcv = Some((Self::key_of(v), c)),
         }
     }
 
@@ -147,6 +164,23 @@ mod tests {
         assert_eq!(s.eq_selectivity(7, &Value::Int(1)), 0.0);
         assert_eq!(RelStats::build(2, &[]).eq_selectivity(0, &Value::Int(1)), 0.0);
         assert_eq!(RelStats::build(2, &[]).join_selectivity(0), 1.0);
+    }
+
+    #[test]
+    fn text_columns_sketch_by_symbol_and_answer_both_forms() {
+        let tuples: Vec<Tuple> = ["a", "a", "b"]
+            .iter()
+            .map(|s| Tuple::from([Value::text(*s)]))
+            .collect();
+        let s = intern::with_compact(true, || RelStats::build(1, &tuples));
+        let c = s.col(0).unwrap();
+        assert_eq!(c.distinct(), 2);
+        // stored keys are symbols, not cloned strings
+        assert!(matches!(c.mcv(), Some((Value::Sym(_), 2))));
+        // lookups hit with either text form
+        assert_eq!(c.count(&Value::Text("a".into())), 2);
+        assert_eq!(c.count(&Value::text("a")), 2);
+        assert_eq!(c.count(&Value::text("c")), 0);
     }
 
     #[test]

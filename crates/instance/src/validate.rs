@@ -110,11 +110,11 @@ pub fn validate(schema: &Schema, db: &Database) -> Vec<InstanceViolation> {
             }
             // entity sets: the $type tag must be a subtype of the set
             if matches!(elem.kind, ElementKind::EntityType { .. }) {
-                if let Some(Value::Text(ty)) = tuple.get(0) {
+                if let Some(ty) = tuple.get(0).and_then(Value::as_text) {
                     if !schema.is_subtype(ty, &elem.name) {
                         out.push(InstanceViolation::BadEntityType {
                             set: elem.name.clone(),
-                            ty: ty.clone(),
+                            ty: ty.to_string(),
                         });
                     }
                 }
@@ -192,11 +192,11 @@ fn check_constraint(
             // every entity in `parent`'s set whose most-derived type is
             // exactly `parent` violates a total covering
             if let Some(rel) = db.relation(parent) {
-                let violated = rel.iter().any(|t| match t.get(0) {
-                    Some(Value::Text(ty)) => {
+                let violated = rel.iter().any(|t| match t.get(0).and_then(Value::as_text) {
+                    Some(ty) => {
                         ty == parent && !children.iter().any(|c| schema.is_subtype(ty, c))
                     }
-                    _ => false,
+                    None => false,
                 });
                 if violated {
                     out.push(InstanceViolation::CoveringViolation { parent: parent.clone() });

@@ -1,5 +1,6 @@
-//! Typed atomic values, including labeled nulls.
+//! Typed atomic values, including labeled nulls and interned text.
 
+use crate::intern::{self, Symbol};
 use mm_metamodel::DataType;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -12,6 +13,13 @@ use std::fmt;
 /// labeled nulls are equal iff their labels are equal; they are never equal
 /// to constants. Certain-answer evaluation (§4, "semantics of certain
 /// answers") filters them from query results.
+///
+/// Text has two physical forms with one logical meaning: `Text` owns its
+/// string; `Sym` is a `u32` handle into the global interning pool
+/// ([`crate::intern`]). The two are indistinguishable through `Eq`,
+/// `Ord`, `Hash`, `Display`, and the wire codec — which form a value
+/// takes is a layout choice (the [`Value::text`] constructor interns when
+/// the compact data plane is on), never a semantic one.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Value {
     Int(i64),
@@ -20,6 +28,10 @@ pub enum Value {
     Double(f64),
     Bool(bool),
     Text(String),
+    /// Interned text: semantically identical to `Text` of the resolved
+    /// string, but hashes from a precomputed digest and compares by id
+    /// against other symbols.
+    Sym(Symbol),
     /// Days since epoch.
     Date(i32),
     /// SQL NULL (unknown / inapplicable).
@@ -29,8 +41,26 @@ pub enum Value {
 }
 
 impl Value {
+    /// Construct a text value, interning into the symbol pool when the
+    /// compact data plane is enabled on this thread (and the string is
+    /// poolable — short enough, pool not full).
     pub fn text(s: impl Into<String>) -> Self {
-        Value::Text(s.into())
+        let s = s.into();
+        if intern::compact_enabled() {
+            if let Some(sym) = intern::intern(&s) {
+                return Value::Sym(sym);
+            }
+        }
+        Value::Text(s)
+    }
+
+    /// The string content if this is a text value (either form).
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            Value::Sym(sym) => Some(sym.as_str()),
+            _ => None,
+        }
     }
 
     /// The data type of the value, if it is a typed constant.
@@ -39,7 +69,7 @@ impl Value {
             Value::Int(_) => Some(DataType::Int),
             Value::Double(_) => Some(DataType::Double),
             Value::Bool(_) => Some(DataType::Bool),
-            Value::Text(_) => Some(DataType::Text),
+            Value::Text(_) | Value::Sym(_) => Some(DataType::Text),
             Value::Date(_) => Some(DataType::Date),
             Value::Null | Value::Labeled(_) => None,
         }
@@ -75,7 +105,7 @@ impl Value {
             Value::Int(_) => 3,
             Value::Double(_) => 4,
             Value::Date(_) => 5,
-            Value::Text(_) => 6,
+            Value::Text(_) | Value::Sym(_) => 6,
         }
     }
 }
@@ -87,6 +117,11 @@ impl PartialEq for Value {
             (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Text(a), Value::Text(b)) => a == b,
+            // same pool, so id equality is string equality
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Text(a), Value::Sym(b)) | (Value::Sym(b), Value::Text(a)) => {
+                a == b.as_str()
+            }
             (Value::Date(a), Value::Date(b)) => a == b,
             (Value::Null, Value::Null) => true,
             (Value::Labeled(a), Value::Labeled(b)) => a == b,
@@ -117,9 +152,15 @@ impl std::hash::Hash for Value {
                 state.write_u8(2);
                 state.write_u8(*b as u8);
             }
+            // both text forms hash the same string digest, matching Eq;
+            // a symbol reads its digest off the pool entry (no byte walk)
             Value::Text(s) => {
                 state.write_u8(6);
-                s.hash(state);
+                state.write_u64(intern::str_hash(s));
+            }
+            Value::Sym(sym) => {
+                state.write_u8(6);
+                state.write_u64(sym.hash64());
             }
             Value::Date(d) => {
                 state.write_u8(5);
@@ -148,7 +189,10 @@ impl Ord for Value {
             (Value::Int(a), Value::Double(b)) => (*a as f64).total_cmp(b),
             (Value::Double(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
-            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (
+                a @ (Value::Text(_) | Value::Sym(_)),
+                b @ (Value::Text(_) | Value::Sym(_)),
+            ) => a.as_text().cmp(&b.as_text()),
             (Value::Date(a), Value::Date(b)) => a.cmp(b),
             (Value::Labeled(a), Value::Labeled(b)) => a.cmp(b),
             (Value::Null, Value::Null) => Ordering::Equal,
@@ -164,6 +208,7 @@ impl fmt::Display for Value {
             Value::Double(v) => write!(f, "{v}"),
             Value::Bool(v) => write!(f, "{v}"),
             Value::Text(v) => write!(f, "'{v}'"),
+            Value::Sym(v) => write!(f, "'{}'", v.as_str()),
             Value::Date(v) => write!(f, "date({v})"),
             Value::Null => f.write_str("NULL"),
             Value::Labeled(l) => write!(f, "N{l}"),
@@ -191,13 +236,13 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::text(v)
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(v)
+        Value::text(v)
     }
 }
 
@@ -231,6 +276,34 @@ mod tests {
     }
 
     #[test]
+    fn interned_and_owned_text_are_indistinguishable() {
+        let owned = Value::Text("sym-test".to_string());
+        let interned = intern::with_compact(true, || Value::text("sym-test"));
+        assert!(matches!(interned, Value::Sym(_)));
+        assert_eq!(owned, interned);
+        assert_eq!(hash_of(&owned), hash_of(&interned));
+        assert_eq!(owned.cmp(&interned), Ordering::Equal);
+        assert_eq!(owned.to_string(), interned.to_string());
+        assert_eq!(owned.data_type(), interned.data_type());
+        assert_eq!(owned.as_text(), interned.as_text());
+        assert_ne!(interned, Value::text("sym-test-other"));
+    }
+
+    #[test]
+    fn compact_off_builds_owned_text() {
+        let v = intern::with_compact(false, || Value::text("plain"));
+        assert!(matches!(v, Value::Text(_)));
+    }
+
+    #[test]
+    fn oversized_text_stays_owned_under_compact() {
+        let long = "z".repeat(intern::MAX_INTERN_LEN + 1);
+        let v = intern::with_compact(true, || Value::text(long.clone()));
+        assert!(matches!(v, Value::Text(_)));
+        assert_eq!(v.as_text(), Some(long.as_str()));
+    }
+
+    #[test]
     fn null_is_not_a_constant() {
         assert!(!Value::Null.is_constant());
         assert!(!Value::Labeled(7).is_constant());
@@ -259,6 +332,19 @@ mod tests {
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Labeled(0));
         assert_eq!(vs.last().unwrap(), &Value::text("b"));
+    }
+
+    #[test]
+    fn mixed_form_text_ordering_matches_string_ordering() {
+        let mut vs = [
+            Value::Text("delta".into()),
+            intern::with_compact(true, || Value::text("alpha")),
+            Value::Text("bravo".into()),
+            intern::with_compact(true, || Value::text("charlie")),
+        ];
+        vs.sort();
+        let texts: Vec<&str> = vs.iter().filter_map(Value::as_text).collect();
+        assert_eq!(texts, ["alpha", "bravo", "charlie", "delta"]);
     }
 
     #[test]

@@ -38,22 +38,23 @@ fn encode_value(v: &Value) -> (Value, Value) {
         Value::Double(d) => ("double", format!("{:?}", d)),
         Value::Bool(b) => ("bool", b.to_string()),
         Value::Text(s) => ("text", s.clone()),
+        Value::Sym(s) => ("text", s.as_str().to_string()),
         Value::Date(d) => ("date", d.to_string()),
         Value::Null => ("null", String::new()),
         Value::Labeled(l) => ("labeled", l.to_string()),
     };
-    (Value::text(t), Value::Text(s))
+    (Value::text(t), Value::text(s))
 }
 
 fn decode_value(vtype: &Value, value: &Value) -> Value {
-    let (Value::Text(t), Value::Text(s)) = (vtype, value) else {
+    let (Some(t), Some(s)) = (vtype.as_text(), value.as_text()) else {
         return Value::Null;
     };
-    match t.as_str() {
+    match t {
         "int" => s.parse().map(Value::Int).unwrap_or(Value::Null),
         "double" => s.parse().map(Value::Double).unwrap_or(Value::Null),
         "bool" => s.parse().map(Value::Bool).unwrap_or(Value::Null),
-        "text" => Value::Text(s.clone()),
+        "text" => Value::text(s),
         "date" => s.parse().map(Value::Date).unwrap_or(Value::Null),
         "labeled" => s.parse().map(Value::Labeled).unwrap_or(Value::Null),
         _ => Value::Null,
@@ -93,14 +94,15 @@ pub fn decode_universal(target: &Schema, univ: &Database) -> Database {
     let mut groups: BTreeMap<(String, i64), BTreeMap<String, Value>> = BTreeMap::new();
     for t in rel.iter() {
         let [elem, tid, attr, vtype, value] = t.values() else { continue };
-        let (Value::Text(elem), Value::Int(tid), Value::Text(attr)) = (elem, tid, attr)
+        let (Some(elem), &Value::Int(tid), Some(attr)) =
+            (elem.as_text(), tid, attr.as_text())
         else {
             continue;
         };
         groups
-            .entry((elem.clone(), *tid))
+            .entry((elem.to_string(), tid))
             .or_default()
-            .insert(attr.clone(), decode_value(vtype, value));
+            .insert(attr.to_string(), decode_value(vtype, value));
     }
     for ((elem, _tid), attrs) in groups {
         let Some(layout) = target.instance_layout(&elem) else { continue };
@@ -130,14 +132,15 @@ pub fn reshape_er_to_rel(
         BTreeMap::new();
     for t in src.iter() {
         let [elem, tid, attr, vtype, value] = t.values() else { continue };
-        let (Value::Text(elem), Value::Int(tid), Value::Text(attr)) = (elem, tid, attr)
+        let (Some(elem), &Value::Int(tid), Some(attr)) =
+            (elem.as_text(), tid, attr.as_text())
         else {
             continue;
         };
         groups
-            .entry((elem.clone(), *tid))
+            .entry((elem.to_string(), tid))
             .or_default()
-            .insert(attr.clone(), (vtype.clone(), value.clone()));
+            .insert(attr.to_string(), (vtype.clone(), value.clone()));
     }
 
     let mut fresh_tid: i64 = 0;
@@ -160,10 +163,10 @@ pub fn reshape_er_to_rel(
         match &src_elem.kind {
             ElementKind::EntityType { .. } => {
                 // most-derived type from the encoded $type attribute
-                let derived = match attrs.get(TYPE_ATTR) {
-                    Some((_, Value::Text(d))) => d.clone(),
-                    _ => elem.clone(),
-                };
+                let derived = attrs
+                    .get(TYPE_ATTR)
+                    .and_then(|(_, v)| v.as_text())
+                    .map_or_else(|| elem.clone(), str::to_string);
                 let chain = er.ancestry(&derived).map_err(ModelGenError::Construction)?;
                 let root = *chain.last().expect("ancestry non-empty");
                 let key = hierarchy_key(er, root)?;

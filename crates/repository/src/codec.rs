@@ -1101,9 +1101,15 @@ impl Encode for Value {
                 w.u8(2);
                 w.bool(*b);
             }
+            // both text forms share tag 3: symbols encode straight from
+            // the pool's `&'static str`, byte-identical to owned text
             Value::Text(s) => {
                 w.u8(3);
                 w.str(s);
+            }
+            Value::Sym(s) => {
+                w.u8(3);
+                w.str(s.as_str());
             }
             Value::Date(d) => {
                 w.u8(4);
@@ -1124,7 +1130,9 @@ impl Decode for Value {
             0 => Value::Int(r.i64()?),
             1 => Value::Double(r.f64()?),
             2 => Value::Bool(r.bool()?),
-            3 => Value::Text(r.str()?),
+            // interns on decode (bounded; oversized/overflow text stays
+            // owned), so recovered instances land warm in the pool
+            3 => Value::text(r.str()?),
             4 => Value::Date(r.i32()?),
             5 => Value::Null,
             6 => Value::Labeled(r.u64()?),

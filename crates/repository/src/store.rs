@@ -25,7 +25,7 @@ use mm_instance::{Database, Tuple};
 use mm_metamodel::Schema;
 use mm_telemetry::{Counter, Hist, Telemetry, Timer};
 use parking_lot::{Mutex, RwLock};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -268,8 +268,14 @@ pub struct Repository {
 const SNAPSHOT_MAGIC: u32 = 0x4D4D5232; // "MMR2"
 /// Snapshot format version. v2 added the version byte, the last-applied
 /// WAL sequence number, and the CRC32 body checksum; v3 added the
-/// subscription registry and tracked instances.
-const SNAPSHOT_VERSION: u8 = 3;
+/// subscription registry and tracked instances; v4 prepends the interner
+/// pool section (the distinct poolable text values of all stored
+/// instances, bulk pre-interned on load so recovered databases come up
+/// with a warm symbol pool). Snapshots are written at the current
+/// version; v3 snapshots (no pool section) are still read.
+const SNAPSHOT_VERSION: u8 = 4;
+/// Oldest snapshot version this build still decodes.
+const MIN_SNAPSHOT_VERSION: u8 = 3;
 /// Snapshot header: magic (4) + version (1) + seq (8) + crc (4).
 const SNAPSHOT_HEADER_LEN: usize = 17;
 
@@ -938,8 +944,38 @@ fn apply_instance_delta_to(store: &mut Store, name: &str, inserts: &[(String, Ve
     }
 }
 
+/// The v4 pool section: every distinct poolable text value in the
+/// store's instances, in first-occurrence order (instance name →
+/// relation → tuple insertion order → column), so a reload re-interns
+/// them before any tuple decodes and the decoded databases land on warm
+/// symbols with stable relative ids.
+fn encode_pool_section(w: &mut Writer, store: &Store) {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut strings: Vec<&str> = Vec::new();
+    for db in store.instances.values() {
+        for (_, rel) in db.relations() {
+            for t in rel.iter() {
+                for v in t.values() {
+                    if let Some(s) = v.as_text() {
+                        if s.len() <= mm_instance::intern::MAX_INTERN_LEN
+                            && seen.insert(s)
+                        {
+                            strings.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    w.u32(strings.len() as u32);
+    for s in strings {
+        w.str(s);
+    }
+}
+
 fn encode_store(store: &Store) -> Bytes {
     let mut w = Writer::new();
+    encode_pool_section(&mut w, store);
     encode_versions(&mut w, &store.schemas);
     encode_versions(&mut w, &store.mappings);
     encode_versions(&mut w, &store.viewsets);
@@ -990,7 +1026,7 @@ fn decode_snapshot(bytes: Bytes) -> Result<(Store, u64), RepositoryError> {
         });
     }
     let version = r.u8()?;
-    if version != SNAPSHOT_VERSION {
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(RepositoryError::BadSnapshot {
             detail: format!("unsupported format version {version} at offset 4"),
         });
@@ -1009,6 +1045,17 @@ fn decode_snapshot(bytes: Bytes) -> Result<(Store, u64), RepositoryError> {
         });
     }
     let mut r = Reader::new(body);
+    if version >= 4 {
+        // pool section: bulk pre-intern. Interning is bounded (length and
+        // pool-capacity caps) and infallible, so a corrupted section can
+        // waste pool entries but never panic or fail recovery by itself —
+        // the CRC above is the integrity gate.
+        let n = r.seq_len()?;
+        for _ in 0..n {
+            let s = r.str()?;
+            let _ = mm_instance::intern::intern(&s);
+        }
+    }
     let schemas = decode_versions::<Schema>(&mut r)?;
     let mappings = decode_versions::<Mapping>(&mut r)?;
     let viewsets = decode_versions::<ViewSet>(&mut r)?;

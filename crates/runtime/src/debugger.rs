@@ -182,7 +182,7 @@ mod tests {
             .unwrap();
         let mut db = Database::empty_of(&s);
         for i in 0..5 {
-            db.insert("Names", Tuple::from([Value::Int(i), Value::Text(format!("n{i}"))]));
+            db.insert("Names", Tuple::from([Value::Int(i), Value::text(format!("n{i}"))]));
         }
         db.insert("Addresses", Tuple::from([Value::Int(0), Value::text("rome")]));
         db.insert("Addresses", Tuple::from([Value::Int(1), Value::text("oslo")]));

@@ -32,7 +32,7 @@ fn lit_to_value(l: &Lit) -> Value {
         Lit::Int(v) => Value::Int(*v),
         Lit::Double(v) => Value::Double(*v),
         Lit::Bool(v) => Value::Bool(*v),
-        Lit::Text(v) => Value::Text(v.clone()),
+        Lit::Text(v) => Value::text(v.as_str()),
         Lit::Date(v) => Value::Date(*v),
         Lit::Null => Value::Null,
     }

@@ -38,7 +38,7 @@ pub use collector::{Collector, JsonLinesCollector, LineSink, RingCollector, VecS
 pub use explain::ExplainNode;
 pub use histogram::{Histogram, HistogramSummary};
 pub use metrics::{
-    Cause, Counter, DegradationSite, EngineMetrics, Hist, MetricsSnapshot, PropagateCounter,
-    ServerCounter, ServerOp, Timer,
+    AllocCounter, Cause, Counter, DegradationSite, EngineMetrics, Hist, MetricsSnapshot,
+    PropagateCounter, ServerCounter, ServerOp, Timer,
 };
 pub use span::{Event, EventKind, Field, FieldValue, Span, Telemetry, TraceScope};

@@ -239,6 +239,40 @@ impl PropagateCounter {
     }
 }
 
+/// Allocation-pressure gauges for the compact data plane. The actual
+/// counts accumulate in `mm-instance` process-wide statics (telemetry
+/// sits *below* the instance crate, so it cannot read them itself);
+/// the engine samples the running totals at operation boundaries and
+/// raises these monotone gauges via [`EngineMetrics::raise_alloc`].
+/// Snapshots render them under dotted `alloc.*` keys with zero values
+/// elided, so a process that never spilled a tuple or interned a
+/// string carries no allocation rows at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum AllocCounter {
+    /// Tuples whose values spilled to a heap allocation (arity above
+    /// the inline bound, or compact mode off).
+    Tuples,
+    /// Distinct strings admitted to the process-wide intern pool.
+    Interned,
+}
+
+const ALLOC_COUNTERS: usize = AllocCounter::Interned as usize + 1;
+
+impl AllocCounter {
+    /// Stable snapshot key (dotted, sorts into one `alloc.*` block).
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocCounter::Tuples => "alloc.tuples",
+            AllocCounter::Interned => "alloc.interned",
+        }
+    }
+
+    fn all() -> [AllocCounter; ALLOC_COUNTERS] {
+        [AllocCounter::Tuples, AllocCounter::Interned]
+    }
+}
+
 /// Latency/size distributions the engine exports as log-bucketed
 /// [`Histogram`]s. Snapshots render each as five
 /// `<name>_{p50,p90,p99,max,count}` keys, with never-observed
@@ -493,6 +527,7 @@ pub struct EngineMetrics {
     counters: [AtomicU64; COUNTERS],
     server_counters: [AtomicU64; SERVER_COUNTERS],
     propagate_counters: [AtomicU64; PROPAGATE_COUNTERS],
+    alloc_counters: [AtomicU64; ALLOC_COUNTERS],
     timers: [DurationStat; TIMERS],
     hists: [Histogram; HISTS],
     op_service: [Histogram; SERVER_OPS],
@@ -542,6 +577,20 @@ impl EngineMetrics {
     /// Current value of a propagation counter.
     pub fn get_propagate(&self, c: PropagateCounter) -> u64 {
         self.propagate_counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Raise an allocation gauge to at least `v`. The instance-layer
+    /// totals are process-wide and monotone, so concurrent samplers
+    /// can race freely: `fetch_max` keeps the gauge at the freshest
+    /// observed total.
+    #[inline]
+    pub fn raise_alloc(&self, c: AllocCounter, v: u64) {
+        self.alloc_counters[c as usize].fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value of an allocation gauge.
+    pub fn get_alloc(&self, c: AllocCounter) -> u64 {
+        self.alloc_counters[c as usize].load(Ordering::Relaxed)
     }
 
     /// Record one duration observation, in microseconds.
@@ -613,6 +662,12 @@ impl EngineMetrics {
         }
         for c in PropagateCounter::all() {
             let v = self.get_propagate(c);
+            if v != 0 {
+                values.insert(c.name().to_string(), v);
+            }
+        }
+        for c in AllocCounter::all() {
+            let v = self.get_alloc(c);
             if v != 0 {
                 values.insert(c.name().to_string(), v);
             }
@@ -737,6 +792,21 @@ mod tests {
         assert_eq!(snap.value("propagate.events_published"), 2);
         assert_eq!(snap.value("propagate.queue_high_water"), 7, "max, not sum");
         assert!(!snap.values.contains_key("propagate.deltas_pushed"), "zero elided");
+    }
+
+    #[test]
+    fn alloc_gauges_are_zero_elided_and_monotone() {
+        let m = EngineMetrics::new();
+        assert!(
+            !m.snapshot().values.keys().any(|k| k.starts_with("alloc.")),
+            "a process that never allocated must carry no alloc rows"
+        );
+        m.raise_alloc(AllocCounter::Tuples, 10);
+        m.raise_alloc(AllocCounter::Tuples, 4);
+        m.raise_alloc(AllocCounter::Interned, 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("alloc.tuples"), 10, "max, not last-write");
+        assert_eq!(snap.value("alloc.interned"), 3);
     }
 
     #[test]

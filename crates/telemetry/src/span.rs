@@ -334,6 +334,18 @@ impl Telemetry {
         }
     }
 
+    /// Raise the allocation-pressure gauges to the given process-wide
+    /// totals (no-op when disabled). Callers sample the instance-layer
+    /// counters at operation boundaries and pass the running totals;
+    /// `fetch_max` underneath makes concurrent samples race-safe.
+    #[inline]
+    pub fn sample_alloc(&self, tuples: u64, interned: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.raise_alloc(crate::AllocCounter::Tuples, tuples);
+            i.metrics.raise_alloc(crate::AllocCounter::Interned, interned);
+        }
+    }
+
     /// Record one duration observation (no-op when disabled).
     #[inline]
     pub fn observe_us(&self, t: Timer, us: u64) {

@@ -16,7 +16,7 @@ fn value_of(rng: &mut SmallRng, ty: DataType, key_hint: Option<i64>) -> Value {
         DataType::Int => Value::Int(key_hint.unwrap_or_else(|| rng.gen_range(0..10_000))),
         DataType::Double => Value::Double((rng.gen_range(0..1_000_000) as f64) / 100.0),
         DataType::Bool => Value::Bool(rng.gen_bool(0.5)),
-        DataType::Text => Value::Text(format!("s{}", rng.gen_range(0..100_000))),
+        DataType::Text => Value::text(format!("s{}", rng.gen_range(0..100_000))),
         DataType::Date => Value::Date(rng.gen_range(10_000..20_000)),
         DataType::Any => Value::Int(rng.gen_range(0..10_000)),
     }

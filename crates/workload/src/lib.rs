@@ -15,6 +15,7 @@ pub mod data;
 pub mod evolution;
 pub mod faults;
 pub mod perturb;
+pub mod scale;
 pub mod schemas;
 pub mod skew;
 pub mod tgds;
@@ -27,6 +28,9 @@ pub use faults::{
     unbound_variable_sotgd, RepoOp,
 };
 pub use perturb::{perturb_schema, GroundTruth};
+pub use scale::{
+    evolution_scale, inheritance_scale, scale_scenarios, snowflake_scale, ScaleScenario,
+};
 pub use schemas::{er_hierarchy, relational_schema, snowflake_schema};
 pub use skew::{correlated_join, fat_hub_join, zipf_join};
 pub use tgds::{binary_schema, composition_chain, copy_tgds};

@@ -309,9 +309,11 @@ fn introspection_answers_while_shedding_and_draining() {
 
     // Saturate the single worker: one slow request executing, one
     // queued — inflight sits at the high-water mark and the shed latch
-    // closes the data plane for everything after.
-    conn.send(1, 0, &slow_exchange_request(600));
-    conn.send(2, 0, &slow_exchange_request(600));
+    // closes the data plane for everything after. Sized so the window
+    // stays open across all the probes below even on the compact data
+    // plane (which runs this exchange several times faster).
+    conn.send(1, 0, &slow_exchange_request(2400));
+    conn.send(2, 0, &slow_exchange_request(2400));
     wait_for("saturation", Duration::from_secs(10), || handle.inflight() >= 2);
 
     // A second session: data-plane traffic is shed with code 50...
